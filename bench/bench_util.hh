@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction benches: run-length
+ * control, cached baseline runs, and table headers.
+ *
+ * Every bench accepts the PERCON_UOPS environment variable to scale
+ * the measured uops per run (default 1M for timing benches). The
+ * paper used 2 x 30M-instruction traces per benchmark; the defaults
+ * here finish each table in minutes while preserving the shapes.
+ */
+
+#ifndef PERCON_BENCH_BENCH_UTIL_HH
+#define PERCON_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bpred/factory.hh"
+#include "core/timing_sim.hh"
+#include "trace/benchmarks.hh"
+
+namespace percon {
+namespace bench {
+
+/** Timing run lengths, scaled by PERCON_UOPS when set. */
+inline TimingConfig
+timingConfig()
+{
+    TimingConfig t;
+    t.warmupUops = 200'000;
+    t.measureUops = 600'000;
+    if (const char *env = std::getenv("PERCON_UOPS")) {
+        long long v = std::atoll(env);
+        if (v >= 10'000) {
+            t.measureUops = static_cast<Count>(v);
+            t.warmupUops = static_cast<Count>(v) / 3;
+        }
+    }
+    return t;
+}
+
+/** Caches ungated baseline runs keyed by (benchmark, machine id). */
+class BaselineCache
+{
+  public:
+    const CoreStats &
+    get(const BenchmarkSpec &spec, const PipelineConfig &config,
+        const std::string &predictor, const std::string &machine_id)
+    {
+        std::string key = spec.program.name + "/" + predictor + "/" +
+                          machine_id;
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+        SpeculationControl none;
+        CoreStats stats = runTiming(spec, config, predictor, nullptr,
+                                    none, timingConfig())
+                              .stats;
+        return cache_.emplace(key, stats).first->second;
+    }
+
+  private:
+    std::map<std::string, CoreStats> cache_;
+};
+
+/** Print a bench banner with provenance. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("==============================================\n");
+    std::printf("%s\n", what);
+    std::printf("reproduces: %s\n", paper_ref);
+    TimingConfig t = timingConfig();
+    std::printf("run length: %llu uops measured per run "
+                "(set PERCON_UOPS to change)\n",
+                static_cast<unsigned long long>(t.measureUops));
+    std::printf("==============================================\n\n");
+}
+
+} // namespace bench
+} // namespace percon
+
+#endif // PERCON_BENCH_BENCH_UTIL_HH

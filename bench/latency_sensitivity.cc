@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper §5.4.2: the effect of the perceptron adder-tree
+ * latency. A 9-cycle estimator (0.09um estimate for 32 weights) is
+ * compared against an ideal single-cycle one: the gating decision
+ * arrives late, letting a few extra uops into the pipeline, but the
+ * reduction in executed uops barely changes.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "confidence/perceptron_conf.hh"
+
+using namespace percon;
+using namespace percon::bench;
+
+int
+main()
+{
+    banner("Section 5.4.2: perceptron latency sensitivity",
+           "Akkary et al., HPCA 2004, Section 5.4.2");
+
+    PipelineConfig cfg = PipelineConfig::deep40x4();
+    TimingConfig t = timingConfig();
+    BaselineCache cache;
+
+    AsciiTable table({"estimator latency", "U%", "P%"});
+    for (unsigned latency : {1u, 5u, 9u, 13u}) {
+        GatingMetrics sum;
+        for (const auto &spec : allBenchmarks()) {
+            const CoreStats &base =
+                cache.get(spec, cfg, "bimodal-gshare", "40x4");
+            SpeculationControl sc;
+            sc.gateThreshold = 1;
+            sc.confidenceLatency = latency;
+            CoreStats pol =
+                runTiming(spec, cfg, "bimodal-gshare",
+                          [] {
+                              PerceptronConfParams p;
+                              p.lambda = 0;
+                              return std::make_unique<
+                                  PerceptronConfidence>(p);
+                          },
+                          sc, t)
+                    .stats;
+            GatingMetrics m = gatingMetrics(base, pol);
+            sum.uopReductionPct += m.uopReductionPct;
+            sum.perfLossPct += m.perfLossPct;
+        }
+        double n = static_cast<double>(allBenchmarks().size());
+        table.addRow({std::to_string(latency) + " cycles",
+                      fmtFixed(sum.uopReductionPct / n, 1),
+                      fmtFixed(sum.perfLossPct / n, 1)});
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\npaper shape: a 9-cycle perceptron loses very "
+                "little uop reduction versus an ideal 1-cycle one — "
+                "slipping the start of gating admits few uops "
+                "relative to the full wrong-path volume.\n");
+    return 0;
+}

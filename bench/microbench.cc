@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks: hardware-model operation
+ * throughputs (predictor lookup+update, estimator estimate+train,
+ * cache access, full core cycles), to keep the simulator's own
+ * performance honest.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/factory.hh"
+#include "confidence/factory.hh"
+#include "core/timing_sim.hh"
+#include "memory/hierarchy.hh"
+#include "trace/benchmarks.hh"
+
+using namespace percon;
+
+namespace {
+
+void
+BM_PredictorLookupUpdate(benchmark::State &state,
+                         const std::string &name)
+{
+    auto pred = makePredictor(name);
+    PredMeta meta;
+    std::uint64_t ghr = 0;
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        bool taken = pred->predict(pc, ghr, meta);
+        pred->update(pc, ghr, !taken, meta);
+        ghr = (ghr << 1) | 1u;
+        pc += 4;
+        benchmark::DoNotOptimize(taken);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_EstimatorEstimateTrain(benchmark::State &state,
+                          const std::string &name)
+{
+    auto est = makeEstimator(name);
+    std::uint64_t ghr = 0x12345;
+    Addr pc = 0x1000;
+    bool misp = false;
+    for (auto _ : state) {
+        ConfidenceInfo info = est->estimate(pc, ghr, true);
+        est->train(pc, ghr, true, misp, info);
+        misp = !misp;
+        ghr = (ghr << 1) | (misp ? 1u : 0u);
+        pc += 4;
+        benchmark::DoNotOptimize(info.raw);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    HierarchyParams p;
+    MemoryHierarchy mem(p);
+    Addr a = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        MemAccessResult r = mem.access(a, now, false);
+        benchmark::DoNotOptimize(r.latency);
+        a += 8;
+        ++now;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    ProgramModel program(benchmarkSpec("gcc").program);
+    for (auto _ : state) {
+        MicroOp u = program.next();
+        benchmark::DoNotOptimize(u.pc);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    const auto &spec = benchmarkSpec("gcc");
+    ProgramModel program(spec.program);
+    WrongPathSynthesizer wp(spec.program, spec.program.seed ^ 0xdead);
+    auto pred = makePredictor("bimodal-gshare");
+    SpeculationControl none;
+    Core core(PipelineConfig::deep40x4(), program, wp, *pred, nullptr,
+              none);
+    core.warmup(50'000);
+    for (auto _ : state)
+        core.run(1'000);
+    state.SetItemsProcessed(state.iterations() * 1'000);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_PredictorLookupUpdate, bimodal, "bimodal");
+BENCHMARK_CAPTURE(BM_PredictorLookupUpdate, gshare, "gshare");
+BENCHMARK_CAPTURE(BM_PredictorLookupUpdate, hybrid, "bimodal-gshare");
+BENCHMARK_CAPTURE(BM_PredictorLookupUpdate, perceptron, "perceptron");
+BENCHMARK_CAPTURE(BM_EstimatorEstimateTrain, jrs, "jrs-enhanced");
+BENCHMARK_CAPTURE(BM_EstimatorEstimateTrain, cic, "perceptron-cic");
+BENCHMARK_CAPTURE(BM_EstimatorEstimateTrain, tnt, "perceptron-tnt");
+BENCHMARK(BM_CacheAccess);
+BENCHMARK(BM_WorkloadGeneration);
+BENCHMARK(BM_CoreSimulation);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Substrate validation: misprediction rates of every implemented
+ * branch predictor across the calibrated benchmarks. The ordering —
+ * local/global hybrids best, single-table schemes behind, bimodal
+ * last on history-correlated codes — is what the literature reports
+ * on real SPECint, and is a property the synthetic workloads must
+ * preserve for the confidence results to transfer.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "core/front_end_sim.hh"
+
+using namespace percon;
+using namespace percon::bench;
+
+int
+main()
+{
+    banner("Predictor comparison across calibrated workloads",
+           "substrate validation (not a paper table)");
+
+    FrontEndConfig cfg;
+    cfg.warmupBranches = 80'000;
+    cfg.measureBranches = 300'000;
+
+    std::vector<std::string> header{"benchmark"};
+    for (const auto &name : predictorNames())
+        header.push_back(name);
+    AsciiTable table(header);
+
+    std::vector<double> avg(predictorNames().size(), 0.0);
+    for (const auto &spec : allBenchmarks()) {
+        std::vector<std::string> row{spec.program.name};
+        std::size_t col = 0;
+        for (const auto &name : predictorNames()) {
+            ProgramModel program(spec.program);
+            auto predictor = makePredictor(name);
+            FrontEndResult res =
+                runFrontEnd(program, *predictor, nullptr, cfg);
+            double pct_misp = 100.0 * res.matrix.mispredictRate();
+            avg[col] += pct_misp;
+            ++col;
+            row.push_back(fmtFixed(pct_misp, 2));
+        }
+        table.addRow(row);
+    }
+    table.addSeparator();
+    std::vector<std::string> avg_row{"average"};
+    for (double a : avg)
+        avg_row.push_back(
+            fmtFixed(a / static_cast<double>(allBenchmarks().size()), 2));
+    table.addRow(avg_row);
+
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nexpected ordering: the bimodal-gshare hybrid "
+                "(paper baseline) is at or near the best; bimodal "
+                "alone trails on history-correlated benchmarks.\n");
+    return 0;
+}

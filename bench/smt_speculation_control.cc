@@ -1,0 +1,132 @@
+/**
+ * @file
+ * SMT speculation control (the paper's §1 motivation via Luo et
+ * al., reference [9]): on a two-thread SMT machine, one thread's
+ * wrong-path work steals fetch slots, window entries and issue
+ * bandwidth from its co-runner. Perceptron-gating both threads
+ * converts wasted slots into co-runner progress.
+ *
+ * Pairs a hard-to-predict thread (mcf, twolf, vpr) with a clean one
+ * (vortex, eon, bzip) on the 4-wide machine — where fetch slots are
+ * genuinely contended between two threads — and reports per-thread
+ * and combined IPC, ungated vs gated, under both fetch policies.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "confidence/perceptron_conf.hh"
+#include "uarch/smt_core.hh"
+
+using namespace percon;
+using namespace percon::bench;
+
+namespace {
+
+struct PairResult
+{
+    double ipcA, ipcB, combined;
+};
+
+PairResult
+runPair(const std::string &bench_a, const std::string &bench_b,
+        bool gated, SmtFetchPolicy policy, bool shared, Count uops)
+{
+    ProgramModel a(benchmarkSpec(bench_a).program);
+    ProgramModel b(benchmarkSpec(bench_b).program);
+    WrongPathSynthesizer wa(benchmarkSpec(bench_a).program, 0xaa);
+    WrongPathSynthesizer wb(benchmarkSpec(bench_b).program, 0xbb);
+    auto predictor = makePredictor("bimodal-gshare");
+
+    std::unique_ptr<ConfidenceEstimator> est;
+    SpeculationControl sc;
+    if (gated) {
+        PerceptronConfParams p;
+        p.lambda = 0;
+        // Two programs share the estimator: provision a larger
+        // array than the single-thread 128-entry design point.
+        p.entries = 512;
+        est = std::make_unique<PerceptronConfidence>(p);
+        sc.gateThreshold = 1;
+    }
+
+    SmtCore core(PipelineConfig::base20x4(), {{{&a, &wa}, {&b, &wb}}},
+                 *predictor, est.get(), sc, policy, shared);
+    core.warmup(uops / 3);
+    core.run(uops);
+
+    PairResult r;
+    r.ipcA = static_cast<double>(core.stats(0).retiredUops) /
+             static_cast<double>(core.stats(0).cycles);
+    r.ipcB = static_cast<double>(core.stats(1).retiredUops) /
+             static_cast<double>(core.stats(1).cycles);
+    r.combined = core.combinedIpc();
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("SMT speculation control: gating boosts co-runner "
+           "throughput",
+           "extension: Akkary et al. §1 via Luo et al. [9]");
+
+    TimingConfig t = timingConfig();
+    Count uops = t.measureUops / 2;  // per thread
+
+    const std::pair<const char *, const char *> pairs[] = {
+        {"mcf", "vortex"}, {"twolf", "eon"}, {"vpr", "bzip"},
+        {"gzip", "gcc"},
+    };
+
+    struct Mode
+    {
+        const char *label;
+        SmtFetchPolicy policy;
+        bool shared;
+    };
+    const Mode modes[] = {
+        {"shared structures, round-robin fetch",
+         SmtFetchPolicy::RoundRobin, true},
+        {"shared structures, ICOUNT fetch", SmtFetchPolicy::Icount,
+         true},
+        {"partitioned structures, ICOUNT fetch",
+         SmtFetchPolicy::Icount, false},
+    };
+    for (const Mode &mode : modes) {
+        SmtFetchPolicy policy = mode.policy;
+        bool shared = mode.shared;
+        std::printf("%s\n", mode.label);
+        AsciiTable table({"pair (hard+clean)",
+                          "ungated IPC (A/B/sum)",
+                          "gated IPC (A/B/sum)", "throughput gain %"});
+        double gain_sum = 0;
+        for (auto [a, b] : pairs) {
+            PairResult u = runPair(a, b, false, policy, shared, uops);
+            PairResult g = runPair(a, b, true, policy, shared, uops);
+            double gain = 100.0 * (g.combined / u.combined - 1.0);
+            gain_sum += gain;
+            char ub[64], gb[64];
+            std::snprintf(ub, sizeof(ub), "%.2f / %.2f / %.2f", u.ipcA,
+                          u.ipcB, u.combined);
+            std::snprintf(gb, sizeof(gb), "%.2f / %.2f / %.2f", g.ipcA,
+                          g.ipcB, g.combined);
+            table.addRow({std::string(a) + "+" + b, ub, gb,
+                          fmtFixed(gain, 1)});
+        }
+        table.addSeparator();
+        table.addRow({"average", "-", "-", fmtFixed(gain_sum / 4, 1)});
+        std::fputs(table.render().c_str(), stdout);
+        std::printf("\n");
+    }
+
+    std::printf("expected: with shared structures, the hard thread's "
+                "wrong-path work floods the common window and gating "
+                "rescues the co-runner (largest gains under naive "
+                "round-robin fetch). With per-thread partitions "
+                "(Pentium-4 HT style) the theft channels are closed "
+                "and gating is roughly neutral — the two regimes "
+                "bracket the SMT speculation-control literature.\n");
+    return 0;
+}

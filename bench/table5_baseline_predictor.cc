@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Reproduces paper Table 5: the effect of a better baseline branch
+ * predictor on perceptron-estimator pipeline gating. Compares the
+ * bimodal-gshare hybrid against a gshare-perceptron hybrid at
+ * threshold points chosen for 0-3% performance loss.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "confidence/perceptron_conf.hh"
+
+using namespace percon;
+using namespace percon::bench;
+
+namespace {
+
+struct Point
+{
+    int lambda;
+    GatingMetrics metrics;
+    double mispredictsPerKuop;
+};
+
+Point
+runPoint(BaselineCache &cache, const std::string &predictor,
+         int lambda)
+{
+    PipelineConfig cfg = PipelineConfig::deep40x4();
+    TimingConfig t = timingConfig();
+    Point pt;
+    pt.lambda = lambda;
+    double mpk = 0.0;
+    for (const auto &spec : allBenchmarks()) {
+        const CoreStats &base =
+            cache.get(spec, cfg, predictor, "40x4");
+        SpeculationControl sc;
+        sc.gateThreshold = 1;
+        CoreStats pol = runTiming(
+                            spec, cfg, predictor,
+                            [lambda] {
+                                PerceptronConfParams p;
+                                p.lambda = lambda;
+                                return std::make_unique<
+                                    PerceptronConfidence>(p);
+                            },
+                            sc, t)
+                            .stats;
+        GatingMetrics m = gatingMetrics(base, pol);
+        pt.metrics.uopReductionPct += m.uopReductionPct;
+        pt.metrics.perfLossPct += m.perfLossPct;
+        mpk += base.mispredictsPerKuop();
+    }
+    double n = static_cast<double>(allBenchmarks().size());
+    pt.metrics.uopReductionPct /= n;
+    pt.metrics.perfLossPct /= n;
+    pt.mispredictsPerKuop = mpk / n;
+    return pt;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 5: effect of a better baseline branch predictor",
+           "Akkary et al., HPCA 2004, Table 5");
+
+    BaselineCache cache;
+
+    AsciiTable table({"baseline predictor", "misp/Kuop", "lambda",
+                      "U%", "P%"});
+    // Paper points: bimodal-gshare at 25/0/-25/-50 (U 8/11/14/18,
+    // P 0/1/2/3); gshare-perceptron at 0/-25/-50/-60 (U 4/8/12/14).
+    for (int lambda : {25, 0, -25, -50}) {
+        Point pt = runPoint(cache, "bimodal-gshare", lambda);
+        table.addRow({"bimodal-gshare",
+                      fmtFixed(pt.mispredictsPerKuop, 1),
+                      std::to_string(lambda),
+                      fmtFixed(pt.metrics.uopReductionPct, 0),
+                      fmtFixed(pt.metrics.perfLossPct, 0)});
+    }
+    table.addSeparator();
+    for (int lambda : {0, -25, -50, -60}) {
+        Point pt = runPoint(cache, "gshare-perceptron", lambda);
+        table.addRow({"gshare-perceptron",
+                      fmtFixed(pt.mispredictsPerKuop, 1),
+                      std::to_string(lambda),
+                      fmtFixed(pt.metrics.uopReductionPct, 0),
+                      fmtFixed(pt.metrics.perfLossPct, 0)});
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\npaper shape: with the better baseline predictor "
+                "(fewer mispredicts), the reduction in total "
+                "execution at matched performance loss shrinks, but "
+                "remains significant.\n");
+    return 0;
+}

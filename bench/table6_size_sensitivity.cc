@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reproduces paper Table 6: perceptron array size sensitivity.
+ * Configurations PxWyHz (x entries, y bits/weight, z history bits)
+ * at 4KB, 3KB and 2KB, with PL1 gating on the 40-cycle machine.
+ */
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "confidence/perceptron_conf.hh"
+
+using namespace percon;
+using namespace percon::bench;
+
+namespace {
+
+struct Config
+{
+    const char *label;
+    const char *size;
+    std::size_t entries;
+    unsigned weightBits;
+    unsigned historyBits;
+    int paperP;
+    int paperU;
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 6: perceptron size sensitivity (PL1 gating, "
+           "40-cycle pipeline)",
+           "Akkary et al., HPCA 2004, Table 6");
+
+    // Paper rows, with its P (perf loss) and U (uop reduction).
+    const Config configs[] = {
+        {"P128W8H32", "4 KB", 128, 8, 32, 1, 11},
+        {"P96W8H32", "3 KB", 128, 8, 32, 1, 11},  // see note below
+        {"P128W6H32", "3 KB", 128, 6, 32, 2, 10},
+        {"P128W8H24", "3 KB", 128, 8, 24, 1, 10},
+        {"P64W8H32", "2 KB", 64, 8, 32, 1, 10},
+        {"P128W4H32", "2 KB", 128, 4, 32, 6, 8},
+        {"P128W8H16", "2 KB", 128, 8, 16, 1, 8},
+    };
+
+    BaselineCache cache;
+    PipelineConfig cfg = PipelineConfig::deep40x4();
+    TimingConfig t = timingConfig();
+
+    AsciiTable table({"config", "size", "P%", "U%", "P% (paper)",
+                      "U% (paper)"});
+
+    for (const Config &c : configs) {
+        // Our arrays are power-of-two indexed; P96 is approximated
+        // by P128 with the same weight/history budget (the paper
+        // itself found entry count the least sensitive knob).
+        GatingMetrics sum;
+        for (const auto &spec : allBenchmarks()) {
+            const CoreStats &base =
+                cache.get(spec, cfg, "bimodal-gshare", "40x4");
+            SpeculationControl sc;
+            sc.gateThreshold = 1;
+            CoreStats pol =
+                runTiming(spec, cfg, "bimodal-gshare",
+                          [&c] {
+                              PerceptronConfParams p;
+                              p.entries = c.entries;
+                              p.weightBits = c.weightBits;
+                              p.historyBits = c.historyBits;
+                              p.lambda = 0;
+                              return std::make_unique<
+                                  PerceptronConfidence>(p);
+                          },
+                          sc, t)
+                    .stats;
+            GatingMetrics m = gatingMetrics(base, pol);
+            sum.uopReductionPct += m.uopReductionPct;
+            sum.perfLossPct += m.perfLossPct;
+        }
+        double n = static_cast<double>(allBenchmarks().size());
+        table.addRow({c.label, c.size,
+                      fmtFixed(sum.perfLossPct / n, 0),
+                      fmtFixed(sum.uopReductionPct / n, 0),
+                      std::to_string(c.paperP),
+                      std::to_string(c.paperU)});
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\npaper shape: weight width is the most sensitive "
+                "parameter (W4 hurts performance), history length "
+                "mainly costs uop reduction, entry count matters "
+                "least.\n");
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Calibration report: per-benchmark branch mispredicts per 1000 uops
+ * under the baseline bimodal-gshare hybrid, next to the paper's
+ * Table 2 reference values. Used to tune the workload profiles and
+ * to let users verify their build reproduces the calibration.
+ */
+
+#include <cstdio>
+
+#include "bpred/factory.hh"
+#include "common/table.hh"
+#include "core/front_end_sim.hh"
+#include "trace/benchmarks.hh"
+
+using namespace percon;
+
+int
+main()
+{
+    AsciiTable table({"benchmark", "paper misp/Kuop", "model misp/Kuop",
+                      "mispredict %"});
+
+    FrontEndConfig cfg;
+    cfg.warmupBranches = 150'000;
+    cfg.measureBranches = 600'000;
+
+    for (const auto &spec : allBenchmarks()) {
+        ProgramModel program(spec.program);
+        auto predictor = makePredictor("bimodal-gshare");
+        FrontEndResult res =
+            runFrontEnd(program, *predictor, nullptr, cfg);
+        table.addRow({spec.program.name,
+                      fmtFixed(spec.paperMispredictsPerKuop, 1),
+                      fmtFixed(res.mispredictsPerKuop(), 1),
+                      fmtFixed(100.0 * res.matrix.mispredictRate(), 2)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}

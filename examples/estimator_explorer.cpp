@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Estimator explorer: sweeps the classification threshold of any
+ * estimator on any benchmark and prints the coverage/accuracy curve
+ * (the ROC-style view behind the paper's Table 3), so design points
+ * can be picked by eye.
+ *
+ * Usage: estimator_explorer [benchmark] [estimator]
+ *   estimator: jrs | perceptron   (threshold families differ)
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "bpred/factory.hh"
+#include "common/table.hh"
+#include "confidence/jrs.hh"
+#include "confidence/perceptron_conf.hh"
+#include "core/front_end_sim.hh"
+#include "trace/benchmarks.hh"
+
+using namespace percon;
+
+namespace {
+
+ConfidenceMatrix
+runOnce(const std::string &bench,
+        std::unique_ptr<ConfidenceEstimator> est)
+{
+    ProgramModel program(benchmarkSpec(bench).program);
+    auto predictor = makePredictor("bimodal-gshare");
+    FrontEndConfig cfg;
+    cfg.warmupBranches = 80'000;
+    cfg.measureBranches = 300'000;
+    return runFrontEnd(program, *predictor, est.get(), cfg).matrix;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "gcc";
+    std::string family = argc > 2 ? argv[2] : "perceptron";
+
+    std::printf("coverage/accuracy sweep: %s estimator on %s\n\n",
+                family.c_str(), bench.c_str());
+
+    AsciiTable table({"threshold", "PVN %", "Spec %", "flagged %"});
+
+    if (family == "jrs") {
+        for (unsigned lambda = 1; lambda <= 15; lambda += 2) {
+            ConfidenceMatrix m = runOnce(
+                bench, std::make_unique<JrsEstimator>(8 * 1024, 4,
+                                                      lambda, true));
+            table.addRow(
+                {std::to_string(lambda), fmtFixed(100 * m.pvn(), 1),
+                 fmtFixed(100 * m.spec(), 1),
+                 fmtFixed(100.0 * m.lowConfidence() / m.total(), 1)});
+        }
+    } else if (family == "perceptron") {
+        for (int lambda : {100, 50, 25, 0, -25, -50, -75, -100, -150}) {
+            PerceptronConfParams p;
+            p.lambda = lambda;
+            ConfidenceMatrix m = runOnce(
+                bench, std::make_unique<PerceptronConfidence>(p));
+            table.addRow(
+                {std::to_string(lambda), fmtFixed(100 * m.pvn(), 1),
+                 fmtFixed(100 * m.spec(), 1),
+                 fmtFixed(100.0 * m.lowConfidence() / m.total(), 1)});
+        }
+    } else {
+        std::fprintf(stderr, "unknown family '%s' (jrs|perceptron)\n",
+                     family.c_str());
+        return 1;
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\npick gating thresholds where PVN stays high; pick "
+                "reversal thresholds where PVN crosses 50%%.\n");
+    return 0;
+}

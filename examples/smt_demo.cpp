@@ -1,0 +1,100 @@
+/**
+ * @file
+ * SMT demo: co-schedules two calibrated workloads on the two-thread
+ * core and shows how perceptron gating of the hard thread's
+ * low-confidence stretches affects both threads — with shared
+ * structures (where wrong-path work steals from the co-runner) and
+ * with per-thread partitions.
+ *
+ * Usage: smt_demo [hard-bench] [clean-bench] [uops-per-thread]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bpred/factory.hh"
+#include "common/table.hh"
+#include "confidence/perceptron_conf.hh"
+#include "trace/benchmarks.hh"
+#include "uarch/smt_core.hh"
+
+using namespace percon;
+
+namespace {
+
+struct Run
+{
+    double ipcA, ipcB, combined;
+    Count wrongPathA;
+};
+
+Run
+once(const std::string &a_name, const std::string &b_name, bool gated,
+     bool shared, Count uops)
+{
+    ProgramModel a(benchmarkSpec(a_name).program);
+    ProgramModel b(benchmarkSpec(b_name).program);
+    WrongPathSynthesizer wa(benchmarkSpec(a_name).program, 0x11);
+    WrongPathSynthesizer wb(benchmarkSpec(b_name).program, 0x22);
+    auto predictor = makePredictor("bimodal-gshare");
+
+    std::unique_ptr<ConfidenceEstimator> est;
+    SpeculationControl sc;
+    if (gated) {
+        PerceptronConfParams p;
+        p.lambda = 0;
+        p.entries = 512;
+        est = std::make_unique<PerceptronConfidence>(p);
+        sc.gateThreshold = 1;
+    }
+
+    SmtCore core(PipelineConfig::base20x4(), {{{&a, &wa}, {&b, &wb}}},
+                 *predictor, est.get(), sc, SmtFetchPolicy::Icount,
+                 shared);
+    core.warmup(uops / 3);
+    core.run(uops);
+
+    Run r;
+    r.ipcA = static_cast<double>(core.stats(0).retiredUops) /
+             static_cast<double>(core.stats(0).cycles);
+    r.ipcB = static_cast<double>(core.stats(1).retiredUops) /
+             static_cast<double>(core.stats(1).cycles);
+    r.combined = core.combinedIpc();
+    r.wrongPathA = core.stats(0).wrongPathExecuted;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string hard = argc > 1 ? argv[1] : "mcf";
+    std::string clean = argc > 2 ? argv[2] : "vortex";
+    Count uops = argc > 3 ? std::atoll(argv[3]) : 300'000;
+
+    std::printf("SMT pair: %s (hard) + %s (clean), %llu uops per "
+                "thread, 20-cycle 4-wide machine\n\n",
+                hard.c_str(), clean.c_str(),
+                static_cast<unsigned long long>(uops));
+
+    AsciiTable table({"structures", "policy", "IPC hard", "IPC clean",
+                      "combined", "hard wrong-path uops"});
+    for (bool shared : {true, false}) {
+        for (bool gated : {false, true}) {
+            Run r = once(hard, clean, gated, shared, uops);
+            table.addRow({shared ? "shared" : "partitioned",
+                          gated ? "perceptron gated" : "ungated",
+                          fmtFixed(r.ipcA, 2), fmtFixed(r.ipcB, 2),
+                          fmtFixed(r.combined, 2),
+                          std::to_string(r.wrongPathA)});
+        }
+        table.addSeparator();
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\nwith shared structures the clean thread gains when "
+                "the hard thread is gated; partitions close the theft "
+                "channel.\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Workload anatomy: dissects one calibrated benchmark by branch
+ * behaviour category — dynamic share, misprediction rate under the
+ * baseline hybrid, and how the perceptron confidence estimator
+ * classifies each category (flag rate, per-category PVN/Spec).
+ *
+ * This is the diagnostic that justifies the EXPERIMENTS.md claim
+ * that the history-attributable misprediction share (deep-pattern
+ * triggers, loop exits) is classified with high accuracy while
+ * IID-hard branches bound every estimator's aggregate PVN.
+ *
+ * Usage: workload_anatomy [benchmark]
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bpred/factory.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "confidence/perceptron_conf.hh"
+#include "trace/benchmarks.hh"
+
+using namespace percon;
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = argc > 1 ? argv[1] : "gzip";
+    const BenchmarkSpec &spec = benchmarkSpec(bench);
+
+    ProgramModel program(spec.program);
+    auto predictor = makePredictor("bimodal-gshare");
+    PerceptronConfParams params;
+    params.lambda = 0;
+    PerceptronConfidence estimator(params);
+
+    struct CategoryStats
+    {
+        Count n = 0, misp = 0, flagged = 0, flaggedMisp = 0;
+    };
+    std::map<std::string, CategoryStats> categories;
+
+    std::uint64_t ghr = 0;
+    const Count warmup = 150'000, measure = 600'000;
+    for (Count i = 0; i < warmup + measure; ++i) {
+        unsigned skipped = 0;
+        MicroOp br = program.nextBranch(skipped);
+        PredMeta meta;
+        bool pred = predictor->predict(br.pc, ghr, meta);
+        bool misp = pred != br.taken;
+        ConfidenceInfo info = estimator.estimate(br.pc, ghr, pred);
+
+        if (i >= warmup) {
+            const StaticBranch &sb =
+                program.staticBranch(program.indexForPc(br.pc));
+            CategoryStats &c = categories[sb.behavior->kind()];
+            ++c.n;
+            c.misp += misp;
+            if (info.low) {
+                ++c.flagged;
+                c.flaggedMisp += misp;
+            }
+        }
+        predictor->update(br.pc, ghr, br.taken, meta);
+        estimator.train(br.pc, ghr, pred, misp, info);
+        ghr = (ghr << 1) | (br.taken ? 1u : 0u);
+    }
+
+    std::printf("benchmark %s (paper %.1f mispredicts/Kuop), "
+                "%llu branches measured\n\n",
+                bench.c_str(), spec.paperMispredictsPerKuop,
+                static_cast<unsigned long long>(measure));
+
+    AsciiTable table({"category", "share %", "mispredict %",
+                      "of all mispredicts %", "flagged %", "PVN %",
+                      "Spec %"});
+    Count total_misp = 0;
+    for (const auto &[kind, c] : categories)
+        total_misp += c.misp;
+    for (const auto &[kind, c] : categories) {
+        table.addRow(
+            {kind, fmtFixed(100.0 * c.n / measure, 1),
+             fmtFixed(c.n ? 100.0 * c.misp / c.n : 0.0, 1),
+             fmtFixed(total_misp ? 100.0 * c.misp / total_misp : 0.0,
+                      1),
+             fmtFixed(c.n ? 100.0 * c.flagged / c.n : 0.0, 1),
+             fmtFixed(c.flagged ? 100.0 * c.flaggedMisp / c.flagged
+                                : 0.0,
+                      1),
+             fmtFixed(c.misp ? 100.0 * c.flaggedMisp / c.misp : 0.0,
+                      1)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    std::printf("\ncategories: biased = strongly biased with bursty "
+                "deviations; hard = IID weakly biased (irreducible); "
+                "deep = driver-triggered deviations beyond the "
+                "predictor's history reach; loop = back-edges;\n"
+                "correlated/parity/local/phased = other structured "
+                "behaviours (see src/trace/branch_model.hh).\n");
+    return 0;
+}

@@ -1,0 +1,26 @@
+# gnuplot script for the Figure 4-7 density functions.
+#
+# Usage:
+#   ./build/bench/fig4_5_density_cic | awk '/^ *-?[0-9]/ {print}' > cic.dat
+#   gnuplot -e "datafile='cic.dat'; outfile='fig4.png'" scripts/plot_density.gp
+#
+# Column 1: perceptron output (bucket center)
+# Column 2: correctly predicted branches (CB)
+# Column 3: mispredicted branches (MB)
+
+if (!exists("datafile")) datafile = "cic.dat"
+if (!exists("outfile")) outfile = "density.png"
+
+set terminal pngcairo size 1000,600 font "sans,11"
+set output outfile
+
+set xlabel "perceptron output"
+set ylabel "CB density"
+set y2label "MB density"
+set ytics nomirror
+set y2tics
+set grid x
+set key top left
+
+plot datafile using 1:2 axes x1y1 with lines lw 2 title "CB (correct)", \
+     datafile using 1:3 axes x1y2 with lines lw 2 dashtype 2 title "MB (mispredicted)"

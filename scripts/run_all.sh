@@ -1,0 +1,25 @@
+#!/bin/sh
+# Build, test and regenerate every paper table/figure.
+#
+#   scripts/run_all.sh [uops-per-run]
+#
+# Results land in test_output.txt and bench_output.txt at the repo
+# root (the files EXPERIMENTS.md refers to).
+set -e
+cd "$(dirname "$0")/.."
+
+UOPS="${1:-600000}"
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+    case "$b" in
+      *CMakeFiles*|*cmake*|*CTest*) continue ;;
+    esac
+    [ -x "$b" ] || continue
+    echo "===== $(basename "$b")" | tee -a bench_output.txt
+    PERCON_UOPS="$UOPS" "$b" 2>&1 | tee -a bench_output.txt
+done

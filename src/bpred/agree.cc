@@ -1,0 +1,77 @@
+#include "agree.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+AgreePredictor::AgreePredictor(std::size_t entries,
+                               unsigned history_bits,
+                               std::size_t bias_entries)
+    : historyBits_(history_bits)
+{
+    PERCON_ASSERT(entries >= 2 && std::has_single_bit(entries),
+                  "agree entries must be a power of two");
+    PERCON_ASSERT(bias_entries >= 2 && std::has_single_bit(bias_entries),
+                  "bias entries must be a power of two");
+    agree_.assign(entries, SatCounter(2, 2));  // weakly agree
+    bias_.assign(bias_entries, 1);
+    biasValid_.assign(bias_entries, false);
+}
+
+std::size_t
+AgreePredictor::agreeIndex(Addr pc, std::uint64_t ghr) const
+{
+    std::uint64_t mask = (1ULL << historyBits_) - 1;
+    return ((pc >> 2) ^ (ghr & mask)) & (agree_.size() - 1);
+}
+
+std::size_t
+AgreePredictor::biasIndex(Addr pc) const
+{
+    return (pc >> 2) & (bias_.size() - 1);
+}
+
+bool
+AgreePredictor::biasFor(Addr pc) const
+{
+    return bias_[biasIndex(pc)] != 0;
+}
+
+bool
+AgreePredictor::predict(Addr pc, std::uint64_t ghr, PredMeta &meta)
+{
+    bool agree = agree_[agreeIndex(pc, ghr)].msb();
+    bool bias = biasFor(pc);
+    bool taken = agree ? bias : !bias;
+    meta.taken = taken;
+    return taken;
+}
+
+void
+AgreePredictor::update(Addr pc, std::uint64_t ghr, bool taken,
+                       const PredMeta &)
+{
+    std::size_t bi = biasIndex(pc);
+    if (!biasValid_[bi]) {
+        // First-time bias: the branch's first outcome (the common
+        // heuristic from the original paper).
+        bias_[bi] = taken ? 1 : 0;
+        biasValid_[bi] = true;
+    }
+    bool agreed = taken == (bias_[bi] != 0);
+    SatCounter &ctr = agree_[agreeIndex(pc, ghr)];
+    if (agreed)
+        ctr.increment();
+    else
+        ctr.decrement();
+}
+
+std::size_t
+AgreePredictor::storageBits() const
+{
+    return agree_.size() * 2 + bias_.size() * 1;
+}
+
+} // namespace percon

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Agree predictor (Sprangle et al., ISCA'97): the pattern table
+ * predicts *agreement with a per-branch bias bit* rather than a
+ * direction. Destructive aliasing between counters becomes mostly
+ * harmless because two branches sharing a counter usually both agree
+ * with their own biases.
+ *
+ * Included both as a baseline predictor and because "predicting
+ * agreement" is the direction-prediction cousin of confidence
+ * estimation: the agree table learns the same correct/deviate
+ * structure the paper's estimator keys on.
+ */
+
+#ifndef PERCON_BPRED_AGREE_HH
+#define PERCON_BPRED_AGREE_HH
+
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace percon {
+
+class AgreePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param entries agree-counter table size (power of two)
+     * @param history_bits history bits XOR'd into the index
+     * @param bias_entries per-branch bias-bit table (power of two)
+     */
+    explicit AgreePredictor(std::size_t entries = 64 * 1024,
+                            unsigned history_bits = 16,
+                            std::size_t bias_entries = 16 * 1024);
+
+    bool predict(Addr pc, std::uint64_t ghr, PredMeta &meta) override;
+    void update(Addr pc, std::uint64_t ghr, bool taken,
+                const PredMeta &meta) override;
+
+    const char *name() const override { return "agree"; }
+    std::size_t storageBits() const override;
+
+    /** The bias bit currently stored for a PC (for tests). */
+    bool biasFor(Addr pc) const;
+
+  private:
+    std::size_t agreeIndex(Addr pc, std::uint64_t ghr) const;
+    std::size_t biasIndex(Addr pc) const;
+
+    std::vector<SatCounter> agree_;
+    /** Bias bits with a set-once valid flag: first outcome wins. */
+    std::vector<std::uint8_t> bias_;
+    std::vector<bool> biasValid_;
+    unsigned historyBits_;
+};
+
+} // namespace percon
+
+#endif // PERCON_BPRED_AGREE_HH

@@ -1,0 +1,56 @@
+#include "bimodal.hh"
+
+#include "common/logging.hh"
+
+namespace percon {
+
+BimodalPredictor::BimodalPredictor(std::size_t entries,
+                                   unsigned counter_bits)
+    : counterBits_(counter_bits)
+{
+    PERCON_ASSERT(entries >= 2 && (entries & (entries - 1)) == 0,
+                  "bimodal entries must be a power of two");
+    table_.assign(entries, SatCounter(counter_bits,
+                                      (1u << counter_bits) / 2));
+}
+
+std::size_t
+BimodalPredictor::indexFor(Addr pc) const
+{
+    // Drop the byte-offset bits; conditional branches are 4B apart.
+    return (pc >> 2) & (table_.size() - 1);
+}
+
+const SatCounter &
+BimodalPredictor::counterFor(Addr pc) const
+{
+    return table_[indexFor(pc)];
+}
+
+bool
+BimodalPredictor::predict(Addr pc, std::uint64_t, PredMeta &meta)
+{
+    bool taken = table_[indexFor(pc)].msb();
+    meta.taken = taken;
+    meta.bimodalPred = taken;
+    return taken;
+}
+
+void
+BimodalPredictor::update(Addr pc, std::uint64_t, bool taken,
+                         const PredMeta &)
+{
+    SatCounter &ctr = table_[indexFor(pc)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+}
+
+std::size_t
+BimodalPredictor::storageBits() const
+{
+    return table_.size() * counterBits_;
+}
+
+} // namespace percon

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Bimodal (Smith) predictor: PC-indexed 2-bit saturating counters.
+ */
+
+#ifndef PERCON_BPRED_BIMODAL_HH
+#define PERCON_BPRED_BIMODAL_HH
+
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace percon {
+
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    /** @param entries table size, must be a power of two. */
+    explicit BimodalPredictor(std::size_t entries = 16 * 1024,
+                              unsigned counter_bits = 2);
+
+    bool predict(Addr pc, std::uint64_t ghr, PredMeta &meta) override;
+    void update(Addr pc, std::uint64_t ghr, bool taken,
+                const PredMeta &meta) override;
+
+    const char *name() const override { return "bimodal"; }
+    std::size_t storageBits() const override;
+
+    /** Direct counter access for the Smith confidence estimator. */
+    const SatCounter &counterFor(Addr pc) const;
+
+  private:
+    std::size_t indexFor(Addr pc) const;
+
+    std::vector<SatCounter> table_;
+    unsigned counterBits_;
+};
+
+} // namespace percon
+
+#endif // PERCON_BPRED_BIMODAL_HH

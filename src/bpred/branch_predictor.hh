@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Branch predictor interface.
+ *
+ * Predictors are pure table machines: predict() and update() take the
+ * global history bits explicitly, so one speculative-history manager
+ * (SpecHistory) can serve the predictor and the confidence estimator
+ * and handle checkpoint/restore on misprediction recovery in a single
+ * place, exactly as the front end of a real machine would.
+ */
+
+#ifndef PERCON_BPRED_BRANCH_PREDICTOR_HH
+#define PERCON_BPRED_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace percon {
+
+/**
+ * Per-prediction metadata threaded from predict() to update().
+ *
+ * Real hardware carries this in the branch's pipeline payload; we
+ * carry it in the in-flight branch record.
+ */
+struct PredMeta
+{
+    bool taken = false;            ///< final prediction
+    bool bimodalPred = false;      ///< hybrid: bimodal component
+    bool gsharePred = false;       ///< hybrid: gshare component
+    bool perceptronPred = false;   ///< hybrid: perceptron component
+    std::int32_t perceptronOut = 0;///< perceptron dot-product output
+};
+
+/** Abstract conditional branch direction predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /**
+     * Predict the branch at @p pc given speculative global history
+     * @p ghr (most recent branch in bit 0). Fills @p meta.
+     * @return predicted direction (true = taken)
+     */
+    virtual bool predict(Addr pc, std::uint64_t ghr, PredMeta &meta) = 0;
+
+    /**
+     * Retire-time training with the architectural outcome.
+     * @param ghr the history bits that were used at predict time
+     */
+    virtual void update(Addr pc, std::uint64_t ghr, bool taken,
+                        const PredMeta &meta) = 0;
+
+    /** Predictor family name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Total table storage in bits (for cost accounting). */
+    virtual std::size_t storageBits() const = 0;
+};
+
+/**
+ * Speculative global history with recovery.
+ *
+ * The front end pushes each *predicted* outcome at fetch; when a
+ * branch resolves mispredicted, restore() rewinds to the checkpoint
+ * taken at that branch's prediction and pushes the actual outcome,
+ * discarding the history contributed by the squashed wrong path.
+ */
+class SpecHistory
+{
+  public:
+    /** Current speculative history bits. */
+    std::uint64_t bits() const { return bits_; }
+
+    /** Checkpoint for an about-to-be-predicted branch. */
+    std::uint64_t checkpoint() const { return bits_; }
+
+    /** Speculatively shift in a predicted outcome. */
+    void push(bool taken) { bits_ = (bits_ << 1) | (taken ? 1u : 0u); }
+
+    /** Recover after a mispredict: rewind and apply the truth. */
+    void
+    recover(std::uint64_t snapshot, bool actual_taken)
+    {
+        bits_ = (snapshot << 1) | (actual_taken ? 1u : 0u);
+    }
+
+    void clear() { bits_ = 0; }
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_BPRED_BRANCH_PREDICTOR_HH

@@ -1,0 +1,74 @@
+#include "btb.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+Btb::Btb(std::size_t entries, unsigned ways) : ways_(ways)
+{
+    PERCON_ASSERT(entries >= 2 && std::has_single_bit(entries),
+                  "BTB entries must be a power of two");
+    PERCON_ASSERT(ways >= 1 && entries % ways == 0,
+                  "BTB ways must divide entries");
+    sets_ = entries / ways;
+    PERCON_ASSERT(std::has_single_bit(sets_),
+                  "BTB set count must be a power of two");
+    entries_.assign(entries, Entry{});
+}
+
+std::size_t
+Btb::setFor(Addr pc) const
+{
+    return (pc >> 2) & (sets_ - 1);
+}
+
+std::optional<Addr>
+Btb::lookup(Addr pc)
+{
+    Entry *base = &entries_[setFor(pc) * ways_];
+    ++useClock_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == pc) {
+            base[w].lastUse = useClock_;
+            ++hits_;
+            return base[w].target;
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    Entry *base = &entries_[setFor(pc) * ways_];
+    ++useClock_;
+    unsigned victim = 0;
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == pc) {
+            victim = w;
+            break;
+        }
+        if (!base[w].valid) {
+            victim = w;
+            break;
+        }
+        if (base[w].lastUse < base[victim].lastUse)
+            victim = w;
+    }
+    base[victim].valid = true;
+    base[victim].tag = pc;
+    base[victim].target = target;
+    base[victim].lastUse = useClock_;
+}
+
+std::size_t
+Btb::storageBits() const
+{
+    // tag + target (approx. 32b each) + valid per entry.
+    return entries_.size() * (32 + 32 + 1);
+}
+
+} // namespace percon

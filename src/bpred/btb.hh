@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Branch target buffer: a set-associative cache of branch targets.
+ *
+ * The direction predictor can say "taken" but fetch can only be
+ * redirected if the target is known; a BTB miss on a predicted-taken
+ * branch costs a fetch bubble while decode produces the target. With
+ * conditional direct branches (this model's population) the BTB
+ * mostly pays cold and capacity misses, as in real front ends.
+ */
+
+#ifndef PERCON_BPRED_BTB_HH
+#define PERCON_BPRED_BTB_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace percon {
+
+class Btb
+{
+  public:
+    /**
+     * @param entries total entries (power of two)
+     * @param ways set associativity (power of two, <= entries)
+     */
+    explicit Btb(std::size_t entries = 4096, unsigned ways = 4);
+
+    /** Look up the target for a branch PC. */
+    std::optional<Addr> lookup(Addr pc);
+
+    /** Install or refresh a (pc, target) pair. */
+    void update(Addr pc, Addr target);
+
+    Count hits() const { return hits_; }
+    Count misses() const { return misses_; }
+    std::size_t storageBits() const;
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        Addr target = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t setFor(Addr pc) const;
+
+    std::vector<Entry> entries_;
+    std::size_t sets_;
+    unsigned ways_;
+    std::uint64_t useClock_ = 0;
+    Count hits_ = 0;
+    Count misses_ = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_BPRED_BTB_HH

@@ -1,0 +1,52 @@
+#include "factory.hh"
+
+#include "bpred/agree.hh"
+#include "bpred/bimodal.hh"
+#include "bpred/gselect.hh"
+#include "bpred/gshare.hh"
+#include "bpred/hybrid.hh"
+#include "bpred/pas.hh"
+#include "bpred/perceptron_pred.hh"
+#include "bpred/tage.hh"
+#include "bpred/yags.hh"
+#include "common/logging.hh"
+
+namespace percon {
+
+const std::vector<std::string> &
+predictorNames()
+{
+    static const std::vector<std::string> names = {
+        "bimodal", "gshare", "gselect", "agree", "yags", "pas",
+        "perceptron", "tage", "bimodal-gshare", "gshare-perceptron",
+    };
+    return names;
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const std::string &name)
+{
+    if (name == "bimodal")
+        return std::make_unique<BimodalPredictor>();
+    if (name == "gshare")
+        return std::make_unique<GsharePredictor>();
+    if (name == "gselect")
+        return std::make_unique<GselectPredictor>();
+    if (name == "agree")
+        return std::make_unique<AgreePredictor>();
+    if (name == "yags")
+        return std::make_unique<YagsPredictor>();
+    if (name == "pas")
+        return std::make_unique<PAsPredictor>();
+    if (name == "perceptron")
+        return std::make_unique<PerceptronPredictor>();
+    if (name == "tage")
+        return std::make_unique<TagePredictor>();
+    if (name == "bimodal-gshare")
+        return makeBaselineHybrid();
+    if (name == "gshare-perceptron")
+        return makeGsharePerceptronHybrid();
+    fatal("unknown predictor '%s'", name.c_str());
+}
+
+} // namespace percon

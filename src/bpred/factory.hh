@@ -1,0 +1,29 @@
+/**
+ * @file
+ * String-keyed predictor factory used by examples and benches.
+ */
+
+#ifndef PERCON_BPRED_FACTORY_HH
+#define PERCON_BPRED_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+
+namespace percon {
+
+/** Known predictor configuration names. */
+const std::vector<std::string> &predictorNames();
+
+/**
+ * Build a predictor by name: "bimodal", "gshare", "pas",
+ * "perceptron", "bimodal-gshare" (paper baseline),
+ * "gshare-perceptron" (§5.2). fatal() on unknown names.
+ */
+std::unique_ptr<BranchPredictor> makePredictor(const std::string &name);
+
+} // namespace percon
+
+#endif // PERCON_BPRED_FACTORY_HH

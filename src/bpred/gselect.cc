@@ -1,0 +1,56 @@
+#include "gselect.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+GselectPredictor::GselectPredictor(std::size_t entries,
+                                   unsigned history_bits)
+    : historyBits_(history_bits)
+{
+    PERCON_ASSERT(entries >= 2 && std::has_single_bit(entries),
+                  "gselect entries must be a power of two");
+    unsigned index_bits =
+        static_cast<unsigned>(std::countr_zero(entries));
+    PERCON_ASSERT(history_bits < index_bits,
+                  "history must leave room for PC bits");
+    pcBits_ = index_bits - history_bits;
+    table_.assign(entries, SatCounter(2, 2));
+}
+
+std::size_t
+GselectPredictor::indexFor(Addr pc, std::uint64_t ghr) const
+{
+    std::uint64_t pc_part = (pc >> 2) & ((1ULL << pcBits_) - 1);
+    std::uint64_t hist_part = ghr & ((1ULL << historyBits_) - 1);
+    return (pc_part << historyBits_) | hist_part;
+}
+
+bool
+GselectPredictor::predict(Addr pc, std::uint64_t ghr, PredMeta &meta)
+{
+    bool taken = table_[indexFor(pc, ghr)].msb();
+    meta.taken = taken;
+    return taken;
+}
+
+void
+GselectPredictor::update(Addr pc, std::uint64_t ghr, bool taken,
+                         const PredMeta &)
+{
+    SatCounter &ctr = table_[indexFor(pc, ghr)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+}
+
+std::size_t
+GselectPredictor::storageBits() const
+{
+    return table_.size() * 2;
+}
+
+} // namespace percon

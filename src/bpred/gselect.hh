@@ -1,0 +1,46 @@
+/**
+ * @file
+ * gselect predictor (McFarling): 2-bit counters indexed by the
+ * concatenation of low PC bits and global history bits — the
+ * alternative to gshare's XOR studied in TN-36.
+ */
+
+#ifndef PERCON_BPRED_GSELECT_HH
+#define PERCON_BPRED_GSELECT_HH
+
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace percon {
+
+class GselectPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param entries table size (power of two)
+     * @param history_bits history bits in the index; the remaining
+     *        index bits come from the PC
+     */
+    explicit GselectPredictor(std::size_t entries = 64 * 1024,
+                              unsigned history_bits = 8);
+
+    bool predict(Addr pc, std::uint64_t ghr, PredMeta &meta) override;
+    void update(Addr pc, std::uint64_t ghr, bool taken,
+                const PredMeta &meta) override;
+
+    const char *name() const override { return "gselect"; }
+    std::size_t storageBits() const override;
+
+  private:
+    std::size_t indexFor(Addr pc, std::uint64_t ghr) const;
+
+    std::vector<SatCounter> table_;
+    unsigned historyBits_;
+    unsigned pcBits_;
+};
+
+} // namespace percon
+
+#endif // PERCON_BPRED_GSELECT_HH

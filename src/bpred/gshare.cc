@@ -1,0 +1,53 @@
+#include "gshare.hh"
+
+#include "common/logging.hh"
+
+namespace percon {
+
+GsharePredictor::GsharePredictor(std::size_t entries,
+                                 unsigned history_bits)
+    : historyBits_(history_bits)
+{
+    PERCON_ASSERT(entries >= 2 && (entries & (entries - 1)) == 0,
+                  "gshare entries must be a power of two");
+    PERCON_ASSERT(history_bits >= 1 && history_bits <= 32,
+                  "bad gshare history length %u", history_bits);
+    table_.assign(entries, SatCounter(2, 2));
+}
+
+std::size_t
+GsharePredictor::indexFor(Addr pc, std::uint64_t ghr) const
+{
+    std::uint64_t hist_mask = historyBits_ >= 64
+                                  ? ~0ULL
+                                  : ((1ULL << historyBits_) - 1);
+    return ((pc >> 2) ^ (ghr & hist_mask)) & (table_.size() - 1);
+}
+
+bool
+GsharePredictor::predict(Addr pc, std::uint64_t ghr, PredMeta &meta)
+{
+    bool taken = table_[indexFor(pc, ghr)].msb();
+    meta.taken = taken;
+    meta.gsharePred = taken;
+    return taken;
+}
+
+void
+GsharePredictor::update(Addr pc, std::uint64_t ghr, bool taken,
+                        const PredMeta &)
+{
+    SatCounter &ctr = table_[indexFor(pc, ghr)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+}
+
+std::size_t
+GsharePredictor::storageBits() const
+{
+    return table_.size() * 2;
+}
+
+} // namespace percon

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * gshare predictor (McFarling): 2-bit counters indexed by
+ * PC XOR global-history.
+ */
+
+#ifndef PERCON_BPRED_GSHARE_HH
+#define PERCON_BPRED_GSHARE_HH
+
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace percon {
+
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param entries table size (power of two)
+     * @param history_bits history bits XOR'd into the index
+     */
+    explicit GsharePredictor(std::size_t entries = 64 * 1024,
+                             unsigned history_bits = 16);
+
+    bool predict(Addr pc, std::uint64_t ghr, PredMeta &meta) override;
+    void update(Addr pc, std::uint64_t ghr, bool taken,
+                const PredMeta &meta) override;
+
+    const char *name() const override { return "gshare"; }
+    std::size_t storageBits() const override;
+
+    unsigned historyBits() const { return historyBits_; }
+
+  private:
+    std::size_t indexFor(Addr pc, std::uint64_t ghr) const;
+
+    std::vector<SatCounter> table_;
+    unsigned historyBits_;
+};
+
+} // namespace percon
+
+#endif // PERCON_BPRED_GSHARE_HH

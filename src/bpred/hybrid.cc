@@ -1,0 +1,98 @@
+#include "hybrid.hh"
+
+#include "bpred/bimodal.hh"
+#include "bpred/gshare.hh"
+#include "bpred/perceptron_pred.hh"
+#include "common/logging.hh"
+
+namespace percon {
+
+HybridPredictor::HybridPredictor(std::unique_ptr<BranchPredictor> first,
+                                 std::unique_ptr<BranchPredictor> second,
+                                 std::size_t meta_entries,
+                                 std::string name)
+    : first_(std::move(first)), second_(std::move(second)),
+      name_(std::move(name))
+{
+    PERCON_ASSERT(meta_entries >= 2 &&
+                      (meta_entries & (meta_entries - 1)) == 0,
+                  "meta entries must be a power of two");
+    meta_.assign(meta_entries, SatCounter(2, 2));
+}
+
+std::size_t
+HybridPredictor::metaIndex(Addr pc) const
+{
+    return (pc >> 2) & (meta_.size() - 1);
+}
+
+bool
+HybridPredictor::predict(Addr pc, std::uint64_t ghr, PredMeta &meta)
+{
+    PredMeta m1, m2;
+    bool p1 = first_->predict(pc, ghr, m1);
+    bool p2 = second_->predict(pc, ghr, m2);
+
+    // Preserve component payloads for update().
+    meta.bimodalPred = m1.bimodalPred || m2.bimodalPred;
+    meta.gsharePred = m1.gsharePred || m2.gsharePred;
+    meta.perceptronPred = m1.perceptronPred || m2.perceptronPred;
+    meta.perceptronOut = m1.perceptronOut + m2.perceptronOut;
+
+    bool use_second = meta_[metaIndex(pc)].msb();
+    bool taken = use_second ? p2 : p1;
+    meta.taken = taken;
+
+    // Stash component directions where update() can recover them even
+    // for components that do not tag PredMeta themselves (e.g. PAs).
+    meta.bimodalPred = p1;
+    meta.gsharePred = p2;
+    return taken;
+}
+
+void
+HybridPredictor::update(Addr pc, std::uint64_t ghr, bool taken,
+                        const PredMeta &meta)
+{
+    bool p1 = meta.bimodalPred;
+    bool p2 = meta.gsharePred;
+
+    // Train the chooser only when the components disagree.
+    if (p1 != p2) {
+        SatCounter &ctr = meta_[metaIndex(pc)];
+        if (p2 == taken)
+            ctr.increment();
+        else
+            ctr.decrement();
+    }
+
+    first_->update(pc, ghr, taken, meta);
+    second_->update(pc, ghr, taken, meta);
+}
+
+std::size_t
+HybridPredictor::storageBits() const
+{
+    return first_->storageBits() + second_->storageBits() +
+           meta_.size() * 2;
+}
+
+std::unique_ptr<BranchPredictor>
+makeBaselineHybrid()
+{
+    return std::make_unique<HybridPredictor>(
+        std::make_unique<BimodalPredictor>(16 * 1024),
+        std::make_unique<GsharePredictor>(64 * 1024, 16),
+        64 * 1024, "bimodal-gshare");
+}
+
+std::unique_ptr<BranchPredictor>
+makeGsharePerceptronHybrid()
+{
+    return std::make_unique<HybridPredictor>(
+        std::make_unique<GsharePredictor>(64 * 1024, 16),
+        std::make_unique<PerceptronPredictor>(1024, 32, 8),
+        64 * 1024, "gshare-perceptron");
+}
+
+} // namespace percon

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * McFarling-style combined predictors.
+ *
+ * HybridPredictor composes any two component predictors with a
+ * 2-bit-chooser meta table. The paper's baseline is bimodal+gshare
+ * ("Combined: 16K bimodal, 64K gshare, 64K Meta"); §5.2 swaps in a
+ * gshare-perceptron hybrid. Both are provided by factory helpers.
+ */
+
+#ifndef PERCON_BPRED_HYBRID_HH
+#define PERCON_BPRED_HYBRID_HH
+
+#include <memory>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace percon {
+
+class HybridPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param first chosen when the meta counter is low
+     * @param second chosen when the meta counter is high
+     * @param meta_entries chooser table size (power of two)
+     * @param name display name
+     */
+    HybridPredictor(std::unique_ptr<BranchPredictor> first,
+                    std::unique_ptr<BranchPredictor> second,
+                    std::size_t meta_entries, std::string name);
+
+    bool predict(Addr pc, std::uint64_t ghr, PredMeta &meta) override;
+    void update(Addr pc, std::uint64_t ghr, bool taken,
+                const PredMeta &meta) override;
+
+    const char *name() const override { return name_.c_str(); }
+    std::size_t storageBits() const override;
+
+    BranchPredictor &first() { return *first_; }
+    BranchPredictor &second() { return *second_; }
+
+  private:
+    std::size_t metaIndex(Addr pc) const;
+
+    std::unique_ptr<BranchPredictor> first_;
+    std::unique_ptr<BranchPredictor> second_;
+    std::vector<SatCounter> meta_;
+    std::string name_;
+};
+
+/** Paper baseline: 16K bimodal + 64K gshare + 64K meta. */
+std::unique_ptr<BranchPredictor> makeBaselineHybrid();
+
+/** §5.2 predictor: 64K gshare + perceptron + 64K meta. */
+std::unique_ptr<BranchPredictor> makeGsharePerceptronHybrid();
+
+} // namespace percon
+
+#endif // PERCON_BPRED_HYBRID_HH

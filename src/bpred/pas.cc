@@ -1,0 +1,72 @@
+#include "pas.hh"
+
+#include "common/logging.hh"
+
+namespace percon {
+
+PAsPredictor::PAsPredictor(std::size_t bht_entries, unsigned local_bits,
+                           std::size_t pht_sets)
+    : localBits_(local_bits), phtSets_(pht_sets)
+{
+    PERCON_ASSERT(bht_entries >= 2 &&
+                      (bht_entries & (bht_entries - 1)) == 0,
+                  "PAs BHT entries must be a power of two");
+    PERCON_ASSERT(local_bits >= 1 && local_bits <= 16,
+                  "bad local history length %u", local_bits);
+    PERCON_ASSERT(pht_sets >= 1 && (pht_sets & (pht_sets - 1)) == 0,
+                  "PAs PHT sets must be a power of two");
+    bht_.assign(bht_entries, 0);
+    phtEntriesPerSet_ = 1ULL << localBits_;
+    pht_.assign(phtSets_ * phtEntriesPerSet_, SatCounter(2, 2));
+}
+
+std::size_t
+PAsPredictor::bhtIndex(Addr pc) const
+{
+    return (pc >> 2) & (bht_.size() - 1);
+}
+
+std::uint32_t
+PAsPredictor::patternFor(Addr pc) const
+{
+    return bht_[bhtIndex(pc)];
+}
+
+std::size_t
+PAsPredictor::phtIndex(Addr pc, std::uint32_t pattern) const
+{
+    std::size_t set = (pc >> 2) & (phtSets_ - 1);
+    return set * phtEntriesPerSet_ + pattern;
+}
+
+bool
+PAsPredictor::predict(Addr pc, std::uint64_t, PredMeta &meta)
+{
+    std::uint32_t pattern = patternFor(pc);
+    bool taken = pht_[phtIndex(pc, pattern)].msb();
+    meta.taken = taken;
+    return taken;
+}
+
+void
+PAsPredictor::update(Addr pc, std::uint64_t, bool taken,
+                     const PredMeta &)
+{
+    std::size_t bi = bhtIndex(pc);
+    std::uint32_t pattern = bht_[bi];
+    SatCounter &ctr = pht_[phtIndex(pc, pattern)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+    std::uint32_t mask = (1u << localBits_) - 1;
+    bht_[bi] = ((pattern << 1) | (taken ? 1u : 0u)) & mask;
+}
+
+std::size_t
+PAsPredictor::storageBits() const
+{
+    return bht_.size() * localBits_ + pht_.size() * 2;
+}
+
+} // namespace percon

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * PAs two-level local-history predictor (Yeh & Patt taxonomy):
+ * per-address branch history table feeding a set of pattern tables.
+ * Used as the substrate of the Tyson pattern-based confidence
+ * estimator and as an additional baseline.
+ */
+
+#ifndef PERCON_BPRED_PAS_HH
+#define PERCON_BPRED_PAS_HH
+
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace percon {
+
+class PAsPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param bht_entries per-branch history registers (power of two)
+     * @param local_bits local history length (pattern width)
+     * @param pht_sets number of pattern tables (power of two)
+     */
+    explicit PAsPredictor(std::size_t bht_entries = 4096,
+                          unsigned local_bits = 10,
+                          std::size_t pht_sets = 16);
+
+    bool predict(Addr pc, std::uint64_t ghr, PredMeta &meta) override;
+    void update(Addr pc, std::uint64_t ghr, bool taken,
+                const PredMeta &meta) override;
+
+    const char *name() const override { return "pas"; }
+    std::size_t storageBits() const override;
+
+    /** Local history pattern currently recorded for a PC. */
+    std::uint32_t patternFor(Addr pc) const;
+
+    unsigned localBits() const { return localBits_; }
+
+  private:
+    std::size_t bhtIndex(Addr pc) const;
+    std::size_t phtIndex(Addr pc, std::uint32_t pattern) const;
+
+    std::vector<std::uint32_t> bht_;
+    std::vector<SatCounter> pht_;
+    unsigned localBits_;
+    std::size_t phtSets_;
+    std::size_t phtEntriesPerSet_;
+};
+
+} // namespace percon
+
+#endif // PERCON_BPRED_PAS_HH

@@ -1,0 +1,95 @@
+#include "perceptron_pred.hh"
+
+#include "common/logging.hh"
+
+namespace percon {
+
+PerceptronPredictor::PerceptronPredictor(std::size_t entries,
+                                         unsigned history_bits,
+                                         unsigned weight_bits, int theta)
+    : entries_(entries), historyBits_(history_bits)
+{
+    PERCON_ASSERT(entries >= 2 && (entries & (entries - 1)) == 0,
+                  "perceptron entries must be a power of two");
+    PERCON_ASSERT(history_bits >= 1 && history_bits <= 63,
+                  "bad history length %u", history_bits);
+    PERCON_ASSERT(weight_bits >= 2 && weight_bits <= 16,
+                  "bad weight width %u", weight_bits);
+    weightMax_ = (1 << (weight_bits - 1)) - 1;
+    weightMin_ = -(1 << (weight_bits - 1));
+    theta_ = theta > 0
+                 ? theta
+                 : static_cast<int>(1.93 * history_bits + 14.0);
+    weights_.assign(entries_ * (historyBits_ + 1), 0);
+}
+
+std::size_t
+PerceptronPredictor::indexFor(Addr pc) const
+{
+    return (pc >> 2) & (entries_ - 1);
+}
+
+std::int32_t
+PerceptronPredictor::output(Addr pc, std::uint64_t ghr) const
+{
+    const std::int16_t *w = &weights_[indexFor(pc) * (historyBits_ + 1)];
+    std::int32_t y = w[0];  // bias weight, input fixed at +1
+    for (unsigned i = 0; i < historyBits_; ++i) {
+        bool taken = (ghr >> i) & 1ULL;
+        y += taken ? w[i + 1] : -w[i + 1];
+    }
+    return y;
+}
+
+bool
+PerceptronPredictor::predict(Addr pc, std::uint64_t ghr, PredMeta &meta)
+{
+    std::int32_t y = output(pc, ghr);
+    bool taken = y >= 0;
+    meta.taken = taken;
+    meta.perceptronPred = taken;
+    meta.perceptronOut = y;
+    return taken;
+}
+
+void
+PerceptronPredictor::update(Addr pc, std::uint64_t ghr, bool taken,
+                            const PredMeta &meta)
+{
+    // Jimenez-Lin rule: train when the prediction was wrong or the
+    // output magnitude is at or below theta.
+    std::int32_t y = meta.perceptronOut;
+    bool predicted = y >= 0;
+    std::int32_t mag = y < 0 ? -y : y;
+    if (predicted == taken && mag > theta_)
+        return;
+
+    std::int16_t *w = &weights_[indexFor(pc) * (historyBits_ + 1)];
+    int t = taken ? 1 : -1;
+
+    auto bump = [&](std::int16_t &weight, int direction) {
+        int next = weight + direction;
+        if (next > weightMax_)
+            next = weightMax_;
+        if (next < weightMin_)
+            next = weightMin_;
+        weight = static_cast<std::int16_t>(next);
+    };
+
+    bump(w[0], t);
+    for (unsigned i = 0; i < historyBits_; ++i) {
+        int x = ((ghr >> i) & 1ULL) ? 1 : -1;
+        bump(w[i + 1], t * x);
+    }
+}
+
+std::size_t
+PerceptronPredictor::storageBits() const
+{
+    unsigned weight_bits = 0;
+    for (int v = weightMax_ + 1; v > 0; v >>= 1)
+        ++weight_bits;
+    return entries_ * (historyBits_ + 1) * (weight_bits + 1);
+}
+
+} // namespace percon

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Jimenez-Lin perceptron branch *direction* predictor (HPCA 2001).
+ *
+ * Trained with taken/not-taken outcomes; output magnitude doubles as
+ * the confidence signal evaluated (and found lacking) by the paper's
+ * perceptron_tnt scheme.
+ */
+
+#ifndef PERCON_BPRED_PERCEPTRON_PRED_HH
+#define PERCON_BPRED_PERCEPTRON_PRED_HH
+
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+
+namespace percon {
+
+class PerceptronPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param entries number of perceptrons (power of two)
+     * @param history_bits inputs per perceptron (1..63)
+     * @param weight_bits signed weight width (2..16)
+     * @param theta training threshold; <=0 selects the Jimenez-Lin
+     *              recommendation floor(1.93 * h + 14)
+     */
+    explicit PerceptronPredictor(std::size_t entries = 1024,
+                                 unsigned history_bits = 32,
+                                 unsigned weight_bits = 8,
+                                 int theta = 0);
+
+    bool predict(Addr pc, std::uint64_t ghr, PredMeta &meta) override;
+    void update(Addr pc, std::uint64_t ghr, bool taken,
+                const PredMeta &meta) override;
+
+    const char *name() const override { return "perceptron"; }
+    std::size_t storageBits() const override;
+
+    /** Dot product of weights and (bias, history) for inspection. */
+    std::int32_t output(Addr pc, std::uint64_t ghr) const;
+
+    unsigned historyBits() const { return historyBits_; }
+    int theta() const { return theta_; }
+
+  private:
+    std::size_t indexFor(Addr pc) const;
+
+    std::vector<std::int16_t> weights_;  ///< entries x (history+1)
+    std::size_t entries_;
+    unsigned historyBits_;
+    int weightMax_;
+    int weightMin_;
+    int theta_;
+};
+
+} // namespace percon
+
+#endif // PERCON_BPRED_PERCEPTRON_PRED_HH

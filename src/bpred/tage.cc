@@ -1,0 +1,190 @@
+#include "tage.hh"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace percon {
+
+namespace {
+
+/// Fold a value down to n bits by XOR-ing n-bit chunks.
+std::uint64_t
+fold(std::uint64_t v, unsigned bits)
+{
+    std::uint64_t out = 0;
+    while (v) {
+        out ^= v & ((1ULL << bits) - 1);
+        v >>= bits;
+    }
+    return out;
+}
+
+} // namespace
+
+TagePredictor::TagePredictor(std::size_t base_entries,
+                             std::size_t table_entries,
+                             unsigned num_tables, unsigned min_history,
+                             unsigned max_history)
+{
+    PERCON_ASSERT(base_entries >= 2 && std::has_single_bit(base_entries),
+                  "TAGE base entries must be a power of two");
+    PERCON_ASSERT(table_entries >= 2 &&
+                      std::has_single_bit(table_entries),
+                  "TAGE table entries must be a power of two");
+    PERCON_ASSERT(num_tables >= 2 && num_tables <= 8,
+                  "TAGE table count out of range");
+    PERCON_ASSERT(min_history >= 1 && max_history <= 64 &&
+                      min_history < max_history,
+                  "bad TAGE history range");
+
+    base_.assign(base_entries, SatCounter(2, 2));
+    tables_.assign(num_tables, std::vector<Entry>(table_entries));
+
+    // Geometric history series from min to max.
+    histLen_.resize(num_tables);
+    double ratio = std::pow(
+        static_cast<double>(max_history) / min_history,
+        1.0 / static_cast<double>(num_tables - 1));
+    double h = min_history;
+    for (unsigned t = 0; t < num_tables; ++t) {
+        histLen_[t] = static_cast<unsigned>(std::lround(h));
+        h *= ratio;
+    }
+    histLen_.back() = max_history;
+}
+
+std::size_t
+TagePredictor::baseIndex(Addr pc) const
+{
+    return (pc >> 2) & (base_.size() - 1);
+}
+
+std::size_t
+TagePredictor::tableIndex(unsigned t, Addr pc, std::uint64_t ghr) const
+{
+    unsigned bits = static_cast<unsigned>(
+        std::countr_zero(tables_[t].size()));
+    std::uint64_t hist =
+        histLen_[t] >= 64 ? ghr : ghr & ((1ULL << histLen_[t]) - 1);
+    std::uint64_t folded = fold(hist, bits);
+    return ((pc >> 2) ^ folded ^ (t * 0x9e37ULL)) &
+           (tables_[t].size() - 1);
+}
+
+std::uint16_t
+TagePredictor::tagFor(unsigned t, Addr pc, std::uint64_t ghr) const
+{
+    std::uint64_t hist =
+        histLen_[t] >= 64 ? ghr : ghr & ((1ULL << histLen_[t]) - 1);
+    return static_cast<std::uint16_t>(
+        (fold(hist, 9) ^ (pc >> 2) ^ ((pc >> 11) * (t + 1))) & 0x1ff);
+}
+
+int
+TagePredictor::findProvider(Addr pc, std::uint64_t ghr)
+{
+    for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
+        const Entry &e =
+            tables_[static_cast<unsigned>(t)]
+                   [tableIndex(static_cast<unsigned>(t), pc, ghr)];
+        if (e.valid && e.tag == tagFor(static_cast<unsigned>(t), pc,
+                                       ghr))
+            return t;
+    }
+    return -1;
+}
+
+bool
+TagePredictor::predict(Addr pc, std::uint64_t ghr, PredMeta &meta)
+{
+    int provider = findProvider(pc, ghr);
+    bool taken;
+    if (provider >= 0) {
+        const Entry &e =
+            tables_[static_cast<unsigned>(provider)]
+                   [tableIndex(static_cast<unsigned>(provider), pc,
+                               ghr)];
+        taken = e.ctr.msb();
+    } else {
+        taken = base_[baseIndex(pc)].msb();
+    }
+    meta.taken = taken;
+    return taken;
+}
+
+void
+TagePredictor::update(Addr pc, std::uint64_t ghr, bool taken,
+                      const PredMeta &)
+{
+    int provider = findProvider(pc, ghr);
+    bool base_pred = base_[baseIndex(pc)].msb();
+
+    if (provider >= 0) {
+        Entry &e = tables_[static_cast<unsigned>(provider)]
+                          [tableIndex(static_cast<unsigned>(provider),
+                                      pc, ghr)];
+        bool provider_pred = e.ctr.msb();
+        if (taken)
+            e.ctr.increment();
+        else
+            e.ctr.decrement();
+        // Usefulness: the provider differed from the base and was
+        // right (or wrong).
+        if (provider_pred != base_pred) {
+            if (provider_pred == taken)
+                e.useful.increment();
+            else
+                e.useful.decrement();
+        }
+        // Allocate on a miss by the provider, into a longer table.
+        if (provider_pred != taken &&
+            provider + 1 < static_cast<int>(tables_.size())) {
+            unsigned t = static_cast<unsigned>(provider + 1) +
+                         static_cast<unsigned>(
+                             mix64(allocSeed_++) %
+                             (tables_.size() - provider - 1));
+            Entry &n = tables_[t][tableIndex(t, pc, ghr)];
+            if (!n.valid || n.useful.value() == 0) {
+                n.valid = true;
+                n.tag = tagFor(t, pc, ghr);
+                n.ctr = SatCounter(3, taken ? 4 : 3);
+                n.useful = SatCounter(2, 0);
+            } else {
+                n.useful.decrement();
+            }
+        }
+    } else {
+        // Base mispredicted: allocate in the shortest table.
+        if (base_pred != taken) {
+            Entry &n = tables_[0][tableIndex(0, pc, ghr)];
+            if (!n.valid || n.useful.value() == 0) {
+                n.valid = true;
+                n.tag = tagFor(0, pc, ghr);
+                n.ctr = SatCounter(3, taken ? 4 : 3);
+                n.useful = SatCounter(2, 0);
+            } else {
+                n.useful.decrement();
+            }
+        }
+    }
+
+    SatCounter &b = base_[baseIndex(pc)];
+    if (taken)
+        b.increment();
+    else
+        b.decrement();
+}
+
+std::size_t
+TagePredictor::storageBits() const
+{
+    std::size_t bits = base_.size() * 2;
+    for (const auto &t : tables_)
+        bits += t.size() * (9 + 3 + 2 + 1);
+    return bits;
+}
+
+} // namespace percon

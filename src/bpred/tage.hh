@@ -1,0 +1,78 @@
+/**
+ * @file
+ * TAGE-lite branch predictor (Seznec & Michaud, JILP 2006),
+ * simplified: a bimodal base predictor plus N partially-tagged
+ * tables indexed with geometrically increasing history lengths.
+ * Prediction comes from the longest-history hit; allocation on
+ * mispredictions steals an entry from a longer table.
+ *
+ * Post-dates the paper (2004) — included as the "future" reference
+ * point in the predictor-comparison bench and for exploring how the
+ * confidence estimator behaves under a stronger baseline, the
+ * natural extension of the paper's §5.2.
+ */
+
+#ifndef PERCON_BPRED_TAGE_HH
+#define PERCON_BPRED_TAGE_HH
+
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace percon {
+
+class TagePredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param base_entries bimodal base table (power of two)
+     * @param table_entries entries per tagged table (power of two)
+     * @param num_tables tagged components (2..8)
+     * @param min_history shortest tagged history length
+     * @param max_history longest tagged history length
+     */
+    explicit TagePredictor(std::size_t base_entries = 8 * 1024,
+                           std::size_t table_entries = 1024,
+                           unsigned num_tables = 4,
+                           unsigned min_history = 4,
+                           unsigned max_history = 64);
+
+    bool predict(Addr pc, std::uint64_t ghr, PredMeta &meta) override;
+    void update(Addr pc, std::uint64_t ghr, bool taken,
+                const PredMeta &meta) override;
+
+    const char *name() const override { return "tage"; }
+    std::size_t storageBits() const override;
+
+    unsigned historyLength(unsigned table) const
+    {
+        return histLen_[table];
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint16_t tag = 0;
+        SatCounter ctr{3, 4};     // 3-bit prediction counter
+        SatCounter useful{2, 0};  // usefulness for replacement
+        bool valid = false;
+    };
+
+    std::size_t baseIndex(Addr pc) const;
+    std::size_t tableIndex(unsigned t, Addr pc,
+                           std::uint64_t ghr) const;
+    std::uint16_t tagFor(unsigned t, Addr pc, std::uint64_t ghr) const;
+
+    /** Longest-history table hitting for (pc, ghr); -1 = none. */
+    int findProvider(Addr pc, std::uint64_t ghr);
+
+    std::vector<SatCounter> base_;
+    std::vector<std::vector<Entry>> tables_;
+    std::vector<unsigned> histLen_;
+    std::uint64_t allocSeed_ = 0x1234'5678;
+};
+
+} // namespace percon
+
+#endif // PERCON_BPRED_TAGE_HH

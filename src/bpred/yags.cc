@@ -1,0 +1,103 @@
+#include "yags.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+YagsPredictor::YagsPredictor(std::size_t choice_entries,
+                             std::size_t cache_entries,
+                             unsigned tag_bits, unsigned history_bits)
+    : tagBits_(tag_bits), historyBits_(history_bits)
+{
+    PERCON_ASSERT(choice_entries >= 2 &&
+                      std::has_single_bit(choice_entries),
+                  "YAGS choice entries must be a power of two");
+    PERCON_ASSERT(cache_entries >= 2 &&
+                      std::has_single_bit(cache_entries),
+                  "YAGS cache entries must be a power of two");
+    PERCON_ASSERT(tag_bits >= 1 && tag_bits <= 16, "bad tag width");
+    choice_.assign(choice_entries, SatCounter(2, 2));
+    takenCache_.assign(cache_entries, CacheEntry{});
+    notTakenCache_.assign(cache_entries, CacheEntry{});
+}
+
+std::size_t
+YagsPredictor::choiceIndex(Addr pc) const
+{
+    return (pc >> 2) & (choice_.size() - 1);
+}
+
+std::size_t
+YagsPredictor::cacheIndex(Addr pc, std::uint64_t ghr) const
+{
+    std::uint64_t mask = (1ULL << historyBits_) - 1;
+    return ((pc >> 2) ^ (ghr & mask)) & (takenCache_.size() - 1);
+}
+
+std::uint16_t
+YagsPredictor::tagFor(Addr pc) const
+{
+    return static_cast<std::uint16_t>((pc >> 2) &
+                                      ((1u << tagBits_) - 1));
+}
+
+bool
+YagsPredictor::predict(Addr pc, std::uint64_t ghr, PredMeta &meta)
+{
+    bool bias = choice_[choiceIndex(pc)].msb();
+    auto &cache = bias ? notTakenCache_ : takenCache_;
+    const CacheEntry &e = cache[cacheIndex(pc, ghr)];
+    bool taken = bias;
+    if (e.valid && e.tag == tagFor(pc))
+        taken = e.counter.msb();
+    meta.taken = taken;
+    return taken;
+}
+
+void
+YagsPredictor::update(Addr pc, std::uint64_t ghr, bool taken,
+                      const PredMeta &)
+{
+    std::size_t ci = choiceIndex(pc);
+    bool bias = choice_[ci].msb();
+
+    auto &cache = bias ? notTakenCache_ : takenCache_;
+    CacheEntry &e = cache[cacheIndex(pc, ghr)];
+    bool hit = e.valid && e.tag == tagFor(pc);
+
+    // The exception cache is updated on hits and allocated when the
+    // outcome disagrees with the bias.
+    if (hit) {
+        if (taken)
+            e.counter.increment();
+        else
+            e.counter.decrement();
+    } else if (taken != bias) {
+        e.valid = true;
+        e.tag = tagFor(pc);
+        e.counter = SatCounter(2, taken ? 2 : 1);
+    }
+
+    // The choice table trains like bimodal, except it is not updated
+    // when the exception cache both provided the prediction and the
+    // bias would have been wrong (keeping the bias stable).
+    bool exception_correct = hit && (e.counter.msb() == taken);
+    if (!(exception_correct && bias != taken)) {
+        if (taken)
+            choice_[ci].increment();
+        else
+            choice_[ci].decrement();
+    }
+}
+
+std::size_t
+YagsPredictor::storageBits() const
+{
+    std::size_t cache_bits =
+        takenCache_.size() * (tagBits_ + 2 + 1) * 2;
+    return choice_.size() * 2 + cache_bits;
+}
+
+} // namespace percon

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * YAGS predictor (Eden & Mudge, MICRO-31): a bimodal choice table
+ * plus two small tagged "exception caches" that record only the
+ * cases where the outcome disagrees with the bimodal direction —
+ * taken-exceptions and not-taken-exceptions.
+ */
+
+#ifndef PERCON_BPRED_YAGS_HH
+#define PERCON_BPRED_YAGS_HH
+
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "common/sat_counter.hh"
+
+namespace percon {
+
+class YagsPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param choice_entries bimodal choice table (power of two)
+     * @param cache_entries per-direction exception cache (power of
+     *        two)
+     * @param tag_bits partial tag width
+     * @param history_bits history bits in the cache index
+     */
+    explicit YagsPredictor(std::size_t choice_entries = 16 * 1024,
+                           std::size_t cache_entries = 8 * 1024,
+                           unsigned tag_bits = 8,
+                           unsigned history_bits = 12);
+
+    bool predict(Addr pc, std::uint64_t ghr, PredMeta &meta) override;
+    void update(Addr pc, std::uint64_t ghr, bool taken,
+                const PredMeta &meta) override;
+
+    const char *name() const override { return "yags"; }
+    std::size_t storageBits() const override;
+
+  private:
+    struct CacheEntry
+    {
+        std::uint16_t tag = 0;
+        SatCounter counter{2, 2};
+        bool valid = false;
+    };
+
+    std::size_t choiceIndex(Addr pc) const;
+    std::size_t cacheIndex(Addr pc, std::uint64_t ghr) const;
+    std::uint16_t tagFor(Addr pc) const;
+
+    std::vector<SatCounter> choice_;
+    std::vector<CacheEntry> takenCache_;     ///< exceptions when bias=NT
+    std::vector<CacheEntry> notTakenCache_;  ///< exceptions when bias=T
+    unsigned tagBits_;
+    unsigned historyBits_;
+};
+
+} // namespace percon
+
+#endif // PERCON_BPRED_YAGS_HH

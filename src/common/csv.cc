@@ -1,0 +1,81 @@
+#include "csv.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+namespace {
+
+std::string
+escape(const std::string &field)
+{
+    if (field.find_first_of(",\"\n") == std::string::npos)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(const std::string &path,
+                     const std::vector<std::string> &header)
+    : columns_(header.size())
+{
+    PERCON_ASSERT(!header.empty(), "CSV needs at least one column");
+    bool fresh = false;
+    if (std::FILE *probe = std::fopen(path.c_str(), "rb")) {
+        std::fclose(probe);
+    } else {
+        fresh = true;
+    }
+    file_ = std::fopen(path.c_str(), "ab");
+    if (!file_)
+        fatal("cannot open CSV file '%s'", path.c_str());
+    if (fresh) {
+        for (std::size_t i = 0; i < header.size(); ++i)
+            std::fprintf(file_, "%s%s", i ? "," : "",
+                         escape(header[i]).c_str());
+        std::fputc('\n', file_);
+    }
+}
+
+CsvWriter::~CsvWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &row)
+{
+    PERCON_ASSERT(row.size() == columns_,
+                  "CSV row width %zu != header width %zu", row.size(),
+                  columns_);
+    for (std::size_t i = 0; i < row.size(); ++i)
+        std::fprintf(file_, "%s%s", i ? "," : "",
+                     escape(row[i]).c_str());
+    std::fputc('\n', file_);
+    std::fflush(file_);
+}
+
+std::unique_ptr<CsvWriter>
+CsvWriter::fromEnv(const std::string &name,
+                   const std::vector<std::string> &header)
+{
+    const char *dir = std::getenv("PERCON_CSV_DIR");
+    if (!dir || !*dir)
+        return nullptr;
+    return std::make_unique<CsvWriter>(
+        std::string(dir) + "/" + name + ".csv", header);
+}
+
+} // namespace percon

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal CSV writer for machine-readable bench output.
+ *
+ * The bench binaries print human tables; setting PERCON_CSV_DIR
+ * makes them additionally append raw rows to <dir>/<name>.csv so
+ * results can be plotted or regression-tracked.
+ */
+
+#ifndef PERCON_COMMON_CSV_HH
+#define PERCON_COMMON_CSV_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace percon {
+
+/** Appends header-checked rows to a CSV file. */
+class CsvWriter
+{
+  public:
+    /**
+     * Open (create or append) a CSV file. The header is written only
+     * when the file is new. fatal() if the path cannot be opened.
+     */
+    CsvWriter(const std::string &path,
+              const std::vector<std::string> &header);
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    /** Append one row; must match the header width. Fields
+     *  containing commas or quotes are quoted per RFC 4180. */
+    void addRow(const std::vector<std::string> &row);
+
+    /**
+     * Factory honouring PERCON_CSV_DIR: returns a writer for
+     * <dir>/<name>.csv, or nullptr when the variable is unset.
+     */
+    static std::unique_ptr<CsvWriter>
+    fromEnv(const std::string &name,
+            const std::vector<std::string> &header);
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::size_t columns_;
+};
+
+} // namespace percon
+
+#endif // PERCON_COMMON_CSV_HH

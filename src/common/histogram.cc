@@ -1,0 +1,96 @@
+#include "histogram.hh"
+
+#include <sstream>
+
+#include "logging.hh"
+
+namespace percon {
+
+Histogram::Histogram(std::int64_t lo, std::int64_t hi,
+                     std::int64_t bucket_width)
+    : lo_(lo), hi_(hi), width_(bucket_width)
+{
+    PERCON_ASSERT(hi > lo, "empty histogram range");
+    PERCON_ASSERT(bucket_width >= 1, "bad bucket width");
+    std::size_t n =
+        static_cast<std::size_t>((hi - lo) / bucket_width) + 1;
+    counts_.assign(n, 0);
+}
+
+std::size_t
+Histogram::indexFor(std::int64_t sample) const
+{
+    if (sample < lo_)
+        return 0;
+    if (sample > hi_)
+        return counts_.size() - 1;
+    return static_cast<std::size_t>((sample - lo_) / width_);
+}
+
+void
+Histogram::add(std::int64_t sample)
+{
+    ++counts_[indexFor(sample)];
+    ++total_;
+    sum_ += static_cast<double>(sample);
+}
+
+std::int64_t
+Histogram::bucketLo(std::size_t i) const
+{
+    return lo_ + static_cast<std::int64_t>(i) * width_;
+}
+
+double
+Histogram::bucketCenter(std::size_t i) const
+{
+    return static_cast<double>(bucketLo(i)) +
+           static_cast<double>(width_ - 1) / 2.0;
+}
+
+Count
+Histogram::massInRange(std::int64_t lo, std::int64_t hi) const
+{
+    Count mass = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        std::int64_t b_lo = bucketLo(i);
+        std::int64_t b_hi = b_lo + width_ - 1;
+        if (b_hi >= lo && b_lo <= hi)
+            mass += counts_[i];
+    }
+    return mass;
+}
+
+double
+Histogram::mean() const
+{
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+double
+Histogram::mode() const
+{
+    if (total_ == 0)
+        return 0.0;
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < counts_.size(); ++i) {
+        if (counts_[i] > counts_[best])
+            best = i;
+    }
+    return bucketCenter(best);
+}
+
+std::string
+Histogram::dump(std::int64_t lo, std::int64_t hi) const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        std::int64_t b_lo = bucketLo(i);
+        if (b_lo + width_ - 1 < lo || b_lo > hi)
+            continue;
+        os << bucketCenter(i) << ' ' << counts_[i] << '\n';
+    }
+    return os.str();
+}
+
+} // namespace percon

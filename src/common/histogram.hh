@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Integer-valued histogram used to collect perceptron-output density
+ * functions (paper Figures 4-7).
+ */
+
+#ifndef PERCON_COMMON_HISTOGRAM_HH
+#define PERCON_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace percon {
+
+/**
+ * Fixed-range histogram over signed integer samples.
+ *
+ * Samples are grouped into uniform-width buckets; out-of-range samples
+ * land in the first/last bucket so total mass is preserved.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /**
+     * @param lo inclusive lower bound of the tracked range
+     * @param hi inclusive upper bound of the tracked range
+     * @param bucket_width samples per bucket (>= 1)
+     */
+    Histogram(std::int64_t lo, std::int64_t hi, std::int64_t bucket_width);
+
+    /** Record one sample. */
+    void add(std::int64_t sample);
+
+    /** Number of buckets. */
+    std::size_t numBuckets() const { return counts_.size(); }
+
+    /** Inclusive lower edge of bucket i. */
+    std::int64_t bucketLo(std::size_t i) const;
+
+    /** Center of bucket i (for plotting). */
+    double bucketCenter(std::size_t i) const;
+
+    /** Raw count in bucket i. */
+    Count bucketCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Total samples recorded. */
+    Count total() const { return total_; }
+
+    /** Sum of counts over the inclusive sample range [lo, hi]. */
+    Count massInRange(std::int64_t lo, std::int64_t hi) const;
+
+    /** Mean of recorded samples (0 when empty). */
+    double mean() const;
+
+    /** Bucket center with the highest count (0 when empty). */
+    double mode() const;
+
+    /**
+     * Render as "center count" lines, optionally restricted to the
+     * sample range [lo, hi]; used by the figure benches.
+     */
+    std::string dump(std::int64_t lo, std::int64_t hi) const;
+
+  private:
+    std::size_t indexFor(std::int64_t sample) const;
+
+    std::int64_t lo_ = 0;
+    std::int64_t hi_ = 0;
+    std::int64_t width_ = 1;
+    std::vector<Count> counts_;
+    Count total_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace percon
+
+#endif // PERCON_COMMON_HISTOGRAM_HH

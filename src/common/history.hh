@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Global/local branch history registers with checkpoint support.
+ *
+ * Predictors shift the *predicted* outcome in at fetch and restore a
+ * checkpoint on misprediction recovery, so the history seen by
+ * in-flight predictions matches what real speculative hardware sees.
+ */
+
+#ifndef PERCON_COMMON_HISTORY_HH
+#define PERCON_COMMON_HISTORY_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace percon {
+
+/**
+ * A branch history shift register of up to 64 bits.
+ *
+ * Bit 0 is the most recent branch; a set bit means taken.
+ */
+class HistoryRegister
+{
+  public:
+    HistoryRegister() = default;
+
+    explicit HistoryRegister(unsigned length)
+        : length_(length),
+          mask_(length >= 64 ? ~0ULL : ((1ULL << length) - 1))
+    {
+        PERCON_ASSERT(length >= 1 && length <= 64,
+                      "bad history length %u", length);
+    }
+
+    /** Shift in one outcome (true = taken). */
+    void
+    push(bool taken)
+    {
+        bits_ = ((bits_ << 1) | (taken ? 1ULL : 0ULL)) & mask_;
+    }
+
+    /** Raw bits, recent branch in bit 0. */
+    std::uint64_t bits() const { return bits_; }
+
+    /** Restore a checkpoint taken with bits(). */
+    void restore(std::uint64_t snapshot) { bits_ = snapshot & mask_; }
+
+    unsigned length() const { return length_; }
+
+    /** Outcome of the i-th most recent branch (i=0 newest). */
+    bool
+    bit(unsigned i) const
+    {
+        PERCON_ASSERT(i < length_, "history index %u out of range", i);
+        return (bits_ >> i) & 1ULL;
+    }
+
+    /** Bipolar view for perceptrons: +1 taken, -1 not-taken. */
+    int signedBit(unsigned i) const { return bit(i) ? 1 : -1; }
+
+    void clear() { bits_ = 0; }
+
+  private:
+    unsigned length_ = 32;
+    std::uint64_t bits_ = 0;
+    std::uint64_t mask_ = 0xffffffffULL;
+};
+
+} // namespace percon
+
+#endif // PERCON_COMMON_HISTORY_HH

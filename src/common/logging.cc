@@ -1,0 +1,56 @@
+#include "logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace percon {
+namespace detail {
+
+std::string
+formatv(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    if (n < 0) {
+        va_end(ap2);
+        return fmt;
+    }
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap2);
+    va_end(ap2);
+    return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+void
+terminateAbort(const std::string &msg)
+{
+    emit("panic", msg);
+    std::abort();
+}
+
+void
+panicAssert(const char *cond, const std::string &msg)
+{
+    terminateAbort("assertion '" + std::string(cond) +
+                   "' failed: " + msg);
+}
+
+void
+terminateExit(const std::string &msg)
+{
+    emit("fatal", msg);
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace percon

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Status/error reporting in the gem5 tradition.
+ *
+ * panic() is for internal invariant violations (a percon bug); it
+ * aborts. fatal() is for user/configuration errors; it exits with a
+ * nonzero status. warn()/inform() never stop the simulation.
+ */
+
+#ifndef PERCON_COMMON_LOGGING_HH
+#define PERCON_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace percon {
+
+namespace detail {
+
+[[noreturn]] void terminateAbort(const std::string &msg);
+[[noreturn]] void terminateExit(const std::string &msg);
+void emit(const char *tag, const std::string &msg);
+
+std::string formatv(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Abort on an internal invariant violation (a simulator bug). */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    detail::terminateAbort(detail::formatv(fmt, args...));
+}
+
+/** Exit on an unrecoverable user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    detail::terminateExit(detail::formatv(fmt, args...));
+}
+
+/** Report suspicious-but-survivable conditions. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    detail::emit("warn", detail::formatv(fmt, args...));
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    detail::emit("info", detail::formatv(fmt, args...));
+}
+
+namespace detail {
+
+[[noreturn]] void panicAssert(const char *cond, const std::string &msg);
+
+} // namespace detail
+
+/** panic() unless the condition holds. */
+#define PERCON_ASSERT(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::percon::detail::panicAssert(                                \
+                #cond, ::percon::detail::formatv(__VA_ARGS__));           \
+        }                                                                 \
+    } while (0)
+
+} // namespace percon
+
+#endif // PERCON_COMMON_LOGGING_HH

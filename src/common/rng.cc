@@ -1,0 +1,141 @@
+#include "rng.hh"
+
+#include <cmath>
+
+#include "logging.hh"
+
+namespace percon {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    return splitmix64(x);
+}
+
+namespace {
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t
+hashStream(std::string_view stream)
+{
+    // FNV-1a over the stream name, then mixed.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : stream) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return mix64(h);
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &lane : s_)
+        lane = splitmix64(sm);
+}
+
+Rng::Rng(std::uint64_t seed, std::string_view stream)
+    : Rng(seed ^ hashStream(stream))
+{
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    PERCON_ASSERT(bound != 0, "nextBelow(0)");
+    // Lemire-style rejection to avoid modulo bias.
+    std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    PERCON_ASSERT(lo <= hi, "bad range [%lld, %lld]",
+                  static_cast<long long>(lo), static_cast<long long>(hi));
+    std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian(double mean, double stddev)
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return mean + stddev * spare_;
+    }
+    double u1, u2;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 0.0);
+    u2 = nextDouble();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    haveSpare_ = true;
+    return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    PERCON_ASSERT(p > 0.0, "nextGeometric requires p > 0");
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+}
+
+} // namespace percon

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every source of randomness in percon flows from a named Rng stream,
+ * seeded with splitmix64 from a (seed, stream-name) pair, so runs are
+ * bit-reproducible regardless of evaluation order or module count.
+ * The core generator is xoshiro256** (public domain, Blackman/Vigna).
+ */
+
+#ifndef PERCON_COMMON_RNG_HH
+#define PERCON_COMMON_RNG_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace percon {
+
+/** xoshiro256** generator with convenience distributions. */
+class Rng
+{
+  public:
+    /** Seed directly from a 64-bit value (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Seed from a base seed plus a stream name, for named streams. */
+    Rng(std::uint64_t seed, std::string_view stream);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound); bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** True with probability p (clamped to [0,1]). */
+    bool nextBernoulli(double p);
+
+    /** Gaussian via Box-Muller (mean, stddev). */
+    double nextGaussian(double mean, double stddev);
+
+    /** Geometric: number of failures before first success, P(succ)=p. */
+    std::uint64_t nextGeometric(double p);
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+/** splitmix64 step, also useful as a cheap hash. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/** Stateless 64-bit mix (finalizer of splitmix64). */
+std::uint64_t mix64(std::uint64_t x);
+
+} // namespace percon
+
+#endif // PERCON_COMMON_RNG_HH

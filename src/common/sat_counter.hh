@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Saturating and resetting counters used throughout branch prediction
+ * and confidence estimation hardware.
+ */
+
+#ifndef PERCON_COMMON_SAT_COUNTER_HH
+#define PERCON_COMMON_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace percon {
+
+/**
+ * An n-bit up/down saturating counter (1 <= n <= 30).
+ *
+ * This is the classic Smith-predictor building block: increment
+ * saturates at 2^n - 1, decrement saturates at 0.
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /** @param bits counter width; @param initial initial value. */
+    explicit SatCounter(unsigned bits, unsigned initial = 0)
+        : max_((1u << bits) - 1), value_(initial)
+    {
+        PERCON_ASSERT(bits >= 1 && bits <= 30, "bad counter width %u", bits);
+        PERCON_ASSERT(initial <= max_, "initial %u exceeds max %u",
+                      initial, max_);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Reset to zero (JRS-style miss-distance behaviour). */
+    void reset() { value_ = 0; }
+
+    /** Set to the saturated maximum. */
+    void saturate() { value_ = max_; }
+
+    unsigned value() const { return value_; }
+    unsigned max() const { return max_; }
+
+    /** True when the counter is in its upper half (MSB set). */
+    bool msb() const { return value_ > max_ / 2; }
+
+    /** Distance from either rail, used by Smith self-confidence. */
+    unsigned
+    railDistance() const
+    {
+        unsigned from_low = value_;
+        unsigned from_high = max_ - value_;
+        return from_low < from_high ? from_low : from_high;
+    }
+
+  private:
+    unsigned max_ = 3;
+    unsigned value_ = 0;
+};
+
+/**
+ * JRS miss-distance counter: incremented on correct prediction,
+ * reset to zero on a misprediction. High confidence when at or above
+ * the threshold.
+ */
+class ResettingCounter
+{
+  public:
+    ResettingCounter() = default;
+
+    explicit ResettingCounter(unsigned bits) : counter_(bits) {}
+
+    /** Record a correct prediction. */
+    void recordCorrect() { counter_.increment(); }
+
+    /** Record a misprediction: miss distance restarts at zero. */
+    void recordMispredict() { counter_.reset(); }
+
+    unsigned value() const { return counter_.value(); }
+    unsigned max() const { return counter_.max(); }
+
+  private:
+    SatCounter counter_{4};
+};
+
+} // namespace percon
+
+#endif // PERCON_COMMON_SAT_COUNTER_HH

@@ -1,0 +1,51 @@
+#include "stats.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace percon {
+
+void
+RunningStat::add(double sample)
+{
+    ++n_;
+    double delta = sample - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (sample - mean_);
+    if (n_ == 1) {
+        min_ = max_ = sample;
+    } else {
+        if (sample < min_)
+            min_ = sample;
+        if (sample > max_)
+            max_ = sample;
+    }
+}
+
+double
+RunningStat::variance() const
+{
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+pct(double num, double den)
+{
+    return den == 0.0 ? 0.0 : 100.0 * num / den;
+}
+
+std::string
+fmtFixed(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+} // namespace percon

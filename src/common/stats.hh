@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Confidence-estimation quality metrics and running statistics.
+ *
+ * Terminology follows Grunwald et al. and the paper: a "low
+ * confidence" estimate is a (negative) test asserting the branch will
+ * be mispredicted.
+ *
+ *  - Spec (specificity / coverage): fraction of mispredicted branches
+ *    classified low confidence.
+ *  - PVN (accuracy): probability a low-confidence estimate really is
+ *    a misprediction.
+ *  - Sens (sensitivity): fraction of correctly predicted branches
+ *    classified high confidence.
+ *  - PVP: probability a high-confidence estimate really is a correct
+ *    prediction.
+ */
+
+#ifndef PERCON_COMMON_STATS_HH
+#define PERCON_COMMON_STATS_HH
+
+#include <string>
+
+#include "types.hh"
+
+namespace percon {
+
+/** 2x2 tally of (predicted-correctly?, estimated-low-confidence?). */
+class ConfidenceMatrix
+{
+  public:
+    /** Record one dynamic branch. */
+    void
+    record(bool mispredicted, bool low_confidence)
+    {
+        if (mispredicted) {
+            if (low_confidence)
+                ++mbLow_;
+            else
+                ++mbHigh_;
+        } else {
+            if (low_confidence)
+                ++cbLow_;
+            else
+                ++cbHigh_;
+        }
+    }
+
+    /** Merge another matrix into this one. */
+    void
+    merge(const ConfidenceMatrix &other)
+    {
+        mbLow_ += other.mbLow_;
+        mbHigh_ += other.mbHigh_;
+        cbLow_ += other.cbLow_;
+        cbHigh_ += other.cbHigh_;
+    }
+
+    Count mispredictedLow() const { return mbLow_; }
+    Count mispredictedHigh() const { return mbHigh_; }
+    Count correctLow() const { return cbLow_; }
+    Count correctHigh() const { return cbHigh_; }
+
+    Count mispredicted() const { return mbLow_ + mbHigh_; }
+    Count correct() const { return cbLow_ + cbHigh_; }
+    Count lowConfidence() const { return mbLow_ + cbLow_; }
+    Count highConfidence() const { return mbHigh_ + cbHigh_; }
+    Count total() const { return mispredicted() + correct(); }
+
+    /** Coverage of mispredictions, in [0,1]; 0 when undefined. */
+    double spec() const { return ratio(mbLow_, mispredicted()); }
+
+    /** Accuracy of low-confidence estimates, in [0,1]. */
+    double pvn() const { return ratio(mbLow_, lowConfidence()); }
+
+    /** Fraction of correct predictions kept high confidence. */
+    double sens() const { return ratio(cbHigh_, correct()); }
+
+    /** Accuracy of high-confidence estimates. */
+    double pvp() const { return ratio(cbHigh_, highConfidence()); }
+
+    /** Baseline misprediction rate of the underlying predictor. */
+    double mispredictRate() const { return ratio(mispredicted(), total()); }
+
+  private:
+    static double
+    ratio(Count num, Count den)
+    {
+        return den == 0 ? 0.0 : static_cast<double>(num) /
+                                    static_cast<double>(den);
+    }
+
+    Count mbLow_ = 0;
+    Count mbHigh_ = 0;
+    Count cbLow_ = 0;
+    Count cbHigh_ = 0;
+};
+
+/** Streaming mean/variance/min/max (Welford). */
+class RunningStat
+{
+  public:
+    void add(double sample);
+
+    Count count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    Count n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Percentage helper: 100 * num / den, 0 when den == 0. */
+double pct(double num, double den);
+
+/** Format a double with fixed decimals (for table cells). */
+std::string fmtFixed(double v, int decimals = 1);
+
+} // namespace percon
+
+#endif // PERCON_COMMON_STATS_HH

@@ -1,0 +1,67 @@
+#include "table.hh"
+
+#include <sstream>
+
+#include "logging.hh"
+
+namespace percon {
+
+AsciiTable::AsciiTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    PERCON_ASSERT(!header_.empty(), "table needs at least one column");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> row)
+{
+    PERCON_ASSERT(row.size() == header_.size(),
+                  "row width %zu != header width %zu",
+                  row.size(), header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+AsciiTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+AsciiTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+        }
+    }
+
+    auto rule = [&]() {
+        std::string s = "+";
+        for (auto w : widths)
+            s += std::string(w + 2, '-') + "+";
+        return s + "\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::ostringstream os;
+        os << "|";
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << cells[c]
+               << std::string(widths[c] - cells[c].size(), ' ') << " |";
+        }
+        os << '\n';
+        return os.str();
+    };
+
+    std::string out = rule() + line(header_) + rule();
+    for (const auto &row : rows_)
+        out += row.empty() ? rule() : line(row);
+    out += rule();
+    return out;
+}
+
+} // namespace percon

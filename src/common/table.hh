@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal ASCII table printer used by the benchmark harnesses to
+ * render paper tables.
+ */
+
+#ifndef PERCON_COMMON_TABLE_HH
+#define PERCON_COMMON_TABLE_HH
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace percon {
+
+/** Column-aligned ASCII table with a header row and separators. */
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator between row groups. */
+    void addSeparator();
+
+    /** Render the full table. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header_;
+    // Separator rows are represented as empty vectors.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace percon
+
+#endif // PERCON_COMMON_TABLE_HH

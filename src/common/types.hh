@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every percon module.
+ */
+
+#ifndef PERCON_COMMON_TYPES_HH
+#define PERCON_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace percon {
+
+/** A (virtual) instruction or data address. */
+using Addr = std::uint64_t;
+
+/** A simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** A monotonically increasing micro-op sequence number. */
+using SeqNum = std::uint64_t;
+
+/** Count of micro-ops, branches, events, ... */
+using Count = std::uint64_t;
+
+} // namespace percon
+
+#endif // PERCON_COMMON_TYPES_HH

@@ -1,0 +1,54 @@
+#include "composite.hh"
+
+namespace percon {
+
+CompositeConfidence::CompositeConfidence(const CompositeParams &params)
+    : params_(params),
+      jrs_(std::make_unique<JrsEstimator>(params.jrsEntries,
+                                          params.jrsCounterBits,
+                                          params.jrsLambda, true)),
+      perc_(std::make_unique<PerceptronConfidence>(params.perceptron))
+{
+}
+
+ConfidenceInfo
+CompositeConfidence::estimate(Addr pc, std::uint64_t ghr,
+                              bool predicted_taken) const
+{
+    ConfidenceInfo jrs_info = jrs_->estimate(pc, ghr, predicted_taken);
+    ConfidenceInfo perc_info =
+        perc_->estimate(pc, ghr, predicted_taken);
+
+    ConfidenceInfo info;
+    info.raw = perc_info.raw;
+    info.low = jrs_info.low && perc_info.raw > params_.vetoLambda;
+
+    if (perc_info.band == ConfidenceBand::StrongLow)
+        info.band = ConfidenceBand::StrongLow;
+    else if (info.low)
+        info.band = ConfidenceBand::WeakLow;
+    else
+        info.band = ConfidenceBand::High;
+    return info;
+}
+
+void
+CompositeConfidence::train(Addr pc, std::uint64_t ghr,
+                           bool predicted_taken, bool mispredicted,
+                           const ConfidenceInfo &info)
+{
+    jrs_->train(pc, ghr, predicted_taken, mispredicted, info);
+    // The perceptron's own classification (vs its lambda) is what
+    // its training rule conditions on, so re-derive it.
+    ConfidenceInfo perc_info =
+        perc_->estimate(pc, ghr, predicted_taken);
+    perc_->train(pc, ghr, predicted_taken, mispredicted, perc_info);
+}
+
+std::size_t
+CompositeConfidence::storageBits() const
+{
+    return jrs_->storageBits() + perc_->storageBits();
+}
+
+} // namespace percon

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Composite confidence estimator: enhanced-JRS coverage with a
+ * perceptron veto.
+ *
+ * The paper's Table 3 shows the two estimators sit at opposite
+ * corners: JRS covers almost all mispredictions but flags far too
+ * many correct predictions; the perceptron flags accurately but
+ * covers less. This extension (in the spirit of the paper's
+ * "spectrum of design options") runs both at once: a branch is
+ * weakly low confident when JRS flags it *and* the perceptron does
+ * not actively vouch for it (output below the veto threshold), and
+ * strongly low confident when the perceptron itself crosses its
+ * reversal threshold.
+ */
+
+#ifndef PERCON_CONFIDENCE_COMPOSITE_HH
+#define PERCON_CONFIDENCE_COMPOSITE_HH
+
+#include <memory>
+
+#include "confidence/jrs.hh"
+#include "confidence/perceptron_conf.hh"
+
+namespace percon {
+
+/** Configuration of a CompositeConfidence estimator. */
+struct CompositeParams
+{
+    std::size_t jrsEntries = 8 * 1024;
+    unsigned jrsCounterBits = 4;
+    unsigned jrsLambda = 15;
+
+    PerceptronConfParams perceptron{
+        .entries = 128,
+        .historyBits = 32,
+        .weightBits = 8,
+        .lambda = 0,
+        .trainThreshold = 75,
+        .reverseLambda = 50,
+    };
+
+    /** JRS low-confidence flags survive only when the perceptron
+     *  output is above this (i.e. the perceptron does not strongly
+     *  vouch for the branch). */
+    std::int32_t vetoLambda = -100;
+};
+
+class CompositeConfidence : public ConfidenceEstimator
+{
+  public:
+    explicit CompositeConfidence(const CompositeParams &params = {});
+
+    ConfidenceInfo estimate(Addr pc, std::uint64_t ghr,
+                            bool predicted_taken) const override;
+    void train(Addr pc, std::uint64_t ghr, bool predicted_taken,
+               bool mispredicted, const ConfidenceInfo &info) override;
+
+    const char *name() const override { return "composite"; }
+    std::size_t storageBits() const override;
+
+    const JrsEstimator &jrs() const { return *jrs_; }
+    const PerceptronConfidence &perceptron() const { return *perc_; }
+
+  private:
+    CompositeParams params_;
+    std::unique_ptr<JrsEstimator> jrs_;
+    std::unique_ptr<PerceptronConfidence> perc_;
+};
+
+} // namespace percon
+
+#endif // PERCON_CONFIDENCE_COMPOSITE_HH

@@ -1,0 +1,21 @@
+#include "confidence_estimator.hh"
+
+#include "common/logging.hh"
+
+namespace percon {
+
+const char *
+confidenceBandName(ConfidenceBand band)
+{
+    switch (band) {
+      case ConfidenceBand::High:
+        return "high";
+      case ConfidenceBand::WeakLow:
+        return "weak-low";
+      case ConfidenceBand::StrongLow:
+        return "strong-low";
+    }
+    panic("bad confidence band %d", static_cast<int>(band));
+}
+
+} // namespace percon

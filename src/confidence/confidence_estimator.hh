@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Branch confidence estimator interface.
+ *
+ * A confidence estimator watches the same (PC, global history,
+ * prediction) stream the branch predictor sees and classifies each
+ * dynamic branch as high or low confidence; low-confidence branches
+ * are the ones expected to be mispredicted. Estimation happens in
+ * the front end, training happens at retirement with the history
+ * snapshot taken at prediction time — exactly the paper's split.
+ *
+ * The raw output is multi-valued where the hardware provides it
+ * (perceptron dot product, JRS counter value); band() maps it onto
+ * the paper's three-way classification used for combined pipeline
+ * gating + branch reversal.
+ */
+
+#ifndef PERCON_CONFIDENCE_CONFIDENCE_ESTIMATOR_HH
+#define PERCON_CONFIDENCE_CONFIDENCE_ESTIMATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace percon {
+
+/** Paper §5.3/§5.5 three-way classification. */
+enum class ConfidenceBand : std::uint8_t {
+    High,       ///< leave the prediction alone
+    WeakLow,    ///< apply pipeline gating
+    StrongLow,  ///< reverse the prediction
+};
+
+const char *confidenceBandName(ConfidenceBand band);
+
+/** Result of one front-end confidence estimate. */
+struct ConfidenceInfo
+{
+    /** Estimator-specific multi-valued output. For perceptrons this
+     *  is the signed dot product (more positive = less confident);
+     *  for counter schemes it is the counter value. */
+    std::int32_t raw = 0;
+
+    /** Classification against the estimator's primary threshold. */
+    bool low = false;
+
+    /** Three-way band (High/WeakLow/StrongLow). */
+    ConfidenceBand band = ConfidenceBand::High;
+};
+
+/** Abstract confidence estimator. */
+class ConfidenceEstimator
+{
+  public:
+    virtual ~ConfidenceEstimator() = default;
+
+    /**
+     * Front-end estimate for the branch at @p pc.
+     *
+     * Must not mutate estimator state: wrong-path branches consult
+     * the estimator too, and their estimates die with the flush.
+     *
+     * @param ghr speculative global history at prediction time
+     * @param predicted_taken the branch predictor's direction
+     */
+    virtual ConfidenceInfo estimate(Addr pc, std::uint64_t ghr,
+                                    bool predicted_taken) const = 0;
+
+    /**
+     * Retire-time training.
+     *
+     * @param ghr the history snapshot used at prediction time
+     * @param predicted_taken the original (pre-reversal) prediction
+     * @param mispredicted whether that prediction was wrong
+     * @param info the front-end estimate made for this branch
+     */
+    virtual void train(Addr pc, std::uint64_t ghr, bool predicted_taken,
+                       bool mispredicted, const ConfidenceInfo &info) = 0;
+
+    virtual const char *name() const = 0;
+
+    /** Table storage in bits (the paper equalizes at 4KB = 32768). */
+    virtual std::size_t storageBits() const = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_CONFIDENCE_CONFIDENCE_ESTIMATOR_HH

@@ -1,0 +1,54 @@
+#include "factory.hh"
+
+#include "common/logging.hh"
+#include "confidence/composite.hh"
+#include "confidence/jrs.hh"
+#include "confidence/ones_counting.hh"
+#include "confidence/perceptron_conf.hh"
+#include "confidence/perceptron_tnt.hh"
+#include "confidence/smith_conf.hh"
+#include "confidence/tyson_conf.hh"
+
+namespace percon {
+
+const std::vector<std::string> &
+estimatorNames()
+{
+    static const std::vector<std::string> names = {
+        "jrs", "jrs-enhanced", "jrs-saturating", "jrs-sbi",
+        "ones-counting", "perceptron-cic", "perceptron-tnt", "smith",
+        "tyson", "composite",
+    };
+    return names;
+}
+
+std::unique_ptr<ConfidenceEstimator>
+makeEstimator(const std::string &name)
+{
+    if (name == "jrs")
+        return std::make_unique<JrsEstimator>(8 * 1024, 4, 15, false);
+    if (name == "jrs-enhanced")
+        return std::make_unique<JrsEstimator>(8 * 1024, 4, 15, true);
+    if (name == "jrs-saturating")
+        return std::make_unique<JrsEstimator>(8 * 1024, 4, 15, true,
+                                              false);
+    if (name == "jrs-sbi")
+        return std::make_unique<JrsEstimator>(8 * 1024, 4, 15, true,
+                                              true, 1);
+    if (name == "composite")
+        return std::make_unique<CompositeConfidence>();
+    if (name == "ones-counting")
+        return std::make_unique<OnesCountingEstimator>();
+    if (name == "perceptron-cic")
+        return std::make_unique<PerceptronConfidence>(
+            PerceptronConfParams{});
+    if (name == "perceptron-tnt")
+        return std::make_unique<PerceptronTntConfidence>();
+    if (name == "smith")
+        return std::make_unique<SmithConfidence>();
+    if (name == "tyson")
+        return std::make_unique<TysonConfidence>();
+    fatal("unknown confidence estimator '%s'", name.c_str());
+}
+
+} // namespace percon

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * String-keyed confidence estimator factory.
+ */
+
+#ifndef PERCON_CONFIDENCE_FACTORY_HH
+#define PERCON_CONFIDENCE_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "confidence/confidence_estimator.hh"
+
+namespace percon {
+
+/** Known estimator configuration names. */
+const std::vector<std::string> &estimatorNames();
+
+/**
+ * Build an estimator by name with its paper-default configuration:
+ * "jrs", "jrs-enhanced", "perceptron-cic", "perceptron-tnt",
+ * "smith", "tyson". fatal() on unknown names.
+ */
+std::unique_ptr<ConfidenceEstimator>
+makeEstimator(const std::string &name);
+
+} // namespace percon
+
+#endif // PERCON_CONFIDENCE_FACTORY_HH

@@ -1,0 +1,77 @@
+#include "jrs.hh"
+
+#include "common/logging.hh"
+
+namespace percon {
+
+JrsEstimator::JrsEstimator(std::size_t entries, unsigned counter_bits,
+                           unsigned lambda, bool enhanced,
+                           bool resetting, unsigned invert_lambda)
+    : counterBits_(counter_bits), lambda_(lambda), enhanced_(enhanced),
+      resetting_(resetting), invertLambda_(invert_lambda)
+{
+    PERCON_ASSERT(entries >= 2 && (entries & (entries - 1)) == 0,
+                  "JRS entries must be a power of two");
+    PERCON_ASSERT(lambda <= (1u << counter_bits) - 1,
+                  "lambda %u exceeds counter max", lambda);
+    PERCON_ASSERT(invert_lambda <= lambda,
+                  "inversion threshold above lambda");
+    table_.assign(entries, SatCounter(counter_bits, 0));
+    historyBits_ = 0;
+    for (std::size_t e = entries; e > 1; e >>= 1)
+        ++historyBits_;
+}
+
+std::size_t
+JrsEstimator::indexFor(Addr pc, std::uint64_t ghr,
+                       bool predicted_taken) const
+{
+    std::uint64_t hist = ghr;
+    if (enhanced_) {
+        // Grunwald et al.: predict first, then shift the prediction
+        // into the history used for indexing.
+        hist = (hist << 1) | (predicted_taken ? 1u : 0u);
+    }
+    std::uint64_t mask = (1ULL << historyBits_) - 1;
+    return ((pc >> 2) ^ (hist & mask)) & (table_.size() - 1);
+}
+
+ConfidenceInfo
+JrsEstimator::estimate(Addr pc, std::uint64_t ghr,
+                       bool predicted_taken) const
+{
+    const SatCounter &ctr = table_[indexFor(pc, ghr, predicted_taken)];
+    ConfidenceInfo info;
+    info.raw = static_cast<std::int32_t>(ctr.value());
+    info.low = ctr.value() < lambda_;
+    if (invertLambda_ > 0 && ctr.value() < invertLambda_)
+        info.band = ConfidenceBand::StrongLow;
+    else if (info.low)
+        info.band = ConfidenceBand::WeakLow;
+    else
+        info.band = ConfidenceBand::High;
+    return info;
+}
+
+void
+JrsEstimator::train(Addr pc, std::uint64_t ghr, bool predicted_taken,
+                    bool mispredicted, const ConfidenceInfo &)
+{
+    SatCounter &ctr = table_[indexFor(pc, ghr, predicted_taken)];
+    if (mispredicted) {
+        if (resetting_)
+            ctr.reset();
+        else
+            ctr.decrement();
+    } else {
+        ctr.increment();
+    }
+}
+
+std::size_t
+JrsEstimator::storageBits() const
+{
+    return table_.size() * counterBits_;
+}
+
+} // namespace percon

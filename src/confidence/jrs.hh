@@ -1,0 +1,77 @@
+/**
+ * @file
+ * JRS miss-distance-counter confidence estimator (Jacobson,
+ * Rotenberg & Smith, MICRO-31), plus the "enhanced" variant of
+ * Grunwald et al. that folds the prediction into the table index.
+ *
+ * A table of resetting counters is indexed gshare-style by
+ * PC XOR history; a counter at or above lambda marks the branch high
+ * confidence. The counter increments on every correct prediction of
+ * the indexed slot and resets to zero on a misprediction, so its
+ * value is the distance since the last miss. The original paper also
+ * studied plain saturating (decrement-on-miss) counters; both are
+ * supported.
+ *
+ * An optional inversion threshold turns the estimator into the
+ * substrate of Klauser/Manne/Grunwald Selective Branch Inversion
+ * (the paper's reference [8]): counters below it classify the branch
+ * StrongLow, i.e. reverse-worthy.
+ */
+
+#ifndef PERCON_CONFIDENCE_JRS_HH
+#define PERCON_CONFIDENCE_JRS_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "confidence/confidence_estimator.hh"
+
+namespace percon {
+
+class JrsEstimator : public ConfidenceEstimator
+{
+  public:
+    /**
+     * @param entries table size (power of two); paper uses 8K
+     * @param counter_bits resetting-counter width; paper uses 4
+     * @param lambda high-confidence threshold (counter >= lambda)
+     * @param enhanced include the prediction in the index
+     * @param resetting miss-distance (reset-on-miss) counters when
+     *        true; plain saturating up/down counters when false
+     * @param invert_lambda counters strictly below this classify
+     *        StrongLow (selective branch inversion); 0 disables
+     */
+    explicit JrsEstimator(std::size_t entries = 8 * 1024,
+                          unsigned counter_bits = 4, unsigned lambda = 15,
+                          bool enhanced = true, bool resetting = true,
+                          unsigned invert_lambda = 0);
+
+    ConfidenceInfo estimate(Addr pc, std::uint64_t ghr,
+                            bool predicted_taken) const override;
+    void train(Addr pc, std::uint64_t ghr, bool predicted_taken,
+               bool mispredicted, const ConfidenceInfo &info) override;
+
+    const char *name() const override
+    {
+        return enhanced_ ? "jrs-enhanced" : "jrs";
+    }
+    std::size_t storageBits() const override;
+
+    unsigned lambda() const { return lambda_; }
+
+  private:
+    std::size_t indexFor(Addr pc, std::uint64_t ghr,
+                         bool predicted_taken) const;
+
+    std::vector<SatCounter> table_;
+    unsigned counterBits_;
+    unsigned lambda_;
+    bool enhanced_;
+    bool resetting_;
+    unsigned invertLambda_;
+    unsigned historyBits_;
+};
+
+} // namespace percon
+
+#endif // PERCON_CONFIDENCE_JRS_HH

@@ -1,0 +1,74 @@
+#include "ones_counting.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+OnesCountingEstimator::OnesCountingEstimator(std::size_t entries,
+                                             unsigned window_bits,
+                                             unsigned lambda,
+                                             bool enhanced)
+    : windowBits_(window_bits), lambda_(lambda), enhanced_(enhanced)
+{
+    PERCON_ASSERT(entries >= 2 && std::has_single_bit(entries),
+                  "ones-counting entries must be a power of two");
+    PERCON_ASSERT(window_bits >= 1 && window_bits <= 16,
+                  "bad window width %u", window_bits);
+    PERCON_ASSERT(lambda <= window_bits,
+                  "lambda %u exceeds window %u", lambda, window_bits);
+    table_.assign(entries, 0);
+    historyBits_ = static_cast<unsigned>(std::countr_zero(entries));
+}
+
+std::size_t
+OnesCountingEstimator::indexFor(Addr pc, std::uint64_t ghr,
+                                bool predicted_taken) const
+{
+    std::uint64_t hist = ghr;
+    if (enhanced_)
+        hist = (hist << 1) | (predicted_taken ? 1u : 0u);
+    std::uint64_t mask = (1ULL << historyBits_) - 1;
+    return ((pc >> 2) ^ (hist & mask)) & (table_.size() - 1);
+}
+
+unsigned
+OnesCountingEstimator::onesAt(std::size_t index) const
+{
+    return static_cast<unsigned>(std::popcount(table_[index]));
+}
+
+ConfidenceInfo
+OnesCountingEstimator::estimate(Addr pc, std::uint64_t ghr,
+                                bool predicted_taken) const
+{
+    unsigned ones = onesAt(indexFor(pc, ghr, predicted_taken));
+    ConfidenceInfo info;
+    info.raw = static_cast<std::int32_t>(ones);
+    info.low = ones < lambda_;
+    info.band = info.low ? ConfidenceBand::WeakLow : ConfidenceBand::High;
+    return info;
+}
+
+void
+OnesCountingEstimator::train(Addr pc, std::uint64_t ghr,
+                             bool predicted_taken, bool mispredicted,
+                             const ConfidenceInfo &)
+{
+    std::size_t i = indexFor(pc, ghr, predicted_taken);
+    std::uint16_t mask =
+        windowBits_ >= 16
+            ? 0xffffu
+            : static_cast<std::uint16_t>((1u << windowBits_) - 1);
+    table_[i] = static_cast<std::uint16_t>(
+        ((table_[i] << 1) | (mispredicted ? 0u : 1u)) & mask);
+}
+
+std::size_t
+OnesCountingEstimator::storageBits() const
+{
+    return table_.size() * windowBits_;
+}
+
+} // namespace percon

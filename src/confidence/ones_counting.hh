@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ones-counting confidence estimator — the third counter organization
+ * studied by Jacobson, Rotenberg & Smith alongside saturating and
+ * resetting counters: each entry keeps a shift register of the last
+ * n prediction outcomes (1 = correct) and classifies high confidence
+ * when the number of ones is at or above the threshold. Unlike the
+ * miss-distance counter it forgives isolated mispredictions.
+ */
+
+#ifndef PERCON_CONFIDENCE_ONES_COUNTING_HH
+#define PERCON_CONFIDENCE_ONES_COUNTING_HH
+
+#include <vector>
+
+#include "confidence/confidence_estimator.hh"
+
+namespace percon {
+
+class OnesCountingEstimator : public ConfidenceEstimator
+{
+  public:
+    /**
+     * @param entries table size (power of two)
+     * @param window_bits outcomes remembered per entry (1..16)
+     * @param lambda high confidence when ones >= lambda
+     * @param enhanced include the prediction in the index
+     */
+    explicit OnesCountingEstimator(std::size_t entries = 2 * 1024,
+                                   unsigned window_bits = 16,
+                                   unsigned lambda = 15,
+                                   bool enhanced = true);
+
+    ConfidenceInfo estimate(Addr pc, std::uint64_t ghr,
+                            bool predicted_taken) const override;
+    void train(Addr pc, std::uint64_t ghr, bool predicted_taken,
+               bool mispredicted, const ConfidenceInfo &info) override;
+
+    const char *name() const override { return "ones-counting"; }
+    std::size_t storageBits() const override;
+
+  private:
+    std::size_t indexFor(Addr pc, std::uint64_t ghr,
+                         bool predicted_taken) const;
+    unsigned onesAt(std::size_t index) const;
+
+    std::vector<std::uint16_t> table_;
+    unsigned windowBits_;
+    unsigned lambda_;
+    bool enhanced_;
+    unsigned historyBits_;
+};
+
+} // namespace percon
+
+#endif // PERCON_CONFIDENCE_ONES_COUNTING_HH

@@ -1,0 +1,163 @@
+#include "perceptron_conf.hh"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+PerceptronConfidence::PerceptronConfidence(
+    const PerceptronConfParams &params)
+    : params_(params)
+{
+    PERCON_ASSERT(params.entries >= 2 &&
+                      (params.entries & (params.entries - 1)) == 0,
+                  "perceptron entries must be a power of two");
+    PERCON_ASSERT(params.historyBits >= 1 && params.historyBits <= 63,
+                  "bad history length %u", params.historyBits);
+    PERCON_ASSERT(params.weightBits >= 2 && params.weightBits <= 16,
+                  "bad weight width %u", params.weightBits);
+    if (params.reverseLambda) {
+        PERCON_ASSERT(*params.reverseLambda >= params.lambda,
+                      "reverse threshold below gating threshold");
+    }
+    weightMax_ = (1 << (params.weightBits - 1)) - 1;
+    weightMin_ = -(1 << (params.weightBits - 1));
+    weights_.assign(params.entries * (params.historyBits + 1), 0);
+}
+
+std::size_t
+PerceptronConfidence::indexFor(Addr pc, std::uint64_t ghr) const
+{
+    std::uint64_t index = pc >> 2;
+    if (params_.pathHashBits > 0) {
+        std::uint64_t mask = params_.pathHashBits >= 64
+                                 ? ~0ULL
+                                 : (1ULL << params_.pathHashBits) - 1;
+        index ^= ghr & mask;
+    }
+    return index & (params_.entries - 1);
+}
+
+std::int32_t
+PerceptronConfidence::weight(Addr pc, unsigned i) const
+{
+    PERCON_ASSERT(i <= params_.historyBits, "weight index out of range");
+    return weights_[indexFor(pc, 0) * (params_.historyBits + 1) + i];
+}
+
+std::int32_t
+PerceptronConfidence::output(Addr pc, std::uint64_t ghr) const
+{
+    const std::int16_t *w =
+        &weights_[indexFor(pc, ghr) * (params_.historyBits + 1)];
+    std::int32_t y = w[0];  // bias input is always +1
+    for (unsigned i = 0; i < params_.historyBits; ++i) {
+        bool taken = (ghr >> i) & 1ULL;
+        y += taken ? w[i + 1] : -w[i + 1];
+    }
+    return y;
+}
+
+ConfidenceInfo
+PerceptronConfidence::estimate(Addr pc, std::uint64_t ghr, bool) const
+{
+    ConfidenceInfo info;
+    info.raw = output(pc, ghr);
+    info.low = info.raw > params_.lambda;
+
+    if (params_.reverseLambda) {
+        if (info.raw > *params_.reverseLambda)
+            info.band = ConfidenceBand::StrongLow;
+        else if (info.raw > params_.lambda)
+            info.band = ConfidenceBand::WeakLow;
+        else
+            info.band = ConfidenceBand::High;
+    } else {
+        info.band =
+            info.low ? ConfidenceBand::WeakLow : ConfidenceBand::High;
+    }
+    return info;
+}
+
+void
+PerceptronConfidence::train(Addr pc, std::uint64_t ghr, bool,
+                            bool mispredicted, const ConfidenceInfo &info)
+{
+    // p: +1 mispredicted, -1 correct. c: +1 low-confidence, -1 high.
+    int p = mispredicted ? 1 : -1;
+    int c = info.low ? 1 : -1;
+    std::int32_t y = info.raw;
+    std::int32_t mag = y < 0 ? -y : y;
+
+    if (c == p && mag > params_.trainThreshold)
+        return;
+
+    std::int16_t *w =
+        &weights_[indexFor(pc, ghr) * (params_.historyBits + 1)];
+    auto bump = [&](std::int16_t &weight, int direction) {
+        std::int32_t next = weight + direction;
+        if (next > weightMax_)
+            next = weightMax_;
+        if (next < weightMin_)
+            next = weightMin_;
+        weight = static_cast<std::int16_t>(next);
+    };
+
+    bump(w[0], p);
+    for (unsigned i = 0; i < params_.historyBits; ++i) {
+        int x = ((ghr >> i) & 1ULL) ? 1 : -1;
+        bump(w[i + 1], p * x);
+    }
+}
+
+namespace {
+
+constexpr char kWeightMagic[8] = {'P', 'C', 'W', 'T', '0', '1', 0, 0};
+
+} // namespace
+
+void
+PerceptronConfidence::saveWeights(std::ostream &os) const
+{
+    os.write(kWeightMagic, sizeof(kWeightMagic));
+    std::uint64_t geom[3] = {params_.entries, params_.historyBits,
+                             params_.weightBits};
+    os.write(reinterpret_cast<const char *>(geom), sizeof(geom));
+    os.write(reinterpret_cast<const char *>(weights_.data()),
+             static_cast<std::streamsize>(weights_.size() *
+                                          sizeof(weights_[0])));
+}
+
+bool
+PerceptronConfidence::loadWeights(std::istream &is)
+{
+    char magic[8] = {};
+    std::uint64_t geom[3] = {};
+    is.read(magic, sizeof(magic));
+    is.read(reinterpret_cast<char *>(geom), sizeof(geom));
+    if (!is || std::memcmp(magic, kWeightMagic, sizeof(magic)) != 0)
+        return false;
+    if (geom[0] != params_.entries || geom[1] != params_.historyBits ||
+        geom[2] != params_.weightBits)
+        return false;
+    std::vector<std::int16_t> incoming(weights_.size());
+    is.read(reinterpret_cast<char *>(incoming.data()),
+            static_cast<std::streamsize>(incoming.size() *
+                                         sizeof(incoming[0])));
+    if (!is)
+        return false;
+    weights_ = std::move(incoming);
+    return true;
+}
+
+std::size_t
+PerceptronConfidence::storageBits() const
+{
+    return params_.entries * (params_.historyBits + 1) *
+           params_.weightBits;
+}
+
+} // namespace percon

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The paper's contribution: a perceptron-based branch confidence
+ * estimator trained with correct/incorrect prediction outcomes
+ * ("perceptron_cic", §3).
+ *
+ * An array of perceptrons is indexed by branch PC. The input vector
+ * is the global branch history in bipolar form (+1 taken, -1
+ * not-taken) with a constant +1 bias input; the output is the dot
+ * product with the stored weights. Output above the threshold lambda
+ * means the execution is likely on the wrong path (low confidence).
+ *
+ * Training (at retirement, with the prediction-time history):
+ *
+ *     p = +1 if the branch was mispredicted else -1
+ *     c = +1 if the front end called it low-confidence else -1
+ *     if (sign(c) != sign(p) || |y| <= T)
+ *         w[i] += p * x[i]          (saturating at the weight width)
+ *
+ * The paper's pseudocode lists a stray "y++" inside the update; y is
+ * recomputed from the weights on every access, so the increment has
+ * no architectural effect and we implement the weight update only
+ * (see DESIGN.md §5).
+ *
+ * The multi-valued output supports the paper's dual-threshold band
+ * classification (§5.5): y > reverse-threshold => StrongLow (reverse
+ * the prediction), gate-threshold < y <= reverse-threshold => WeakLow
+ * (pipeline gating), otherwise High.
+ */
+
+#ifndef PERCON_CONFIDENCE_PERCEPTRON_CONF_HH
+#define PERCON_CONFIDENCE_PERCEPTRON_CONF_HH
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "confidence/confidence_estimator.hh"
+
+namespace percon {
+
+/** Configuration of a PerceptronConfidence estimator. */
+struct PerceptronConfParams
+{
+    std::size_t entries = 128;     ///< perceptrons in the array
+    unsigned historyBits = 32;     ///< inputs per perceptron
+    unsigned weightBits = 8;       ///< signed weight width
+    std::int32_t lambda = 0;       ///< low-confidence threshold
+    std::int32_t trainThreshold = 75; ///< T in the update rule
+
+    /** Optional dual-threshold banding: y > reverseLambda is
+     *  StrongLow, (lambda, reverseLambda] is WeakLow. When unset,
+     *  band mirrors the binary low/high split. */
+    std::optional<std::int32_t> reverseLambda;
+
+    /** Path-hashed indexing (0 = paper's PC-only indexing): XOR this
+     *  many low history bits into the perceptron index, so aliased
+     *  branches reached along different paths use different
+     *  perceptrons — at the cost of slower per-entry training. */
+    unsigned pathHashBits = 0;
+};
+
+class PerceptronConfidence : public ConfidenceEstimator
+{
+  public:
+    explicit PerceptronConfidence(const PerceptronConfParams &params);
+
+    ConfidenceInfo estimate(Addr pc, std::uint64_t ghr,
+                            bool predicted_taken) const override;
+    void train(Addr pc, std::uint64_t ghr, bool predicted_taken,
+               bool mispredicted, const ConfidenceInfo &info) override;
+
+    const char *name() const override { return "perceptron-cic"; }
+    std::size_t storageBits() const override;
+
+    /** Raw dot-product output for a (pc, history) pair. */
+    std::int32_t output(Addr pc, std::uint64_t ghr) const;
+
+    const PerceptronConfParams &params() const { return params_; }
+
+    /** Weight inspection for tests: weight i of the pc's perceptron
+     *  (0 = bias). */
+    std::int32_t weight(Addr pc, unsigned i) const;
+
+    /**
+     * Serialize / restore the trained weight array, so long
+     * experiments can checkpoint a warm estimator. The stream format
+     * carries the geometry and is validated on load.
+     * @return false on format/geometry mismatch (state unchanged)
+     */
+    void saveWeights(std::ostream &os) const;
+    bool loadWeights(std::istream &is);
+
+  private:
+    std::size_t indexFor(Addr pc, std::uint64_t ghr) const;
+
+    PerceptronConfParams params_;
+    std::vector<std::int16_t> weights_;
+    std::int32_t weightMax_;
+    std::int32_t weightMin_;
+};
+
+} // namespace percon
+
+#endif // PERCON_CONFIDENCE_PERCEPTRON_CONF_HH

@@ -1,0 +1,47 @@
+#include "perceptron_tnt.hh"
+
+namespace percon {
+
+PerceptronTntConfidence::PerceptronTntConfidence(std::size_t entries,
+                                                 unsigned history_bits,
+                                                 unsigned weight_bits,
+                                                 std::int32_t lambda)
+    : pred_(std::make_unique<PerceptronPredictor>(entries, history_bits,
+                                                  weight_bits)),
+      lambda_(lambda)
+{
+}
+
+ConfidenceInfo
+PerceptronTntConfidence::estimate(Addr pc, std::uint64_t ghr,
+                                  bool) const
+{
+    ConfidenceInfo info;
+    info.raw = pred_->output(pc, ghr);
+    std::int32_t mag = info.raw < 0 ? -info.raw : info.raw;
+    info.low = mag <= lambda_;
+    info.band = info.low ? ConfidenceBand::WeakLow : ConfidenceBand::High;
+    return info;
+}
+
+void
+PerceptronTntConfidence::train(Addr pc, std::uint64_t ghr,
+                               bool predicted_taken, bool mispredicted,
+                               const ConfidenceInfo &info)
+{
+    // Reconstruct the architectural direction: the prediction was
+    // y >= 0; a misprediction means the branch went the other way.
+    bool taken = mispredicted ? !predicted_taken : predicted_taken;
+    PredMeta meta;
+    meta.perceptronOut = info.raw;
+    meta.taken = info.raw >= 0;
+    pred_->update(pc, ghr, taken, meta);
+}
+
+std::size_t
+PerceptronTntConfidence::storageBits() const
+{
+    return pred_->storageBits();
+}
+
+} // namespace percon

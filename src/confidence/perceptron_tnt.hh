@@ -1,0 +1,56 @@
+/**
+ * @file
+ * perceptron_tnt: the Jimenez-Lin suggestion evaluated (and rejected)
+ * in §5.3 — use a perceptron branch *predictor* (trained with
+ * taken/not-taken outcomes) and read confidence off the proximity of
+ * its output to zero: |y| <= lambda means low confidence.
+ *
+ * The raw field of ConfidenceInfo carries the signed predictor
+ * output so the Figure 6/7 density functions can be collected.
+ */
+
+#ifndef PERCON_CONFIDENCE_PERCEPTRON_TNT_HH
+#define PERCON_CONFIDENCE_PERCEPTRON_TNT_HH
+
+#include <memory>
+
+#include "bpred/perceptron_pred.hh"
+#include "confidence/confidence_estimator.hh"
+
+namespace percon {
+
+class PerceptronTntConfidence : public ConfidenceEstimator
+{
+  public:
+    /**
+     * @param entries perceptron array size (power of two)
+     * @param history_bits inputs per perceptron
+     * @param weight_bits signed weight width
+     * @param lambda low confidence when |output| <= lambda
+     */
+    explicit PerceptronTntConfidence(std::size_t entries = 128,
+                                     unsigned history_bits = 32,
+                                     unsigned weight_bits = 8,
+                                     std::int32_t lambda = 30);
+
+    ConfidenceInfo estimate(Addr pc, std::uint64_t ghr,
+                            bool predicted_taken) const override;
+    void train(Addr pc, std::uint64_t ghr, bool predicted_taken,
+               bool mispredicted, const ConfidenceInfo &info) override;
+
+    const char *name() const override { return "perceptron-tnt"; }
+    std::size_t storageBits() const override;
+
+    std::int32_t lambda() const { return lambda_; }
+
+    /** The embedded direction predictor (for tests). */
+    const PerceptronPredictor &predictor() const { return *pred_; }
+
+  private:
+    std::unique_ptr<PerceptronPredictor> pred_;
+    std::int32_t lambda_;
+};
+
+} // namespace percon
+
+#endif // PERCON_CONFIDENCE_PERCEPTRON_TNT_HH

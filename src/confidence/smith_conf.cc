@@ -1,0 +1,53 @@
+#include "smith_conf.hh"
+
+#include "common/logging.hh"
+
+namespace percon {
+
+SmithConfidence::SmithConfidence(std::size_t entries,
+                                 unsigned counter_bits, unsigned lambda)
+    : counterBits_(counter_bits), lambda_(lambda)
+{
+    PERCON_ASSERT(entries >= 2 && (entries & (entries - 1)) == 0,
+                  "Smith entries must be a power of two");
+    table_.assign(entries,
+                  SatCounter(counter_bits, (1u << counter_bits) / 2));
+}
+
+std::size_t
+SmithConfidence::indexFor(Addr pc) const
+{
+    return (pc >> 2) & (table_.size() - 1);
+}
+
+ConfidenceInfo
+SmithConfidence::estimate(Addr pc, std::uint64_t, bool) const
+{
+    const SatCounter &ctr = table_[indexFor(pc)];
+    ConfidenceInfo info;
+    info.raw = static_cast<std::int32_t>(ctr.railDistance());
+    info.low = ctr.railDistance() > lambda_;
+    info.band = info.low ? ConfidenceBand::WeakLow : ConfidenceBand::High;
+    return info;
+}
+
+void
+SmithConfidence::train(Addr pc, std::uint64_t, bool predicted_taken,
+                       bool mispredicted, const ConfidenceInfo &)
+{
+    // The counter tracks direction; reconstruct the outcome.
+    bool taken = mispredicted ? !predicted_taken : predicted_taken;
+    SatCounter &ctr = table_[indexFor(pc)];
+    if (taken)
+        ctr.increment();
+    else
+        ctr.decrement();
+}
+
+std::size_t
+SmithConfidence::storageBits() const
+{
+    return table_.size() * counterBits_;
+}
+
+} // namespace percon

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Smith self-confidence: read confidence directly off a table of
+ * direction saturating counters — a counter away from both rails is
+ * low confidence (e.g. states 1 and 2 of a 2-bit counter). Evaluated
+ * by Grunwald et al. and included here as a historical baseline.
+ */
+
+#ifndef PERCON_CONFIDENCE_SMITH_CONF_HH
+#define PERCON_CONFIDENCE_SMITH_CONF_HH
+
+#include <vector>
+
+#include "common/sat_counter.hh"
+#include "confidence/confidence_estimator.hh"
+
+namespace percon {
+
+class SmithConfidence : public ConfidenceEstimator
+{
+  public:
+    /**
+     * @param entries counter table size (power of two)
+     * @param counter_bits direction counter width
+     * @param lambda low confidence when rail distance > lambda
+     */
+    explicit SmithConfidence(std::size_t entries = 8 * 1024,
+                             unsigned counter_bits = 3,
+                             unsigned lambda = 0);
+
+    ConfidenceInfo estimate(Addr pc, std::uint64_t ghr,
+                            bool predicted_taken) const override;
+    void train(Addr pc, std::uint64_t ghr, bool predicted_taken,
+               bool mispredicted, const ConfidenceInfo &info) override;
+
+    const char *name() const override { return "smith"; }
+    std::size_t storageBits() const override;
+
+  private:
+    std::size_t indexFor(Addr pc) const;
+
+    std::vector<SatCounter> table_;
+    unsigned counterBits_;
+    unsigned lambda_;
+};
+
+} // namespace percon
+
+#endif // PERCON_CONFIDENCE_SMITH_CONF_HH

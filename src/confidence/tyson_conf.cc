@@ -1,0 +1,57 @@
+#include "tyson_conf.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+TysonConfidence::TysonConfidence(std::size_t entries, unsigned local_bits,
+                                 unsigned lambda)
+    : localBits_(local_bits), lambda_(lambda)
+{
+    PERCON_ASSERT(entries >= 2 && (entries & (entries - 1)) == 0,
+                  "Tyson entries must be a power of two");
+    PERCON_ASSERT(local_bits >= 2 && local_bits <= 16,
+                  "bad pattern width %u", local_bits);
+    bht_.assign(entries, 0);
+}
+
+std::size_t
+TysonConfidence::indexFor(Addr pc) const
+{
+    return (pc >> 2) & (bht_.size() - 1);
+}
+
+ConfidenceInfo
+TysonConfidence::estimate(Addr pc, std::uint64_t, bool) const
+{
+    std::uint32_t pattern = bht_[indexFor(pc)];
+    unsigned ones = static_cast<unsigned>(std::popcount(pattern));
+    unsigned zeros = localBits_ - ones;
+    unsigned distance = ones < zeros ? ones : zeros;
+
+    ConfidenceInfo info;
+    info.raw = static_cast<std::int32_t>(distance);
+    info.low = distance > lambda_;
+    info.band = info.low ? ConfidenceBand::WeakLow : ConfidenceBand::High;
+    return info;
+}
+
+void
+TysonConfidence::train(Addr pc, std::uint64_t, bool predicted_taken,
+                       bool mispredicted, const ConfidenceInfo &)
+{
+    bool taken = mispredicted ? !predicted_taken : predicted_taken;
+    std::uint32_t mask = (1u << localBits_) - 1;
+    std::uint32_t &pattern = bht_[indexFor(pc)];
+    pattern = ((pattern << 1) | (taken ? 1u : 0u)) & mask;
+}
+
+std::size_t
+TysonConfidence::storageBits() const
+{
+    return bht_.size() * localBits_;
+}
+
+} // namespace percon

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Tyson/Lick/Farrens pattern-based confidence: keep a per-branch
+ * local history pattern (PAs-style) and call a branch high confidence
+ * only when its pattern is in a fixed "predictable" set — all taken,
+ * all not-taken, or within lambda flips of either.
+ */
+
+#ifndef PERCON_CONFIDENCE_TYSON_CONF_HH
+#define PERCON_CONFIDENCE_TYSON_CONF_HH
+
+#include <vector>
+
+#include "confidence/confidence_estimator.hh"
+
+namespace percon {
+
+class TysonConfidence : public ConfidenceEstimator
+{
+  public:
+    /**
+     * @param entries local history table size (power of two)
+     * @param local_bits pattern width
+     * @param lambda high confidence when the pattern is within
+     *               lambda bits of all-taken or all-not-taken
+     */
+    explicit TysonConfidence(std::size_t entries = 4 * 1024,
+                             unsigned local_bits = 8, unsigned lambda = 1);
+
+    ConfidenceInfo estimate(Addr pc, std::uint64_t ghr,
+                            bool predicted_taken) const override;
+    void train(Addr pc, std::uint64_t ghr, bool predicted_taken,
+               bool mispredicted, const ConfidenceInfo &info) override;
+
+    const char *name() const override { return "tyson"; }
+    std::size_t storageBits() const override;
+
+  private:
+    std::size_t indexFor(Addr pc) const;
+
+    std::vector<std::uint32_t> bht_;
+    unsigned localBits_;
+    unsigned lambda_;
+};
+
+} // namespace percon
+
+#endif // PERCON_CONFIDENCE_TYSON_CONF_HH

@@ -1,0 +1,34 @@
+#include "confidence_system.hh"
+
+namespace percon {
+
+ConfidenceSystem::ConfidenceSystem(const ConfidenceSystemParams &params)
+    : params_(params),
+      estimator_(std::make_unique<PerceptronConfidence>(params.perceptron))
+{
+}
+
+BranchDecision
+ConfidenceSystem::onPredict(Addr pc, std::uint64_t ghr,
+                            bool predicted_taken) const
+{
+    BranchDecision d;
+    d.confidence = estimator_->estimate(pc, ghr, predicted_taken);
+    d.reverse = params_.enableReversal &&
+                d.confidence.band == ConfidenceBand::StrongLow;
+    d.gate = params_.enableGating &&
+             d.confidence.band == ConfidenceBand::WeakLow;
+    return d;
+}
+
+void
+ConfidenceSystem::onResolve(Addr pc, std::uint64_t ghr,
+                            bool predicted_taken, bool mispredicted,
+                            const BranchDecision &decision)
+{
+    matrix_.record(mispredicted, decision.confidence.low);
+    estimator_->train(pc, ghr, predicted_taken, mispredicted,
+                      decision.confidence);
+}
+
+} // namespace percon

@@ -1,0 +1,59 @@
+#include "front_end_sim.hh"
+
+namespace percon {
+
+FrontEndResult
+runFrontEnd(ProgramModel &program, BranchPredictor &predictor,
+            ConfidenceEstimator *estimator, const FrontEndConfig &config)
+{
+    FrontEndResult res;
+    if (config.collectDensity) {
+        res.cbDensity = Histogram(config.densityLo, config.densityHi,
+                                  config.densityBucket);
+        res.mbDensity = Histogram(config.densityLo, config.densityHi,
+                                  config.densityBucket);
+    }
+
+    // In a front-end-only study prediction-time and retire-time
+    // history coincide: use the predictor-visible history built from
+    // actual outcomes (equivalent to a machine with ideal recovery).
+    std::uint64_t ghr = 0;
+
+    Count total = config.warmupBranches + config.measureBranches;
+    for (Count n = 0; n < total; ++n) {
+        unsigned skipped = 0;
+        MicroOp br = program.nextBranch(skipped);
+
+        PredMeta meta;
+        bool pred = predictor.predict(br.pc, ghr, meta);
+        bool misp = pred != br.taken;
+
+        ConfidenceInfo info;
+        if (estimator)
+            info = estimator->estimate(br.pc, ghr, pred);
+
+        bool measuring = n >= config.warmupBranches;
+        if (measuring) {
+            res.uops += skipped + 1;
+            ++res.branches;
+            if (estimator) {
+                res.matrix.record(misp, info.low);
+                if (config.collectDensity) {
+                    (misp ? res.mbDensity : res.cbDensity)
+                        .add(info.raw);
+                }
+            } else {
+                res.matrix.record(misp, false);
+            }
+        }
+
+        predictor.update(br.pc, ghr, br.taken, meta);
+        if (estimator)
+            estimator->train(br.pc, ghr, pred, misp, info);
+
+        ghr = (ghr << 1) | (br.taken ? 1u : 0u);
+    }
+    return res;
+}
+
+} // namespace percon

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Front-end-only experiment driver.
+ *
+ * Runs a workload's branch stream through a branch predictor and a
+ * confidence estimator with architectural (retire-equivalent)
+ * history — no timing. This is how the paper's pure classification
+ * results are measured: Table 3 (PVN/Spec), Figures 4-7 (output
+ * density functions) and the training-scheme ablations of §5.3.
+ */
+
+#ifndef PERCON_CORE_FRONT_END_SIM_HH
+#define PERCON_CORE_FRONT_END_SIM_HH
+
+#include <memory>
+#include <optional>
+
+#include "bpred/branch_predictor.hh"
+#include "common/histogram.hh"
+#include "common/stats.hh"
+#include "confidence/confidence_estimator.hh"
+#include "trace/program_model.hh"
+
+namespace percon {
+
+/** Results of a front-end run. */
+struct FrontEndResult
+{
+    ConfidenceMatrix matrix;
+    Count uops = 0;       ///< uops represented (branches + fillers)
+    Count branches = 0;
+
+    /** Output density for correctly predicted branches (CB). */
+    Histogram cbDensity;
+    /** Output density for mispredicted branches (MB). */
+    Histogram mbDensity;
+
+    double
+    mispredictsPerKuop() const
+    {
+        return uops == 0 ? 0.0
+                         : 1000.0 *
+                               static_cast<double>(matrix.mispredicted()) /
+                               static_cast<double>(uops);
+    }
+};
+
+/** Configuration of a front-end run. */
+struct FrontEndConfig
+{
+    Count warmupBranches = 100'000;
+    Count measureBranches = 500'000;
+
+    /** When set, collect CB/MB output densities over this range. */
+    bool collectDensity = false;
+    std::int64_t densityLo = -400;
+    std::int64_t densityHi = 400;
+    std::int64_t densityBucket = 10;
+};
+
+/**
+ * Run @p program through @p predictor and @p estimator.
+ *
+ * The estimator may be nullptr (predictor characterization only).
+ */
+FrontEndResult runFrontEnd(ProgramModel &program,
+                           BranchPredictor &predictor,
+                           ConfidenceEstimator *estimator,
+                           const FrontEndConfig &config);
+
+} // namespace percon
+
+#endif // PERCON_CORE_FRONT_END_SIM_HH

@@ -1,0 +1,114 @@
+#include "timing_sim.hh"
+
+#include <cstdlib>
+
+#include "bpred/factory.hh"
+#include "common/logging.hh"
+
+namespace percon {
+
+TimingConfig
+TimingConfig::fromEnv()
+{
+    TimingConfig cfg;
+    if (const char *env = std::getenv("PERCON_UOPS")) {
+        long long v = std::atoll(env);
+        if (v >= 10'000) {
+            cfg.measureUops = static_cast<Count>(v);
+            cfg.warmupUops = static_cast<Count>(v) * 3 / 10;
+        } else {
+            warn("ignoring PERCON_UOPS=%s (minimum 10000)", env);
+        }
+    }
+    return cfg;
+}
+
+TimingResult
+runTiming(const BenchmarkSpec &spec, const PipelineConfig &config,
+          const std::string &predictor_name,
+          const EstimatorFactory &make_estimator,
+          const SpeculationControl &spec_ctrl,
+          const TimingConfig &timing)
+{
+    ProgramModel program(spec.program);
+    WrongPathSynthesizer wrong_path(spec.program,
+                                    spec.program.seed ^ 0xdead);
+    auto predictor = makePredictor(predictor_name);
+    std::unique_ptr<ConfidenceEstimator> estimator;
+    if (make_estimator)
+        estimator = make_estimator();
+
+    Core core(config, program, wrong_path, *predictor, estimator.get(),
+              spec_ctrl);
+    core.warmup(timing.warmupUops);
+    core.run(timing.measureUops);
+
+    return TimingResult{spec.program.name, core.stats()};
+}
+
+GatingMetrics
+gatingMetrics(const CoreStats &baseline, const CoreStats &policy)
+{
+    GatingMetrics m;
+    // Compare uops executed per retired uop so runs of slightly
+    // different lengths stay comparable.
+    double base_epu = baseline.retiredUops
+                          ? static_cast<double>(baseline.executedUops) /
+                                static_cast<double>(baseline.retiredUops)
+                          : 0.0;
+    double pol_epu = policy.retiredUops
+                         ? static_cast<double>(policy.executedUops) /
+                               static_cast<double>(policy.retiredUops)
+                         : 0.0;
+    m.uopReductionPct = base_epu > 0.0
+                            ? 100.0 * (base_epu - pol_epu) / base_epu
+                            : 0.0;
+    m.perfLossPct = baseline.ipc() > 0.0
+                        ? 100.0 * (baseline.ipc() - policy.ipc()) /
+                              baseline.ipc()
+                        : 0.0;
+    return m;
+}
+
+GatingMetrics
+averageMetrics(const std::vector<CoreStats> &baseline,
+               const std::vector<CoreStats> &policy)
+{
+    PERCON_ASSERT(baseline.size() == policy.size(),
+                  "mismatched run vectors");
+    GatingMetrics avg;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        GatingMetrics m = gatingMetrics(baseline[i], policy[i]);
+        avg.uopReductionPct += m.uopReductionPct;
+        avg.perfLossPct += m.perfLossPct;
+    }
+    if (!baseline.empty()) {
+        avg.uopReductionPct /= static_cast<double>(baseline.size());
+        avg.perfLossPct /= static_cast<double>(baseline.size());
+    }
+    return avg;
+}
+
+SweepResult
+runGatingSweep(const PipelineConfig &config,
+               const std::string &predictor_name,
+               const EstimatorFactory &make_estimator,
+               const SpeculationControl &spec_ctrl,
+               const TimingConfig &timing)
+{
+    SweepResult res;
+    SpeculationControl no_policy;  // no gating, no reversal
+    for (const auto &spec : allBenchmarks()) {
+        res.names.push_back(spec.program.name);
+        res.baseline.push_back(runTiming(spec, config, predictor_name,
+                                         nullptr, no_policy, timing)
+                                   .stats);
+        res.policy.push_back(runTiming(spec, config, predictor_name,
+                                       make_estimator, spec_ctrl, timing)
+                                 .stats);
+    }
+    res.average = averageMetrics(res.baseline, res.policy);
+    return res;
+}
+
+} // namespace percon

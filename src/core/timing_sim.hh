@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Full-timing experiment driver: builds a Core around a benchmark
+ * profile, predictor and estimator, runs warmup + measurement, and
+ * reports the paper's pipeline-gating metrics (U = reduction in
+ * total uops executed, P = performance loss) relative to an ungated
+ * baseline run of the same machine.
+ */
+
+#ifndef PERCON_CORE_TIMING_SIM_HH
+#define PERCON_CORE_TIMING_SIM_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "trace/benchmarks.hh"
+#include "uarch/core.hh"
+
+namespace percon {
+
+/** Run lengths for timing experiments (paper: 10M warmup + 20M). */
+struct TimingConfig
+{
+    Count warmupUops = 300'000;
+    Count measureUops = 1'000'000;
+
+    /** Scale both by the PERCON_UOPS env var when present
+     *  (value = measure uops; warmup scales proportionally). */
+    static TimingConfig fromEnv();
+};
+
+/** Factory for fresh estimators (one per run). */
+using EstimatorFactory =
+    std::function<std::unique_ptr<ConfidenceEstimator>()>;
+
+/** Result of one timing run on one benchmark. */
+struct TimingResult
+{
+    std::string benchmark;
+    CoreStats stats;
+};
+
+/**
+ * Run one benchmark through a Core.
+ *
+ * @param spec benchmark profile
+ * @param config machine geometry
+ * @param predictor_name bpred factory key (fresh instance per run)
+ * @param make_estimator estimator factory; null for no estimator
+ * @param spec_ctrl gating/reversal policy
+ */
+TimingResult runTiming(const BenchmarkSpec &spec,
+                       const PipelineConfig &config,
+                       const std::string &predictor_name,
+                       const EstimatorFactory &make_estimator,
+                       const SpeculationControl &spec_ctrl,
+                       const TimingConfig &timing);
+
+/** Gating efficacy of a policy run vs. the matching baseline run. */
+struct GatingMetrics
+{
+    double uopReductionPct = 0.0;  ///< U in Tables 4-6
+    double perfLossPct = 0.0;      ///< P in Tables 4-6 (IPC loss)
+};
+
+GatingMetrics gatingMetrics(const CoreStats &baseline,
+                            const CoreStats &policy);
+
+/**
+ * Convenience: run all twelve benchmarks under baseline + policy and
+ * return per-benchmark metrics plus the aggregate (uop-weighted U,
+ * mean P), as the paper reports "average reduction ... across all
+ * benchmarks".
+ */
+struct SweepResult
+{
+    std::vector<std::string> names;
+    std::vector<CoreStats> baseline;
+    std::vector<CoreStats> policy;
+    GatingMetrics average;
+};
+
+SweepResult runGatingSweep(const PipelineConfig &config,
+                           const std::string &predictor_name,
+                           const EstimatorFactory &make_estimator,
+                           const SpeculationControl &spec_ctrl,
+                           const TimingConfig &timing);
+
+/** Average U/P across pre-computed per-benchmark run pairs. */
+GatingMetrics averageMetrics(const std::vector<CoreStats> &baseline,
+                             const std::vector<CoreStats> &policy);
+
+} // namespace percon
+
+#endif // PERCON_CORE_TIMING_SIM_HH

@@ -1,0 +1,109 @@
+#include "cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    PERCON_ASSERT(params.lineBytes >= 8 &&
+                      std::has_single_bit(
+                          static_cast<unsigned long>(params.lineBytes)),
+                  "line size must be a power of two >= 8");
+    PERCON_ASSERT(params.ways >= 1, "cache needs at least one way");
+    std::size_t lines_total = params.sizeBytes / params.lineBytes;
+    PERCON_ASSERT(lines_total >= params.ways,
+                  "cache smaller than one set");
+    numSets_ = lines_total / params.ways;
+    PERCON_ASSERT(std::has_single_bit(numSets_),
+                  "set count must be a power of two (size %zu)",
+                  params.sizeBytes);
+    lineShift_ = static_cast<unsigned>(std::countr_zero(
+        static_cast<unsigned long>(params.lineBytes)));
+    lines_.assign(numSets_ * params.ways, Line{});
+}
+
+std::size_t
+Cache::setFor(Addr addr) const
+{
+    return (addr >> lineShift_) & (numSets_ - 1);
+}
+
+Addr
+Cache::tagFor(Addr addr) const
+{
+    return addr >> lineShift_;
+}
+
+bool
+Cache::lookup(Addr addr, bool fill_on_miss, bool count)
+{
+    std::size_t set = setFor(addr);
+    Addr tag = tagFor(addr);
+    Line *base = &lines_[set * params_.ways];
+    ++useClock_;
+
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag) {
+            base[w].lastUse = useClock_;
+            if (count)
+                ++hits_;
+            return true;
+        }
+    }
+    if (count)
+        ++misses_;
+
+    if (fill_on_miss) {
+        // Victimize the LRU way (or any invalid way).
+        unsigned victim = 0;
+        for (unsigned w = 0; w < params_.ways; ++w) {
+            if (!base[w].valid) {
+                victim = w;
+                break;
+            }
+            if (base[w].lastUse < base[victim].lastUse)
+                victim = w;
+        }
+        base[victim].valid = true;
+        base[victim].tag = tag;
+        base[victim].lastUse = useClock_;
+    }
+    return false;
+}
+
+bool
+Cache::access(Addr addr)
+{
+    return lookup(addr, true, true);
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    std::size_t set = setFor(addr);
+    Addr tag = tagFor(addr);
+    const Line *base = &lines_[set * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::fill(Addr addr)
+{
+    lookup(addr, true, false);
+}
+
+void
+Cache::flush()
+{
+    for (auto &line : lines_)
+        line.valid = false;
+}
+
+} // namespace percon

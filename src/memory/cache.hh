@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Set-associative cache with LRU replacement.
+ *
+ * Tag-array only: the model tracks presence, not data. That is all
+ * the pipeline model needs to turn addresses into latencies.
+ */
+
+#ifndef PERCON_MEMORY_CACHE_HH
+#define PERCON_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace percon {
+
+/** Cache geometry. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::size_t sizeBytes = 32 * 1024;
+    unsigned ways = 8;
+    unsigned lineBytes = 64;
+};
+
+/** LRU set-associative tag array. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Look up @p addr; on a miss the line is filled (allocate on
+     * both reads and writes).
+     * @return true on hit
+     */
+    bool access(Addr addr);
+
+    /** Look up without filling (used by prefetch filtering). */
+    bool probe(Addr addr) const;
+
+    /** Insert a line without it counting as a demand access. */
+    void fill(Addr addr);
+
+    /** Invalidate everything. */
+    void flush();
+
+    const CacheParams &params() const { return params_; }
+    Count hits() const { return hits_; }
+    Count misses() const { return misses_; }
+    double
+    missRate() const
+    {
+        Count total = hits_ + misses_;
+        return total == 0 ? 0.0
+                          : static_cast<double>(misses_) /
+                                static_cast<double>(total);
+    }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t setFor(Addr addr) const;
+    Addr tagFor(Addr addr) const;
+    bool lookup(Addr addr, bool fill_on_miss, bool count);
+
+    CacheParams params_;
+    std::size_t numSets_;
+    unsigned lineShift_;
+    std::vector<Line> lines_;  ///< numSets_ x ways
+    std::uint64_t useClock_ = 0;
+    Count hits_ = 0;
+    Count misses_ = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_MEMORY_CACHE_HH

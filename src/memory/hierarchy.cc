@@ -1,0 +1,43 @@
+#include "hierarchy.hh"
+
+namespace percon {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyParams &params)
+    : params_(params), l1_(params.l1), l2_(params.l2),
+      prefetcher_(params.prefetchStreams, params.prefetchDegree,
+                  params.l2.lineBytes)
+{
+}
+
+MemAccessResult
+MemoryHierarchy::access(Addr addr, Cycle now, bool is_store)
+{
+    MemAccessResult res;
+    res.l1Hit = l1_.access(addr);
+    if (res.l1Hit) {
+        res.latency = params_.l1Latency;
+        return res;
+    }
+
+    res.l2Hit = l2_.access(addr);
+    if (params_.prefetchEnabled && !is_store)
+        prefetcher_.observe(addr, l2_);
+
+    if (res.l2Hit) {
+        res.latency = params_.l1Latency + params_.l2Latency;
+        return res;
+    }
+
+    // Memory access: serialize on the channel.
+    ++memAccesses_;
+    Cycle start = now > busFreeAt_ ? now : busFreeAt_;
+    Cycle wait = start - now;
+    totalBusWait_ += wait;
+    busFreeAt_ = start + params_.busCyclesPerLine;
+
+    res.latency =
+        params_.l1Latency + params_.l2Latency + wait + params_.memLatency;
+    return res;
+}
+
+} // namespace percon

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Two-level data memory hierarchy with a stream prefetcher and a
+ * simple contended memory bus (Table 1: 32K/8-way L1D, 1M/8-way
+ * unified L2, stream prefetch, "fully models buses and bus
+ * contention" approximated as a serializing DRAM channel).
+ */
+
+#ifndef PERCON_MEMORY_HIERARCHY_HH
+#define PERCON_MEMORY_HIERARCHY_HH
+
+#include "memory/cache.hh"
+#include "memory/prefetcher.hh"
+
+namespace percon {
+
+/** Latency and bus parameters. */
+struct HierarchyParams
+{
+    CacheParams l1{"l1d", 32 * 1024, 8, 64};
+    CacheParams l2{"l2", 1024 * 1024, 8, 64};
+
+    Cycle l1Latency = 3;
+    Cycle l2Latency = 18;
+    Cycle memLatency = 220;
+
+    /** Cycles the memory channel is busy per line transfer. */
+    Cycle busCyclesPerLine = 2;
+
+    unsigned prefetchStreams = 16;
+    unsigned prefetchDegree = 4;
+    bool prefetchEnabled = true;
+};
+
+/** Result of one data access. */
+struct MemAccessResult
+{
+    Cycle latency = 0;   ///< load-to-use latency in cycles
+    bool l1Hit = false;
+    bool l2Hit = false;
+};
+
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyParams &params);
+
+    /**
+     * Perform a data access at simulation time @p now.
+     *
+     * Misses that reach memory queue on the serializing channel, so
+     * bursts of misses see growing latencies (bus contention).
+     */
+    MemAccessResult access(Addr addr, Cycle now, bool is_store);
+
+    Cache &l1() { return l1_; }
+    Cache &l2() { return l2_; }
+    const Cache &l1() const { return l1_; }
+    const Cache &l2() const { return l2_; }
+    const StreamPrefetcher &prefetcher() const { return prefetcher_; }
+
+    const HierarchyParams &params() const { return params_; }
+
+    Count memAccesses() const { return memAccesses_; }
+    Cycle totalBusWait() const { return totalBusWait_; }
+
+  private:
+    HierarchyParams params_;
+    Cache l1_;
+    Cache l2_;
+    StreamPrefetcher prefetcher_;
+    Cycle busFreeAt_ = 0;
+    Count memAccesses_ = 0;
+    Cycle totalBusWait_ = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_MEMORY_HIERARCHY_HH

@@ -1,0 +1,72 @@
+#include "prefetcher.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "memory/cache.hh"
+
+namespace percon {
+
+StreamPrefetcher::StreamPrefetcher(unsigned num_streams, unsigned degree,
+                                   unsigned line_bytes)
+    : streams_(num_streams), degree_(degree)
+{
+    PERCON_ASSERT(num_streams >= 1, "need at least one stream");
+    PERCON_ASSERT(std::has_single_bit(
+                      static_cast<unsigned long>(line_bytes)),
+                  "line size must be a power of two");
+    lineShift_ = static_cast<unsigned>(std::countr_zero(
+        static_cast<unsigned long>(line_bytes)));
+}
+
+unsigned
+StreamPrefetcher::observe(Addr addr, Cache &target)
+{
+    Addr line = addr >> lineShift_;
+    ++useClock_;
+
+    // Match an existing stream: the access continues it if it lands
+    // on the line after (or same as) the stream head.
+    for (auto &s : streams_) {
+        if (!s.valid)
+            continue;
+        if (line == s.lastLine + 1 || line == s.lastLine) {
+            bool advanced = line == s.lastLine + 1;
+            s.lastLine = line;
+            s.lastUse = useClock_;
+            if (advanced && s.confidence < 4)
+                ++s.confidence;
+            if (advanced && s.confidence >= 2) {
+                unsigned fetched = 0;
+                for (unsigned d = 1; d <= degree_; ++d) {
+                    Addr pf = (line + d) << lineShift_;
+                    if (!target.probe(pf)) {
+                        target.fill(pf);
+                        ++fetched;
+                    }
+                }
+                issued_ += fetched;
+                return fetched;
+            }
+            return 0;
+        }
+    }
+
+    // Allocate a new stream over the LRU slot.
+    Stream *victim = &streams_[0];
+    for (auto &s : streams_) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lastUse < victim->lastUse)
+            victim = &s;
+    }
+    victim->valid = true;
+    victim->lastLine = line;
+    victim->confidence = 0;
+    victim->lastUse = useClock_;
+    return 0;
+}
+
+} // namespace percon

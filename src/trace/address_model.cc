@@ -1,0 +1,88 @@
+#include "address_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+namespace {
+
+/// Data segment bases, separated so access kinds never alias.
+constexpr Addr kStreamBase = 0x1000'0000ULL;
+constexpr Addr kHeapBase = 0x4000'0000ULL;
+constexpr Addr kChaseBase = 0x8000'0000ULL;
+
+} // namespace
+
+AddressModel::AddressModel(const AddressModelParams &params,
+                           std::uint64_t seed)
+    : params_(params),
+      wsBase_(kHeapBase + (mix64(seed) & 0x3ff'fff8)),
+      wsBytes_(params.workingSetKB * 1024)
+{
+    PERCON_ASSERT(params.workingSetKB >= 1, "empty working set");
+    PERCON_ASSERT(params.numStreams >= 1, "need at least one stream");
+
+    Rng init(seed, "addr-init");
+    streamHeads_.resize(params.numStreams);
+    for (std::size_t i = 0; i < streamHeads_.size(); ++i) {
+        // Seed-dependent start offsets keep distinct workloads (and
+        // the wrong-path synthesizer) off each other's lines.
+        streamHeads_[i] =
+            kStreamBase + (i << 20) + (mix64(seed ^ i) & 0xfff8);
+    }
+
+    // A shuffled ring of cache-line-spaced slots to pointer-chase.
+    std::size_t chase_slots =
+        std::max<std::size_t>(16, wsBytes_ / 64 / 4);
+    chase_slots = std::min<std::size_t>(chase_slots, 1 << 16);
+    chaseRing_.resize(chase_slots);
+    for (std::size_t i = 0; i < chase_slots; ++i)
+        chaseRing_[i] = kChaseBase + i * 64;
+    for (std::size_t i = chase_slots - 1; i > 0; --i) {
+        std::size_t j = init.nextBelow(i + 1);
+        std::swap(chaseRing_[i], chaseRing_[j]);
+    }
+}
+
+Addr
+AddressModel::nextStream(Rng &rng)
+{
+    std::size_t s = rng.nextBelow(streamHeads_.size());
+    streamHeads_[s] += params_.streamStride;
+    return streamHeads_[s];
+}
+
+Addr
+AddressModel::nextRandom(Rng &rng)
+{
+    std::uint64_t hot_bytes = params_.hotSetKB * 1024;
+    if (hot_bytes < wsBytes_ && rng.nextBernoulli(params_.hotFraction)) {
+        Addr offset = rng.nextBelow(hot_bytes) & ~7ULL;
+        return wsBase_ + offset;
+    }
+    Addr offset = rng.nextBelow(wsBytes_) & ~7ULL;
+    return wsBase_ + offset;
+}
+
+Addr
+AddressModel::nextChase()
+{
+    Addr a = chaseRing_[chasePos_];
+    chasePos_ = (chasePos_ + 1) % chaseRing_.size();
+    return a;
+}
+
+Addr
+AddressModel::next(Rng &rng)
+{
+    double u = rng.nextDouble();
+    if (u < params_.fracStream)
+        return nextStream(rng);
+    if (u < params_.fracStream + params_.fracChase)
+        return nextChase();
+    return nextRandom(rng);
+}
+
+} // namespace percon

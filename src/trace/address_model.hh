@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic memory-address generation.
+ *
+ * Each benchmark profile owns an AddressModel that mixes streaming
+ * (prefetch-friendly), working-set random (cache-capacity bound), and
+ * pointer-chase (latency bound) access patterns. The mix determines
+ * how memory-bound the pipeline model is, which in turn scales how
+ * much wrong-path work fits under an unresolved branch.
+ */
+
+#ifndef PERCON_TRACE_ADDRESS_MODEL_HH
+#define PERCON_TRACE_ADDRESS_MODEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace percon {
+
+/** Parameters for an AddressModel. */
+struct AddressModelParams
+{
+    /** Data working-set size in KiB (random component). */
+    std::uint64_t workingSetKB = 256;
+
+    /** Fraction of accesses that follow sequential streams. */
+    double fracStream = 0.5;
+
+    /** Fraction of accesses that pointer-chase (serially dependent). */
+    double fracChase = 0.0;
+
+    /** Number of concurrent sequential streams. */
+    unsigned numStreams = 8;
+
+    /** Stride in bytes for the streaming component. */
+    unsigned streamStride = 8;
+
+    /** Temporal locality of the random component: fraction of
+     *  random accesses that hit a small hot subset (stack, hot
+     *  globals) rather than the whole working set. */
+    double hotFraction = 0.85;
+    std::uint64_t hotSetKB = 16;
+};
+
+/** Deterministic generator of load/store effective addresses. */
+class AddressModel
+{
+  public:
+    AddressModel(const AddressModelParams &params, std::uint64_t seed);
+
+    /** Next data address (loads and stores share the model). */
+    Addr next(Rng &rng);
+
+    const AddressModelParams &params() const { return params_; }
+
+  private:
+    Addr nextStream(Rng &rng);
+    Addr nextRandom(Rng &rng);
+    Addr nextChase();
+
+    AddressModelParams params_;
+    std::vector<Addr> streamHeads_;
+    std::vector<Addr> chaseRing_;
+    std::size_t chasePos_ = 0;
+    Addr wsBase_;
+    Addr wsBytes_;
+};
+
+} // namespace percon
+
+#endif // PERCON_TRACE_ADDRESS_MODEL_HH

@@ -1,0 +1,126 @@
+#include "benchmarks.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+namespace {
+
+/**
+ * Shorthand builder. The category shares below are initial analytic
+ * estimates refined against the calibration test
+ * (tests/trace/calibration_test.cc): per-branch misprediction under
+ * the baseline hybrid is roughly
+ *     easy*(1-bias) + loop/trip + corr*noise + hard*0.42 + ...
+ * and mispredicts/Kuop = per-branch rate * 1000 / uopsPerBranch.
+ */
+BenchmarkSpec
+make(const std::string &name, double paper_mpk,
+     const BranchMix &mix, double easy_bias, unsigned trip_lo,
+     unsigned trip_hi, double corr_noise, double noisy_corr_noise,
+     double hard_lo, double hard_hi, std::uint64_t ws_kb,
+     double frac_stream, double frac_chase)
+{
+    BenchmarkSpec spec;
+    ProgramParams &p = spec.program;
+    p.name = name;
+    p.seed = 0x5eedULL ^ mix64(std::hash<std::string>{}(name));
+    p.numStaticBranches = 768;
+    p.zipfAlpha = 1.05;
+    p.mix = mix;
+    p.uopsPerBranch = 7.0;
+    p.easyBiasMin = easy_bias;
+    p.easyBiasMax = std::min(0.9995, easy_bias + 0.01);
+    p.loopTripMin = trip_lo;
+    p.loopTripMax = trip_hi;
+    p.corrNoise = corr_noise;
+    p.noisyCorrNoise = noisy_corr_noise;
+    p.hardBiasMin = hard_lo;
+    p.hardBiasMax = hard_hi;
+    p.addr.workingSetKB = ws_kb;
+    p.addr.fracStream = frac_stream;
+    p.addr.fracChase = frac_chase;
+    spec.paperMispredictsPerKuop = paper_mpk;
+    return spec;
+}
+
+std::vector<BenchmarkSpec>
+buildAll()
+{
+    std::vector<BenchmarkSpec> v;
+
+    // name          paper  {easy   loop  corr   par    locl   ncorr  hard   phas}
+    v.push_back(make("gzip", 5.2,
+        {0.805, 0.080, 0.040, 0.002, 0.006, 0.000, 0.025, 0.001, 0.049},
+        0.990, 6, 20, 0.02, 0.15, 0.55, 0.68, 256, 0.75, 0.0));
+    v.push_back(make("vpr", 6.6,
+        {0.765, 0.060, 0.050, 0.002, 0.008, 0.003, 0.042, 0.002, 0.066},
+        0.990, 6, 24, 0.02, 0.16, 0.55, 0.66, 2048, 0.30, 0.10));
+    v.push_back(make("gcc", 2.3,
+        {0.889, 0.060, 0.025, 0.001, 0.003, 0.000, 0.004, 0.001, 0.016},
+        0.994, 6, 24, 0.02, 0.12, 0.56, 0.70, 1024, 0.40, 0.05));
+    v.push_back(make("mcf", 16.0,
+        {0.577, 0.050, 0.060, 0.002, 0.010, 0.020, 0.135, 0.005, 0.163},
+        0.985, 6, 20, 0.03, 0.18, 0.52, 0.62, 8192, 0.10, 0.30));
+    v.push_back(make("crafty", 3.4,
+        {0.845, 0.060, 0.030, 0.002, 0.005, 0.000, 0.019, 0.001, 0.028},
+        0.992, 6, 24, 0.02, 0.14, 0.55, 0.68, 512, 0.45, 0.05));
+    v.push_back(make("link", 4.6,
+        {0.834, 0.070, 0.040, 0.002, 0.005, 0.000, 0.011, 0.001, 0.035},
+        0.990, 6, 24, 0.02, 0.15, 0.55, 0.68, 1024, 0.35, 0.15));
+    v.push_back(make("eon", 0.5,
+        {0.950, 0.040, 0.010, 0.000, 0.000, 0.000, 0.000, 0.000, 0.002},
+        0.9988, 8, 24, 0.01, 0.05, 0.58, 0.70, 256, 0.55, 0.0));
+    v.push_back(make("perlbmk", 0.7,
+        {0.930, 0.040, 0.025, 0.000, 0.000, 0.000, 0.000, 0.000, 0.004},
+        0.9975, 8, 24, 0.012, 0.06, 0.58, 0.70, 512, 0.45, 0.05));
+    v.push_back(make("gap", 1.7,
+        {0.909, 0.050, 0.020, 0.000, 0.002, 0.000, 0.008, 0.000, 0.010},
+        0.995, 8, 24, 0.015, 0.08, 0.57, 0.70, 1024, 0.45, 0.05));
+    v.push_back(make("vortex", 0.2,
+        {0.975, 0.020, 0.005, 0.000, 0.000, 0.000, 0.000, 0.000, 0.001},
+        0.9993, 8, 16, 0.005, 0.02, 0.60, 0.70, 1024, 0.50, 0.05));
+    v.push_back(make("bzip", 1.1,
+        {0.928, 0.050, 0.015, 0.000, 0.001, 0.000, 0.001, 0.000, 0.006},
+        0.996, 8, 24, 0.012, 0.07, 0.57, 0.70, 512, 0.80, 0.0));
+    v.push_back(make("twolf", 6.3,
+        {0.800, 0.060, 0.050, 0.002, 0.008, 0.002, 0.022, 0.004, 0.055},
+        0.990, 6, 24, 0.02, 0.16, 0.55, 0.66, 1024, 0.30, 0.10));
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkSpec> &
+allBenchmarks()
+{
+    static const std::vector<BenchmarkSpec> all = buildAll();
+    return all;
+}
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> n;
+        for (const auto &spec : allBenchmarks())
+            n.push_back(spec.program.name);
+        return n;
+    }();
+    return names;
+}
+
+const BenchmarkSpec &
+benchmarkSpec(const std::string &name)
+{
+    for (const auto &spec : allBenchmarks()) {
+        if (spec.program.name == name)
+            return spec;
+    }
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+} // namespace percon

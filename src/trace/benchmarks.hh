@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Calibrated SPECint-2000 workload profiles.
+ *
+ * The paper evaluates two 30M-instruction LIT traces per SPECint 2000
+ * benchmark on an Intel-internal simulator. We cannot redistribute
+ * those, so each benchmark is modelled as a ProgramParams profile
+ * whose static-branch population is calibrated so the baseline
+ * bimodal-gshare hybrid predictor reproduces the per-benchmark
+ * mispredicts/1000-uops column of the paper's Table 2 (ordering and
+ * approximate magnitude). See DESIGN.md §2 for the substitution
+ * argument.
+ */
+
+#ifndef PERCON_TRACE_BENCHMARKS_HH
+#define PERCON_TRACE_BENCHMARKS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/program_model.hh"
+
+namespace percon {
+
+/** One benchmark entry: profile + the paper's reference numbers. */
+struct BenchmarkSpec
+{
+    ProgramParams program;
+
+    /** Paper Table 2: branch mispredicts per 1000 uops. */
+    double paperMispredictsPerKuop;
+};
+
+/** Names of the twelve SPECint 2000 benchmarks, paper order. */
+const std::vector<std::string> &benchmarkNames();
+
+/** Look up a benchmark spec by name; fatal() on unknown names. */
+const BenchmarkSpec &benchmarkSpec(const std::string &name);
+
+/** All twelve specs in paper order. */
+const std::vector<BenchmarkSpec> &allBenchmarks();
+
+} // namespace percon
+
+#endif // PERCON_TRACE_BENCHMARKS_HH

@@ -1,0 +1,224 @@
+#include "branch_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+BiasedBranch::BiasedBranch(double p_taken, const char *kind_label,
+                           double burst_mean)
+    : pTaken_(p_taken), kind_(kind_label), burstMean_(burst_mean),
+      majority_(p_taken >= 0.5),
+      deviationRate_(p_taken >= 0.5 ? 1.0 - p_taken : p_taken)
+{
+}
+
+bool
+BiasedBranch::nextOutcome(const HistoryRegister &, Rng &rng)
+{
+    if (burstMean_ <= 1.0)
+        return rng.nextBernoulli(pTaken_);
+
+    if (deviantLeft_ > 0) {
+        --deviantLeft_;
+        return !majority_;
+    }
+    // Enter a deviation burst at a rate that keeps the long-run
+    // deviation fraction equal to min(p, 1-p).
+    double entry = deviationRate_ / burstMean_;
+    if (rng.nextBernoulli(entry / (1.0 - deviationRate_))) {
+        deviantLeft_ = static_cast<unsigned>(
+            rng.nextGeometric(1.0 / burstMean_));
+        return !majority_;
+    }
+    return majority_;
+}
+
+LoopBranch::LoopBranch(unsigned mean_trip, bool variable_trip)
+    : meanTrip_(mean_trip), variableTrip_(variable_trip)
+{
+    PERCON_ASSERT(mean_trip >= 2, "loop trip count must be >= 2");
+}
+
+unsigned
+LoopBranch::drawTrip(Rng &rng)
+{
+    if (!variableTrip_)
+        return meanTrip_;
+    // Geometric-ish spread with mean ~= meanTrip_, min 2.
+    double p = 1.0 / static_cast<double>(meanTrip_ - 1);
+    return 2 + static_cast<unsigned>(rng.nextGeometric(p));
+}
+
+bool
+LoopBranch::nextOutcome(const HistoryRegister &, Rng &rng)
+{
+    if (!primed_) {
+        remaining_ = drawTrip(rng);
+        primed_ = true;
+    }
+    if (remaining_ > 1) {
+        --remaining_;
+        return true;  // back-edge taken
+    }
+    remaining_ = drawTrip(rng);  // loop exit: fall through once
+    return false;
+}
+
+CorrelatedBranch::CorrelatedBranch(unsigned depth, double noise,
+                                   std::uint64_t shape_seed,
+                                   unsigned tap_offset,
+                                   const char *kind_label)
+    : noise_(noise), tapOffset_(tap_offset), kind_(kind_label)
+{
+    PERCON_ASSERT(depth >= 1 && depth + tap_offset <= 32,
+                  "correlation window [%u, %u) out of range",
+                  tap_offset, tap_offset + depth);
+    Rng shape(shape_seed, "corr-shape");
+    weights_.resize(depth);
+    for (auto &w : weights_)
+        w = static_cast<int>(shape.nextRange(-4, 4));
+    // Guarantee at least one live tap so the function is not constant.
+    if (std::all_of(weights_.begin(), weights_.end(),
+                    [](int w) { return w == 0; })) {
+        weights_[shape.nextBelow(depth)] = 1;
+    }
+    bias_ = static_cast<int>(shape.nextRange(-2, 2));
+}
+
+bool
+CorrelatedBranch::nextOutcome(const HistoryRegister &ghr, Rng &rng)
+{
+    int sum = bias_;
+    unsigned depth = static_cast<unsigned>(weights_.size());
+    for (unsigned i = 0; i < depth; ++i) {
+        unsigned tap = tapOffset_ + i;
+        if (tap < ghr.length())
+            sum += weights_[i] * ghr.signedBit(tap);
+    }
+    bool outcome = sum >= 0;
+    if (rng.nextBernoulli(noise_))
+        outcome = !outcome;
+    return outcome;
+}
+
+ParityBranch::ParityBranch(unsigned k, double noise,
+                           std::uint64_t shape_seed)
+    : noise_(noise)
+{
+    PERCON_ASSERT(k >= 1 && k <= 8, "parity width %u out of range", k);
+    Rng shape(shape_seed, "parity-shape");
+    taps_.resize(k);
+    for (auto &t : taps_)
+        t = static_cast<unsigned>(shape.nextBelow(10));
+}
+
+bool
+ParityBranch::nextOutcome(const HistoryRegister &ghr, Rng &rng)
+{
+    bool outcome = false;
+    for (unsigned tap : taps_) {
+        if (tap < ghr.length())
+            outcome ^= ghr.bit(tap);
+    }
+    if (rng.nextBernoulli(noise_))
+        outcome = !outcome;
+    return outcome;
+}
+
+DeepPatternBranch::DeepPatternBranch(std::vector<unsigned> taps,
+                                     std::vector<bool> triggers,
+                                     double noise,
+                                     std::uint64_t shape_seed)
+    : taps_(std::move(taps)), trigger_(std::move(triggers)),
+      noise_(noise)
+{
+    PERCON_ASSERT(!taps_.empty() && taps_.size() <= 4,
+                  "bad tap count %zu", taps_.size());
+    PERCON_ASSERT(trigger_.size() == taps_.size(),
+                  "trigger/tap size mismatch");
+    for (unsigned tap : taps_)
+        PERCON_ASSERT(tap < 32, "tap %u out of range", tap);
+    Rng shape(shape_seed, "deep-shape");
+    majority_ = shape.nextBernoulli(0.5);
+}
+
+DeepPatternBranch::DeepPatternBranch(unsigned num_taps, unsigned tap_min,
+                                     unsigned tap_max, double noise,
+                                     std::uint64_t shape_seed)
+    : noise_(noise)
+{
+    PERCON_ASSERT(num_taps >= 1 && num_taps <= 4,
+                  "bad tap count %u", num_taps);
+    PERCON_ASSERT(tap_min <= tap_max && tap_max < 32,
+                  "bad tap range [%u, %u]", tap_min, tap_max);
+    Rng shape(shape_seed, "deep-shape");
+    taps_.resize(num_taps);
+    trigger_.resize(num_taps);
+    for (unsigned t = 0; t < num_taps; ++t) {
+        taps_[t] = static_cast<unsigned>(
+            shape.nextRange(tap_min, tap_max));
+        trigger_[t] = shape.nextBernoulli(0.5);
+    }
+    majority_ = shape.nextBernoulli(0.5);
+}
+
+bool
+DeepPatternBranch::nextOutcome(const HistoryRegister &ghr, Rng &rng)
+{
+    bool triggered = true;
+    for (std::size_t t = 0; t < taps_.size(); ++t) {
+        if (taps_[t] >= ghr.length() ||
+            ghr.bit(taps_[t]) != trigger_[t]) {
+            triggered = false;
+            break;
+        }
+    }
+    bool outcome = triggered ? !majority_ : majority_;
+    if (rng.nextBernoulli(noise_))
+        outcome = !outcome;
+    return outcome;
+}
+
+LocalPatternBranch::LocalPatternBranch(unsigned period, double noise,
+                                       std::uint64_t shape_seed)
+    : noise_(noise)
+{
+    PERCON_ASSERT(period >= 2 && period <= 16,
+                  "pattern period %u out of range", period);
+    Rng shape(shape_seed, "local-shape");
+    pattern_.resize(period);
+    bool any_taken = false;
+    for (std::size_t i = 0; i < pattern_.size(); ++i) {
+        pattern_[i] = shape.nextBernoulli(0.6);
+        any_taken = any_taken || pattern_[i];
+    }
+    if (!any_taken)
+        pattern_[0] = true;
+}
+
+bool
+LocalPatternBranch::nextOutcome(const HistoryRegister &, Rng &rng)
+{
+    bool outcome = pattern_[pos_];
+    pos_ = (pos_ + 1) % pattern_.size();
+    if (rng.nextBernoulli(noise_))
+        outcome = !outcome;
+    return outcome;
+}
+
+PhasedBranch::PhasedBranch(double p_a, double p_b, double switch_prob)
+    : pA_(p_a), pB_(p_b), switchProb_(switch_prob)
+{
+}
+
+bool
+PhasedBranch::nextOutcome(const HistoryRegister &, Rng &rng)
+{
+    if (rng.nextBernoulli(switchProb_))
+        inA_ = !inA_;
+    return rng.nextBernoulli(inA_ ? pA_ : pB_);
+}
+
+} // namespace percon

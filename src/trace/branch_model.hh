@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Static-branch behaviour models.
+ *
+ * Each model decides the architectural outcome of one static branch
+ * as a function of its own private state, the program's architectural
+ * global history, and a deterministic noise stream. The population
+ * mix of these models is what gives each synthetic benchmark its
+ * predictability profile (see benchmarks.cc).
+ */
+
+#ifndef PERCON_TRACE_BRANCH_MODEL_HH
+#define PERCON_TRACE_BRANCH_MODEL_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/history.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace percon {
+
+/** Behaviour model for one static conditional branch. */
+class BranchBehavior
+{
+  public:
+    virtual ~BranchBehavior() = default;
+
+    /**
+     * Architectural outcome of the next dynamic instance.
+     *
+     * @param ghr architectural global history (most recent in bit 0)
+     * @param rng noise stream private to this static branch
+     */
+    virtual bool nextOutcome(const HistoryRegister &ghr, Rng &rng) = 0;
+
+    /** Model kind, for reports and tests. */
+    virtual const char *kind() const = 0;
+};
+
+/**
+ * Biased branch: follows its majority direction except for
+ * deviations. With burst_mean <= 1 deviations are IID Bernoulli
+ * (data-dependent "hard" branches); with burst_mean > 1 they come in
+ * geometric runs of that mean length, modelling the short phase
+ * changes real mostly-one-way branches exhibit. The overall deviation
+ * rate is min(p, 1-p) either way.
+ */
+class BiasedBranch : public BranchBehavior
+{
+  public:
+    /** @param kind_label reported kind, distinguishes the strongly
+     *  biased ("biased") and weakly biased ("hard") populations. */
+    explicit BiasedBranch(double p_taken,
+                          const char *kind_label = "biased",
+                          double burst_mean = 1.0);
+
+    bool nextOutcome(const HistoryRegister &, Rng &rng) override;
+    const char *kind() const override { return kind_; }
+
+  private:
+    double pTaken_;
+    const char *kind_;
+    double burstMean_;
+    bool majority_;
+    double deviationRate_;
+    unsigned deviantLeft_ = 0;
+};
+
+/**
+ * Loop back-edge: taken for (trip - 1) iterations, then not-taken
+ * once. Trip counts vary geometrically around the mean when
+ * variability is enabled, modelling data-dependent loop bounds.
+ */
+class LoopBranch : public BranchBehavior
+{
+  public:
+    LoopBranch(unsigned mean_trip, bool variable_trip);
+
+    bool nextOutcome(const HistoryRegister &, Rng &rng) override;
+    const char *kind() const override { return "loop"; }
+
+  private:
+    unsigned drawTrip(Rng &rng);
+
+    unsigned meanTrip_;
+    bool variableTrip_;
+    unsigned remaining_ = 0;
+    bool primed_ = false;
+};
+
+/**
+ * Linearly separable global-history correlation: the outcome is the
+ * sign of a fixed random weighted sum of selected history bits,
+ * XOR'd with Bernoulli noise. A perceptron can learn the noiseless
+ * function exactly; the noise sets the floor misprediction rate.
+ */
+class CorrelatedBranch : public BranchBehavior
+{
+  public:
+    /**
+     * @param depth number of history bits consulted (1..32)
+     * @param noise probability the correlated outcome is flipped
+     * @param shape_seed selects the fixed random weight vector
+     * @param tap_offset first history position consulted: taps lie
+     *        in [tap_offset, tap_offset + depth). Offsets beyond a
+     *        predictor's history reach make the branch look noisy to
+     *        it while estimators with longer history can still see
+     *        the correlation — the "deep correlated" population.
+     * @param kind_label reported kind
+     */
+    CorrelatedBranch(unsigned depth, double noise,
+                     std::uint64_t shape_seed, unsigned tap_offset = 0,
+                     const char *kind_label = "correlated");
+
+    bool nextOutcome(const HistoryRegister &ghr, Rng &rng) override;
+    const char *kind() const override { return kind_; }
+
+  private:
+    std::vector<int> weights_;  // index = history position - offset
+    int bias_;
+    double noise_;
+    unsigned tapOffset_;
+    const char *kind_;
+};
+
+/**
+ * Parity of k selected history bits plus noise: NOT linearly
+ * separable, so perceptron-style predictors cannot learn it while
+ * pattern-table (gshare) predictors can, as long as k is small.
+ */
+class ParityBranch : public BranchBehavior
+{
+  public:
+    ParityBranch(unsigned k, double noise, std::uint64_t shape_seed);
+
+    bool nextOutcome(const HistoryRegister &ghr, Rng &rng) override;
+    const char *kind() const override { return "parity"; }
+
+  private:
+    std::vector<unsigned> taps_;
+    double noise_;
+};
+
+/**
+ * Deep-pattern branch: follows a majority direction except when a
+ * small conjunction of *deep* history bits (taps at positions beyond
+ * a conventional predictor's history reach) matches its trigger
+ * pattern, in which case it goes the other way.
+ *
+ * Because the minority fraction is modest, PC/short-history
+ * predictors stay saturated on the majority and mispredict exactly
+ * (and stably) in the trigger contexts — which a confidence
+ * estimator with a longer history register can identify. This is the
+ * mechanism that gives perceptron confidence estimation its high
+ * accuracy in the paper, and simultaneously what defeats
+ * perceptron_tnt: a direction perceptron *learns* the trigger and
+ * predicts those instances confidently — confidently disagreeing
+ * with the real (short-history) predictor exactly where it fails.
+ */
+class DeepPatternBranch : public BranchBehavior
+{
+  public:
+    /**
+     * @param num_taps conjunction width (1..4)
+     * @param tap_min / tap_max inclusive tap position range
+     * @param noise probability any outcome is flipped
+     * @param shape_seed selects taps, trigger values and majority
+     */
+    DeepPatternBranch(unsigned num_taps, unsigned tap_min,
+                      unsigned tap_max, double noise,
+                      std::uint64_t shape_seed);
+
+    /** Explicit tap positions and trigger values (majority is drawn
+     *  from the seed). Used by the program model's schedule surgery,
+     *  which guarantees a varying driver branch occupies exactly
+     *  these history positions. */
+    DeepPatternBranch(std::vector<unsigned> taps,
+                      std::vector<bool> triggers, double noise,
+                      std::uint64_t shape_seed);
+
+    bool nextOutcome(const HistoryRegister &ghr, Rng &rng) override;
+    const char *kind() const override { return "deep"; }
+
+  private:
+    std::vector<unsigned> taps_;
+    std::vector<bool> trigger_;
+    bool majority_;
+    double noise_;
+};
+
+/**
+ * Short repeating local pattern (e.g. TTNTN...) plus noise,
+ * modelling control idioms driven by the branch's own history.
+ */
+class LocalPatternBranch : public BranchBehavior
+{
+  public:
+    LocalPatternBranch(unsigned period, double noise,
+                       std::uint64_t shape_seed);
+
+    bool nextOutcome(const HistoryRegister &, Rng &rng) override;
+    const char *kind() const override { return "local"; }
+
+  private:
+    std::vector<bool> pattern_;
+    double noise_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Phased branch: the taken-probability itself switches between two
+ * regimes with geometric dwell times, modelling input-dependent
+ * program phases that defeat slowly-adapting predictors.
+ */
+class PhasedBranch : public BranchBehavior
+{
+  public:
+    PhasedBranch(double p_a, double p_b, double switch_prob);
+
+    bool nextOutcome(const HistoryRegister &, Rng &rng) override;
+    const char *kind() const override { return "phased"; }
+
+  private:
+    double pA_, pB_, switchProb_;
+    bool inA_ = true;
+};
+
+} // namespace percon
+
+#endif // PERCON_TRACE_BRANCH_MODEL_HH

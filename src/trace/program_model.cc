@@ -1,0 +1,538 @@
+#include "program_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <string_view>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+namespace {
+
+constexpr Addr kCodeBase = 0x0040'0000ULL;
+constexpr Addr kBlockBytes = 256;
+
+/// Category ids used during stratified population assignment.
+enum Category : unsigned {
+    CatEasy, CatLoop, CatCorr, CatParity, CatLocal,
+    CatNoisyCorr, CatHard, CatPhased, CatDeepCorr, kNumCategories,
+};
+
+} // namespace
+
+ProgramModel::ProgramModel(const ProgramParams &params)
+    : params_(params),
+      walkRng_(params.seed, "walk"),
+      fillRng_(params.seed, "fill"),
+      addrRng_(params.seed, "addr"),
+      addrModel_(params.addr, params.seed)
+{
+    PERCON_ASSERT(params_.numStaticBranches >= 8,
+                  "population too small (%u)", params_.numStaticBranches);
+    buildPopulation();
+    currentBranch_ = popSchedule();
+    fillerRemaining_ = drawBlockLen();
+    fillerPc_ = branches_[currentBranch_].pc - fillerRemaining_ * 4;
+}
+
+ProgramModel::~ProgramModel() = default;
+
+std::size_t
+ProgramModel::indexForPc(Addr pc) const
+{
+    PERCON_ASSERT(pc >= kCodeBase, "pc below code base");
+    std::size_t i =
+        static_cast<std::size_t>((pc - kCodeBase) / kBlockBytes);
+    PERCON_ASSERT(i < branches_.size() && branches_[i].pc == pc,
+                  "pc %llx is not a static branch",
+                  static_cast<unsigned long long>(pc));
+    return i;
+}
+
+const StaticBranch &
+ProgramModel::staticBranch(std::size_t i) const
+{
+    PERCON_ASSERT(i < branches_.size(), "static branch %zu out of range", i);
+    return branches_[i];
+}
+
+void
+ProgramModel::buildPopulation()
+{
+    const unsigned n = params_.numStaticBranches;
+    branches_.resize(n);
+
+    // Zipf hotness weights over ranks.
+    for (unsigned i = 0; i < n; ++i) {
+        branches_[i].weight =
+            1.0 / std::pow(static_cast<double>(i + 1), params_.zipfAlpha);
+    }
+
+    // Stratified category assignment, done in dynamic-share space:
+    // the Zipf weight of a rank is treated as its dynamic execution
+    // share, and ranks are handed (hottest first) to the category
+    // with the largest absolute share deficit, skipping categories
+    // this rank would overshoot. Loop branches re-execute once per
+    // iteration, so after assignment their *entry* weight (used by
+    // the control-flow walk) is divided by the trip count, making
+    // their dynamic share match the assigned weight.
+    const double targets[kNumCategories] = {
+        params_.mix.easyBiased, params_.mix.loop, params_.mix.correlated,
+        params_.mix.parity, params_.mix.local, params_.mix.noisyCorrelated,
+        params_.mix.hardBiased, params_.mix.phased,
+        params_.mix.deepCorrelated,
+    };
+    double target_sum = 0.0;
+    for (double t : targets)
+        target_sum += t;
+    PERCON_ASSERT(target_sum > 0.0, "branch mix is all zero");
+
+    double assigned[kNumCategories] = {};
+    double cum_assigned = 0.0;
+
+    Rng shape(params_.seed, "population-shape");
+
+    for (unsigned i = 0; i < n; ++i) {
+        StaticBranch &b = branches_[i];
+        // One 256B block per static branch, with the branch placed at
+        // a per-branch offset so predictor index bits see irregular
+        // PCs, as real code layouts do (a fixed stride would alias
+        // whole columns of every PC-indexed table).
+        Addr offset = (mix64(params_.seed ^ (i * 2654435761ULL)) %
+                       (kBlockBytes / 4)) *
+                      4;
+        b.pc = kCodeBase + static_cast<Addr>(i) * kBlockBytes + offset;
+        b.noise = Rng(params_.seed ^ (0xb5ad'cb01ULL * (i + 1)), "noise");
+
+        double w = b.weight;
+        unsigned best = kNumCategories;
+        double best_deficit = -1e300;
+        unsigned fallback = 0;
+        double fallback_overshoot = 1e300;
+        for (unsigned c = 0; c < kNumCategories; ++c) {
+            double want = targets[c] / target_sum;
+            if (want <= 0.0)
+                continue;
+            double cum_after = cum_assigned + w;
+            double share_after = (assigned[c] + w) / cum_after;
+            double overshoot = share_after / want;
+            double deficit = want * cum_after - assigned[c];
+            if (overshoot <= 1.25 && deficit > best_deficit) {
+                best_deficit = deficit;
+                best = c;
+            }
+            if (overshoot < fallback_overshoot) {
+                fallback_overshoot = overshoot;
+                fallback = c;
+            }
+        }
+        if (best == kNumCategories)
+            best = fallback;
+        assigned[best] += w;
+        cum_assigned += w;
+        b.isLoop = best == CatLoop;
+
+        std::uint64_t bseed = params_.seed ^ mix64(i + 0x5151);
+        switch (best) {
+          case CatEasy: {
+            double p = params_.easyBiasMin +
+                       shape.nextDouble() *
+                           (params_.easyBiasMax - params_.easyBiasMin);
+            // Half the easy branches are biased not-taken.
+            if (shape.nextBernoulli(0.5))
+                p = 1.0 - p;
+            b.behavior = std::make_unique<BiasedBranch>(
+                p, "biased", params_.easyBurstMean);
+            b.takenProb = p;
+            break;
+          }
+          case CatLoop: {
+            unsigned trip = static_cast<unsigned>(shape.nextRange(
+                params_.loopTripMin, params_.loopTripMax));
+            b.behavior = std::make_unique<LoopBranch>(
+                trip, shape.nextBernoulli(0.4));
+            b.takenProb = 1.0 - 1.0 / trip;
+            // Entry weight: one loop entry yields ~trip instances.
+            b.weight /= static_cast<double>(trip);
+            break;
+          }
+          case CatCorr: {
+            unsigned depth = static_cast<unsigned>(shape.nextRange(
+                params_.corrDepthMin, params_.corrDepthMax));
+            b.behavior = std::make_unique<CorrelatedBranch>(
+                depth, params_.corrNoise, bseed);
+            break;
+          }
+          case CatParity:
+            b.behavior = std::make_unique<ParityBranch>(
+                params_.parityK, params_.parityNoise, bseed);
+            break;
+          case CatLocal: {
+            unsigned period = static_cast<unsigned>(shape.nextRange(
+                params_.localPeriodMin, params_.localPeriodMax));
+            b.behavior = std::make_unique<LocalPatternBranch>(
+                period, params_.localNoise, bseed);
+            break;
+          }
+          case CatNoisyCorr: {
+            unsigned depth = static_cast<unsigned>(shape.nextRange(
+                params_.corrDepthMin, params_.corrDepthMax));
+            b.behavior = std::make_unique<CorrelatedBranch>(
+                depth, params_.noisyCorrNoise, bseed);
+            break;
+          }
+          case CatHard: {
+            double p = params_.hardBiasMin +
+                       shape.nextDouble() *
+                           (params_.hardBiasMax - params_.hardBiasMin);
+            if (shape.nextBernoulli(0.5))
+                p = 1.0 - p;
+            b.behavior = std::make_unique<BiasedBranch>(p, "hard");
+            b.takenProb = p;
+            break;
+          }
+          case CatPhased:
+            b.behavior = std::make_unique<PhasedBranch>(
+                0.85, 0.20, 0.002);
+            break;
+          case CatDeepCorr:
+            // Behaviour is created after grouping, once the schedule
+            // surgery below has fixed this branch's driver offsets.
+            b.behavior = nullptr;
+            break;
+          default:
+            panic("unreachable category %u", best);
+        }
+
+        // Loops branch backwards; everything else hops forward.
+        bool backward = best == CatLoop || shape.nextBernoulli(0.2);
+        std::int64_t hop = static_cast<std::int64_t>(
+            1 + shape.nextBelow(8)) * kBlockBytes;
+        b.target = backward && b.pc > static_cast<Addr>(hop)
+                       ? b.pc - hop
+                       : b.pc + hop;
+    }
+
+    // Two-level deterministic schedule (see ProgramParams): build
+    // the groups and their fixed weighted-fair internal patterns,
+    // then the earliest-deadline heap over group weights.
+    //
+    // Loop branches and deep-pattern branches go to disjoint groups:
+    // a taken loop back-edge re-executes its block, which would
+    // shift every history position behind it and smear the stable
+    // offsets deep-pattern branches rely on.
+    unsigned per_group = std::max(2u, params_.branchesPerGroup);
+    unsigned num_groups = std::max(2u, n / per_group);
+    groups_.resize(num_groups);
+
+    std::vector<std::vector<std::uint32_t>> members(num_groups);
+    std::vector<bool> is_deep(n, false);
+    for (unsigned i = 0; i < n; ++i)
+        is_deep[i] = branches_[i].behavior == nullptr;
+
+    unsigned loop_rr = 0, deep_rr = 0, other_rr = 0;
+    unsigned half = num_groups / 2;
+    for (unsigned i = 0; i < n; ++i) {
+        unsigned g;
+        if (branches_[i].isLoop) {
+            g = loop_rr++ % half;                   // first half
+        } else if (is_deep[i]) {
+            g = half + deep_rr++ % (num_groups - half);  // second half
+        } else {
+            g = other_rr++ % num_groups;
+        }
+        members[g].push_back(i);
+        groups_[g].weight += branches_[i].weight;
+    }
+
+    Rng phase(params_.seed, "schedule-phase");
+    for (unsigned g = 0; g < num_groups; ++g) {
+        if (members[g].empty()) {
+            // Keep the scheduler well-formed for degenerate configs.
+            members[g].push_back(0);
+            groups_[g].weight += 1e-9;
+        }
+        // Unroll a weighted-fair sequence over the members into a
+        // fixed pattern.
+        std::vector<std::pair<double, std::uint32_t>> heap;
+        for (std::uint32_t i : members[g]) {
+            double period = 1.0 / branches_[i].weight;
+            heap.push_back({phase.nextDouble() * period, i});
+        }
+        std::make_heap(heap.begin(), heap.end(), std::greater<>());
+        std::size_t len = 4 * heap.size();
+        groups_[g].pattern.reserve(len);
+        for (std::size_t k = 0; k < len; ++k) {
+            std::pop_heap(heap.begin(), heap.end(), std::greater<>());
+            auto &e = heap.back();
+            groups_[g].pattern.push_back(e.second);
+            e.first += 1.0 / branches_[e.second].weight;
+            std::push_heap(heap.begin(), heap.end(), std::greater<>());
+        }
+    }
+
+    // Driver surgery: every deep-pattern branch deviates from its
+    // majority exactly when a *deep* history bit — the outcome of a
+    // genuinely varying "driver" branch at a fixed offset before it
+    // in the pattern — matches its trigger (the driver's minority
+    // direction, so deviations stay rare enough that the predictor's
+    // counters remain majority-saturated). The offset is beyond the
+    // branch predictor's history reach but within the confidence
+    // estimator's, so the predictor mispredicts these instances
+    // persistently while a long-history estimator identifies them
+    // (the paper's accuracy mechanism). Deep branches are placed
+    // *after existing driver occurrences* so the driver's own
+    // dynamic share — and with it the benchmark's misprediction
+    // budget — is not inflated.
+    auto variability_rank = [&](std::uint32_t i) {
+        const char *k = branches_[i].behavior
+                            ? branches_[i].behavior->kind()
+                            : "deep";
+        std::string_view kv(k);
+        if (kv == "hard") return 6;
+        if (kv == "phased") return 5;
+        if (kv == "local") return 4;
+        if (kv == "correlated") return 3;
+        if (kv == "parity") return 3;
+        if (kv == "deep") return 2;
+        if (kv == "loop") return 1;
+        return 0;  // biased: steadiest
+    };
+    for (unsigned g = half; g < num_groups; ++g) {
+        auto &pat = groups_[g].pattern;
+        if (pat.empty())
+            continue;
+        std::size_t len = pat.size();
+
+        // Pick the most outcome-varying non-deep member as driver.
+        std::uint32_t driver = members[g].front();
+        for (std::uint32_t i : members[g]) {
+            if (variability_rank(i) > variability_rank(driver))
+                driver = i;
+        }
+
+        std::vector<std::size_t> driver_slots;
+        for (std::size_t t = 0; t < len; ++t) {
+            if (pat[t] == driver)
+                driver_slots.push_back(t);
+        }
+        if (driver_slots.empty()) {
+            pat[0] = driver;
+            driver_slots.push_back(0);
+        }
+
+        // Deep branches only behave as designed at their surgically
+        // placed slots; scrub their scheduler-assigned occurrences
+        // (replace with the steadiest member) so no instance runs
+        // without its driver in position.
+        std::uint32_t filler = members[g].front();
+        for (std::uint32_t i : members[g]) {
+            if (!is_deep[i] && i != driver &&
+                variability_rank(i) <= variability_rank(filler))
+                filler = i;
+        }
+        for (std::size_t t = 0; t < len; ++t) {
+            if (is_deep[pat[t]])
+                pat[t] = filler;
+        }
+
+        // Double each driver occurrence: two adjacent, independent
+        // driver outcomes give deep branches a two-bit mixed trigger
+        // with firing probability p*(1-p) ~= 0.2, low enough that
+        // the predictor's counters stay saturated on the majority.
+        for (std::size_t t : driver_slots) {
+            std::size_t slot2 = (t + 1) % len;
+            if (pat[slot2] != driver)
+                pat[slot2] = driver;
+        }
+
+        bool trigger_val = branches_[driver].takenProb < 0.5;
+        unsigned k = 0;
+        for (std::uint32_t i : members[g]) {
+            if (!is_deep[i])
+                continue;
+            unsigned span =
+                params_.deepCorrTapMax - params_.deepCorrTapMin - 1;
+            unsigned gap =
+                params_.deepCorrTapMin + 1 + (2 * k) % std::max(1u, span);
+            ++k;
+            for (std::size_t t : driver_slots) {
+                std::size_t slot = (t + 1 + gap) % len;
+                if (pat[slot] == driver)
+                    continue;  // never delete a driver occurrence
+                pat[slot] = i;
+            }
+            std::uint64_t dseed = params_.seed ^ mix64(i + 0xdeeb);
+            branches_[i].behavior = std::make_unique<DeepPatternBranch>(
+                std::vector<unsigned>{gap - 1, gap},
+                std::vector<bool>{trigger_val, !trigger_val},
+                params_.deepCorrNoise, dseed);
+        }
+    }
+
+    // Any deep branch whose surgery was impossible (not in a pattern
+    // anymore, singleton group, ...) falls back to a biased branch.
+    for (unsigned i = 0; i < n; ++i) {
+        if (!branches_[i].behavior) {
+            branches_[i].behavior =
+                std::make_unique<BiasedBranch>(0.97, "biased", 5.0);
+        }
+    }
+
+    groupSchedule_.reserve(num_groups);
+    for (unsigned g = 0; g < num_groups; ++g) {
+        double period = 1.0 / groups_[g].weight;
+        groupSchedule_.push_back({phase.nextDouble() * period, g});
+    }
+    std::make_heap(groupSchedule_.begin(), groupSchedule_.end(),
+                   std::greater<>());
+}
+
+std::size_t
+ProgramModel::popSchedule()
+{
+    if (burstRemaining_ == 0) {
+        std::pop_heap(groupSchedule_.begin(), groupSchedule_.end(),
+                      std::greater<>());
+        auto &entry = groupSchedule_.back();
+        currentGroup_ = entry.second;
+        entry.first += 1.0 / groups_[currentGroup_].weight;
+        std::push_heap(groupSchedule_.begin(), groupSchedule_.end(),
+                       std::greater<>());
+        Group &grp = groups_[currentGroup_];
+        grp.cursor = 0;
+        burstRemaining_ = static_cast<Count>(params_.burstPasses) *
+                          grp.pattern.size();
+    }
+    Group &grp = groups_[currentGroup_];
+    std::size_t pick = grp.pattern[grp.cursor];
+    grp.cursor = (grp.cursor + 1) % grp.pattern.size();
+    --burstRemaining_;
+    return pick;
+}
+
+std::size_t
+ProgramModel::pickNext(std::size_t from, bool taken)
+{
+    // A taken loop back-edge re-executes its body: the same branch
+    // comes around again, exactly like a real inner loop.
+    if (branches_[from].isLoop && taken)
+        return from;
+    return popSchedule();
+}
+
+unsigned
+ProgramModel::drawBlockLen()
+{
+    double mean = std::max(1.0, params_.uopsPerBranch - 1.0);
+    double draw = walkRng_.nextGaussian(mean, mean / 3.0);
+    long len = std::lround(draw);
+    if (len < 1)
+        len = 1;
+    if (len > 4 * static_cast<long>(mean))
+        len = 4 * static_cast<long>(mean);
+    return static_cast<unsigned>(len);
+}
+
+MicroOp
+ProgramModel::makeFiller()
+{
+    MicroOp u;
+    u.pc = fillerPc_;
+    fillerPc_ += 4;
+
+    double r = fillRng_.nextDouble();
+    const UopMix &m = params_.uopMix;
+    if (r < m.load) {
+        u.cls = UopClass::Load;
+        u.memAddr = addrModel_.next(addrRng_);
+        sinceLoad_ = 0;
+    } else if (r < m.load + m.store) {
+        u.cls = UopClass::Store;
+        u.memAddr = addrModel_.next(addrRng_);
+    } else if (r < m.load + m.store + m.intAlu) {
+        u.cls = UopClass::IntAlu;
+    } else if (r < m.load + m.store + m.intAlu + m.intMul) {
+        u.cls = UopClass::IntMul;
+    } else {
+        u.cls = UopClass::FpAlu;
+    }
+
+    for (auto &dist : u.srcDist) {
+        if (fillRng_.nextBernoulli(params_.depProb)) {
+            double p = 1.0 / params_.depMeanDist;
+            std::uint64_t d = 1 + fillRng_.nextGeometric(p);
+            dist = static_cast<std::uint16_t>(std::min<std::uint64_t>(
+                d, 64));
+        }
+    }
+    return u;
+}
+
+MicroOp
+ProgramModel::makeBranch()
+{
+    StaticBranch &b = branches_[currentBranch_];
+
+    MicroOp u;
+    u.pc = b.pc;
+    u.cls = UopClass::Branch;
+    u.target = b.target;
+    u.taken = b.behavior->nextOutcome(archGhr_, b.noise);
+
+    // Branches often test a recently loaded value; a pending-miss
+    // producer delays resolution, exactly the coupling that makes
+    // memory-bound codes (mcf) waste so much wrong-path work.
+    if (fillRng_.nextBernoulli(params_.branchLoadDepProb) &&
+        sinceLoad_ < 64) {
+        u.srcDist[0] = static_cast<std::uint16_t>(sinceLoad_ + 1);
+    } else if (fillRng_.nextBernoulli(params_.depProb)) {
+        double p = 1.0 / params_.depMeanDist;
+        std::uint64_t d = 1 + fillRng_.nextGeometric(p);
+        u.srcDist[0] =
+            static_cast<std::uint16_t>(std::min<std::uint64_t>(d, 64));
+    }
+
+    archGhr_.push(u.taken);
+    ++b.dynCount;
+    if (u.taken)
+        ++b.dynTaken;
+    return u;
+}
+
+MicroOp
+ProgramModel::nextBranch(unsigned &skipped)
+{
+    skipped = fillerRemaining_;
+    fillerRemaining_ = 0;
+
+    std::size_t prev = currentBranch_;
+    MicroOp br = makeBranch();
+
+    currentBranch_ = pickNext(prev, br.taken);
+    fillerRemaining_ = drawBlockLen();
+    fillerPc_ = branches_[currentBranch_].pc - fillerRemaining_ * 4;
+    return br;
+}
+
+MicroOp
+ProgramModel::next()
+{
+    ++sinceLoad_;
+    if (fillerRemaining_ > 0) {
+        --fillerRemaining_;
+        return makeFiller();
+    }
+
+    std::size_t prev = currentBranch_;
+    MicroOp br = makeBranch();
+
+    currentBranch_ = pickNext(prev, br.taken);
+    fillerRemaining_ = drawBlockLen();
+    fillerPc_ = branches_[currentBranch_].pc - fillerRemaining_ * 4;
+    return br;
+}
+
+} // namespace percon

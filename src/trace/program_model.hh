@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Synthetic program model: a statistical CFG that emits a
+ * deterministic correct-path uop stream.
+ *
+ * A program is a population of static conditional branches, each with
+ * a behaviour model (branch_model.hh), a hotness weight drawn from a
+ * Zipf distribution, and a basic block of filler uops in front of it.
+ * The generator walks the population, emitting filler uops followed
+ * by the block-ending branch whose outcome comes from its behaviour
+ * model evaluated against the architectural global history.
+ */
+
+#ifndef PERCON_TRACE_PROGRAM_MODEL_HH
+#define PERCON_TRACE_PROGRAM_MODEL_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/history.hh"
+#include "common/rng.hh"
+#include "trace/address_model.hh"
+#include "trace/branch_model.hh"
+#include "trace/uop.hh"
+
+namespace percon {
+
+/** Dynamic-share mix of branch behaviour categories (sums to ~1). */
+struct BranchMix
+{
+    double easyBiased = 0.40;   ///< strongly biased (p near 1 or 0)
+    double loop = 0.25;         ///< loop back-edges
+    double correlated = 0.15;   ///< linearly separable global corr.
+    double parity = 0.03;       ///< non-separable global corr.
+    double local = 0.07;        ///< short local patterns
+    double noisyCorrelated = 0.05; ///< correlated with high noise
+    double hardBiased = 0.03;   ///< weakly biased (p near 0.5)
+    double phased = 0.02;       ///< regime-switching bias
+
+    /** Correlated with history taps beyond the branch predictor's
+     *  reach (but within a 32-bit confidence estimator's): the
+     *  predictor mispredicts these in identifiable contexts. */
+    double deepCorrelated = 0.0;
+};
+
+/** Non-branch uop class mix (fractions of filler uops; sums to ~1). */
+struct UopMix
+{
+    double load = 0.28;
+    double store = 0.14;
+    double intAlu = 0.48;
+    double intMul = 0.04;
+    double fpAlu = 0.06;
+};
+
+/** Full parameter set for one synthetic program. */
+struct ProgramParams
+{
+    std::string name = "synthetic";
+
+    unsigned numStaticBranches = 512;
+    double zipfAlpha = 1.1;     ///< hotness skew of the population
+
+    BranchMix mix;
+    UopMix uopMix;
+
+    /** Mean non-branch uops between conditional branches. */
+    double uopsPerBranch = 7.0;
+
+    /** Control flow: a two-level deterministic schedule. Branches
+     *  are partitioned into groups ("functions"); each group has a
+     *  fixed weighted-fair internal pattern, and groups are activated
+     *  in bursts by an earliest-virtual-deadline scheduler over the
+     *  group weights. The burst-local sequence is periodic, so
+     *  global-history contexts repeat (pattern-table predictors can
+     *  learn, as in real code), while long-run dynamic shares match
+     *  the assigned weights exactly. Taken loop back-edges
+     *  re-execute their own block. */
+    unsigned branchesPerGroup = 24;
+    unsigned burstPasses = 3;      ///< pattern repetitions per burst
+
+    // --- behaviour-model parameter ranges -------------------------
+    double easyBiasMin = 0.96, easyBiasMax = 0.995;
+    double easyBurstMean = 10.0; ///< deviation burst length of easy branches
+    unsigned loopTripMin = 4, loopTripMax = 48;
+    unsigned corrDepthMin = 2, corrDepthMax = 12;
+    double corrNoise = 0.02;
+    unsigned parityK = 3;
+    double parityNoise = 0.03;
+    unsigned localPeriodMin = 3, localPeriodMax = 8;
+    double localNoise = 0.03;
+    double noisyCorrNoise = 0.15;
+    double hardBiasMin = 0.55, hardBiasMax = 0.72;
+    unsigned deepCorrTapMin = 17, deepCorrTapMax = 28;
+    unsigned deepCorrDepthMin = 1, deepCorrDepthMax = 2;  ///< trigger taps
+    double deepCorrNoise = 0.03;
+
+    /** Dependency shaping for filler uops. Chains reset whenever a
+     *  uop draws no producers (constants, immediates), which is what
+     *  gives real code its instruction-level parallelism. */
+    double depProb = 0.4;       ///< P(a source has a producer)
+    double depMeanDist = 12.0;  ///< mean producer distance
+
+    /** P(a branch source depends on a recent load). */
+    double branchLoadDepProb = 0.45;
+
+    AddressModelParams addr;
+
+    std::uint64_t seed = 1;
+};
+
+/** One static branch in the population. */
+struct StaticBranch
+{
+    Addr pc = 0;
+    Addr target = 0;
+    std::unique_ptr<BranchBehavior> behavior;
+    Rng noise{0};
+    double weight = 0.0;
+    bool isLoop = false;   ///< taken back-edge re-executes the body
+    double takenProb = 0.5; ///< build-time estimate of P(taken)
+    Count dynCount = 0;
+    Count dynTaken = 0;
+};
+
+/**
+ * The streaming generator. Deterministic for fixed ProgramParams.
+ */
+class ProgramModel : public WorkloadSource
+{
+  public:
+    explicit ProgramModel(const ProgramParams &params);
+    ~ProgramModel() override;
+
+    MicroOp next() override;
+    const char *name() const override { return params_.name.c_str(); }
+
+    /**
+     * Fast-forward to the next conditional branch without
+     * materializing the filler uops in between; @p skipped receives
+     * how many fillers were skipped. Used by front-end-only studies
+     * where only the branch stream matters but uop counts still do.
+     */
+    MicroOp nextBranch(unsigned &skipped);
+
+    /** Architectural global history (true outcomes only). */
+    const HistoryRegister &archHistory() const { return archGhr_; }
+
+    /** Population introspection, for tests. */
+    std::size_t numStaticBranches() const { return branches_.size(); }
+    const StaticBranch &staticBranch(std::size_t i) const;
+
+    /** Map a branch PC back to its population index. */
+    std::size_t indexForPc(Addr pc) const;
+
+    const ProgramParams &params() const { return params_; }
+
+  private:
+    void buildPopulation();
+    std::size_t pickNext(std::size_t from, bool taken);
+    std::size_t popSchedule();
+    MicroOp makeFiller();
+    MicroOp makeBranch();
+    unsigned drawBlockLen();
+
+    ProgramParams params_;
+    Rng walkRng_;   ///< drives control-flow walk + block shapes
+    Rng fillRng_;   ///< drives filler uop classes/deps
+    Rng addrRng_;   ///< drives address generation
+
+    std::vector<StaticBranch> branches_;
+
+    /** One schedulable group of branches. */
+    struct Group
+    {
+        std::vector<std::uint32_t> pattern;  ///< fixed periodic order
+        std::size_t cursor = 0;
+        double weight = 0.0;
+    };
+    std::vector<Group> groups_;
+
+    /** Earliest-virtual-deadline heap over groups. */
+    std::vector<std::pair<double, std::uint32_t>> groupSchedule_;
+    std::size_t currentGroup_ = 0;
+    Count burstRemaining_ = 0;
+
+    AddressModel addrModel_;
+    HistoryRegister archGhr_{32};
+
+    std::size_t currentBranch_ = 0;
+    unsigned fillerRemaining_ = 0;
+    Addr fillerPc_ = 0;
+    unsigned sinceLoad_ = 1000;  ///< uops since last emitted load
+};
+
+} // namespace percon
+
+#endif // PERCON_TRACE_PROGRAM_MODEL_HH

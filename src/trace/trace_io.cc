@@ -1,0 +1,134 @@
+#include "trace_io.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'C', 'T', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+struct TraceHeader
+{
+    char magic[4];
+    std::uint32_t version;
+    std::uint64_t count;
+};
+
+TraceRecord
+pack(const MicroOp &u)
+{
+    TraceRecord r{};
+    r.pc = u.pc;
+    r.memAddr = u.memAddr;
+    r.target = u.target;
+    r.srcDist0 = u.srcDist[0];
+    r.srcDist1 = u.srcDist[1];
+    r.cls = static_cast<std::uint8_t>(u.cls);
+    r.taken = u.taken ? 1 : 0;
+    return r;
+}
+
+MicroOp
+unpack(const TraceRecord &r)
+{
+    MicroOp u;
+    u.pc = r.pc;
+    u.memAddr = r.memAddr;
+    u.target = r.target;
+    u.srcDist[0] = r.srcDist0;
+    u.srcDist[1] = r.srcDist1;
+    u.cls = static_cast<UopClass>(r.cls);
+    u.taken = r.taken != 0;
+    return u;
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "wb");
+    if (!file_)
+        fatal("cannot create trace file '%s'", path.c_str());
+    TraceHeader hdr{};
+    std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+    hdr.version = kVersion;
+    hdr.count = 0;
+    if (std::fwrite(&hdr, sizeof(hdr), 1, file_) != 1)
+        fatal("cannot write trace header to '%s'", path.c_str());
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_)
+        close();
+}
+
+void
+TraceWriter::write(const MicroOp &uop)
+{
+    PERCON_ASSERT(file_, "write after close");
+    TraceRecord r = pack(uop);
+    if (std::fwrite(&r, sizeof(r), 1, file_) != 1)
+        fatal("trace write failed (disk full?)");
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    PERCON_ASSERT(file_, "double close");
+    TraceHeader hdr{};
+    std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+    hdr.version = kVersion;
+    hdr.count = count_;
+    std::fseek(file_, 0, SEEK_SET);
+    if (std::fwrite(&hdr, sizeof(hdr), 1, file_) != 1)
+        fatal("cannot finalize trace header");
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path) : name_(path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        fatal("cannot open trace file '%s'", path.c_str());
+    TraceHeader hdr{};
+    if (std::fread(&hdr, sizeof(hdr), 1, file_) != 1)
+        fatal("'%s' is too short to be a trace", path.c_str());
+    if (std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("'%s' is not a PCTR trace", path.c_str());
+    if (hdr.version != kVersion)
+        fatal("'%s': unsupported trace version %u", path.c_str(),
+              hdr.version);
+    if (hdr.count == 0)
+        fatal("'%s' contains no uops", path.c_str());
+    size_ = hdr.count;
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+MicroOp
+TraceReader::next()
+{
+    if (position_ >= size_) {
+        std::fseek(file_, sizeof(TraceHeader), SEEK_SET);
+        position_ = 0;
+    }
+    TraceRecord r{};
+    if (std::fread(&r, sizeof(r), 1, file_) != 1)
+        fatal("truncated trace '%s' at uop %llu", name_.c_str(),
+              static_cast<unsigned long long>(position_));
+    ++position_;
+    return unpack(r);
+}
+
+} // namespace percon

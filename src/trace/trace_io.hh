@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Binary trace file format ("PCTR"): a fixed header followed by
+ * packed MicroOp records. Lets users capture a synthetic workload
+ * once and replay it, or import their own uop streams.
+ */
+
+#ifndef PERCON_TRACE_TRACE_IO_HH
+#define PERCON_TRACE_TRACE_IO_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "trace/uop.hh"
+
+namespace percon {
+
+/** On-disk per-uop record (packed, little-endian host assumed). */
+struct TraceRecord
+{
+    std::uint64_t pc;
+    std::uint64_t memAddr;
+    std::uint64_t target;
+    std::uint16_t srcDist0;
+    std::uint16_t srcDist1;
+    std::uint8_t cls;
+    std::uint8_t taken;
+    std::uint8_t pad[2];
+};
+static_assert(sizeof(TraceRecord) == 32, "trace record must pack to 32B");
+
+/** Writes uops to a PCTR trace file. */
+class TraceWriter
+{
+  public:
+    /** Open for writing; fatal() if the file cannot be created. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one uop. */
+    void write(const MicroOp &uop);
+
+    /** Flush and finalize the header. */
+    void close();
+
+    Count written() const { return count_; }
+
+  private:
+    std::FILE *file_ = nullptr;
+    Count count_ = 0;
+};
+
+/** Reads a PCTR trace file; implements WorkloadSource by replay. */
+class TraceReader : public WorkloadSource
+{
+  public:
+    /** Open for reading; fatal() on missing/corrupt files. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** Total uops in the file. */
+    Count size() const { return size_; }
+
+    /** True when all uops have been consumed. */
+    bool exhausted() const { return position_ >= size_; }
+
+    /** Next uop; the trace wraps around at the end so streaming
+     *  consumers (the pipeline model) never starve. */
+    MicroOp next() override;
+
+    const char *name() const override { return name_.c_str(); }
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::string name_;
+    Count size_ = 0;
+    Count position_ = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_TRACE_TRACE_IO_HH

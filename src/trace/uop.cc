@@ -1,0 +1,27 @@
+#include "uop.hh"
+
+#include "common/logging.hh"
+
+namespace percon {
+
+const char *
+uopClassName(UopClass cls)
+{
+    switch (cls) {
+      case UopClass::IntAlu:
+        return "IntAlu";
+      case UopClass::IntMul:
+        return "IntMul";
+      case UopClass::FpAlu:
+        return "FpAlu";
+      case UopClass::Load:
+        return "Load";
+      case UopClass::Store:
+        return "Store";
+      case UopClass::Branch:
+        return "Branch";
+    }
+    panic("bad uop class %d", static_cast<int>(cls));
+}
+
+} // namespace percon

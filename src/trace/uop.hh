@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The micro-op record: the unit of work flowing through traces and
+ * the pipeline model, mirroring the paper's IA32-uop accounting.
+ */
+
+#ifndef PERCON_TRACE_UOP_HH
+#define PERCON_TRACE_UOP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace percon {
+
+/** Execution class of a micro-op; selects scheduler and latency. */
+enum class UopClass : std::uint8_t {
+    IntAlu,   ///< single-cycle integer op
+    IntMul,   ///< multi-cycle integer op (mul/div)
+    FpAlu,    ///< floating-point op
+    Load,     ///< memory read
+    Store,    ///< memory write
+    Branch,   ///< conditional branch (the only control uop we model)
+};
+
+/** Human-readable class name. */
+const char *uopClassName(UopClass cls);
+
+/**
+ * One dynamic micro-op.
+ *
+ * Dependencies are encoded as distances: srcDist[k] == d means source
+ * operand k is produced by the uop d positions earlier in program
+ * order (0 = no dependency). This keeps traces self-contained without
+ * a register file model.
+ */
+struct MicroOp
+{
+    Addr pc = 0;
+    UopClass cls = UopClass::IntAlu;
+
+    /** Producer distances for up to two sources (0 = none). */
+    std::uint16_t srcDist[2] = {0, 0};
+
+    /** Effective address for loads/stores. */
+    Addr memAddr = 0;
+
+    /** Branch: architectural outcome (true = taken). */
+    bool taken = false;
+
+    /** Branch: taken-path target (fall-through is pc + 4). */
+    Addr target = 0;
+
+    bool isBranch() const { return cls == UopClass::Branch; }
+    bool isLoad() const { return cls == UopClass::Load; }
+    bool isStore() const { return cls == UopClass::Store; }
+    bool isMem() const { return isLoad() || isStore(); }
+};
+
+/**
+ * Streaming source of correct-path micro-ops.
+ *
+ * Implementations must be deterministic: the i-th call to next()
+ * always yields the same uop for the same construction parameters.
+ */
+class WorkloadSource
+{
+  public:
+    virtual ~WorkloadSource() = default;
+
+    /** Produce the next correct-path uop. */
+    virtual MicroOp next() = 0;
+
+    /** Name for reports. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_TRACE_UOP_HH

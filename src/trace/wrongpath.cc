@@ -1,0 +1,65 @@
+#include "wrongpath.hh"
+
+namespace percon {
+
+WrongPathSynthesizer::WrongPathSynthesizer(const ProgramParams &params,
+                                           std::uint64_t seed)
+    : params_(params), rng_(seed, "wrongpath"),
+      addrModel_(params.addr, seed ^ 0x77ff), addrRng_(seed, "wp-addr")
+{
+}
+
+void
+WrongPathSynthesizer::redirect(Addr wrong_target)
+{
+    pc_ = wrong_target;
+    sinceBranch_ = 0;
+}
+
+MicroOp
+WrongPathSynthesizer::next()
+{
+    MicroOp u;
+    u.pc = pc_;
+    pc_ += 4;
+    ++sinceBranch_;
+
+    // End a wrong-path basic block with a branch at roughly the same
+    // density as the correct path.
+    double branch_prob = 1.0 / params_.uopsPerBranch;
+    if (sinceBranch_ >= 2 && rng_.nextBernoulli(branch_prob)) {
+        u.cls = UopClass::Branch;
+        u.taken = rng_.nextBernoulli(0.5);
+        u.target = u.pc + 64 + (rng_.nextBelow(16) << 6);
+        sinceBranch_ = 0;
+        return u;
+    }
+
+    double r = rng_.nextDouble();
+    const UopMix &m = params_.uopMix;
+    if (r < m.load) {
+        u.cls = UopClass::Load;
+        u.memAddr = addrModel_.next(addrRng_);
+    } else if (r < m.load + m.store) {
+        u.cls = UopClass::Store;
+        u.memAddr = addrModel_.next(addrRng_);
+    } else if (r < m.load + m.store + m.intAlu) {
+        u.cls = UopClass::IntAlu;
+    } else if (r < m.load + m.store + m.intAlu + m.intMul) {
+        u.cls = UopClass::IntMul;
+    } else {
+        u.cls = UopClass::FpAlu;
+    }
+
+    for (auto &dist : u.srcDist) {
+        if (rng_.nextBernoulli(params_.depProb)) {
+            double p = 1.0 / params_.depMeanDist;
+            std::uint64_t d = 1 + rng_.nextGeometric(p);
+            dist = static_cast<std::uint16_t>(
+                std::min<std::uint64_t>(d, 64));
+        }
+    }
+    return u;
+}
+
+} // namespace percon

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Wrong-path uop synthesis.
+ *
+ * When the pipeline model fetches past a mispredicted branch, the
+ * real machine executes instructions from the wrong target. Our
+ * correct-path trace has no record of them, so we synthesize a
+ * plausible stream: same uop class mix, same dependency shaping, and
+ * addresses drawn from a separate working-set so wrong-path loads
+ * perturb the caches (the paper's "mostly wasted" footnote: some
+ * prefetch benefit remains).
+ *
+ * Wrong-path branches are predicted by the real predictor so they
+ * consume history/table state realistically, but they never redirect
+ * fetch: the whole path dies when the triggering branch resolves.
+ */
+
+#ifndef PERCON_TRACE_WRONGPATH_HH
+#define PERCON_TRACE_WRONGPATH_HH
+
+#include "common/rng.hh"
+#include "trace/address_model.hh"
+#include "trace/program_model.hh"
+#include "trace/uop.hh"
+
+namespace percon {
+
+/** Generator for wrong-path uops, seeded per diverted branch. */
+class WrongPathSynthesizer
+{
+  public:
+    /**
+     * @param params the program the wrong path imitates
+     * @param seed determinism root, distinct from the program's
+     */
+    WrongPathSynthesizer(const ProgramParams &params, std::uint64_t seed);
+
+    /** Begin a wrong path at the given (wrong) fetch target. */
+    void redirect(Addr wrong_target);
+
+    /** Produce the next wrong-path uop. */
+    MicroOp next();
+
+  private:
+    ProgramParams params_;
+    Rng rng_;
+    AddressModel addrModel_;
+    Rng addrRng_;
+    Addr pc_ = 0;
+    unsigned sinceBranch_ = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_TRACE_WRONGPATH_HH

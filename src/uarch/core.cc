@@ -1,0 +1,426 @@
+#include "core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+Core::Core(const PipelineConfig &config, WorkloadSource &workload,
+           WrongPathSynthesizer &wrong_path, BranchPredictor &predictor,
+           ConfidenceEstimator *estimator, const SpeculationControl &spec)
+    : config_(config), spec_(spec), workload_(workload),
+      wrongPath_(wrong_path), predictor_(predictor),
+      estimator_(estimator), mem_(config.mem), exec_(config_, mem_),
+      traceCache_(config.traceCache),
+      btb_(config.btbEntries, config.btbWays)
+{
+    if ((spec_.gateThreshold > 0 && !spec_.oracleGating) ||
+        spec_.reversalEnabled) {
+        PERCON_ASSERT(estimator_ != nullptr,
+                      "gating/reversal require a confidence estimator");
+    }
+}
+
+InflightUop *
+Core::findBySeq(SeqNum seq)
+{
+    // Both structures are seq-sorted but may contain gaps where
+    // flushed wrong-path uops used to be, so binary-search by seq.
+    auto search = [seq](std::deque<InflightUop> &q) -> InflightUop * {
+        if (q.empty() || seq < q.front().seq || seq > q.back().seq)
+            return nullptr;
+        auto it = std::lower_bound(
+            q.begin(), q.end(), seq,
+            [](const InflightUop &u, SeqNum s) { return u.seq < s; });
+        return (it != q.end() && it->seq == seq) ? &*it : nullptr;
+    };
+    if (InflightUop *u = search(rob_))
+        return u;
+    return search(fetchPipe_);
+}
+
+void
+Core::applyPendingConfidence()
+{
+    while (!confQueue_.empty() && confQueue_.top().first <= now_) {
+        SeqNum seq = confQueue_.top().second;
+        confQueue_.pop();
+        InflightUop *u = findBySeq(seq);
+        if (!u)
+            continue;  // flushed before the estimate arrived
+        if (!u->lowConfPending || u->resolvedForGate)
+            continue;  // resolved before the estimate arrived
+        u->lowConfPending = false;
+        u->lowConfCounted = true;
+        ++gateCount_;
+    }
+}
+
+void
+Core::resolveBranches()
+{
+    while (!resolveQueue_.empty() && resolveQueue_.top().first <= now_) {
+        SeqNum seq = resolveQueue_.top().second;
+        resolveQueue_.pop();
+        InflightUop *u = findBySeq(seq);
+        if (!u)
+            continue;  // branch was flushed
+        PERCON_ASSERT(u->isBranch(), "non-branch in resolve queue");
+        if (u->resolvedForGate)
+            continue;
+        u->resolvedForGate = true;
+        if (u->lowConfCounted) {
+            PERCON_ASSERT(gateCount_ > 0, "gate counter underflow");
+            --gateCount_;
+            u->lowConfCounted = false;
+        }
+        u->lowConfPending = false;
+
+        if (u->causesRedirect)
+            flushAfter(*u);
+    }
+}
+
+void
+Core::flushAfter(const InflightUop &branch)
+{
+    ++stats_.flushes;
+
+    // Everything younger than the branch is wrong-path by
+    // construction; account its execution and unwind resources.
+    while (!rob_.empty() && rob_.back().seq > branch.seq) {
+        InflightUop &u = rob_.back();
+        PERCON_ASSERT(u.wrongPath, "flushing a correct-path uop");
+        if (u.issueAt <= now_) {
+            ++stats_.executedUops;
+            ++stats_.wrongPathExecuted;
+        }
+        if (u.lowConfCounted) {
+            PERCON_ASSERT(gateCount_ > 0, "gate counter underflow");
+            --gateCount_;
+        }
+        if (u.cls == UopClass::Load) {
+            PERCON_ASSERT(loadsInFlight_ > 0, "load buffer underflow");
+            --loadsInFlight_;
+        } else if (u.cls == UopClass::Store) {
+            PERCON_ASSERT(storesInFlight_ > 0, "store buffer underflow");
+            --storesInFlight_;
+        }
+        rob_.pop_back();
+    }
+
+    for (InflightUop &u : fetchPipe_) {
+        if (u.lowConfCounted) {
+            PERCON_ASSERT(gateCount_ > 0, "gate counter underflow");
+            --gateCount_;
+        }
+    }
+    fetchPipe_.clear();
+
+    history_.recover(branch.ghrSnapshot, branch.actualTaken);
+    onWrongPath_ = false;
+}
+
+void
+Core::retire()
+{
+    for (unsigned n = 0; n < config_.width; ++n) {
+        if (rob_.empty())
+            return;
+        InflightUop &u = rob_.front();
+        if (!u.dispatched ||
+            u.completeAt + config_.backEndDepth > now_)
+            return;
+        PERCON_ASSERT(!u.wrongPath,
+                      "wrong-path uop reached the ROB head");
+
+        ++stats_.retiredUops;
+        ++stats_.executedUops;
+
+        switch (u.cls) {
+          case UopClass::Load:
+            PERCON_ASSERT(loadsInFlight_ > 0, "load buffer underflow");
+            --loadsInFlight_;
+            break;
+          case UopClass::Store:
+            PERCON_ASSERT(storesInFlight_ > 0, "store buffer underflow");
+            --storesInFlight_;
+            // The write accesses the hierarchy at commit.
+            mem_.access(u.memAddr, now_, true);
+            break;
+          case UopClass::Branch: {
+            ++stats_.retiredBranches;
+            bool misp_orig = u.predTaken != u.actualTaken;
+            bool misp_final = u.finalPred != u.actualTaken;
+            if (misp_orig)
+                ++stats_.mispredictsOriginal;
+            if (misp_final)
+                ++stats_.mispredictsFinal;
+            if (u.reversed) {
+                ++stats_.reversals;
+                if (misp_orig)
+                    ++stats_.reversalsGood;
+                else
+                    ++stats_.reversalsBad;
+            }
+            predictor_.update(u.pc, u.ghrSnapshot, u.actualTaken,
+                              u.meta);
+            if (estimator_) {
+                stats_.confidence.record(misp_orig, u.conf.low);
+                estimator_->train(u.pc, u.ghrSnapshot, u.predTaken,
+                                  misp_orig, u.conf);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        rob_.pop_front();
+    }
+}
+
+Cycle
+Core::sourceReady(const InflightUop &uop) const
+{
+    const Cycle *ring = uop.wrongPath ? wpReady_ : corrReady_;
+    Cycle ready = 0;
+    for (unsigned s = 0; s < 2; ++s) {
+        std::uint16_t d = uop.srcDist[s];
+        if (d == 0 || d > uop.streamIdx || d >= kDepRing)
+            continue;
+        Cycle r = ring[(uop.streamIdx - d) % kDepRing];
+        if (r > ready)
+            ready = r;
+    }
+    return ready;
+}
+
+void
+Core::dispatch()
+{
+    for (unsigned n = 0; n < config_.width; ++n) {
+        if (fetchPipe_.empty() ||
+            fetchPipe_.front().dispatchReadyAt > now_) {
+            ++stats_.dispatchStallEmpty;
+            return;
+        }
+        InflightUop &front = fetchPipe_.front();
+        if (rob_.size() >= config_.robSize) {
+            ++stats_.dispatchStallRob;
+            return;
+        }
+        if (!exec_.windowAvailable(schedClassFor(front.cls))) {
+            ++stats_.dispatchStallWindow;
+            return;
+        }
+        if ((front.cls == UopClass::Load &&
+             loadsInFlight_ >= config_.loadBuffers) ||
+            (front.cls == UopClass::Store &&
+             storesInFlight_ >= config_.storeBuffers)) {
+            ++stats_.dispatchStallBuffers;
+            return;
+        }
+
+        InflightUop u = front;
+        fetchPipe_.pop_front();
+
+        exec_.dispatch(u, now_, sourceReady(u));
+        stats_.issueWaitSum += u.issueAt - now_;
+        if (u.cls == UopClass::Load) {
+            stats_.loadLatencySum += u.completeAt - u.issueAt;
+            ++stats_.loadCount;
+        }
+
+        Cycle *ring = u.wrongPath ? wpReady_ : corrReady_;
+        ring[u.streamIdx % kDepRing] = u.completeAt;
+
+        if (u.cls == UopClass::Load)
+            ++loadsInFlight_;
+        else if (u.cls == UopClass::Store)
+            ++storesInFlight_;
+
+        // Branch resolution lags execution by the back-end depth:
+        // the redirect has to travel from the execute stage back to
+        // fetch, which is the deep-pipe waste multiplier.
+        if (u.isBranch() && !u.resolvedForGate)
+            resolveQueue_.push({u.completeAt + config_.backEndDepth,
+                                u.seq});
+
+        rob_.push_back(u);
+    }
+}
+
+bool
+Core::fetchOne()
+{
+    MicroOp mu = onWrongPath_ ? wrongPath_.next() : workload_.next();
+
+    bool stall_after = false;
+    if (config_.traceCacheEnabled && !traceCache_.access(mu.pc)) {
+        // Build the missing line: fetch delivers this uop but stalls
+        // while the fill completes.
+        ++stats_.traceCacheMisses;
+        fetchStallUntil_ = now_ + config_.traceCacheMissPenalty;
+        stall_after = true;
+    }
+
+    InflightUop u;
+    u.seq = nextSeq_++;
+    u.pc = mu.pc;
+    u.cls = mu.cls;
+    u.srcDist[0] = mu.srcDist[0];
+    u.srcDist[1] = mu.srcDist[1];
+    u.memAddr = mu.memAddr;
+    u.wrongPath = onWrongPath_;
+    u.dispatchReadyAt = now_ + config_.frontEndDepth;
+    u.streamIdx = onWrongPath_ ? wpIdx_++ : corrIdx_++;
+
+    ++stats_.fetchedUops;
+    if (u.wrongPath)
+        ++stats_.wrongPathFetched;
+
+    if (u.isBranch()) {
+        u.ghrSnapshot = history_.bits();
+        u.predTaken = predictor_.predict(u.pc, u.ghrSnapshot, u.meta);
+        if (estimator_)
+            u.conf = estimator_->estimate(u.pc, u.ghrSnapshot,
+                                          u.predTaken);
+
+        u.finalPred = u.predTaken;
+        if (spec_.reversalEnabled &&
+            u.conf.band == ConfidenceBand::StrongLow) {
+            u.finalPred = !u.predTaken;
+            u.reversed = true;
+        }
+
+        history_.push(u.finalPred);
+
+        // Redirecting fetch to the taken target needs the target:
+        // a BTB miss costs a decode bubble and fills the entry.
+        if (config_.btbEnabled && u.finalPred) {
+            if (!btb_.lookup(u.pc)) {
+                ++stats_.btbMisses;
+                Cycle until = now_ + config_.btbMissPenalty;
+                if (until > fetchStallUntil_)
+                    fetchStallUntil_ = until;
+                stall_after = true;
+                btb_.update(u.pc, mu.target);
+            }
+        }
+
+        if (!u.wrongPath) {
+            u.actualTaken = mu.taken;
+            u.causesRedirect = u.finalPred != u.actualTaken;
+            if (u.causesRedirect) {
+                onWrongPath_ = true;
+                wpIdx_ = 0;
+                // The machine follows finalPred; the stream it
+                // wrongly fetches starts at the not-actually-taken
+                // target or fall-through.
+                wrongPath_.redirect(u.finalPred ? mu.target
+                                                : mu.pc + 4);
+            }
+        } else {
+            u.actualTaken = u.finalPred;
+            u.causesRedirect = false;
+        }
+
+        bool gate_mark;
+        if (spec_.oracleGating) {
+            // Perfect confidence: flag exactly the redirect-causing
+            // branches (wrong-path branches are unknowable and never
+            // redirect, so they are never flagged).
+            gate_mark = spec_.gateThreshold > 0 && u.causesRedirect;
+        } else {
+            gate_mark = estimator_ && spec_.gateThreshold > 0 &&
+                        (spec_.reversalEnabled
+                             ? u.conf.band == ConfidenceBand::WeakLow
+                             : u.conf.low);
+        }
+        if (gate_mark) {
+            if (spec_.confidenceLatency == 0) {
+                u.lowConfCounted = true;
+                ++gateCount_;
+            } else {
+                u.lowConfPending = true;
+                u.confAppliesAt = now_ + spec_.confidenceLatency;
+                confQueue_.push({u.confAppliesAt, u.seq});
+            }
+        }
+    }
+
+    fetchPipe_.push_back(u);
+    return !stall_after;
+}
+
+void
+Core::fetch()
+{
+    std::size_t capacity =
+        static_cast<std::size_t>(config_.frontEndDepth) * config_.width;
+    if (fetchPipe_.size() >= capacity) {
+        ++stats_.fetchStallPipeFull;
+        return;
+    }
+
+    if (now_ < fetchStallUntil_) {
+        ++stats_.traceCacheStallCycles;
+        return;
+    }
+
+    unsigned width = config_.width;
+    if (spec_.gateThreshold > 0 && gateCount_ >= spec_.gateThreshold) {
+        ++stats_.gatedCycles;
+        if (spec_.throttleWidth == 0)
+            return;
+        width = std::min(width, spec_.throttleWidth);
+    }
+
+    for (unsigned n = 0; n < width && fetchPipe_.size() < capacity;
+         ++n) {
+        if (!fetchOne())
+            break;
+    }
+}
+
+void
+Core::cycleOnce()
+{
+    ++now_;
+    ++stats_.cycles;
+    exec_.tick(now_);
+    applyPendingConfidence();
+    resolveBranches();
+    retire();
+    dispatch();
+    fetch();
+}
+
+void
+Core::run(Count target_retired)
+{
+    Count goal = stats_.retiredUops + target_retired;
+    Cycle last_progress = now_;
+    Count last_retired = stats_.retiredUops;
+    while (stats_.retiredUops < goal) {
+        cycleOnce();
+        if (stats_.retiredUops != last_retired) {
+            last_retired = stats_.retiredUops;
+            last_progress = now_;
+        } else if (now_ - last_progress > 500000) {
+            panic("core deadlock: no retirement in 500k cycles "
+                  "(gate=%u rob=%zu pipe=%zu)",
+                  gateCount_, rob_.size(), fetchPipe_.size());
+        }
+    }
+}
+
+void
+Core::warmup(Count uops)
+{
+    run(uops);
+    resetStats();
+}
+
+} // namespace percon

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The out-of-order core model.
+ *
+ * A cycle-stepped loop over fetch, dispatch, branch resolution and
+ * retirement, with execution times computed analytically by the
+ * ExecModel (see exec_model.hh). The model executes the full wrong
+ * path: after a (post-reversal) mispredicted branch is fetched, the
+ * front end streams uops from the WrongPathSynthesizer; they occupy
+ * real resources, execute, pollute/prefetch the caches, and die when
+ * the branch resolves, at which point the speculative history is
+ * recovered from the branch's checkpoint and the correct path
+ * resumes after the front-end refill delay.
+ *
+ * Pipeline gating (Figure 1): every fetched conditional branch is
+ * classified by the confidence estimator; low-confidence branches
+ * increment a counter (optionally confidenceLatency cycles after
+ * fetch, §5.4.2) and decrement it when they resolve or are flushed.
+ * Fetch stalls while the counter is at or above the gate threshold.
+ *
+ * Branch reversal (§5.5): StrongLow-band branches have their
+ * predicted direction inverted at fetch.
+ */
+
+#ifndef PERCON_UARCH_CORE_HH
+#define PERCON_UARCH_CORE_HH
+
+#include <deque>
+#include <memory>
+#include <queue>
+
+#include "bpred/branch_predictor.hh"
+#include "bpred/btb.hh"
+#include "confidence/confidence_estimator.hh"
+#include "memory/cache.hh"
+#include "memory/hierarchy.hh"
+#include "trace/uop.hh"
+#include "trace/wrongpath.hh"
+#include "uarch/core_stats.hh"
+#include "uarch/exec_model.hh"
+#include "uarch/pipeline_config.hh"
+
+namespace percon {
+
+class Core
+{
+  public:
+    /**
+     * @param config machine geometry
+     * @param workload correct-path uop source (not owned)
+     * @param wrong_path wrong-path synthesizer (not owned)
+     * @param predictor branch predictor (not owned)
+     * @param estimator confidence estimator; may be nullptr when
+     *                  neither gating nor reversal is used
+     * @param spec speculation-control policy
+     */
+    Core(const PipelineConfig &config, WorkloadSource &workload,
+         WrongPathSynthesizer &wrong_path, BranchPredictor &predictor,
+         ConfidenceEstimator *estimator, const SpeculationControl &spec);
+
+    /** Advance until @p target_retired more uops have retired. */
+    void run(Count target_retired);
+
+    /** Run @p uops and then clear the statistics (cache/predictor
+     *  state is kept): the paper's 10M-uop warmup. */
+    void warmup(Count uops);
+
+    const CoreStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CoreStats{}; }
+
+    MemoryHierarchy &memory() { return mem_; }
+
+  private:
+    void cycleOnce();
+    void applyPendingConfidence();
+    void resolveBranches();
+    void retire();
+    void dispatch();
+    void fetch();
+    void flushAfter(const InflightUop &branch);
+    InflightUop *findBySeq(SeqNum seq);
+    Cycle sourceReady(const InflightUop &uop) const;
+
+    /** Fetch one uop; returns false when fetch must stop for this
+     *  cycle (trace-cache miss). */
+    bool fetchOne();
+
+    // configuration ------------------------------------------------
+    PipelineConfig config_;
+    SpeculationControl spec_;
+    WorkloadSource &workload_;
+    WrongPathSynthesizer &wrongPath_;
+    BranchPredictor &predictor_;
+    ConfidenceEstimator *estimator_;
+
+    // machine state ------------------------------------------------
+    MemoryHierarchy mem_;
+    ExecModel exec_;
+    SpecHistory history_;
+    Cache traceCache_;
+    Btb btb_;
+    Cycle fetchStallUntil_ = 0;
+
+    std::deque<InflightUop> fetchPipe_;
+    std::deque<InflightUop> rob_;
+
+    /** (completeAt, seq) of unresolved in-flight branches. */
+    std::priority_queue<std::pair<Cycle, SeqNum>,
+                        std::vector<std::pair<Cycle, SeqNum>>,
+                        std::greater<>>
+        resolveQueue_;
+
+    /** (applyAt, seq) of delayed low-confidence marks. */
+    std::priority_queue<std::pair<Cycle, SeqNum>,
+                        std::vector<std::pair<Cycle, SeqNum>>,
+                        std::greater<>>
+        confQueue_;
+
+    Cycle now_ = 0;
+    SeqNum nextSeq_ = 1;
+    unsigned gateCount_ = 0;
+    bool onWrongPath_ = false;
+
+    unsigned loadsInFlight_ = 0;
+    unsigned storesInFlight_ = 0;
+
+    /** Producer completion times by stream index, per path. */
+    static constexpr std::size_t kDepRing = 256;
+    Cycle corrReady_[kDepRing] = {};
+    Cycle wpReady_[kDepRing] = {};
+    std::uint64_t corrIdx_ = 0;
+    std::uint64_t wpIdx_ = 0;
+
+    CoreStats stats_;
+};
+
+} // namespace percon
+
+#endif // PERCON_UARCH_CORE_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Statistics collected by one Core run. All the paper's metrics
+ * derive from these counters.
+ */
+
+#ifndef PERCON_UARCH_CORE_STATS_HH
+#define PERCON_UARCH_CORE_STATS_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace percon {
+
+struct CoreStats
+{
+    Cycle cycles = 0;
+
+    Count fetchedUops = 0;
+    Count executedUops = 0;   ///< issued to a unit (incl. wrong path)
+    Count retiredUops = 0;    ///< architecturally committed
+
+    Count wrongPathFetched = 0;
+    Count wrongPathExecuted = 0;
+
+    Count retiredBranches = 0;
+    Count mispredictsOriginal = 0;  ///< predictor direction was wrong
+    Count mispredictsFinal = 0;     ///< post-reversal direction wrong
+
+    Count reversals = 0;
+    Count reversalsGood = 0;  ///< reversal fixed a misprediction
+    Count reversalsBad = 0;   ///< reversal broke a correct prediction
+
+    Count gatedCycles = 0;    ///< fetch cycles suppressed by gating
+    Count flushes = 0;
+
+    Count traceCacheMisses = 0;
+    Count traceCacheStallCycles = 0;
+    Count btbMisses = 0;
+
+    // Bottleneck accounting (one count per stalled cycle/uop).
+    Count fetchStallPipeFull = 0;
+    Count dispatchStallRob = 0;
+    Count dispatchStallWindow = 0;
+    Count dispatchStallBuffers = 0;
+    Count dispatchStallEmpty = 0;   ///< fetch pipe had nothing ready
+    Cycle issueWaitSum = 0;         ///< sum of (issueAt - dispatch)
+    Cycle loadLatencySum = 0;
+    Count loadCount = 0;
+
+    /** (original mispredicted?, estimated low confidence?) tallies. */
+    ConfidenceMatrix confidence;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(retiredUops) /
+                                 static_cast<double>(cycles);
+    }
+
+    /** Paper Table 2: branch mispredicts per 1000 retired uops. */
+    double
+    mispredictsPerKuop() const
+    {
+        return retiredUops == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(mispredictsFinal) /
+                         static_cast<double>(retiredUops);
+    }
+
+    /** Paper Table 2: % increase in uops executed over useful work. */
+    double
+    executionIncreasePct() const
+    {
+        return retiredUops == 0
+                   ? 0.0
+                   : pct(static_cast<double>(executedUops) -
+                             static_cast<double>(retiredUops),
+                         static_cast<double>(retiredUops));
+    }
+
+    double
+    mispredictRate() const
+    {
+        return retiredBranches == 0
+                   ? 0.0
+                   : static_cast<double>(mispredictsFinal) /
+                         static_cast<double>(retiredBranches);
+    }
+};
+
+} // namespace percon
+
+#endif // PERCON_UARCH_CORE_STATS_HH

@@ -1,0 +1,32 @@
+#include "energy.hh"
+
+namespace percon {
+
+EnergyReport
+computeEnergy(const CoreStats &stats, const EnergyParams &params)
+{
+    EnergyReport r;
+
+    double fetch = params.fetchPerUop *
+                   static_cast<double>(stats.fetchedUops);
+    double execute = params.executePerUop *
+                     static_cast<double>(stats.executedUops);
+    double retire = params.retirePerUop *
+                    static_cast<double>(stats.retiredUops);
+    double flush =
+        params.flushFixed * static_cast<double>(stats.flushes);
+    double gate =
+        params.gatePerCycle * static_cast<double>(stats.gatedCycles);
+
+    r.dynamicPart = fetch + execute + retire + flush + gate;
+    r.staticPart =
+        params.staticPerCycle * static_cast<double>(stats.cycles);
+    r.total = r.dynamicPart + r.staticPart;
+
+    if (stats.retiredUops > 0)
+        r.epi = r.total / static_cast<double>(stats.retiredUops);
+    r.edp = r.total * static_cast<double>(stats.cycles);
+    return r;
+}
+
+} // namespace percon

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Activity-based energy proxy.
+ *
+ * Pipeline gating was proposed for *energy* reduction (Manne et al.,
+ * the paper's reference [10]): wrong-path uops burn fetch, rename,
+ * scheduling and execution energy that gating avoids. This model
+ * turns CoreStats activity counts into an energy figure using
+ * per-event weights (normalized to an IntAlu execution = 1.0) plus a
+ * static/clock component per cycle, and derives the metrics the
+ * speculation-control literature reports: energy, EPI, and
+ * energy-delay product.
+ *
+ * The weights are deliberately coarse — relative, not absolute — so
+ * conclusions should only ever be drawn from ratios between runs on
+ * the same machine, which is how the bench harness uses them.
+ */
+
+#ifndef PERCON_UARCH_ENERGY_HH
+#define PERCON_UARCH_ENERGY_HH
+
+#include "uarch/core_stats.hh"
+
+namespace percon {
+
+/** Per-event energy weights (IntAlu execution = 1.0). */
+struct EnergyParams
+{
+    double fetchPerUop = 0.4;     ///< fetch + decode + rename
+    double executePerUop = 1.0;   ///< scheduling + execution + bypass
+    double retirePerUop = 0.2;    ///< commit bookkeeping
+    double flushFixed = 8.0;      ///< per-flush recovery activity
+    double staticPerCycle = 0.6;  ///< leakage + clock tree per cycle
+
+    /** Extra energy per gated cycle (the gating logic itself). */
+    double gatePerCycle = 0.02;
+};
+
+/** Energy accounting derived from one run's statistics. */
+struct EnergyReport
+{
+    double total = 0.0;        ///< total energy (arbitrary units)
+    double dynamicPart = 0.0;  ///< activity-proportional share
+    double staticPart = 0.0;   ///< cycle-proportional share
+
+    /** Energy per retired uop. */
+    double epi = 0.0;
+
+    /** Energy-delay product (total * cycles), for "did gating pay
+     *  for its slowdown" comparisons. */
+    double edp = 0.0;
+};
+
+/** Compute the energy report for a finished run. */
+EnergyReport computeEnergy(const CoreStats &stats,
+                           const EnergyParams &params = {});
+
+} // namespace percon
+
+#endif // PERCON_UARCH_ENERGY_HH

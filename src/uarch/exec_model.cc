@@ -1,0 +1,120 @@
+#include "exec_model.hh"
+
+#include "common/logging.hh"
+
+namespace percon {
+
+SchedClass
+schedClassFor(UopClass cls)
+{
+    switch (cls) {
+      case UopClass::Load:
+      case UopClass::Store:
+        return SchedClass::Mem;
+      case UopClass::FpAlu:
+        return SchedClass::Fp;
+      default:
+        return SchedClass::Int;
+    }
+}
+
+IssueSlots::IssueSlots(unsigned units)
+    : slotCycle_(kHorizon, ~Cycle(0)), slotCount_(kHorizon, 0),
+      units_(units)
+{
+    PERCON_ASSERT(units >= 1, "need at least one unit");
+}
+
+Cycle
+IssueSlots::book(Cycle ready)
+{
+    Cycle c = ready;
+    for (;;) {
+        std::size_t idx = c % kHorizon;
+        if (slotCycle_[idx] != c) {
+            slotCycle_[idx] = c;
+            slotCount_[idx] = 0;
+        }
+        if (slotCount_[idx] < units_) {
+            ++slotCount_[idx];
+            return c;
+        }
+        ++c;
+        // Far beyond the horizon the ledger would wrap onto nearer
+        // cycles; at that distance contention accounting no longer
+        // matters, so just take the slot.
+        if (c - ready > kHorizon / 2)
+            return c;
+    }
+}
+
+ExecModel::ExecModel(const PipelineConfig &config, MemoryHierarchy &mem)
+    : config_(config), mem_(mem)
+{
+    slots_.emplace_back(config.unitsInt);
+    slots_.emplace_back(config.unitsMem);
+    slots_.emplace_back(config.unitsFp);
+    capacity_[0] = config.schedInt;
+    capacity_[1] = config.schedMem;
+    capacity_[2] = config.schedFp;
+}
+
+void
+ExecModel::tick(Cycle now)
+{
+    while (!releases_.empty() && releases_.top().first <= now) {
+        unsigned cls = releases_.top().second;
+        releases_.pop();
+        PERCON_ASSERT(occupancy_[cls] > 0, "window underflow");
+        --occupancy_[cls];
+    }
+}
+
+bool
+ExecModel::windowAvailable(SchedClass cls) const
+{
+    unsigned c = static_cast<unsigned>(cls);
+    return occupancy_[c] < capacity_[c];
+}
+
+Cycle
+ExecModel::latencyFor(const InflightUop &uop, Cycle issue_at)
+{
+    switch (uop.cls) {
+      case UopClass::IntAlu:
+        return config_.intAluLatency;
+      case UopClass::IntMul:
+        return config_.intMulLatency;
+      case UopClass::FpAlu:
+        return config_.fpAluLatency;
+      case UopClass::Branch:
+        return config_.branchLatency;
+      case UopClass::Load:
+        return mem_.access(uop.memAddr, issue_at, false).latency;
+      case UopClass::Store:
+        // Stores compute their address at issue; the cache write
+        // happens at retirement and is modelled there.
+        return 1;
+    }
+    panic("bad uop class");
+}
+
+void
+ExecModel::dispatch(InflightUop &uop, Cycle now, Cycle src_ready)
+{
+    unsigned cls = static_cast<unsigned>(schedClassFor(uop.cls));
+    PERCON_ASSERT(occupancy_[cls] < capacity_[cls],
+                  "dispatch into full window");
+
+    Cycle ready = src_ready > now + 1 ? src_ready : now + 1;
+    Cycle issue = slots_[cls].book(ready);
+
+    uop.issueAt = issue;
+    uop.completeAt = issue + latencyFor(uop, issue);
+    uop.dispatched = true;
+
+    ++occupancy_[cls];
+    releases_.push({issue, cls});
+}
+
+} // namespace percon

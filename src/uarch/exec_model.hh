@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Execution-resource model: per-class scheduling windows, limited
+ * issue bandwidth, and latency computation.
+ *
+ * Instead of cycle-stepping wakeup/select, the model computes each
+ * uop's issue and completion time analytically at dispatch from
+ * (a) operand readiness (producer completion times looked up by
+ * dependency distance), (b) per-class issue bandwidth (the number of
+ * execution units of that class that can start a uop each cycle),
+ * and (c) its latency (memory latency comes from the cache
+ * hierarchy, including bus contention). Units are pipelined: they
+ * are issue bandwidth, not reservations, so a uop waiting on a
+ * long-latency producer does not block its class.
+ *
+ * Scheduling-window occupancy is tracked exactly: a dispatched uop
+ * holds a window entry until it issues, and dispatch stalls while
+ * the window is full.
+ */
+
+#ifndef PERCON_UARCH_EXEC_MODEL_HH
+#define PERCON_UARCH_EXEC_MODEL_HH
+
+#include <queue>
+#include <vector>
+
+#include "memory/hierarchy.hh"
+#include "uarch/inflight.hh"
+#include "uarch/pipeline_config.hh"
+
+namespace percon {
+
+/** Scheduler class: which window and unit pool a uop uses. */
+enum class SchedClass : unsigned { Int = 0, Mem = 1, Fp = 2 };
+
+SchedClass schedClassFor(UopClass cls);
+
+/**
+ * Per-class issue-slot ledger: counts issues booked per future
+ * cycle, so a uop issues at the first cycle at or after its ready
+ * time with a free slot of its class.
+ */
+class IssueSlots
+{
+  public:
+    explicit IssueSlots(unsigned units);
+
+    /** Book the earliest free slot at or after @p ready. */
+    Cycle book(Cycle ready);
+
+  private:
+    static constexpr std::size_t kHorizon = 16384;
+    std::vector<Cycle> slotCycle_;
+    std::vector<std::uint16_t> slotCount_;
+    unsigned units_;
+};
+
+class ExecModel
+{
+  public:
+    ExecModel(const PipelineConfig &config, MemoryHierarchy &mem);
+
+    /** Free scheduler entries whose uops have issued by @p now. */
+    void tick(Cycle now);
+
+    /** True if the window for @p cls has a free entry. */
+    bool windowAvailable(SchedClass cls) const;
+
+    /**
+     * Dispatch @p uop at cycle @p now: computes issueAt/completeAt,
+     * occupies a window entry and an issue slot.
+     *
+     * completeAt is the *wakeup* time (dependents may issue then,
+     * modelling a bypass network); architectural completion — branch
+     * resolution, retirement eligibility — additionally waits the
+     * machine's backEndDepth (see pipeline_config.hh).
+     *
+     * @param src_ready max completion cycle of the producers
+     */
+    void dispatch(InflightUop &uop, Cycle now, Cycle src_ready);
+
+    /** Execution latency for a uop issuing at @p issue_at. */
+    Cycle latencyFor(const InflightUop &uop, Cycle issue_at);
+
+  private:
+    const PipelineConfig &config_;
+    MemoryHierarchy &mem_;
+
+    std::vector<IssueSlots> slots_;  ///< one per SchedClass
+
+    /** Current window occupancy per class. */
+    unsigned occupancy_[3] = {0, 0, 0};
+    unsigned capacity_[3];
+
+    /** (issueAt, class) release queue for window entries. */
+    using Release = std::pair<Cycle, unsigned>;
+    std::priority_queue<Release, std::vector<Release>,
+                        std::greater<Release>>
+        releases_;
+};
+
+} // namespace percon
+
+#endif // PERCON_UARCH_EXEC_MODEL_HH

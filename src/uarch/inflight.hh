@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The in-flight uop record carried from fetch to retire, including
+ * the branch payload (prediction metadata, confidence estimate,
+ * history checkpoint) that real hardware keeps in the branch
+ * information queue.
+ */
+
+#ifndef PERCON_UARCH_INFLIGHT_HH
+#define PERCON_UARCH_INFLIGHT_HH
+
+#include "bpred/branch_predictor.hh"
+#include "confidence/confidence_estimator.hh"
+#include "trace/uop.hh"
+
+namespace percon {
+
+/** One uop in the fetch pipe, ROB, or both. */
+struct InflightUop
+{
+    SeqNum seq = 0;
+    Addr pc = 0;
+    UopClass cls = UopClass::IntAlu;
+    bool wrongPath = false;
+
+    std::uint16_t srcDist[2] = {0, 0};
+    Addr memAddr = 0;
+
+    /** Cycle this uop exits the in-order front end. */
+    Cycle dispatchReadyAt = 0;
+
+    /** Filled at dispatch by the execution model. */
+    Cycle issueAt = 0;
+    Cycle completeAt = 0;
+    bool dispatched = false;
+
+    /** Index of this uop within its dependency stream (correct path
+     *  or current wrong-path episode). */
+    std::uint64_t streamIdx = 0;
+
+    // ------------------------ branch payload ----------------------
+    bool actualTaken = false;   ///< architectural outcome (correct path)
+    bool predTaken = false;     ///< predictor's original direction
+    bool finalPred = false;     ///< after any reversal
+    bool reversed = false;
+    bool causesRedirect = false;///< final prediction wrong (correct path)
+
+    PredMeta meta;
+    ConfidenceInfo conf;
+    std::uint64_t ghrSnapshot = 0;  ///< spec history before prediction
+
+    /** Gating bookkeeping. */
+    Cycle confAppliesAt = 0;    ///< when the low-conf mark can gate
+    bool lowConfPending = false;///< marked low, not yet counted
+    bool lowConfCounted = false;///< currently counted in the gate
+    bool resolvedForGate = false;
+
+    bool isBranch() const { return cls == UopClass::Branch; }
+};
+
+} // namespace percon
+
+#endif // PERCON_UARCH_INFLIGHT_HH

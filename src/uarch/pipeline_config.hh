@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Pipeline configuration and the paper's three machine presets.
+ *
+ * "Pipeline depth" is the fetch-to-execute distance: the number of
+ * cycles a uop spends in the in-order front end before it can be
+ * scheduled, which is also the minimum branch misprediction penalty.
+ * The paper's machines: 20-cycle 4-wide, 20-cycle 8-wide and the
+ * baseline aggressive 40-cycle 4-wide (Table 1).
+ */
+
+#ifndef PERCON_UARCH_PIPELINE_CONFIG_HH
+#define PERCON_UARCH_PIPELINE_CONFIG_HH
+
+#include "common/types.hh"
+#include "memory/hierarchy.hh"
+
+namespace percon {
+
+/** Machine geometry (paper Table 1). */
+struct PipelineConfig
+{
+    unsigned width = 4;            ///< fetch/issue/retire width
+
+    /** Fetch-to-dispatch stages of the in-order front end. */
+    unsigned frontEndDepth = 15;
+
+    /** Schedule-to-execute stages: a branch's resolution (and any
+     *  uop's architectural completion) lags its issue by this many
+     *  cycles. frontEndDepth + backEndDepth is the paper's
+     *  "pipeline length" — the minimum misprediction penalty. The
+     *  back-end share is what makes deeper pipes waste more: every
+     *  wrong-path uop issued while a mispredicted branch traverses
+     *  these stages still executes. */
+    unsigned backEndDepth = 25;
+
+    unsigned robSize = 128;
+    unsigned loadBuffers = 48;
+    unsigned storeBuffers = 32;
+
+    unsigned schedInt = 48;        ///< int scheduling window entries
+    unsigned schedMem = 24;
+    unsigned schedFp = 56;
+
+    unsigned unitsInt = 3;         ///< execution units per class
+    unsigned unitsMem = 2;
+    unsigned unitsFp = 1;
+
+    /** Trace cache (Table 1: 12K uops, 8-way). Modelled as an
+     *  instruction cache over fetch PCs: a miss stalls fetch for
+     *  traceCacheMissPenalty cycles while the line is built. */
+    /** Branch target buffer: predicted-taken branches that miss it
+     *  stall fetch while decode produces the target. */
+    bool btbEnabled = true;
+    std::size_t btbEntries = 4096;
+    unsigned btbWays = 4;
+    Cycle btbMissPenalty = 3;
+
+    bool traceCacheEnabled = true;
+    CacheParams traceCache{"tc", 48 * 1024, 12, 64};  // 12K uops x 4B
+    Cycle traceCacheMissPenalty = 8;
+
+    Cycle intAluLatency = 1;
+    Cycle intMulLatency = 8;
+    Cycle fpAluLatency = 4;
+    Cycle branchLatency = 1;
+
+    HierarchyParams mem;
+
+    /** Total pipeline length (minimum misprediction penalty). */
+    unsigned pipelineLength() const { return frontEndDepth + backEndDepth; }
+
+    /** Paper baseline: aggressive deep pipeline, 40-cycle 4-wide. */
+    static PipelineConfig
+    deep40x4()
+    {
+        PipelineConfig c;
+        c.width = 4;
+        c.frontEndDepth = 15;
+        c.backEndDepth = 25;
+        return c;
+    }
+
+    /** 20-cycle 4-wide machine (Table 2 column 1). */
+    static PipelineConfig
+    base20x4()
+    {
+        PipelineConfig c;
+        c.width = 4;
+        c.frontEndDepth = 10;
+        c.backEndDepth = 10;
+        return c;
+    }
+
+    /** Futuristic wide machine: 20-cycle 8-wide (§5.5, Figure 9). */
+    static PipelineConfig
+    wide20x8()
+    {
+        PipelineConfig c;
+        c.width = 8;
+        c.frontEndDepth = 10;
+        c.backEndDepth = 10;
+        // Table 1 window/buffer resources are kept; only the fetch
+        // width and execution bandwidth scale, as the paper names
+        // the machine purely "8-wide 20-cycle".
+        c.unitsInt = 6;
+        c.unitsMem = 4;
+        c.unitsFp = 2;
+        return c;
+    }
+};
+
+/**
+ * Speculation-control policy: pipeline gating (Figure 1) and branch
+ * reversal (§5.5) driven by the confidence estimator.
+ */
+struct SpeculationControl
+{
+    /** Stall fetch while the count of unresolved low-confidence
+     *  branches is at or above this threshold; 0 disables gating. */
+    unsigned gateThreshold = 0;
+
+    /** Reverse predictions of StrongLow-band branches. */
+    bool reversalEnabled = false;
+
+    /** Cycles after fetch before a low-confidence mark can gate
+     *  (the perceptron adder-tree latency of §5.4.2). Reversal is
+     *  not delayed: the paper evaluates latency for gating only, and
+     *  a real design would bypass the strong-low comparison early or
+     *  re-steer at decode. */
+    unsigned confidenceLatency = 0;
+
+    /** Perfect-confidence bound: gate on exactly the branches whose
+     *  (post-reversal) prediction is wrong, ignoring the estimator.
+     *  Gives the maximum uop reduction achievable by gating at zero
+     *  false positives; used by the bounds ablation bench. */
+    bool oracleGating = false;
+
+    /** Fetch throttling (Manne et al.'s low-power alternative to a
+     *  full stall): when the gate trips, fetch continues at this
+     *  width instead of stopping. 0 = full stall (the paper's
+     *  mechanism). */
+    unsigned throttleWidth = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_UARCH_PIPELINE_CONFIG_HH

@@ -1,0 +1,442 @@
+#include "smt_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+SmtCore::SmtCore(const PipelineConfig &config,
+                 const std::array<SmtThreadConfig, kThreads> &threads,
+                 BranchPredictor &predictor,
+                 ConfidenceEstimator *estimator,
+                 const SpeculationControl &spec,
+                 SmtFetchPolicy fetch_policy, bool shared_structures)
+    : config_(config), spec_(spec), predictor_(predictor),
+      estimator_(estimator), mem_(config.mem), exec_(config_, mem_),
+      traceCache_(config.traceCache),
+      btb_(config.btbEntries, config.btbWays),
+      fetchPolicy_(fetch_policy), sharedStructures_(shared_structures)
+{
+    if ((spec_.gateThreshold > 0 && !spec_.oracleGating) ||
+        spec_.reversalEnabled) {
+        PERCON_ASSERT(estimator_ != nullptr,
+                      "gating/reversal require a confidence estimator");
+    }
+    for (unsigned t = 0; t < kThreads; ++t) {
+        PERCON_ASSERT(threads[t].workload && threads[t].wrongPath,
+                      "thread %u is missing a workload binding", t);
+        threads_[t].cfg = threads[t];
+    }
+    robPerThread_ = std::max(8u, config.robSize / kThreads);
+    loadBufsPerThread_ = std::max(4u, config.loadBuffers / kThreads);
+    storeBufsPerThread_ = std::max(4u, config.storeBuffers / kThreads);
+}
+
+InflightUop *
+SmtCore::findBySeq(unsigned tid, SeqNum seq)
+{
+    auto search = [seq](std::deque<InflightUop> &q) -> InflightUop * {
+        if (q.empty() || seq < q.front().seq || seq > q.back().seq)
+            return nullptr;
+        auto it = std::lower_bound(
+            q.begin(), q.end(), seq,
+            [](const InflightUop &u, SeqNum s) { return u.seq < s; });
+        return (it != q.end() && it->seq == seq) ? &*it : nullptr;
+    };
+    if (InflightUop *u = search(threads_[tid].rob))
+        return u;
+    return search(threads_[tid].fetchPipe);
+}
+
+void
+SmtCore::resolveBranches()
+{
+    while (!resolveQueue_.empty() &&
+           std::get<0>(resolveQueue_.top()) <= now_) {
+        auto [when, tid, seq] = resolveQueue_.top();
+        resolveQueue_.pop();
+        InflightUop *u = findBySeq(tid, seq);
+        if (!u || u->resolvedForGate)
+            continue;
+        u->resolvedForGate = true;
+        Thread &t = threads_[tid];
+        if (u->lowConfCounted) {
+            PERCON_ASSERT(t.gateCount > 0, "gate counter underflow");
+            --t.gateCount;
+            u->lowConfCounted = false;
+        }
+        if (u->causesRedirect)
+            flushAfter(tid, *u);
+    }
+}
+
+void
+SmtCore::flushAfter(unsigned tid, const InflightUop &branch)
+{
+    Thread &t = threads_[tid];
+    ++stats_[tid].flushes;
+
+    while (!t.rob.empty() && t.rob.back().seq > branch.seq) {
+        InflightUop &u = t.rob.back();
+        if (u.issueAt <= now_) {
+            ++stats_[tid].executedUops;
+            ++stats_[tid].wrongPathExecuted;
+        }
+        if (u.lowConfCounted) {
+            PERCON_ASSERT(t.gateCount > 0, "gate counter underflow");
+            --t.gateCount;
+        }
+        if (u.cls == UopClass::Load)
+            --t.loadsInFlight;
+        else if (u.cls == UopClass::Store)
+            --t.storesInFlight;
+        t.rob.pop_back();
+    }
+    for (InflightUop &u : t.fetchPipe) {
+        if (u.lowConfCounted) {
+            PERCON_ASSERT(t.gateCount > 0, "gate counter underflow");
+            --t.gateCount;
+        }
+    }
+    t.fetchPipe.clear();
+    t.history.recover(branch.ghrSnapshot, branch.actualTaken);
+    t.onWrongPath = false;
+}
+
+void
+SmtCore::retire(unsigned tid)
+{
+    Thread &t = threads_[tid];
+    // Retire bandwidth is shared naively: each thread may retire up
+    // to the machine width (commit is rarely the SMT bottleneck).
+    for (unsigned n = 0; n < config_.width; ++n) {
+        if (t.rob.empty())
+            return;
+        InflightUop &u = t.rob.front();
+        if (!u.dispatched || u.completeAt + config_.backEndDepth > now_)
+            return;
+        PERCON_ASSERT(!u.wrongPath,
+                      "wrong-path uop reached the ROB head");
+
+        CoreStats &s = stats_[tid];
+        ++s.retiredUops;
+        ++s.executedUops;
+        switch (u.cls) {
+          case UopClass::Load:
+            --t.loadsInFlight;
+            break;
+          case UopClass::Store:
+            --t.storesInFlight;
+            mem_.access(u.memAddr, now_, true);
+            break;
+          case UopClass::Branch: {
+            ++s.retiredBranches;
+            bool misp_orig = u.predTaken != u.actualTaken;
+            bool misp_final = u.finalPred != u.actualTaken;
+            if (misp_orig)
+                ++s.mispredictsOriginal;
+            if (misp_final)
+                ++s.mispredictsFinal;
+            if (u.reversed) {
+                ++s.reversals;
+                if (misp_orig)
+                    ++s.reversalsGood;
+                else
+                    ++s.reversalsBad;
+            }
+            predictor_.update(u.pc, u.ghrSnapshot, u.actualTaken,
+                              u.meta);
+            if (estimator_) {
+                s.confidence.record(misp_orig, u.conf.low);
+                estimator_->train(u.pc, u.ghrSnapshot, u.predTaken,
+                                  misp_orig, u.conf);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        t.rob.pop_front();
+    }
+}
+
+Cycle
+SmtCore::sourceReady(const Thread &t, const InflightUop &uop) const
+{
+    const auto &ring = uop.wrongPath ? t.wpReady : t.corrReady;
+    Cycle ready = 0;
+    for (unsigned s = 0; s < 2; ++s) {
+        std::uint16_t d = uop.srcDist[s];
+        if (d == 0 || d > uop.streamIdx || d >= Thread::kDepRing)
+            continue;
+        Cycle r = ring[(uop.streamIdx - d) % Thread::kDepRing];
+        if (r > ready)
+            ready = r;
+    }
+    return ready;
+}
+
+void
+SmtCore::dispatch(unsigned tid)
+{
+    Thread &t = threads_[tid];
+    // Dispatch bandwidth is split evenly between active threads.
+    unsigned budget = std::max(1u, config_.width / kThreads);
+    for (unsigned n = 0; n < budget; ++n) {
+        if (t.fetchPipe.empty() ||
+            t.fetchPipe.front().dispatchReadyAt > now_)
+            return;
+        InflightUop &front = t.fetchPipe.front();
+        if (sharedStructures_) {
+            std::size_t rob_total =
+                threads_[0].rob.size() + threads_[1].rob.size();
+            unsigned loads_total = threads_[0].loadsInFlight +
+                                   threads_[1].loadsInFlight;
+            unsigned stores_total = threads_[0].storesInFlight +
+                                    threads_[1].storesInFlight;
+            if (rob_total >= config_.robSize)
+                return;
+            if ((front.cls == UopClass::Load &&
+                 loads_total >= config_.loadBuffers) ||
+                (front.cls == UopClass::Store &&
+                 stores_total >= config_.storeBuffers))
+                return;
+        } else {
+            if (t.rob.size() >= robPerThread_)
+                return;
+            if ((front.cls == UopClass::Load &&
+                 t.loadsInFlight >= loadBufsPerThread_) ||
+                (front.cls == UopClass::Store &&
+                 t.storesInFlight >= storeBufsPerThread_))
+                return;
+        }
+        if (!exec_.windowAvailable(schedClassFor(front.cls)))
+            return;
+
+        InflightUop u = front;
+        t.fetchPipe.pop_front();
+        exec_.dispatch(u, now_, sourceReady(t, u));
+
+        auto &ring = u.wrongPath ? t.wpReady : t.corrReady;
+        ring[u.streamIdx % Thread::kDepRing] = u.completeAt;
+
+        if (u.cls == UopClass::Load)
+            ++t.loadsInFlight;
+        else if (u.cls == UopClass::Store)
+            ++t.storesInFlight;
+        if (u.isBranch() && !u.resolvedForGate) {
+            resolveQueue_.push(
+                {u.completeAt + config_.backEndDepth, tid, u.seq});
+        }
+        t.rob.push_back(u);
+    }
+}
+
+bool
+SmtCore::fetchOne(unsigned tid)
+{
+    Thread &t = threads_[tid];
+    MicroOp mu = t.onWrongPath ? t.cfg.wrongPath->next()
+                               : t.cfg.workload->next();
+
+    bool stall_after = false;
+    if (config_.traceCacheEnabled && !traceCache_.access(mu.pc)) {
+        ++stats_[tid].traceCacheMisses;
+        t.fetchStallUntil = now_ + config_.traceCacheMissPenalty;
+        stall_after = true;
+    }
+
+    InflightUop u;
+    u.seq = nextSeq_++;
+    u.pc = mu.pc;
+    u.cls = mu.cls;
+    u.srcDist[0] = mu.srcDist[0];
+    u.srcDist[1] = mu.srcDist[1];
+    u.memAddr = mu.memAddr;
+    u.wrongPath = t.onWrongPath;
+    u.dispatchReadyAt = now_ + config_.frontEndDepth;
+    u.streamIdx = t.onWrongPath ? t.wpIdx++ : t.corrIdx++;
+
+    ++stats_[tid].fetchedUops;
+    if (u.wrongPath)
+        ++stats_[tid].wrongPathFetched;
+
+    if (u.isBranch()) {
+        u.ghrSnapshot = t.history.bits();
+        u.predTaken = predictor_.predict(u.pc, u.ghrSnapshot, u.meta);
+        if (estimator_)
+            u.conf = estimator_->estimate(u.pc, u.ghrSnapshot,
+                                          u.predTaken);
+        u.finalPred = u.predTaken;
+        if (spec_.reversalEnabled &&
+            u.conf.band == ConfidenceBand::StrongLow) {
+            u.finalPred = !u.predTaken;
+            u.reversed = true;
+        }
+        t.history.push(u.finalPred);
+
+        if (config_.btbEnabled && u.finalPred) {
+            if (!btb_.lookup(u.pc)) {
+                ++stats_[tid].btbMisses;
+                Cycle until = now_ + config_.btbMissPenalty;
+                if (until > t.fetchStallUntil)
+                    t.fetchStallUntil = until;
+                stall_after = true;
+                btb_.update(u.pc, mu.target);
+            }
+        }
+
+        if (!u.wrongPath) {
+            u.actualTaken = mu.taken;
+            u.causesRedirect = u.finalPred != u.actualTaken;
+            if (u.causesRedirect) {
+                t.onWrongPath = true;
+                t.wpIdx = 0;
+                t.cfg.wrongPath->redirect(u.finalPred ? mu.target
+                                                      : mu.pc + 4);
+            }
+        } else {
+            u.actualTaken = u.finalPred;
+            u.causesRedirect = false;
+        }
+
+        bool gate_mark;
+        if (spec_.oracleGating) {
+            gate_mark = spec_.gateThreshold > 0 && u.causesRedirect;
+        } else {
+            gate_mark = estimator_ && spec_.gateThreshold > 0 &&
+                        (spec_.reversalEnabled
+                             ? u.conf.band == ConfidenceBand::WeakLow
+                             : u.conf.low);
+        }
+        if (gate_mark) {
+            // SMT model keeps the confidence latency simple: marks
+            // apply immediately.
+            u.lowConfCounted = true;
+            ++t.gateCount;
+        }
+    }
+
+    t.fetchPipe.push_back(u);
+    return !stall_after;
+}
+
+void
+SmtCore::fetch()
+{
+    std::size_t capacity =
+        static_cast<std::size_t>(config_.frontEndDepth) * config_.width;
+
+    auto eligible = [&](unsigned tid) {
+        Thread &t = threads_[tid];
+        if (now_ < t.fetchStallUntil)
+            return false;
+        if (t.fetchPipe.size() >= capacity)
+            return false;
+        if (spec_.gateThreshold > 0 &&
+            t.gateCount >= spec_.gateThreshold) {
+            ++stats_[tid].gatedCycles;
+            return false;
+        }
+        return true;
+    };
+
+    int pick = -1;
+    if (fetchPolicy_ == SmtFetchPolicy::RoundRobin) {
+        for (unsigned k = 0; k < kThreads; ++k) {
+            unsigned tid = (rrNext_ + k) % kThreads;
+            if (eligible(tid)) {
+                pick = static_cast<int>(tid);
+                rrNext_ = (tid + 1) % kThreads;
+                break;
+            }
+        }
+    } else {
+        // ICOUNT-lite: give the full fetch width to the eligible
+        // thread with the fewest in-flight uops.
+        std::size_t best_load = ~std::size_t{0};
+        for (unsigned tid = 0; tid < kThreads; ++tid) {
+            if (!eligible(tid))
+                continue;
+            Thread &t = threads_[tid];
+            std::size_t load = t.fetchPipe.size() + t.rob.size();
+            if (load < best_load) {
+                best_load = load;
+                pick = static_cast<int>(tid);
+            }
+        }
+    }
+    if (pick < 0)
+        return;
+
+    Thread &t = threads_[static_cast<unsigned>(pick)];
+    for (unsigned n = 0;
+         n < config_.width && t.fetchPipe.size() < capacity; ++n) {
+        if (!fetchOne(static_cast<unsigned>(pick)))
+            break;
+    }
+}
+
+void
+SmtCore::cycleOnce()
+{
+    ++now_;
+    for (auto &s : stats_)
+        ++s.cycles;
+    exec_.tick(now_);
+    resolveBranches();
+    for (unsigned tid = 0; tid < kThreads; ++tid)
+        retire(tid);
+    for (unsigned tid = 0; tid < kThreads; ++tid)
+        dispatch(tid);
+    fetch();
+}
+
+void
+SmtCore::run(Count per_thread)
+{
+    std::array<Count, kThreads> goal;
+    for (unsigned t = 0; t < kThreads; ++t)
+        goal[t] = stats_[t].retiredUops + per_thread;
+
+    Cycle last_progress = now_;
+    Count last_total = 0;
+    for (;;) {
+        bool done = true;
+        for (unsigned t = 0; t < kThreads; ++t)
+            done = done && stats_[t].retiredUops >= goal[t];
+        if (done)
+            break;
+        cycleOnce();
+        Count total = stats_[0].retiredUops + stats_[1].retiredUops;
+        if (total != last_total) {
+            last_total = total;
+            last_progress = now_;
+        } else if (now_ - last_progress > 500000) {
+            panic("SMT core deadlock: no retirement in 500k cycles");
+        }
+    }
+}
+
+void
+SmtCore::warmup(Count per_thread)
+{
+    run(per_thread);
+    for (auto &s : stats_)
+        s = CoreStats{};
+}
+
+double
+SmtCore::combinedIpc() const
+{
+    // stats_ cycles reset at warmup; now_ does not.
+    if (stats_[0].cycles == 0)
+        return 0.0;
+    double retired = 0;
+    for (const auto &s : stats_)
+        retired += static_cast<double>(s.retiredUops);
+    return retired / static_cast<double>(stats_[0].cycles);
+}
+
+} // namespace percon

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Two-thread SMT core model.
+ *
+ * The paper's introduction motivates pipeline gating partly through
+ * simultaneous multithreading (its reference [9], Luo et al.):
+ * wrong-path work does not just burn energy, it steals fetch slots,
+ * issue bandwidth and window entries from the other thread. This
+ * model makes that concrete:
+ *
+ *  - each hardware thread has its own front end state (speculative
+ *    history, fetch pipe, wrong-path synthesizer, gating counter)
+ *    and an equal static partition of the ROB and load/store
+ *    buffers, in the Pentium-4 HT style;
+ *  - the branch predictor, confidence estimator, trace cache, BTB,
+ *    caches and execution bandwidth are shared;
+ *  - fetch picks the ungated thread with the fewest in-flight uops
+ *    each cycle (ICOUNT-lite), so gating one thread's low-confidence
+ *    stretch automatically hands the front end to the other.
+ *
+ * The single-thread Core (core.hh) remains the reference model for
+ * the paper's own experiments; this class serves the SMT bench and
+ * extension studies.
+ */
+
+#ifndef PERCON_UARCH_SMT_CORE_HH
+#define PERCON_UARCH_SMT_CORE_HH
+
+#include <array>
+#include <deque>
+#include <queue>
+
+#include "bpred/branch_predictor.hh"
+#include "bpred/btb.hh"
+#include "confidence/confidence_estimator.hh"
+#include "memory/cache.hh"
+#include "memory/hierarchy.hh"
+#include "trace/uop.hh"
+#include "trace/wrongpath.hh"
+#include "uarch/core_stats.hh"
+#include "uarch/exec_model.hh"
+#include "uarch/pipeline_config.hh"
+
+namespace percon {
+
+/** One hardware thread's workload binding. */
+struct SmtThreadConfig
+{
+    WorkloadSource *workload = nullptr;
+    WrongPathSynthesizer *wrongPath = nullptr;
+};
+
+/** SMT fetch arbitration policy. */
+enum class SmtFetchPolicy
+{
+    /** Alternate threads cycle by cycle regardless of occupancy. */
+    RoundRobin,
+    /** Give the cycle to the eligible thread with the fewest
+     *  in-flight uops (Tullsen's ICOUNT, simplified). ICOUNT already
+     *  penalizes threads bloated with wrong-path work, which is why
+     *  the SMT bench contrasts it with RoundRobin. */
+    Icount,
+};
+
+class SmtCore
+{
+  public:
+    static constexpr unsigned kThreads = 2;
+
+    /**
+     * @param config machine geometry (ROB/buffers are split evenly)
+     * @param threads per-thread workload bindings (not owned)
+     * @param predictor shared branch predictor (not owned)
+     * @param estimator shared confidence estimator; may be nullptr
+     * @param spec speculation-control policy (applies per thread)
+     */
+    SmtCore(const PipelineConfig &config,
+            const std::array<SmtThreadConfig, kThreads> &threads,
+            BranchPredictor &predictor, ConfidenceEstimator *estimator,
+            const SpeculationControl &spec,
+            SmtFetchPolicy fetch_policy = SmtFetchPolicy::Icount,
+            bool shared_structures = false);
+
+    /** True when ROB/load/store buffers are a shared pool
+     *  (Tullsen-style SMT) rather than static per-thread partitions
+     *  (Pentium-4 HT style). Shared pools let one thread's
+     *  wrong-path work starve the other — which is exactly what
+     *  pipeline gating prevents. */
+    bool sharedStructures() const { return sharedStructures_; }
+
+    /** Advance until every thread retired @p per_thread more uops. */
+    void run(Count per_thread);
+
+    /** Run then reset statistics (caches/predictors keep state). */
+    void warmup(Count per_thread);
+
+    const CoreStats &stats(unsigned tid) const { return stats_[tid]; }
+
+    /** Aggregate throughput: total retired uops / cycles. */
+    double combinedIpc() const;
+
+    Cycle cycles() const { return now_; }
+
+  private:
+    struct Thread
+    {
+        SmtThreadConfig cfg;
+        SpecHistory history;
+        std::deque<InflightUop> fetchPipe;
+        std::deque<InflightUop> rob;
+        bool onWrongPath = false;
+        unsigned gateCount = 0;
+        unsigned loadsInFlight = 0;
+        unsigned storesInFlight = 0;
+        Cycle fetchStallUntil = 0;
+        std::uint64_t corrIdx = 0;
+        std::uint64_t wpIdx = 0;
+        static constexpr std::size_t kDepRing = 256;
+        std::array<Cycle, kDepRing> corrReady{};
+        std::array<Cycle, kDepRing> wpReady{};
+    };
+
+    void cycleOnce();
+    void resolveBranches();
+    void retire(unsigned tid);
+    void dispatch(unsigned tid);
+    void fetch();
+    bool fetchOne(unsigned tid);
+    void flushAfter(unsigned tid, const InflightUop &branch);
+    InflightUop *findBySeq(unsigned tid, SeqNum seq);
+    Cycle sourceReady(const Thread &t, const InflightUop &uop) const;
+
+    PipelineConfig config_;
+    SpeculationControl spec_;
+    BranchPredictor &predictor_;
+    ConfidenceEstimator *estimator_;
+
+    MemoryHierarchy mem_;
+    ExecModel exec_;
+    Cache traceCache_;
+    Btb btb_;
+
+    std::array<Thread, kThreads> threads_;
+    std::array<CoreStats, kThreads> stats_;
+
+    /** (completeAt, tid, seq) of unresolved in-flight branches. */
+    std::priority_queue<std::tuple<Cycle, unsigned, SeqNum>,
+                        std::vector<std::tuple<Cycle, unsigned, SeqNum>>,
+                        std::greater<>>
+        resolveQueue_;
+
+    Cycle now_ = 0;
+    SeqNum nextSeq_ = 1;
+    SmtFetchPolicy fetchPolicy_;
+    bool sharedStructures_;
+    unsigned rrNext_ = 0;
+    unsigned robPerThread_;
+    unsigned loadBufsPerThread_;
+    unsigned storeBufsPerThread_;
+};
+
+} // namespace percon
+
+#endif // PERCON_UARCH_SMT_CORE_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the bimodal predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/bimodal.hh"
+
+using namespace percon;
+
+TEST(Bimodal, LearnsAlwaysTaken)
+{
+    BimodalPredictor p(1024);
+    PredMeta m;
+    for (int i = 0; i < 4; ++i) {
+        p.predict(0x1000, 0, m);
+        p.update(0x1000, 0, true, m);
+    }
+    EXPECT_TRUE(p.predict(0x1000, 0, m));
+}
+
+TEST(Bimodal, LearnsAlwaysNotTaken)
+{
+    BimodalPredictor p(1024);
+    PredMeta m;
+    for (int i = 0; i < 4; ++i) {
+        p.predict(0x1000, 0, m);
+        p.update(0x1000, 0, false, m);
+    }
+    EXPECT_FALSE(p.predict(0x1000, 0, m));
+}
+
+TEST(Bimodal, HysteresisSurvivesOneFlip)
+{
+    BimodalPredictor p(1024);
+    PredMeta m;
+    for (int i = 0; i < 4; ++i)
+        p.update(0x1000, 0, true, m);
+    p.update(0x1000, 0, false, m);
+    EXPECT_TRUE(p.predict(0x1000, 0, m));  // still taken
+    p.update(0x1000, 0, false, m);
+    EXPECT_FALSE(p.predict(0x1000, 0, m)); // now flipped
+}
+
+TEST(Bimodal, IgnoresHistory)
+{
+    BimodalPredictor p(1024);
+    PredMeta m;
+    for (int i = 0; i < 4; ++i)
+        p.update(0x2000, 0, true, m);
+    EXPECT_EQ(p.predict(0x2000, 0x0, m), p.predict(0x2000, ~0ULL, m));
+}
+
+TEST(Bimodal, DistinctPcsIndependent)
+{
+    BimodalPredictor p(1024);
+    PredMeta m;
+    for (int i = 0; i < 4; ++i) {
+        p.update(0x1000, 0, true, m);
+        p.update(0x1004, 0, false, m);
+    }
+    EXPECT_TRUE(p.predict(0x1000, 0, m));
+    EXPECT_FALSE(p.predict(0x1004, 0, m));
+}
+
+TEST(Bimodal, AliasingWrapsAtTableSize)
+{
+    BimodalPredictor p(16);
+    PredMeta m;
+    // PCs 16*4 = 64 bytes apart alias in a 16-entry table.
+    for (int i = 0; i < 4; ++i)
+        p.update(0x1000, 0, true, m);
+    EXPECT_TRUE(p.predict(0x1000 + 16 * 4, 0, m));
+}
+
+TEST(Bimodal, StorageBits)
+{
+    BimodalPredictor p(16 * 1024, 2);
+    EXPECT_EQ(p.storageBits(), 32u * 1024);
+}
+
+TEST(Bimodal, CounterForExposesState)
+{
+    BimodalPredictor p(1024);
+    PredMeta m;
+    for (int i = 0; i < 4; ++i)
+        p.update(0x3000, 0, true, m);
+    EXPECT_EQ(p.counterFor(0x3000).value(), 3u);
+}
+
+TEST(BimodalDeath, NonPowerOfTwoPanics)
+{
+    EXPECT_DEATH({ BimodalPredictor p(1000); }, "power of two");
+}

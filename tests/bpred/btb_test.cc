@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for the branch target buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/btb.hh"
+
+using namespace percon;
+
+TEST(Btb, MissThenHitAfterUpdate)
+{
+    Btb btb(256, 4);
+    EXPECT_FALSE(btb.lookup(0x1000).has_value());
+    btb.update(0x1000, 0x2000);
+    auto t = btb.lookup(0x1000);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(*t, 0x2000u);
+    EXPECT_EQ(btb.misses(), 1u);
+    EXPECT_EQ(btb.hits(), 1u);
+}
+
+TEST(Btb, UpdateRefreshesTarget)
+{
+    Btb btb(256, 4);
+    btb.update(0x1000, 0x2000);
+    btb.update(0x1000, 0x3000);
+    EXPECT_EQ(*btb.lookup(0x1000), 0x3000u);
+}
+
+TEST(Btb, SetConflictEvictsLru)
+{
+    Btb btb(8, 2);  // 4 sets x 2 ways
+    // Three PCs in the same set (stride 4 sets * 4B = 16B).
+    btb.update(0x1000, 0xa);
+    btb.update(0x1010, 0xb);
+    btb.lookup(0x1000);            // refresh first
+    btb.update(0x1020, 0xc);       // evicts 0x1010
+    EXPECT_TRUE(btb.lookup(0x1000).has_value());
+    EXPECT_FALSE(btb.lookup(0x1010).has_value());
+    EXPECT_TRUE(btb.lookup(0x1020).has_value());
+}
+
+TEST(Btb, DistinctPcsIndependent)
+{
+    Btb btb(256, 4);
+    btb.update(0x1000, 0xa);
+    btb.update(0x2000, 0xb);
+    EXPECT_EQ(*btb.lookup(0x1000), 0xau);
+    EXPECT_EQ(*btb.lookup(0x2000), 0xbu);
+}
+
+TEST(Btb, StorageBitsScaleWithEntries)
+{
+    Btb small(256, 4), big(4096, 4);
+    EXPECT_EQ(big.storageBits(), small.storageBits() * 16);
+}
+
+TEST(BtbDeath, BadGeometryPanics)
+{
+    EXPECT_DEATH({ Btb b(100, 4); }, "power of two");
+}

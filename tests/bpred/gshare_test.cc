@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for the gshare predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/gshare.hh"
+
+using namespace percon;
+
+TEST(Gshare, LearnsHistoryDependentPattern)
+{
+    // Branch taken iff previous branch was taken (history bit 0).
+    GsharePredictor p(4096, 12);
+    PredMeta m;
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t h = i % 2;
+        bool outcome = h & 1;
+        p.update(0x1000, h, outcome, m);
+    }
+    EXPECT_TRUE(p.predict(0x1000, 1, m));
+    EXPECT_FALSE(p.predict(0x1000, 0, m));
+}
+
+TEST(Gshare, DistinctHistoriesDistinctCounters)
+{
+    GsharePredictor p(4096, 12);
+    PredMeta m;
+    for (int i = 0; i < 4; ++i) {
+        p.update(0x1000, 0x5, true, m);
+        p.update(0x1000, 0xa, false, m);
+    }
+    EXPECT_TRUE(p.predict(0x1000, 0x5, m));
+    EXPECT_FALSE(p.predict(0x1000, 0xa, m));
+}
+
+TEST(Gshare, HistoryMaskLimitsReach)
+{
+    // With 4 history bits, histories differing only above bit 3
+    // share a counter.
+    GsharePredictor p(4096, 4);
+    PredMeta m;
+    for (int i = 0; i < 4; ++i)
+        p.update(0x1000, 0x3, true, m);
+    EXPECT_EQ(p.predict(0x1000, 0x3, m),
+              p.predict(0x1000, 0xf3, m));
+}
+
+TEST(Gshare, ColdCounterWeaklyTaken)
+{
+    GsharePredictor p(4096, 12);
+    PredMeta m;
+    EXPECT_TRUE(p.predict(0x9999, 0x123, m));
+}
+
+TEST(Gshare, StorageBits)
+{
+    GsharePredictor p(64 * 1024, 16);
+    EXPECT_EQ(p.storageBits(), 128u * 1024);
+    EXPECT_EQ(p.historyBits(), 16u);
+}
+
+TEST(Gshare, MetaFieldsFilled)
+{
+    GsharePredictor p(4096, 12);
+    PredMeta m;
+    bool taken = p.predict(0x1000, 0, m);
+    EXPECT_EQ(m.taken, taken);
+    EXPECT_EQ(m.gsharePred, taken);
+}
+
+TEST(GshareDeath, BadHistoryLengthPanics)
+{
+    EXPECT_DEATH({ GsharePredictor p(4096, 0); }, "history");
+}

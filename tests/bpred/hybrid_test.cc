@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for the McFarling combined predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/bimodal.hh"
+#include "bpred/factory.hh"
+#include "bpred/gshare.hh"
+#include "bpred/hybrid.hh"
+#include "common/rng.hh"
+
+using namespace percon;
+
+namespace {
+
+std::unique_ptr<HybridPredictor>
+smallHybrid()
+{
+    return std::make_unique<HybridPredictor>(
+        std::make_unique<BimodalPredictor>(1024),
+        std::make_unique<GsharePredictor>(1024, 10), 1024, "test");
+}
+
+} // namespace
+
+TEST(Hybrid, ChoosesBimodalWhenGshareCold)
+{
+    // A biased-not-taken branch: bimodal learns it; gshare keeps
+    // seeing fresh histories (cold counters predict taken). The
+    // chooser must migrate to bimodal.
+    auto h = smallHybrid();
+    PredMeta m;
+    Rng rng(1);
+    int correct = 0;
+    const int n = 3000;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t hist = rng.next();
+        bool pred = h->predict(0x1000, hist, m);
+        correct += pred == false;
+        h->update(0x1000, hist, false, m);
+    }
+    EXPECT_GT(correct / static_cast<double>(n), 0.95);
+}
+
+TEST(Hybrid, ChoosesGshareForHistoryPattern)
+{
+    // Outcome = history bit 0; bimodal can only get ~50%, gshare
+    // learns it exactly. The chooser must migrate to gshare.
+    auto h = smallHybrid();
+    PredMeta m;
+    int correct = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t hist = (i / 3) % 2;  // slow alternation
+        bool outcome = hist & 1;
+        bool pred = h->predict(0x2000, hist, m);
+        if (i > n / 2)
+            correct += pred == outcome;
+        h->update(0x2000, hist, outcome, m);
+    }
+    EXPECT_GT(correct / static_cast<double>(n / 2), 0.95);
+}
+
+TEST(Hybrid, StorageSumsComponents)
+{
+    auto h = std::make_unique<HybridPredictor>(
+        std::make_unique<BimodalPredictor>(1024),
+        std::make_unique<GsharePredictor>(2048, 11), 512, "test");
+    EXPECT_EQ(h->storageBits(), 1024u * 2 + 2048u * 2 + 512u * 2);
+}
+
+TEST(Hybrid, BaselineMatchesPaperTable1)
+{
+    auto h = makeBaselineHybrid();
+    EXPECT_STREQ(h->name(), "bimodal-gshare");
+    // 16K bimodal (2b) + 64K gshare (2b) + 64K meta (2b)
+    EXPECT_EQ(h->storageBits(),
+              16u * 1024 * 2 + 64u * 1024 * 2 + 64u * 1024 * 2);
+}
+
+TEST(Hybrid, GsharePerceptronBuilds)
+{
+    auto h = makeGsharePerceptronHybrid();
+    EXPECT_STREQ(h->name(), "gshare-perceptron");
+    PredMeta m;
+    h->predict(0x1234, 0x56, m);
+}
+
+TEST(Factory, AllNamesConstruct)
+{
+    for (const auto &name : predictorNames()) {
+        auto p = makePredictor(name);
+        ASSERT_NE(p, nullptr) << name;
+        PredMeta m;
+        p->predict(0x1000, 0x2, m);
+        p->update(0x1000, 0x2, true, m);
+    }
+}
+
+TEST(FactoryDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT({ auto p = makePredictor("oracle9000"); },
+                ::testing::ExitedWithCode(1), "unknown predictor");
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Unit tests for the PAs local-history predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/pas.hh"
+
+using namespace percon;
+
+TEST(PAs, LearnsLocalAlternation)
+{
+    // A strict alternator is invisible to global predictors but
+    // trivial for a local-history scheme.
+    PAsPredictor p(256, 8, 4);
+    PredMeta m;
+    bool outcome = false;
+    for (int i = 0; i < 400; ++i) {
+        outcome = !outcome;
+        p.update(0x1000, 0, outcome, m);
+    }
+    // After training, prediction must continue the alternation.
+    int correct = 0;
+    for (int i = 0; i < 20; ++i) {
+        outcome = !outcome;
+        correct += p.predict(0x1000, 0, m) == outcome;
+        p.update(0x1000, 0, outcome, m);
+    }
+    EXPECT_GE(correct, 18);
+}
+
+TEST(PAs, LearnsShortRepeatingPattern)
+{
+    PAsPredictor p(256, 10, 4);
+    PredMeta m;
+    const bool pattern[] = {true, true, false, true, false};
+    for (int i = 0; i < 1000; ++i)
+        p.update(0x2000, 0, pattern[i % 5], m);
+    int correct = 0;
+    for (int i = 0; i < 25; ++i) {
+        bool outcome = pattern[i % 5];
+        correct += p.predict(0x2000, 0, m) == outcome;
+        p.update(0x2000, 0, outcome, m);
+    }
+    EXPECT_GE(correct, 23);
+}
+
+TEST(PAs, PatternRegisterShifts)
+{
+    PAsPredictor p(256, 4, 4);
+    PredMeta m;
+    p.update(0x3000, 0, true, m);
+    p.update(0x3000, 0, false, m);
+    p.update(0x3000, 0, true, m);
+    EXPECT_EQ(p.patternFor(0x3000), 0b101u);
+}
+
+TEST(PAs, PatternMaskedToLocalBits)
+{
+    PAsPredictor p(256, 3, 4);
+    PredMeta m;
+    for (int i = 0; i < 10; ++i)
+        p.update(0x3000, 0, true, m);
+    EXPECT_EQ(p.patternFor(0x3000), 0b111u);
+}
+
+TEST(PAs, StorageBits)
+{
+    PAsPredictor p(4096, 10, 16);
+    EXPECT_EQ(p.storageBits(), 4096u * 10 + 16u * 1024 * 2);
+}
+
+TEST(PAsDeath, BadGeometryPanics)
+{
+    EXPECT_DEATH({ PAsPredictor p(1000, 10, 16); }, "power of two");
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the Jimenez-Lin perceptron direction predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/perceptron_pred.hh"
+#include "common/rng.hh"
+
+using namespace percon;
+
+TEST(PerceptronPred, LearnsBias)
+{
+    PerceptronPredictor p(64, 16, 8);
+    PredMeta m;
+    for (int i = 0; i < 100; ++i) {
+        p.predict(0x1000, 0, m);
+        p.update(0x1000, 0, true, m);
+    }
+    EXPECT_TRUE(p.predict(0x1000, 0, m));
+    EXPECT_GT(p.output(0x1000, 0), 0);
+}
+
+TEST(PerceptronPred, LearnsSingleHistoryBit)
+{
+    // Outcome follows history bit 3.
+    PerceptronPredictor p(64, 16, 8);
+    PredMeta m;
+    Rng rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t h = rng.next() & 0xffff;
+        bool outcome = (h >> 3) & 1;
+        p.predict(0x2000, h, m);
+        p.update(0x2000, h, outcome, m);
+    }
+    int correct = 0;
+    Rng check(2);
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t h = check.next() & 0xffff;
+        bool outcome = (h >> 3) & 1;
+        correct += p.predict(0x2000, h, m) == outcome;
+    }
+    EXPECT_GE(correct, 195);
+}
+
+TEST(PerceptronPred, CannotLearnParity)
+{
+    // XOR of two bits is not linearly separable: accuracy stays
+    // near chance.
+    PerceptronPredictor p(64, 16, 8);
+    PredMeta m;
+    Rng rng(3);
+    int correct = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        std::uint64_t h = rng.next() & 0xffff;
+        bool outcome = ((h >> 1) & 1) ^ ((h >> 5) & 1);
+        correct += p.predict(0x3000, h, m) == outcome;
+        p.update(0x3000, h, outcome, m);
+    }
+    EXPECT_NEAR(correct / static_cast<double>(n), 0.5, 0.08);
+}
+
+TEST(PerceptronPred, ThetaDefaultsToJimenezLin)
+{
+    PerceptronPredictor p(64, 32, 8);
+    EXPECT_EQ(p.theta(), static_cast<int>(1.93 * 32 + 14));
+}
+
+TEST(PerceptronPred, NoTrainingBeyondTheta)
+{
+    PerceptronPredictor p(64, 8, 8, 10);
+    PredMeta m;
+    // Saturate the bias well beyond theta.
+    for (int i = 0; i < 60; ++i) {
+        p.predict(0x4000, 0, m);
+        p.update(0x4000, 0, true, m);
+    }
+    std::int32_t before = p.output(0x4000, 0);
+    EXPECT_GT(before, 10);
+    // A correct prediction with |y| > theta must not change weights.
+    p.predict(0x4000, 0, m);
+    p.update(0x4000, 0, true, m);
+    EXPECT_EQ(p.output(0x4000, 0), before);
+}
+
+TEST(PerceptronPred, WeightsSaturate)
+{
+    PerceptronPredictor p(64, 4, 4, 1000000);
+    PredMeta m;
+    for (int i = 0; i < 200; ++i) {
+        p.predict(0x5000, 0xf, m);
+        p.update(0x5000, 0xf, true, m);
+    }
+    // 4-bit weights: max 7 each; |y| <= (4+1)*7
+    EXPECT_LE(p.output(0x5000, 0xf), 5 * 7);
+}
+
+TEST(PerceptronPred, MetaCarriesOutput)
+{
+    PerceptronPredictor p(64, 16, 8);
+    PredMeta m;
+    p.predict(0x6000, 0x12, m);
+    EXPECT_EQ(m.perceptronOut, p.output(0x6000, 0x12));
+}
+
+class PerceptronGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(PerceptronGeometry, OutputBounded)
+{
+    auto [hist, wbits] = GetParam();
+    PerceptronPredictor p(64, hist, wbits);
+    PredMeta m;
+    Rng rng(9);
+    std::int32_t bound = (hist + 1) * ((1 << (wbits - 1)) - 1);
+    for (int i = 0; i < 3000; ++i) {
+        std::uint64_t h = rng.next();
+        p.predict(0x7000, h, m);
+        p.update(0x7000, h, rng.nextBernoulli(0.5), m);
+        EXPECT_LE(std::abs(p.output(0x7000, h)), bound);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PerceptronGeometry,
+    ::testing::Combine(::testing::Values(8, 16, 32),
+                       ::testing::Values(4, 6, 8)));

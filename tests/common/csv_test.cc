@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hh"
+
+using namespace percon;
+
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+} // namespace
+
+TEST(Csv, WritesHeaderOnceAndRows)
+{
+    std::string path = tempPath("basic.csv");
+    std::remove(path.c_str());
+    {
+        CsvWriter w(path, {"a", "b"});
+        w.addRow({"1", "2"});
+    }
+    {
+        CsvWriter w(path, {"a", "b"});  // append: no second header
+        w.addRow({"3", "4"});
+    }
+    EXPECT_EQ(slurp(path), "a,b\n1,2\n3,4\n");
+}
+
+TEST(Csv, EscapesCommasAndQuotes)
+{
+    std::string path = tempPath("escape.csv");
+    std::remove(path.c_str());
+    {
+        CsvWriter w(path, {"x"});
+        w.addRow({"hello, world"});
+        w.addRow({"say \"hi\""});
+    }
+    EXPECT_EQ(slurp(path), "x\n\"hello, world\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, FromEnvDisabledReturnsNull)
+{
+    ::unsetenv("PERCON_CSV_DIR");
+    EXPECT_EQ(CsvWriter::fromEnv("t", {"a"}), nullptr);
+}
+
+TEST(Csv, FromEnvWritesIntoDirectory)
+{
+    std::string dir = ::testing::TempDir();
+    ::setenv("PERCON_CSV_DIR", dir.c_str(), 1);
+    std::string path = dir + "/envtest.csv";
+    std::remove(path.c_str());
+    {
+        auto w = CsvWriter::fromEnv("envtest", {"c"});
+        ASSERT_NE(w, nullptr);
+        w->addRow({"v"});
+    }
+    EXPECT_EQ(slurp(path), "c\nv\n");
+    ::unsetenv("PERCON_CSV_DIR");
+}
+
+TEST(CsvDeath, RowWidthMismatchPanics)
+{
+    std::string path = tempPath("width.csv");
+    std::remove(path.c_str());
+    CsvWriter w(path, {"a", "b"});
+    EXPECT_DEATH(w.addRow({"only"}), "CSV row width");
+}

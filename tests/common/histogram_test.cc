@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Unit tests for the density-function histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+
+using namespace percon;
+
+TEST(Histogram, BucketsCoverRange)
+{
+    Histogram h(-10, 10, 5);
+    EXPECT_EQ(h.numBuckets(), 5u);  // [-10..-6][-5..-1][0..4][5..9][10..]
+    EXPECT_EQ(h.bucketLo(0), -10);
+    EXPECT_EQ(h.bucketLo(1), -5);
+}
+
+TEST(Histogram, AddCountsInRightBucket)
+{
+    Histogram h(0, 9, 5);
+    h.add(0);
+    h.add(4);
+    h.add(5);
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges)
+{
+    Histogram h(0, 9, 5);
+    h.add(-100);
+    h.add(100);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(h.numBuckets() - 1), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, MassInRange)
+{
+    Histogram h(-20, 20, 10);
+    h.add(-15);
+    h.add(-5);
+    h.add(5);
+    h.add(15);
+    EXPECT_EQ(h.massInRange(-20, 20), 4u);
+    EXPECT_EQ(h.massInRange(0, 20), 2u);
+    EXPECT_EQ(h.massInRange(-9, -1), 1u);
+}
+
+TEST(Histogram, MeanTracksSamples)
+{
+    Histogram h(-100, 100, 1);
+    h.add(10);
+    h.add(20);
+    h.add(30);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, ModeIsBusiestBucketCenter)
+{
+    Histogram h(0, 99, 10);
+    h.add(5);
+    h.add(57);
+    h.add(52);
+    EXPECT_NEAR(h.mode(), 54.5, 1e-9);
+}
+
+TEST(Histogram, EmptyIsSafe)
+{
+    Histogram h(0, 10, 1);
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mode(), 0.0);
+}
+
+TEST(Histogram, DumpRestrictsRange)
+{
+    Histogram h(0, 99, 10);
+    h.add(5);
+    h.add(95);
+    std::string all = h.dump(0, 99);
+    std::string low = h.dump(0, 9);
+    EXPECT_NE(all.find("94.5"), std::string::npos);
+    EXPECT_EQ(low.find("94.5"), std::string::npos);
+    EXPECT_NE(low.find("4.5"), std::string::npos);
+}
+
+TEST(Histogram, DefaultConstructedIsEmpty)
+{
+    Histogram h;
+    EXPECT_EQ(h.numBuckets(), 0u);
+    EXPECT_EQ(h.total(), 0u);
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit tests for branch history registers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/history.hh"
+
+using namespace percon;
+
+TEST(HistoryRegister, PushShiftsInAtBitZero)
+{
+    HistoryRegister h(8);
+    h.push(true);
+    EXPECT_EQ(h.bits(), 0b1ULL);
+    h.push(false);
+    EXPECT_EQ(h.bits(), 0b10ULL);
+    h.push(true);
+    EXPECT_EQ(h.bits(), 0b101ULL);
+    EXPECT_TRUE(h.bit(0));
+    EXPECT_FALSE(h.bit(1));
+    EXPECT_TRUE(h.bit(2));
+}
+
+TEST(HistoryRegister, MaskDropsOldBits)
+{
+    HistoryRegister h(4);
+    for (int i = 0; i < 10; ++i)
+        h.push(true);
+    EXPECT_EQ(h.bits(), 0xfULL);
+    h.push(false);
+    EXPECT_EQ(h.bits(), 0b1110ULL);
+}
+
+TEST(HistoryRegister, RestoreRoundTrip)
+{
+    HistoryRegister h(16);
+    h.push(true);
+    h.push(false);
+    std::uint64_t snap = h.bits();
+    h.push(true);
+    h.push(true);
+    h.restore(snap);
+    EXPECT_EQ(h.bits(), snap);
+}
+
+TEST(HistoryRegister, SignedBitBipolar)
+{
+    HistoryRegister h(8);
+    h.push(true);
+    h.push(false);
+    EXPECT_EQ(h.signedBit(0), -1);
+    EXPECT_EQ(h.signedBit(1), 1);
+}
+
+TEST(HistoryRegister, ClearZeroes)
+{
+    HistoryRegister h(8);
+    h.push(true);
+    h.clear();
+    EXPECT_EQ(h.bits(), 0u);
+}
+
+TEST(HistoryRegister, FullWidth64)
+{
+    HistoryRegister h(64);
+    for (int i = 0; i < 64; ++i)
+        h.push(true);
+    EXPECT_EQ(h.bits(), ~0ULL);
+}
+
+class HistoryLengths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HistoryLengths, OnlyLengthBitsSurvive)
+{
+    unsigned len = GetParam();
+    HistoryRegister h(len);
+    for (int i = 0; i < 100; ++i)
+        h.push(true);
+    if (len >= 64) {
+        EXPECT_EQ(h.bits(), ~0ULL);
+    } else {
+        EXPECT_EQ(h.bits(), (1ULL << len) - 1);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, HistoryLengths,
+                         ::testing::Values(1u, 4u, 16u, 32u, 63u, 64u));
+
+TEST(SpecHistoryLike, ReplayAfterRestoreMatchesFreshRun)
+{
+    // Property: restoring a checkpoint and replaying the same pushes
+    // yields the same final state as a register that never diverged.
+    HistoryRegister a(32), b(32);
+    bool prefix[] = {true, false, false, true, true};
+    for (bool t : prefix) {
+        a.push(t);
+        b.push(t);
+    }
+    std::uint64_t snap = a.bits();
+    a.push(true);
+    a.push(true);
+    a.restore(snap);
+    bool suffix[] = {false, true, false};
+    for (bool t : suffix) {
+        a.push(t);
+        b.push(t);
+    }
+    EXPECT_EQ(a.bits(), b.bits());
+}

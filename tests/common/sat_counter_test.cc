@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit and property tests for saturating/resetting counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/sat_counter.hh"
+
+using namespace percon;
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(SatCounter, MsbSplitsRange)
+{
+    SatCounter c(2, 0);
+    EXPECT_FALSE(c.msb());  // 0
+    c.increment();
+    EXPECT_FALSE(c.msb());  // 1
+    c.increment();
+    EXPECT_TRUE(c.msb());   // 2
+    c.increment();
+    EXPECT_TRUE(c.msb());   // 3
+}
+
+TEST(SatCounter, RailDistance)
+{
+    SatCounter c(2, 0);
+    EXPECT_EQ(c.railDistance(), 0u);
+    c.increment();
+    EXPECT_EQ(c.railDistance(), 1u);
+    c.increment();
+    EXPECT_EQ(c.railDistance(), 1u);
+    c.increment();
+    EXPECT_EQ(c.railDistance(), 0u);
+}
+
+TEST(SatCounter, SaturateAndReset)
+{
+    SatCounter c(3, 1);
+    c.saturate();
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+class SatCounterWidths : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidths, MaxMatchesWidth)
+{
+    unsigned bits = GetParam();
+    SatCounter c(bits);
+    EXPECT_EQ(c.max(), (1u << bits) - 1);
+}
+
+TEST_P(SatCounterWidths, IncrementsReachMaxExactly)
+{
+    unsigned bits = GetParam();
+    SatCounter c(bits, 0);
+    for (unsigned i = 0; i < c.max(); ++i)
+        c.increment();
+    EXPECT_EQ(c.value(), c.max());
+    c.increment();
+    EXPECT_EQ(c.value(), c.max());
+}
+
+TEST_P(SatCounterWidths, RailDistanceSymmetric)
+{
+    unsigned bits = GetParam();
+    SatCounter lo(bits, 0), hi(bits);
+    hi.saturate();
+    for (unsigned step = 0; step <= lo.max(); ++step) {
+        EXPECT_EQ(lo.railDistance(), hi.railDistance());
+        lo.increment();
+        hi.decrement();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidths,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u, 12u));
+
+TEST(ResettingCounter, CountsMissDistance)
+{
+    ResettingCounter c(4);
+    for (int i = 0; i < 5; ++i)
+        c.recordCorrect();
+    EXPECT_EQ(c.value(), 5u);
+    c.recordMispredict();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ResettingCounter, SaturatesAtWidthMax)
+{
+    ResettingCounter c(4);
+    for (int i = 0; i < 100; ++i)
+        c.recordCorrect();
+    EXPECT_EQ(c.value(), 15u);
+    EXPECT_EQ(c.max(), 15u);
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for confidence metrics and running statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+
+using namespace percon;
+
+TEST(ConfidenceMatrix, PaperMetricDefinitions)
+{
+    // 100 branches: 20 mispredicted (15 flagged low), 80 correct
+    // (10 flagged low).
+    ConfidenceMatrix m;
+    for (int i = 0; i < 15; ++i)
+        m.record(true, true);
+    for (int i = 0; i < 5; ++i)
+        m.record(true, false);
+    for (int i = 0; i < 10; ++i)
+        m.record(false, true);
+    for (int i = 0; i < 70; ++i)
+        m.record(false, false);
+
+    EXPECT_EQ(m.total(), 100u);
+    EXPECT_EQ(m.mispredicted(), 20u);
+    EXPECT_EQ(m.lowConfidence(), 25u);
+    // Spec: fraction of mispredicted branches flagged low.
+    EXPECT_DOUBLE_EQ(m.spec(), 15.0 / 20.0);
+    // PVN: probability a low-confidence flag is a real mispredict.
+    EXPECT_DOUBLE_EQ(m.pvn(), 15.0 / 25.0);
+    // Sens: fraction of correct branches kept high confidence.
+    EXPECT_DOUBLE_EQ(m.sens(), 70.0 / 80.0);
+    // PVP: probability a high-confidence estimate is correct.
+    EXPECT_DOUBLE_EQ(m.pvp(), 70.0 / 75.0);
+    EXPECT_DOUBLE_EQ(m.mispredictRate(), 0.2);
+}
+
+TEST(ConfidenceMatrix, EmptyIsZeroNotNan)
+{
+    ConfidenceMatrix m;
+    EXPECT_DOUBLE_EQ(m.spec(), 0.0);
+    EXPECT_DOUBLE_EQ(m.pvn(), 0.0);
+    EXPECT_DOUBLE_EQ(m.sens(), 0.0);
+    EXPECT_DOUBLE_EQ(m.pvp(), 0.0);
+}
+
+TEST(ConfidenceMatrix, MergeAddsCounts)
+{
+    ConfidenceMatrix a, b;
+    a.record(true, true);
+    b.record(false, false);
+    b.record(true, false);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 3u);
+    EXPECT_EQ(a.mispredicted(), 2u);
+    EXPECT_EQ(a.correctHigh(), 1u);
+}
+
+TEST(RunningStat, MatchesClosedForm)
+{
+    RunningStat s;
+    double samples[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    for (double x : samples)
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Pct, Basics)
+{
+    EXPECT_DOUBLE_EQ(pct(1.0, 4.0), 25.0);
+    EXPECT_DOUBLE_EQ(pct(1.0, 0.0), 0.0);
+}
+
+TEST(FmtFixed, Decimals)
+{
+    EXPECT_EQ(fmtFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtFixed(3.14159, 0), "3");
+    EXPECT_EQ(fmtFixed(-1.05, 1), "-1.1");
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Unit tests for the ASCII table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+using namespace percon;
+
+TEST(AsciiTable, RendersHeaderAndRows)
+{
+    AsciiTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("| name "), std::string::npos);
+    EXPECT_NE(out.find("| alpha "), std::string::npos);
+    EXPECT_NE(out.find("| 22 "), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnsAlignToWidestCell)
+{
+    AsciiTable t({"x"});
+    t.addRow({"longest-cell"});
+    t.addRow({"s"});
+    std::string out = t.render();
+    // Every line should have equal length.
+    std::size_t first_len = out.find('\n');
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        std::size_t eol = out.find('\n', pos);
+        ASSERT_NE(eol, std::string::npos);
+        EXPECT_EQ(eol - pos, first_len);
+        pos = eol + 1;
+    }
+}
+
+TEST(AsciiTable, SeparatorRendersRule)
+{
+    AsciiTable t({"a"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    std::string out = t.render();
+    // header rule + top + separator + bottom = 4 rules
+    int rules = 0;
+    std::size_t pos = 0;
+    while ((pos = out.find("+-", pos)) != std::string::npos) {
+        ++rules;
+        pos += 2;
+    }
+    EXPECT_EQ(rules, 4);
+}
+
+TEST(AsciiTableDeath, RowWidthMismatchPanics)
+{
+    AsciiTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}

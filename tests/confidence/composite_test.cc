@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the composite (JRS + perceptron veto) estimator and the
+ * JRS variants (saturating counters, selective-branch-inversion
+ * banding).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/factory.hh"
+#include "confidence/composite.hh"
+#include "confidence/factory.hh"
+#include "core/front_end_sim.hh"
+#include "trace/benchmarks.hh"
+
+using namespace percon;
+
+TEST(Composite, FreshStateFollowsJrs)
+{
+    // Fresh JRS counters are low confidence; the fresh perceptron
+    // (output 0 > veto -100) does not veto.
+    CompositeConfidence e;
+    ConfidenceInfo info = e.estimate(0x1000, 0, true);
+    EXPECT_TRUE(info.low);
+    EXPECT_EQ(info.band, ConfidenceBand::WeakLow);
+}
+
+TEST(Composite, PerceptronVetoSuppressesJrsFlag)
+{
+    CompositeParams p;
+    p.vetoLambda = -50;
+    CompositeConfidence e(p);
+    std::uint64_t ghr = 0xabc;
+    // Train many correct predictions: JRS counter saturates high
+    // (not low), perceptron goes strongly negative. Then one
+    // mispredict resets JRS; the perceptron still vouches.
+    for (int i = 0; i < 40; ++i) {
+        ConfidenceInfo info = e.estimate(0x1000, ghr, true);
+        e.train(0x1000, ghr, true, false, info);
+    }
+    ConfidenceInfo info = e.estimate(0x1000, ghr, true);
+    e.train(0x1000, ghr, true, true, info);  // one miss: JRS resets
+    info = e.estimate(0x1000, ghr, true);
+    EXPECT_EQ(info.raw, e.perceptron().output(0x1000, ghr));
+    if (e.perceptron().output(0x1000, ghr) <= p.vetoLambda) {
+        EXPECT_FALSE(info.low);  // vetoed despite JRS reset
+    }
+}
+
+TEST(Composite, StrongLowComesFromPerceptron)
+{
+    CompositeConfidence e;
+    std::uint64_t ghr = 0x77;
+    for (int i = 0; i < 40; ++i) {
+        ConfidenceInfo info = e.estimate(0x2000, ghr, true);
+        e.train(0x2000, ghr, true, true, info);
+    }
+    EXPECT_EQ(e.estimate(0x2000, ghr, true).band,
+              ConfidenceBand::StrongLow);
+}
+
+TEST(Composite, StorageSumsComponents)
+{
+    CompositeConfidence e;
+    EXPECT_EQ(e.storageBits(),
+              e.jrs().storageBits() + e.perceptron().storageBits());
+}
+
+TEST(Composite, BeatsPlainJrsAccuracyAtSimilarCoverage)
+{
+    // The design goal: higher PVN than enhanced JRS while keeping
+    // much of its coverage.
+    FrontEndConfig cfg;
+    cfg.warmupBranches = 40'000;
+    cfg.measureBranches = 150'000;
+    ConfidenceMatrix jrs_m, comp_m;
+    for (const char *b : {"gzip", "mcf"}) {
+        {
+            ProgramModel program(benchmarkSpec(b).program);
+            auto pred = makePredictor("bimodal-gshare");
+            auto est = makeEstimator("jrs-enhanced");
+            jrs_m.merge(
+                runFrontEnd(program, *pred, est.get(), cfg).matrix);
+        }
+        {
+            ProgramModel program(benchmarkSpec(b).program);
+            auto pred = makePredictor("bimodal-gshare");
+            auto est = makeEstimator("composite");
+            comp_m.merge(
+                runFrontEnd(program, *pred, est.get(), cfg).matrix);
+        }
+    }
+    EXPECT_GT(comp_m.pvn(), jrs_m.pvn());
+    EXPECT_GT(comp_m.spec(), 0.5 * jrs_m.spec());
+}
+
+TEST(JrsSaturating, DecrementsInsteadOfResetting)
+{
+    JrsEstimator sat(1024, 4, 7, true, false);
+    ConfidenceInfo info;
+    for (int i = 0; i < 15; ++i) {
+        info = sat.estimate(0x1000, 0, true);
+        sat.train(0x1000, 0, true, false, info);
+    }
+    EXPECT_EQ(sat.estimate(0x1000, 0, true).raw, 15);
+    info = sat.estimate(0x1000, 0, true);
+    sat.train(0x1000, 0, true, true, info);
+    // One miss only decrements: still high confidence.
+    EXPECT_EQ(sat.estimate(0x1000, 0, true).raw, 14);
+    EXPECT_FALSE(sat.estimate(0x1000, 0, true).low);
+}
+
+TEST(JrsSbi, FreshCountersAreReverseWorthy)
+{
+    JrsEstimator sbi(1024, 4, 15, true, true, 1);
+    // Counter 0 (< invert threshold 1): strongly low.
+    EXPECT_EQ(sbi.estimate(0x1000, 0, true).band,
+              ConfidenceBand::StrongLow);
+    ConfidenceInfo info = sbi.estimate(0x1000, 0, true);
+    sbi.train(0x1000, 0, true, false, info);
+    // Counter 1: still low, but no longer reverse-worthy.
+    EXPECT_EQ(sbi.estimate(0x1000, 0, true).band,
+              ConfidenceBand::WeakLow);
+}
+
+TEST(JrsSbiDeath, InversionAboveLambdaPanics)
+{
+    EXPECT_DEATH({ JrsEstimator e(1024, 4, 3, true, true, 5); },
+                 "inversion threshold");
+}
+
+TEST(NewEstimators, FactoryRoundTrip)
+{
+    for (const char *name :
+         {"jrs-saturating", "jrs-sbi", "composite"}) {
+        auto e = makeEstimator(name);
+        ASSERT_NE(e, nullptr);
+        ConfidenceInfo info = e->estimate(0x1234, 0x88, true);
+        e->train(0x1234, 0x88, true, true, info);
+    }
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Confidence estimator factory tests, including the paper's
+ * equal-storage constraint.
+ */
+
+#include <gtest/gtest.h>
+
+#include "confidence/factory.hh"
+
+using namespace percon;
+
+TEST(ConfidenceFactory, AllNamesConstructAndOperate)
+{
+    for (const auto &name : estimatorNames()) {
+        auto e = makeEstimator(name);
+        ASSERT_NE(e, nullptr) << name;
+        ConfidenceInfo info = e->estimate(0x1000, 0x5a, true);
+        e->train(0x1000, 0x5a, true, false, info);
+        e->train(0x1000, 0x5a, true, true, info);
+    }
+}
+
+TEST(ConfidenceFactory, PaperEstimatorsHaveEqualStorage)
+{
+    // "the two estimators have storage arrays of equal size, each
+    //  totaling 4KB" — allow a small slack for the perceptron's
+    //  33rd (bias) weight column.
+    auto jrs = makeEstimator("jrs-enhanced");
+    auto perc = makeEstimator("perceptron-cic");
+    double jrs_kb = jrs->storageBits() / 8.0 / 1024.0;
+    double perc_kb = perc->storageBits() / 8.0 / 1024.0;
+    EXPECT_NEAR(jrs_kb, 4.0, 0.25);
+    EXPECT_NEAR(perc_kb, 4.0, 0.25);
+}
+
+TEST(ConfidenceFactory, EstimateIsConst)
+{
+    // estimate() must not mutate state: two identical calls agree,
+    // even interleaved with calls for other branches.
+    for (const auto &name : estimatorNames()) {
+        auto e = makeEstimator(name);
+        ConfidenceInfo a = e->estimate(0x1000, 0x77, true);
+        e->estimate(0x2000, 0x12, false);
+        ConfidenceInfo b = e->estimate(0x1000, 0x77, true);
+        EXPECT_EQ(a.raw, b.raw) << name;
+        EXPECT_EQ(a.low, b.low) << name;
+    }
+}
+
+TEST(ConfidenceFactoryDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT({ auto e = makeEstimator("oracle"); },
+                ::testing::ExitedWithCode(1), "unknown confidence");
+}
+
+TEST(ConfidenceBand, NamesResolve)
+{
+    EXPECT_STREQ(confidenceBandName(ConfidenceBand::High), "high");
+    EXPECT_STREQ(confidenceBandName(ConfidenceBand::WeakLow),
+                 "weak-low");
+    EXPECT_STREQ(confidenceBandName(ConfidenceBand::StrongLow),
+                 "strong-low");
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the JRS / enhanced JRS confidence estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "confidence/jrs.hh"
+
+using namespace percon;
+
+TEST(Jrs, StartsLowConfidence)
+{
+    JrsEstimator e(1024, 4, 15, true);
+    ConfidenceInfo info = e.estimate(0x1000, 0, true);
+    EXPECT_TRUE(info.low);
+    EXPECT_EQ(info.raw, 0);
+}
+
+TEST(Jrs, BecomesHighConfidenceAfterLambdaCorrect)
+{
+    JrsEstimator e(1024, 4, 7, true);
+    ConfidenceInfo info;
+    for (int i = 0; i < 7; ++i) {
+        info = e.estimate(0x1000, 0, true);
+        EXPECT_TRUE(info.low) << "iteration " << i;
+        e.train(0x1000, 0, true, false, info);
+    }
+    info = e.estimate(0x1000, 0, true);
+    EXPECT_FALSE(info.low);
+    EXPECT_EQ(info.raw, 7);
+}
+
+TEST(Jrs, MispredictResetsToLow)
+{
+    JrsEstimator e(1024, 4, 7, true);
+    ConfidenceInfo info;
+    for (int i = 0; i < 10; ++i) {
+        info = e.estimate(0x1000, 0, true);
+        e.train(0x1000, 0, true, false, info);
+    }
+    EXPECT_FALSE(e.estimate(0x1000, 0, true).low);
+    info = e.estimate(0x1000, 0, true);
+    e.train(0x1000, 0, true, true, info);  // mispredict
+    EXPECT_TRUE(e.estimate(0x1000, 0, true).low);
+    EXPECT_EQ(e.estimate(0x1000, 0, true).raw, 0);
+}
+
+TEST(Jrs, HistoryIndexesDistinctCounters)
+{
+    JrsEstimator e(1024, 4, 7, false);
+    ConfidenceInfo info;
+    for (int i = 0; i < 8; ++i) {
+        info = e.estimate(0x1000, 0x1, true);
+        e.train(0x1000, 0x1, true, false, info);
+    }
+    EXPECT_FALSE(e.estimate(0x1000, 0x1, true).low);
+    EXPECT_TRUE(e.estimate(0x1000, 0x2, true).low);
+}
+
+TEST(Jrs, EnhancedUsesPredictionInIndex)
+{
+    // Enhanced JRS: same (pc, history) but different predictions hit
+    // different counters; plain JRS does not.
+    JrsEstimator enhanced(1024, 4, 7, true);
+    ConfidenceInfo info;
+    for (int i = 0; i < 8; ++i) {
+        info = enhanced.estimate(0x1000, 0x5, true);
+        enhanced.train(0x1000, 0x5, true, false, info);
+    }
+    EXPECT_FALSE(enhanced.estimate(0x1000, 0x5, true).low);
+    EXPECT_TRUE(enhanced.estimate(0x1000, 0x5, false).low);
+
+    JrsEstimator plain(1024, 4, 7, false);
+    for (int i = 0; i < 8; ++i) {
+        info = plain.estimate(0x1000, 0x5, true);
+        plain.train(0x1000, 0x5, true, false, info);
+    }
+    EXPECT_FALSE(plain.estimate(0x1000, 0x5, true).low);
+    EXPECT_FALSE(plain.estimate(0x1000, 0x5, false).low);
+}
+
+TEST(Jrs, PaperConfigurationIs4KB)
+{
+    JrsEstimator e(8 * 1024, 4, 15, true);
+    EXPECT_EQ(e.storageBits(), 8u * 1024 * 4);  // 4 KB
+    EXPECT_EQ(e.storageBits() / 8, 4096u);
+}
+
+TEST(Jrs, BandMirrorsBinaryClassification)
+{
+    JrsEstimator e(1024, 4, 7, true);
+    ConfidenceInfo info = e.estimate(0x1, 0, true);
+    EXPECT_EQ(info.band, ConfidenceBand::WeakLow);
+    for (int i = 0; i < 8; ++i) {
+        info = e.estimate(0x1, 0, true);
+        e.train(0x1, 0, true, false, info);
+    }
+    EXPECT_EQ(e.estimate(0x1, 0, true).band, ConfidenceBand::High);
+}
+
+class JrsLambdas : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(JrsLambdas, ThresholdSemantics)
+{
+    unsigned lambda = GetParam();
+    JrsEstimator e(1024, 4, lambda, true);
+    ConfidenceInfo info;
+    for (unsigned i = 0; i < lambda; ++i) {
+        info = e.estimate(0x10, 0, true);
+        EXPECT_TRUE(info.low);
+        e.train(0x10, 0, true, false, info);
+    }
+    EXPECT_FALSE(e.estimate(0x10, 0, true).low);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, JrsLambdas,
+                         ::testing::Values(3u, 7u, 11u, 15u));

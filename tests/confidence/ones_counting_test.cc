@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit tests for the ones-counting confidence estimator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "confidence/ones_counting.hh"
+
+using namespace percon;
+
+TEST(OnesCounting, StartsLowConfidence)
+{
+    OnesCountingEstimator e(1024, 16, 15, true);
+    EXPECT_TRUE(e.estimate(0x1000, 0, true).low);
+    EXPECT_EQ(e.estimate(0x1000, 0, true).raw, 0);
+}
+
+TEST(OnesCounting, BecomesHighAfterWindowFills)
+{
+    OnesCountingEstimator e(1024, 8, 7, true);
+    ConfidenceInfo info;
+    for (int i = 0; i < 7; ++i) {
+        info = e.estimate(0x1000, 0, true);
+        e.train(0x1000, 0, true, false, info);
+    }
+    EXPECT_FALSE(e.estimate(0x1000, 0, true).low);
+}
+
+TEST(OnesCounting, ForgivesIsolatedMisses)
+{
+    // The key difference from the resetting counter: one miss in a
+    // long correct run costs a single one, not the whole distance.
+    OnesCountingEstimator e(1024, 8, 6, true);
+    ConfidenceInfo info;
+    for (int i = 0; i < 8; ++i) {
+        info = e.estimate(0x1000, 0, true);
+        e.train(0x1000, 0, true, false, info);
+    }
+    info = e.estimate(0x1000, 0, true);
+    e.train(0x1000, 0, true, true, info);  // one miss
+    // 7 of the last 8 are correct: still >= lambda 6.
+    EXPECT_FALSE(e.estimate(0x1000, 0, true).low);
+}
+
+TEST(OnesCounting, WindowSlidesMissesOut)
+{
+    OnesCountingEstimator e(1024, 4, 4, true);
+    ConfidenceInfo info;
+    info = e.estimate(0x1000, 0, true);
+    e.train(0x1000, 0, true, true, info);  // miss
+    for (int i = 0; i < 4; ++i) {
+        info = e.estimate(0x1000, 0, true);
+        e.train(0x1000, 0, true, false, info);
+    }
+    // The miss has slid out of the 4-bit window.
+    EXPECT_EQ(e.estimate(0x1000, 0, true).raw, 4);
+    EXPECT_FALSE(e.estimate(0x1000, 0, true).low);
+}
+
+TEST(OnesCounting, StorageBits)
+{
+    OnesCountingEstimator e(2048, 16, 15, true);
+    EXPECT_EQ(e.storageBits(), 2048u * 16);
+    EXPECT_EQ(e.storageBits() / 8 / 1024, 4u);  // 4 KB like the others
+}
+
+TEST(OnesCountingDeath, LambdaBeyondWindowPanics)
+{
+    EXPECT_DEATH({ OnesCountingEstimator e(1024, 8, 9, true); },
+                 "lambda");
+}

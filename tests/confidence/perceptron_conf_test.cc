@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Unit and property tests for the paper's perceptron confidence
+ * estimator (perceptron_cic).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hh"
+#include "confidence/perceptron_conf.hh"
+
+using namespace percon;
+
+namespace {
+
+PerceptronConfParams
+smallParams()
+{
+    PerceptronConfParams p;
+    p.entries = 64;
+    p.historyBits = 16;
+    p.weightBits = 8;
+    p.lambda = 0;
+    p.trainThreshold = 50;
+    return p;
+}
+
+} // namespace
+
+TEST(PerceptronConf, ZeroWeightsGiveZeroOutput)
+{
+    PerceptronConfidence e(smallParams());
+    EXPECT_EQ(e.output(0x1000, 0x1234), 0);
+    // y == lambda == 0 means not strictly above: high confidence.
+    EXPECT_FALSE(e.estimate(0x1000, 0x1234, true).low);
+}
+
+TEST(PerceptronConf, OutputIsDotProduct)
+{
+    // Train once with a mispredict: all weights move by +x[i], so
+    // the output for the same history is (historyBits + 1).
+    PerceptronConfParams p = smallParams();
+    PerceptronConfidence e(p);
+    std::uint64_t ghr = 0xbeef;
+    ConfidenceInfo info = e.estimate(0x1000, ghr, true);
+    e.train(0x1000, ghr, true, true, info);
+    EXPECT_EQ(e.output(0x1000, ghr),
+              static_cast<std::int32_t>(p.historyBits + 1));
+}
+
+TEST(PerceptronConf, BiasWeightIsIndexZero)
+{
+    PerceptronConfidence e(smallParams());
+    std::uint64_t ghr = 0x3;
+    ConfidenceInfo info = e.estimate(0x1000, ghr, true);
+    e.train(0x1000, ghr, true, true, info);
+    EXPECT_EQ(e.weight(0x1000, 0), 1);   // bias moved toward +1
+    EXPECT_EQ(e.weight(0x1000, 1), 1);   // taken bit -> +1
+    EXPECT_EQ(e.weight(0x1000, 3), -1);  // not-taken bit -> -1
+}
+
+TEST(PerceptronConf, TrainingRuleSkipsConfidentAgreement)
+{
+    // When classification agrees with outcome and |y| > T, no update.
+    PerceptronConfParams p = smallParams();
+    p.trainThreshold = 5;
+    PerceptronConfidence e(p);
+    std::uint64_t ghr = 0xff;
+    // Drive the output strongly negative (correct & high-confidence).
+    for (int i = 0; i < 30; ++i) {
+        ConfidenceInfo info = e.estimate(0x2000, ghr, true);
+        e.train(0x2000, ghr, true, false, info);
+    }
+    std::int32_t settled = e.output(0x2000, ghr);
+    EXPECT_LT(settled, -p.trainThreshold);
+    // Further correct, confidently-classified branches: no change.
+    ConfidenceInfo info = e.estimate(0x2000, ghr, true);
+    e.train(0x2000, ghr, true, false, info);
+    EXPECT_EQ(e.output(0x2000, ghr), settled);
+}
+
+TEST(PerceptronConf, TrainsOnMisclassificationEvenWhenConfident)
+{
+    PerceptronConfParams p = smallParams();
+    p.trainThreshold = 5;
+    PerceptronConfidence e(p);
+    std::uint64_t ghr = 0xff;
+    for (int i = 0; i < 30; ++i) {
+        ConfidenceInfo info = e.estimate(0x2000, ghr, true);
+        e.train(0x2000, ghr, true, false, info);
+    }
+    std::int32_t settled = e.output(0x2000, ghr);
+    // A mispredict while classified high-confidence must train.
+    ConfidenceInfo info = e.estimate(0x2000, ghr, true);
+    EXPECT_FALSE(info.low);
+    e.train(0x2000, ghr, true, true, info);
+    EXPECT_GT(e.output(0x2000, ghr), settled);
+}
+
+TEST(PerceptronConf, WeightsSaturateAtWidth)
+{
+    PerceptronConfParams p = smallParams();
+    p.weightBits = 4;  // [-8, 7]
+    p.trainThreshold = 1000000;
+    PerceptronConfidence e(p);
+    std::uint64_t ghr = 0;
+    for (int i = 0; i < 100; ++i) {
+        ConfidenceInfo info = e.estimate(0x3000, ghr, true);
+        e.train(0x3000, ghr, true, true, info);
+    }
+    EXPECT_EQ(e.weight(0x3000, 0), 7);
+    for (int i = 0; i < 200; ++i) {
+        ConfidenceInfo info = e.estimate(0x3000, ghr, true);
+        e.train(0x3000, ghr, true, false, info);
+    }
+    EXPECT_EQ(e.weight(0x3000, 0), -8);
+}
+
+TEST(PerceptronConf, LearnsDeepHistoryBitPerfectly)
+{
+    // The headline capability: flag exactly the history contexts in
+    // which the branch is mispredicted, using a bit well beyond a
+    // 16-bit predictor's reach.
+    PerceptronConfParams p;
+    p.entries = 128;
+    p.historyBits = 32;
+    p.lambda = 0;
+    p.trainThreshold = 75;
+    PerceptronConfidence e(p);
+    Rng rng(42);
+    std::uint64_t ghr = 0;
+    long mb_low = 0, mb_high = 0, cb_low = 0, cb_high = 0;
+    for (int i = 0; i < 100000; ++i) {
+        for (int k = 0; k < 16; ++k)
+            ghr = (ghr << 1) | rng.nextBernoulli(0.6);
+        bool misp = (ghr >> 20) & 1;
+        ConfidenceInfo info = e.estimate(0x1000, ghr, true);
+        if (i > 30000) {
+            if (misp)
+                (info.low ? mb_low : mb_high)++;
+            else
+                (info.low ? cb_low : cb_high)++;
+        }
+        e.train(0x1000, ghr, true, misp, info);
+    }
+    double pvn = mb_low / static_cast<double>(mb_low + cb_low);
+    double spec = mb_low / static_cast<double>(mb_low + mb_high);
+    EXPECT_GT(pvn, 0.98);
+    EXPECT_GT(spec, 0.98);
+}
+
+TEST(PerceptronConf, DualThresholdBands)
+{
+    PerceptronConfParams p = smallParams();
+    p.lambda = -10;
+    p.reverseLambda = 10;
+    PerceptronConfidence e(p);
+    std::uint64_t ghr = 0xabcd;
+
+    // Drive output strongly positive.
+    for (int i = 0; i < 10; ++i) {
+        ConfidenceInfo info = e.estimate(0x4000, ghr, true);
+        e.train(0x4000, ghr, true, true, info);
+    }
+    EXPECT_EQ(e.estimate(0x4000, ghr, true).band,
+              ConfidenceBand::StrongLow);
+
+    // Fresh entry: output 0 lies in (-10, 10]: weak low.
+    EXPECT_EQ(e.estimate(0x4004, ghr, true).band,
+              ConfidenceBand::WeakLow);
+
+    // Drive another strongly negative: high confidence.
+    for (int i = 0; i < 10; ++i) {
+        ConfidenceInfo info = e.estimate(0x4008, ghr, true);
+        e.train(0x4008, ghr, true, false, info);
+    }
+    EXPECT_EQ(e.estimate(0x4008, ghr, true).band,
+              ConfidenceBand::High);
+}
+
+TEST(PerceptronConf, PaperConfigurationIs4KB)
+{
+    PerceptronConfParams p;  // 128 x (32+1) x 8 bits
+    PerceptronConfidence e(p);
+    EXPECT_EQ(e.storageBits() / 8, 4224u);  // 128*33 bytes ~ 4KB
+}
+
+TEST(PerceptronConf, PathHashingSeparatesContexts)
+{
+    // Two history contexts differing in the low bits index distinct
+    // perceptrons when path hashing is on, so training one leaves
+    // the other untouched.
+    PerceptronConfParams p = smallParams();
+    p.pathHashBits = 4;
+    PerceptronConfidence e(p);
+    std::uint64_t ghr_a = 0x1, ghr_b = 0x2;
+    for (int i = 0; i < 10; ++i) {
+        ConfidenceInfo info = e.estimate(0x1000, ghr_a, true);
+        e.train(0x1000, ghr_a, true, true, info);
+    }
+    EXPECT_GT(e.output(0x1000, ghr_a), 0);
+    EXPECT_EQ(e.output(0x1000, ghr_b), 0);  // untouched perceptron
+}
+
+TEST(PerceptronConf, WeightsRoundTripThroughStream)
+{
+    PerceptronConfidence a(smallParams());
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        std::uint64_t ghr = rng.next();
+        Addr pc = 0x1000 + (rng.next() & 0xff) * 4;
+        ConfidenceInfo info = a.estimate(pc, ghr, true);
+        a.train(pc, ghr, true, rng.nextBernoulli(0.3), info);
+    }
+    std::stringstream ss;
+    a.saveWeights(ss);
+
+    PerceptronConfidence b(smallParams());
+    ASSERT_TRUE(b.loadWeights(ss));
+    Rng check(4);
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t ghr = check.next();
+        Addr pc = 0x1000 + (check.next() & 0xff) * 4;
+        EXPECT_EQ(a.output(pc, ghr), b.output(pc, ghr));
+    }
+}
+
+TEST(PerceptronConf, LoadRejectsGeometryMismatch)
+{
+    PerceptronConfidence a(smallParams());
+    std::stringstream ss;
+    a.saveWeights(ss);
+
+    PerceptronConfParams other = smallParams();
+    other.historyBits = 24;
+    PerceptronConfidence b(other);
+    EXPECT_FALSE(b.loadWeights(ss));
+    EXPECT_EQ(b.output(0x1000, 0), 0);  // state untouched
+}
+
+TEST(PerceptronConf, LoadRejectsGarbage)
+{
+    PerceptronConfidence a(smallParams());
+    std::stringstream ss("this is not a weight file at all");
+    EXPECT_FALSE(a.loadWeights(ss));
+}
+
+TEST(PerceptronConfDeath, ReverseBelowGateIsFatal)
+{
+    PerceptronConfParams p = smallParams();
+    p.lambda = 10;
+    p.reverseLambda = -10;
+    EXPECT_DEATH({ PerceptronConfidence e(p); }, "reverse threshold");
+}
+
+class PerceptronConfGeometry
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(PerceptronConfGeometry, OutputBoundedAndDeterministic)
+{
+    auto [entries, hist, wbits] = GetParam();
+    PerceptronConfParams p;
+    p.entries = static_cast<std::size_t>(entries);
+    p.historyBits = static_cast<unsigned>(hist);
+    p.weightBits = static_cast<unsigned>(wbits);
+    p.trainThreshold = 30;
+    PerceptronConfidence e(p);
+    Rng rng(17);
+    std::int32_t bound = (hist + 1) * ((1 << (wbits - 1)) - 1);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t ghr = rng.next();
+        Addr pc = 0x1000 + (rng.next() & 0xfff) * 4;
+        ConfidenceInfo info = e.estimate(pc, ghr, true);
+        EXPECT_LE(std::abs(info.raw), bound);
+        EXPECT_EQ(info.raw, e.output(pc, ghr));
+        e.train(pc, ghr, true, rng.nextBernoulli(0.3), info);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PerceptronConfGeometry,
+    ::testing::Combine(::testing::Values(64, 128),
+                       ::testing::Values(16, 24, 32),
+                       ::testing::Values(4, 6, 8)));

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Unit tests for the perceptron_tnt confidence baseline (§5.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "confidence/perceptron_tnt.hh"
+
+using namespace percon;
+
+TEST(PerceptronTnt, ZeroOutputIsLowConfidence)
+{
+    PerceptronTntConfidence e(64, 16, 8, 30);
+    ConfidenceInfo info = e.estimate(0x1000, 0, true);
+    EXPECT_EQ(info.raw, 0);
+    EXPECT_TRUE(info.low);  // |0| <= 30
+}
+
+TEST(PerceptronTnt, StrongDirectionIsHighConfidence)
+{
+    PerceptronTntConfidence e(64, 16, 8, 30);
+    std::uint64_t ghr = 0xff;
+    // Branch always taken: direction perceptron saturates positive.
+    for (int i = 0; i < 100; ++i) {
+        ConfidenceInfo info = e.estimate(0x1000, ghr, true);
+        // predicted taken, outcome taken -> not mispredicted
+        e.train(0x1000, ghr, true, false, info);
+    }
+    ConfidenceInfo info = e.estimate(0x1000, ghr, true);
+    EXPECT_GT(info.raw, 30);
+    EXPECT_FALSE(info.low);
+}
+
+TEST(PerceptronTnt, TrainsWithDirectionNotOutcome)
+{
+    // Key §5.3 distinction: training with taken/not-taken. A branch
+    // that is always taken but always MISPREDICTED (by some broken
+    // predictor) still saturates positive — and is then (wrongly)
+    // called high confidence. That is the failure mode the paper
+    // demonstrates.
+    PerceptronTntConfidence e(64, 16, 8, 30);
+    std::uint64_t ghr = 0xaa;
+    for (int i = 0; i < 100; ++i) {
+        ConfidenceInfo info = e.estimate(0x2000, ghr, true);
+        // predictor said not-taken (predicted_taken=false), branch
+        // was taken -> mispredicted.
+        e.train(0x2000, ghr, false, true, info);
+    }
+    ConfidenceInfo info = e.estimate(0x2000, ghr, true);
+    EXPECT_GT(info.raw, 30);
+    EXPECT_FALSE(info.low);  // confidently wrong about confidence
+}
+
+TEST(PerceptronTnt, NegativeOutputsAlsoHighConfidence)
+{
+    PerceptronTntConfidence e(64, 16, 8, 30);
+    std::uint64_t ghr = 0x3c;
+    for (int i = 0; i < 100; ++i) {
+        ConfidenceInfo info = e.estimate(0x3000, ghr, false);
+        e.train(0x3000, ghr, false, false, info);  // always not-taken
+    }
+    ConfidenceInfo info = e.estimate(0x3000, ghr, false);
+    EXPECT_LT(info.raw, -30);
+    EXPECT_FALSE(info.low);
+}
+
+TEST(PerceptronTnt, LambdaZeroFlagsOnlyExactZero)
+{
+    PerceptronTntConfidence e(64, 16, 8, 0);
+    EXPECT_TRUE(e.estimate(0x4000, 0, true).low);
+}
+
+TEST(PerceptronTnt, StorageMatchesEmbeddedPredictor)
+{
+    PerceptronTntConfidence e(128, 32, 8, 30);
+    EXPECT_EQ(e.storageBits(), e.predictor().storageBits());
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the Smith self-counter and Tyson pattern-based
+ * confidence baselines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "confidence/smith_conf.hh"
+#include "confidence/tyson_conf.hh"
+
+using namespace percon;
+
+TEST(Smith, MidCounterIsLowConfidence)
+{
+    SmithConfidence e(1024, 2, 0);
+    // Counter initialized mid-range: low confidence.
+    EXPECT_TRUE(e.estimate(0x1000, 0, true).low);
+}
+
+TEST(Smith, SaturatedCounterIsHighConfidence)
+{
+    SmithConfidence e(1024, 2, 0);
+    ConfidenceInfo info;
+    for (int i = 0; i < 4; ++i) {
+        info = e.estimate(0x1000, 0, true);
+        e.train(0x1000, 0, true, false, info);  // taken, correct
+    }
+    EXPECT_FALSE(e.estimate(0x1000, 0, true).low);
+}
+
+TEST(Smith, MispredictionPullsTowardMiddle)
+{
+    SmithConfidence e(1024, 2, 0);
+    ConfidenceInfo info;
+    for (int i = 0; i < 4; ++i) {
+        info = e.estimate(0x1000, 0, true);
+        e.train(0x1000, 0, true, false, info);
+    }
+    // Predicted taken, mispredicted -> actual not-taken: decrement.
+    info = e.estimate(0x1000, 0, true);
+    e.train(0x1000, 0, true, true, info);
+    EXPECT_TRUE(e.estimate(0x1000, 0, true).low);
+}
+
+TEST(Smith, RawIsRailDistance)
+{
+    SmithConfidence e(1024, 3, 1);
+    ConfidenceInfo info = e.estimate(0x2000, 0, true);
+    EXPECT_EQ(info.raw, 3);  // 3-bit counter initialized at 4
+}
+
+TEST(Tyson, FreshPatternAllZerosIsHighConfidence)
+{
+    // All-not-taken is one of the "predictable" patterns.
+    TysonConfidence e(1024, 8, 1);
+    EXPECT_FALSE(e.estimate(0x1000, 0, true).low);
+}
+
+TEST(Tyson, MixedPatternIsLowConfidence)
+{
+    TysonConfidence e(1024, 8, 1);
+    ConfidenceInfo info;
+    // Alternate outcomes: pattern becomes 0b0101... (4 ones).
+    for (int i = 0; i < 8; ++i) {
+        info = e.estimate(0x1000, 0, true);
+        bool taken = i % 2 == 0;
+        // predicted taken; mispredicted iff actual != predicted
+        e.train(0x1000, 0, true, !taken, info);
+    }
+    info = e.estimate(0x1000, 0, true);
+    EXPECT_TRUE(info.low);
+    EXPECT_EQ(info.raw, 4);
+}
+
+TEST(Tyson, AlmostAlwaysTakenIsHighConfidence)
+{
+    TysonConfidence e(1024, 8, 1);
+    ConfidenceInfo info;
+    for (int i = 0; i < 8; ++i) {
+        info = e.estimate(0x2000, 0, true);
+        bool taken = i != 3;  // one not-taken among eight
+        e.train(0x2000, 0, true, !taken, info);
+    }
+    EXPECT_FALSE(e.estimate(0x2000, 0, true).low);
+}
+
+TEST(Tyson, LambdaZeroRequiresPurePattern)
+{
+    TysonConfidence e(1024, 8, 0);
+    ConfidenceInfo info;
+    for (int i = 0; i < 8; ++i) {
+        info = e.estimate(0x3000, 0, true);
+        bool taken = i != 3;
+        e.train(0x3000, 0, true, !taken, info);
+    }
+    EXPECT_TRUE(e.estimate(0x3000, 0, true).low);
+}
+
+TEST(Tyson, StorageBits)
+{
+    TysonConfidence e(4096, 8, 1);
+    EXPECT_EQ(e.storageBits(), 4096u * 8);
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the ConfidenceSystem embedding API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/confidence_system.hh"
+
+using namespace percon;
+
+TEST(ConfidenceSystem, DefaultsMatchPaperGeometry)
+{
+    ConfidenceSystem cs;
+    EXPECT_EQ(cs.params().perceptron.entries, 128u);
+    EXPECT_EQ(cs.params().perceptron.historyBits, 32u);
+    EXPECT_EQ(cs.params().perceptron.weightBits, 8u);
+    EXPECT_NEAR(cs.estimator().storageBits() / 8.0 / 1024.0, 4.0,
+                0.25);
+}
+
+TEST(ConfidenceSystem, FreshStateGatesNothing)
+{
+    // Zero weights give output 0, inside the high band (<= -75 is
+    // high? no: 0 lies in (-75, 50] -> weak low -> gate).
+    ConfidenceSystem cs;
+    BranchDecision d = cs.onPredict(0x1000, 0, true);
+    EXPECT_FALSE(d.reverse);
+    EXPECT_TRUE(d.gate);
+}
+
+TEST(ConfidenceSystem, StrongLowReverses)
+{
+    ConfidenceSystem cs;
+    std::uint64_t ghr = 0x1234;
+    // Train toward mispredicted until strongly low confident.
+    for (int i = 0; i < 40; ++i) {
+        BranchDecision d = cs.onPredict(0x2000, ghr, true);
+        cs.onResolve(0x2000, ghr, true, true, d);
+    }
+    BranchDecision d = cs.onPredict(0x2000, ghr, true);
+    EXPECT_EQ(d.confidence.band, ConfidenceBand::StrongLow);
+    EXPECT_TRUE(d.reverse);
+    EXPECT_FALSE(d.gate);
+}
+
+TEST(ConfidenceSystem, HighConfidenceDoesNothing)
+{
+    ConfidenceSystem cs;
+    std::uint64_t ghr = 0x4321;
+    for (int i = 0; i < 60; ++i) {
+        BranchDecision d = cs.onPredict(0x3000, ghr, true);
+        cs.onResolve(0x3000, ghr, true, false, d);
+    }
+    BranchDecision d = cs.onPredict(0x3000, ghr, true);
+    EXPECT_EQ(d.confidence.band, ConfidenceBand::High);
+    EXPECT_FALSE(d.reverse);
+    EXPECT_FALSE(d.gate);
+}
+
+TEST(ConfidenceSystem, PoliciesCanBeDisabled)
+{
+    ConfidenceSystemParams p;
+    p.enableReversal = false;
+    p.enableGating = false;
+    ConfidenceSystem cs(p);
+    std::uint64_t ghr = 0x99;
+    for (int i = 0; i < 40; ++i) {
+        BranchDecision d = cs.onPredict(0x4000, ghr, true);
+        cs.onResolve(0x4000, ghr, true, true, d);
+    }
+    BranchDecision d = cs.onPredict(0x4000, ghr, true);
+    EXPECT_FALSE(d.reverse);
+    EXPECT_FALSE(d.gate);
+}
+
+TEST(ConfidenceSystem, MatrixAccumulates)
+{
+    ConfidenceSystem cs;
+    BranchDecision d = cs.onPredict(0x5000, 0, true);
+    cs.onResolve(0x5000, 0, true, true, d);
+    d = cs.onPredict(0x5000, 0, true);
+    cs.onResolve(0x5000, 0, true, false, d);
+    EXPECT_EQ(cs.matrix().total(), 2u);
+    EXPECT_EQ(cs.matrix().mispredicted(), 1u);
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the front-end experiment driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/factory.hh"
+#include "confidence/factory.hh"
+#include "core/front_end_sim.hh"
+#include "trace/benchmarks.hh"
+
+using namespace percon;
+
+namespace {
+
+ProgramParams
+quick()
+{
+    ProgramParams p;
+    p.numStaticBranches = 128;
+    p.seed = 11;
+    return p;
+}
+
+} // namespace
+
+TEST(FrontEndSim, CountsMatchConfig)
+{
+    ProgramModel m(quick());
+    auto pred = makePredictor("bimodal");
+    FrontEndConfig cfg;
+    cfg.warmupBranches = 1000;
+    cfg.measureBranches = 5000;
+    FrontEndResult res = runFrontEnd(m, *pred, nullptr, cfg);
+    EXPECT_EQ(res.branches, 5000u);
+    EXPECT_EQ(res.matrix.total(), 5000u);
+    EXPECT_GT(res.uops, res.branches);
+}
+
+TEST(FrontEndSim, WarmupExcludedFromMetrics)
+{
+    // With zero measured branches nothing is recorded.
+    ProgramModel m(quick());
+    auto pred = makePredictor("bimodal");
+    FrontEndConfig cfg;
+    cfg.warmupBranches = 2000;
+    cfg.measureBranches = 0;
+    FrontEndResult res = runFrontEnd(m, *pred, nullptr, cfg);
+    EXPECT_EQ(res.matrix.total(), 0u);
+}
+
+TEST(FrontEndSim, NoEstimatorMeansNoLowFlags)
+{
+    ProgramModel m(quick());
+    auto pred = makePredictor("bimodal-gshare");
+    FrontEndConfig cfg;
+    cfg.warmupBranches = 500;
+    cfg.measureBranches = 3000;
+    FrontEndResult res = runFrontEnd(m, *pred, nullptr, cfg);
+    EXPECT_EQ(res.matrix.lowConfidence(), 0u);
+    EXPECT_GT(res.matrix.mispredicted(), 0u);
+}
+
+TEST(FrontEndSim, DensityCollection)
+{
+    ProgramModel m(quick());
+    auto pred = makePredictor("bimodal-gshare");
+    auto est = makeEstimator("perceptron-cic");
+    FrontEndConfig cfg;
+    cfg.warmupBranches = 500;
+    cfg.measureBranches = 4000;
+    cfg.collectDensity = true;
+    FrontEndResult res = runFrontEnd(m, *pred, est.get(), cfg);
+    EXPECT_EQ(res.cbDensity.total() + res.mbDensity.total(), 4000u);
+    EXPECT_EQ(res.mbDensity.total(), res.matrix.mispredicted());
+}
+
+TEST(FrontEndSim, Deterministic)
+{
+    FrontEndConfig cfg;
+    cfg.warmupBranches = 500;
+    cfg.measureBranches = 3000;
+    auto run = [&] {
+        ProgramModel m(quick());
+        auto pred = makePredictor("bimodal-gshare");
+        auto est = makeEstimator("perceptron-cic");
+        return runFrontEnd(m, *pred, est.get(), cfg);
+    };
+    FrontEndResult a = run(), b = run();
+    EXPECT_EQ(a.matrix.mispredicted(), b.matrix.mispredicted());
+    EXPECT_EQ(a.matrix.lowConfidence(), b.matrix.lowConfidence());
+}
+
+TEST(FrontEndSim, MispredictsPerKuopConsistent)
+{
+    ProgramModel m(quick());
+    auto pred = makePredictor("bimodal-gshare");
+    FrontEndConfig cfg;
+    cfg.warmupBranches = 500;
+    cfg.measureBranches = 4000;
+    FrontEndResult res = runFrontEnd(m, *pred, nullptr, cfg);
+    double expect = 1000.0 * res.matrix.mispredicted() / res.uops;
+    EXPECT_DOUBLE_EQ(res.mispredictsPerKuop(), expect);
+}

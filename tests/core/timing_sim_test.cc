@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the timing experiment driver and its metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "confidence/perceptron_conf.hh"
+#include "core/timing_sim.hh"
+
+using namespace percon;
+
+namespace {
+
+TimingConfig
+tiny()
+{
+    TimingConfig t;
+    t.warmupUops = 30'000;
+    t.measureUops = 80'000;
+    return t;
+}
+
+} // namespace
+
+TEST(GatingMetrics, ComputesReductionAndLoss)
+{
+    CoreStats base, pol;
+    base.retiredUops = 1000;
+    base.executedUops = 1500;
+    base.cycles = 1000;
+    pol.retiredUops = 1000;
+    pol.executedUops = 1200;
+    pol.cycles = 1100;
+    GatingMetrics m = gatingMetrics(base, pol);
+    EXPECT_NEAR(m.uopReductionPct, 100.0 * (1.5 - 1.2) / 1.5, 1e-9);
+    EXPECT_NEAR(m.perfLossPct, 100.0 * (1.0 - 1000.0 / 1100.0), 1e-9);
+}
+
+TEST(GatingMetrics, LengthIndependent)
+{
+    // Same per-uop behaviour at different run lengths gives the
+    // same metrics.
+    CoreStats base, pol;
+    base.retiredUops = 1000;
+    base.executedUops = 1500;
+    base.cycles = 500;
+    pol.retiredUops = 2000;
+    pol.executedUops = 2400;
+    pol.cycles = 1000;
+    GatingMetrics m = gatingMetrics(base, pol);
+    EXPECT_NEAR(m.uopReductionPct, 20.0, 1e-9);
+    EXPECT_NEAR(m.perfLossPct, 0.0, 1e-9);
+}
+
+TEST(AverageMetrics, MeansOverRuns)
+{
+    CoreStats b1, p1, b2, p2;
+    b1.retiredUops = b2.retiredUops = 100;
+    b1.executedUops = 200;
+    p1.retiredUops = p2.retiredUops = 100;
+    p1.executedUops = 100;  // 50% reduction
+    b2.executedUops = 100;
+    p2.executedUops = 100;  // 0% reduction
+    b1.cycles = p1.cycles = b2.cycles = p2.cycles = 100;
+    GatingMetrics avg = averageMetrics({b1, b2}, {p1, p2});
+    EXPECT_NEAR(avg.uopReductionPct, 25.0, 1e-9);
+}
+
+TEST(TimingConfig, EnvOverride)
+{
+    ::setenv("PERCON_UOPS", "50000", 1);
+    TimingConfig t = TimingConfig::fromEnv();
+    EXPECT_EQ(t.measureUops, 50'000u);
+    EXPECT_EQ(t.warmupUops, 15'000u);
+    ::setenv("PERCON_UOPS", "1", 1);  // below minimum: ignored
+    TimingConfig d = TimingConfig::fromEnv();
+    EXPECT_EQ(d.measureUops, TimingConfig{}.measureUops);
+    ::unsetenv("PERCON_UOPS");
+}
+
+TEST(TimingSim, BaselineRunProducesSaneStats)
+{
+    auto r = runTiming(benchmarkSpec("gcc"), PipelineConfig::base20x4(),
+                       "bimodal-gshare", nullptr, {}, tiny());
+    EXPECT_EQ(r.benchmark, "gcc");
+    EXPECT_GE(r.stats.retiredUops, 80'000u);
+    EXPECT_GT(r.stats.ipc(), 0.05);
+    EXPECT_LT(r.stats.ipc(), 4.0);
+    EXPECT_GT(r.stats.retiredBranches, 5'000u);
+}
+
+TEST(TimingSim, GatingReducesExecutionOnHardBenchmark)
+{
+    auto base = runTiming(benchmarkSpec("mcf"),
+                          PipelineConfig::deep40x4(), "bimodal-gshare",
+                          nullptr, {}, tiny());
+    SpeculationControl sc;
+    sc.gateThreshold = 1;
+    auto gated = runTiming(
+        benchmarkSpec("mcf"), PipelineConfig::deep40x4(),
+        "bimodal-gshare",
+        [] {
+            PerceptronConfParams p;
+            p.lambda = -25;
+            return std::make_unique<PerceptronConfidence>(p);
+        },
+        sc, tiny());
+    GatingMetrics m = gatingMetrics(base.stats, gated.stats);
+    EXPECT_GT(m.uopReductionPct, 2.0);
+    EXPECT_LT(m.perfLossPct, 20.0);
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Integration tests asserting the paper's headline claims hold
+ * end-to-end on the calibrated workloads (scaled-down runs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/factory.hh"
+#include "confidence/jrs.hh"
+#include "confidence/perceptron_conf.hh"
+#include "confidence/perceptron_tnt.hh"
+#include "core/front_end_sim.hh"
+#include "core/timing_sim.hh"
+
+using namespace percon;
+
+namespace {
+
+FrontEndConfig
+frontCfg()
+{
+    FrontEndConfig cfg;
+    cfg.warmupBranches = 60'000;
+    cfg.measureBranches = 200'000;
+    return cfg;
+}
+
+ConfidenceMatrix
+runEstimator(const std::string &bench, ConfidenceEstimator &est)
+{
+    ProgramModel program(benchmarkSpec(bench).program);
+    auto pred = makePredictor("bimodal-gshare");
+    return runFrontEnd(program, *pred, &est, frontCfg()).matrix;
+}
+
+const char *kBenches[] = {"gzip", "mcf", "gcc", "twolf"};
+
+} // namespace
+
+/** §5.1 / Table 3: the perceptron estimator is at least twice as
+ *  accurate (PVN) as enhanced JRS at comparable thresholds. */
+TEST(PaperClaims, PerceptronTwiceAsAccurateAsJrs)
+{
+    ConfidenceMatrix jrs_all, perc_all;
+    for (const char *b : kBenches) {
+        JrsEstimator jrs(8192, 4, 15, true);
+        jrs_all.merge(runEstimator(b, jrs));
+        PerceptronConfParams p;
+        p.lambda = 0;
+        PerceptronConfidence perc(p);
+        perc_all.merge(runEstimator(b, perc));
+    }
+    EXPECT_GT(perc_all.pvn(), 2.0 * jrs_all.pvn());
+}
+
+/** §5.1: JRS has higher coverage (Spec), the perceptron higher
+ *  accuracy — the two estimators sit on opposite ends. */
+TEST(PaperClaims, JrsCoversMorePerceptronIsMoreAccurate)
+{
+    ConfidenceMatrix jrs_all, perc_all;
+    for (const char *b : kBenches) {
+        JrsEstimator jrs(8192, 4, 15, true);
+        jrs_all.merge(runEstimator(b, jrs));
+        PerceptronConfParams p;
+        p.lambda = 0;
+        PerceptronConfidence perc(p);
+        perc_all.merge(runEstimator(b, perc));
+    }
+    EXPECT_GT(jrs_all.spec(), perc_all.spec());
+    EXPECT_GT(perc_all.pvn(), jrs_all.pvn());
+}
+
+/** Table 3 internal structure: lowering the perceptron threshold
+ *  trades accuracy for coverage, monotonically. */
+TEST(PaperClaims, PerceptronThresholdMonotonicity)
+{
+    double prev_pvn = 1.1, prev_spec = -0.1;
+    for (int lambda : {25, 0, -25, -50}) {
+        ConfidenceMatrix all;
+        for (const char *b : kBenches) {
+            PerceptronConfParams p;
+            p.lambda = lambda;
+            PerceptronConfidence perc(p);
+            all.merge(runEstimator(b, perc));
+        }
+        EXPECT_LT(all.pvn(), prev_pvn) << "lambda " << lambda;
+        EXPECT_GT(all.spec(), prev_spec) << "lambda " << lambda;
+        prev_pvn = all.pvn();
+        prev_spec = all.spec();
+    }
+}
+
+/** §5.3: training with correct/incorrect outcomes beats training
+ *  with taken/not-taken directions at matched coverage. */
+TEST(PaperClaims, CicTrainingBeatsTntTraining)
+{
+    ConfidenceMatrix cic_all, tnt_all;
+    for (const char *b : kBenches) {
+        PerceptronConfParams p;
+        p.lambda = -50;  // wide coverage point
+        PerceptronConfidence cic(p);
+        cic_all.merge(runEstimator(b, cic));
+        PerceptronTntConfidence tnt(128, 32, 8, 30);
+        tnt_all.merge(runEstimator(b, tnt));
+    }
+    // At comparable (or higher) coverage, cic is more accurate.
+    EXPECT_GT(cic_all.pvn(), tnt_all.pvn());
+}
+
+/** §5.1 / Table 4 direction: perceptron-gated pipelines cut executed
+ *  uops with small performance loss on the deep machine. */
+TEST(PaperClaims, PerceptronGatingCutsWasteCheaply)
+{
+    TimingConfig t;
+    t.warmupUops = 60'000;
+    t.measureUops = 150'000;
+    double u_sum = 0, p_sum = 0;
+    for (const char *b : {"gzip", "mcf"}) {
+        auto base = runTiming(benchmarkSpec(b),
+                              PipelineConfig::deep40x4(),
+                              "bimodal-gshare", nullptr, {}, t);
+        SpeculationControl sc;
+        sc.gateThreshold = 1;
+        auto gated = runTiming(
+            benchmarkSpec(b), PipelineConfig::deep40x4(),
+            "bimodal-gshare",
+            [] {
+                PerceptronConfParams p;
+                p.lambda = 0;
+                return std::make_unique<PerceptronConfidence>(p);
+            },
+            sc, t);
+        GatingMetrics m = gatingMetrics(base.stats, gated.stats);
+        u_sum += m.uopReductionPct;
+        p_sum += m.perfLossPct;
+    }
+    EXPECT_GT(u_sum / 2, 5.0);   // meaningful reduction
+    EXPECT_LT(p_sum / 2, 6.0);   // small loss
+}
+
+/** Table 2 direction: wasted execution grows with pipeline depth
+ *  and width. */
+TEST(PaperClaims, WasteGrowsWithDepthAndWidth)
+{
+    TimingConfig t;
+    t.warmupUops = 50'000;
+    t.measureUops = 120'000;
+    const auto &spec = benchmarkSpec("gzip");
+    auto waste = [&](const PipelineConfig &cfg) {
+        return runTiming(spec, cfg, "bimodal-gshare", nullptr, {}, t)
+            .stats.executionIncreasePct();
+    };
+    double base = waste(PipelineConfig::base20x4());
+    double deep = waste(PipelineConfig::deep40x4());
+    double wide = waste(PipelineConfig::wide20x8());
+    EXPECT_GT(deep, base * 1.2);
+    EXPECT_GT(wide, base * 1.2);
+}

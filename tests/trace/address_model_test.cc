@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for synthetic address generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "trace/address_model.hh"
+
+using namespace percon;
+
+TEST(AddressModel, Deterministic)
+{
+    AddressModelParams p;
+    AddressModel a(p, 42), b(p, 42);
+    Rng ra(1), rb(1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(ra), b.next(rb));
+}
+
+TEST(AddressModel, DifferentSeedsDiffer)
+{
+    AddressModelParams p;
+    AddressModel a(p, 42), b(p, 43);
+    Rng ra(1), rb(1);
+    int same = 0;
+    for (int i = 0; i < 200; ++i)
+        same += a.next(ra) == b.next(rb);
+    EXPECT_LT(same, 100);
+}
+
+TEST(AddressModel, PureStreamAdvancesByStride)
+{
+    AddressModelParams p;
+    p.fracStream = 1.0;
+    p.numStreams = 1;
+    p.streamStride = 8;
+    AddressModel a(p, 1);
+    Rng rng(2);
+    Addr prev = a.next(rng);
+    for (int i = 0; i < 100; ++i) {
+        Addr cur = a.next(rng);
+        EXPECT_EQ(cur, prev + 8);
+        prev = cur;
+    }
+}
+
+TEST(AddressModel, RandomStaysInWorkingSet)
+{
+    AddressModelParams p;
+    p.fracStream = 0.0;
+    p.fracChase = 0.0;
+    p.hotFraction = 0.0;
+    p.workingSetKB = 64;
+    AddressModel a(p, 3);
+    Rng rng(3);
+    Addr lo = ~0ULL, hi = 0;
+    for (int i = 0; i < 5000; ++i) {
+        Addr addr = a.next(rng);
+        lo = std::min(lo, addr);
+        hi = std::max(hi, addr);
+    }
+    EXPECT_LE(hi - lo, 64ULL * 1024);
+}
+
+TEST(AddressModel, HotFractionConcentratesAccesses)
+{
+    AddressModelParams p;
+    p.fracStream = 0.0;
+    p.fracChase = 0.0;
+    p.hotFraction = 0.9;
+    p.hotSetKB = 16;
+    p.workingSetKB = 1024;
+    AddressModel a(p, 4);
+    Rng rng(4);
+    Addr base = ~0ULL;
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 20000; ++i) {
+        Addr addr = a.next(rng);
+        base = std::min(base, addr);
+        addrs.push_back(addr);
+    }
+    int hot = 0;
+    for (Addr addr : addrs)
+        hot += (addr - base) < 16ULL * 1024;
+    EXPECT_NEAR(hot / static_cast<double>(addrs.size()), 0.9, 0.03);
+}
+
+TEST(AddressModel, ChaseVisitsDistinctLines)
+{
+    AddressModelParams p;
+    p.fracStream = 0.0;
+    p.fracChase = 1.0;
+    p.workingSetKB = 64;
+    AddressModel a(p, 5);
+    Rng rng(5);
+    std::map<Addr, int> lines;
+    for (int i = 0; i < 200; ++i)
+        ++lines[a.next(rng) >> 6];
+    // A shuffled ring: first pass touches distinct lines.
+    EXPECT_GT(lines.size(), 150u);
+}
+
+TEST(AddressModel, MixRoughlyHonoursFractions)
+{
+    AddressModelParams p;
+    p.fracStream = 0.5;
+    p.fracChase = 0.25;
+    p.workingSetKB = 256;
+    AddressModel a(p, 6);
+    Rng rng(6);
+    // Segments are disjoint; classify by address range.
+    int stream = 0, chase = 0, heap = 0;
+    for (int i = 0; i < 20000; ++i) {
+        Addr addr = a.next(rng);
+        if (addr < 0x4000'0000ULL)
+            ++stream;
+        else if (addr < 0x8000'0000ULL)
+            ++heap;
+        else
+            ++chase;
+    }
+    EXPECT_NEAR(stream / 20000.0, 0.5, 0.02);
+    EXPECT_NEAR(chase / 20000.0, 0.25, 0.02);
+    EXPECT_NEAR(heap / 20000.0, 0.25, 0.02);
+}

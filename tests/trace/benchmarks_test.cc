@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the calibrated SPECint 2000 benchmark profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/factory.hh"
+#include "core/front_end_sim.hh"
+#include "trace/benchmarks.hh"
+
+using namespace percon;
+
+TEST(Benchmarks, TwelveInPaperOrder)
+{
+    const auto &names = benchmarkNames();
+    ASSERT_EQ(names.size(), 12u);
+    EXPECT_EQ(names.front(), "gzip");
+    EXPECT_EQ(names.back(), "twolf");
+}
+
+TEST(Benchmarks, LookupByName)
+{
+    const auto &spec = benchmarkSpec("mcf");
+    EXPECT_EQ(spec.program.name, "mcf");
+    EXPECT_DOUBLE_EQ(spec.paperMispredictsPerKuop, 16.0);
+}
+
+TEST(BenchmarksDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(benchmarkSpec("nonexistent"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(Benchmarks, SpecsAreConstructible)
+{
+    for (const auto &spec : allBenchmarks()) {
+        ProgramModel m(spec.program);
+        EXPECT_GT(m.numStaticBranches(), 0u);
+    }
+}
+
+TEST(Benchmarks, MixesSumNearOne)
+{
+    for (const auto &spec : allBenchmarks()) {
+        const BranchMix &m = spec.program.mix;
+        double sum = m.easyBiased + m.loop + m.correlated + m.parity +
+                     m.local + m.noisyCorrelated + m.hardBiased +
+                     m.phased + m.deepCorrelated;
+        EXPECT_NEAR(sum, 1.0, 0.05) << spec.program.name;
+    }
+}
+
+/**
+ * The calibration property: under the baseline hybrid predictor,
+ * per-benchmark mispredicts/1000-uops must land within a factor of
+ * two of the paper's Table 2 value, and the extreme benchmarks must
+ * keep their ordering (vortex easiest, mcf hardest).
+ */
+TEST(BenchmarksCalibration, Table2WithinBand)
+{
+    FrontEndConfig cfg;
+    cfg.warmupBranches = 60'000;
+    cfg.measureBranches = 200'000;
+
+    double vortex_mpk = 0, mcf_mpk = 0;
+    for (const auto &spec : allBenchmarks()) {
+        ProgramModel program(spec.program);
+        auto predictor = makePredictor("bimodal-gshare");
+        FrontEndResult res =
+            runFrontEnd(program, *predictor, nullptr, cfg);
+        double mpk = res.mispredictsPerKuop();
+        double paper = spec.paperMispredictsPerKuop;
+        EXPECT_GT(mpk, paper / 2.0) << spec.program.name;
+        EXPECT_LT(mpk, paper * 2.0) << spec.program.name;
+        if (spec.program.name == "vortex")
+            vortex_mpk = mpk;
+        if (spec.program.name == "mcf")
+            mcf_mpk = mpk;
+    }
+    EXPECT_LT(vortex_mpk * 10, mcf_mpk);
+}

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Behavioural tests for the static-branch models.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/branch_model.hh"
+
+using namespace percon;
+
+namespace {
+
+/** Run a behaviour n times against a fixed history, count takens. */
+Count
+countTaken(BranchBehavior &b, int n, HistoryRegister &ghr, Rng &rng,
+           bool push_outcomes = true)
+{
+    Count taken = 0;
+    for (int i = 0; i < n; ++i) {
+        bool t = b.nextOutcome(ghr, rng);
+        taken += t;
+        if (push_outcomes)
+            ghr.push(t);
+    }
+    return taken;
+}
+
+} // namespace
+
+TEST(BiasedBranch, IidRateMatchesP)
+{
+    BiasedBranch b(0.9);
+    HistoryRegister ghr(32);
+    Rng rng(1);
+    Count taken = countTaken(b, 50000, ghr, rng);
+    EXPECT_NEAR(taken / 50000.0, 0.9, 0.01);
+}
+
+TEST(BiasedBranch, BurstyPreservesDeviationRate)
+{
+    BiasedBranch b(0.95, "biased", 8.0);
+    HistoryRegister ghr(32);
+    Rng rng(2);
+    Count taken = countTaken(b, 200000, ghr, rng);
+    EXPECT_NEAR(taken / 200000.0, 0.95, 0.01);
+}
+
+TEST(BiasedBranch, BurstyDeviationsAreClustered)
+{
+    // Compare the number of majority->deviation transitions: bursty
+    // deviations must come in far fewer runs than IID ones.
+    HistoryRegister ghr(32);
+    Rng rng_a(3), rng_b(3);
+    BiasedBranch iid(0.95, "biased", 1.0);
+    BiasedBranch bursty(0.95, "biased", 10.0);
+    auto count_runs = [&](BiasedBranch &b, Rng &rng) {
+        int runs = 0;
+        bool prev = true;
+        for (int i = 0; i < 100000; ++i) {
+            bool t = b.nextOutcome(ghr, rng);
+            if (!t && prev)
+                ++runs;
+            prev = t;
+        }
+        return runs;
+    };
+    int iid_runs = count_runs(iid, rng_a);
+    int bursty_runs = count_runs(bursty, rng_b);
+    EXPECT_LT(bursty_runs * 3, iid_runs);
+}
+
+TEST(BiasedBranch, KindLabelPropagates)
+{
+    BiasedBranch easy(0.99), hard(0.6, "hard");
+    EXPECT_STREQ(easy.kind(), "biased");
+    EXPECT_STREQ(hard.kind(), "hard");
+}
+
+TEST(LoopBranch, FixedTripPattern)
+{
+    LoopBranch b(4, false);
+    HistoryRegister ghr(32);
+    Rng rng(4);
+    // Expect repeating T T T N
+    for (int rep = 0; rep < 5; ++rep) {
+        EXPECT_TRUE(b.nextOutcome(ghr, rng));
+        EXPECT_TRUE(b.nextOutcome(ghr, rng));
+        EXPECT_TRUE(b.nextOutcome(ghr, rng));
+        EXPECT_FALSE(b.nextOutcome(ghr, rng));
+    }
+}
+
+TEST(LoopBranch, VariableTripMeanRoughlyMatches)
+{
+    LoopBranch b(10, true);
+    HistoryRegister ghr(32);
+    Rng rng(5);
+    Count not_taken = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        not_taken += !b.nextOutcome(ghr, rng);
+    double mean_trip = static_cast<double>(n) / not_taken;
+    EXPECT_NEAR(mean_trip, 10.0, 1.5);
+}
+
+TEST(CorrelatedBranch, DeterministicGivenHistoryWithoutNoise)
+{
+    CorrelatedBranch a(8, 0.0, 77), b(8, 0.0, 77);
+    HistoryRegister ghr(32);
+    Rng rng_a(6), rng_b(6);
+    for (int i = 0; i < 1000; ++i) {
+        ghr.push(i % 3 == 0);
+        EXPECT_EQ(a.nextOutcome(ghr, rng_a), b.nextOutcome(ghr, rng_b));
+    }
+}
+
+TEST(CorrelatedBranch, NoiseFlipsAtRate)
+{
+    CorrelatedBranch clean(6, 0.0, 99), noisy(6, 0.2, 99);
+    HistoryRegister ghr(32);
+    Rng rng_a(7), rng_b(7);
+    int diff = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        ghr.push((i * 7) % 5 < 2);
+        bool c = clean.nextOutcome(ghr, rng_a);
+        bool d = noisy.nextOutcome(ghr, rng_b);
+        diff += c != d;
+    }
+    EXPECT_NEAR(diff / static_cast<double>(n), 0.2, 0.02);
+}
+
+TEST(CorrelatedBranch, TapOffsetIgnoresRecentBits)
+{
+    // With taps at [8, 16), flipping only bits 0..7 cannot change
+    // the outcome.
+    CorrelatedBranch b(8, 0.0, 55, 8);
+    HistoryRegister lo(32), hi(32);
+    Rng rng(8);
+    for (int i = 0; i < 32; ++i) {
+        bool bit = (i * 13) % 3 == 0;
+        lo.push(bit);
+        hi.push(bit);
+    }
+    // Perturb the low 8 bits of one register only.
+    HistoryRegister perturbed(32);
+    perturbed.restore(lo.bits() ^ 0xff);
+    Rng r1(9), r2(9);
+    EXPECT_EQ(b.nextOutcome(lo, r1), b.nextOutcome(perturbed, r2));
+}
+
+TEST(ParityBranch, ParityOfTaps)
+{
+    ParityBranch b(2, 0.0, 123);
+    HistoryRegister ghr(32);
+    Rng rng(10);
+    // Outcome equals parity of the tapped bits; verify consistency:
+    // same history -> same outcome.
+    ghr.push(true);
+    ghr.push(false);
+    ghr.push(true);
+    bool first = b.nextOutcome(ghr, rng);
+    bool second = b.nextOutcome(ghr, rng);
+    EXPECT_EQ(first, second);
+}
+
+TEST(DeepPatternBranch, TriggerSemantics)
+{
+    // Tap 20 with explicit trigger: outcome must flip exactly when
+    // the tapped bit matches.
+    DeepPatternBranch b({20}, {true}, 0.0, 42);
+    Rng rng(11);
+    HistoryRegister match(32), nomatch(32);
+    match.restore(1ULL << 20);
+    nomatch.restore(0);
+    bool on_match = b.nextOutcome(match, rng);
+    bool off_match = b.nextOutcome(nomatch, rng);
+    EXPECT_NE(on_match, off_match);
+}
+
+TEST(DeepPatternBranch, ConjunctionRequiresAllTaps)
+{
+    DeepPatternBranch b({18, 22}, {true, true}, 0.0, 43);
+    Rng rng(12);
+    HistoryRegister both(32), one(32), none(32);
+    both.restore((1ULL << 18) | (1ULL << 22));
+    one.restore(1ULL << 18);
+    none.restore(0);
+    bool o_both = b.nextOutcome(both, rng);
+    bool o_one = b.nextOutcome(one, rng);
+    bool o_none = b.nextOutcome(none, rng);
+    EXPECT_EQ(o_one, o_none);
+    EXPECT_NE(o_both, o_none);
+}
+
+TEST(DeepPatternBranch, MixedTriggerValues)
+{
+    DeepPatternBranch b({18, 22}, {true, false}, 0.0, 44);
+    Rng rng(13);
+    HistoryRegister trig(32), other(32);
+    trig.restore(1ULL << 18);                      // bit18=1, bit22=0
+    other.restore((1ULL << 18) | (1ULL << 22));    // bit22 wrong
+    EXPECT_NE(b.nextOutcome(trig, rng), b.nextOutcome(other, rng));
+}
+
+TEST(LocalPatternBranch, PeriodicWithoutNoise)
+{
+    LocalPatternBranch b(5, 0.0, 77);
+    HistoryRegister ghr(32);
+    Rng rng(14);
+    bool first_period[5];
+    for (int i = 0; i < 5; ++i)
+        first_period[i] = b.nextOutcome(ghr, rng);
+    for (int rep = 0; rep < 4; ++rep) {
+        for (int i = 0; i < 5; ++i)
+            EXPECT_EQ(b.nextOutcome(ghr, rng), first_period[i]);
+    }
+}
+
+TEST(PhasedBranch, RateBetweenRegimes)
+{
+    PhasedBranch b(0.9, 0.1, 0.01);
+    HistoryRegister ghr(32);
+    Rng rng(15);
+    Count taken = countTaken(b, 100000, ghr, rng);
+    double rate = taken / 100000.0;
+    EXPECT_GT(rate, 0.2);
+    EXPECT_LT(rate, 0.8);
+}
+
+TEST(BehaviorKinds, AllDistinct)
+{
+    BiasedBranch a(0.9);
+    LoopBranch l(4, false);
+    CorrelatedBranch c(4, 0.0, 1);
+    ParityBranch p(2, 0.0, 1);
+    DeepPatternBranch d({20}, {true}, 0.0, 1);
+    LocalPatternBranch lp(4, 0.0, 1);
+    PhasedBranch ph(0.8, 0.2, 0.01);
+    EXPECT_STREQ(a.kind(), "biased");
+    EXPECT_STREQ(l.kind(), "loop");
+    EXPECT_STREQ(c.kind(), "correlated");
+    EXPECT_STREQ(p.kind(), "parity");
+    EXPECT_STREQ(d.kind(), "deep");
+    EXPECT_STREQ(lp.kind(), "local");
+    EXPECT_STREQ(ph.kind(), "phased");
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the synthetic program generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "trace/program_model.hh"
+
+using namespace percon;
+
+namespace {
+
+ProgramParams
+smallParams()
+{
+    ProgramParams p;
+    p.numStaticBranches = 128;
+    p.seed = 99;
+    return p;
+}
+
+} // namespace
+
+TEST(ProgramModel, DeterministicStream)
+{
+    ProgramModel a(smallParams()), b(smallParams());
+    for (int i = 0; i < 20000; ++i) {
+        MicroOp ua = a.next();
+        MicroOp ub = b.next();
+        EXPECT_EQ(ua.pc, ub.pc);
+        EXPECT_EQ(ua.cls, ub.cls);
+        EXPECT_EQ(ua.taken, ub.taken);
+        EXPECT_EQ(ua.memAddr, ub.memAddr);
+    }
+}
+
+TEST(ProgramModel, SeedChangesStream)
+{
+    ProgramParams p1 = smallParams(), p2 = smallParams();
+    p2.seed = 100;
+    ProgramModel a(p1), b(p2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next().pc == b.next().pc;
+    EXPECT_LT(same, 900);
+}
+
+TEST(ProgramModel, BranchDensityMatchesUopsPerBranch)
+{
+    ProgramParams p = smallParams();
+    p.uopsPerBranch = 7.0;
+    ProgramModel m(p);
+    Count branches = 0;
+    const int n = 70000;
+    for (int i = 0; i < n; ++i)
+        branches += m.next().isBranch();
+    double density = n / static_cast<double>(branches);
+    EXPECT_NEAR(density, 7.0, 0.7);
+}
+
+TEST(ProgramModel, ArchHistoryTracksOutcomes)
+{
+    ProgramModel m(smallParams());
+    std::uint64_t shadow = 0;
+    for (int i = 0; i < 5000; ++i) {
+        MicroOp u = m.next();
+        if (u.isBranch()) {
+            shadow = (shadow << 1) | (u.taken ? 1u : 0u);
+            std::uint64_t mask =
+                (1ULL << m.archHistory().length()) - 1;
+            EXPECT_EQ(m.archHistory().bits(), shadow & mask);
+        }
+    }
+}
+
+TEST(ProgramModel, IndexForPcRoundTrips)
+{
+    ProgramModel m(smallParams());
+    for (std::size_t i = 0; i < m.numStaticBranches(); ++i) {
+        Addr pc = m.staticBranch(i).pc;
+        EXPECT_EQ(m.indexForPc(pc), i);
+    }
+}
+
+TEST(ProgramModel, BranchPcsAreUnique)
+{
+    ProgramModel m(smallParams());
+    std::map<Addr, int> pcs;
+    for (std::size_t i = 0; i < m.numStaticBranches(); ++i)
+        ++pcs[m.staticBranch(i).pc];
+    EXPECT_EQ(pcs.size(), m.numStaticBranches());
+}
+
+TEST(ProgramModel, NextBranchSkipsExactlyTheFillers)
+{
+    // nextBranch must report the same number of uops-per-branch as
+    // materializing the fillers would, on a fresh identical model.
+    ProgramParams p = smallParams();
+    ProgramModel m(p);
+    Count uops = 0, branches = 0;
+    for (int i = 0; i < 10000; ++i) {
+        unsigned skipped = 0;
+        MicroOp br = m.nextBranch(skipped);
+        EXPECT_TRUE(br.isBranch());
+        uops += skipped + 1;
+        ++branches;
+    }
+    double density = uops / static_cast<double>(branches);
+    EXPECT_NEAR(density, p.uopsPerBranch, 1.0);
+}
+
+TEST(ProgramModel, MixSharesRoughlyHonoured)
+{
+    ProgramParams p;
+    p.numStaticBranches = 512;
+    p.seed = 7;
+    p.mix = {};
+    p.mix.easyBiased = 0.70;
+    p.mix.loop = 0.10;
+    p.mix.hardBiased = 0.20;
+    ProgramModel m(p);
+    std::map<std::string, Count> kinds;
+    for (int i = 0; i < 120000; ++i) {
+        unsigned sk;
+        MicroOp br = m.nextBranch(sk);
+        ++kinds[m.staticBranch(m.indexForPc(br.pc)).behavior->kind()];
+    }
+    // The two-level schedule's fixed-length patterns flatten the
+    // Zipf tail a little, so allow generous tolerance; ordering and
+    // rough magnitude are what matter.
+    double total = 120000.0;
+    EXPECT_NEAR(kinds["biased"] / total, 0.70, 0.20);
+    EXPECT_NEAR(kinds["hard"] / total, 0.20, 0.12);
+    EXPECT_GT(kinds["biased"], kinds["hard"]);
+    EXPECT_GT(kinds["hard"], kinds["loop"]);
+}
+
+TEST(ProgramModel, LoopsRunConsecutively)
+{
+    // A taken loop back-edge re-executes the same branch: verify
+    // that loop PCs appear in runs.
+    ProgramParams p = smallParams();
+    p.mix = {};
+    p.mix.loop = 0.5;
+    p.mix.easyBiased = 0.5;
+    p.loopTripMin = 8;
+    p.loopTripMax = 8;
+    ProgramModel m(p);
+    Addr prev_pc = 0;
+    int consecutive = 0, loop_instances = 0;
+    for (int i = 0; i < 50000; ++i) {
+        unsigned sk;
+        MicroOp br = m.nextBranch(sk);
+        const auto &sb = m.staticBranch(m.indexForPc(br.pc));
+        if (std::string(sb.behavior->kind()) == "loop") {
+            ++loop_instances;
+            consecutive += br.pc == prev_pc;
+        }
+        prev_pc = br.pc;
+    }
+    ASSERT_GT(loop_instances, 1000);
+    // Most loop instances follow another instance of the same loop.
+    EXPECT_GT(consecutive, loop_instances / 2);
+}
+
+TEST(ProgramModel, FillerClassesFollowUopMix)
+{
+    ProgramParams p = smallParams();
+    p.uopMix.load = 0.30;
+    p.uopMix.store = 0.10;
+    p.uopMix.intAlu = 0.50;
+    p.uopMix.intMul = 0.05;
+    p.uopMix.fpAlu = 0.05;
+    ProgramModel m(p);
+    std::map<UopClass, Count> classes;
+    Count fillers = 0;
+    for (int i = 0; i < 100000; ++i) {
+        MicroOp u = m.next();
+        if (!u.isBranch()) {
+            ++classes[u.cls];
+            ++fillers;
+        }
+    }
+    EXPECT_NEAR(classes[UopClass::Load] / double(fillers), 0.30, 0.02);
+    EXPECT_NEAR(classes[UopClass::Store] / double(fillers), 0.10, 0.02);
+}
+
+TEST(ProgramModel, LoadsAndStoresHaveAddresses)
+{
+    ProgramModel m(smallParams());
+    for (int i = 0; i < 20000; ++i) {
+        MicroOp u = m.next();
+        if (u.isMem()) {
+            EXPECT_NE(u.memAddr, 0u);
+        }
+    }
+}
+
+TEST(ProgramModel, RejectsTinyPopulation)
+{
+    ProgramParams p = smallParams();
+    p.numStaticBranches = 4;
+    EXPECT_DEATH({ ProgramModel m(p); }, "population too small");
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Trace file round-trip tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/program_model.hh"
+#include "trace/trace_io.hh"
+
+using namespace percon;
+
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+} // namespace
+
+TEST(TraceIo, RoundTripPreservesUops)
+{
+    ProgramParams p;
+    p.numStaticBranches = 64;
+    p.seed = 5;
+    ProgramModel model(p);
+
+    std::string path = tempPath("roundtrip.pctr");
+    std::vector<MicroOp> written;
+    {
+        TraceWriter writer(path);
+        for (int i = 0; i < 5000; ++i) {
+            MicroOp u = model.next();
+            written.push_back(u);
+            writer.write(u);
+        }
+        writer.close();
+    }
+
+    TraceReader reader(path);
+    EXPECT_EQ(reader.size(), 5000u);
+    for (const MicroOp &expect : written) {
+        MicroOp got = reader.next();
+        EXPECT_EQ(got.pc, expect.pc);
+        EXPECT_EQ(got.cls, expect.cls);
+        EXPECT_EQ(got.taken, expect.taken);
+        EXPECT_EQ(got.memAddr, expect.memAddr);
+        EXPECT_EQ(got.target, expect.target);
+        EXPECT_EQ(got.srcDist[0], expect.srcDist[0]);
+        EXPECT_EQ(got.srcDist[1], expect.srcDist[1]);
+    }
+    EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(TraceIo, ReaderWrapsAround)
+{
+    std::string path = tempPath("wrap.pctr");
+    {
+        TraceWriter writer(path);
+        MicroOp u;
+        u.pc = 0x1000;
+        writer.write(u);
+        u.pc = 0x2000;
+        writer.write(u);
+        writer.close();
+    }
+    TraceReader reader(path);
+    EXPECT_EQ(reader.next().pc, 0x1000u);
+    EXPECT_EQ(reader.next().pc, 0x2000u);
+    EXPECT_EQ(reader.next().pc, 0x1000u);  // wrapped
+}
+
+TEST(TraceIoDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT({ TraceReader r("/nonexistent/path.pctr"); },
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceIoDeath, CorruptMagicIsFatal)
+{
+    std::string path = tempPath("corrupt.pctr");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is definitely not a trace file header", f);
+    std::fclose(f);
+    EXPECT_EXIT({ TraceReader r(path); },
+                ::testing::ExitedWithCode(1), "not a PCTR trace");
+}
+
+TEST(TraceIoDeath, EmptyTraceIsFatal)
+{
+    std::string path = tempPath("empty.pctr");
+    {
+        TraceWriter writer(path);
+        writer.close();
+    }
+    EXPECT_EXIT({ TraceReader r(path); },
+                ::testing::ExitedWithCode(1), "contains no uops");
+}
+
+TEST(TraceIo, WriterCountsRecords)
+{
+    std::string path = tempPath("count.pctr");
+    TraceWriter writer(path);
+    MicroOp u;
+    for (int i = 0; i < 17; ++i)
+        writer.write(u);
+    EXPECT_EQ(writer.written(), 17u);
+    writer.close();
+}

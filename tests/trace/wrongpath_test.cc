@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the wrong-path uop synthesizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/wrongpath.hh"
+
+using namespace percon;
+
+TEST(WrongPath, Deterministic)
+{
+    ProgramParams p;
+    WrongPathSynthesizer a(p, 7), b(p, 7);
+    a.redirect(0x5000);
+    b.redirect(0x5000);
+    for (int i = 0; i < 2000; ++i) {
+        MicroOp ua = a.next(), ub = b.next();
+        EXPECT_EQ(ua.pc, ub.pc);
+        EXPECT_EQ(ua.cls, ub.cls);
+        EXPECT_EQ(ua.memAddr, ub.memAddr);
+    }
+}
+
+TEST(WrongPath, RedirectSetsPc)
+{
+    ProgramParams p;
+    WrongPathSynthesizer w(p, 9);
+    w.redirect(0xabc0);
+    EXPECT_EQ(w.next().pc, 0xabc0u);
+    EXPECT_EQ(w.next().pc, 0xabc4u);
+}
+
+TEST(WrongPath, BranchDensityNearProgram)
+{
+    ProgramParams p;
+    p.uopsPerBranch = 7.0;
+    WrongPathSynthesizer w(p, 11);
+    w.redirect(0x1000);
+    Count branches = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        branches += w.next().isBranch();
+    double density = n / static_cast<double>(branches);
+    EXPECT_NEAR(density, 7.0, 2.0);
+}
+
+TEST(WrongPath, MemOpsHaveAddresses)
+{
+    ProgramParams p;
+    WrongPathSynthesizer w(p, 13);
+    w.redirect(0x1000);
+    int mem_ops = 0;
+    for (int i = 0; i < 10000; ++i) {
+        MicroOp u = w.next();
+        if (u.isMem()) {
+            ++mem_ops;
+            EXPECT_NE(u.memAddr, 0u);
+        }
+    }
+    EXPECT_GT(mem_ops, 2000);
+}
+
+TEST(WrongPath, SeparateFromProgramAddresses)
+{
+    // The wrong path uses its own address model seed so its working
+    // set perturbs rather than mirrors the program's stream heads.
+    ProgramParams p;
+    WrongPathSynthesizer w(p, 15);
+    w.redirect(0x1000);
+    WrongPathSynthesizer v(p, 16);
+    v.redirect(0x1000);
+    int same = 0, mem = 0;
+    for (int i = 0; i < 5000; ++i) {
+        MicroOp a = w.next(), b = v.next();
+        if (a.isMem() && b.isMem()) {
+            ++mem;
+            same += a.memAddr == b.memAddr;
+        }
+    }
+    EXPECT_LT(same, mem / 2);
+}

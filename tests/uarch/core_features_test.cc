@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for core-model extensions: oracle gating and the trace-cache
+ * front end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/bimodal.hh"
+#include "scripted_source.hh"
+#include "uarch/core.hh"
+
+using namespace percon;
+
+namespace {
+
+std::vector<MicroOp>
+alternatingBranchScript()
+{
+    using S = ScriptedSource;
+    std::vector<MicroOp> v;
+    for (int block = 0; block < 2; ++block) {
+        for (int i = 0; i < 6; ++i)
+            v.push_back(S::alu(0x200 + i * 4));
+        v.push_back(S::branch(0x218, block == 0, 0x900));
+    }
+    return v;
+}
+
+ProgramParams
+wrongPathParams()
+{
+    return ProgramParams{};
+}
+
+} // namespace
+
+TEST(OracleGating, RequiresNoEstimator)
+{
+    ScriptedSource src(alternatingBranchScript());
+    WrongPathSynthesizer wp(wrongPathParams(), 1);
+    BimodalPredictor pred(1024);
+    SpeculationControl sc;
+    sc.gateThreshold = 1;
+    sc.oracleGating = true;
+    Core core(PipelineConfig::base20x4(), src, wp, pred, nullptr, sc);
+    core.run(20000);  // must not panic
+    EXPECT_GT(core.stats().gatedCycles, 0u);
+}
+
+TEST(OracleGating, EliminatesMostWrongPathExecution)
+{
+    auto run = [](bool oracle) {
+        ScriptedSource src(alternatingBranchScript());
+        WrongPathSynthesizer wp(wrongPathParams(), 1);
+        BimodalPredictor pred(1024);
+        SpeculationControl sc;
+        if (oracle) {
+            sc.gateThreshold = 1;
+            sc.oracleGating = true;
+        }
+        Core core(PipelineConfig::base20x4(), src, wp, pred, nullptr,
+                  sc);
+        core.warmup(5000);
+        core.run(40000);
+        return core.stats();
+    };
+    CoreStats base = run(false);
+    CoreStats oracle = run(true);
+    ASSERT_GT(base.wrongPathExecuted, 0u);
+    EXPECT_LT(oracle.wrongPathExecuted, base.wrongPathExecuted / 4);
+    // Perfect confidence never delays useful work much: IPC within
+    // a few percent of baseline.
+    EXPECT_GT(oracle.ipc(), base.ipc() * 0.9);
+}
+
+TEST(Throttling, ReducedWidthInsteadOfStall)
+{
+    auto run = [](unsigned throttle) {
+        ScriptedSource src(alternatingBranchScript());
+        WrongPathSynthesizer wp(wrongPathParams(), 1);
+        BimodalPredictor pred(1024);
+        SpeculationControl sc;
+        sc.gateThreshold = 1;
+        sc.oracleGating = true;
+        sc.throttleWidth = throttle;
+        Core core(PipelineConfig::base20x4(), src, wp, pred, nullptr,
+                  sc);
+        core.warmup(5000);
+        core.run(40000);
+        return core.stats();
+    };
+    CoreStats stall = run(0);
+    CoreStats throttled = run(1);
+    // Throttling still fetches while gated: more wrong-path work
+    // than a full stall, but less than ungated.
+    EXPECT_GT(throttled.wrongPathFetched, stall.wrongPathFetched);
+    EXPECT_GT(throttled.gatedCycles, 0u);
+}
+
+TEST(TraceCache, MissesStallFetch)
+{
+    // A footprint much larger than the trace cache: every block is
+    // cold on (re)visit.
+    using S = ScriptedSource;
+    std::vector<MicroOp> v;
+    for (int b = 0; b < 4096; ++b)
+        v.push_back(S::alu(0x100000 + b * 64));
+    ScriptedSource src(v);
+    WrongPathSynthesizer wp(wrongPathParams(), 1);
+    BimodalPredictor pred(1024);
+    PipelineConfig cfg = PipelineConfig::base20x4();
+    cfg.traceCache.sizeBytes = 16 * 1024;
+    cfg.traceCache.ways = 8;
+    Core core(cfg, src, wp, pred, nullptr, {});
+    core.run(20000);
+    EXPECT_GT(core.stats().traceCacheMisses, 1000u);
+    EXPECT_GT(core.stats().traceCacheStallCycles, 1000u);
+}
+
+TEST(TraceCache, HotLoopHitsAfterWarmup)
+{
+    ScriptedSource src(alternatingBranchScript());
+    WrongPathSynthesizer wp(wrongPathParams(), 1);
+    BimodalPredictor pred(1024);
+    Core core(PipelineConfig::base20x4(), src, wp, pred, nullptr, {});
+    core.warmup(2000);
+    core.run(20000);
+    // The hot loop itself always hits; an occasional wrong-path
+    // episode may touch one new line.
+    EXPECT_LE(core.stats().traceCacheMisses, 4u);
+}
+
+TEST(TraceCache, DisableRemovesStalls)
+{
+    using S = ScriptedSource;
+    std::vector<MicroOp> v;
+    for (int b = 0; b < 4096; ++b)
+        v.push_back(S::alu(0x100000 + b * 64));
+    ScriptedSource src(v);
+    WrongPathSynthesizer wp(wrongPathParams(), 1);
+    BimodalPredictor pred(1024);
+    PipelineConfig cfg = PipelineConfig::base20x4();
+    cfg.traceCacheEnabled = false;
+    Core core(cfg, src, wp, pred, nullptr, {});
+    core.run(20000);
+    EXPECT_EQ(core.stats().traceCacheMisses, 0u);
+    EXPECT_EQ(core.stats().traceCacheStallCycles, 0u);
+}

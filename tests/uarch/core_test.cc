@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Pipeline-model tests: throughput, misprediction penalties,
+ * wrong-path accounting, gating and reversal mechanics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/bimodal.hh"
+#include "scripted_source.hh"
+#include "uarch/core.hh"
+
+using namespace percon;
+
+namespace {
+
+/** Test estimator with a fixed classification. */
+class FixedConfidence : public ConfidenceEstimator
+{
+  public:
+    explicit FixedConfidence(ConfidenceBand band) : band_(band) {}
+
+    ConfidenceInfo
+    estimate(Addr, std::uint64_t, bool) const override
+    {
+        ConfidenceInfo info;
+        info.band = band_;
+        info.low = band_ != ConfidenceBand::High;
+        info.raw = info.low ? 100 : -100;
+        return info;
+    }
+
+    void train(Addr, std::uint64_t, bool, bool,
+               const ConfidenceInfo &) override
+    {
+    }
+
+    const char *name() const override { return "fixed"; }
+    std::size_t storageBits() const override { return 0; }
+
+  private:
+    ConfidenceBand band_;
+};
+
+PipelineConfig
+quickConfig()
+{
+    PipelineConfig c = PipelineConfig::base20x4();
+    return c;
+}
+
+std::vector<MicroOp>
+computeScript()
+{
+    using S = ScriptedSource;
+    return {S::alu(0x100), S::alu(0x104), S::load(0x108, 0x4000),
+            S::alu(0x10c), S::alu(0x110), S::load(0x114, 0x4040),
+            S::alu(0x118), S::alu(0x11c)};
+}
+
+std::vector<MicroOp>
+branchyScript(bool alternating_outcome)
+{
+    // One static branch; with alternation its outcome flips on
+    // every dynamic instance, which a 2-bit counter cannot track.
+    using S = ScriptedSource;
+    std::vector<MicroOp> v;
+    for (int block = 0; block < 2; ++block) {
+        for (int i = 0; i < 6; ++i)
+            v.push_back(S::alu(0x200 + i * 4));
+        bool taken = alternating_outcome ? block == 0 : true;
+        v.push_back(S::branch(0x218, taken, 0x900));
+    }
+    return v;
+}
+
+ProgramParams
+wrongPathParams()
+{
+    ProgramParams p;  // only used by the synthesizer
+    return p;
+}
+
+} // namespace
+
+TEST(Core, ThroughputApproachesIssueWidth)
+{
+    ScriptedSource src(computeScript());
+    WrongPathSynthesizer wp(wrongPathParams(), 1);
+    BimodalPredictor pred(1024);
+    Core core(quickConfig(), src, wp, pred, nullptr, {});
+    core.run(100000);
+    // 6 alu per 8 uops needs 1.5 int slots/cycle; loads hit L1.
+    EXPECT_GT(core.stats().ipc(), 2.5);
+}
+
+TEST(Core, NoBranchesMeansNoWaste)
+{
+    ScriptedSource src(computeScript());
+    WrongPathSynthesizer wp(wrongPathParams(), 1);
+    BimodalPredictor pred(1024);
+    Core core(quickConfig(), src, wp, pred, nullptr, {});
+    core.run(50000);
+    EXPECT_EQ(core.stats().wrongPathFetched, 0u);
+    EXPECT_EQ(core.stats().wrongPathExecuted, 0u);
+    EXPECT_EQ(core.stats().flushes, 0u);
+}
+
+TEST(Core, PredictableBranchesRetireCleanly)
+{
+    ScriptedSource src(branchyScript(false));  // always taken
+    WrongPathSynthesizer wp(wrongPathParams(), 1);
+    BimodalPredictor pred(1024);
+    Core core(quickConfig(), src, wp, pred, nullptr, {});
+    core.warmup(5000);
+    core.run(50000);
+    EXPECT_EQ(core.stats().mispredictsFinal, 0u);
+    EXPECT_EQ(core.stats().flushes, 0u);
+    EXPECT_GT(core.stats().retiredBranches, 5000u);
+}
+
+TEST(Core, MispredictsCauseFlushesAndWaste)
+{
+    ScriptedSource src(branchyScript(true));  // alternating
+    WrongPathSynthesizer wp(wrongPathParams(), 1);
+    BimodalPredictor pred(1024);
+    Core core(quickConfig(), src, wp, pred, nullptr, {});
+    core.warmup(5000);
+    core.run(50000);
+    const CoreStats &s = core.stats();
+    EXPECT_GT(s.mispredictsFinal, 0u);
+    EXPECT_EQ(s.flushes, s.mispredictsFinal);
+    EXPECT_GT(s.wrongPathExecuted, 0u);
+    EXPECT_GT(s.executedUops, s.retiredUops);
+}
+
+TEST(Core, DeeperBackEndWastesMore)
+{
+    auto waste_at = [](unsigned front, unsigned back) {
+        ScriptedSource src(branchyScript(true));
+        WrongPathSynthesizer wp(wrongPathParams(), 1);
+        BimodalPredictor pred(1024);
+        PipelineConfig c = quickConfig();
+        c.frontEndDepth = front;
+        c.backEndDepth = back;
+        Core core(c, src, wp, pred, nullptr, {});
+        core.warmup(5000);
+        core.run(50000);
+        return core.stats().executionIncreasePct();
+    };
+    double shallow = waste_at(10, 10);
+    double deep = waste_at(20, 20);
+    EXPECT_GT(deep, shallow * 1.3);
+}
+
+TEST(Core, MispredictionPenaltyAtLeastPipelineLength)
+{
+    // With one mispredict per 14-uop loop iteration, IPC is bounded
+    // by uops-per-mispredict / pipeline length.
+    ScriptedSource src(branchyScript(true));
+    WrongPathSynthesizer wp(wrongPathParams(), 1);
+    BimodalPredictor pred(1024);
+    PipelineConfig c = quickConfig();
+    Core core(c, src, wp, pred, nullptr, {});
+    core.warmup(5000);
+    core.run(50000);
+    const CoreStats &s = core.stats();
+    double cycles_per_misp =
+        static_cast<double>(s.cycles) /
+        static_cast<double>(s.mispredictsFinal);
+    EXPECT_GE(cycles_per_misp,
+              static_cast<double>(c.pipelineLength()) * 0.8);
+}
+
+TEST(Core, GatingStopsWrongPathFetch)
+{
+    auto wrong_path_fetched = [](unsigned gate_threshold) {
+        ScriptedSource src(branchyScript(true));
+        WrongPathSynthesizer wp(wrongPathParams(), 1);
+        BimodalPredictor pred(1024);
+        FixedConfidence conf(ConfidenceBand::WeakLow);
+        SpeculationControl sc;
+        sc.gateThreshold = gate_threshold;
+        Core core(quickConfig(), src, wp, pred,
+                  gate_threshold ? &conf : nullptr, sc);
+        core.warmup(5000);
+        core.run(50000);
+        return core.stats();
+    };
+    CoreStats ungated = wrong_path_fetched(0);
+    CoreStats gated = wrong_path_fetched(1);
+    EXPECT_LT(gated.wrongPathFetched, ungated.wrongPathFetched / 2);
+    EXPECT_GT(gated.gatedCycles, 0u);
+}
+
+TEST(Core, HighConfidenceNeverGates)
+{
+    ScriptedSource src(branchyScript(true));
+    WrongPathSynthesizer wp(wrongPathParams(), 1);
+    BimodalPredictor pred(1024);
+    FixedConfidence conf(ConfidenceBand::High);
+    SpeculationControl sc;
+    sc.gateThreshold = 1;
+    Core core(quickConfig(), src, wp, pred, &conf, sc);
+    core.run(30000);
+    EXPECT_EQ(core.stats().gatedCycles, 0u);
+}
+
+TEST(Core, ReversalFlipsPredictions)
+{
+    // Always-taken branches, predictor learns them; forced reversal
+    // turns every prediction into a mispredict. The accounting must
+    // show reversals == retired branches, all "bad".
+    ScriptedSource src(branchyScript(false));
+    WrongPathSynthesizer wp(wrongPathParams(), 1);
+    BimodalPredictor pred(1024);
+    FixedConfidence conf(ConfidenceBand::StrongLow);
+    SpeculationControl sc;
+    sc.reversalEnabled = true;
+    Core core(quickConfig(), src, wp, pred, &conf, sc);
+    core.warmup(2000);
+    core.run(20000);
+    const CoreStats &s = core.stats();
+    EXPECT_EQ(s.reversals, s.retiredBranches);
+    EXPECT_EQ(s.reversalsBad + s.reversalsGood, s.reversals);
+    EXPECT_GT(s.reversalsBad, s.reversals / 2);
+    EXPECT_GT(s.mispredictsFinal, s.mispredictsOriginal);
+}
+
+TEST(Core, ConfidenceLatencyDelaysGating)
+{
+    auto gated_cycles = [](unsigned latency) {
+        ScriptedSource src(branchyScript(true));
+        WrongPathSynthesizer wp(wrongPathParams(), 1);
+        BimodalPredictor pred(1024);
+        FixedConfidence conf(ConfidenceBand::WeakLow);
+        SpeculationControl sc;
+        sc.gateThreshold = 1;
+        sc.confidenceLatency = latency;
+        Core core(quickConfig(), src, wp, pred, &conf, sc);
+        core.warmup(5000);
+        core.run(30000);
+        return core.stats().gatedCycles;
+    };
+    Count immediate = gated_cycles(0);
+    Count delayed = gated_cycles(9);
+    EXPECT_GT(immediate, 0u);
+    EXPECT_GT(delayed, 0u);
+    EXPECT_LE(delayed, immediate);
+}
+
+TEST(Core, WarmupResetsStatistics)
+{
+    ScriptedSource src(computeScript());
+    WrongPathSynthesizer wp(wrongPathParams(), 1);
+    BimodalPredictor pred(1024);
+    Core core(quickConfig(), src, wp, pred, nullptr, {});
+    core.warmup(10000);
+    EXPECT_EQ(core.stats().retiredUops, 0u);
+    EXPECT_EQ(core.stats().cycles, 0u);
+    core.run(1000);
+    EXPECT_GE(core.stats().retiredUops, 1000u);
+}
+
+TEST(Core, StatsInvariants)
+{
+    ScriptedSource src(branchyScript(true));
+    WrongPathSynthesizer wp(wrongPathParams(), 1);
+    BimodalPredictor pred(1024);
+    Core core(quickConfig(), src, wp, pred, nullptr, {});
+    core.run(40000);
+    const CoreStats &s = core.stats();
+    EXPECT_GE(s.fetchedUops, s.executedUops);
+    EXPECT_GE(s.executedUops, s.retiredUops);
+    EXPECT_EQ(s.executedUops - s.retiredUops, s.wrongPathExecuted);
+    EXPECT_GE(s.wrongPathFetched, s.wrongPathExecuted);
+    EXPECT_GE(s.mispredictsOriginal + s.reversalsGood,
+              s.mispredictsFinal);
+}
+
+TEST(Core, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        ScriptedSource src(branchyScript(true));
+        WrongPathSynthesizer wp(wrongPathParams(), 7);
+        BimodalPredictor pred(1024);
+        Core core(quickConfig(), src, wp, pred, nullptr, {});
+        core.run(30000);
+        return core.stats();
+    };
+    CoreStats a = run_once();
+    CoreStats b = run_once();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.executedUops, b.executedUops);
+    EXPECT_EQ(a.mispredictsFinal, b.mispredictsFinal);
+}
+
+TEST(CoreDeath, GatingWithoutEstimatorPanics)
+{
+    ScriptedSource src(computeScript());
+    WrongPathSynthesizer wp(wrongPathParams(), 1);
+    BimodalPredictor pred(1024);
+    SpeculationControl sc;
+    sc.gateThreshold = 1;
+    EXPECT_DEATH(
+        { Core core(quickConfig(), src, wp, pred, nullptr, sc); },
+        "confidence estimator");
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the activity-based energy proxy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/energy.hh"
+
+using namespace percon;
+
+namespace {
+
+CoreStats
+sampleStats()
+{
+    CoreStats s;
+    s.cycles = 1000;
+    s.fetchedUops = 5000;
+    s.executedUops = 4200;
+    s.retiredUops = 4000;
+    s.wrongPathExecuted = 200;
+    s.flushes = 10;
+    s.gatedCycles = 50;
+    return s;
+}
+
+} // namespace
+
+TEST(Energy, ComponentsAddUp)
+{
+    EnergyParams p;
+    EnergyReport r = computeEnergy(sampleStats(), p);
+    double expect_dyn = 0.4 * 5000 + 1.0 * 4200 + 0.2 * 4000 +
+                        8.0 * 10 + 0.02 * 50;
+    double expect_static = 0.6 * 1000;
+    EXPECT_DOUBLE_EQ(r.dynamicPart, expect_dyn);
+    EXPECT_DOUBLE_EQ(r.staticPart, expect_static);
+    EXPECT_DOUBLE_EQ(r.total, expect_dyn + expect_static);
+}
+
+TEST(Energy, EpiAndEdp)
+{
+    EnergyReport r = computeEnergy(sampleStats());
+    EXPECT_DOUBLE_EQ(r.epi, r.total / 4000.0);
+    EXPECT_DOUBLE_EQ(r.edp, r.total * 1000.0);
+}
+
+TEST(Energy, EmptyStatsAreSafe)
+{
+    CoreStats s;
+    EnergyReport r = computeEnergy(s);
+    EXPECT_DOUBLE_EQ(r.total, 0.0);
+    EXPECT_DOUBLE_EQ(r.epi, 0.0);
+}
+
+TEST(Energy, LessWrongPathMeansLessEnergy)
+{
+    CoreStats gated = sampleStats();
+    CoreStats ungated = sampleStats();
+    ungated.fetchedUops += 2000;
+    ungated.executedUops += 1500;
+    ungated.wrongPathExecuted += 1500;
+    EnergyReport g = computeEnergy(gated);
+    EnergyReport u = computeEnergy(ungated);
+    EXPECT_LT(g.total, u.total);
+}
+
+TEST(Energy, CustomWeights)
+{
+    EnergyParams p;
+    p.fetchPerUop = 0.0;
+    p.executePerUop = 0.0;
+    p.retirePerUop = 0.0;
+    p.flushFixed = 0.0;
+    p.gatePerCycle = 0.0;
+    p.staticPerCycle = 2.0;
+    EnergyReport r = computeEnergy(sampleStats(), p);
+    EXPECT_DOUBLE_EQ(r.total, 2000.0);
+}

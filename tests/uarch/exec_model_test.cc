@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the execution-resource model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/exec_model.hh"
+
+using namespace percon;
+
+namespace {
+
+PipelineConfig
+cfg()
+{
+    PipelineConfig c = PipelineConfig::base20x4();
+    c.mem.prefetchEnabled = false;
+    return c;
+}
+
+InflightUop
+uopOf(UopClass cls, std::uint64_t idx)
+{
+    InflightUop u;
+    u.cls = cls;
+    u.streamIdx = idx;
+    u.seq = idx + 1;
+    return u;
+}
+
+} // namespace
+
+TEST(ExecModel, SchedClassMapping)
+{
+    EXPECT_EQ(schedClassFor(UopClass::IntAlu), SchedClass::Int);
+    EXPECT_EQ(schedClassFor(UopClass::IntMul), SchedClass::Int);
+    EXPECT_EQ(schedClassFor(UopClass::Branch), SchedClass::Int);
+    EXPECT_EQ(schedClassFor(UopClass::Load), SchedClass::Mem);
+    EXPECT_EQ(schedClassFor(UopClass::Store), SchedClass::Mem);
+    EXPECT_EQ(schedClassFor(UopClass::FpAlu), SchedClass::Fp);
+}
+
+TEST(ExecModel, ReadyUopIssuesNextCycle)
+{
+    PipelineConfig c = cfg();
+    MemoryHierarchy mem(c.mem);
+    ExecModel e(c, mem);
+    InflightUop u = uopOf(UopClass::IntAlu, 0);
+    e.dispatch(u, 10, 0);
+    EXPECT_EQ(u.issueAt, 11u);
+    EXPECT_EQ(u.completeAt, 11u + c.intAluLatency);
+}
+
+TEST(ExecModel, WaitsForSources)
+{
+    PipelineConfig c = cfg();
+    MemoryHierarchy mem(c.mem);
+    ExecModel e(c, mem);
+    InflightUop u = uopOf(UopClass::IntAlu, 0);
+    e.dispatch(u, 10, 50);
+    EXPECT_EQ(u.issueAt, 50u);
+}
+
+TEST(ExecModel, IssueBandwidthIsPerCycle)
+{
+    PipelineConfig c = cfg();  // 3 int units
+    MemoryHierarchy mem(c.mem);
+    ExecModel e(c, mem);
+    Cycle issues[5];
+    for (int i = 0; i < 5; ++i) {
+        InflightUop u = uopOf(UopClass::IntAlu, i);
+        e.dispatch(u, 10, 0);
+        issues[i] = u.issueAt;
+    }
+    // 3 in the first cycle, 2 in the next.
+    EXPECT_EQ(issues[0], 11u);
+    EXPECT_EQ(issues[1], 11u);
+    EXPECT_EQ(issues[2], 11u);
+    EXPECT_EQ(issues[3], 12u);
+    EXPECT_EQ(issues[4], 12u);
+}
+
+TEST(ExecModel, WaitingUopDoesNotBlockItsClass)
+{
+    // The regression that motivated the bandwidth design: a uop
+    // stuck on a far-future source must not reserve a unit.
+    PipelineConfig c = cfg();
+    MemoryHierarchy mem(c.mem);
+    ExecModel e(c, mem);
+    for (int i = 0; i < 3; ++i) {
+        InflightUop blocked = uopOf(UopClass::IntAlu, i);
+        e.dispatch(blocked, 10, 1000);
+    }
+    InflightUop ready = uopOf(UopClass::IntAlu, 3);
+    e.dispatch(ready, 10, 0);
+    EXPECT_EQ(ready.issueAt, 11u);
+}
+
+TEST(ExecModel, WindowFillsAndReleasesAtIssue)
+{
+    PipelineConfig c = cfg();
+    c.schedInt = 4;
+    MemoryHierarchy mem(c.mem);
+    ExecModel e(c, mem);
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(e.windowAvailable(SchedClass::Int));
+        InflightUop u = uopOf(UopClass::IntAlu, i);
+        e.dispatch(u, 10, 100);  // all waiting until 100
+    }
+    EXPECT_FALSE(e.windowAvailable(SchedClass::Int));
+    e.tick(99);
+    EXPECT_FALSE(e.windowAvailable(SchedClass::Int));
+    e.tick(101);
+    EXPECT_TRUE(e.windowAvailable(SchedClass::Int));
+}
+
+TEST(ExecModel, ClassesAreIndependent)
+{
+    PipelineConfig c = cfg();
+    c.schedInt = 1;
+    MemoryHierarchy mem(c.mem);
+    ExecModel e(c, mem);
+    InflightUop i0 = uopOf(UopClass::IntAlu, 0);
+    e.dispatch(i0, 10, 500);
+    EXPECT_FALSE(e.windowAvailable(SchedClass::Int));
+    EXPECT_TRUE(e.windowAvailable(SchedClass::Mem));
+    EXPECT_TRUE(e.windowAvailable(SchedClass::Fp));
+}
+
+TEST(ExecModel, LatenciesByClass)
+{
+    PipelineConfig c = cfg();
+    MemoryHierarchy mem(c.mem);
+    ExecModel e(c, mem);
+
+    InflightUop mul = uopOf(UopClass::IntMul, 0);
+    e.dispatch(mul, 10, 0);
+    EXPECT_EQ(mul.completeAt - mul.issueAt, c.intMulLatency);
+
+    InflightUop fp = uopOf(UopClass::FpAlu, 1);
+    e.dispatch(fp, 10, 0);
+    EXPECT_EQ(fp.completeAt - fp.issueAt, c.fpAluLatency);
+
+    InflightUop st = uopOf(UopClass::Store, 2);
+    st.memAddr = 0x4000;
+    e.dispatch(st, 10, 0);
+    EXPECT_EQ(st.completeAt - st.issueAt, 1u);
+}
+
+TEST(ExecModel, LoadLatencyComesFromHierarchy)
+{
+    PipelineConfig c = cfg();
+    MemoryHierarchy mem(c.mem);
+    ExecModel e(c, mem);
+    InflightUop miss = uopOf(UopClass::Load, 0);
+    miss.memAddr = 0x12340;
+    e.dispatch(miss, 10, 0);
+    EXPECT_GE(miss.completeAt - miss.issueAt,
+              c.mem.l1Latency + c.mem.l2Latency + c.mem.memLatency);
+
+    InflightUop hit = uopOf(UopClass::Load, 1);
+    hit.memAddr = 0x12340;
+    e.dispatch(hit, 400, 0);
+    EXPECT_EQ(hit.completeAt - hit.issueAt, c.mem.l1Latency);
+}
+
+TEST(IssueSlots, BandwidthExactlyUnits)
+{
+    IssueSlots slots(2);
+    EXPECT_EQ(slots.book(100), 100u);
+    EXPECT_EQ(slots.book(100), 100u);
+    EXPECT_EQ(slots.book(100), 101u);
+    EXPECT_EQ(slots.book(100), 101u);
+    EXPECT_EQ(slots.book(100), 102u);
+}
+
+TEST(IssueSlots, EarlierReadyKeepsEarlierSlot)
+{
+    IssueSlots slots(1);
+    EXPECT_EQ(slots.book(200), 200u);
+    EXPECT_EQ(slots.book(100), 100u);  // unaffected by the far slot
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Golden-model test for the issue-slot ledger: booked slots must
+ * match a naive per-cycle counting reference for random ready times,
+ * and global bandwidth invariants must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "uarch/exec_model.hh"
+
+using namespace percon;
+
+namespace {
+
+/** Naive reference: a map from cycle to issued count. */
+class ReferenceSlots
+{
+  public:
+    explicit ReferenceSlots(unsigned units) : units_(units) {}
+
+    Cycle
+    book(Cycle ready)
+    {
+        Cycle c = ready;
+        while (counts_[c] >= units_)
+            ++c;
+        ++counts_[c];
+        return c;
+    }
+
+  private:
+    unsigned units_;
+    std::map<Cycle, unsigned> counts_;
+};
+
+} // namespace
+
+class IssueSlotsGolden : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IssueSlotsGolden, MatchesReferenceOnRandomBookings)
+{
+    unsigned units = static_cast<unsigned>(GetParam());
+    IssueSlots dut(units);
+    ReferenceSlots ref(units);
+    Rng rng(99 + units);
+
+    // Stay within the ledger's documented contention envelope (the
+    // ROB bounds real backlogs to a few hundred cycles; the ledger
+    // deliberately degrades beyond kHorizon/2 of backlog).
+    Cycle now = 10;
+    for (int i = 0; i < 20000; ++i) {
+        // Mostly near-term ready times with occasional far futures,
+        // drifting forward like a real run.
+        Cycle ready = now + rng.nextBelow(8);
+        if (rng.nextBernoulli(0.05))
+            ready += 200 + rng.nextBelow(300);
+        ASSERT_EQ(dut.book(ready), ref.book(ready))
+            << "divergence at booking " << i;
+        // Advance time fast enough that the backlog stays bounded.
+        now += 1 + rng.nextBelow(2);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Units, IssueSlotsGolden,
+                         ::testing::Values(1, 2, 3, 6));
+
+TEST(IssueSlotsGolden, BandwidthNeverExceededWithinEnvelope)
+{
+    const unsigned units = 3;
+    IssueSlots dut(units);
+    Rng rng(5);
+    std::map<Cycle, unsigned> per_cycle;
+    // 6000 bookings over a 64-cycle ready window back up ~2000
+    // cycles — far below the ledger's kHorizon/2 degradation point.
+    for (int i = 0; i < 6000; ++i) {
+        Cycle ready = 100 + rng.nextBelow(64);
+        Cycle got = dut.book(ready);
+        EXPECT_GE(got, ready);
+        ++per_cycle[got];
+    }
+    for (auto [cycle, count] : per_cycle)
+        EXPECT_LE(count, units) << "cycle " << cycle;
+}
+
+TEST(IssueSlotsGolden, DegradesGracefullyBeyondHorizon)
+{
+    // Pathological pressure (backlog beyond kHorizon/2) must still
+    // return monotonically sane slots rather than looping forever —
+    // the documented approximation.
+    IssueSlots dut(1);
+    Cycle last = 0;
+    for (int i = 0; i < 20000; ++i) {
+        Cycle got = dut.book(100);
+        EXPECT_GE(got, 100u);
+        EXPECT_GE(got + 1, last);  // never runs far backwards
+        last = got;
+    }
+}

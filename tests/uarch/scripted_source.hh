@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Test helper: a WorkloadSource that cycles through a scripted uop
+ * sequence, for driving the core model with exact inputs.
+ */
+
+#ifndef PERCON_TESTS_UARCH_SCRIPTED_SOURCE_HH
+#define PERCON_TESTS_UARCH_SCRIPTED_SOURCE_HH
+
+#include <vector>
+
+#include "trace/uop.hh"
+
+namespace percon {
+
+class ScriptedSource : public WorkloadSource
+{
+  public:
+    explicit ScriptedSource(std::vector<MicroOp> script)
+        : script_(std::move(script))
+    {
+    }
+
+    MicroOp
+    next() override
+    {
+        MicroOp u = script_[pos_];
+        pos_ = (pos_ + 1) % script_.size();
+        return u;
+    }
+
+    const char *name() const override { return "scripted"; }
+
+    /** Simple builders. */
+    static MicroOp
+    alu(Addr pc)
+    {
+        MicroOp u;
+        u.pc = pc;
+        u.cls = UopClass::IntAlu;
+        return u;
+    }
+
+    static MicroOp
+    load(Addr pc, Addr addr)
+    {
+        MicroOp u;
+        u.pc = pc;
+        u.cls = UopClass::Load;
+        u.memAddr = addr;
+        return u;
+    }
+
+    static MicroOp
+    branch(Addr pc, bool taken, Addr target)
+    {
+        MicroOp u;
+        u.pc = pc;
+        u.cls = UopClass::Branch;
+        u.taken = taken;
+        u.target = target;
+        return u;
+    }
+
+  private:
+    std::vector<MicroOp> script_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_TESTS_UARCH_SCRIPTED_SOURCE_HH

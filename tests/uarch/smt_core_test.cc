@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the two-thread SMT core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bpred/bimodal.hh"
+#include "scripted_source.hh"
+#include "trace/benchmarks.hh"
+#include "uarch/core.hh"
+#include "uarch/smt_core.hh"
+
+using namespace percon;
+
+namespace {
+
+std::vector<MicroOp>
+computeScript(Addr base)
+{
+    using S = ScriptedSource;
+    return {S::alu(base), S::alu(base + 4), S::alu(base + 8),
+            S::alu(base + 12)};
+}
+
+std::vector<MicroOp>
+branchyScript(Addr base)
+{
+    using S = ScriptedSource;
+    std::vector<MicroOp> v;
+    for (int block = 0; block < 2; ++block) {
+        for (int i = 0; i < 6; ++i)
+            v.push_back(S::alu(base + i * 4));
+        v.push_back(S::branch(base + 24, block == 0, base + 0x700));
+    }
+    return v;
+}
+
+PipelineConfig
+quick()
+{
+    return PipelineConfig::base20x4();
+}
+
+} // namespace
+
+TEST(SmtCore, BothThreadsMakeProgress)
+{
+    ScriptedSource a(computeScript(0x1000)), b(computeScript(0x8000));
+    ProgramParams pp;
+    WrongPathSynthesizer wa(pp, 1), wb(pp, 2);
+    BimodalPredictor pred(1024);
+    SmtCore core(quick(), {{{&a, &wa}, {&b, &wb}}}, pred, nullptr, {});
+    core.run(20000);
+    EXPECT_GE(core.stats(0).retiredUops, 20000u);
+    EXPECT_GE(core.stats(1).retiredUops, 20000u);
+    EXPECT_GT(core.combinedIpc(), 1.0);
+}
+
+TEST(SmtCore, ThreadsShareExecutionBandwidth)
+{
+    // Two compute-bound threads on one core: combined throughput
+    // exceeds either thread's share but is below 2x a solo run.
+    auto solo_ipc = [] {
+        ScriptedSource a(computeScript(0x1000));
+        ProgramParams pp;
+        WrongPathSynthesizer wa(pp, 1);
+        BimodalPredictor pred(1024);
+        PipelineConfig cfg = quick();
+        Core core(cfg, a, wa, pred, nullptr, {});
+        core.run(30000);
+        return core.stats().ipc();
+    }();
+    ScriptedSource a(computeScript(0x1000)), b(computeScript(0x8000));
+    ProgramParams pp;
+    WrongPathSynthesizer wa(pp, 1), wb(pp, 2);
+    BimodalPredictor pred(1024);
+    SmtCore core(quick(), {{{&a, &wa}, {&b, &wb}}}, pred, nullptr, {});
+    core.run(30000);
+    EXPECT_GT(core.combinedIpc(), solo_ipc * 0.8);
+    EXPECT_LT(core.combinedIpc(), solo_ipc * 2.0 + 0.1);
+}
+
+TEST(SmtCore, GatingOneThreadHelpsTheOther)
+{
+    // Thread A mispredicts constantly; thread B is clean. With
+    // oracle gating, A's wrong-path fetch is suppressed and B gets
+    // those slots: B's throughput must improve.
+    auto run = [](bool gate) {
+        ScriptedSource a(branchyScript(0x1000));
+        ScriptedSource b(computeScript(0x8000));
+        ProgramParams pp;
+        WrongPathSynthesizer wa(pp, 1), wb(pp, 2);
+        BimodalPredictor pred(1024);
+        SpeculationControl sc;
+        if (gate) {
+            sc.gateThreshold = 1;
+            sc.oracleGating = true;
+        }
+        SmtCore core(quick(), {{{&a, &wa}, {&b, &wb}}}, pred, nullptr,
+                     sc);
+        core.warmup(4000);
+        core.run(25000);
+        double b_ipc =
+            static_cast<double>(core.stats(1).retiredUops) /
+            static_cast<double>(core.stats(1).cycles);
+        return std::pair<double, Count>(
+            b_ipc, core.stats(0).wrongPathFetched);
+    };
+    auto [b_ungated, wp_ungated] = run(false);
+    auto [b_gated, wp_gated] = run(true);
+    EXPECT_LT(wp_gated, wp_ungated / 2);
+    EXPECT_GT(b_gated, b_ungated);
+}
+
+TEST(SmtCore, PerThreadStatsIsolated)
+{
+    ScriptedSource a(branchyScript(0x1000)), b(computeScript(0x8000));
+    ProgramParams pp;
+    WrongPathSynthesizer wa(pp, 1), wb(pp, 2);
+    BimodalPredictor pred(1024);
+    SmtCore core(quick(), {{{&a, &wa}, {&b, &wb}}}, pred, nullptr, {});
+    core.warmup(3000);
+    core.run(20000);
+    EXPECT_GT(core.stats(0).mispredictsFinal, 0u);
+    EXPECT_EQ(core.stats(1).mispredictsFinal, 0u);
+    EXPECT_EQ(core.stats(1).wrongPathFetched, 0u);
+}
+
+TEST(SmtCore, CalibratedWorkloadsRun)
+{
+    ProgramModel a(benchmarkSpec("gzip").program);
+    ProgramModel b(benchmarkSpec("gcc").program);
+    WrongPathSynthesizer wa(benchmarkSpec("gzip").program, 0xa);
+    WrongPathSynthesizer wb(benchmarkSpec("gcc").program, 0xb);
+    BimodalPredictor pred(16 * 1024);
+    SmtCore core(PipelineConfig::deep40x4(), {{{&a, &wa}, {&b, &wb}}},
+                 pred, nullptr, {});
+    core.run(30000);
+    EXPECT_GE(core.stats(0).retiredUops, 30000u);
+    EXPECT_GE(core.stats(1).retiredUops, 30000u);
+}

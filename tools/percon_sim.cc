@@ -1,0 +1,280 @@
+/**
+ * @file
+ * percon_sim: the general simulator driver.
+ *
+ * Runs any calibrated benchmark (or a trace file) through the timing
+ * model with any predictor, estimator and speculation-control policy,
+ * and prints the full statistics block — the one-stop tool for
+ * exploring design points outside the canned benches.
+ *
+ * Examples:
+ *   percon_sim --bench mcf --machine deep40x4 \
+ *              --estimator perceptron-cic --gate 1 --lambda 0
+ *   percon_sim --bench gzip --estimator perceptron-cic \
+ *              --gate 2 --lambda -75 --reverse 50 --energy
+ *   percon_sim --trace my.pctr --predictor yags --uops 2000000
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bpred/factory.hh"
+#include "confidence/factory.hh"
+#include "confidence/perceptron_conf.hh"
+#include "core/timing_sim.hh"
+#include "trace/trace_io.hh"
+#include "uarch/smt_core.hh"
+#include "uarch/energy.hh"
+
+using namespace percon;
+
+namespace {
+
+struct Options
+{
+    std::string bench = "gcc";
+    std::string trace;
+    std::string predictor = "bimodal-gshare";
+    std::string estimator;
+    std::string machine = "deep40x4";
+    Count uops = 1'000'000;
+    unsigned gate = 0;
+    unsigned latency = 0;
+    unsigned throttle = 0;
+    int lambda = 0;
+    int reverseLambda = 0;
+    bool reverse = false;
+    bool oracle = false;
+    bool energy = false;
+    std::string smtWith;  ///< co-runner benchmark; empty = single-thread
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: percon_sim [options]\n"
+        "  --bench NAME        calibrated workload (default gcc)\n"
+        "  --trace FILE        replay a .pctr trace instead\n"
+        "  --predictor NAME    branch predictor (default "
+        "bimodal-gshare)\n"
+        "  --estimator NAME    confidence estimator (default none);\n"
+        "                      'perceptron-cic' honours --lambda and\n"
+        "                      --reverse\n"
+        "  --machine M         deep40x4 | base20x4 | wide20x8\n"
+        "  --uops N            measured uops (default 1M)\n"
+        "  --gate N            gate threshold PLn (default off)\n"
+        "  --lambda L          perceptron gating threshold\n"
+        "  --reverse L         enable reversal above output L\n"
+        "  --latency N         estimator latency in cycles\n"
+        "  --throttle W        throttle fetch to width W when gated\n"
+        "  --oracle            oracle gating bound (no estimator)\n"
+        "  --energy            print the energy report too\n"
+        "  --smt BENCH         co-run BENCH on a 2nd SMT thread\n");
+    std::fprintf(stderr, "\npredictors:");
+    for (const auto &n : predictorNames())
+        std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, "\nestimators:");
+    for (const auto &n : estimatorNames())
+        std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, "\nbenchmarks:");
+    for (const auto &n : benchmarkNames())
+        std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--bench")
+            o.bench = value();
+        else if (arg == "--trace")
+            o.trace = value();
+        else if (arg == "--predictor")
+            o.predictor = value();
+        else if (arg == "--estimator")
+            o.estimator = value();
+        else if (arg == "--machine")
+            o.machine = value();
+        else if (arg == "--uops")
+            o.uops = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--gate")
+            o.gate = static_cast<unsigned>(std::atoi(value()));
+        else if (arg == "--lambda")
+            o.lambda = std::atoi(value());
+        else if (arg == "--reverse") {
+            o.reverse = true;
+            o.reverseLambda = std::atoi(value());
+        } else if (arg == "--latency")
+            o.latency = static_cast<unsigned>(std::atoi(value()));
+        else if (arg == "--throttle")
+            o.throttle = static_cast<unsigned>(std::atoi(value()));
+        else if (arg == "--oracle")
+            o.oracle = true;
+        else if (arg == "--smt")
+            o.smtWith = value();
+        else if (arg == "--energy")
+            o.energy = true;
+        else
+            usage();
+    }
+    return o;
+}
+
+PipelineConfig
+machineFor(const std::string &name)
+{
+    if (name == "deep40x4")
+        return PipelineConfig::deep40x4();
+    if (name == "base20x4")
+        return PipelineConfig::base20x4();
+    if (name == "wide20x8")
+        return PipelineConfig::wide20x8();
+    fatal("unknown machine '%s'", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parse(argc, argv);
+    PipelineConfig machine = machineFor(o.machine);
+
+    SpeculationControl sc;
+    sc.gateThreshold = o.gate;
+    sc.reversalEnabled = o.reverse;
+    sc.confidenceLatency = o.latency;
+    sc.oracleGating = o.oracle;
+    sc.throttleWidth = o.throttle;
+
+    std::unique_ptr<ConfidenceEstimator> estimator;
+    if (!o.estimator.empty()) {
+        if (o.estimator == "perceptron-cic") {
+            PerceptronConfParams p;
+            p.lambda = o.lambda;
+            if (o.reverse)
+                p.reverseLambda = o.reverseLambda;
+            estimator = std::make_unique<PerceptronConfidence>(p);
+        } else {
+            estimator = makeEstimator(o.estimator);
+        }
+    }
+
+    const BenchmarkSpec &spec = benchmarkSpec(o.bench);
+    auto predictor = makePredictor(o.predictor);
+    WrongPathSynthesizer wrong_path(spec.program,
+                                    spec.program.seed ^ 0xdead);
+
+    if (!o.smtWith.empty()) {
+        const BenchmarkSpec &spec_b = benchmarkSpec(o.smtWith);
+        ProgramModel prog_a(spec.program);
+        ProgramModel prog_b(spec_b.program);
+        WrongPathSynthesizer wp_b(spec_b.program,
+                                  spec_b.program.seed ^ 0xbeef);
+        SmtCore core(machine, {{{&prog_a, &wrong_path},
+                                {&prog_b, &wp_b}}},
+                     *predictor, estimator.get(), sc);
+        core.warmup(o.uops / 3);
+        core.run(o.uops);
+        for (unsigned t = 0; t < SmtCore::kThreads; ++t) {
+            const CoreStats &ts = core.stats(t);
+            const char *name =
+                t == 0 ? o.bench.c_str() : o.smtWith.c_str();
+            std::printf("thread %u (%s): IPC %.3f  retired %llu  "
+                        "wrong-path %llu  misp/Kuop %.1f\n",
+                        t, name,
+                        static_cast<double>(ts.retiredUops) /
+                            static_cast<double>(ts.cycles),
+                        static_cast<unsigned long long>(
+                            ts.retiredUops),
+                        static_cast<unsigned long long>(
+                            ts.wrongPathExecuted),
+                        ts.mispredictsPerKuop());
+        }
+        std::printf("combined IPC        : %.3f\n", core.combinedIpc());
+        return 0;
+    }
+
+    std::unique_ptr<WorkloadSource> source;
+    if (!o.trace.empty())
+        source = std::make_unique<TraceReader>(o.trace);
+    else
+        source = std::make_unique<ProgramModel>(spec.program);
+
+    Core core(machine, *source, wrong_path, *predictor,
+              estimator.get(), sc);
+    core.warmup(o.uops / 3);
+    core.run(o.uops);
+
+    const CoreStats &s = core.stats();
+    std::printf("workload            : %s\n",
+                o.trace.empty() ? o.bench.c_str() : o.trace.c_str());
+    std::printf("machine             : %s (width %u, %u+%u stages)\n",
+                o.machine.c_str(), machine.width,
+                machine.frontEndDepth, machine.backEndDepth);
+    std::printf("predictor           : %s\n", o.predictor.c_str());
+    std::printf("estimator           : %s\n",
+                estimator ? estimator->name()
+                          : (o.oracle ? "oracle" : "none"));
+    std::printf("cycles              : %llu\n",
+                static_cast<unsigned long long>(s.cycles));
+    std::printf("IPC                 : %.3f\n", s.ipc());
+    std::printf("retired uops        : %llu\n",
+                static_cast<unsigned long long>(s.retiredUops));
+    std::printf("executed uops       : %llu (+%.1f%% over retired)\n",
+                static_cast<unsigned long long>(s.executedUops),
+                s.executionIncreasePct());
+    std::printf("wrong-path executed : %llu\n",
+                static_cast<unsigned long long>(s.wrongPathExecuted));
+    std::printf("branches            : %llu retired, %.2f%% "
+                "mispredicted (%.1f/Kuop)\n",
+                static_cast<unsigned long long>(s.retiredBranches),
+                100.0 * s.mispredictRate(), s.mispredictsPerKuop());
+    if (s.reversals) {
+        std::printf("reversals           : %llu (%.0f%% fixed a "
+                    "mispredict)\n",
+                    static_cast<unsigned long long>(s.reversals),
+                    100.0 * static_cast<double>(s.reversalsGood) /
+                        static_cast<double>(s.reversals));
+    }
+    if (sc.gateThreshold > 0) {
+        std::printf("gated cycles        : %llu (%.1f%% of run)\n",
+                    static_cast<unsigned long long>(s.gatedCycles),
+                    100.0 * static_cast<double>(s.gatedCycles) /
+                        static_cast<double>(s.cycles));
+    }
+    if (estimator) {
+        std::printf("confidence          : PVN %.1f%%  Spec %.1f%%\n",
+                    100.0 * s.confidence.pvn(),
+                    100.0 * s.confidence.spec());
+    }
+    std::printf("trace cache         : %llu misses, %llu stall "
+                "cycles\n",
+                static_cast<unsigned long long>(s.traceCacheMisses),
+                static_cast<unsigned long long>(
+                    s.traceCacheStallCycles));
+    std::printf("BTB                 : %llu misses\n",
+                static_cast<unsigned long long>(s.btbMisses));
+
+    if (o.energy) {
+        EnergyReport e = computeEnergy(s);
+        std::printf("energy (proxy)      : total %.0f  EPI %.3f  "
+                    "EDP %.3g\n",
+                    e.total, e.epi, e.edp);
+    }
+    return 0;
+}
