@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gating_bounds.dir/ablation_gating_bounds.cc.o"
+  "CMakeFiles/ablation_gating_bounds.dir/ablation_gating_bounds.cc.o.d"
+  "ablation_gating_bounds"
+  "ablation_gating_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gating_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

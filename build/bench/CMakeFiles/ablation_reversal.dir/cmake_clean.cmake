@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reversal.dir/ablation_reversal.cc.o"
+  "CMakeFiles/ablation_reversal.dir/ablation_reversal.cc.o.d"
+  "ablation_reversal"
+  "ablation_reversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_5_density_cic.dir/fig4_5_density_cic.cc.o"
+  "CMakeFiles/fig4_5_density_cic.dir/fig4_5_density_cic.cc.o.d"
+  "fig4_5_density_cic"
+  "fig4_5_density_cic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_5_density_cic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_7_density_tnt.dir/fig6_7_density_tnt.cc.o"
+  "CMakeFiles/fig6_7_density_tnt.dir/fig6_7_density_tnt.cc.o.d"
+  "fig6_7_density_tnt"
+  "fig6_7_density_tnt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_7_density_tnt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

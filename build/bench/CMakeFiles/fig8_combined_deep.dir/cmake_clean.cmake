@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_combined_deep.dir/fig8_combined_deep.cc.o"
+  "CMakeFiles/fig8_combined_deep.dir/fig8_combined_deep.cc.o.d"
+  "fig8_combined_deep"
+  "fig8_combined_deep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_combined_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_combined_wide.dir/fig9_combined_wide.cc.o"
+  "CMakeFiles/fig9_combined_wide.dir/fig9_combined_wide.cc.o.d"
+  "fig9_combined_wide"
+  "fig9_combined_wide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_combined_wide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

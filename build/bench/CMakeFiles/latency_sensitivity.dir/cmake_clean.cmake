@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_sensitivity.dir/latency_sensitivity.cc.o"
+  "CMakeFiles/latency_sensitivity.dir/latency_sensitivity.cc.o.d"
+  "latency_sensitivity"
+  "latency_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

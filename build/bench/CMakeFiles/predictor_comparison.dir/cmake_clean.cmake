@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_comparison.dir/predictor_comparison.cc.o"
+  "CMakeFiles/predictor_comparison.dir/predictor_comparison.cc.o.d"
+  "predictor_comparison"
+  "predictor_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

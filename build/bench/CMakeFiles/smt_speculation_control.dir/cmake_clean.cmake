@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_speculation_control.dir/smt_speculation_control.cc.o"
+  "CMakeFiles/smt_speculation_control.dir/smt_speculation_control.cc.o.d"
+  "smt_speculation_control"
+  "smt_speculation_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_speculation_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_speculation_waste.dir/table2_speculation_waste.cc.o"
+  "CMakeFiles/table2_speculation_waste.dir/table2_speculation_waste.cc.o.d"
+  "table2_speculation_waste"
+  "table2_speculation_waste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_speculation_waste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

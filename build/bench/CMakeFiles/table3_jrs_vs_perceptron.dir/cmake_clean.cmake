@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_jrs_vs_perceptron.dir/table3_jrs_vs_perceptron.cc.o"
+  "CMakeFiles/table3_jrs_vs_perceptron.dir/table3_jrs_vs_perceptron.cc.o.d"
+  "table3_jrs_vs_perceptron"
+  "table3_jrs_vs_perceptron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_jrs_vs_perceptron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

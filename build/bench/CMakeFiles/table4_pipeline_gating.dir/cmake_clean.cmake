@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_pipeline_gating.dir/table4_pipeline_gating.cc.o"
+  "CMakeFiles/table4_pipeline_gating.dir/table4_pipeline_gating.cc.o.d"
+  "table4_pipeline_gating"
+  "table4_pipeline_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pipeline_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

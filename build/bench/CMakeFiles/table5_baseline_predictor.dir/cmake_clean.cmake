@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_baseline_predictor.dir/table5_baseline_predictor.cc.o"
+  "CMakeFiles/table5_baseline_predictor.dir/table5_baseline_predictor.cc.o.d"
+  "table5_baseline_predictor"
+  "table5_baseline_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_baseline_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

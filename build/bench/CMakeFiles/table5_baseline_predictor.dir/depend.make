@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_baseline_predictor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_size_sensitivity.dir/table6_size_sensitivity.cc.o"
+  "CMakeFiles/table6_size_sensitivity.dir/table6_size_sensitivity.cc.o.d"
+  "table6_size_sensitivity"
+  "table6_size_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_size_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

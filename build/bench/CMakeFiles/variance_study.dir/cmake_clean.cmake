@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variance_study.dir/variance_study.cc.o"
+  "CMakeFiles/variance_study.dir/variance_study.cc.o.d"
+  "variance_study"
+  "variance_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variance_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_reversal_demo.dir/branch_reversal_demo.cpp.o"
+  "CMakeFiles/branch_reversal_demo.dir/branch_reversal_demo.cpp.o.d"
+  "branch_reversal_demo"
+  "branch_reversal_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_reversal_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

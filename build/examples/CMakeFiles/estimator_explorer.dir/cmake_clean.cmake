@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_explorer.dir/estimator_explorer.cpp.o"
+  "CMakeFiles/estimator_explorer.dir/estimator_explorer.cpp.o.d"
+  "estimator_explorer"
+  "estimator_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpred/agree.cc" "src/bpred/CMakeFiles/percon_bpred.dir/agree.cc.o" "gcc" "src/bpred/CMakeFiles/percon_bpred.dir/agree.cc.o.d"
+  "/root/repo/src/bpred/bimodal.cc" "src/bpred/CMakeFiles/percon_bpred.dir/bimodal.cc.o" "gcc" "src/bpred/CMakeFiles/percon_bpred.dir/bimodal.cc.o.d"
+  "/root/repo/src/bpred/btb.cc" "src/bpred/CMakeFiles/percon_bpred.dir/btb.cc.o" "gcc" "src/bpred/CMakeFiles/percon_bpred.dir/btb.cc.o.d"
+  "/root/repo/src/bpred/factory.cc" "src/bpred/CMakeFiles/percon_bpred.dir/factory.cc.o" "gcc" "src/bpred/CMakeFiles/percon_bpred.dir/factory.cc.o.d"
+  "/root/repo/src/bpred/gselect.cc" "src/bpred/CMakeFiles/percon_bpred.dir/gselect.cc.o" "gcc" "src/bpred/CMakeFiles/percon_bpred.dir/gselect.cc.o.d"
+  "/root/repo/src/bpred/gshare.cc" "src/bpred/CMakeFiles/percon_bpred.dir/gshare.cc.o" "gcc" "src/bpred/CMakeFiles/percon_bpred.dir/gshare.cc.o.d"
+  "/root/repo/src/bpred/hybrid.cc" "src/bpred/CMakeFiles/percon_bpred.dir/hybrid.cc.o" "gcc" "src/bpred/CMakeFiles/percon_bpred.dir/hybrid.cc.o.d"
+  "/root/repo/src/bpred/pas.cc" "src/bpred/CMakeFiles/percon_bpred.dir/pas.cc.o" "gcc" "src/bpred/CMakeFiles/percon_bpred.dir/pas.cc.o.d"
+  "/root/repo/src/bpred/perceptron_pred.cc" "src/bpred/CMakeFiles/percon_bpred.dir/perceptron_pred.cc.o" "gcc" "src/bpred/CMakeFiles/percon_bpred.dir/perceptron_pred.cc.o.d"
+  "/root/repo/src/bpred/tage.cc" "src/bpred/CMakeFiles/percon_bpred.dir/tage.cc.o" "gcc" "src/bpred/CMakeFiles/percon_bpred.dir/tage.cc.o.d"
+  "/root/repo/src/bpred/yags.cc" "src/bpred/CMakeFiles/percon_bpred.dir/yags.cc.o" "gcc" "src/bpred/CMakeFiles/percon_bpred.dir/yags.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/percon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

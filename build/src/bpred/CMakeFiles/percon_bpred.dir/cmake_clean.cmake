@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percon_bpred.dir/agree.cc.o"
+  "CMakeFiles/percon_bpred.dir/agree.cc.o.d"
+  "CMakeFiles/percon_bpred.dir/bimodal.cc.o"
+  "CMakeFiles/percon_bpred.dir/bimodal.cc.o.d"
+  "CMakeFiles/percon_bpred.dir/btb.cc.o"
+  "CMakeFiles/percon_bpred.dir/btb.cc.o.d"
+  "CMakeFiles/percon_bpred.dir/factory.cc.o"
+  "CMakeFiles/percon_bpred.dir/factory.cc.o.d"
+  "CMakeFiles/percon_bpred.dir/gselect.cc.o"
+  "CMakeFiles/percon_bpred.dir/gselect.cc.o.d"
+  "CMakeFiles/percon_bpred.dir/gshare.cc.o"
+  "CMakeFiles/percon_bpred.dir/gshare.cc.o.d"
+  "CMakeFiles/percon_bpred.dir/hybrid.cc.o"
+  "CMakeFiles/percon_bpred.dir/hybrid.cc.o.d"
+  "CMakeFiles/percon_bpred.dir/pas.cc.o"
+  "CMakeFiles/percon_bpred.dir/pas.cc.o.d"
+  "CMakeFiles/percon_bpred.dir/perceptron_pred.cc.o"
+  "CMakeFiles/percon_bpred.dir/perceptron_pred.cc.o.d"
+  "CMakeFiles/percon_bpred.dir/tage.cc.o"
+  "CMakeFiles/percon_bpred.dir/tage.cc.o.d"
+  "CMakeFiles/percon_bpred.dir/yags.cc.o"
+  "CMakeFiles/percon_bpred.dir/yags.cc.o.d"
+  "libpercon_bpred.a"
+  "libpercon_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percon_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

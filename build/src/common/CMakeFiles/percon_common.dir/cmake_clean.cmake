@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percon_common.dir/csv.cc.o"
+  "CMakeFiles/percon_common.dir/csv.cc.o.d"
+  "CMakeFiles/percon_common.dir/histogram.cc.o"
+  "CMakeFiles/percon_common.dir/histogram.cc.o.d"
+  "CMakeFiles/percon_common.dir/logging.cc.o"
+  "CMakeFiles/percon_common.dir/logging.cc.o.d"
+  "CMakeFiles/percon_common.dir/rng.cc.o"
+  "CMakeFiles/percon_common.dir/rng.cc.o.d"
+  "CMakeFiles/percon_common.dir/stats.cc.o"
+  "CMakeFiles/percon_common.dir/stats.cc.o.d"
+  "CMakeFiles/percon_common.dir/table.cc.o"
+  "CMakeFiles/percon_common.dir/table.cc.o.d"
+  "libpercon_common.a"
+  "libpercon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/confidence/composite.cc" "src/confidence/CMakeFiles/percon_confidence.dir/composite.cc.o" "gcc" "src/confidence/CMakeFiles/percon_confidence.dir/composite.cc.o.d"
+  "/root/repo/src/confidence/confidence_estimator.cc" "src/confidence/CMakeFiles/percon_confidence.dir/confidence_estimator.cc.o" "gcc" "src/confidence/CMakeFiles/percon_confidence.dir/confidence_estimator.cc.o.d"
+  "/root/repo/src/confidence/factory.cc" "src/confidence/CMakeFiles/percon_confidence.dir/factory.cc.o" "gcc" "src/confidence/CMakeFiles/percon_confidence.dir/factory.cc.o.d"
+  "/root/repo/src/confidence/jrs.cc" "src/confidence/CMakeFiles/percon_confidence.dir/jrs.cc.o" "gcc" "src/confidence/CMakeFiles/percon_confidence.dir/jrs.cc.o.d"
+  "/root/repo/src/confidence/ones_counting.cc" "src/confidence/CMakeFiles/percon_confidence.dir/ones_counting.cc.o" "gcc" "src/confidence/CMakeFiles/percon_confidence.dir/ones_counting.cc.o.d"
+  "/root/repo/src/confidence/perceptron_conf.cc" "src/confidence/CMakeFiles/percon_confidence.dir/perceptron_conf.cc.o" "gcc" "src/confidence/CMakeFiles/percon_confidence.dir/perceptron_conf.cc.o.d"
+  "/root/repo/src/confidence/perceptron_tnt.cc" "src/confidence/CMakeFiles/percon_confidence.dir/perceptron_tnt.cc.o" "gcc" "src/confidence/CMakeFiles/percon_confidence.dir/perceptron_tnt.cc.o.d"
+  "/root/repo/src/confidence/smith_conf.cc" "src/confidence/CMakeFiles/percon_confidence.dir/smith_conf.cc.o" "gcc" "src/confidence/CMakeFiles/percon_confidence.dir/smith_conf.cc.o.d"
+  "/root/repo/src/confidence/tyson_conf.cc" "src/confidence/CMakeFiles/percon_confidence.dir/tyson_conf.cc.o" "gcc" "src/confidence/CMakeFiles/percon_confidence.dir/tyson_conf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/percon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/percon_bpred.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

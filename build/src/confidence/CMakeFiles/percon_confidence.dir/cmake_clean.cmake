@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percon_confidence.dir/composite.cc.o"
+  "CMakeFiles/percon_confidence.dir/composite.cc.o.d"
+  "CMakeFiles/percon_confidence.dir/confidence_estimator.cc.o"
+  "CMakeFiles/percon_confidence.dir/confidence_estimator.cc.o.d"
+  "CMakeFiles/percon_confidence.dir/factory.cc.o"
+  "CMakeFiles/percon_confidence.dir/factory.cc.o.d"
+  "CMakeFiles/percon_confidence.dir/jrs.cc.o"
+  "CMakeFiles/percon_confidence.dir/jrs.cc.o.d"
+  "CMakeFiles/percon_confidence.dir/ones_counting.cc.o"
+  "CMakeFiles/percon_confidence.dir/ones_counting.cc.o.d"
+  "CMakeFiles/percon_confidence.dir/perceptron_conf.cc.o"
+  "CMakeFiles/percon_confidence.dir/perceptron_conf.cc.o.d"
+  "CMakeFiles/percon_confidence.dir/perceptron_tnt.cc.o"
+  "CMakeFiles/percon_confidence.dir/perceptron_tnt.cc.o.d"
+  "CMakeFiles/percon_confidence.dir/smith_conf.cc.o"
+  "CMakeFiles/percon_confidence.dir/smith_conf.cc.o.d"
+  "CMakeFiles/percon_confidence.dir/tyson_conf.cc.o"
+  "CMakeFiles/percon_confidence.dir/tyson_conf.cc.o.d"
+  "libpercon_confidence.a"
+  "libpercon_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percon_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percon_core.dir/confidence_system.cc.o"
+  "CMakeFiles/percon_core.dir/confidence_system.cc.o.d"
+  "CMakeFiles/percon_core.dir/front_end_sim.cc.o"
+  "CMakeFiles/percon_core.dir/front_end_sim.cc.o.d"
+  "CMakeFiles/percon_core.dir/timing_sim.cc.o"
+  "CMakeFiles/percon_core.dir/timing_sim.cc.o.d"
+  "libpercon_core.a"
+  "libpercon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

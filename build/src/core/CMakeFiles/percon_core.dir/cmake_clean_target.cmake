@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpercon_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percon_memory.dir/cache.cc.o"
+  "CMakeFiles/percon_memory.dir/cache.cc.o.d"
+  "CMakeFiles/percon_memory.dir/hierarchy.cc.o"
+  "CMakeFiles/percon_memory.dir/hierarchy.cc.o.d"
+  "CMakeFiles/percon_memory.dir/prefetcher.cc.o"
+  "CMakeFiles/percon_memory.dir/prefetcher.cc.o.d"
+  "libpercon_memory.a"
+  "libpercon_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percon_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/address_model.cc" "src/trace/CMakeFiles/percon_trace.dir/address_model.cc.o" "gcc" "src/trace/CMakeFiles/percon_trace.dir/address_model.cc.o.d"
+  "/root/repo/src/trace/benchmarks.cc" "src/trace/CMakeFiles/percon_trace.dir/benchmarks.cc.o" "gcc" "src/trace/CMakeFiles/percon_trace.dir/benchmarks.cc.o.d"
+  "/root/repo/src/trace/branch_model.cc" "src/trace/CMakeFiles/percon_trace.dir/branch_model.cc.o" "gcc" "src/trace/CMakeFiles/percon_trace.dir/branch_model.cc.o.d"
+  "/root/repo/src/trace/program_model.cc" "src/trace/CMakeFiles/percon_trace.dir/program_model.cc.o" "gcc" "src/trace/CMakeFiles/percon_trace.dir/program_model.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/percon_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/percon_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/uop.cc" "src/trace/CMakeFiles/percon_trace.dir/uop.cc.o" "gcc" "src/trace/CMakeFiles/percon_trace.dir/uop.cc.o.d"
+  "/root/repo/src/trace/wrongpath.cc" "src/trace/CMakeFiles/percon_trace.dir/wrongpath.cc.o" "gcc" "src/trace/CMakeFiles/percon_trace.dir/wrongpath.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/percon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percon_trace.dir/address_model.cc.o"
+  "CMakeFiles/percon_trace.dir/address_model.cc.o.d"
+  "CMakeFiles/percon_trace.dir/benchmarks.cc.o"
+  "CMakeFiles/percon_trace.dir/benchmarks.cc.o.d"
+  "CMakeFiles/percon_trace.dir/branch_model.cc.o"
+  "CMakeFiles/percon_trace.dir/branch_model.cc.o.d"
+  "CMakeFiles/percon_trace.dir/program_model.cc.o"
+  "CMakeFiles/percon_trace.dir/program_model.cc.o.d"
+  "CMakeFiles/percon_trace.dir/trace_io.cc.o"
+  "CMakeFiles/percon_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/percon_trace.dir/uop.cc.o"
+  "CMakeFiles/percon_trace.dir/uop.cc.o.d"
+  "CMakeFiles/percon_trace.dir/wrongpath.cc.o"
+  "CMakeFiles/percon_trace.dir/wrongpath.cc.o.d"
+  "libpercon_trace.a"
+  "libpercon_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percon_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percon_uarch.dir/core.cc.o"
+  "CMakeFiles/percon_uarch.dir/core.cc.o.d"
+  "CMakeFiles/percon_uarch.dir/energy.cc.o"
+  "CMakeFiles/percon_uarch.dir/energy.cc.o.d"
+  "CMakeFiles/percon_uarch.dir/exec_model.cc.o"
+  "CMakeFiles/percon_uarch.dir/exec_model.cc.o.d"
+  "CMakeFiles/percon_uarch.dir/smt_core.cc.o"
+  "CMakeFiles/percon_uarch.dir/smt_core.cc.o.d"
+  "libpercon_uarch.a"
+  "libpercon_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percon_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

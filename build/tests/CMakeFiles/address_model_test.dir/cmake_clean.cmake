@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/address_model_test.dir/trace/address_model_test.cc.o"
+  "CMakeFiles/address_model_test.dir/trace/address_model_test.cc.o.d"
+  "address_model_test"
+  "address_model_test.pdb"
+  "address_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/address_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

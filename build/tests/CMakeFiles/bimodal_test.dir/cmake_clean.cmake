@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bimodal_test.dir/bpred/bimodal_test.cc.o"
+  "CMakeFiles/bimodal_test.dir/bpred/bimodal_test.cc.o.d"
+  "bimodal_test"
+  "bimodal_test.pdb"
+  "bimodal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bimodal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

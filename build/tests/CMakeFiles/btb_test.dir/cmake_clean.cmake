@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btb_test.dir/bpred/btb_test.cc.o"
+  "CMakeFiles/btb_test.dir/bpred/btb_test.cc.o.d"
+  "btb_test"
+  "btb_test.pdb"
+  "btb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_golden_test.dir/memory/cache_golden_test.cc.o"
+  "CMakeFiles/cache_golden_test.dir/memory/cache_golden_test.cc.o.d"
+  "cache_golden_test"
+  "cache_golden_test.pdb"
+  "cache_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidence_factory_test.dir/confidence/factory_test.cc.o"
+  "CMakeFiles/confidence_factory_test.dir/confidence/factory_test.cc.o.d"
+  "confidence_factory_test"
+  "confidence_factory_test.pdb"
+  "confidence_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidence_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidence_system_test.dir/core/confidence_system_test.cc.o"
+  "CMakeFiles/confidence_system_test.dir/core/confidence_system_test.cc.o.d"
+  "confidence_system_test"
+  "confidence_system_test.pdb"
+  "confidence_system_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidence_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_features_test.dir/uarch/core_features_test.cc.o"
+  "CMakeFiles/core_features_test.dir/uarch/core_features_test.cc.o.d"
+  "core_features_test"
+  "core_features_test.pdb"
+  "core_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_model_test.dir/uarch/exec_model_test.cc.o"
+  "CMakeFiles/exec_model_test.dir/uarch/exec_model_test.cc.o.d"
+  "exec_model_test"
+  "exec_model_test.pdb"
+  "exec_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

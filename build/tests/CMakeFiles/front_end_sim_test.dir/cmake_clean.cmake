@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/front_end_sim_test.dir/core/front_end_sim_test.cc.o"
+  "CMakeFiles/front_end_sim_test.dir/core/front_end_sim_test.cc.o.d"
+  "front_end_sim_test"
+  "front_end_sim_test.pdb"
+  "front_end_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/front_end_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_core_test.dir/integration/fuzz_core_test.cc.o"
+  "CMakeFiles/fuzz_core_test.dir/integration/fuzz_core_test.cc.o.d"
+  "fuzz_core_test"
+  "fuzz_core_test.pdb"
+  "fuzz_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gshare_test.dir/bpred/gshare_test.cc.o"
+  "CMakeFiles/gshare_test.dir/bpred/gshare_test.cc.o.d"
+  "gshare_test"
+  "gshare_test.pdb"
+  "gshare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gshare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

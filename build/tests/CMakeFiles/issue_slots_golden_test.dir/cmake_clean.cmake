@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issue_slots_golden_test.dir/uarch/issue_slots_golden_test.cc.o"
+  "CMakeFiles/issue_slots_golden_test.dir/uarch/issue_slots_golden_test.cc.o.d"
+  "issue_slots_golden_test"
+  "issue_slots_golden_test.pdb"
+  "issue_slots_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issue_slots_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/confidence/jrs_test.cc" "tests/CMakeFiles/jrs_test.dir/confidence/jrs_test.cc.o" "gcc" "tests/CMakeFiles/jrs_test.dir/confidence/jrs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/percon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/percon_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/confidence/CMakeFiles/percon_confidence.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/percon_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/percon_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/percon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/percon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

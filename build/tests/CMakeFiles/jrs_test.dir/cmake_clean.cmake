@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jrs_test.dir/confidence/jrs_test.cc.o"
+  "CMakeFiles/jrs_test.dir/confidence/jrs_test.cc.o.d"
+  "jrs_test"
+  "jrs_test.pdb"
+  "jrs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jrs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

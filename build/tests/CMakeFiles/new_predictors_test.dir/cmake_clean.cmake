@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/new_predictors_test.dir/bpred/new_predictors_test.cc.o"
+  "CMakeFiles/new_predictors_test.dir/bpred/new_predictors_test.cc.o.d"
+  "new_predictors_test"
+  "new_predictors_test.pdb"
+  "new_predictors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/new_predictors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

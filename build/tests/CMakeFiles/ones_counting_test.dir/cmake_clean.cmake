@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ones_counting_test.dir/confidence/ones_counting_test.cc.o"
+  "CMakeFiles/ones_counting_test.dir/confidence/ones_counting_test.cc.o.d"
+  "ones_counting_test"
+  "ones_counting_test.pdb"
+  "ones_counting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ones_counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pas_test.dir/bpred/pas_test.cc.o"
+  "CMakeFiles/pas_test.dir/bpred/pas_test.cc.o.d"
+  "pas_test"
+  "pas_test.pdb"
+  "pas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceptron_conf_test.dir/confidence/perceptron_conf_test.cc.o"
+  "CMakeFiles/perceptron_conf_test.dir/confidence/perceptron_conf_test.cc.o.d"
+  "perceptron_conf_test"
+  "perceptron_conf_test.pdb"
+  "perceptron_conf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceptron_conf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for perceptron_conf_test.
+# This may be replaced when dependencies are built.

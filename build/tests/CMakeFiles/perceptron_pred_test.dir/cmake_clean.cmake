@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceptron_pred_test.dir/bpred/perceptron_pred_test.cc.o"
+  "CMakeFiles/perceptron_pred_test.dir/bpred/perceptron_pred_test.cc.o.d"
+  "perceptron_pred_test"
+  "perceptron_pred_test.pdb"
+  "perceptron_pred_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceptron_pred_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

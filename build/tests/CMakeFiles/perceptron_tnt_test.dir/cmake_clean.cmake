@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perceptron_tnt_test.dir/confidence/perceptron_tnt_test.cc.o"
+  "CMakeFiles/perceptron_tnt_test.dir/confidence/perceptron_tnt_test.cc.o.d"
+  "perceptron_tnt_test"
+  "perceptron_tnt_test.pdb"
+  "perceptron_tnt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perceptron_tnt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

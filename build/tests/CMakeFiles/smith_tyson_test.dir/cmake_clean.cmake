@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smith_tyson_test.dir/confidence/smith_tyson_test.cc.o"
+  "CMakeFiles/smith_tyson_test.dir/confidence/smith_tyson_test.cc.o.d"
+  "smith_tyson_test"
+  "smith_tyson_test.pdb"
+  "smith_tyson_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smith_tyson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

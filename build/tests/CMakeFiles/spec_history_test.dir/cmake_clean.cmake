@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_history_test.dir/bpred/spec_history_test.cc.o"
+  "CMakeFiles/spec_history_test.dir/bpred/spec_history_test.cc.o.d"
+  "spec_history_test"
+  "spec_history_test.pdb"
+  "spec_history_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

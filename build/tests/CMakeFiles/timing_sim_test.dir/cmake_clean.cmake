@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timing_sim_test.dir/core/timing_sim_test.cc.o"
+  "CMakeFiles/timing_sim_test.dir/core/timing_sim_test.cc.o.d"
+  "timing_sim_test"
+  "timing_sim_test.pdb"
+  "timing_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timing_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wrongpath_test.dir/trace/wrongpath_test.cc.o"
+  "CMakeFiles/wrongpath_test.dir/trace/wrongpath_test.cc.o.d"
+  "wrongpath_test"
+  "wrongpath_test.pdb"
+  "wrongpath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wrongpath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/percon_sim.dir/percon_sim.cc.o"
+  "CMakeFiles/percon_sim.dir/percon_sim.cc.o.d"
+  "percon_sim"
+  "percon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/percon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
