@@ -33,7 +33,7 @@ sweep(BaselineCache &cache, const EstimatorFactory &factory,
     Result r;
     for (const auto &spec : allBenchmarks()) {
         const CoreStats &base =
-            cache.get(spec, cfg, "bimodal-gshare", "40x4");
+            cache.get(spec, cfg, "bimodal-gshare", "40x4", timingConfig());
         SpeculationControl sc;
         sc.gateThreshold = gate_threshold;
         sc.reversalEnabled = reversal;

@@ -1,68 +1,80 @@
 /**
  * @file
  * Shared plumbing for the paper-reproduction benches: run-length
- * control, cached baseline runs, and table headers.
+ * control, cached baseline runs, job-count selection and table
+ * headers.
  *
  * Every bench accepts the PERCON_UOPS environment variable to scale
  * the measured uops per run (default 1M for timing benches). The
  * paper used 2 x 30M-instruction traces per benchmark; the defaults
  * here finish each table in minutes while preserving the shapes.
+ *
+ * Benches whose grids run through SweepRunner accept `--jobs N` (or
+ * the PERCON_JOBS environment variable) to parallelize; results are
+ * bit-identical at any job count.
  */
 
 #ifndef PERCON_BENCH_BENCH_UTIL_HH
 #define PERCON_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
-#include <map>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "bpred/factory.hh"
+#include "common/env.hh"
 #include "core/timing_sim.hh"
+#include "driver/baseline_cache.hh"
 #include "trace/benchmarks.hh"
 
 namespace percon {
 namespace bench {
 
-/** Timing run lengths, scaled by PERCON_UOPS when set. */
+/** Timing run lengths, scaled by PERCON_UOPS when set. Malformed or
+ *  too-small values are rejected with a warning (see common/env). */
 inline TimingConfig
 timingConfig()
 {
     TimingConfig t;
     t.warmupUops = 200'000;
     t.measureUops = 600'000;
-    if (const char *env = std::getenv("PERCON_UOPS")) {
-        long long v = std::atoll(env);
-        if (v >= 10'000) {
-            t.measureUops = static_cast<Count>(v);
-            t.warmupUops = static_cast<Count>(v) / 3;
-        }
+    if (auto v = envInt64AtLeast("PERCON_UOPS", 10'000)) {
+        t.measureUops = static_cast<Count>(*v);
+        t.warmupUops = static_cast<Count>(*v) / 3;
     }
     return t;
 }
 
-/** Caches ungated baseline runs keyed by (benchmark, machine id). */
-class BaselineCache
+/**
+ * Worker count for SweepRunner benches: `--jobs N` on the command
+ * line (consumed from argv so positional arguments keep working),
+ * else PERCON_JOBS, else 1 — serial by default so canonical bench
+ * outputs stay reproducible on any machine.
+ */
+inline unsigned
+parseJobs(int &argc, char **argv)
 {
-  public:
-    const CoreStats &
-    get(const BenchmarkSpec &spec, const PipelineConfig &config,
-        const std::string &predictor, const std::string &machine_id)
-    {
-        std::string key = spec.program.name + "/" + predictor + "/" +
-                          machine_id;
-        auto it = cache_.find(key);
-        if (it != cache_.end())
-            return it->second;
-        SpeculationControl none;
-        CoreStats stats = runTiming(spec, config, predictor, nullptr,
-                                    none, timingConfig())
-                              .stats;
-        return cache_.emplace(key, stats).first->second;
+    long long jobs = envInt64AtLeast("PERCON_JOBS", 1).value_or(1);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") != 0)
+            continue;
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "warn: ignoring trailing --jobs "
+                                 "(missing value)\n");
+            argc -= 1;
+            break;
+        }
+        jobs = std::atoi(argv[i + 1]);
+        if (jobs < 1)
+            jobs = 1;
+        for (int j = i; j + 2 <= argc; ++j)
+            argv[j] = argv[j + 2];
+        argc -= 2;
+        break;
     }
-
-  private:
-    std::map<std::string, CoreStats> cache_;
-};
+    return static_cast<unsigned>(jobs);
+}
 
 /** Print a bench banner with provenance. */
 inline void

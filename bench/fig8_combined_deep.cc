@@ -10,13 +10,20 @@
  * reversal-worthy region sits a little higher (see fig4_5 bench), so
  * the default reverse threshold here is 50; pass thresholds as
  * arguments to override: fig8_combined_deep [gate_lambda rev_lambda].
+ *
+ * The per-benchmark grid runs through SweepRunner: pass `--jobs N`
+ * (or set PERCON_JOBS) to parallelize; results are bit-identical at
+ * any job count.
  */
 
 #include <cstdlib>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "confidence/perceptron_conf.hh"
+#include "driver/jsonl.hh"
+#include "driver/sweep_runner.hh"
 
 using namespace percon;
 using namespace percon::bench;
@@ -24,6 +31,7 @@ using namespace percon::bench;
 int
 main(int argc, char **argv)
 {
+    unsigned jobs = parseJobs(argc, argv);
     banner("Figure 8: combined reversal + gating, 40-cycle pipeline",
            "Akkary et al., HPCA 2004, Figure 8");
 
@@ -33,31 +41,55 @@ main(int argc, char **argv)
                 "PL2\n\n",
                 gate_lambda, rev_lambda, rev_lambda);
 
-    PipelineConfig cfg = PipelineConfig::deep40x4();
     TimingConfig t = timingConfig();
-    BaselineCache cache;
+    SweepRunner runner(jobs);
+    const auto &benches = allBenchmarks();
+
+    // Baseline and policy runs per benchmark, all independent points.
+    std::vector<SweepPoint> points;
+    for (const auto &spec : benches) {
+        RunKey key;
+        key.benchmark = spec.program.name;
+        key.machine = "deep40x4";
+        key.predictor = "bimodal-gshare";
+        points.push_back(timingPoint(std::move(key),
+                                     PipelineConfig::deep40x4(),
+                                     nullptr, SpeculationControl{}, t));
+    }
+    for (const auto &spec : benches) {
+        RunKey key;
+        key.benchmark = spec.program.name;
+        key.machine = "deep40x4";
+        key.predictor = "bimodal-gshare";
+        key.estimator = "perceptron-cic";
+        key.set("lambda", std::to_string(gate_lambda));
+        key.set("reverse", std::to_string(rev_lambda));
+        key.set("gate", "2");
+        SpeculationControl sc;
+        sc.gateThreshold = 2;
+        sc.reversalEnabled = true;
+        points.push_back(timingPoint(
+            std::move(key), PipelineConfig::deep40x4(),
+            [gate_lambda, rev_lambda] {
+                PerceptronConfParams p;
+                p.lambda = gate_lambda;
+                p.reverseLambda = rev_lambda;
+                return std::make_unique<PerceptronConfidence>(p);
+            },
+            sc, t));
+    }
+
+    std::vector<RunRecord> recs = runner.run(points);
+    if (auto jsonl = JsonlWriter::fromEnv("fig8_combined_deep"))
+        jsonl->writeAll(recs);
 
     AsciiTable table({"benchmark", "speedup %", "uop reduction %",
                       "reversals", "rev good %"});
     double speedup_sum = 0, reduction_sum = 0;
 
-    for (const auto &spec : allBenchmarks()) {
-        const CoreStats &base =
-            cache.get(spec, cfg, "bimodal-gshare", "40x4");
-        SpeculationControl sc;
-        sc.gateThreshold = 2;
-        sc.reversalEnabled = true;
-        CoreStats pol =
-            runTiming(spec, cfg, "bimodal-gshare",
-                      [&] {
-                          PerceptronConfParams p;
-                          p.lambda = gate_lambda;
-                          p.reverseLambda = rev_lambda;
-                          return std::make_unique<PerceptronConfidence>(
-                              p);
-                      },
-                      sc, t)
-                .stats;
+    for (std::size_t b = 0; b < benches.size(); ++b) {
+        const CoreStats &base = recs[b].stats;
+        const CoreStats &pol = recs[benches.size() + b].stats;
         GatingMetrics m = gatingMetrics(base, pol);
         double speedup = -m.perfLossPct;
         speedup_sum += speedup;
@@ -67,12 +99,12 @@ main(int argc, char **argv)
                 ? 100.0 * static_cast<double>(pol.reversalsGood) /
                       static_cast<double>(pol.reversals)
                 : 0.0;
-        table.addRow({spec.program.name, fmtFixed(speedup, 1),
+        table.addRow({benches[b].program.name, fmtFixed(speedup, 1),
                       fmtFixed(m.uopReductionPct, 1),
                       std::to_string(pol.reversals),
                       fmtFixed(rev_good, 0)});
     }
-    double n = static_cast<double>(allBenchmarks().size());
+    double n = static_cast<double>(benches.size());
     table.addSeparator();
     table.addRow({"average", fmtFixed(speedup_sum / n, 1),
                   fmtFixed(reduction_sum / n, 1), "-", "-"});

@@ -33,7 +33,7 @@ main(int argc, char **argv)
 
     for (const auto &spec : allBenchmarks()) {
         const CoreStats &base =
-            cache.get(spec, cfg, "bimodal-gshare", "20x8");
+            cache.get(spec, cfg, "bimodal-gshare", "20x8", timingConfig());
         SpeculationControl sc;
         sc.gateThreshold = 2;
         sc.reversalEnabled = true;

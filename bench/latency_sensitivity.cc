@@ -29,7 +29,7 @@ main()
         GatingMetrics sum;
         for (const auto &spec : allBenchmarks()) {
             const CoreStats &base =
-                cache.get(spec, cfg, "bimodal-gshare", "40x4");
+                cache.get(spec, cfg, "bimodal-gshare", "40x4", timingConfig());
             SpeculationControl sc;
             sc.gateThreshold = 1;
             sc.confidenceLatency = latency;

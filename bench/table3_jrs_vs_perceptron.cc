@@ -4,13 +4,22 @@
  * the enhanced JRS estimator (lambda = 3, 7, 11, 15) vs the
  * perceptron estimator (lambda = 25, 0, -25, -50), both at 4KB of
  * table storage, under the baseline bimodal-gshare predictor.
+ *
+ * The (estimator x benchmark) grid runs through SweepRunner: pass
+ * `--jobs N` (or set PERCON_JOBS) to parallelize; results are
+ * bit-identical at any job count.
  */
+
+#include <functional>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "confidence/jrs.hh"
 #include "confidence/perceptron_conf.hh"
 #include "core/front_end_sim.hh"
+#include "driver/jsonl.hh"
+#include "driver/sweep_runner.hh"
 
 using namespace percon;
 using namespace percon::bench;
@@ -23,76 +32,116 @@ frontConfig()
     FrontEndConfig cfg;
     cfg.warmupBranches = 100'000;
     cfg.measureBranches = 400'000;
-    if (const char *env = std::getenv("PERCON_UOPS")) {
-        long long v = std::atoll(env);
-        if (v >= 10'000) {
-            cfg.measureBranches = static_cast<Count>(v) / 7;
-            cfg.warmupBranches = cfg.measureBranches / 4;
-        }
+    if (auto v = envInt64AtLeast("PERCON_UOPS", 10'000)) {
+        cfg.measureBranches = static_cast<Count>(*v) / 7;
+        cfg.warmupBranches = cfg.measureBranches / 4;
     }
     return cfg;
 }
 
-template <typename MakeEstimator>
-ConfidenceMatrix
-sweepAll(MakeEstimator make)
+using MakeEstimator =
+    std::function<std::unique_ptr<ConfidenceEstimator>()>;
+
+/** Front-end classification point: only stats.confidence is filled. */
+SweepPoint
+frontEndPoint(const std::string &estimator, int lambda,
+              const std::string &benchmark, const MakeEstimator &make)
 {
-    ConfidenceMatrix all;
-    for (const auto &spec : allBenchmarks()) {
-        ProgramModel program(spec.program);
-        auto predictor = makePredictor("bimodal-gshare");
-        auto est = make();
-        all.merge(
-            runFrontEnd(program, *predictor, est.get(), frontConfig())
-                .matrix);
-    }
-    return all;
+    FrontEndConfig fcfg = frontConfig();
+    RunKey key;
+    key.benchmark = benchmark;
+    key.machine = "front-end";
+    key.predictor = "bimodal-gshare";
+    key.estimator = estimator;
+    key.set("lambda", std::to_string(lambda));
+    key.set("branches", std::to_string(fcfg.measureBranches));
+    return makePoint(std::move(key),
+                     [make, fcfg](const RunKey &k, std::uint64_t) {
+                         ProgramModel program(
+                             benchmarkSpec(k.benchmark).program);
+                         auto predictor = makePredictor(k.predictor);
+                         auto est = make();
+                         CoreStats s;
+                         s.confidence =
+                             runFrontEnd(program, *predictor, est.get(),
+                                         fcfg)
+                                 .matrix;
+                         return s;
+                     });
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = parseJobs(argc, argv);
     banner("Table 3: enhanced JRS vs perceptron confidence metrics",
            "Akkary et al., HPCA 2004, Table 3");
 
-    AsciiTable table(
-        {"estimator", "lambda", "PVN %", "Spec %",
-         "PVN % (paper)", "Spec % (paper)"});
-
+    struct Config
+    {
+        const char *name;
+        int lambda;
+        int paperPvn;
+        int paperSpec;
+        MakeEstimator make;
+    };
+    std::vector<Config> configs;
     const int jrs_lambdas[] = {3, 7, 11, 15};
     const int jrs_paper_pvn[] = {36, 28, 24, 22};
     const int jrs_paper_spec[] = {85, 92, 94, 96};
     for (int i = 0; i < 4; ++i) {
         unsigned lambda = static_cast<unsigned>(jrs_lambdas[i]);
-        ConfidenceMatrix m = sweepAll([lambda] {
-            return std::make_unique<JrsEstimator>(8 * 1024, 4, lambda,
-                                                  true);
-        });
-        table.addRow({"enhanced JRS", std::to_string(lambda),
-                      fmtFixed(100 * m.pvn(), 0),
-                      fmtFixed(100 * m.spec(), 0),
-                      std::to_string(jrs_paper_pvn[i]),
-                      std::to_string(jrs_paper_spec[i])});
+        configs.push_back({"enhanced JRS", jrs_lambdas[i],
+                           jrs_paper_pvn[i], jrs_paper_spec[i],
+                           [lambda] {
+                               return std::make_unique<JrsEstimator>(
+                                   8 * 1024, 4, lambda, true);
+                           }});
     }
-    table.addSeparator();
-
     const int perc_lambdas[] = {25, 0, -25, -50};
     const int perc_paper_pvn[] = {77, 74, 69, 61};
     const int perc_paper_spec[] = {34, 43, 54, 66};
     for (int i = 0; i < 4; ++i) {
         int lambda = perc_lambdas[i];
-        ConfidenceMatrix m = sweepAll([lambda] {
-            PerceptronConfParams p;
-            p.lambda = lambda;
-            return std::make_unique<PerceptronConfidence>(p);
-        });
-        table.addRow({"perceptron", std::to_string(lambda),
-                      fmtFixed(100 * m.pvn(), 0),
-                      fmtFixed(100 * m.spec(), 0),
-                      std::to_string(perc_paper_pvn[i]),
-                      std::to_string(perc_paper_spec[i])});
+        configs.push_back({"perceptron", lambda, perc_paper_pvn[i],
+                           perc_paper_spec[i], [lambda] {
+                               PerceptronConfParams p;
+                               p.lambda = lambda;
+                               return std::make_unique<
+                                   PerceptronConfidence>(p);
+                           }});
+    }
+
+    const auto &benches = allBenchmarks();
+    std::vector<SweepPoint> points;
+    for (const auto &cfg : configs)
+        for (const auto &spec : benches)
+            points.push_back(frontEndPoint(cfg.name, cfg.lambda,
+                                           spec.program.name,
+                                           cfg.make));
+
+    SweepRunner runner(jobs);
+    std::vector<RunRecord> recs = runner.run(points);
+    if (auto jsonl = JsonlWriter::fromEnv("table3_jrs_vs_perceptron"))
+        jsonl->writeAll(recs);
+
+    AsciiTable table(
+        {"estimator", "lambda", "PVN %", "Spec %",
+         "PVN % (paper)", "Spec % (paper)"});
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        if (c == 4)
+            table.addSeparator();
+        ConfidenceMatrix all;
+        for (std::size_t b = 0; b < benches.size(); ++b)
+            all.merge(recs[c * benches.size() + b].stats.confidence);
+        table.addRow({configs[c].name,
+                      std::to_string(configs[c].lambda),
+                      fmtFixed(100 * all.pvn(), 0),
+                      fmtFixed(100 * all.spec(), 0),
+                      std::to_string(configs[c].paperPvn),
+                      std::to_string(configs[c].paperSpec)});
     }
 
     std::fputs(table.render().c_str(), stdout);

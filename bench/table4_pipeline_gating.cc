@@ -5,64 +5,158 @@
  * machine — enhanced JRS at branch-counter thresholds PL1/PL2/PL3
  * and lambda in {3,7,11,15}, vs the perceptron estimator at PL1 and
  * lambda in {25,0,-25,-50}.
+ *
+ * The (policy x benchmark) grid runs through SweepRunner: pass
+ * `--jobs N` (or set PERCON_JOBS) to parallelize. Results are
+ * bit-identical at any job count; set PERCON_CSV_DIR/PERCON_JSONL_DIR
+ * for machine-readable output.
  */
 
+#include <map>
+#include <vector>
+
 #include "bench_util.hh"
+#include "common/csv.hh"
 #include "common/table.hh"
 #include "confidence/jrs.hh"
 #include "confidence/perceptron_conf.hh"
+#include "driver/jsonl.hh"
+#include "driver/sweep_runner.hh"
 
 using namespace percon;
 using namespace percon::bench;
 
 namespace {
 
-GatingMetrics
-sweepPolicy(BaselineCache &cache, const EstimatorFactory &factory,
-            unsigned gate_threshold)
+constexpr const char *kMachine = "deep40x4";
+constexpr const char *kPredictor = "bimodal-gshare";
+
+/** One table row: an estimator config swept over all benchmarks. */
+struct PolicyConfig
 {
-    PipelineConfig cfg = PipelineConfig::deep40x4();
-    TimingConfig t = timingConfig();
-    GatingMetrics sum;
-    for (const auto &spec : allBenchmarks()) {
-        const CoreStats &base =
-            cache.get(spec, cfg, "bimodal-gshare", "40x4");
-        SpeculationControl sc;
-        sc.gateThreshold = gate_threshold;
-        CoreStats pol = runTiming(spec, cfg, "bimodal-gshare", factory,
-                                  sc, t)
-                            .stats;
-        GatingMetrics m = gatingMetrics(base, pol);
-        sum.uopReductionPct += m.uopReductionPct;
-        sum.perfLossPct += m.perfLossPct;
-    }
-    double n = static_cast<double>(allBenchmarks().size());
-    sum.uopReductionPct /= n;
-    sum.perfLossPct /= n;
-    return sum;
+    std::string estimator;
+    int lambda;
+    unsigned gate;
+    EstimatorFactory factory;
+};
+
+SweepPoint
+policyPoint(const PolicyConfig &cfg, const std::string &benchmark,
+            const TimingConfig &t)
+{
+    RunKey key;
+    key.benchmark = benchmark;
+    key.machine = kMachine;
+    key.predictor = kPredictor;
+    key.estimator = cfg.estimator;
+    key.set("lambda", std::to_string(cfg.lambda));
+    key.set("gate", std::to_string(cfg.gate));
+    SpeculationControl sc;
+    sc.gateThreshold = cfg.gate;
+    return timingPoint(std::move(key), PipelineConfig::deep40x4(),
+                       cfg.factory, sc, t);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned jobs = parseJobs(argc, argv);
     banner("Table 4: pipeline gating, enhanced JRS vs perceptron "
            "(40-cycle pipeline)",
            "Akkary et al., HPCA 2004, Table 4");
 
-    BaselineCache cache;
+    SweepRunner runner(jobs);
+    TimingConfig t = timingConfig();
+    const auto &benches = allBenchmarks();
 
+    // Phase 1: one ungated baseline per benchmark.
+    std::vector<SweepPoint> base_points;
+    for (const auto &spec : benches) {
+        RunKey key;
+        key.benchmark = spec.program.name;
+        key.machine = kMachine;
+        key.predictor = kPredictor;
+        base_points.push_back(timingPoint(std::move(key),
+                                          PipelineConfig::deep40x4(),
+                                          nullptr, SpeculationControl{},
+                                          t));
+    }
+    std::vector<RunRecord> base_recs = runner.run(base_points);
+    std::map<std::string, const CoreStats *> baselines;
+    for (const auto &rec : base_recs)
+        baselines[rec.key.benchmark] = &rec.stats;
+
+    // Phase 2: the full policy grid, one point per (config, bench).
+    std::vector<PolicyConfig> configs;
+    for (unsigned lambda : {3u, 7u, 11u, 15u}) {
+        for (unsigned pl : {1u, 2u, 3u}) {
+            configs.push_back({"jrs", static_cast<int>(lambda), pl,
+                               [lambda] {
+                                   return std::make_unique<JrsEstimator>(
+                                       8 * 1024, 4, lambda, true);
+                               }});
+        }
+    }
+    for (int lambda : {25, 0, -25, -50}) {
+        configs.push_back({"perceptron-cic", lambda, 1, [lambda] {
+                               PerceptronConfParams p;
+                               p.lambda = lambda;
+                               return std::make_unique<
+                                   PerceptronConfidence>(p);
+                           }});
+    }
+
+    std::vector<SweepPoint> points;
+    for (const auto &cfg : configs)
+        for (const auto &spec : benches)
+            points.push_back(policyPoint(cfg, spec.program.name, t));
+    std::vector<RunRecord> recs = runner.run(points);
+
+    if (auto jsonl = JsonlWriter::fromEnv("table4_pipeline_gating")) {
+        jsonl->writeAll(base_recs);
+        jsonl->writeAll(recs);
+    }
+
+    // Aggregate: benchmark-mean U/P per config, in grid order.
+    std::vector<GatingMetrics> means(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        GatingMetrics sum;
+        for (std::size_t b = 0; b < benches.size(); ++b) {
+            const RunRecord &rec = recs[c * benches.size() + b];
+            GatingMetrics m =
+                gatingMetrics(*baselines.at(rec.key.benchmark),
+                              rec.stats);
+            sum.uopReductionPct += m.uopReductionPct;
+            sum.perfLossPct += m.perfLossPct;
+        }
+        double n = static_cast<double>(benches.size());
+        means[c] = {sum.uopReductionPct / n, sum.perfLossPct / n};
+    }
+
+    auto csv = CsvWriter::fromEnv(
+        "table4_pipeline_gating",
+        {"estimator", "lambda", "gate", "uop_reduction_pct",
+         "perf_loss_pct"});
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        if (csv)
+            csv->addRow({configs[c].estimator,
+                         std::to_string(configs[c].lambda),
+                         std::to_string(configs[c].gate),
+                         fmtFixed(means[c].uopReductionPct, 3),
+                         fmtFixed(means[c].perfLossPct, 3)});
+    }
+
+    // JRS table: rows are lambdas, columns PL1..PL3 (grid order:
+    // configs[0..11] are (lambda x pl) row-major).
     AsciiTable jrs_table({"lambda", "PL1 U%", "PL1 P%", "PL2 U%",
                           "PL2 P%", "PL3 U%", "PL3 P%"});
-    for (unsigned lambda : {3u, 7u, 11u, 15u}) {
-        auto factory = [lambda] {
-            return std::make_unique<JrsEstimator>(8 * 1024, 4, lambda,
-                                                  true);
-        };
-        std::vector<std::string> row{std::to_string(lambda)};
-        for (unsigned pl : {1u, 2u, 3u}) {
-            GatingMetrics m = sweepPolicy(cache, factory, pl);
+    const unsigned jrs_lambdas[] = {3, 7, 11, 15};
+    for (std::size_t li = 0; li < 4; ++li) {
+        std::vector<std::string> row{std::to_string(jrs_lambdas[li])};
+        for (std::size_t pi = 0; pi < 3; ++pi) {
+            const GatingMetrics &m = means[li * 3 + pi];
             row.push_back(fmtFixed(m.uopReductionPct, 0));
             row.push_back(fmtFixed(m.perfLossPct, 0));
         }
@@ -77,15 +171,9 @@ main()
     const int lambdas[] = {25, 0, -25, -50};
     const int paper_u[] = {8, 11, 14, 18};
     const int paper_p[] = {0, 1, 2, 3};
-    for (int i = 0; i < 4; ++i) {
-        int lambda = lambdas[i];
-        auto factory = [lambda] {
-            PerceptronConfParams p;
-            p.lambda = lambda;
-            return std::make_unique<PerceptronConfidence>(p);
-        };
-        GatingMetrics m = sweepPolicy(cache, factory, 1);
-        perc_table.addRow({std::to_string(lambda),
+    for (std::size_t i = 0; i < 4; ++i) {
+        const GatingMetrics &m = means[12 + i];
+        perc_table.addRow({std::to_string(lambdas[i]),
                            fmtFixed(m.uopReductionPct, 0),
                            fmtFixed(m.perfLossPct, 0),
                            std::to_string(paper_u[i]),

@@ -33,7 +33,7 @@ runPoint(BaselineCache &cache, const std::string &predictor,
     double mpk = 0.0;
     for (const auto &spec : allBenchmarks()) {
         const CoreStats &base =
-            cache.get(spec, cfg, predictor, "40x4");
+            cache.get(spec, cfg, predictor, "40x4", timingConfig());
         SpeculationControl sc;
         sc.gateThreshold = 1;
         CoreStats pol = runTiming(

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Strict verification gate: configure a fresh build directory with
+# -Werror and a sanitizer preset, build everything, and run ctest.
+# This is the entry point a CI workflow calls.
+#
+#   scripts/check.sh [asan|tsan|none]
+#
+# Presets:
+#   asan  (default)  AddressSanitizer + UndefinedBehaviorSanitizer
+#   tsan             ThreadSanitizer (for the sweep driver)
+#   none             -Werror only, no sanitizer
+#
+# The build directory is build-check-<preset>; override with
+# BUILD_DIR. Extra ctest arguments can be passed via CTEST_ARGS.
+set -eu
+cd "$(dirname "$0")/.."
+
+PRESET="${1:-asan}"
+case "$PRESET" in
+  asan)
+    SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+    ;;
+  tsan)
+    SAN_FLAGS="-fsanitize=thread"
+    ;;
+  none)
+    SAN_FLAGS=""
+    ;;
+  *)
+    echo "usage: scripts/check.sh [asan|tsan|none]" >&2
+    exit 1
+    ;;
+esac
+
+BUILD="${BUILD_DIR:-build-check-$PRESET}"
+
+cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-Werror $SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+cmake --build "$BUILD" -j "$(nproc)"
+# Death tests fork under sanitizers; keep them enabled but quiet leak
+# checking noise from intentionally-aborted children.
+ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+    ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+    ${CTEST_ARGS:-}
+echo "check.sh: $PRESET preset passed"

@@ -1,0 +1,45 @@
+#include "env.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+std::optional<long long>
+envInt64(const char *name)
+{
+    const char *value = std::getenv(name);
+    if (!value)
+        return std::nullopt;
+    if (*value == '\0') {
+        warn("ignoring empty %s", name);
+        return std::nullopt;
+    }
+    errno = 0;
+    char *end = nullptr;
+    long long parsed = std::strtoll(value, &end, 10);
+    if (errno == ERANGE) {
+        warn("ignoring %s=%s (out of range)", name, value);
+        return std::nullopt;
+    }
+    if (end == value || *end != '\0') {
+        warn("ignoring %s=%s (not an integer)", name, value);
+        return std::nullopt;
+    }
+    return parsed;
+}
+
+std::optional<long long>
+envInt64AtLeast(const char *name, long long minimum)
+{
+    std::optional<long long> v = envInt64(name);
+    if (v && *v < minimum) {
+        warn("ignoring %s=%lld (minimum %lld)", name, *v, minimum);
+        return std::nullopt;
+    }
+    return v;
+}
+
+} // namespace percon

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Strict environment-variable parsing.
+ *
+ * std::atoll-style parsing silently turns garbage into 0 and accepts
+ * trailing junk ("50000abc" -> 50000), so a typo in PERCON_UOPS could
+ * silently shrink a run by 60x. These helpers parse with strtoll,
+ * reject partial parses, and warn() when a set variable is discarded,
+ * so every override either applies exactly or is loudly ignored.
+ */
+
+#ifndef PERCON_COMMON_ENV_HH
+#define PERCON_COMMON_ENV_HH
+
+#include <optional>
+
+namespace percon {
+
+/**
+ * Read an integer environment variable.
+ *
+ * @return the parsed value, or std::nullopt when the variable is
+ *         unset, empty, or not a complete decimal integer (the
+ *         latter two warn to stderr).
+ */
+std::optional<long long> envInt64(const char *name);
+
+/**
+ * Read an integer environment variable with a minimum bound.
+ * Values below @p minimum are discarded with a warning, like
+ * malformed ones.
+ */
+std::optional<long long> envInt64AtLeast(const char *name,
+                                         long long minimum);
+
+} // namespace percon
+
+#endif // PERCON_COMMON_ENV_HH

@@ -42,10 +42,10 @@ PerceptronConfidence::indexFor(Addr pc, std::uint64_t ghr) const
 }
 
 std::int32_t
-PerceptronConfidence::weight(Addr pc, unsigned i) const
+PerceptronConfidence::weight(Addr pc, std::uint64_t ghr, unsigned i) const
 {
     PERCON_ASSERT(i <= params_.historyBits, "weight index out of range");
-    return weights_[indexFor(pc, 0) * (params_.historyBits + 1) + i];
+    return weights_[indexFor(pc, ghr) * (params_.historyBits + 1) + i];
 }
 
 std::int32_t

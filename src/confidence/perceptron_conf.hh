@@ -78,9 +78,10 @@ class PerceptronConfidence : public ConfidenceEstimator
 
     const PerceptronConfParams &params() const { return params_; }
 
-    /** Weight inspection for tests: weight i of the pc's perceptron
-     *  (0 = bias). */
-    std::int32_t weight(Addr pc, unsigned i) const;
+    /** Weight inspection for tests: weight i (0 = bias) of the
+     *  perceptron selected by (pc, ghr) — the same row output() and
+     *  train() use, including path-hashed indexing. */
+    std::int32_t weight(Addr pc, std::uint64_t ghr, unsigned i) const;
 
     /**
      * Serialize / restore the trained weight array, so long

@@ -1,8 +1,7 @@
 #include "timing_sim.hh"
 
-#include <cstdlib>
-
 #include "bpred/factory.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 
 namespace percon {
@@ -11,14 +10,9 @@ TimingConfig
 TimingConfig::fromEnv()
 {
     TimingConfig cfg;
-    if (const char *env = std::getenv("PERCON_UOPS")) {
-        long long v = std::atoll(env);
-        if (v >= 10'000) {
-            cfg.measureUops = static_cast<Count>(v);
-            cfg.warmupUops = static_cast<Count>(v) * 3 / 10;
-        } else {
-            warn("ignoring PERCON_UOPS=%s (minimum 10000)", env);
-        }
+    if (auto v = envInt64AtLeast("PERCON_UOPS", 10'000)) {
+        cfg.measureUops = static_cast<Count>(*v);
+        cfg.warmupUops = static_cast<Count>(*v) * 3 / 10;
     }
     return cfg;
 }
@@ -31,8 +25,9 @@ runTiming(const BenchmarkSpec &spec, const PipelineConfig &config,
           const TimingConfig &timing)
 {
     ProgramModel program(spec.program);
-    WrongPathSynthesizer wrong_path(spec.program,
-                                    spec.program.seed ^ 0xdead);
+    WrongPathSynthesizer wrong_path(
+        spec.program,
+        timing.wrongPathSeed.value_or(spec.program.seed ^ 0xdead));
     auto predictor = makePredictor(predictor_name);
     std::unique_ptr<ConfidenceEstimator> estimator;
     if (make_estimator)

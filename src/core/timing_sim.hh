@@ -10,8 +10,10 @@
 #ifndef PERCON_CORE_TIMING_SIM_HH
 #define PERCON_CORE_TIMING_SIM_HH
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "trace/benchmarks.hh"
@@ -24,6 +26,12 @@ struct TimingConfig
 {
     Count warmupUops = 300'000;
     Count measureUops = 1'000'000;
+
+    /** Seed for the wrong-path synthesizer. Unset means the legacy
+     *  derivation (program seed ^ 0xdead); the sweep driver sets an
+     *  environment-derived seed here so results depend only on the
+     *  run key, never on thread scheduling. */
+    std::optional<std::uint64_t> wrongPathSeed;
 
     /** Scale both by the PERCON_UOPS env var when present
      *  (value = measure uops; warmup scales proportionally). */

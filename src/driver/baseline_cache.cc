@@ -1,0 +1,49 @@
+#include "baseline_cache.hh"
+
+namespace percon {
+
+const CoreStats &
+BaselineCache::getOrCompute(const std::string &key,
+                            const std::function<CoreStats()> &fn)
+{
+    std::promise<CoreStats> promise;
+    std::shared_future<CoreStats> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            future = promise.get_future().share();
+            cache_.emplace(key, future);
+            owner = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (owner) {
+        try {
+            promise.set_value(fn());
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+const CoreStats &
+BaselineCache::get(const BenchmarkSpec &spec, const PipelineConfig &config,
+                   const std::string &predictor,
+                   const std::string &machine_id,
+                   const TimingConfig &timing)
+{
+    std::string key = spec.program.name + "/" + predictor + "/" +
+                      machine_id + "/" +
+                      std::to_string(timing.measureUops);
+    return getOrCompute(key, [&] {
+        SpeculationControl none;
+        return runTiming(spec, config, predictor, nullptr, none, timing)
+            .stats;
+    });
+}
+
+} // namespace percon

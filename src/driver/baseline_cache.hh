@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Thread-safe memoized baseline lookup.
+ *
+ * Gating metrics compare every policy run against the ungated
+ * baseline of the same (benchmark, predictor, machine) environment;
+ * a bench sweeping 16 policies would otherwise rerun each baseline
+ * 16 times. This cache computes each baseline exactly once even when
+ * many SweepRunner workers ask for it concurrently: the first caller
+ * computes, the rest block on the shared future.
+ */
+
+#ifndef PERCON_DRIVER_BASELINE_CACHE_HH
+#define PERCON_DRIVER_BASELINE_CACHE_HH
+
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/timing_sim.hh"
+
+namespace percon {
+
+class BaselineCache
+{
+  public:
+    /**
+     * Memoized compute: the first caller for @p key runs @p fn, all
+     * callers (including concurrent ones) get the same cached stats.
+     * If fn throws, the exception propagates to every waiter and the
+     * key stays poisoned with it.
+     */
+    const CoreStats &getOrCompute(const std::string &key,
+                                  const std::function<CoreStats()> &fn);
+
+    /**
+     * Ungated baseline run of (benchmark, predictor, machine),
+     * computed once per key via runTiming with no estimator and no
+     * speculation-control policy.
+     */
+    const CoreStats &get(const BenchmarkSpec &spec,
+                         const PipelineConfig &config,
+                         const std::string &predictor,
+                         const std::string &machine_id,
+                         const TimingConfig &timing);
+
+  private:
+    std::mutex mutex_;
+    std::map<std::string, std::shared_future<CoreStats>> cache_;
+};
+
+} // namespace percon
+
+#endif // PERCON_DRIVER_BASELINE_CACHE_HH

@@ -1,0 +1,170 @@
+#include "jsonl.hh"
+
+#include <cinttypes>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+namespace {
+
+std::string
+escaped(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+appendStr(std::string &json, const char *name, const std::string &value)
+{
+    json += '"';
+    json += name;
+    json += "\":\"";
+    json += escaped(value);
+    json += '"';
+}
+
+void
+appendU64(std::string &json, const char *name, std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    json += '"';
+    json += name;
+    json += "\":";
+    json += buf;
+}
+
+void
+appendDouble(std::string &json, const char *name, double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    json += '"';
+    json += name;
+    json += "\":";
+    json += buf;
+}
+
+} // namespace
+
+std::string
+runRecordJson(const RunRecord &rec)
+{
+    std::string json = "{";
+    appendStr(json, "bench", rec.key.benchmark);
+    json += ',';
+    appendStr(json, "machine", rec.key.machine);
+    json += ',';
+    appendStr(json, "predictor", rec.key.predictor);
+    json += ',';
+    appendStr(json, "estimator",
+              rec.key.estimator.empty() ? "none" : rec.key.estimator);
+    json += ",\"params\":{";
+    bool first = true;
+    for (const auto &kv : rec.key.params) {
+        if (!first)
+            json += ',';
+        first = false;
+        appendStr(json, kv.first.c_str(), kv.second);
+    }
+    json += "},";
+    appendU64(json, "seed", rec.seed);
+    json += ',';
+    appendDouble(json, "wall_seconds", rec.wallSeconds);
+
+    const CoreStats &s = rec.stats;
+    json += ",\"stats\":{";
+    appendU64(json, "cycles", s.cycles);
+    json += ',';
+    appendDouble(json, "ipc", s.ipc());
+    json += ',';
+    appendU64(json, "retired_uops", s.retiredUops);
+    json += ',';
+    appendU64(json, "executed_uops", s.executedUops);
+    json += ',';
+    appendU64(json, "wrong_path_executed", s.wrongPathExecuted);
+    json += ',';
+    appendU64(json, "retired_branches", s.retiredBranches);
+    json += ',';
+    appendU64(json, "mispredicts", s.mispredictsFinal);
+    json += ',';
+    appendU64(json, "gated_cycles", s.gatedCycles);
+    json += ',';
+    appendU64(json, "reversals", s.reversals);
+    json += ',';
+    appendU64(json, "reversals_good", s.reversalsGood);
+    json += ',';
+    appendDouble(json, "pvn", s.confidence.pvn());
+    json += ',';
+    appendDouble(json, "spec", s.confidence.spec());
+    json += "}}";
+    return json;
+}
+
+JsonlWriter::JsonlWriter(const std::string &path)
+{
+    file_ = std::fopen(path.c_str(), "a");
+    if (!file_)
+        fatal("cannot open JSONL file '%s'", path.c_str());
+}
+
+JsonlWriter::~JsonlWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+void
+JsonlWriter::write(const RunRecord &rec)
+{
+    std::string line = runRecordJson(rec);
+    std::fprintf(file_, "%s\n", line.c_str());
+    std::fflush(file_);
+}
+
+void
+JsonlWriter::writeAll(const std::vector<RunRecord> &recs)
+{
+    for (const auto &rec : recs)
+        write(rec);
+}
+
+std::unique_ptr<JsonlWriter>
+JsonlWriter::fromEnv(const std::string &name)
+{
+    const char *dir = std::getenv("PERCON_JSONL_DIR");
+    if (!dir || !*dir)
+        return nullptr;
+    return std::make_unique<JsonlWriter>(std::string(dir) + "/" + name +
+                                         ".jsonl");
+}
+
+} // namespace percon

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * JSON-lines emission of per-run sweep results.
+ *
+ * Each RunRecord becomes one self-describing JSON object per line:
+ *
+ *   {"bench":"gcc","machine":"deep40x4","predictor":"bimodal-gshare",
+ *    "estimator":"perceptron-cic","params":{"lambda":"0","uops":"600000"},
+ *    "seed":1234,"wall_seconds":0.41,
+ *    "stats":{"cycles":...,"ipc":...,"retired_uops":...,
+ *             "executed_uops":...,"wrong_path_executed":...,
+ *             "retired_branches":...,"mispredicts":...,
+ *             "gated_cycles":...,"reversals":...,"reversals_good":...,
+ *             "pvn":...,"spec":...}}
+ *
+ * Sweeps emit records in input order after all runs complete, so a
+ * file produced at --jobs 8 is identical to one produced at --jobs 1
+ * except for the wall_seconds fields. Benches honour the
+ * PERCON_JSONL_DIR environment variable the way CsvWriter honours
+ * PERCON_CSV_DIR.
+ */
+
+#ifndef PERCON_DRIVER_JSONL_HH
+#define PERCON_DRIVER_JSONL_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/sweep_runner.hh"
+
+namespace percon {
+
+/** Render one record as a single JSON line (no trailing newline). */
+std::string runRecordJson(const RunRecord &rec);
+
+/** Appends run records to a JSON-lines file. */
+class JsonlWriter
+{
+  public:
+    /** Open (create or append) the file; fatal() on failure. */
+    explicit JsonlWriter(const std::string &path);
+    ~JsonlWriter();
+
+    JsonlWriter(const JsonlWriter &) = delete;
+    JsonlWriter &operator=(const JsonlWriter &) = delete;
+
+    void write(const RunRecord &rec);
+    void writeAll(const std::vector<RunRecord> &recs);
+
+    /**
+     * Factory honouring PERCON_JSONL_DIR: returns a writer for
+     * <dir>/<name>.jsonl, or nullptr when the variable is unset.
+     */
+    static std::unique_ptr<JsonlWriter>
+    fromEnv(const std::string &name);
+
+  private:
+    std::FILE *file_ = nullptr;
+};
+
+} // namespace percon
+
+#endif // PERCON_DRIVER_JSONL_HH

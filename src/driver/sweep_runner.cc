@@ -1,0 +1,158 @@
+#include "sweep_runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "common/rng.hh"
+
+namespace percon {
+
+void
+RunKey::set(const std::string &name, const std::string &value)
+{
+    for (auto &kv : params) {
+        if (kv.first == name) {
+            kv.second = value;
+            return;
+        }
+    }
+    params.emplace_back(name, value);
+}
+
+std::string
+RunKey::param(const std::string &name) const
+{
+    for (const auto &kv : params)
+        if (kv.first == name)
+            return kv.second;
+    return {};
+}
+
+std::string
+RunKey::canonical() const
+{
+    std::string s = "bench=" + benchmark + "|machine=" + machine +
+                    "|predictor=" + predictor + "|estimator=" +
+                    (estimator.empty() ? "none" : estimator);
+    for (const auto &kv : params)
+        s += "|" + kv.first + "=" + kv.second;
+    return s;
+}
+
+namespace {
+
+std::uint64_t
+fnv1aMix(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return mix64(h);
+}
+
+} // namespace
+
+std::uint64_t
+RunKey::seed() const
+{
+    return fnv1aMix(canonical());
+}
+
+std::uint64_t
+environmentSeed(const std::string &benchmark, const std::string &machine,
+                const std::string &predictor, Count measure_uops)
+{
+    return fnv1aMix("bench=" + benchmark + "|machine=" + machine +
+                    "|predictor=" + predictor + "|uops=" +
+                    std::to_string(measure_uops));
+}
+
+SweepPoint
+makePoint(RunKey key, RunFn fn)
+{
+    std::uint64_t seed = key.seed();
+    return SweepPoint{std::move(key), seed, std::move(fn)};
+}
+
+SweepPoint
+timingPoint(RunKey key, const PipelineConfig &config,
+            EstimatorFactory make_estimator,
+            const SpeculationControl &spec_ctrl,
+            const TimingConfig &timing)
+{
+    key.set("uops", std::to_string(timing.measureUops));
+    std::uint64_t seed =
+        environmentSeed(key.benchmark, key.machine, key.predictor,
+                        timing.measureUops);
+    RunFn fn = [config, make_estimator, spec_ctrl,
+                timing](const RunKey &k, std::uint64_t run_seed) {
+        TimingConfig t = timing;
+        t.wrongPathSeed = run_seed;
+        return runTiming(benchmarkSpec(k.benchmark), config,
+                         k.predictor, make_estimator, spec_ctrl, t)
+            .stats;
+    };
+    return SweepPoint{std::move(key), seed, std::move(fn)};
+}
+
+SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs)
+{
+    if (jobs_ == 0) {
+        jobs_ = std::thread::hardware_concurrency();
+        if (jobs_ == 0)
+            jobs_ = 1;
+    }
+}
+
+std::vector<RunRecord>
+SweepRunner::run(const std::vector<SweepPoint> &points) const
+{
+    std::vector<RunRecord> out(points.size());
+    std::vector<std::exception_ptr> errors(points.size());
+    std::atomic<std::size_t> next{0};
+
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= points.size())
+                return;
+            RunRecord &rec = out[i];
+            rec.key = points[i].key;
+            rec.seed = points[i].seed;
+            auto start = std::chrono::steady_clock::now();
+            try {
+                rec.stats = points[i].fn(rec.key, rec.seed);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+            rec.wallSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+        }
+    };
+
+    std::size_t nthreads =
+        std::min<std::size_t>(jobs_, points.size());
+    if (nthreads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(nthreads);
+        for (std::size_t t = 0; t < nthreads; ++t)
+            pool.emplace_back(worker);
+        for (auto &th : pool)
+            th.join();
+    }
+
+    for (auto &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+    return out;
+}
+
+} // namespace percon

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Parallel sweep execution over independent simulation design
+ * points.
+ *
+ * The paper's tables and figures are grids over (benchmark x machine
+ * x estimator x threshold); every point is a shared-nothing
+ * simulation, so they can run concurrently. SweepRunner is a small
+ * thread pool that executes a vector of points and returns their
+ * results in input order, so downstream table/CSV/JSONL emission is
+ * byte-identical regardless of the job count.
+ *
+ * Determinism contract: each run's RNG seed is derived from its
+ * RunKey (the canonical description of the design point), never from
+ * thread identity or scheduling order. Running a sweep with --jobs 1
+ * and --jobs 8 therefore produces bit-identical statistics.
+ */
+
+#ifndef PERCON_DRIVER_SWEEP_RUNNER_HH
+#define PERCON_DRIVER_SWEEP_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/timing_sim.hh"
+
+namespace percon {
+
+/**
+ * Identity of one simulation design point.
+ *
+ * The canonical string of the key — not the worker thread that
+ * happens to execute it — determines the run's derived seed.
+ */
+struct RunKey
+{
+    std::string benchmark;
+    std::string machine;
+    std::string predictor;
+    std::string estimator;  ///< empty = no estimator
+
+    /** Extra design-point parameters (lambda, gate threshold, run
+     *  length, ...), in insertion order. */
+    std::vector<std::pair<std::string, std::string>> params;
+
+    /** Append or overwrite a named parameter. */
+    void set(const std::string &name, const std::string &value);
+
+    /** Look up a parameter; empty string when absent. */
+    std::string param(const std::string &name) const;
+
+    /** Stable "bench=gcc|machine=...|k=v|..." form of the key. */
+    std::string canonical() const;
+
+    /** 64-bit seed derived from canonical() (FNV-1a + mix64). */
+    std::uint64_t seed() const;
+};
+
+/** One finished design point: key, the seed actually used, stats
+ *  and wall time. */
+struct RunRecord
+{
+    RunKey key;
+    std::uint64_t seed = 0;
+    CoreStats stats;
+    double wallSeconds = 0.0;
+};
+
+/** The work of one design point: produce stats given the derived
+ *  seed. Must not touch state shared with other points. */
+using RunFn =
+    std::function<CoreStats(const RunKey &key, std::uint64_t seed)>;
+
+/** A schedulable design point. */
+struct SweepPoint
+{
+    RunKey key;
+    std::uint64_t seed = 0;
+    RunFn fn;
+};
+
+/** Build a point whose seed is the key's own derived seed. */
+SweepPoint makePoint(RunKey key, RunFn fn);
+
+/**
+ * Standard full-timing design point.
+ *
+ * The benchmark and predictor come from the key; the run length is
+ * recorded in the key's params (so it contributes to the canonical
+ * form). The wrong-path synthesizer is seeded from the
+ * policy-invariant part of the key (benchmark, machine, predictor,
+ * uops) so a policy run and its matching ungated baseline see
+ * identical wrong-path streams and stay comparable.
+ */
+SweepPoint timingPoint(RunKey key, const PipelineConfig &config,
+                       EstimatorFactory make_estimator,
+                       const SpeculationControl &spec_ctrl,
+                       const TimingConfig &timing);
+
+/** Seed for the policy-invariant environment of a timing run. */
+std::uint64_t environmentSeed(const std::string &benchmark,
+                              const std::string &machine,
+                              const std::string &predictor,
+                              Count measure_uops);
+
+/** Fixed-size pool executing sweep points concurrently. */
+class SweepRunner
+{
+  public:
+    /** @param jobs worker threads; 0 = hardware concurrency. */
+    explicit SweepRunner(unsigned jobs = 0);
+
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Execute all points, at most jobs() at a time. Results are
+     * returned in input order regardless of scheduling. A point
+     * that throws does not stall or deadlock the pool: remaining
+     * points still run, all workers join, and the first exception
+     * (in input order) is then rethrown.
+     */
+    std::vector<RunRecord> run(const std::vector<SweepPoint> &points) const;
+
+  private:
+    unsigned jobs_;
+};
+
+} // namespace percon
+
+#endif // PERCON_DRIVER_SWEEP_RUNNER_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for strict environment-variable parsing. The old
+ * std::atoll-based parsing silently accepted garbage as 0 and
+ * trailing junk ("50000abc" -> 50000); envInt64 must reject both.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hh"
+
+using namespace percon;
+
+namespace {
+
+class EnvTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { ::unsetenv("PERCON_ENV_TEST"); }
+
+    void
+    setVar(const char *value)
+    {
+        ::setenv("PERCON_ENV_TEST", value, 1);
+    }
+};
+
+} // namespace
+
+TEST_F(EnvTest, UnsetReturnsNullopt)
+{
+    ::unsetenv("PERCON_ENV_TEST");
+    EXPECT_FALSE(envInt64("PERCON_ENV_TEST").has_value());
+}
+
+TEST_F(EnvTest, ParsesPlainIntegers)
+{
+    setVar("600000");
+    EXPECT_EQ(envInt64("PERCON_ENV_TEST"), 600000);
+    setVar("-25");
+    EXPECT_EQ(envInt64("PERCON_ENV_TEST"), -25);
+}
+
+TEST_F(EnvTest, RejectsTrailingJunk)
+{
+    setVar("50000abc");
+    EXPECT_FALSE(envInt64("PERCON_ENV_TEST").has_value());
+    setVar("1e6");
+    EXPECT_FALSE(envInt64("PERCON_ENV_TEST").has_value());
+    setVar("12 ");
+    EXPECT_FALSE(envInt64("PERCON_ENV_TEST").has_value());
+}
+
+TEST_F(EnvTest, RejectsNonNumbers)
+{
+    setVar("lots");
+    EXPECT_FALSE(envInt64("PERCON_ENV_TEST").has_value());
+    setVar("");
+    EXPECT_FALSE(envInt64("PERCON_ENV_TEST").has_value());
+}
+
+TEST_F(EnvTest, RejectsOutOfRange)
+{
+    setVar("99999999999999999999999999");
+    EXPECT_FALSE(envInt64("PERCON_ENV_TEST").has_value());
+}
+
+TEST_F(EnvTest, AtLeastEnforcesMinimum)
+{
+    setVar("9999");
+    EXPECT_FALSE(
+        envInt64AtLeast("PERCON_ENV_TEST", 10'000).has_value());
+    setVar("10000");
+    EXPECT_EQ(envInt64AtLeast("PERCON_ENV_TEST", 10'000), 10'000);
+}

@@ -56,9 +56,9 @@ TEST(PerceptronConf, BiasWeightIsIndexZero)
     std::uint64_t ghr = 0x3;
     ConfidenceInfo info = e.estimate(0x1000, ghr, true);
     e.train(0x1000, ghr, true, true, info);
-    EXPECT_EQ(e.weight(0x1000, 0), 1);   // bias moved toward +1
-    EXPECT_EQ(e.weight(0x1000, 1), 1);   // taken bit -> +1
-    EXPECT_EQ(e.weight(0x1000, 3), -1);  // not-taken bit -> -1
+    EXPECT_EQ(e.weight(0x1000, ghr, 0), 1);   // bias moved toward +1
+    EXPECT_EQ(e.weight(0x1000, ghr, 1), 1);   // taken bit -> +1
+    EXPECT_EQ(e.weight(0x1000, ghr, 3), -1);  // not-taken bit -> -1
 }
 
 TEST(PerceptronConf, TrainingRuleSkipsConfidentAgreement)
@@ -110,12 +110,12 @@ TEST(PerceptronConf, WeightsSaturateAtWidth)
         ConfidenceInfo info = e.estimate(0x3000, ghr, true);
         e.train(0x3000, ghr, true, true, info);
     }
-    EXPECT_EQ(e.weight(0x3000, 0), 7);
+    EXPECT_EQ(e.weight(0x3000, ghr, 0), 7);
     for (int i = 0; i < 200; ++i) {
         ConfidenceInfo info = e.estimate(0x3000, ghr, true);
         e.train(0x3000, ghr, true, false, info);
     }
-    EXPECT_EQ(e.weight(0x3000, 0), -8);
+    EXPECT_EQ(e.weight(0x3000, ghr, 0), -8);
 }
 
 TEST(PerceptronConf, LearnsDeepHistoryBitPerfectly)
@@ -202,6 +202,34 @@ TEST(PerceptronConf, PathHashingSeparatesContexts)
     }
     EXPECT_GT(e.output(0x1000, ghr_a), 0);
     EXPECT_EQ(e.output(0x1000, ghr_b), 0);  // untouched perceptron
+}
+
+TEST(PerceptronConf, WeightAccessorFollowsPathHash)
+{
+    // Regression: the debug accessor used to index with ghr = 0, so
+    // with path hashing enabled it read a different table row than
+    // output()/train() were using.
+    PerceptronConfParams p = smallParams();
+    p.pathHashBits = 4;
+    PerceptronConfidence e(p);
+    std::uint64_t ghr = 0x5;  // nonzero low bits: hashed index != pc row
+    ConfidenceInfo info = e.estimate(0x1000, ghr, true);
+    e.train(0x1000, ghr, true, true, info);
+
+    // The accessor must see the trained row...
+    EXPECT_EQ(e.weight(0x1000, ghr, 0), 1);
+    EXPECT_EQ(e.weight(0x1000, ghr, 1), 1);   // bit 0 taken -> +1
+    EXPECT_EQ(e.weight(0x1000, ghr, 1 + 1), -1);  // bit 1 not-taken
+    // ...and reconstruct exactly the output() dot product.
+    std::int32_t y = e.weight(0x1000, ghr, 0);
+    for (unsigned i = 0; i < p.historyBits; ++i) {
+        bool taken = (ghr >> i) & 1ULL;
+        y += taken ? e.weight(0x1000, ghr, i + 1)
+                   : -e.weight(0x1000, ghr, i + 1);
+    }
+    EXPECT_EQ(y, e.output(0x1000, ghr));
+    // The un-trained row of a different history context stays zero.
+    EXPECT_EQ(e.weight(0x1000, 0x8, 0), 0);
 }
 
 TEST(PerceptronConf, WeightsRoundTripThroughStream)

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the parallel sweep driver: determinism across job
+ * counts, input-order results, key-derived seeding, exception
+ * safety, the thread-safe baseline cache, and JSONL emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "confidence/perceptron_conf.hh"
+#include "driver/baseline_cache.hh"
+#include "driver/jsonl.hh"
+#include "driver/sweep_runner.hh"
+
+using namespace percon;
+
+namespace {
+
+TimingConfig
+tiny()
+{
+    TimingConfig t;
+    t.warmupUops = 20'000;
+    t.measureUops = 50'000;
+    return t;
+}
+
+RunKey
+keyFor(const std::string &bench, const std::string &estimator,
+       int lambda)
+{
+    RunKey key;
+    key.benchmark = bench;
+    key.machine = "base20x4";
+    key.predictor = "bimodal-gshare";
+    key.estimator = estimator;
+    if (!estimator.empty())
+        key.set("lambda", std::to_string(lambda));
+    return key;
+}
+
+std::vector<SweepPoint>
+mixedPoints()
+{
+    std::vector<SweepPoint> points;
+    for (const char *bench : {"gcc", "mcf", "twolf"}) {
+        points.push_back(timingPoint(keyFor(bench, "", 0),
+                                     PipelineConfig::base20x4(),
+                                     nullptr, SpeculationControl{},
+                                     tiny()));
+        SpeculationControl sc;
+        sc.gateThreshold = 1;
+        points.push_back(timingPoint(
+            keyFor(bench, "perceptron-cic", -25),
+            PipelineConfig::base20x4(),
+            [] {
+                PerceptronConfParams p;
+                p.lambda = -25;
+                return std::make_unique<PerceptronConfidence>(p);
+            },
+            sc, tiny()));
+    }
+    return points;
+}
+
+void
+expectSameStats(const CoreStats &a, const CoreStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.retiredUops, b.retiredUops);
+    EXPECT_EQ(a.executedUops, b.executedUops);
+    EXPECT_EQ(a.wrongPathExecuted, b.wrongPathExecuted);
+    EXPECT_EQ(a.retiredBranches, b.retiredBranches);
+    EXPECT_EQ(a.mispredictsFinal, b.mispredictsFinal);
+    EXPECT_EQ(a.gatedCycles, b.gatedCycles);
+}
+
+} // namespace
+
+TEST(RunKey, CanonicalFormIsStable)
+{
+    RunKey key = keyFor("gcc", "perceptron-cic", -25);
+    EXPECT_EQ(key.canonical(),
+              "bench=gcc|machine=base20x4|predictor=bimodal-gshare"
+              "|estimator=perceptron-cic|lambda=-25");
+    EXPECT_EQ(key.seed(), keyFor("gcc", "perceptron-cic", -25).seed());
+}
+
+TEST(RunKey, SeedDependsOnEveryComponent)
+{
+    RunKey base = keyFor("gcc", "perceptron-cic", -25);
+    EXPECT_NE(base.seed(), keyFor("mcf", "perceptron-cic", -25).seed());
+    EXPECT_NE(base.seed(), keyFor("gcc", "perceptron-cic", 0).seed());
+    EXPECT_NE(base.seed(), keyFor("gcc", "jrs", -25).seed());
+}
+
+TEST(RunKey, SetOverwritesExistingParam)
+{
+    RunKey key;
+    key.set("lambda", "1");
+    key.set("lambda", "2");
+    ASSERT_EQ(key.params.size(), 1u);
+    EXPECT_EQ(key.param("lambda"), "2");
+    EXPECT_EQ(key.param("missing"), "");
+}
+
+TEST(SweepRunner, DeterministicAcrossJobCounts)
+{
+    // The acceptance bar: --jobs 1 and --jobs 8 must produce
+    // bit-identical statistics for every point.
+    std::vector<RunRecord> serial = SweepRunner(1).run(mixedPoints());
+    std::vector<RunRecord> parallel = SweepRunner(8).run(mixedPoints());
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].key.canonical(),
+                  parallel[i].key.canonical());
+        EXPECT_EQ(serial[i].seed, parallel[i].seed);
+        expectSameStats(serial[i].stats, parallel[i].stats);
+    }
+}
+
+TEST(SweepRunner, ResultsComeBackInInputOrder)
+{
+    std::vector<SweepPoint> points;
+    for (int i = 0; i < 16; ++i) {
+        RunKey key;
+        key.benchmark = "synthetic-" + std::to_string(i);
+        points.push_back(makePoint(
+            std::move(key), [i](const RunKey &, std::uint64_t) {
+                CoreStats s;
+                s.cycles = static_cast<Cycle>(i + 1);
+                return s;
+            }));
+    }
+    std::vector<RunRecord> recs = SweepRunner(4).run(points);
+    ASSERT_EQ(recs.size(), 16u);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(recs[i].key.benchmark,
+                  "synthetic-" + std::to_string(i));
+        EXPECT_EQ(recs[i].stats.cycles, static_cast<Cycle>(i + 1));
+    }
+}
+
+TEST(SweepRunner, ThrowingPointDoesNotDeadlockOrStarve)
+{
+    std::atomic<int> executed{0};
+    std::vector<SweepPoint> points;
+    for (int i = 0; i < 12; ++i) {
+        RunKey key;
+        key.benchmark = "p" + std::to_string(i);
+        points.push_back(makePoint(
+            std::move(key), [i, &executed](const RunKey &,
+                                           std::uint64_t) -> CoreStats {
+                executed.fetch_add(1);
+                if (i == 3)
+                    throw std::runtime_error("boom");
+                return CoreStats{};
+            }));
+    }
+    // The pool must join and rethrow rather than hang; every other
+    // point still runs.
+    EXPECT_THROW(SweepRunner(4).run(points), std::runtime_error);
+    EXPECT_EQ(executed.load(), 12);
+}
+
+TEST(SweepRunner, TimingPointSeedIsPolicyInvariant)
+{
+    // A policy point and its ungated baseline share the wrong-path
+    // seed (same environment), so their stats stay comparable.
+    std::vector<SweepPoint> points = mixedPoints();
+    EXPECT_EQ(points[0].seed, points[1].seed);  // gcc base vs policy
+    EXPECT_NE(points[0].seed, points[2].seed);  // gcc vs mcf
+}
+
+TEST(BaselineCache, ComputesEachKeyOnceUnderContention)
+{
+    BaselineCache cache;
+    std::atomic<int> computed{0};
+    std::vector<SweepPoint> points;
+    for (int i = 0; i < 8; ++i) {
+        RunKey key;
+        key.benchmark = "probe" + std::to_string(i);
+        points.push_back(makePoint(
+            std::move(key),
+            [&cache, &computed](const RunKey &, std::uint64_t) {
+                return cache.getOrCompute("shared", [&computed] {
+                    computed.fetch_add(1);
+                    CoreStats s;
+                    s.cycles = 42;
+                    return s;
+                });
+            }));
+    }
+    std::vector<RunRecord> recs = SweepRunner(4).run(points);
+    EXPECT_EQ(computed.load(), 1);
+    for (const auto &rec : recs)
+        EXPECT_EQ(rec.stats.cycles, 42u);
+}
+
+TEST(BaselineCache, PropagatesComputeFailure)
+{
+    BaselineCache cache;
+    EXPECT_THROW(cache.getOrCompute(
+                     "bad",
+                     []() -> CoreStats {
+                         throw std::runtime_error("nope");
+                     }),
+                 std::runtime_error);
+}
+
+TEST(Jsonl, RecordCarriesKeySeedAndStats)
+{
+    RunRecord rec;
+    rec.key = keyFor("gcc", "perceptron-cic", -25);
+    rec.seed = 7;
+    rec.stats.cycles = 100;
+    rec.stats.retiredUops = 250;
+    rec.wallSeconds = 0.5;
+    std::string json = runRecordJson(rec);
+    EXPECT_NE(json.find("\"bench\":\"gcc\""), std::string::npos);
+    EXPECT_NE(json.find("\"estimator\":\"perceptron-cic\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"lambda\":\"-25\""), std::string::npos);
+    EXPECT_NE(json.find("\"seed\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"cycles\":100"), std::string::npos);
+    EXPECT_NE(json.find("\"ipc\":2.5"), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Jsonl, EscapesControlAndQuoteCharacters)
+{
+    RunRecord rec;
+    rec.key.benchmark = "we\"ird\nname";
+    std::string json = runRecordJson(rec);
+    EXPECT_NE(json.find("we\\\"ird\\nname"), std::string::npos);
+}

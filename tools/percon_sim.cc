@@ -13,18 +13,32 @@
  *   percon_sim --bench gzip --estimator perceptron-cic \
  *              --gate 2 --lambda -75 --reverse 50 --energy
  *   percon_sim --trace my.pctr --predictor yags --uops 2000000
+ *
+ * Sweep mode: repeatable `--sweep key=a,b,...` flags build the cross
+ * product of design points, executed `--jobs N` at a time through
+ * SweepRunner (bit-identical results at any job count):
+ *   percon_sim --sweep bench=gcc,mcf,twolf \
+ *              --sweep lambda=-50,-25,0,25 \
+ *              --estimator perceptron-cic --gate 1 --jobs 8 \
+ *              --jsonl results.jsonl
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "bpred/factory.hh"
+#include "common/table.hh"
 #include "confidence/factory.hh"
 #include "confidence/perceptron_conf.hh"
 #include "core/timing_sim.hh"
+#include "driver/jsonl.hh"
+#include "driver/sweep_runner.hh"
 #include "trace/trace_io.hh"
 #include "uarch/smt_core.hh"
 #include "uarch/energy.hh"
@@ -50,6 +64,11 @@ struct Options
     bool oracle = false;
     bool energy = false;
     std::string smtWith;  ///< co-runner benchmark; empty = single-thread
+
+    unsigned jobs = 1;    ///< sweep-mode worker threads
+    std::string jsonl;    ///< sweep-mode JSONL output path
+    /** Cross-product sweep axes: (key, values). */
+    std::vector<std::pair<std::string, std::vector<std::string>>> sweeps;
 };
 
 [[noreturn]] void
@@ -74,7 +93,13 @@ usage()
         "  --throttle W        throttle fetch to width W when gated\n"
         "  --oracle            oracle gating bound (no estimator)\n"
         "  --energy            print the energy report too\n"
-        "  --smt BENCH         co-run BENCH on a 2nd SMT thread\n");
+        "  --smt BENCH         co-run BENCH on a 2nd SMT thread\n"
+        "  --sweep K=A,B,...   sweep option K over the listed values\n"
+        "                      (repeatable; cross product; keys:\n"
+        "                      bench predictor estimator machine\n"
+        "                      lambda gate latency throttle uops)\n"
+        "  --jobs N            sweep worker threads (default 1)\n"
+        "  --jsonl FILE        append per-run JSON lines to FILE\n");
     std::fprintf(stderr, "\npredictors:");
     for (const auto &n : predictorNames())
         std::fprintf(stderr, " %s", n.c_str());
@@ -128,7 +153,33 @@ parse(int argc, char **argv)
             o.smtWith = value();
         else if (arg == "--energy")
             o.energy = true;
-        else
+        else if (arg == "--jobs")
+            o.jobs = static_cast<unsigned>(
+                std::max(1, std::atoi(value())));
+        else if (arg == "--jsonl")
+            o.jsonl = value();
+        else if (arg == "--sweep") {
+            std::string spec = value();
+            std::size_t eq = spec.find('=');
+            if (eq == std::string::npos || eq == 0 ||
+                eq + 1 >= spec.size())
+                usage();
+            std::vector<std::string> values;
+            std::string rest = spec.substr(eq + 1);
+            std::size_t pos = 0;
+            while (pos <= rest.size()) {
+                std::size_t comma = rest.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = rest.size();
+                if (comma > pos)
+                    values.push_back(rest.substr(pos, comma - pos));
+                pos = comma + 1;
+            }
+            if (values.empty())
+                usage();
+            o.sweeps.emplace_back(spec.substr(0, eq),
+                                  std::move(values));
+        } else
             usage();
     }
     return o;
@@ -146,12 +197,162 @@ machineFor(const std::string &name)
     fatal("unknown machine '%s'", name.c_str());
 }
 
+EstimatorFactory
+estimatorFactory(const Options &o)
+{
+    if (o.estimator.empty())
+        return nullptr;
+    Options copy = o;
+    return [copy] {
+        if (copy.estimator == "perceptron-cic") {
+            PerceptronConfParams p;
+            p.lambda = copy.lambda;
+            if (copy.reverse)
+                p.reverseLambda = copy.reverseLambda;
+            return std::unique_ptr<ConfidenceEstimator>(
+                std::make_unique<PerceptronConfidence>(p));
+        }
+        return makeEstimator(copy.estimator);
+    };
+}
+
+/** Apply one swept (key, value) pair to a design point's options. */
+void
+applyOverride(Options &o, const std::string &key,
+              const std::string &value)
+{
+    if (key == "bench")
+        o.bench = value;
+    else if (key == "predictor")
+        o.predictor = value;
+    else if (key == "estimator")
+        o.estimator = value;
+    else if (key == "machine")
+        o.machine = value;
+    else if (key == "lambda")
+        o.lambda = std::atoi(value.c_str());
+    else if (key == "gate")
+        o.gate = static_cast<unsigned>(std::atoi(value.c_str()));
+    else if (key == "latency")
+        o.latency = static_cast<unsigned>(std::atoi(value.c_str()));
+    else if (key == "throttle")
+        o.throttle = static_cast<unsigned>(std::atoi(value.c_str()));
+    else if (key == "uops")
+        o.uops = std::strtoull(value.c_str(), nullptr, 10);
+    else
+        fatal("cannot sweep '%s' (see --help for sweepable keys)",
+              key.c_str());
+}
+
+int
+runSweep(const Options &base)
+{
+    if (!base.trace.empty() || !base.smtWith.empty())
+        fatal("--sweep supports calibrated benchmarks only "
+              "(not --trace/--smt)");
+
+    // Odometer over the sweep axes: one design point per combo.
+    std::vector<std::size_t> idx(base.sweeps.size(), 0);
+    std::vector<SweepPoint> points;
+    std::vector<std::vector<std::string>> combo_values;
+    for (;;) {
+        Options o = base;
+        std::vector<std::string> values;
+        for (std::size_t a = 0; a < base.sweeps.size(); ++a) {
+            const auto &axis = base.sweeps[a];
+            applyOverride(o, axis.first, axis.second[idx[a]]);
+            values.push_back(axis.second[idx[a]]);
+        }
+        combo_values.push_back(values);
+
+        RunKey key;
+        key.benchmark = o.bench;
+        key.machine = o.machine;
+        key.predictor = o.predictor;
+        key.estimator = o.estimator;
+        if (!o.estimator.empty()) {
+            key.set("lambda", std::to_string(o.lambda));
+            if (o.reverse)
+                key.set("reverse", std::to_string(o.reverseLambda));
+        }
+        key.set("gate", std::to_string(o.gate));
+        if (o.latency)
+            key.set("latency", std::to_string(o.latency));
+        if (o.throttle)
+            key.set("throttle", std::to_string(o.throttle));
+
+        SpeculationControl sc;
+        sc.gateThreshold = o.gate;
+        sc.reversalEnabled = o.reverse;
+        sc.confidenceLatency = o.latency;
+        sc.oracleGating = o.oracle;
+        sc.throttleWidth = o.throttle;
+
+        TimingConfig t;
+        t.measureUops = o.uops;
+        t.warmupUops = o.uops / 3;
+        points.push_back(timingPoint(std::move(key),
+                                     machineFor(o.machine),
+                                     estimatorFactory(o), sc, t));
+
+        std::size_t a = base.sweeps.size();
+        while (a > 0) {
+            --a;
+            if (++idx[a] < base.sweeps[a].second.size())
+                break;
+            idx[a] = 0;
+            if (a == 0)
+                goto done;
+        }
+        if (base.sweeps.empty())
+            break;
+    }
+done:;
+
+    std::printf("sweep: %zu design points, %u jobs\n\n", points.size(),
+                base.jobs);
+    SweepRunner runner(base.jobs);
+    std::vector<RunRecord> recs = runner.run(points);
+
+    if (!base.jsonl.empty()) {
+        JsonlWriter writer(base.jsonl);
+        writer.writeAll(recs);
+    }
+
+    std::vector<std::string> header;
+    for (const auto &axis : base.sweeps)
+        header.push_back(axis.first);
+    header.insert(header.end(),
+                  {"IPC", "misp/Kuop", "exec +%", "gated %", "PVN %",
+                   "wall s"});
+    AsciiTable table(header);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        const CoreStats &s = recs[i].stats;
+        std::vector<std::string> row = combo_values[i];
+        row.push_back(fmtFixed(s.ipc(), 3));
+        row.push_back(fmtFixed(s.mispredictsPerKuop(), 1));
+        row.push_back(fmtFixed(s.executionIncreasePct(), 1));
+        row.push_back(fmtFixed(
+            s.cycles ? 100.0 * static_cast<double>(s.gatedCycles) /
+                           static_cast<double>(s.cycles)
+                     : 0.0,
+            1));
+        row.push_back(fmtFixed(100.0 * s.confidence.pvn(), 1));
+        row.push_back(fmtFixed(recs[i].wallSeconds, 2));
+        table.addRow(row);
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Options o = parse(argc, argv);
+    if (!o.sweeps.empty())
+        return runSweep(o);
     PipelineConfig machine = machineFor(o.machine);
 
     SpeculationControl sc;
