@@ -98,6 +98,43 @@ BM_CoreSimulation(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 1'000);
 }
 
+/**
+ * Core throughput with a speculation-control policy active, across
+ * the configurations the speed-regression harness tracks (see
+ * scripts/bench_speed.sh): gating exercises the confidence queues
+ * and gated-stall skipping, reversal the estimator band logic,
+ * confidence latency the delayed-mark queue, and wide20x8 the other
+ * machine geometry.
+ */
+void
+BM_CoreSimulationPolicy(benchmark::State &state,
+                        const PipelineConfig &cfg,
+                        const SpeculationControl &sc)
+{
+    const auto &spec = benchmarkSpec("gcc");
+    ProgramModel program(spec.program);
+    WrongPathSynthesizer wp(spec.program, spec.program.seed ^ 0xdead);
+    auto pred = makePredictor("bimodal-gshare");
+    std::unique_ptr<ConfidenceEstimator> est;
+    if (sc.gateThreshold > 0 || sc.reversalEnabled)
+        est = makeEstimator("perceptron-cic");
+    Core core(cfg, program, wp, *pred, est.get(), sc);
+    core.warmup(50'000);
+    for (auto _ : state)
+        core.run(1'000);
+    state.SetItemsProcessed(state.iterations() * 1'000);
+}
+
+SpeculationControl
+gatedPolicy(unsigned threshold, bool reversal, unsigned latency)
+{
+    SpeculationControl sc;
+    sc.gateThreshold = threshold;
+    sc.reversalEnabled = reversal;
+    sc.confidenceLatency = latency;
+    return sc;
+}
+
 } // namespace
 
 BENCHMARK_CAPTURE(BM_PredictorLookupUpdate, bimodal, "bimodal");
@@ -110,5 +147,17 @@ BENCHMARK_CAPTURE(BM_EstimatorEstimateTrain, tnt, "perceptron-tnt");
 BENCHMARK(BM_CacheAccess);
 BENCHMARK(BM_WorkloadGeneration);
 BENCHMARK(BM_CoreSimulation);
+BENCHMARK_CAPTURE(BM_CoreSimulationPolicy, gated_deep40x4,
+                  percon::PipelineConfig::deep40x4(),
+                  gatedPolicy(2, false, 0));
+BENCHMARK_CAPTURE(BM_CoreSimulationPolicy, reversal_deep40x4,
+                  percon::PipelineConfig::deep40x4(),
+                  gatedPolicy(0, true, 0));
+BENCHMARK_CAPTURE(BM_CoreSimulationPolicy, conf_latency4_deep40x4,
+                  percon::PipelineConfig::deep40x4(),
+                  gatedPolicy(2, false, 4));
+BENCHMARK_CAPTURE(BM_CoreSimulationPolicy, nopolicy_wide20x8,
+                  percon::PipelineConfig::wide20x8(),
+                  percon::SpeculationControl{});
 
 BENCHMARK_MAIN();

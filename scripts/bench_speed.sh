@@ -1,0 +1,80 @@
+#!/bin/sh
+# Core-simulation speed baseline: run the BM_CoreSimulation* micro-
+# benchmarks and distill them into BENCH_core_speed.json, the
+# checked-in uops/sec trajectory seed that check.sh schema-diffs.
+#
+#   scripts/bench_speed.sh [build-dir] [min-time]
+#
+#   build-dir  where bench/microbench lives   (default: build)
+#   min-time   --benchmark_min_time per case, plain seconds
+#              (default: 1). Use a small value like 0.05 for a
+#              smoke run that only validates the schema.
+#
+# Output goes to BENCH_core_speed.json in the repo root unless
+# BENCH_OUT is set. Numbers are machine-dependent: regenerate the
+# checked-in file only when deliberately re-baselining, and compare
+# ratios, not absolute values, across machines.
+set -eu
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+MIN_TIME="${2:-1}"
+OUT="${BENCH_OUT:-BENCH_core_speed.json}"
+BIN="$BUILD/bench/microbench"
+
+if [ ! -x "$BIN" ]; then
+    echo "bench_speed.sh: $BIN not found; build the 'microbench'" \
+         "target first" >&2
+    exit 1
+fi
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# Google Benchmark's --benchmark_min_time here takes a plain float
+# (seconds), not a duration suffix.
+"$BIN" --benchmark_filter='^BM_CoreSimulation' \
+       --benchmark_min_time="$MIN_TIME" \
+       --benchmark_format=json > "$RAW"
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+# Map benchmark names to stable config keys: the bare
+# BM_CoreSimulation is the canonical deep40x4 no-policy case; the
+# BM_CoreSimulationPolicy captures already carry their config name.
+def config_key(name):
+    if name == "BM_CoreSimulation":
+        return "deep40x4_nopolicy"
+    prefix = "BM_CoreSimulationPolicy/"
+    if name.startswith(prefix):
+        return name[len(prefix):]
+    raise SystemExit(f"bench_speed.sh: unexpected benchmark {name!r}")
+
+configs = {}
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    key = config_key(b["name"])
+    configs[key] = {
+        "uops_per_sec": round(b["items_per_second"], 1),
+    }
+
+if not configs:
+    raise SystemExit("bench_speed.sh: no BM_CoreSimulation results")
+
+doc = {
+    "schema_version": 1,
+    "metric": "uops_per_sec",
+    "configs": dict(sorted(configs.items())),
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"bench_speed.sh: wrote {out_path} ({len(configs)} configs)")
+EOF

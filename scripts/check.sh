@@ -44,4 +44,46 @@ cmake --build "$BUILD" -j "$(nproc)"
 ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
     ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
     ${CTEST_ARGS:-}
+
+# Perf-regression harness: smoke-run the core-speed benchmarks (a
+# few ms per case — this validates that they still run and emit the
+# expected config set, not their absolute speed, which is machine-
+# and sanitizer-dependent) and schema-diff the result against the
+# checked-in BENCH_core_speed.json trajectory seed.
+BENCH_OUT="$BUILD/BENCH_core_speed.json" \
+    scripts/bench_speed.sh "$BUILD" 0.05
+python3 - "$BUILD/BENCH_core_speed.json" BENCH_core_speed.json <<'EOF'
+import json
+import sys
+
+fresh_path, seed_path = sys.argv[1], sys.argv[2]
+with open(fresh_path) as f:
+    fresh = json.load(f)
+with open(seed_path) as f:
+    seed = json.load(f)
+
+errors = []
+for field in ("schema_version", "metric"):
+    if fresh.get(field) != seed.get(field):
+        errors.append(f"{field}: checked-in {seed.get(field)!r} "
+                      f"vs fresh {fresh.get(field)!r}")
+fresh_cfgs = set(fresh.get("configs", {}))
+seed_cfgs = set(seed.get("configs", {}))
+if missing := seed_cfgs - fresh_cfgs:
+    errors.append(f"configs no longer produced: {sorted(missing)}")
+if new := fresh_cfgs - seed_cfgs:
+    errors.append(f"configs missing from the checked-in baseline "
+                  f"(re-run scripts/bench_speed.sh): {sorted(new)}")
+for name, entry in fresh.get("configs", {}).items():
+    if "uops_per_sec" not in entry:
+        errors.append(f"{name}: no uops_per_sec field")
+
+if errors:
+    print("check.sh: BENCH_core_speed.json schema drift:")
+    for e in errors:
+        print(f"  - {e}")
+    sys.exit(1)
+print(f"check.sh: bench schema OK ({len(fresh_cfgs)} configs)")
+EOF
+
 echo "check.sh: $PRESET preset passed"

@@ -18,28 +18,6 @@ Btb::Btb(std::size_t entries, unsigned ways) : ways_(ways)
     entries_.assign(entries, Entry{});
 }
 
-std::size_t
-Btb::setFor(Addr pc) const
-{
-    return (pc >> 2) & (sets_ - 1);
-}
-
-std::optional<Addr>
-Btb::lookup(Addr pc)
-{
-    Entry *base = &entries_[setFor(pc) * ways_];
-    ++useClock_;
-    for (unsigned w = 0; w < ways_; ++w) {
-        if (base[w].valid && base[w].tag == pc) {
-            base[w].lastUse = useClock_;
-            ++hits_;
-            return base[w].target;
-        }
-    }
-    ++misses_;
-    return std::nullopt;
-}
-
 void
 Btb::update(Addr pc, Addr target)
 {

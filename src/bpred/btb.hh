@@ -28,8 +28,23 @@ class Btb
      */
     explicit Btb(std::size_t entries = 4096, unsigned ways = 4);
 
-    /** Look up the target for a branch PC. */
-    std::optional<Addr> lookup(Addr pc);
+    /** Look up the target for a branch PC. Inline: one lookup runs
+     *  per predicted-taken branch in the simulated fetch stream. */
+    std::optional<Addr>
+    lookup(Addr pc)
+    {
+        Entry *base = &entries_[setFor(pc) * ways_];
+        ++useClock_;
+        for (unsigned w = 0; w < ways_; ++w) {
+            if (base[w].valid && base[w].tag == pc) {
+                base[w].lastUse = useClock_;
+                ++hits_;
+                return base[w].target;
+            }
+        }
+        ++misses_;
+        return std::nullopt;
+    }
 
     /** Install or refresh a (pc, target) pair. */
     void update(Addr pc, Addr target);
@@ -47,7 +62,7 @@ class Btb
         std::uint64_t lastUse = 0;
     };
 
-    std::size_t setFor(Addr pc) const;
+    std::size_t setFor(Addr pc) const { return (pc >> 2) & (sets_ - 1); }
 
     std::vector<Entry> entries_;
     std::size_t sets_;

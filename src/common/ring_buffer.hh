@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Fixed-capacity circular deque with stable physical slots.
+ *
+ * Elements live in a power-of-two array and are addressed two ways:
+ * logically (index 0 is the oldest element) or physically by slot
+ * index, which stays fixed for an element's whole residency — push
+ * and pop never move elements. A physical slot therefore pairs with
+ * a generation counter to form a stable O(1) handle; see
+ * uarch/inflight_window.hh for the main client.
+ */
+
+#ifndef PERCON_COMMON_RING_BUFFER_HH
+#define PERCON_COMMON_RING_BUFFER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+template <typename T>
+class RingBuffer
+{
+  public:
+    /** An empty buffer; reset() before use. */
+    RingBuffer() = default;
+
+    /** Capacity is @p min_capacity rounded up to a power of two. */
+    explicit RingBuffer(std::size_t min_capacity)
+    {
+        reset(min_capacity);
+    }
+
+    /** Drop all contents and (re)size to hold @p min_capacity. */
+    void
+    reset(std::size_t min_capacity)
+    {
+        std::size_t cap = 1;
+        while (cap < min_capacity)
+            cap <<= 1;
+        storage_.assign(cap, T{});
+        mask_ = cap - 1;
+        head_ = 0;
+        count_ = 0;
+    }
+
+    std::size_t capacity() const { return storage_.size(); }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ >= storage_.size(); }
+
+    /** Physical slot of logical index @p logical. */
+    std::size_t
+    slotOf(std::size_t logical) const
+    {
+        return (head_ + logical) & mask_;
+    }
+
+    T &at(std::size_t logical) { return storage_[slotOf(logical)]; }
+    const T &
+    at(std::size_t logical) const
+    {
+        return storage_[slotOf(logical)];
+    }
+
+    T &atSlot(std::size_t slot) { return storage_[slot]; }
+    const T &atSlot(std::size_t slot) const { return storage_[slot]; }
+
+    T &
+    front()
+    {
+        PERCON_ASSERT(!empty(), "front() on empty ring buffer");
+        return storage_[head_];
+    }
+
+    const T &
+    front() const
+    {
+        PERCON_ASSERT(!empty(), "front() on empty ring buffer");
+        return storage_[head_];
+    }
+
+    T &
+    back()
+    {
+        PERCON_ASSERT(!empty(), "back() on empty ring buffer");
+        return at(count_ - 1);
+    }
+
+    const T &
+    back() const
+    {
+        PERCON_ASSERT(!empty(), "back() on empty ring buffer");
+        return at(count_ - 1);
+    }
+
+    /** Append; returns the element's physical slot. */
+    std::size_t
+    pushBack(const T &v)
+    {
+        PERCON_ASSERT(!full(), "ring buffer overflow");
+        std::size_t slot = slotOf(count_);
+        storage_[slot] = v;
+        ++count_;
+        return slot;
+    }
+
+    /** Append a default-constructed element in place (the slot may
+     *  hold a stale previous occupant) and return its slot. */
+    std::size_t
+    emplaceBack()
+    {
+        PERCON_ASSERT(!full(), "ring buffer overflow");
+        std::size_t slot = slotOf(count_);
+        storage_[slot] = T{};
+        ++count_;
+        return slot;
+    }
+
+    void
+    popFront()
+    {
+        PERCON_ASSERT(!empty(), "popFront() on empty ring buffer");
+        head_ = (head_ + 1) & mask_;
+        --count_;
+    }
+
+    void
+    popBack()
+    {
+        PERCON_ASSERT(!empty(), "popBack() on empty ring buffer");
+        --count_;
+    }
+
+  private:
+    std::vector<T> storage_;
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_COMMON_RING_BUFFER_HH

@@ -24,12 +24,6 @@ mix64(std::uint64_t x)
 namespace {
 
 std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-std::uint64_t
 hashStream(std::string_view stream)
 {
     // FNV-1a over the stream name, then mixed.
@@ -55,33 +49,6 @@ Rng::Rng(std::uint64_t seed, std::string_view stream)
 {
 }
 
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-std::uint64_t
-Rng::nextBelow(std::uint64_t bound)
-{
-    PERCON_ASSERT(bound != 0, "nextBelow(0)");
-    // Lemire-style rejection to avoid modulo bias.
-    std::uint64_t threshold = (-bound) % bound;
-    for (;;) {
-        std::uint64_t r = next();
-        if (r >= threshold)
-            return r % bound;
-    }
-}
-
 std::int64_t
 Rng::nextRange(std::int64_t lo, std::int64_t hi)
 {
@@ -89,22 +56,6 @@ Rng::nextRange(std::int64_t lo, std::int64_t hi)
                   static_cast<long long>(lo), static_cast<long long>(hi));
     std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
     return lo + static_cast<std::int64_t>(nextBelow(span));
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBernoulli(double p)
-{
-    if (p <= 0.0)
-        return false;
-    if (p >= 1.0)
-        return true;
-    return nextDouble() < p;
 }
 
 double
@@ -131,11 +82,19 @@ Rng::nextGeometric(double p)
     if (p >= 1.0)
         return 0;
     PERCON_ASSERT(p > 0.0, "nextGeometric requires p > 0");
+    // Callers draw with the same p over and over (e.g. the program
+    // model's dependency-distance distribution), so cache log1p(-p).
+    // The division below uses the identical divisor value either
+    // way, keeping the generated sequence unchanged.
+    if (p != geomP_) {
+        geomP_ = p;
+        geomLogQ_ = std::log1p(-p);
+    }
     double u;
     do {
         u = nextDouble();
     } while (u <= 0.0);
-    return static_cast<std::uint64_t>(std::log(u) / std::log1p(-p));
+    return static_cast<std::uint64_t>(std::log(u) / geomLogQ_);
 }
 
 } // namespace percon

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "common/logging.hh"
+
 namespace percon {
 
 /** xoshiro256** generator with convenience distributions. */
@@ -26,20 +28,62 @@ class Rng
     /** Seed from a base seed plus a stream name, for named streams. */
     Rng(std::uint64_t seed, std::string_view stream);
 
+    // The hot distributions are defined inline: the simulator draws
+    // one or more numbers per simulated uop, and the call overhead
+    // showed up in profiles. The generated sequences are unchanged.
+
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t x, int k) {
+            return (x << k) | (x >> (64 - k));
+        };
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform in [0, bound); bound must be nonzero. */
-    std::uint64_t nextBelow(std::uint64_t bound);
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        PERCON_ASSERT(bound != 0, "nextBelow(0)");
+        // Lemire-style rejection to avoid modulo bias.
+        std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
 
     /** Uniform in [lo, hi] inclusive. */
     std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** True with probability p (clamped to [0,1]). */
-    bool nextBernoulli(double p);
+    bool
+    nextBernoulli(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return nextDouble() < p;
+    }
 
     /** Gaussian via Box-Muller (mean, stddev). */
     double nextGaussian(double mean, double stddev);
@@ -51,6 +95,8 @@ class Rng
     std::uint64_t s_[4];
     bool haveSpare_ = false;
     double spare_ = 0.0;
+    double geomP_ = -1.0;   ///< nextGeometric() log1p cache key
+    double geomLogQ_ = 0.0;
 };
 
 /** splitmix64 step, also useful as a cheap hash. */

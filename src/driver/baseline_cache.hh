@@ -15,9 +15,9 @@
 
 #include <functional>
 #include <future>
-#include <map>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "core/timing_sim.hh"
 
@@ -26,6 +26,9 @@ namespace percon {
 class BaselineCache
 {
   public:
+    /** Sized for a typical sweep's benchmark x machine grid. */
+    BaselineCache() { cache_.reserve(64); }
+
     /**
      * Memoized compute: the first caller for @p key runs @p fn, all
      * callers (including concurrent ones) get the same cached stats.
@@ -48,7 +51,16 @@ class BaselineCache
 
   private:
     std::mutex mutex_;
-    std::map<std::string, std::shared_future<CoreStats>> cache_;
+
+    /**
+     * Keys are canonical by construction — get() always formats them
+     * as "program/predictor/machine/measureUops" from already-
+     * normalized registry names, so byte equality is key equality
+     * and no ordering is needed. Hashing beats the old std::map's
+     * O(log n) string comparisons on wide sweeps.
+     */
+    std::unordered_map<std::string, std::shared_future<CoreStats>>
+        cache_;
 };
 
 } // namespace percon

@@ -25,61 +25,6 @@ Cache::Cache(const CacheParams &params) : params_(params)
     lines_.assign(numSets_ * params.ways, Line{});
 }
 
-std::size_t
-Cache::setFor(Addr addr) const
-{
-    return (addr >> lineShift_) & (numSets_ - 1);
-}
-
-Addr
-Cache::tagFor(Addr addr) const
-{
-    return addr >> lineShift_;
-}
-
-bool
-Cache::lookup(Addr addr, bool fill_on_miss, bool count)
-{
-    std::size_t set = setFor(addr);
-    Addr tag = tagFor(addr);
-    Line *base = &lines_[set * params_.ways];
-    ++useClock_;
-
-    for (unsigned w = 0; w < params_.ways; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            base[w].lastUse = useClock_;
-            if (count)
-                ++hits_;
-            return true;
-        }
-    }
-    if (count)
-        ++misses_;
-
-    if (fill_on_miss) {
-        // Victimize the LRU way (or any invalid way).
-        unsigned victim = 0;
-        for (unsigned w = 0; w < params_.ways; ++w) {
-            if (!base[w].valid) {
-                victim = w;
-                break;
-            }
-            if (base[w].lastUse < base[victim].lastUse)
-                victim = w;
-        }
-        base[victim].valid = true;
-        base[victim].tag = tag;
-        base[victim].lastUse = useClock_;
-    }
-    return false;
-}
-
-bool
-Cache::access(Addr addr)
-{
-    return lookup(addr, true, true);
-}
-
 bool
 Cache::probe(Addr addr) const
 {

@@ -37,7 +37,7 @@ class Cache
      * both reads and writes).
      * @return true on hit
      */
-    bool access(Addr addr);
+    bool access(Addr addr) { return lookup(addr, true, true); }
 
     /** Look up without filling (used by prefetch filtering). */
     bool probe(Addr addr) const;
@@ -68,9 +68,52 @@ class Cache
         std::uint64_t lastUse = 0;
     };
 
-    std::size_t setFor(Addr addr) const;
-    Addr tagFor(Addr addr) const;
-    bool lookup(Addr addr, bool fill_on_miss, bool count);
+    std::size_t
+    setFor(Addr addr) const
+    {
+        return (addr >> lineShift_) & (numSets_ - 1);
+    }
+
+    Addr tagFor(Addr addr) const { return addr >> lineShift_; }
+
+    // Inline: one lookup runs per fetched uop (trace cache) and per
+    // memory access, and the call showed up in simulator profiles.
+    bool
+    lookup(Addr addr, bool fill_on_miss, bool count)
+    {
+        std::size_t set = setFor(addr);
+        Addr tag = tagFor(addr);
+        Line *base = &lines_[set * params_.ways];
+        ++useClock_;
+
+        for (unsigned w = 0; w < params_.ways; ++w) {
+            if (base[w].valid && base[w].tag == tag) {
+                base[w].lastUse = useClock_;
+                if (count)
+                    ++hits_;
+                return true;
+            }
+        }
+        if (count)
+            ++misses_;
+
+        if (fill_on_miss) {
+            // Victimize the LRU way (or any invalid way).
+            unsigned victim = 0;
+            for (unsigned w = 0; w < params_.ways; ++w) {
+                if (!base[w].valid) {
+                    victim = w;
+                    break;
+                }
+                if (base[w].lastUse < base[victim].lastUse)
+                    victim = w;
+            }
+            base[victim].valid = true;
+            base[victim].tag = tag;
+            base[victim].lastUse = useClock_;
+        }
+        return false;
+    }
 
     CacheParams params_;
     std::size_t numSets_;

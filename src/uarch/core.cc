@@ -13,7 +13,10 @@ Core::Core(const PipelineConfig &config, WorkloadSource &workload,
       wrongPath_(wrong_path), predictor_(predictor),
       estimator_(estimator), mem_(config.mem), exec_(config_, mem_),
       traceCache_(config.traceCache),
-      btb_(config.btbEntries, config.btbWays)
+      btb_(config.btbEntries, config.btbWays),
+      window_(config.robSize,
+              static_cast<std::size_t>(config.frontEndDepth) *
+                  config.width)
 {
     if ((spec_.gateThreshold > 0 && !spec_.oracleGating) ||
         spec_.reversalEnabled) {
@@ -22,33 +25,16 @@ Core::Core(const PipelineConfig &config, WorkloadSource &workload,
     }
 }
 
-InflightUop *
-Core::findBySeq(SeqNum seq)
-{
-    // Both structures are seq-sorted but may contain gaps where
-    // flushed wrong-path uops used to be, so binary-search by seq.
-    auto search = [seq](std::deque<InflightUop> &q) -> InflightUop * {
-        if (q.empty() || seq < q.front().seq || seq > q.back().seq)
-            return nullptr;
-        auto it = std::lower_bound(
-            q.begin(), q.end(), seq,
-            [](const InflightUop &u, SeqNum s) { return u.seq < s; });
-        return (it != q.end() && it->seq == seq) ? &*it : nullptr;
-    };
-    if (InflightUop *u = search(rob_))
-        return u;
-    return search(fetchPipe_);
-}
-
 void
 Core::applyPendingConfidence()
 {
-    while (!confQueue_.empty() && confQueue_.top().first <= now_) {
-        SeqNum seq = confQueue_.top().second;
+    while (!confQueue_.empty() && confQueue_.top().when <= now_) {
+        UopEvent ev = confQueue_.top();
         confQueue_.pop();
-        InflightUop *u = findBySeq(seq);
+        InflightUop *u = window_.lookup(ev.h);
         if (!u)
             continue;  // flushed before the estimate arrived
+        PERCON_ASSERT(u->seq == ev.seq, "stale confidence handle");
         if (!u->lowConfPending || u->resolvedForGate)
             continue;  // resolved before the estimate arrived
         u->lowConfPending = false;
@@ -60,12 +46,13 @@ Core::applyPendingConfidence()
 void
 Core::resolveBranches()
 {
-    while (!resolveQueue_.empty() && resolveQueue_.top().first <= now_) {
-        SeqNum seq = resolveQueue_.top().second;
+    while (!resolveQueue_.empty() && resolveQueue_.top().when <= now_) {
+        UopEvent ev = resolveQueue_.top();
         resolveQueue_.pop();
-        InflightUop *u = findBySeq(seq);
+        InflightUop *u = window_.lookup(ev.h);
         if (!u)
             continue;  // branch was flushed
+        PERCON_ASSERT(u->seq == ev.seq, "stale resolve handle");
         PERCON_ASSERT(u->isBranch(), "non-branch in resolve queue");
         if (u->resolvedForGate)
             continue;
@@ -89,34 +76,28 @@ Core::flushAfter(const InflightUop &branch)
 
     // Everything younger than the branch is wrong-path by
     // construction; account its execution and unwind resources.
-    while (!rob_.empty() && rob_.back().seq > branch.seq) {
-        InflightUop &u = rob_.back();
-        PERCON_ASSERT(u.wrongPath, "flushing a correct-path uop");
-        if (u.issueAt <= now_) {
-            ++stats_.executedUops;
-            ++stats_.wrongPathExecuted;
+    window_.flushYoungerThan(branch.seq, [this](InflightUop &u) {
+        if (u.dispatched) {
+            PERCON_ASSERT(u.wrongPath, "flushing a correct-path uop");
+            if (u.issueAt <= now_) {
+                ++stats_.executedUops;
+                ++stats_.wrongPathExecuted;
+            }
+            if (u.cls == UopClass::Load) {
+                PERCON_ASSERT(loadsInFlight_ > 0,
+                              "load buffer underflow");
+                --loadsInFlight_;
+            } else if (u.cls == UopClass::Store) {
+                PERCON_ASSERT(storesInFlight_ > 0,
+                              "store buffer underflow");
+                --storesInFlight_;
+            }
         }
         if (u.lowConfCounted) {
             PERCON_ASSERT(gateCount_ > 0, "gate counter underflow");
             --gateCount_;
         }
-        if (u.cls == UopClass::Load) {
-            PERCON_ASSERT(loadsInFlight_ > 0, "load buffer underflow");
-            --loadsInFlight_;
-        } else if (u.cls == UopClass::Store) {
-            PERCON_ASSERT(storesInFlight_ > 0, "store buffer underflow");
-            --storesInFlight_;
-        }
-        rob_.pop_back();
-    }
-
-    for (InflightUop &u : fetchPipe_) {
-        if (u.lowConfCounted) {
-            PERCON_ASSERT(gateCount_ > 0, "gate counter underflow");
-            --gateCount_;
-        }
-    }
-    fetchPipe_.clear();
+    });
 
     history_.recover(branch.ghrSnapshot, branch.actualTaken);
     onWrongPath_ = false;
@@ -126,9 +107,9 @@ void
 Core::retire()
 {
     for (unsigned n = 0; n < config_.width; ++n) {
-        if (rob_.empty())
+        if (window_.robEmpty())
             return;
-        InflightUop &u = rob_.front();
+        InflightUop &u = window_.robFront();
         if (!u.dispatched ||
             u.completeAt + config_.backEndDepth > now_)
             return;
@@ -176,7 +157,7 @@ Core::retire()
           default:
             break;
         }
-        rob_.pop_front();
+        window_.popRetired();
     }
 }
 
@@ -200,13 +181,13 @@ void
 Core::dispatch()
 {
     for (unsigned n = 0; n < config_.width; ++n) {
-        if (fetchPipe_.empty() ||
-            fetchPipe_.front().dispatchReadyAt > now_) {
+        if (window_.pipeEmpty() ||
+            window_.pipeFront().dispatchReadyAt > now_) {
             ++stats_.dispatchStallEmpty;
             return;
         }
-        InflightUop &front = fetchPipe_.front();
-        if (rob_.size() >= config_.robSize) {
+        InflightUop &front = window_.pipeFront();
+        if (window_.robSize() >= config_.robSize) {
             ++stats_.dispatchStallRob;
             return;
         }
@@ -222,8 +203,8 @@ Core::dispatch()
             return;
         }
 
-        InflightUop u = front;
-        fetchPipe_.pop_front();
+        UopHandle h = window_.pipeFrontHandle();
+        InflightUop &u = window_.dispatchPipeFront();
 
         exec_.dispatch(u, now_, sourceReady(u));
         stats_.issueWaitSum += u.issueAt - now_;
@@ -245,9 +226,7 @@ Core::dispatch()
         // fetch, which is the deep-pipe waste multiplier.
         if (u.isBranch() && !u.resolvedForGate)
             resolveQueue_.push({u.completeAt + config_.backEndDepth,
-                                u.seq});
-
-        rob_.push_back(u);
+                                u.seq, h});
     }
 }
 
@@ -259,13 +238,14 @@ Core::fetchOne()
     bool stall_after = false;
     if (config_.traceCacheEnabled && !traceCache_.access(mu.pc)) {
         // Build the missing line: fetch delivers this uop but stalls
-        // while the fill completes.
+        // while the fill completes. (Fetch only runs once both stall
+        // deadlines have passed, so assignment is equivalent to max.)
         ++stats_.traceCacheMisses;
-        fetchStallUntil_ = now_ + config_.traceCacheMissPenalty;
+        tcStallUntil_ = now_ + config_.traceCacheMissPenalty;
         stall_after = true;
     }
 
-    InflightUop u;
+    auto [u, h] = window_.emplaceFetched();
     u.seq = nextSeq_++;
     u.pc = mu.pc;
     u.cls = mu.cls;
@@ -280,6 +260,7 @@ Core::fetchOne()
     if (u.wrongPath)
         ++stats_.wrongPathFetched;
 
+    bool conf_pending = false;
     if (u.isBranch()) {
         u.ghrSnapshot = history_.bits();
         u.predTaken = predictor_.predict(u.pc, u.ghrSnapshot, u.meta);
@@ -302,8 +283,8 @@ Core::fetchOne()
             if (!btb_.lookup(u.pc)) {
                 ++stats_.btbMisses;
                 Cycle until = now_ + config_.btbMissPenalty;
-                if (until > fetchStallUntil_)
-                    fetchStallUntil_ = until;
+                if (until > btbStallUntil_)
+                    btbStallUntil_ = until;
                 stall_after = true;
                 btb_.update(u.pc, mu.target);
             }
@@ -345,27 +326,33 @@ Core::fetchOne()
             } else {
                 u.lowConfPending = true;
                 u.confAppliesAt = now_ + spec_.confidenceLatency;
-                confQueue_.push({u.confAppliesAt, u.seq});
+                conf_pending = true;
             }
         }
     }
 
-    fetchPipe_.push_back(u);
+    if (conf_pending)
+        confQueue_.push({u.confAppliesAt, u.seq, h});
     return !stall_after;
 }
 
 void
 Core::fetch()
 {
-    std::size_t capacity =
-        static_cast<std::size_t>(config_.frontEndDepth) * config_.width;
-    if (fetchPipe_.size() >= capacity) {
+    if (window_.pipeFull()) {
         ++stats_.fetchStallPipeFull;
         return;
     }
 
-    if (now_ < fetchStallUntil_) {
-        ++stats_.traceCacheStallCycles;
+    Cycle stall_until = std::max(tcStallUntil_, btbStallUntil_);
+    if (now_ < stall_until) {
+        // Attribute the stalled cycle to its cause; when a
+        // trace-cache fill and a BTB bubble overlap, the trace cache
+        // (the longer deadline still pending) takes priority.
+        if (now_ < tcStallUntil_)
+            ++stats_.traceCacheStallCycles;
+        else
+            ++stats_.btbStallCycles;
         return;
     }
 
@@ -377,8 +364,7 @@ Core::fetch()
         width = std::min(width, spec_.throttleWidth);
     }
 
-    for (unsigned n = 0; n < width && fetchPipe_.size() < capacity;
-         ++n) {
+    for (unsigned n = 0; n < width && !window_.pipeFull(); ++n) {
         if (!fetchOne())
             break;
     }
@@ -397,21 +383,149 @@ Core::cycleOnce()
     fetch();
 }
 
+Cycle
+Core::nextEventCycle() const
+{
+    Cycle stall_until = std::max(tcStallUntil_, btbStallUntil_);
+    bool pipe_full = window_.pipeFull();
+    bool gated_stall = spec_.gateThreshold > 0 &&
+                       gateCount_ >= spec_.gateThreshold &&
+                       spec_.throttleWidth == 0;
+
+    // Fast path: fetch can deliver uops next cycle, so there is
+    // nothing to skip. This is the common case in busy phases.
+    if (!pipe_full && now_ + 1 >= stall_until && !gated_stall)
+        return now_ + 1;
+
+    Cycle next = kNoEvent;
+    auto consider = [&](Cycle c) {
+        c = std::max(c, now_ + 1);
+        if (c < next)
+            next = c;
+    };
+
+    // Timed queue events must land exactly: they mutate uop state
+    // (resolution, flushes, delayed gate marks).
+    if (!resolveQueue_.empty())
+        consider(resolveQueue_.top().when);
+    if (!confQueue_.empty())
+        consider(confQueue_.top().when);
+
+    // Retire eligibility of the ROB head.
+    if (!window_.robEmpty()) {
+        const InflightUop &head = window_.robFront();
+        if (head.dispatched)
+            consider(head.completeAt + config_.backEndDepth);
+    }
+
+    // Dispatch progress. ROB and load/store-buffer pressure can only
+    // clear at a retire or flush, which the candidates above already
+    // cover; a full scheduler window clears at the next entry
+    // release, and an idle front end at the head's ready cycle.
+    if (!window_.pipeEmpty()) {
+        const InflightUop &front = window_.pipeFront();
+        bool rob_full = window_.robSize() >= config_.robSize;
+        bool buffers_full =
+            (front.cls == UopClass::Load &&
+             loadsInFlight_ >= config_.loadBuffers) ||
+            (front.cls == UopClass::Store &&
+             storesInFlight_ >= config_.storeBuffers);
+        if (!rob_full) {
+            if (!exec_.windowAvailable(schedClassFor(front.cls)))
+                consider(exec_.nextWindowRelease());
+            else if (!buffers_full)
+                consider(front.dispatchReadyAt);
+        }
+    }
+
+    // Fetch-stall expiry (a full pipe or a gated front end clears
+    // only at the events already considered above).
+    if (!pipe_full && now_ + 1 < stall_until)
+        consider(stall_until);
+
+    return next;
+}
+
+void
+Core::fastForward(Cycle skipped)
+{
+    Cycle begin = now_ + 1;  // first skipped cycle
+
+    // Every skipped cycle would have run the no-progress paths of
+    // dispatch() and fetch(); replay their per-cycle stall
+    // accounting in bulk so CoreStats stay bit-identical to the
+    // cycle-stepped run. All machine state is constant over the
+    // span by construction, so only the time comparisons vary.
+    if (window_.pipeEmpty()) {
+        stats_.dispatchStallEmpty += skipped;
+    } else {
+        const InflightUop &front = window_.pipeFront();
+        Cycle not_ready =
+            front.dispatchReadyAt > begin
+                ? std::min<Cycle>(skipped, front.dispatchReadyAt - begin)
+                : 0;
+        stats_.dispatchStallEmpty += not_ready;
+        Cycle blocked = skipped - not_ready;
+        if (blocked > 0) {
+            if (window_.robSize() >= config_.robSize)
+                stats_.dispatchStallRob += blocked;
+            else if (!exec_.windowAvailable(
+                         schedClassFor(front.cls)))
+                stats_.dispatchStallWindow += blocked;
+            else
+                stats_.dispatchStallBuffers += blocked;
+        }
+    }
+
+    if (window_.pipeFull()) {
+        stats_.fetchStallPipeFull += skipped;
+    } else if (begin < std::max(tcStallUntil_, btbStallUntil_)) {
+        Cycle tc = tcStallUntil_ > begin
+                       ? std::min<Cycle>(skipped, tcStallUntil_ - begin)
+                       : 0;
+        stats_.traceCacheStallCycles += tc;
+        stats_.btbStallCycles += skipped - tc;
+    } else {
+        PERCON_ASSERT(spec_.gateThreshold > 0 &&
+                          gateCount_ >= spec_.gateThreshold &&
+                          spec_.throttleWidth == 0,
+                      "fast-forward with an unblocked front end");
+        stats_.gatedCycles += skipped;
+    }
+
+    now_ += skipped;
+    stats_.cycles += skipped;
+}
+
 void
 Core::run(Count target_retired)
 {
     Count goal = stats_.retiredUops + target_retired;
-    Cycle last_progress = now_;
     Count last_retired = stats_.retiredUops;
+    Count idle_iters = 0;
     while (stats_.retiredUops < goal) {
         cycleOnce();
         if (stats_.retiredUops != last_retired) {
             last_retired = stats_.retiredUops;
-            last_progress = now_;
-        } else if (now_ - last_progress > 500000) {
-            panic("core deadlock: no retirement in 500k cycles "
+            idle_iters = 0;
+        } else if (++idle_iters > 500000) {
+            // Counts event-loop iterations (= active, non-skipped
+            // cycles), not raw now_ delta: a legitimate fast-forward
+            // through a long memory stall must not trip this.
+            panic("core deadlock: no retirement in 500k active cycles "
                   "(gate=%u rob=%zu pipe=%zu)",
-                  gateCount_, rob_.size(), fetchPipe_.size());
+                  gateCount_, window_.robSize(), window_.pipeSize());
+        }
+        if (skipIdleCycles_ && stats_.retiredUops < goal) {
+            Cycle next = nextEventCycle();
+            if (next == kNoEvent) {
+                panic("core deadlock: no schedulable event "
+                      "(gate=%u rob=%zu pipe=%zu)",
+                      gateCount_, window_.robSize(),
+                      window_.pipeSize());
+            }
+            if (next > now_ + 1)
+                fastForward(next - now_ - 1);
         }
     }
 }

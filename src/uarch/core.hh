@@ -20,14 +20,24 @@
  *
  * Branch reversal (§5.5): StrongLow-band branches have their
  * predicted direction inverted at fetch.
+ *
+ * Simulator throughput: run() is event-driven. After each simulated
+ * cycle the core computes the earliest cycle at which any stage
+ * could make progress or any timed event (branch resolution, delayed
+ * confidence mark, scheduler-window release, retire eligibility,
+ * fetch-stall expiry) fires, and fast-forwards over the idle gap in
+ * O(1) while replaying the per-cycle stall accounting in bulk. The
+ * reported CoreStats are bit-identical to the cycle-stepped run —
+ * see tests/uarch/core_golden_stats_test.cc, which pins every
+ * counter against the pre-optimization implementation.
  */
 
 #ifndef PERCON_UARCH_CORE_HH
 #define PERCON_UARCH_CORE_HH
 
-#include <deque>
 #include <memory>
 #include <queue>
+#include <vector>
 
 #include "bpred/branch_predictor.hh"
 #include "bpred/btb.hh"
@@ -38,9 +48,32 @@
 #include "trace/wrongpath.hh"
 #include "uarch/core_stats.hh"
 #include "uarch/exec_model.hh"
+#include "uarch/inflight_window.hh"
 #include "uarch/pipeline_config.hh"
 
 namespace percon {
+
+/** A timed resolve / delayed-confidence event on an in-flight uop.
+ *  Ordered by (when, seq) so same-cycle events process in fetch
+ *  order, exactly like the original seq-keyed queues. */
+struct UopEvent
+{
+    Cycle when;
+    SeqNum seq;
+    UopHandle h;
+};
+
+struct UopEventLater
+{
+    bool
+    operator()(const UopEvent &a, const UopEvent &b) const
+    {
+        return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+};
+
+using UopEventQueue =
+    std::priority_queue<UopEvent, std::vector<UopEvent>, UopEventLater>;
 
 class Core
 {
@@ -65,6 +98,14 @@ class Core
      *  state is kept): the paper's 10M-uop warmup. */
     void warmup(Count uops);
 
+    /**
+     * Enable/disable event-driven idle-cycle skipping (default on).
+     * Skipping never changes CoreStats — the equivalence tests run
+     * both modes and require byte-identical results — so this exists
+     * only for those tests and for debugging.
+     */
+    void setCycleSkipping(bool enabled) { skipIdleCycles_ = enabled; }
+
     const CoreStats &stats() const { return stats_; }
     void resetStats() { stats_ = CoreStats{}; }
 
@@ -78,12 +119,21 @@ class Core
     void dispatch();
     void fetch();
     void flushAfter(const InflightUop &branch);
-    InflightUop *findBySeq(SeqNum seq);
     Cycle sourceReady(const InflightUop &uop) const;
+
+    /** Earliest cycle > now_ at which any stage can make progress or
+     *  any timed event fires; kNoEvent when the machine is dead. */
+    Cycle nextEventCycle() const;
+
+    /** Advance @p skipped guaranteed-idle cycles at once, replaying
+     *  their per-cycle stall accounting in bulk. */
+    void fastForward(Cycle skipped);
 
     /** Fetch one uop; returns false when fetch must stop for this
      *  cycle (trace-cache miss). */
     bool fetchOne();
+
+    static constexpr Cycle kNoEvent = ~Cycle(0);
 
     // configuration ------------------------------------------------
     PipelineConfig config_;
@@ -99,27 +149,25 @@ class Core
     SpecHistory history_;
     Cache traceCache_;
     Btb btb_;
-    Cycle fetchStallUntil_ = 0;
 
-    std::deque<InflightUop> fetchPipe_;
-    std::deque<InflightUop> rob_;
+    /** Fetch-stall deadlines by cause; fetch resumes at the max. */
+    Cycle tcStallUntil_ = 0;
+    Cycle btbStallUntil_ = 0;
 
-    /** (completeAt, seq) of unresolved in-flight branches. */
-    std::priority_queue<std::pair<Cycle, SeqNum>,
-                        std::vector<std::pair<Cycle, SeqNum>>,
-                        std::greater<>>
-        resolveQueue_;
+    /** Fetch pipe + ROB (see inflight_window.hh). */
+    InflightWindow window_;
 
-    /** (applyAt, seq) of delayed low-confidence marks. */
-    std::priority_queue<std::pair<Cycle, SeqNum>,
-                        std::vector<std::pair<Cycle, SeqNum>>,
-                        std::greater<>>
-        confQueue_;
+    /** Unresolved in-flight branches, keyed by resolution cycle. */
+    UopEventQueue resolveQueue_;
+
+    /** Delayed low-confidence marks, keyed by apply cycle. */
+    UopEventQueue confQueue_;
 
     Cycle now_ = 0;
     SeqNum nextSeq_ = 1;
     unsigned gateCount_ = 0;
     bool onWrongPath_ = false;
+    bool skipIdleCycles_ = true;
 
     unsigned loadsInFlight_ = 0;
     unsigned storesInFlight_ = 0;

@@ -35,8 +35,9 @@ struct CoreStats
     Count flushes = 0;
 
     Count traceCacheMisses = 0;
-    Count traceCacheStallCycles = 0;
+    Count traceCacheStallCycles = 0;  ///< fetch stalled on a TC fill
     Count btbMisses = 0;
+    Count btbStallCycles = 0;         ///< fetch stalled on a BTB bubble
 
     // Bottleneck accounting (one count per stalled cycle/uop).
     Count fetchStallPipeFull = 0;

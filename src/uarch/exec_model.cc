@@ -4,23 +4,8 @@
 
 namespace percon {
 
-SchedClass
-schedClassFor(UopClass cls)
-{
-    switch (cls) {
-      case UopClass::Load:
-      case UopClass::Store:
-        return SchedClass::Mem;
-      case UopClass::FpAlu:
-        return SchedClass::Fp;
-      default:
-        return SchedClass::Int;
-    }
-}
-
 IssueSlots::IssueSlots(unsigned units)
-    : slotCycle_(kHorizon, ~Cycle(0)), slotCount_(kHorizon, 0),
-      units_(units)
+    : slots_(kHorizon, Slot{~Cycle(0), 0}), units_(units)
 {
     PERCON_ASSERT(units >= 1, "need at least one unit");
 }
@@ -30,13 +15,13 @@ IssueSlots::book(Cycle ready)
 {
     Cycle c = ready;
     for (;;) {
-        std::size_t idx = c % kHorizon;
-        if (slotCycle_[idx] != c) {
-            slotCycle_[idx] = c;
-            slotCount_[idx] = 0;
+        Slot &s = slots_[c % kHorizon];
+        if (s.cycle != c) {
+            s.cycle = c;
+            s.count = 0;
         }
-        if (slotCount_[idx] < units_) {
-            ++slotCount_[idx];
+        if (s.count < units_) {
+            ++s.count;
             return c;
         }
         ++c;
@@ -57,24 +42,6 @@ ExecModel::ExecModel(const PipelineConfig &config, MemoryHierarchy &mem)
     capacity_[0] = config.schedInt;
     capacity_[1] = config.schedMem;
     capacity_[2] = config.schedFp;
-}
-
-void
-ExecModel::tick(Cycle now)
-{
-    while (!releases_.empty() && releases_.top().first <= now) {
-        unsigned cls = releases_.top().second;
-        releases_.pop();
-        PERCON_ASSERT(occupancy_[cls] > 0, "window underflow");
-        --occupancy_[cls];
-    }
-}
-
-bool
-ExecModel::windowAvailable(SchedClass cls) const
-{
-    unsigned c = static_cast<unsigned>(cls);
-    return occupancy_[c] < capacity_[c];
 }
 
 Cycle
@@ -114,7 +81,12 @@ ExecModel::dispatch(InflightUop &uop, Cycle now, Cycle src_ready)
     uop.dispatched = true;
 
     ++occupancy_[cls];
-    releases_.push({issue, cls});
+    if (issue - ticked_ < kWheelSlots) {
+        wheel_[issue & (kWheelSlots - 1)] += 1ULL << (21 * cls);
+        ++pendingWheel_;
+    } else {
+        farReleases_.push((issue << 2) | cls);
+    }
 }
 
 } // namespace percon

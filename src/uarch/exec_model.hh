@@ -24,6 +24,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/logging.hh"
 #include "memory/hierarchy.hh"
 #include "uarch/inflight.hh"
 #include "uarch/pipeline_config.hh"
@@ -33,7 +34,19 @@ namespace percon {
 /** Scheduler class: which window and unit pool a uop uses. */
 enum class SchedClass : unsigned { Int = 0, Mem = 1, Fp = 2 };
 
-SchedClass schedClassFor(UopClass cls);
+inline SchedClass
+schedClassFor(UopClass cls)
+{
+    switch (cls) {
+      case UopClass::Load:
+      case UopClass::Store:
+        return SchedClass::Mem;
+      case UopClass::FpAlu:
+        return SchedClass::Fp;
+      default:
+        return SchedClass::Int;
+    }
+}
 
 /**
  * Per-class issue-slot ledger: counts issues booked per future
@@ -50,8 +63,14 @@ class IssueSlots
 
   private:
     static constexpr std::size_t kHorizon = 16384;
-    std::vector<Cycle> slotCycle_;
-    std::vector<std::uint16_t> slotCount_;
+    /** Cycle tag + booked count in one record, so the common case
+     *  (first probe succeeds) touches a single cache line. */
+    struct Slot
+    {
+        Cycle cycle;
+        std::uint16_t count;
+    };
+    std::vector<Slot> slots_;
     unsigned units_;
 };
 
@@ -61,10 +80,73 @@ class ExecModel
     ExecModel(const PipelineConfig &config, MemoryHierarchy &mem);
 
     /** Free scheduler entries whose uops have issued by @p now. */
-    void tick(Cycle now);
+    void
+    tick(Cycle now)
+    {
+        // Walk the calendar wheel over the cycles since the last
+        // tick. Each slot packs the per-class release counts for one
+        // cycle, so the common case is one load per simulated cycle
+        // instead of a heap pop per dispatched uop.
+        while (ticked_ < now) {
+            ++ticked_;
+            std::uint64_t v = wheel_[ticked_ & (kWheelSlots - 1)];
+            if (v) {
+                wheel_[ticked_ & (kWheelSlots - 1)] = 0;
+                std::uint64_t c0 = v & kLaneMask;
+                std::uint64_t c1 = (v >> 21) & kLaneMask;
+                std::uint64_t c2 = v >> 42;
+                PERCON_ASSERT(occupancy_[0] >= c0 &&
+                                  occupancy_[1] >= c1 &&
+                                  occupancy_[2] >= c2,
+                              "window underflow");
+                occupancy_[0] -= static_cast<unsigned>(c0);
+                occupancy_[1] -= static_cast<unsigned>(c1);
+                occupancy_[2] -= static_cast<unsigned>(c2);
+                pendingWheel_ -=
+                    static_cast<unsigned>(c0 + c1 + c2);
+            }
+        }
+        while (!farReleases_.empty() &&
+               (farReleases_.top() >> 2) <= now) {
+            unsigned cls = farReleases_.top() & 3u;
+            farReleases_.pop();
+            PERCON_ASSERT(occupancy_[cls] > 0, "window underflow");
+            --occupancy_[cls];
+        }
+    }
 
     /** True if the window for @p cls has a free entry. */
-    bool windowAvailable(SchedClass cls) const;
+    bool
+    windowAvailable(SchedClass cls) const
+    {
+        unsigned c = static_cast<unsigned>(cls);
+        return occupancy_[c] < capacity_[c];
+    }
+
+    /**
+     * Cycle of the next window-entry release (any class), or
+     * ~Cycle(0) when nothing is pending. Used by the core's
+     * event-driven loop to know when a full window can clear.
+     */
+    Cycle
+    nextWindowRelease() const
+    {
+        Cycle best = ~Cycle(0);
+        if (pendingWheel_ > 0) {
+            // All wheel entries lie within kWheelSlots of ticked_,
+            // so this scan terminates; it only runs when a core is
+            // stalled on a full window, which is rare.
+            for (Cycle t = ticked_ + 1;; ++t) {
+                if (wheel_[t & (kWheelSlots - 1)]) {
+                    best = t;
+                    break;
+                }
+            }
+        }
+        if (!farReleases_.empty() && (farReleases_.top() >> 2) < best)
+            best = farReleases_.top() >> 2;
+        return best;
+    }
 
     /**
      * Dispatch @p uop at cycle @p now: computes issueAt/completeAt,
@@ -92,11 +174,27 @@ class ExecModel
     unsigned occupancy_[3] = {0, 0, 0};
     unsigned capacity_[3];
 
-    /** (issueAt, class) release queue for window entries. */
-    using Release = std::pair<Cycle, unsigned>;
+    /**
+     * Window-entry release ledger. tick() only needs "how many
+     * entries of each class free at cycle t", never a sorted order,
+     * so releases live in a calendar wheel indexed by issue cycle:
+     * each slot packs three 21-bit per-class counts (far above any
+     * scheduler capacity) into one word. Releases booked beyond the
+     * wheel's reach — pathological dependence chains only — spill to
+     * a small heap of (issueAt << 2) | class words.
+     */
+    static constexpr std::size_t kWheelSlots = 16384;
+    static constexpr std::uint64_t kLaneMask = (1ULL << 21) - 1;
+
+    std::vector<std::uint64_t> wheel_ =
+        std::vector<std::uint64_t>(kWheelSlots, 0);
+    Cycle ticked_ = 0;        ///< all cycles <= this are processed
+    unsigned pendingWheel_ = 0;  ///< total entries in the wheel
+
+    using Release = std::uint64_t;
     std::priority_queue<Release, std::vector<Release>,
                         std::greater<Release>>
-        releases_;
+        farReleases_;
 };
 
 } // namespace percon

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The in-flight uop window shared by Core and SmtCore: fetch pipe
+ * and ROB in one ring buffer.
+ *
+ * Fetch order is seq order, and the ROB is always the older prefix
+ * of the fetch stream: dispatch moves the pipe/ROB boundary instead
+ * of copying the uop, retire pops the front, and a flush truncates
+ * the young end (everything fetched after the mispredicted branch,
+ * which is the whole fetch pipe plus the wrong-path ROB suffix).
+ * The original implementation kept two deques and binary-searched
+ * them by seq on every resolve/confidence event; here events carry a
+ * generation-checked slot handle instead, making the lookup O(1) and
+ * flush-safe: once a slot is vacated its generation advances, so a
+ * stale handle can never alias the slot's next occupant.
+ */
+
+#ifndef PERCON_UARCH_INFLIGHT_WINDOW_HH
+#define PERCON_UARCH_INFLIGHT_WINDOW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/ring_buffer.hh"
+#include "uarch/inflight.hh"
+
+namespace percon {
+
+/**
+ * Generation-checked reference to an in-flight uop. Taken at fetch
+ * and valid until the uop retires or is flushed; lookups after that
+ * return null instead of the slot's next occupant.
+ */
+struct UopHandle
+{
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+};
+
+class InflightWindow
+{
+  public:
+    /** An unusable empty window; reset() before use. */
+    InflightWindow() = default;
+
+    InflightWindow(std::size_t rob_capacity, std::size_t pipe_capacity)
+    {
+        reset(rob_capacity, pipe_capacity);
+    }
+
+    /** Size for @p rob_capacity ROB entries plus @p pipe_capacity
+     *  front-end entries and drop any contents. */
+    void
+    reset(std::size_t rob_capacity, std::size_t pipe_capacity)
+    {
+        ring_.reset(rob_capacity + pipe_capacity);
+        gen_.assign(ring_.capacity(), 0);
+        robCap_ = rob_capacity;
+        pipeCap_ = pipe_capacity;
+        robCount_ = 0;
+    }
+
+    // ------------------------ fetch pipe view ---------------------
+    std::size_t pipeSize() const { return ring_.size() - robCount_; }
+    bool pipeEmpty() const { return ring_.size() == robCount_; }
+    bool pipeFull() const { return pipeSize() >= pipeCap_; }
+    InflightUop &pipeFront() { return ring_.at(robCount_); }
+    const InflightUop &pipeFront() const { return ring_.at(robCount_); }
+
+    /** Append a fetched uop; returns its lifetime handle. */
+    UopHandle
+    pushFetched(const InflightUop &u)
+    {
+        PERCON_ASSERT(!pipeFull(), "fetch into a full pipe");
+        std::size_t slot = ring_.pushBack(u);
+        return {static_cast<std::uint32_t>(slot), gen_[slot]};
+    }
+
+    /** Append a fresh (default-initialized) fetched uop and hand the
+     *  caller the slot to fill in place — fetch is the hottest path,
+     *  and this avoids copying the whole InflightUop once per uop. */
+    struct Fetched
+    {
+        InflightUop &u;
+        UopHandle h;
+    };
+
+    Fetched
+    emplaceFetched()
+    {
+        PERCON_ASSERT(!pipeFull(), "fetch into a full pipe");
+        std::size_t slot = ring_.emplaceBack();
+        return {ring_.atSlot(slot),
+                {static_cast<std::uint32_t>(slot), gen_[slot]}};
+    }
+
+    /** Handle of the pipe front (taken just before dispatch). */
+    UopHandle
+    pipeFrontHandle() const
+    {
+        std::size_t slot = ring_.slotOf(robCount_);
+        return {static_cast<std::uint32_t>(slot), gen_[slot]};
+    }
+
+    /** Move the pipe front into the ROB (boundary shift, no copy). */
+    InflightUop &
+    dispatchPipeFront()
+    {
+        PERCON_ASSERT(!pipeEmpty(), "dispatch from an empty pipe");
+        PERCON_ASSERT(robCount_ < robCap_, "dispatch into a full ROB");
+        return ring_.at(robCount_++);
+    }
+
+    // ------------------------ ROB view ----------------------------
+    std::size_t robSize() const { return robCount_; }
+    bool robEmpty() const { return robCount_ == 0; }
+    bool robFull() const { return robCount_ >= robCap_; }
+    InflightUop &robFront() { return ring_.front(); }
+    const InflightUop &robFront() const { return ring_.front(); }
+
+    /** Retire the ROB head. */
+    void
+    popRetired()
+    {
+        PERCON_ASSERT(robCount_ > 0, "retire from an empty ROB");
+        ++gen_[ring_.slotOf(0)];
+        ring_.popFront();
+        --robCount_;
+    }
+
+    // ------------------------ event lookup ------------------------
+    /** Null once the uop has retired or been flushed. */
+    InflightUop *
+    lookup(UopHandle h)
+    {
+        return gen_[h.slot] == h.gen ? &ring_.atSlot(h.slot) : nullptr;
+    }
+
+    // ------------------------ flush -------------------------------
+    /**
+     * Drop every uop younger than @p seq, youngest first: the whole
+     * fetch pipe and the ROB suffix behind the mispredicted branch.
+     * @p on_drop sees each dropped uop for stats/resource unwinding;
+     * distinguish ROB from pipe entries via InflightUop::dispatched.
+     */
+    template <typename Fn>
+    void
+    flushYoungerThan(SeqNum seq, Fn &&on_drop)
+    {
+        while (!ring_.empty() && ring_.back().seq > seq) {
+            on_drop(ring_.back());
+            ++gen_[ring_.slotOf(ring_.size() - 1)];
+            ring_.popBack();
+        }
+        if (robCount_ > ring_.size())
+            robCount_ = ring_.size();
+    }
+
+    std::size_t size() const { return ring_.size(); }
+
+  private:
+    RingBuffer<InflightUop> ring_;
+    std::vector<std::uint32_t> gen_;
+    std::size_t robCap_ = 0;
+    std::size_t pipeCap_ = 0;
+    std::size_t robCount_ = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_UARCH_INFLIGHT_WINDOW_HH

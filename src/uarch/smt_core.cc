@@ -31,43 +31,36 @@ SmtCore::SmtCore(const PipelineConfig &config,
     robPerThread_ = std::max(8u, config.robSize / kThreads);
     loadBufsPerThread_ = std::max(4u, config.loadBuffers / kThreads);
     storeBufsPerThread_ = std::max(4u, config.storeBuffers / kThreads);
-}
-
-InflightUop *
-SmtCore::findBySeq(unsigned tid, SeqNum seq)
-{
-    auto search = [seq](std::deque<InflightUop> &q) -> InflightUop * {
-        if (q.empty() || seq < q.front().seq || seq > q.back().seq)
-            return nullptr;
-        auto it = std::lower_bound(
-            q.begin(), q.end(), seq,
-            [](const InflightUop &u, SeqNum s) { return u.seq < s; });
-        return (it != q.end() && it->seq == seq) ? &*it : nullptr;
-    };
-    if (InflightUop *u = search(threads_[tid].rob))
-        return u;
-    return search(threads_[tid].fetchPipe);
+    // Each thread's window is sized for the worst case (the whole
+    // ROB in shared-pool mode); dispatch() enforces the actual
+    // shared/partitioned occupancy limits.
+    std::size_t rob_cap =
+        std::max<std::size_t>(config.robSize, robPerThread_);
+    std::size_t pipe_cap =
+        static_cast<std::size_t>(config.frontEndDepth) * config.width;
+    for (auto &t : threads_)
+        t.window.reset(rob_cap, pipe_cap);
 }
 
 void
 SmtCore::resolveBranches()
 {
-    while (!resolveQueue_.empty() &&
-           std::get<0>(resolveQueue_.top()) <= now_) {
-        auto [when, tid, seq] = resolveQueue_.top();
+    while (!resolveQueue_.empty() && resolveQueue_.top().when <= now_) {
+        SmtUopEvent ev = resolveQueue_.top();
         resolveQueue_.pop();
-        InflightUop *u = findBySeq(tid, seq);
+        Thread &t = threads_[ev.tid];
+        InflightUop *u = t.window.lookup(ev.h);
         if (!u || u->resolvedForGate)
             continue;
+        PERCON_ASSERT(u->seq == ev.seq, "stale resolve handle");
         u->resolvedForGate = true;
-        Thread &t = threads_[tid];
         if (u->lowConfCounted) {
             PERCON_ASSERT(t.gateCount > 0, "gate counter underflow");
             --t.gateCount;
             u->lowConfCounted = false;
         }
         if (u->causesRedirect)
-            flushAfter(tid, *u);
+            flushAfter(ev.tid, *u);
     }
 }
 
@@ -77,29 +70,22 @@ SmtCore::flushAfter(unsigned tid, const InflightUop &branch)
     Thread &t = threads_[tid];
     ++stats_[tid].flushes;
 
-    while (!t.rob.empty() && t.rob.back().seq > branch.seq) {
-        InflightUop &u = t.rob.back();
-        if (u.issueAt <= now_) {
-            ++stats_[tid].executedUops;
-            ++stats_[tid].wrongPathExecuted;
+    t.window.flushYoungerThan(branch.seq, [&](InflightUop &u) {
+        if (u.dispatched) {
+            if (u.issueAt <= now_) {
+                ++stats_[tid].executedUops;
+                ++stats_[tid].wrongPathExecuted;
+            }
+            if (u.cls == UopClass::Load)
+                --t.loadsInFlight;
+            else if (u.cls == UopClass::Store)
+                --t.storesInFlight;
         }
         if (u.lowConfCounted) {
             PERCON_ASSERT(t.gateCount > 0, "gate counter underflow");
             --t.gateCount;
         }
-        if (u.cls == UopClass::Load)
-            --t.loadsInFlight;
-        else if (u.cls == UopClass::Store)
-            --t.storesInFlight;
-        t.rob.pop_back();
-    }
-    for (InflightUop &u : t.fetchPipe) {
-        if (u.lowConfCounted) {
-            PERCON_ASSERT(t.gateCount > 0, "gate counter underflow");
-            --t.gateCount;
-        }
-    }
-    t.fetchPipe.clear();
+    });
     t.history.recover(branch.ghrSnapshot, branch.actualTaken);
     t.onWrongPath = false;
 }
@@ -111,9 +97,9 @@ SmtCore::retire(unsigned tid)
     // Retire bandwidth is shared naively: each thread may retire up
     // to the machine width (commit is rarely the SMT bottleneck).
     for (unsigned n = 0; n < config_.width; ++n) {
-        if (t.rob.empty())
+        if (t.window.robEmpty())
             return;
-        InflightUop &u = t.rob.front();
+        InflightUop &u = t.window.robFront();
         if (!u.dispatched || u.completeAt + config_.backEndDepth > now_)
             return;
         PERCON_ASSERT(!u.wrongPath,
@@ -157,7 +143,7 @@ SmtCore::retire(unsigned tid)
           default:
             break;
         }
-        t.rob.pop_front();
+        t.window.popRetired();
     }
 }
 
@@ -184,13 +170,13 @@ SmtCore::dispatch(unsigned tid)
     // Dispatch bandwidth is split evenly between active threads.
     unsigned budget = std::max(1u, config_.width / kThreads);
     for (unsigned n = 0; n < budget; ++n) {
-        if (t.fetchPipe.empty() ||
-            t.fetchPipe.front().dispatchReadyAt > now_)
+        if (t.window.pipeEmpty() ||
+            t.window.pipeFront().dispatchReadyAt > now_)
             return;
-        InflightUop &front = t.fetchPipe.front();
+        InflightUop &front = t.window.pipeFront();
         if (sharedStructures_) {
-            std::size_t rob_total =
-                threads_[0].rob.size() + threads_[1].rob.size();
+            std::size_t rob_total = threads_[0].window.robSize() +
+                                    threads_[1].window.robSize();
             unsigned loads_total = threads_[0].loadsInFlight +
                                    threads_[1].loadsInFlight;
             unsigned stores_total = threads_[0].storesInFlight +
@@ -203,7 +189,7 @@ SmtCore::dispatch(unsigned tid)
                  stores_total >= config_.storeBuffers))
                 return;
         } else {
-            if (t.rob.size() >= robPerThread_)
+            if (t.window.robSize() >= robPerThread_)
                 return;
             if ((front.cls == UopClass::Load &&
                  t.loadsInFlight >= loadBufsPerThread_) ||
@@ -214,8 +200,8 @@ SmtCore::dispatch(unsigned tid)
         if (!exec_.windowAvailable(schedClassFor(front.cls)))
             return;
 
-        InflightUop u = front;
-        t.fetchPipe.pop_front();
+        UopHandle h = t.window.pipeFrontHandle();
+        InflightUop &u = t.window.dispatchPipeFront();
         exec_.dispatch(u, now_, sourceReady(t, u));
 
         auto &ring = u.wrongPath ? t.wpReady : t.corrReady;
@@ -227,9 +213,8 @@ SmtCore::dispatch(unsigned tid)
             ++t.storesInFlight;
         if (u.isBranch() && !u.resolvedForGate) {
             resolveQueue_.push(
-                {u.completeAt + config_.backEndDepth, tid, u.seq});
+                {u.completeAt + config_.backEndDepth, tid, u.seq, h});
         }
-        t.rob.push_back(u);
     }
 }
 
@@ -243,11 +228,11 @@ SmtCore::fetchOne(unsigned tid)
     bool stall_after = false;
     if (config_.traceCacheEnabled && !traceCache_.access(mu.pc)) {
         ++stats_[tid].traceCacheMisses;
-        t.fetchStallUntil = now_ + config_.traceCacheMissPenalty;
+        t.tcStallUntil = now_ + config_.traceCacheMissPenalty;
         stall_after = true;
     }
 
-    InflightUop u;
+    InflightUop &u = t.window.emplaceFetched().u;
     u.seq = nextSeq_++;
     u.pc = mu.pc;
     u.cls = mu.cls;
@@ -280,8 +265,8 @@ SmtCore::fetchOne(unsigned tid)
             if (!btb_.lookup(u.pc)) {
                 ++stats_[tid].btbMisses;
                 Cycle until = now_ + config_.btbMissPenalty;
-                if (until > t.fetchStallUntil)
-                    t.fetchStallUntil = until;
+                if (until > t.btbStallUntil)
+                    t.btbStallUntil = until;
                 stall_after = true;
                 btb_.update(u.pc, mu.target);
             }
@@ -318,21 +303,24 @@ SmtCore::fetchOne(unsigned tid)
         }
     }
 
-    t.fetchPipe.push_back(u);
     return !stall_after;
 }
 
 void
 SmtCore::fetch()
 {
-    std::size_t capacity =
-        static_cast<std::size_t>(config_.frontEndDepth) * config_.width;
-
     auto eligible = [&](unsigned tid) {
         Thread &t = threads_[tid];
-        if (now_ < t.fetchStallUntil)
+        if (now_ < std::max(t.tcStallUntil, t.btbStallUntil)) {
+            // Attribute the stalled cycle to its cause; an
+            // overlapping trace-cache fill takes priority.
+            if (now_ < t.tcStallUntil)
+                ++stats_[tid].traceCacheStallCycles;
+            else
+                ++stats_[tid].btbStallCycles;
             return false;
-        if (t.fetchPipe.size() >= capacity)
+        }
+        if (t.window.pipeFull())
             return false;
         if (spec_.gateThreshold > 0 &&
             t.gateCount >= spec_.gateThreshold) {
@@ -360,7 +348,7 @@ SmtCore::fetch()
             if (!eligible(tid))
                 continue;
             Thread &t = threads_[tid];
-            std::size_t load = t.fetchPipe.size() + t.rob.size();
+            std::size_t load = t.window.size();
             if (load < best_load) {
                 best_load = load;
                 pick = static_cast<int>(tid);
@@ -371,8 +359,8 @@ SmtCore::fetch()
         return;
 
     Thread &t = threads_[static_cast<unsigned>(pick)];
-    for (unsigned n = 0;
-         n < config_.width && t.fetchPipe.size() < capacity; ++n) {
+    for (unsigned n = 0; n < config_.width && !t.window.pipeFull();
+         ++n) {
         if (!fetchOne(static_cast<unsigned>(pick)))
             break;
     }

@@ -27,7 +27,6 @@
 #define PERCON_UARCH_SMT_CORE_HH
 
 #include <array>
-#include <deque>
 #include <queue>
 
 #include "bpred/branch_predictor.hh"
@@ -39,9 +38,33 @@
 #include "trace/wrongpath.hh"
 #include "uarch/core_stats.hh"
 #include "uarch/exec_model.hh"
+#include "uarch/inflight_window.hh"
 #include "uarch/pipeline_config.hh"
 
 namespace percon {
+
+/** A pending branch resolution, ordered by (when, tid, seq) like the
+ *  original (Cycle, tid, seq) tuple queue. */
+struct SmtUopEvent
+{
+    Cycle when;
+    unsigned tid;
+    SeqNum seq;
+    UopHandle h;
+};
+
+struct SmtUopEventLater
+{
+    bool
+    operator()(const SmtUopEvent &a, const SmtUopEvent &b) const
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        if (a.tid != b.tid)
+            return a.tid > b.tid;
+        return a.seq > b.seq;
+    }
+};
 
 /** One hardware thread's workload binding. */
 struct SmtThreadConfig
@@ -106,13 +129,16 @@ class SmtCore
     {
         SmtThreadConfig cfg;
         SpecHistory history;
-        std::deque<InflightUop> fetchPipe;
-        std::deque<InflightUop> rob;
+        /** Fetch pipe + per-thread ROB view (shared-pool and
+         *  partition limits are enforced by dispatch()). */
+        InflightWindow window;
         bool onWrongPath = false;
         unsigned gateCount = 0;
         unsigned loadsInFlight = 0;
         unsigned storesInFlight = 0;
-        Cycle fetchStallUntil = 0;
+        /** Fetch-stall deadlines by cause; fetch resumes at the max. */
+        Cycle tcStallUntil = 0;
+        Cycle btbStallUntil = 0;
         std::uint64_t corrIdx = 0;
         std::uint64_t wpIdx = 0;
         static constexpr std::size_t kDepRing = 256;
@@ -127,7 +153,6 @@ class SmtCore
     void fetch();
     bool fetchOne(unsigned tid);
     void flushAfter(unsigned tid, const InflightUop &branch);
-    InflightUop *findBySeq(unsigned tid, SeqNum seq);
     Cycle sourceReady(const Thread &t, const InflightUop &uop) const;
 
     PipelineConfig config_;
@@ -143,10 +168,9 @@ class SmtCore
     std::array<Thread, kThreads> threads_;
     std::array<CoreStats, kThreads> stats_;
 
-    /** (completeAt, tid, seq) of unresolved in-flight branches. */
-    std::priority_queue<std::tuple<Cycle, unsigned, SeqNum>,
-                        std::vector<std::tuple<Cycle, unsigned, SeqNum>>,
-                        std::greater<>>
+    /** Unresolved in-flight branches, keyed by resolution cycle. */
+    std::priority_queue<SmtUopEvent, std::vector<SmtUopEvent>,
+                        SmtUopEventLater>
         resolveQueue_;
 
     Cycle now_ = 0;

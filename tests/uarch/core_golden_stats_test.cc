@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Bit-identical regression lock on the core's CoreStats.
+ *
+ * The golden rows below were captured from the pre-optimization
+ * (deque + cycle-stepped) implementation at the seed commit, across
+ * both paper machines, gating thresholds 1-3, reversal, and delayed
+ * confidence. The event-driven / ring-buffer core must reproduce
+ * every counter exactly. The only intentional delta is the split of
+ * the old combined traceCacheStallCycles into traceCacheStallCycles
+ * + btbStallCycles, whose SUM must equal the golden value.
+ *
+ * A second set of checks runs each configuration with cycle skipping
+ * disabled and requires byte-identical stats, pinning the
+ * fast-forward accounting to the cycle-stepped loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "bpred/factory.hh"
+#include "confidence/factory.hh"
+#include "trace/benchmarks.hh"
+#include "trace/program_model.hh"
+#include "trace/wrongpath.hh"
+#include "uarch/core.hh"
+
+namespace percon {
+namespace {
+
+struct GoldenRow
+{
+    const char *bench;
+    const char *machine;
+    const char *policy;
+    Count v[29];
+};
+
+// Captured from the seed implementation (see file comment); field
+// order matches CoreStats declaration order with the confidence
+// matrix flattened at the end.
+const GoldenRow kGolden[] = {
+    {"gcc", "deep40x4", "none",
+     {176880ull, 118837ull, 89867ull, 60001ull, 58969ull, 29866ull,
+      8566ull, 670ull, 670ull, 0ull, 0ull, 0ull,
+      0ull, 672ull, 1636ull, 20079ull, 4533ull, 123818ull,
+      133185ull, 460ull, 0ull, 22103ull, 2635399ull, 1697919ull,
+      22742ull, 0ull, 0ull, 0ull, 0ull}},
+    {"mcf", "deep40x4", "none",
+     {357579ull, 195909ull, 125724ull, 60002ull, 135923ull, 65722ull,
+      8600ull, 1396ull, 1396ull, 0ull, 0ull, 0ull,
+      0ull, 1392ull, 2443ull, 33029ull, 8375ull, 269522ull,
+      280605ull, 9433ull, 6ull, 37870ull, 8785413ull, 6625712ull,
+      32663ull, 0ull, 0ull, 0ull, 0ull}},
+    {"gcc", "deep40x4", "gate1",
+     {184274ull, 73770ull, 70996ull, 60000ull, 13849ull, 10996ull,
+      8566ull, 667ull, 667ull, 0ull, 0ull, 0ull,
+      101736ull, 668ull, 958ull, 9798ull, 1633ull, 52898ull,
+      83695ull, 0ull, 0ull, 84089ull, 1678674ull, 1021092ull,
+      17463ull, 212ull, 455ull, 734ull, 7165ull}},
+    {"gcc", "deep40x4", "gate2",
+     {172882ull, 87262ull, 78982ull, 60001ull, 27395ull, 18981ull,
+      8566ull, 675ull, 675ull, 0ull, 0ull, 0ull,
+      60166ull, 676ull, 1235ull, 13576ull, 2579ull, 75311ull,
+      109664ull, 0ull, 0ull, 44881ull, 2016208ull, 1232598ull,
+      19635ull, 225ull, 450ull, 739ull, 7152ull}},
+    {"mcf", "deep40x4", "gate2",
+     {314929ull, 123317ull, 104152ull, 60000ull, 63310ull, 44152ull,
+      8599ull, 1393ull, 1393ull, 0ull, 0ull, 0ull,
+      165807ull, 1390ull, 1797ull, 21785ull, 4781ull, 93335ull,
+      188688ull, 887ull, 0ull, 101217ull, 5748312ull, 4193187ull,
+      26083ull, 515ull, 878ull, 1012ull, 6194ull}},
+    {"gcc", "deep40x4", "gate3",
+     {171348ull, 96265ull, 82605ull, 60000ull, 36400ull, 22605ull,
+      8567ull, 671ull, 671ull, 0ull, 0ull, 0ull,
+      35928ull, 672ull, 1377ull, 15637ull, 3162ull, 93331ull,
+      120760ull, 102ull, 0ull, 31263ull, 2211014ull, 1359204ull,
+      20650ull, 216ull, 455ull, 746ull, 7150ull}},
+    {"gcc", "deep40x4", "reversal",
+     {176880ull, 118837ull, 89867ull, 60001ull, 58969ull, 29866ull,
+      8566ull, 670ull, 670ull, 0ull, 0ull, 0ull,
+      0ull, 672ull, 1636ull, 20079ull, 4533ull, 123818ull,
+      133185ull, 460ull, 0ull, 22103ull, 2635399ull, 1697919ull,
+      22742ull, 215ull, 455ull, 746ull, 7150ull}},
+    {"gcc", "deep40x4", "gate2lat4",
+     {171177ull, 89367ull, 79860ull, 60001ull, 29494ull, 19859ull,
+      8566ull, 670ull, 670ull, 0ull, 0ull, 0ull,
+      54177ull, 672ull, 1262ull, 14050ull, 2714ull, 78511ull,
+      111987ull, 0ull, 0ull, 40662ull, 2054940ull, 1270603ull,
+      19863ull, 216ull, 454ull, 720ull, 7176ull}},
+    {"gcc", "deep40x4", "gate2revlat4",
+     {171177ull, 89367ull, 79860ull, 60001ull, 29494ull, 19859ull,
+      8566ull, 670ull, 670ull, 0ull, 0ull, 0ull,
+      54177ull, 672ull, 1262ull, 14050ull, 2714ull, 78511ull,
+      111987ull, 0ull, 0ull, 40662ull, 2054940ull, 1270603ull,
+      19863ull, 216ull, 454ull, 720ull, 7176ull}},
+    {"gcc", "wide20x8", "none",
+     {161815ull, 114698ull, 83371ull, 60000ull, 54852ull, 23371ull,
+      8567ull, 678ull, 678ull, 0ull, 0ull, 0ull,
+      0ull, 680ull, 1564ull, 18732ull, 4080ull, 124655ull,
+      136142ull, 1039ull, 0ull, 16076ull, 2459727ull, 1539879ull,
+      21063ull, 0ull, 0ull, 0ull, 0ull}},
+    {"mcf", "wide20x8", "none",
+     {333673ull, 191958ull, 113678ull, 60004ull, 131972ull, 53674ull,
+      8600ull, 1381ull, 1381ull, 0ull, 0ull, 0ull,
+      0ull, 1377ull, 2383ull, 31344ull, 7760ull, 270603ull,
+      286828ull, 8287ull, 0ull, 27420ull, 8342340ull, 6033344ull,
+      29544ull, 0ull, 0ull, 0ull, 0ull}},
+    {"gcc", "wide20x8", "gate1",
+     {162719ull, 73501ull, 69697ull, 60003ull, 13640ull, 9694ull,
+      8568ull, 663ull, 663ull, 0ull, 0ull, 0ull,
+      94084ull, 663ull, 995ull, 10035ull, 1614ull, 47597ull,
+      96871ull, 0ull, 0ull, 58780ull, 1714278ull, 1009726ull,
+      17172ull, 210ull, 453ull, 749ull, 7156ull}},
+    {"gcc", "wide20x8", "gate2",
+     {159949ull, 85745ull, 75598ull, 60006ull, 25901ull, 15592ull,
+      8568ull, 673ull, 673ull, 0ull, 0ull, 0ull,
+      59329ull, 674ull, 1193ull, 13053ull, 2467ull, 74249ull,
+      123601ull, 17ull, 0ull, 28731ull, 2148368ull, 1248826ull,
+      18798ull, 212ull, 461ull, 741ull, 7154ull}},
+    {"mcf", "wide20x8", "gate2",
+     {302268ull, 121570ull, 99895ull, 60004ull, 61584ull, 39891ull,
+      8600ull, 1391ull, 1391ull, 0ull, 0ull, 0ull,
+      180924ull, 1387ull, 1759ull, 21031ull, 4533ull, 81064ull,
+      224503ull, 2665ull, 0ull, 65491ull, 6033089ull, 4327352ull,
+      25277ull, 498ull, 893ull, 1011ull, 6198ull}},
+    {"gcc", "wide20x8", "gate3",
+     {159980ull, 95311ull, 79203ull, 60001ull, 35432ull, 19202ull,
+      8567ull, 671ull, 671ull, 0ull, 0ull, 0ull,
+      36831ull, 673ull, 1349ull, 15384ull, 3120ull, 92680ull,
+      131340ull, 82ull, 0ull, 20574ull, 2250835ull, 1364472ull,
+      19830ull, 211ull, 460ull, 749ull, 7147ull}},
+    {"gcc", "wide20x8", "reversal",
+     {161815ull, 114698ull, 83371ull, 60000ull, 54852ull, 23371ull,
+      8567ull, 678ull, 678ull, 0ull, 0ull, 0ull,
+      0ull, 680ull, 1564ull, 18732ull, 4080ull, 124655ull,
+      136142ull, 1039ull, 0ull, 16076ull, 2459727ull, 1539879ull,
+      21063ull, 209ull, 469ull, 766ull, 7123ull}},
+    {"gcc", "wide20x8", "gate2lat4",
+     {157159ull, 88671ull, 77304ull, 60001ull, 28792ull, 17303ull,
+      8567ull, 664ull, 664ull, 0ull, 0ull, 0ull,
+      53454ull, 666ull, 1247ull, 13711ull, 2590ull, 76225ull,
+      124877ull, 0ull, 0ull, 24508ull, 2090035ull, 1252643ull,
+      19313ull, 220ull, 444ull, 731ull, 7172ull}},
+    {"gcc", "wide20x8", "gate2revlat4",
+     {157159ull, 88671ull, 77304ull, 60001ull, 28792ull, 17303ull,
+      8567ull, 664ull, 664ull, 0ull, 0ull, 0ull,
+      53454ull, 666ull, 1247ull, 13711ull, 2590ull, 76225ull,
+      124877ull, 0ull, 0ull, 24508ull, 2090035ull, 1252643ull,
+      19313ull, 220ull, 444ull, 731ull, 7172ull}},
+};
+
+SpeculationControl
+policyFor(const std::string &name)
+{
+    SpeculationControl sc;
+    if (name == "gate1") {
+        sc.gateThreshold = 1;
+    } else if (name == "gate2") {
+        sc.gateThreshold = 2;
+    } else if (name == "gate3") {
+        sc.gateThreshold = 3;
+    } else if (name == "reversal") {
+        sc.reversalEnabled = true;
+    } else if (name == "gate2lat4") {
+        sc.gateThreshold = 2;
+        sc.confidenceLatency = 4;
+    } else if (name == "gate2revlat4") {
+        sc.gateThreshold = 2;
+        sc.reversalEnabled = true;
+        sc.confidenceLatency = 4;
+    } else {
+        EXPECT_EQ(name, "none");
+    }
+    return sc;
+}
+
+CoreStats
+runConfig(const GoldenRow &row, bool skip)
+{
+    const BenchmarkSpec &spec = benchmarkSpec(row.bench);
+    ProgramModel program(spec.program);
+    WrongPathSynthesizer wp(spec.program, spec.program.seed ^ 0xdead);
+    auto pred = makePredictor("bimodal-gshare");
+    SpeculationControl sc = policyFor(row.policy);
+    std::unique_ptr<ConfidenceEstimator> est;
+    if (sc.gateThreshold > 0 || sc.reversalEnabled)
+        est = makeEstimator("perceptron-cic");
+    PipelineConfig cfg = std::string(row.machine) == "deep40x4"
+                             ? PipelineConfig::deep40x4()
+                             : PipelineConfig::wide20x8();
+    Core core(cfg, program, wp, *pred, est.get(), sc);
+    core.setCycleSkipping(skip);
+    core.warmup(20'000);
+    core.run(60'000);
+    return core.stats();
+}
+
+void
+expectMatchesGolden(const CoreStats &s, const GoldenRow &r)
+{
+    const Count *v = r.v;
+    EXPECT_EQ(s.cycles, v[0]);
+    EXPECT_EQ(s.fetchedUops, v[1]);
+    EXPECT_EQ(s.executedUops, v[2]);
+    EXPECT_EQ(s.retiredUops, v[3]);
+    EXPECT_EQ(s.wrongPathFetched, v[4]);
+    EXPECT_EQ(s.wrongPathExecuted, v[5]);
+    EXPECT_EQ(s.retiredBranches, v[6]);
+    EXPECT_EQ(s.mispredictsOriginal, v[7]);
+    EXPECT_EQ(s.mispredictsFinal, v[8]);
+    EXPECT_EQ(s.reversals, v[9]);
+    EXPECT_EQ(s.reversalsGood, v[10]);
+    EXPECT_EQ(s.reversalsBad, v[11]);
+    EXPECT_EQ(s.gatedCycles, v[12]);
+    EXPECT_EQ(s.flushes, v[13]);
+    EXPECT_EQ(s.traceCacheMisses, v[14]);
+    // The golden capture predates the stall-cause split: its
+    // traceCacheStallCycles covered BTB bubbles too.
+    EXPECT_EQ(s.traceCacheStallCycles + s.btbStallCycles, v[15]);
+    EXPECT_EQ(s.btbMisses, v[16]);
+    EXPECT_EQ(s.fetchStallPipeFull, v[17]);
+    EXPECT_EQ(s.dispatchStallRob, v[18]);
+    EXPECT_EQ(s.dispatchStallWindow, v[19]);
+    EXPECT_EQ(s.dispatchStallBuffers, v[20]);
+    EXPECT_EQ(s.dispatchStallEmpty, v[21]);
+    EXPECT_EQ(s.issueWaitSum, v[22]);
+    EXPECT_EQ(s.loadLatencySum, v[23]);
+    EXPECT_EQ(s.loadCount, v[24]);
+    EXPECT_EQ(s.confidence.mispredictedLow(), v[25]);
+    EXPECT_EQ(s.confidence.mispredictedHigh(), v[26]);
+    EXPECT_EQ(s.confidence.correctLow(), v[27]);
+    EXPECT_EQ(s.confidence.correctHigh(), v[28]);
+}
+
+void
+expectStatsEqual(const CoreStats &a, const CoreStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.fetchedUops, b.fetchedUops);
+    EXPECT_EQ(a.executedUops, b.executedUops);
+    EXPECT_EQ(a.retiredUops, b.retiredUops);
+    EXPECT_EQ(a.wrongPathFetched, b.wrongPathFetched);
+    EXPECT_EQ(a.wrongPathExecuted, b.wrongPathExecuted);
+    EXPECT_EQ(a.retiredBranches, b.retiredBranches);
+    EXPECT_EQ(a.mispredictsOriginal, b.mispredictsOriginal);
+    EXPECT_EQ(a.mispredictsFinal, b.mispredictsFinal);
+    EXPECT_EQ(a.reversals, b.reversals);
+    EXPECT_EQ(a.reversalsGood, b.reversalsGood);
+    EXPECT_EQ(a.reversalsBad, b.reversalsBad);
+    EXPECT_EQ(a.gatedCycles, b.gatedCycles);
+    EXPECT_EQ(a.flushes, b.flushes);
+    EXPECT_EQ(a.traceCacheMisses, b.traceCacheMisses);
+    EXPECT_EQ(a.traceCacheStallCycles, b.traceCacheStallCycles);
+    EXPECT_EQ(a.btbMisses, b.btbMisses);
+    EXPECT_EQ(a.btbStallCycles, b.btbStallCycles);
+    EXPECT_EQ(a.fetchStallPipeFull, b.fetchStallPipeFull);
+    EXPECT_EQ(a.dispatchStallRob, b.dispatchStallRob);
+    EXPECT_EQ(a.dispatchStallWindow, b.dispatchStallWindow);
+    EXPECT_EQ(a.dispatchStallBuffers, b.dispatchStallBuffers);
+    EXPECT_EQ(a.dispatchStallEmpty, b.dispatchStallEmpty);
+    EXPECT_EQ(a.issueWaitSum, b.issueWaitSum);
+    EXPECT_EQ(a.loadLatencySum, b.loadLatencySum);
+    EXPECT_EQ(a.loadCount, b.loadCount);
+    EXPECT_EQ(a.confidence.mispredictedLow(),
+              b.confidence.mispredictedLow());
+    EXPECT_EQ(a.confidence.mispredictedHigh(),
+              b.confidence.mispredictedHigh());
+    EXPECT_EQ(a.confidence.correctLow(), b.confidence.correctLow());
+    EXPECT_EQ(a.confidence.correctHigh(), b.confidence.correctHigh());
+}
+
+class GoldenStats : public ::testing::TestWithParam<GoldenRow>
+{
+};
+
+TEST_P(GoldenStats, MatchesSeedImplementation)
+{
+    const GoldenRow &row = GetParam();
+    expectMatchesGolden(runConfig(row, /*skip=*/true), row);
+}
+
+TEST_P(GoldenStats, SkippingIsBitIdenticalToCycleStepping)
+{
+    const GoldenRow &row = GetParam();
+    CoreStats stepped = runConfig(row, /*skip=*/false);
+    CoreStats skipped = runConfig(row, /*skip=*/true);
+    expectStatsEqual(stepped, skipped);
+    // The stepped run must itself match golden, pinning the
+    // cycle-stepped path (incl. the stall-cause split) too.
+    expectMatchesGolden(stepped, row);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, GoldenStats, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<GoldenRow> &info) {
+        return std::string(info.param.bench) + "_" +
+               info.param.machine + "_" + info.param.policy;
+    });
+
+} // namespace
+} // namespace percon

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "common/ring_buffer.hh"
+#include "uarch/inflight_window.hh"
+
+namespace percon {
+namespace {
+
+TEST(RingBufferTest, RoundsCapacityToPowerOfTwo)
+{
+    RingBuffer<int> rb(5);
+    EXPECT_EQ(rb.capacity(), 8u);
+    RingBuffer<int> exact(16);
+    EXPECT_EQ(exact.capacity(), 16u);
+    RingBuffer<int> one(1);
+    EXPECT_EQ(one.capacity(), 1u);
+}
+
+TEST(RingBufferTest, FifoOrderAcrossWraparound)
+{
+    RingBuffer<int> rb(4);
+    // Cycle through more elements than the capacity so head wraps.
+    int next_in = 0, next_out = 0;
+    for (int round = 0; round < 5; ++round) {
+        while (!rb.full())
+            rb.pushBack(next_in++);
+        EXPECT_EQ(rb.size(), 4u);
+        EXPECT_EQ(rb.front(), next_out);
+        EXPECT_EQ(rb.back(), next_in - 1);
+        rb.popFront();
+        ++next_out;
+        rb.popFront();
+        ++next_out;
+    }
+    for (std::size_t i = 0; i < rb.size(); ++i)
+        EXPECT_EQ(rb.at(i), next_out + static_cast<int>(i));
+}
+
+TEST(RingBufferTest, SlotsAreStableForResidentElements)
+{
+    RingBuffer<int> rb(8);
+    std::size_t slot = rb.pushBack(42);
+    for (int i = 0; i < 5; ++i)
+        rb.pushBack(i);
+    rb.popBack();
+    EXPECT_EQ(rb.atSlot(slot), 42);
+    rb.popFront();  // 42 leaves; slot may be reused afterwards
+    std::size_t reused = 0;
+    while ((reused = rb.pushBack(7)) != slot) {
+        rb.popFront();
+    }
+    EXPECT_EQ(rb.atSlot(slot), 7);
+}
+
+InflightUop
+uopWithSeq(SeqNum seq)
+{
+    InflightUop u;
+    u.seq = seq;
+    return u;
+}
+
+TEST(InflightWindowTest, DispatchMovesPipeRobBoundary)
+{
+    InflightWindow w(4, 4);
+    EXPECT_TRUE(w.pipeEmpty());
+    EXPECT_TRUE(w.robEmpty());
+
+    w.pushFetched(uopWithSeq(1));
+    w.pushFetched(uopWithSeq(2));
+    EXPECT_EQ(w.pipeSize(), 2u);
+    EXPECT_EQ(w.robSize(), 0u);
+    EXPECT_EQ(w.pipeFront().seq, 1u);
+
+    InflightUop &d = w.dispatchPipeFront();
+    EXPECT_EQ(d.seq, 1u);
+    EXPECT_EQ(w.pipeSize(), 1u);
+    EXPECT_EQ(w.robSize(), 1u);
+    EXPECT_EQ(w.robFront().seq, 1u);
+    EXPECT_EQ(w.pipeFront().seq, 2u);
+}
+
+TEST(InflightWindowTest, PipeFullRespectsPipeCapacity)
+{
+    InflightWindow w(8, 2);
+    w.pushFetched(uopWithSeq(1));
+    EXPECT_FALSE(w.pipeFull());
+    w.pushFetched(uopWithSeq(2));
+    EXPECT_TRUE(w.pipeFull());
+    w.dispatchPipeFront();
+    EXPECT_FALSE(w.pipeFull());  // ROB occupancy doesn't fill the pipe
+    EXPECT_EQ(w.robSize(), 1u);
+}
+
+TEST(InflightWindowTest, HandleSurvivesDispatchDiesAtRetire)
+{
+    InflightWindow w(4, 4);
+    UopHandle h = w.pushFetched(uopWithSeq(1));
+    ASSERT_NE(w.lookup(h), nullptr);
+    EXPECT_EQ(w.lookup(h)->seq, 1u);
+
+    UopHandle front = w.pipeFrontHandle();
+    EXPECT_EQ(front.slot, h.slot);
+    EXPECT_EQ(front.gen, h.gen);
+
+    w.dispatchPipeFront();
+    ASSERT_NE(w.lookup(h), nullptr);  // dispatch is a boundary move
+    EXPECT_EQ(w.lookup(h)->seq, 1u);
+
+    w.popRetired();
+    EXPECT_EQ(w.lookup(h), nullptr);  // retire invalidates the handle
+}
+
+TEST(InflightWindowTest, StaleHandleDoesNotAliasSlotReuse)
+{
+    InflightWindow w(1, 1);  // ring capacity 2: slots recycle fast
+    UopHandle h1 = w.pushFetched(uopWithSeq(1));
+    w.dispatchPipeFront();
+    w.popRetired();
+    // Push until the same physical slot is reoccupied.
+    SeqNum seq = 2;
+    UopHandle h2{};
+    do {
+        h2 = w.pushFetched(uopWithSeq(seq++));
+        if (h2.slot != h1.slot) {
+            w.dispatchPipeFront();
+            w.popRetired();
+        }
+    } while (h2.slot != h1.slot);
+    EXPECT_EQ(w.lookup(h1), nullptr);  // old handle must stay dead
+    ASSERT_NE(w.lookup(h2), nullptr);
+    EXPECT_EQ(w.lookup(h2)->seq, seq - 1);
+}
+
+TEST(InflightWindowTest, FlushDropsYoungSuffixAndInvalidates)
+{
+    InflightWindow w(8, 4);
+    UopHandle h[6];
+    // Seqs 1-3 go through the pipe into the ROB; 4-6 stay fetched.
+    for (SeqNum s = 1; s <= 3; ++s) {
+        h[s - 1] = w.pushFetched(uopWithSeq(s));
+        w.dispatchPipeFront().dispatched = true;
+    }
+    for (SeqNum s = 4; s <= 6; ++s)
+        h[s - 1] = w.pushFetched(uopWithSeq(s));
+
+    std::vector<SeqNum> dropped;
+    w.flushYoungerThan(2, [&](InflightUop &u) {
+        dropped.push_back(u.seq);
+    });
+
+    // Youngest-first: whole pipe (6,5,4), then the ROB suffix (3).
+    ASSERT_EQ(dropped.size(), 4u);
+    EXPECT_EQ(dropped[0], 6u);
+    EXPECT_EQ(dropped[1], 5u);
+    EXPECT_EQ(dropped[2], 4u);
+    EXPECT_EQ(dropped[3], 3u);
+
+    EXPECT_EQ(w.robSize(), 2u);
+    EXPECT_TRUE(w.pipeEmpty());
+    EXPECT_EQ(w.robFront().seq, 1u);
+
+    EXPECT_NE(w.lookup(h[0]), nullptr);
+    EXPECT_NE(w.lookup(h[1]), nullptr);
+    for (int i = 2; i < 6; ++i)
+        EXPECT_EQ(w.lookup(h[i]), nullptr) << "seq " << i + 1;
+}
+
+TEST(InflightWindowTest, FlushKeepingWholeRobClampsOnlyPipe)
+{
+    InflightWindow w(8, 4);
+    for (SeqNum s = 1; s <= 4; ++s)
+        w.pushFetched(uopWithSeq(s));
+    w.dispatchPipeFront();
+    w.dispatchPipeFront();
+
+    int drops = 0;
+    w.flushYoungerThan(2, [&](InflightUop &) { ++drops; });
+    EXPECT_EQ(drops, 2);
+    EXPECT_EQ(w.robSize(), 2u);
+    EXPECT_TRUE(w.pipeEmpty());
+}
+
+} // namespace
+} // namespace percon

@@ -468,8 +468,10 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(s.traceCacheMisses),
                 static_cast<unsigned long long>(
                     s.traceCacheStallCycles));
-    std::printf("BTB                 : %llu misses\n",
-                static_cast<unsigned long long>(s.btbMisses));
+    std::printf("BTB                 : %llu misses, %llu stall "
+                "cycles\n",
+                static_cast<unsigned long long>(s.btbMisses),
+                static_cast<unsigned long long>(s.btbStallCycles));
 
     if (o.energy) {
         EnergyReport e = computeEnergy(s);
