@@ -9,7 +9,10 @@
 #include <benchmark/benchmark.h>
 
 #include "bpred/factory.hh"
+#include "common/perceptron_kernel.hh"
+#include "common/rng.hh"
 #include "confidence/factory.hh"
+#include "core/front_end_sim.hh"
 #include "core/timing_sim.hh"
 #include "memory/hierarchy.hh"
 #include "trace/benchmarks.hh"
@@ -125,6 +128,149 @@ BM_CoreSimulationPolicy(benchmark::State &state,
     state.SetItemsProcessed(state.iterations() * 1'000);
 }
 
+/**
+ * Perceptron kernel throughput over a working set of table rows
+ * (lane-padded layout, as the estimators store them). h32 is the
+ * paper's configuration; h63 is the maximum supported history.
+ */
+void
+BM_PerceptronOutput(benchmark::State &state, unsigned hist)
+{
+    constexpr std::size_t kRows = 256;
+    const std::size_t stride = kernel::rowStride(hist);
+    std::vector<std::int16_t> table(kRows * stride, 0);
+    Rng rng(17);
+    for (std::size_t r = 0; r < kRows; ++r)
+        for (unsigned i = 0; i <= hist; ++i)
+            table[r * stride + i] =
+                static_cast<std::int16_t>(rng.nextRange(-128, 127));
+    std::uint64_t ghr = 0x12345;
+    std::size_t r = 0;
+    for (auto _ : state) {
+        std::int32_t y = kernel::dotProduct(&table[r * stride], ghr, hist);
+        benchmark::DoNotOptimize(y);
+        ghr = (ghr << 1) | static_cast<std::uint64_t>(y < 0);
+        r = (r + 1) & (kRows - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_PerceptronTrain(benchmark::State &state, unsigned hist)
+{
+    constexpr std::size_t kRows = 256;
+    const std::size_t stride = kernel::rowStride(hist);
+    std::vector<std::int16_t> table(kRows * stride, 0);
+    std::uint64_t ghr = 0x9abcd;
+    std::size_t r = 0;
+    std::int32_t dir = 1;
+    for (auto _ : state) {
+        kernel::trainRow(&table[r * stride], ghr, hist, dir, -128, 127);
+        benchmark::DoNotOptimize(table[r * stride]);
+        ghr = (ghr << 1) | (ghr >> 63);
+        dir = -dir;
+        r = (r + 1) & (kRows - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+/**
+ * The pre-kernel scalar loops, kept verbatim for an interleaved
+ * same-binary speedup comparison against BM_PerceptronOutput/Train.
+ * The "Legacy" prefix keeps them out of the bench_speed.sh filter:
+ * they are a measurement yardstick, not a tracked configuration.
+ */
+std::int32_t
+legacyOutput(const std::int16_t *w, std::uint64_t ghr, unsigned hist)
+{
+    std::int32_t y = w[0];  // bias input is always +1
+    for (unsigned i = 0; i < hist; ++i) {
+        bool taken = (ghr >> i) & 1ULL;
+        y += taken ? w[i + 1] : -w[i + 1];
+    }
+    return y;
+}
+
+void
+legacyTrain(std::int16_t *w, std::uint64_t ghr, unsigned hist,
+            std::int32_t p, std::int32_t wmin, std::int32_t wmax)
+{
+    auto bump = [&](std::int16_t &weight, int direction) {
+        std::int32_t next = weight + direction;
+        if (next > wmax)
+            next = wmax;
+        if (next < wmin)
+            next = wmin;
+        weight = static_cast<std::int16_t>(next);
+    };
+    bump(w[0], p);
+    for (unsigned i = 0; i < hist; ++i) {
+        int x = ((ghr >> i) & 1ULL) ? 1 : -1;
+        bump(w[i + 1], p * x);
+    }
+}
+
+void
+BM_LegacyPerceptronOutput(benchmark::State &state, unsigned hist)
+{
+    constexpr std::size_t kRows = 256;
+    const std::size_t stride = hist + 1;  // legacy unpadded layout
+    std::vector<std::int16_t> table(kRows * stride, 0);
+    Rng rng(17);
+    for (auto &w : table)
+        w = static_cast<std::int16_t>(rng.nextRange(-128, 127));
+    std::uint64_t ghr = 0x12345;
+    std::size_t r = 0;
+    for (auto _ : state) {
+        std::int32_t y = legacyOutput(&table[r * stride], ghr, hist);
+        benchmark::DoNotOptimize(y);
+        ghr = (ghr << 1) | static_cast<std::uint64_t>(y < 0);
+        r = (r + 1) & (kRows - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_LegacyPerceptronTrain(benchmark::State &state, unsigned hist)
+{
+    constexpr std::size_t kRows = 256;
+    const std::size_t stride = hist + 1;
+    std::vector<std::int16_t> table(kRows * stride, 0);
+    std::uint64_t ghr = 0x9abcd;
+    std::size_t r = 0;
+    std::int32_t dir = 1;
+    for (auto _ : state) {
+        legacyTrain(&table[r * stride], ghr, hist, dir, -128, 127);
+        benchmark::DoNotOptimize(table[r * stride]);
+        ghr = (ghr << 1) | (ghr >> 63);
+        dir = -dir;
+        r = (r + 1) & (kRows - 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+/**
+ * Front-end classification throughput with the paper's estimator in
+ * the loop: the end-to-end view of the kernel speedup (predictor +
+ * estimator + program model per branch).
+ */
+void
+BM_FrontEndPerceptron(benchmark::State &state)
+{
+    const auto &spec = benchmarkSpec("gcc");
+    ProgramModel program(spec.program);
+    auto pred = makePredictor("bimodal-gshare");
+    auto est = makeEstimator("perceptron-cic");
+    FrontEndConfig cfg;
+    cfg.warmupBranches = 0;  // state persists across iterations
+    cfg.measureBranches = 10'000;
+    for (auto _ : state) {
+        FrontEndResult r = runFrontEnd(program, *pred, est.get(), cfg);
+        benchmark::DoNotOptimize(r.branches);
+    }
+    state.SetItemsProcessed(state.iterations() * 10'000);
+}
+
 SpeculationControl
 gatedPolicy(unsigned threshold, bool reversal, unsigned latency)
 {
@@ -146,6 +292,15 @@ BENCHMARK_CAPTURE(BM_EstimatorEstimateTrain, cic, "perceptron-cic");
 BENCHMARK_CAPTURE(BM_EstimatorEstimateTrain, tnt, "perceptron-tnt");
 BENCHMARK(BM_CacheAccess);
 BENCHMARK(BM_WorkloadGeneration);
+BENCHMARK_CAPTURE(BM_PerceptronOutput, h32, 32u);
+BENCHMARK_CAPTURE(BM_PerceptronOutput, h63, 63u);
+BENCHMARK_CAPTURE(BM_PerceptronTrain, h32, 32u);
+BENCHMARK_CAPTURE(BM_PerceptronTrain, h63, 63u);
+BENCHMARK_CAPTURE(BM_LegacyPerceptronOutput, h32, 32u);
+BENCHMARK_CAPTURE(BM_LegacyPerceptronOutput, h63, 63u);
+BENCHMARK_CAPTURE(BM_LegacyPerceptronTrain, h32, 32u);
+BENCHMARK_CAPTURE(BM_LegacyPerceptronTrain, h63, 63u);
+BENCHMARK(BM_FrontEndPerceptron);
 BENCHMARK(BM_CoreSimulation);
 BENCHMARK_CAPTURE(BM_CoreSimulationPolicy, gated_deep40x4,
                   percon::PipelineConfig::deep40x4(),

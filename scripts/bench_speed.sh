@@ -1,7 +1,8 @@
 #!/bin/sh
-# Core-simulation speed baseline: run the BM_CoreSimulation* micro-
-# benchmarks and distill them into BENCH_core_speed.json, the
-# checked-in uops/sec trajectory seed that check.sh schema-diffs.
+# Simulator speed baseline: run the core-simulation, perceptron-
+# kernel, and front-end microbenchmarks and distill them into
+# BENCH_core_speed.json, the checked-in items/sec trajectory seed
+# that check.sh schema-diffs.
 #
 #   scripts/bench_speed.sh [build-dir] [min-time]
 #
@@ -33,7 +34,7 @@ trap 'rm -f "$RAW"' EXIT
 
 # Google Benchmark's --benchmark_min_time here takes a plain float
 # (seconds), not a duration suffix.
-"$BIN" --benchmark_filter='^BM_CoreSimulation' \
+"$BIN" --benchmark_filter='^BM_(CoreSimulation|PerceptronOutput/|PerceptronTrain/|FrontEndPerceptron)' \
        --benchmark_min_time="$MIN_TIME" \
        --benchmark_format=json > "$RAW"
 
@@ -45,32 +46,43 @@ raw_path, out_path = sys.argv[1], sys.argv[2]
 with open(raw_path) as f:
     raw = json.load(f)
 
-# Map benchmark names to stable config keys: the bare
+# Map benchmark names to stable config keys and item units: the bare
 # BM_CoreSimulation is the canonical deep40x4 no-policy case; the
-# BM_CoreSimulationPolicy captures already carry their config name.
-def config_key(name):
+# BM_CoreSimulationPolicy captures already carry their config name;
+# the kernel and front-end benches get explicit keys. (The
+# BM_LegacyPerceptron* yardsticks are intentionally not tracked.)
+def config_entry(name):
     if name == "BM_CoreSimulation":
-        return "deep40x4_nopolicy"
+        return "deep40x4_nopolicy", "uops"
+    if name == "BM_FrontEndPerceptron":
+        return "frontend_perceptron_cic", "preds"
     prefix = "BM_CoreSimulationPolicy/"
     if name.startswith(prefix):
-        return name[len(prefix):]
+        return name[len(prefix):], "uops"
+    prefix = "BM_PerceptronOutput/"
+    if name.startswith(prefix):
+        return "kernel_output_" + name[len(prefix):], "preds"
+    prefix = "BM_PerceptronTrain/"
+    if name.startswith(prefix):
+        return "kernel_train_" + name[len(prefix):], "preds"
     raise SystemExit(f"bench_speed.sh: unexpected benchmark {name!r}")
 
 configs = {}
 for b in raw.get("benchmarks", []):
     if b.get("run_type") == "aggregate":
         continue
-    key = config_key(b["name"])
+    key, unit = config_entry(b["name"])
     configs[key] = {
-        "uops_per_sec": round(b["items_per_second"], 1),
+        "items_per_sec": round(b["items_per_second"], 1),
+        "unit": unit,
     }
 
 if not configs:
-    raise SystemExit("bench_speed.sh: no BM_CoreSimulation results")
+    raise SystemExit("bench_speed.sh: no benchmark results")
 
 doc = {
-    "schema_version": 1,
-    "metric": "uops_per_sec",
+    "schema_version": 2,
+    "metric": "items_per_sec",
     "configs": dict(sorted(configs.items())),
 }
 with open(out_path, "w") as f:

@@ -75,8 +75,13 @@ if new := fresh_cfgs - seed_cfgs:
     errors.append(f"configs missing from the checked-in baseline "
                   f"(re-run scripts/bench_speed.sh): {sorted(new)}")
 for name, entry in fresh.get("configs", {}).items():
-    if "uops_per_sec" not in entry:
-        errors.append(f"{name}: no uops_per_sec field")
+    if "items_per_sec" not in entry:
+        errors.append(f"{name}: no items_per_sec field")
+    seed_entry = seed.get("configs", {}).get(name)
+    if seed_entry and entry.get("unit") != seed_entry.get("unit"):
+        errors.append(f"{name}: unit changed "
+                      f"{seed_entry.get('unit')!r} -> "
+                      f"{entry.get('unit')!r}")
 
 if errors:
     print("check.sh: BENCH_core_speed.json schema drift:")
@@ -86,4 +91,19 @@ if errors:
 print(f"check.sh: bench schema OK ({len(fresh_cfgs)} configs)")
 EOF
 
-echo "check.sh: $PRESET preset passed"
+# Second pass with the scalar perceptron-kernel default: the SIMD
+# kernels claim bit-identity with the scalar path, so the whole test
+# suite (golden stats included) must pass either way. Same -Werror
+# and sanitizer flags; the option only flips the dispatch default.
+SCALAR_BUILD="${BUILD}-scalar"
+cmake -B "$SCALAR_BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DPERCON_FORCE_SCALAR=ON \
+    -DCMAKE_CXX_FLAGS="-Werror $SAN_FLAGS" \
+    -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+cmake --build "$SCALAR_BUILD" -j "$(nproc)"
+ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+    ctest --test-dir "$SCALAR_BUILD" --output-on-failure -j "$(nproc)" \
+    ${CTEST_ARGS:-}
+
+echo "check.sh: $PRESET preset passed (simd + forced-scalar)"

@@ -28,11 +28,18 @@ namespace percon {
  */
 struct PredMeta
 {
+    /** Sentinel for perceptronRow: no row cached at predict time. */
+    static constexpr std::uint32_t kNoRow = 0xffffffffu;
+
     bool taken = false;            ///< final prediction
     bool bimodalPred = false;      ///< hybrid: bimodal component
     bool gsharePred = false;       ///< hybrid: gshare component
     bool perceptronPred = false;   ///< hybrid: perceptron component
     std::int32_t perceptronOut = 0;///< perceptron dot-product output
+
+    /** Perceptron table row resolved at predict time, so update()
+     *  does not recompute the index (kNoRow when not applicable). */
+    std::uint32_t perceptronRow = kNoRow;
 };
 
 /** Abstract conditional branch direction predictor. */

@@ -1,13 +1,19 @@
 #include "perceptron_pred.hh"
 
+#include <cstring>
+#include <istream>
+#include <ostream>
+
 #include "common/logging.hh"
+#include "common/perceptron_kernel.hh"
 
 namespace percon {
 
 PerceptronPredictor::PerceptronPredictor(std::size_t entries,
                                          unsigned history_bits,
                                          unsigned weight_bits, int theta)
-    : entries_(entries), historyBits_(history_bits)
+    : entries_(entries), stride_(kernel::rowStride(history_bits)),
+      historyBits_(history_bits), weightBits_(weight_bits)
 {
     PERCON_ASSERT(entries >= 2 && (entries & (entries - 1)) == 0,
                   "perceptron entries must be a power of two");
@@ -20,35 +26,32 @@ PerceptronPredictor::PerceptronPredictor(std::size_t entries,
     theta_ = theta > 0
                  ? theta
                  : static_cast<int>(1.93 * history_bits + 14.0);
-    weights_.assign(entries_ * (historyBits_ + 1), 0);
+    weights_.assign(entries_ * stride_, 0);
 }
 
-std::size_t
-PerceptronPredictor::indexFor(Addr pc) const
+std::int32_t
+PerceptronPredictor::outputAt(std::size_t row, std::uint64_t ghr) const
 {
-    return (pc >> 2) & (entries_ - 1);
+    return kernel::dotProduct(&weights_[row * stride_], ghr,
+                              historyBits_);
 }
 
 std::int32_t
 PerceptronPredictor::output(Addr pc, std::uint64_t ghr) const
 {
-    const std::int16_t *w = &weights_[indexFor(pc) * (historyBits_ + 1)];
-    std::int32_t y = w[0];  // bias weight, input fixed at +1
-    for (unsigned i = 0; i < historyBits_; ++i) {
-        bool taken = (ghr >> i) & 1ULL;
-        y += taken ? w[i + 1] : -w[i + 1];
-    }
-    return y;
+    return outputAt(rowFor(pc), ghr);
 }
 
 bool
 PerceptronPredictor::predict(Addr pc, std::uint64_t ghr, PredMeta &meta)
 {
-    std::int32_t y = output(pc, ghr);
+    std::size_t row = rowFor(pc);
+    std::int32_t y = outputAt(row, ghr);
     bool taken = y >= 0;
     meta.taken = taken;
     meta.perceptronPred = taken;
     meta.perceptronOut = y;
+    meta.perceptronRow = static_cast<std::uint32_t>(row);
     return taken;
 }
 
@@ -64,32 +67,65 @@ PerceptronPredictor::update(Addr pc, std::uint64_t ghr, bool taken,
     if (predicted == taken && mag > theta_)
         return;
 
-    std::int16_t *w = &weights_[indexFor(pc) * (historyBits_ + 1)];
-    int t = taken ? 1 : -1;
+    std::size_t row = meta.perceptronRow == PredMeta::kNoRow
+                          ? rowFor(pc)
+                          : meta.perceptronRow;
+    PERCON_ASSERT(row < entries_, "stale perceptron row %zu", row);
+    kernel::trainRow(&weights_[row * stride_], ghr, historyBits_,
+                     taken ? 1 : -1, weightMin_, weightMax_);
+}
 
-    auto bump = [&](std::int16_t &weight, int direction) {
-        int next = weight + direction;
-        if (next > weightMax_)
-            next = weightMax_;
-        if (next < weightMin_)
-            next = weightMin_;
-        weight = static_cast<std::int16_t>(next);
-    };
+namespace {
 
-    bump(w[0], t);
-    for (unsigned i = 0; i < historyBits_; ++i) {
-        int x = ((ghr >> i) & 1ULL) ? 1 : -1;
-        bump(w[i + 1], t * x);
+constexpr char kPredWeightMagic[8] = {'P', 'P', 'W', 'T', '0', '1', 0, 0};
+
+} // namespace
+
+void
+PerceptronPredictor::saveWeights(std::ostream &os) const
+{
+    os.write(kPredWeightMagic, sizeof(kPredWeightMagic));
+    std::uint64_t geom[3] = {entries_, historyBits_, weightBits_};
+    os.write(reinterpret_cast<const char *>(geom), sizeof(geom));
+    // Serialize logical rows only: the lane padding is an in-memory
+    // layout detail, not part of the wire format.
+    for (std::size_t e = 0; e < entries_; ++e) {
+        os.write(reinterpret_cast<const char *>(&weights_[e * stride_]),
+                 static_cast<std::streamsize>((historyBits_ + 1) *
+                                              sizeof(weights_[0])));
     }
+}
+
+bool
+PerceptronPredictor::loadWeights(std::istream &is)
+{
+    char magic[8] = {};
+    std::uint64_t geom[3] = {};
+    is.read(magic, sizeof(magic));
+    is.read(reinterpret_cast<char *>(geom), sizeof(geom));
+    if (!is || std::memcmp(magic, kPredWeightMagic, sizeof(magic)) != 0)
+        return false;
+    if (geom[0] != entries_ || geom[1] != historyBits_ ||
+        geom[2] != weightBits_)
+        return false;
+    std::vector<std::int16_t> incoming(weights_.size(), 0);
+    for (std::size_t e = 0; e < entries_; ++e) {
+        is.read(reinterpret_cast<char *>(&incoming[e * stride_]),
+                static_cast<std::streamsize>((historyBits_ + 1) *
+                                             sizeof(incoming[0])));
+    }
+    if (!is)
+        return false;
+    weights_ = std::move(incoming);
+    return true;
 }
 
 std::size_t
 PerceptronPredictor::storageBits() const
 {
-    unsigned weight_bits = 0;
-    for (int v = weightMax_ + 1; v > 0; v >>= 1)
-        ++weight_bits;
-    return entries_ * (historyBits_ + 1) * (weight_bits + 1);
+    // Hardware cost is the configured weight width over the logical
+    // (unpadded) table, matching PerceptronConfidence::storageBits().
+    return entries_ * (historyBits_ + 1) * weightBits_;
 }
 
 } // namespace percon

@@ -5,11 +5,18 @@
  * Trained with taken/not-taken outcomes; output magnitude doubles as
  * the confidence signal evaluated (and found lacking) by the paper's
  * perceptron_tnt scheme.
+ *
+ * The dot product and the clamped weight bump run on the shared
+ * vectorized kernels (common/perceptron_kernel.hh): weight rows are
+ * padded to the kernel's lane-aligned stride and the row index
+ * resolved at predict() time is carried to update() in PredMeta so
+ * the table is hashed once per branch.
  */
 
 #ifndef PERCON_BPRED_PERCEPTRON_PRED_HH
 #define PERCON_BPRED_PERCEPTRON_PRED_HH
 
+#include <iosfwd>
 #include <vector>
 
 #include "bpred/branch_predictor.hh"
@@ -41,15 +48,34 @@ class PerceptronPredictor : public BranchPredictor
     /** Dot product of weights and (bias, history) for inspection. */
     std::int32_t output(Addr pc, std::uint64_t ghr) const;
 
+    /** Table row selected for @p pc (for embedding estimators). */
+    std::size_t rowFor(Addr pc) const
+    {
+        return (pc >> 2) & (entries_ - 1);
+    }
+
+    /** Dot product against an already-resolved table row. */
+    std::int32_t outputAt(std::size_t row, std::uint64_t ghr) const;
+
     unsigned historyBits() const { return historyBits_; }
+    unsigned weightBits() const { return weightBits_; }
     int theta() const { return theta_; }
 
-  private:
-    std::size_t indexFor(Addr pc) const;
+    /**
+     * Serialize / restore the trained weight array (same magic-header
+     * format as PerceptronConfidence, predictor-specific magic), so
+     * warmed predictor state can be cached like estimator state.
+     * @return false on format/geometry mismatch (state unchanged)
+     */
+    void saveWeights(std::ostream &os) const;
+    bool loadWeights(std::istream &is);
 
-    std::vector<std::int16_t> weights_;  ///< entries x (history+1)
+  private:
+    std::vector<std::int16_t> weights_;  ///< entries x stride_ (padded)
     std::size_t entries_;
+    std::size_t stride_;                 ///< kernel::rowStride(history)
     unsigned historyBits_;
+    unsigned weightBits_;
     int weightMax_;
     int weightMin_;
     int theta_;

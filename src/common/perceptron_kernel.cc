@@ -1,0 +1,394 @@
+#include "perceptron_kernel.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define PERCON_KERNEL_X86 1
+#include <immintrin.h>
+#endif
+
+namespace percon::kernel {
+
+// ---------------------------------------------------------------- scalar
+
+std::int32_t
+dotProductScalar(const std::int16_t *row, std::uint64_t ghr,
+                 unsigned history_bits)
+{
+    std::int32_t y = row[0];
+    for (unsigned i = 0; i < history_bits; ++i) {
+        // mask = 0 when bit i is taken, -1 when not; (w ^ mask) - mask
+        // is then +w or -w without a branch.
+        std::int32_t mask =
+            static_cast<std::int32_t>((ghr >> i) & 1ULL) - 1;
+        y += (static_cast<std::int32_t>(row[i + 1]) ^ mask) - mask;
+    }
+    return y;
+}
+
+void
+trainRowScalar(std::int16_t *row, std::uint64_t ghr,
+               unsigned history_bits, std::int32_t dir,
+               std::int32_t wmin, std::int32_t wmax)
+{
+    auto clamped = [wmin, wmax](std::int32_t v) {
+        v = v > wmax ? wmax : v;
+        return v < wmin ? wmin : v;
+    };
+    row[0] = static_cast<std::int16_t>(clamped(row[0] + dir));
+    for (unsigned i = 0; i < history_bits; ++i) {
+        std::int32_t mask =
+            static_cast<std::int32_t>((ghr >> i) & 1ULL) - 1;
+        std::int32_t delta = (dir ^ mask) - mask;  // dir * (+-1)
+        row[i + 1] =
+            static_cast<std::int16_t>(clamped(row[i + 1] + delta));
+    }
+}
+
+// ------------------------------------------------------------------ x86
+
+#ifdef PERCON_KERNEL_X86
+
+namespace {
+
+/** Lane j of a group compares (bits & (1 << j)) against (1 << j). */
+inline __m128i
+bitSelect8()
+{
+    return _mm_setr_epi16(1, 2, 4, 8, 16, 32, 64, 128);
+}
+
+} // namespace
+
+std::int32_t
+dotProductSse2(const std::int16_t *row, std::uint64_t ghr,
+               unsigned history_bits)
+{
+    const __m128i sel = bitSelect8();
+    const __m128i one = _mm_set1_epi16(1);
+    const __m128i two = _mm_set1_epi16(2);
+    __m128i acc = _mm_setzero_si128();
+    const unsigned chunks = (history_bits + kRowLanes - 1) / kRowLanes;
+    for (unsigned c = 0; c < chunks; ++c) {
+        // history_bits <= 63 so the shift count stays below 64.
+        const unsigned bits =
+            static_cast<unsigned>((ghr >> (c * 16)) & 0xffffu);
+        for (unsigned h = 0; h < 2; ++h) {
+            const __m128i w = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(row + 1 + c * 16 +
+                                                  h * 8));
+            const __m128i b = _mm_set1_epi16(
+                static_cast<short>((bits >> (h * 8)) & 0xffu));
+            const __m128i taken =
+                _mm_cmpeq_epi16(_mm_and_si128(b, sel), sel);
+            // taken lanes -1 -> sign +1; others 0 -> sign -1.
+            const __m128i sign =
+                _mm_sub_epi16(_mm_and_si128(taken, two), one);
+            // Padding lanes hold zero weights, so their products
+            // vanish regardless of sign: no tail masking needed.
+            acc = _mm_add_epi32(acc, _mm_madd_epi16(w, sign));
+        }
+    }
+    acc = _mm_add_epi32(acc,
+                        _mm_shuffle_epi32(acc, _MM_SHUFFLE(1, 0, 3, 2)));
+    acc = _mm_add_epi32(acc,
+                        _mm_shuffle_epi32(acc, _MM_SHUFFLE(2, 3, 0, 1)));
+    return row[0] + _mm_cvtsi128_si32(acc);
+}
+
+void
+trainRowSse2(std::int16_t *row, std::uint64_t ghr, unsigned history_bits,
+             std::int32_t dir, std::int32_t wmin, std::int32_t wmax)
+{
+    std::int32_t bias = row[0] + dir;
+    bias = bias > wmax ? wmax : bias;
+    row[0] = static_cast<std::int16_t>(bias < wmin ? wmin : bias);
+
+    const __m128i sel = bitSelect8();
+    const __m128i vmin = _mm_set1_epi16(static_cast<short>(wmin));
+    const __m128i vmax = _mm_set1_epi16(static_cast<short>(wmax));
+    const __m128i plus = _mm_set1_epi16(static_cast<short>(dir));
+    const __m128i minus = _mm_set1_epi16(static_cast<short>(-dir));
+    const unsigned chunks = (history_bits + kRowLanes - 1) / kRowLanes;
+    for (unsigned c = 0; c < chunks; ++c) {
+        const unsigned bits =
+            static_cast<unsigned>((ghr >> (c * 16)) & 0xffffu);
+        for (unsigned h = 0; h < 2; ++h) {
+            const unsigned base = c * 16 + h * 8;
+            const unsigned remaining =
+                history_bits > base ? history_bits - base : 0;
+            if (remaining == 0)
+                break;
+            const unsigned valid_bits =
+                remaining >= 8 ? 0xffu : (1u << remaining) - 1;
+            const __m128i valid = _mm_cmpeq_epi16(
+                _mm_and_si128(
+                    _mm_set1_epi16(static_cast<short>(valid_bits)), sel),
+                sel);
+            const __m128i b = _mm_set1_epi16(
+                static_cast<short>((bits >> (h * 8)) & 0xffu));
+            const __m128i taken =
+                _mm_cmpeq_epi16(_mm_and_si128(b, sel), sel);
+            __m128i delta =
+                _mm_or_si128(_mm_and_si128(taken, plus),
+                             _mm_andnot_si128(taken, minus));
+            // Padding lanes get delta 0 so they stay zero forever.
+            delta = _mm_and_si128(delta, valid);
+            std::int16_t *p = row + 1 + base;
+            const __m128i w =
+                _mm_loadu_si128(reinterpret_cast<const __m128i *>(p));
+            // Saturating add: wmin-1 at weight width 16 must stick at
+            // -32768, exactly like the int32 clamp in the scalar path.
+            __m128i next = _mm_adds_epi16(w, delta);
+            next = _mm_min_epi16(_mm_max_epi16(next, vmin), vmax);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(p), next);
+        }
+    }
+}
+
+__attribute__((target("avx2"))) std::int32_t
+dotProductAvx2(const std::int16_t *row, std::uint64_t ghr,
+               unsigned history_bits)
+{
+    const __m256i sel = _mm256_setr_epi16(
+        1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+        16384, static_cast<short>(0x8000));
+    const __m256i one = _mm256_set1_epi16(1);
+    const __m256i two = _mm256_set1_epi16(2);
+    __m256i acc = _mm256_setzero_si256();
+    const unsigned chunks = (history_bits + kRowLanes - 1) / kRowLanes;
+    for (unsigned c = 0; c < chunks; ++c) {
+        const __m256i w = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(row + 1 + c * 16));
+        const __m256i b = _mm256_set1_epi16(
+            static_cast<short>((ghr >> (c * 16)) & 0xffffu));
+        const __m256i taken =
+            _mm256_cmpeq_epi16(_mm256_and_si256(b, sel), sel);
+        const __m256i sign =
+            _mm256_sub_epi16(_mm256_and_si256(taken, two), one);
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(w, sign));
+    }
+    __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                              _mm256_extracti128_si256(acc, 1));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(1, 0, 3, 2)));
+    s = _mm_add_epi32(s, _mm_shuffle_epi32(s, _MM_SHUFFLE(2, 3, 0, 1)));
+    return row[0] + _mm_cvtsi128_si32(s);
+}
+
+__attribute__((target("avx2"))) void
+trainRowAvx2(std::int16_t *row, std::uint64_t ghr, unsigned history_bits,
+             std::int32_t dir, std::int32_t wmin, std::int32_t wmax)
+{
+    std::int32_t bias = row[0] + dir;
+    bias = bias > wmax ? wmax : bias;
+    row[0] = static_cast<std::int16_t>(bias < wmin ? wmin : bias);
+
+    const __m256i sel = _mm256_setr_epi16(
+        1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+        16384, static_cast<short>(0x8000));
+    const __m256i vmin = _mm256_set1_epi16(static_cast<short>(wmin));
+    const __m256i vmax = _mm256_set1_epi16(static_cast<short>(wmax));
+    const __m256i plus = _mm256_set1_epi16(static_cast<short>(dir));
+    const __m256i minus = _mm256_set1_epi16(static_cast<short>(-dir));
+    const unsigned chunks = (history_bits + kRowLanes - 1) / kRowLanes;
+    for (unsigned c = 0; c < chunks; ++c) {
+        const unsigned base = c * 16;
+        const unsigned remaining = history_bits - base;
+        const unsigned valid_bits =
+            remaining >= 16 ? 0xffffu : (1u << remaining) - 1;
+        const __m256i valid = _mm256_cmpeq_epi16(
+            _mm256_and_si256(
+                _mm256_set1_epi16(static_cast<short>(valid_bits)), sel),
+            sel);
+        const __m256i b = _mm256_set1_epi16(
+            static_cast<short>((ghr >> base) & 0xffffu));
+        const __m256i taken =
+            _mm256_cmpeq_epi16(_mm256_and_si256(b, sel), sel);
+        __m256i delta = _mm256_or_si256(
+            _mm256_and_si256(taken, plus),
+            _mm256_andnot_si256(taken, minus));
+        delta = _mm256_and_si256(delta, valid);
+        std::int16_t *p = row + 1 + base;
+        const __m256i w =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(p));
+        __m256i next = _mm256_adds_epi16(w, delta);
+        next = _mm256_min_epi16(_mm256_max_epi16(next, vmin), vmax);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(p), next);
+    }
+}
+
+#else // !PERCON_KERNEL_X86
+
+std::int32_t
+dotProductSse2(const std::int16_t *, std::uint64_t, unsigned)
+{
+    panic("SSE2 perceptron kernel unavailable on this target");
+}
+
+void
+trainRowSse2(std::int16_t *, std::uint64_t, unsigned, std::int32_t,
+             std::int32_t, std::int32_t)
+{
+    panic("SSE2 perceptron kernel unavailable on this target");
+}
+
+std::int32_t
+dotProductAvx2(const std::int16_t *, std::uint64_t, unsigned)
+{
+    panic("AVX2 perceptron kernel unavailable on this target");
+}
+
+void
+trainRowAvx2(std::int16_t *, std::uint64_t, unsigned, std::int32_t,
+             std::int32_t, std::int32_t)
+{
+    panic("AVX2 perceptron kernel unavailable on this target");
+}
+
+#endif // PERCON_KERNEL_X86
+
+// ------------------------------------------------------------- dispatch
+
+bool
+pathAvailable(Path path)
+{
+    switch (path) {
+      case Path::Scalar:
+        return true;
+#ifdef PERCON_KERNEL_X86
+      case Path::Sse2:
+        return true;  // SSE2 is the x86-64 baseline
+      case Path::Avx2:
+        return __builtin_cpu_supports("avx2");
+#else
+      case Path::Sse2:
+      case Path::Avx2:
+        return false;
+#endif
+    }
+    return false;
+}
+
+const char *
+pathName(Path path)
+{
+    switch (path) {
+      case Path::Scalar:
+        return "scalar";
+      case Path::Sse2:
+        return "sse2";
+      case Path::Avx2:
+        return "avx2";
+    }
+    return "?";
+}
+
+namespace {
+
+using DotFn = std::int32_t (*)(const std::int16_t *, std::uint64_t,
+                               unsigned);
+using TrainFn = void (*)(std::int16_t *, std::uint64_t, unsigned,
+                         std::int32_t, std::int32_t, std::int32_t);
+
+struct Dispatch
+{
+    Path path;
+    DotFn dot;
+    TrainFn train;
+};
+
+Dispatch
+dispatchFor(Path path)
+{
+    switch (path) {
+      case Path::Sse2:
+        return {path, &dotProductSse2, &trainRowSse2};
+      case Path::Avx2:
+        return {path, &dotProductAvx2, &trainRowAvx2};
+      case Path::Scalar:
+        break;
+    }
+    return {Path::Scalar, &dotProductScalar, &trainRowScalar};
+}
+
+Path
+envPathOverride(Path fallback)
+{
+    const char *v = std::getenv("PERCON_KERNEL");
+    if (!v || !*v || std::strcmp(v, "auto") == 0)
+        return fallback;
+    for (Path p : {Path::Scalar, Path::Sse2, Path::Avx2}) {
+        if (std::strcmp(v, pathName(p)) == 0) {
+            if (pathAvailable(p))
+                return p;
+            warn("PERCON_KERNEL=%s unavailable on this CPU; using %s",
+                 v, pathName(fallback));
+            return fallback;
+        }
+    }
+    warn("PERCON_KERNEL=%s not recognized "
+         "(scalar|sse2|avx2|auto); using %s",
+         v, pathName(fallback));
+    return fallback;
+}
+
+Path
+defaultPath()
+{
+#if defined(PERCON_FORCE_SCALAR)
+    Path p = Path::Scalar;
+#else
+    Path p = pathAvailable(Path::Avx2)   ? Path::Avx2
+             : pathAvailable(Path::Sse2) ? Path::Sse2
+                                         : Path::Scalar;
+#endif
+    return envPathOverride(p);
+}
+
+Dispatch &
+dispatch()
+{
+    static Dispatch d = dispatchFor(defaultPath());
+    return d;
+}
+
+} // namespace
+
+Path
+activePath()
+{
+    return dispatch().path;
+}
+
+void
+forcePath(Path path)
+{
+    PERCON_ASSERT(pathAvailable(path), "kernel path %s unavailable",
+                  pathName(path));
+    dispatch() = dispatchFor(path);
+}
+
+void
+resetPath()
+{
+    dispatch() = dispatchFor(defaultPath());
+}
+
+std::int32_t
+dotProduct(const std::int16_t *row, std::uint64_t ghr,
+           unsigned history_bits)
+{
+    return dispatch().dot(row, ghr, history_bits);
+}
+
+void
+trainRow(std::int16_t *row, std::uint64_t ghr, unsigned history_bits,
+         std::int32_t dir, std::int32_t wmin, std::int32_t wmax)
+{
+    dispatch().train(row, ghr, history_bits, dir, wmin, wmax);
+}
+
+} // namespace percon::kernel

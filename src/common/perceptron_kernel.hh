@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared vectorized perceptron kernels.
+ *
+ * Every perceptron table in percon (the Jimenez-Lin direction
+ * predictor, the paper's perceptron_cic estimator and the
+ * perceptron_tnt baseline) runs the same two inner loops on every
+ * dynamic branch: a signed dot product of a weight row with the
+ * bipolar (+1/-1) global history, and a clamped +-1 weight bump.
+ * This header provides both as standalone kernels over raw int16
+ * rows, with three implementations selected at run time:
+ *
+ *   Scalar  branchless XOR-sign loop (portable baseline)
+ *   Sse2    8 int16 lanes, madd widening accumulate (x86-64 floor)
+ *   Avx2    16 int16 lanes (runtime-detected)
+ *
+ * All paths are exact integer arithmetic over the same values, so
+ * their results are bit-identical by construction; the differential
+ * fuzz test and the forced-scalar golden-stats run pin that contract.
+ *
+ * Row layout contract: callers allocate each row with
+ * rowStride(history_bits) int16 elements: the bias weight at index
+ * 0, history weights at [1 .. history_bits], and zero padding up to
+ * the stride. The stride rounds the history portion up to a whole
+ * number of 16-lane chunks so the SIMD paths load full vectors with
+ * no scalar tail; the padding lanes multiply against zero weights in
+ * dotProduct and are masked off in trainRow, so they stay zero.
+ *
+ * Path selection: AVX2 when the CPU supports it, else SSE2 on
+ * x86-64, else scalar. A build configured with -DPERCON_FORCE_SCALAR
+ * defaults to the scalar path (all paths stay compiled and callable
+ * for tests). The PERCON_KERNEL environment variable
+ * (scalar|sse2|avx2|auto) overrides the default; unknown or
+ * unavailable values warn and are ignored. forcePath()/resetPath()
+ * give tests in-process control of the dispatch.
+ */
+
+#ifndef PERCON_COMMON_PERCEPTRON_KERNEL_HH
+#define PERCON_COMMON_PERCEPTRON_KERNEL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace percon::kernel {
+
+/** int16 lanes per padded history chunk (one AVX2 register). */
+inline constexpr unsigned kRowLanes = 16;
+
+/**
+ * Elements per weight row: 1 bias + history_bits weights, padded so
+ * the history portion is a whole number of kRowLanes chunks.
+ */
+constexpr std::size_t
+rowStride(unsigned history_bits)
+{
+    return 1 +
+           static_cast<std::size_t>(
+               (history_bits + kRowLanes - 1) / kRowLanes) *
+               kRowLanes;
+}
+
+/** Kernel implementation selector. */
+enum class Path : std::uint8_t { Scalar, Sse2, Avx2 };
+
+const char *pathName(Path path);
+
+/** Whether @p path can run on this build/CPU. */
+bool pathAvailable(Path path);
+
+/** The path the dispatched entry points currently use. */
+Path activePath();
+
+/** Pin the dispatch to @p path (panics if unavailable). Test hook. */
+void forcePath(Path path);
+
+/** Restore the default (CPU-detected / env-overridden) dispatch. */
+void resetPath();
+
+/**
+ * y = row[0] + sum over i < history_bits of
+ *     (bit i of ghr ? +row[i+1] : -row[i+1])
+ *
+ * @p row must follow the rowStride() layout contract above.
+ */
+std::int32_t dotProduct(const std::int16_t *row, std::uint64_t ghr,
+                        unsigned history_bits);
+
+/**
+ * row[0] += dir; row[i+1] += dir * (bit i of ghr ? +1 : -1), each
+ * weight clamped to [wmin, wmax]. @p dir must be +1 or -1 and
+ * [wmin, wmax] must cover 0 and fit in int16. Padding lanes are
+ * never modified.
+ */
+void trainRow(std::int16_t *row, std::uint64_t ghr,
+              unsigned history_bits, std::int32_t dir,
+              std::int32_t wmin, std::int32_t wmax);
+
+// Per-path entry points, exposed so the differential fuzz test and
+// the microbenches can exercise every implementation regardless of
+// the dispatched default. The SSE2/AVX2 variants panic when
+// pathAvailable() is false for them.
+std::int32_t dotProductScalar(const std::int16_t *row,
+                              std::uint64_t ghr, unsigned history_bits);
+void trainRowScalar(std::int16_t *row, std::uint64_t ghr,
+                    unsigned history_bits, std::int32_t dir,
+                    std::int32_t wmin, std::int32_t wmax);
+std::int32_t dotProductSse2(const std::int16_t *row, std::uint64_t ghr,
+                            unsigned history_bits);
+void trainRowSse2(std::int16_t *row, std::uint64_t ghr,
+                  unsigned history_bits, std::int32_t dir,
+                  std::int32_t wmin, std::int32_t wmax);
+std::int32_t dotProductAvx2(const std::int16_t *row, std::uint64_t ghr,
+                            unsigned history_bits);
+void trainRowAvx2(std::int16_t *row, std::uint64_t ghr,
+                  unsigned history_bits, std::int32_t dir,
+                  std::int32_t wmin, std::int32_t wmax);
+
+} // namespace percon::kernel
+
+#endif // PERCON_COMMON_PERCEPTRON_KERNEL_HH

@@ -38,6 +38,9 @@ const char *confidenceBandName(ConfidenceBand band);
 /** Result of one front-end confidence estimate. */
 struct ConfidenceInfo
 {
+    /** Sentinel for row: no table row cached at estimate time. */
+    static constexpr std::uint32_t kNoRow = 0xffffffffu;
+
     /** Estimator-specific multi-valued output. For perceptrons this
      *  is the signed dot product (more positive = less confident);
      *  for counter schemes it is the counter value. */
@@ -48,6 +51,12 @@ struct ConfidenceInfo
 
     /** Three-way band (High/WeakLow/StrongLow). */
     ConfidenceBand band = ConfidenceBand::High;
+
+    /** Estimator table row resolved at estimate time, so train()
+     *  does not recompute the index (kNoRow when not applicable).
+     *  Only meaningful for the ConfidenceInfo produced by the same
+     *  estimator instance with the same (pc, ghr). */
+    std::uint32_t row = kNoRow;
 };
 
 /** Abstract confidence estimator. */

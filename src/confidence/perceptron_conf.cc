@@ -5,12 +5,13 @@
 #include <ostream>
 
 #include "common/logging.hh"
+#include "common/perceptron_kernel.hh"
 
 namespace percon {
 
 PerceptronConfidence::PerceptronConfidence(
     const PerceptronConfParams &params)
-    : params_(params)
+    : params_(params), stride_(kernel::rowStride(params.historyBits))
 {
     PERCON_ASSERT(params.entries >= 2 &&
                       (params.entries & (params.entries - 1)) == 0,
@@ -25,7 +26,7 @@ PerceptronConfidence::PerceptronConfidence(
     }
     weightMax_ = (1 << (params.weightBits - 1)) - 1;
     weightMin_ = -(1 << (params.weightBits - 1));
-    weights_.assign(params.entries * (params.historyBits + 1), 0);
+    weights_.assign(params.entries * stride_, 0);
 }
 
 std::size_t
@@ -45,28 +46,30 @@ std::int32_t
 PerceptronConfidence::weight(Addr pc, std::uint64_t ghr, unsigned i) const
 {
     PERCON_ASSERT(i <= params_.historyBits, "weight index out of range");
-    return weights_[indexFor(pc, ghr) * (params_.historyBits + 1) + i];
+    return weights_[indexFor(pc, ghr) * stride_ + i];
+}
+
+std::int32_t
+PerceptronConfidence::outputAt(std::size_t row, std::uint64_t ghr) const
+{
+    return kernel::dotProduct(&weights_[row * stride_], ghr,
+                              params_.historyBits);
 }
 
 std::int32_t
 PerceptronConfidence::output(Addr pc, std::uint64_t ghr) const
 {
-    const std::int16_t *w =
-        &weights_[indexFor(pc, ghr) * (params_.historyBits + 1)];
-    std::int32_t y = w[0];  // bias input is always +1
-    for (unsigned i = 0; i < params_.historyBits; ++i) {
-        bool taken = (ghr >> i) & 1ULL;
-        y += taken ? w[i + 1] : -w[i + 1];
-    }
-    return y;
+    return outputAt(indexFor(pc, ghr), ghr);
 }
 
 ConfidenceInfo
 PerceptronConfidence::estimate(Addr pc, std::uint64_t ghr, bool) const
 {
+    std::size_t row = indexFor(pc, ghr);
     ConfidenceInfo info;
-    info.raw = output(pc, ghr);
+    info.raw = outputAt(row, ghr);
     info.low = info.raw > params_.lambda;
+    info.row = static_cast<std::uint32_t>(row);
 
     if (params_.reverseLambda) {
         if (info.raw > *params_.reverseLambda)
@@ -95,22 +98,12 @@ PerceptronConfidence::train(Addr pc, std::uint64_t ghr, bool,
     if (c == p && mag > params_.trainThreshold)
         return;
 
-    std::int16_t *w =
-        &weights_[indexFor(pc, ghr) * (params_.historyBits + 1)];
-    auto bump = [&](std::int16_t &weight, int direction) {
-        std::int32_t next = weight + direction;
-        if (next > weightMax_)
-            next = weightMax_;
-        if (next < weightMin_)
-            next = weightMin_;
-        weight = static_cast<std::int16_t>(next);
-    };
-
-    bump(w[0], p);
-    for (unsigned i = 0; i < params_.historyBits; ++i) {
-        int x = ((ghr >> i) & 1ULL) ? 1 : -1;
-        bump(w[i + 1], p * x);
-    }
+    std::size_t row = info.row == ConfidenceInfo::kNoRow
+                          ? indexFor(pc, ghr)
+                          : info.row;
+    PERCON_ASSERT(row < params_.entries, "stale estimator row %zu", row);
+    kernel::trainRow(&weights_[row * stride_], ghr, params_.historyBits,
+                     p, weightMin_, weightMax_);
 }
 
 namespace {
@@ -126,9 +119,13 @@ PerceptronConfidence::saveWeights(std::ostream &os) const
     std::uint64_t geom[3] = {params_.entries, params_.historyBits,
                              params_.weightBits};
     os.write(reinterpret_cast<const char *>(geom), sizeof(geom));
-    os.write(reinterpret_cast<const char *>(weights_.data()),
-             static_cast<std::streamsize>(weights_.size() *
-                                          sizeof(weights_[0])));
+    // Serialize logical rows only: the lane padding is an in-memory
+    // layout detail, not part of the wire format.
+    for (std::size_t e = 0; e < params_.entries; ++e) {
+        os.write(reinterpret_cast<const char *>(&weights_[e * stride_]),
+                 static_cast<std::streamsize>(
+                     (params_.historyBits + 1) * sizeof(weights_[0])));
+    }
 }
 
 bool
@@ -143,10 +140,12 @@ PerceptronConfidence::loadWeights(std::istream &is)
     if (geom[0] != params_.entries || geom[1] != params_.historyBits ||
         geom[2] != params_.weightBits)
         return false;
-    std::vector<std::int16_t> incoming(weights_.size());
-    is.read(reinterpret_cast<char *>(incoming.data()),
-            static_cast<std::streamsize>(incoming.size() *
-                                         sizeof(incoming[0])));
+    std::vector<std::int16_t> incoming(weights_.size(), 0);
+    for (std::size_t e = 0; e < params_.entries; ++e) {
+        is.read(reinterpret_cast<char *>(&incoming[e * stride_]),
+                static_cast<std::streamsize>(
+                    (params_.historyBits + 1) * sizeof(incoming[0])));
+    }
     if (!is)
         return false;
     weights_ = std::move(incoming);

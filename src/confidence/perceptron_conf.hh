@@ -26,6 +26,12 @@
  * classification (§5.5): y > reverse-threshold => StrongLow (reverse
  * the prediction), gate-threshold < y <= reverse-threshold => WeakLow
  * (pipeline gating), otherwise High.
+ *
+ * The dot product and the clamped weight bump run on the shared
+ * vectorized kernels (common/perceptron_kernel.hh): weight rows are
+ * padded to the kernel's lane-aligned stride and the row index
+ * resolved at estimate() time rides to train() in ConfidenceInfo so
+ * the (possibly path-hashed) index is computed once per branch.
  */
 
 #ifndef PERCON_CONFIDENCE_PERCEPTRON_CONF_HH
@@ -94,9 +100,11 @@ class PerceptronConfidence : public ConfidenceEstimator
 
   private:
     std::size_t indexFor(Addr pc, std::uint64_t ghr) const;
+    std::int32_t outputAt(std::size_t row, std::uint64_t ghr) const;
 
     PerceptronConfParams params_;
-    std::vector<std::int16_t> weights_;
+    std::vector<std::int16_t> weights_;  ///< entries x stride_ (padded)
+    std::size_t stride_;                 ///< kernel::rowStride(history)
     std::int32_t weightMax_;
     std::int32_t weightMin_;
 };

@@ -6,9 +6,7 @@ PerceptronTntConfidence::PerceptronTntConfidence(std::size_t entries,
                                                  unsigned history_bits,
                                                  unsigned weight_bits,
                                                  std::int32_t lambda)
-    : pred_(std::make_unique<PerceptronPredictor>(entries, history_bits,
-                                                  weight_bits)),
-      lambda_(lambda)
+    : pred_(entries, history_bits, weight_bits), lambda_(lambda)
 {
 }
 
@@ -16,8 +14,10 @@ ConfidenceInfo
 PerceptronTntConfidence::estimate(Addr pc, std::uint64_t ghr,
                                   bool) const
 {
+    std::size_t row = pred_.rowFor(pc);
     ConfidenceInfo info;
-    info.raw = pred_->output(pc, ghr);
+    info.raw = pred_.outputAt(row, ghr);
+    info.row = static_cast<std::uint32_t>(row);
     std::int32_t mag = info.raw < 0 ? -info.raw : info.raw;
     info.low = mag <= lambda_;
     info.band = info.low ? ConfidenceBand::WeakLow : ConfidenceBand::High;
@@ -35,13 +35,14 @@ PerceptronTntConfidence::train(Addr pc, std::uint64_t ghr,
     PredMeta meta;
     meta.perceptronOut = info.raw;
     meta.taken = info.raw >= 0;
-    pred_->update(pc, ghr, taken, meta);
+    meta.perceptronRow = info.row;
+    pred_.update(pc, ghr, taken, meta);
 }
 
 std::size_t
 PerceptronTntConfidence::storageBits() const
 {
-    return pred_->storageBits();
+    return pred_.storageBits();
 }
 
 } // namespace percon

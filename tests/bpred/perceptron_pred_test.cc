@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "bpred/perceptron_pred.hh"
 #include "common/rng.hh"
 
@@ -103,6 +105,81 @@ TEST(PerceptronPred, MetaCarriesOutput)
     PredMeta m;
     p.predict(0x6000, 0x12, m);
     EXPECT_EQ(m.perceptronOut, p.output(0x6000, 0x12));
+}
+
+TEST(PerceptronPred, StorageReportsConfiguredWeightBits)
+{
+    // Regression: storageBits used to report weightBits + 1 per
+    // weight instead of the configured width.
+    PerceptronPredictor p(128, 32, 8);
+    EXPECT_EQ(p.storageBits(), 128u * 33u * 8u);
+    PerceptronPredictor q(64, 16, 6);
+    EXPECT_EQ(q.storageBits(), 64u * 17u * 6u);
+}
+
+TEST(PerceptronPred, WeightsRoundTripThroughStream)
+{
+    PerceptronPredictor trained(64, 24, 8);
+    PredMeta m;
+    Rng rng(42);
+    for (int i = 0; i < 5000; ++i) {
+        Addr pc = 0x8000 + (rng.next() & 0xff) * 4;
+        std::uint64_t h = rng.next();
+        trained.predict(pc, h, m);
+        trained.update(pc, h, rng.nextBernoulli(0.6), m);
+    }
+
+    std::stringstream ss;
+    trained.saveWeights(ss);
+
+    PerceptronPredictor restored(64, 24, 8);
+    ASSERT_TRUE(restored.loadWeights(ss));
+
+    Rng check(43);
+    for (int i = 0; i < 1000; ++i) {
+        Addr pc = 0x8000 + (check.next() & 0xff) * 4;
+        std::uint64_t h = check.next();
+        ASSERT_EQ(restored.output(pc, h), trained.output(pc, h));
+    }
+
+    // Byte-identical re-serialization.
+    std::stringstream again;
+    restored.saveWeights(again);
+    EXPECT_EQ(again.str(), ss.str());
+}
+
+TEST(PerceptronPred, LoadRejectsGeometryMismatch)
+{
+    PerceptronPredictor a(64, 24, 8);
+    std::stringstream ss;
+    a.saveWeights(ss);
+
+    PerceptronPredictor wrongEntries(128, 24, 8);
+    EXPECT_FALSE(wrongEntries.loadWeights(ss));
+    ss.clear();
+    ss.seekg(0);
+    PerceptronPredictor wrongHistory(64, 16, 8);
+    EXPECT_FALSE(wrongHistory.loadWeights(ss));
+    ss.clear();
+    ss.seekg(0);
+    PerceptronPredictor wrongWidth(64, 24, 6);
+    EXPECT_FALSE(wrongWidth.loadWeights(ss));
+}
+
+TEST(PerceptronPred, LoadRejectsGarbage)
+{
+    PerceptronPredictor p(64, 16, 8);
+    PredMeta m;
+    p.predict(0x9000, 0x3, m);
+    p.update(0x9000, 0x3, true, m);
+    std::int32_t before = p.output(0x9000, 0x3);
+
+    std::stringstream garbage("definitely not a weight table");
+    EXPECT_FALSE(p.loadWeights(garbage));
+    std::stringstream empty;
+    EXPECT_FALSE(p.loadWeights(empty));
+    // Failed loads leave the state untouched.
+    EXPECT_EQ(p.output(0x9000, 0x3), before);
 }
 
 class PerceptronGeometry

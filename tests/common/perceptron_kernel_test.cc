@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Differential tests for the shared vectorized perceptron kernels:
+ * every implementation path must produce byte-identical results over
+ * randomized geometries, histories and weights, including the
+ * clamp-saturation edges the SIMD paths handle with saturating adds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/perceptron_kernel.hh"
+#include "common/rng.hh"
+
+using namespace percon;
+
+namespace {
+
+struct PathGuard
+{
+    ~PathGuard() { kernel::resetPath(); }
+};
+
+std::vector<std::int16_t>
+randomRow(Rng &rng, unsigned hist, int wmin, int wmax)
+{
+    std::vector<std::int16_t> row(kernel::rowStride(hist), 0);
+    for (unsigned i = 0; i <= hist; ++i) {
+        // Bias a quarter of the draws onto the saturation edges so
+        // clamping is exercised constantly, not just by luck.
+        switch (rng.next() & 7) {
+          case 0:
+            row[i] = static_cast<std::int16_t>(wmin);
+            break;
+          case 1:
+            row[i] = static_cast<std::int16_t>(wmax);
+            break;
+          default:
+            row[i] = static_cast<std::int16_t>(rng.nextRange(wmin, wmax));
+        }
+    }
+    return row;
+}
+
+} // namespace
+
+TEST(PerceptronKernel, RowStrideCoversWholeChunks)
+{
+    for (unsigned h = 1; h <= 63; ++h) {
+        std::size_t s = kernel::rowStride(h);
+        EXPECT_GE(s, h + 1) << h;
+        EXPECT_EQ((s - 1) % kernel::kRowLanes, 0u) << h;
+    }
+    EXPECT_EQ(kernel::rowStride(1), 17u);
+    EXPECT_EQ(kernel::rowStride(16), 17u);
+    EXPECT_EQ(kernel::rowStride(17), 33u);
+    EXPECT_EQ(kernel::rowStride(32), 33u);
+    EXPECT_EQ(kernel::rowStride(63), 65u);
+}
+
+TEST(PerceptronKernel, ScalarMatchesHandComputedDotProduct)
+{
+    std::vector<std::int16_t> row(kernel::rowStride(4), 0);
+    row[0] = 3;                        // bias
+    row[1] = 5;                        // bit 0
+    row[2] = -7;                       // bit 1
+    row[3] = 11;                       // bit 2
+    row[4] = -13;                      // bit 3
+    // ghr = 0b0101: bits 0,2 taken; bits 1,3 not taken.
+    std::int32_t expected = 3 + 5 - (-7) + 11 - (-13);
+    EXPECT_EQ(kernel::dotProductScalar(row.data(), 0x5, 4), expected);
+}
+
+TEST(PerceptronKernel, DifferentialDotProduct)
+{
+    Rng rng(0xd07);
+    const bool sse2 = kernel::pathAvailable(kernel::Path::Sse2);
+    const bool avx2 = kernel::pathAvailable(kernel::Path::Avx2);
+    for (int trial = 0; trial < 20000; ++trial) {
+        unsigned hist = 1 + static_cast<unsigned>(rng.nextBelow(63));
+        unsigned wbits = 2 + static_cast<unsigned>(rng.nextBelow(15));
+        int wmax = (1 << (wbits - 1)) - 1;
+        int wmin = -(1 << (wbits - 1));
+        auto row = randomRow(rng, hist, wmin, wmax);
+        std::uint64_t ghr = rng.next();
+
+        std::int32_t ref =
+            kernel::dotProductScalar(row.data(), ghr, hist);
+        if (sse2) {
+            ASSERT_EQ(kernel::dotProductSse2(row.data(), ghr, hist), ref)
+                << "hist=" << hist << " wbits=" << wbits;
+        }
+        if (avx2) {
+            ASSERT_EQ(kernel::dotProductAvx2(row.data(), ghr, hist), ref)
+                << "hist=" << hist << " wbits=" << wbits;
+        }
+        ASSERT_EQ(kernel::dotProduct(row.data(), ghr, hist), ref);
+    }
+}
+
+TEST(PerceptronKernel, DifferentialTrainRow)
+{
+    Rng rng(0x7e41);
+    const bool sse2 = kernel::pathAvailable(kernel::Path::Sse2);
+    const bool avx2 = kernel::pathAvailable(kernel::Path::Avx2);
+    for (int trial = 0; trial < 20000; ++trial) {
+        unsigned hist = 1 + static_cast<unsigned>(rng.nextBelow(63));
+        unsigned wbits = 2 + static_cast<unsigned>(rng.nextBelow(15));
+        int wmax = (1 << (wbits - 1)) - 1;
+        int wmin = -(1 << (wbits - 1));
+        auto row = randomRow(rng, hist, wmin, wmax);
+        std::uint64_t ghr = rng.next();
+        std::int32_t dir = (rng.next() & 1) ? 1 : -1;
+
+        auto ref = row;
+        kernel::trainRowScalar(ref.data(), ghr, hist, dir, wmin, wmax);
+        if (sse2) {
+            auto got = row;
+            kernel::trainRowSse2(got.data(), ghr, hist, dir, wmin, wmax);
+            ASSERT_EQ(got, ref)
+                << "sse2 hist=" << hist << " wbits=" << wbits;
+        }
+        if (avx2) {
+            auto got = row;
+            kernel::trainRowAvx2(got.data(), ghr, hist, dir, wmin, wmax);
+            ASSERT_EQ(got, ref)
+                << "avx2 hist=" << hist << " wbits=" << wbits;
+        }
+        auto got = row;
+        kernel::trainRow(got.data(), ghr, hist, dir, wmin, wmax);
+        ASSERT_EQ(got, ref);
+    }
+}
+
+TEST(PerceptronKernel, TrainPreservesZeroPadding)
+{
+    // The dotProduct no-tail trick relies on padding lanes staying
+    // zero; trainRow must mask them out on every path.
+    Rng rng(0xbad);
+    for (unsigned hist : {1u, 7u, 15u, 16u, 17u, 31u, 33u, 63u}) {
+        std::vector<std::int16_t> row(kernel::rowStride(hist), 0);
+        for (int iter = 0; iter < 200; ++iter) {
+            std::uint64_t ghr = rng.next();
+            std::int32_t dir = (rng.next() & 1) ? 1 : -1;
+            kernel::trainRowScalar(row.data(), ghr, hist, dir, -128, 127);
+            if (kernel::pathAvailable(kernel::Path::Sse2))
+                kernel::trainRowSse2(row.data(), ghr, hist, dir, -128,
+                                     127);
+            if (kernel::pathAvailable(kernel::Path::Avx2))
+                kernel::trainRowAvx2(row.data(), ghr, hist, dir, -128,
+                                     127);
+        }
+        for (std::size_t i = hist + 1; i < row.size(); ++i)
+            ASSERT_EQ(row[i], 0) << "hist=" << hist << " lane=" << i;
+    }
+}
+
+TEST(PerceptronKernel, SaturatesAtInt16Limits)
+{
+    // weightBits = 16 is the edge where the scalar int32 clamp and
+    // the SIMD saturating add must agree: wmin - 1 = -32769 does not
+    // fit in int16.
+    const int wmin = -32768, wmax = 32767;
+    const unsigned hist = 35;
+    for (kernel::Path p : {kernel::Path::Scalar, kernel::Path::Sse2,
+                           kernel::Path::Avx2}) {
+        if (!kernel::pathAvailable(p))
+            continue;
+        PathGuard guard;
+        kernel::forcePath(p);
+
+        // All weights at wmin; ghr all-ones + dir -1 pushes every
+        // history weight (and the bias) further down: all stick.
+        std::vector<std::int16_t> row(kernel::rowStride(hist),
+                                      static_cast<std::int16_t>(wmin));
+        for (std::size_t i = hist + 1; i < row.size(); ++i)
+            row[i] = 0;
+        kernel::trainRow(row.data(), ~0ULL, hist, -1, wmin, wmax);
+        for (unsigned i = 0; i <= hist; ++i)
+            ASSERT_EQ(row[i], wmin) << kernel::pathName(p) << " " << i;
+
+        // All weights at wmax; ghr all-ones + dir +1: all stick.
+        row.assign(kernel::rowStride(hist),
+                   static_cast<std::int16_t>(wmax));
+        for (std::size_t i = hist + 1; i < row.size(); ++i)
+            row[i] = 0;
+        kernel::trainRow(row.data(), ~0ULL, hist, 1, wmin, wmax);
+        for (unsigned i = 0; i <= hist; ++i)
+            ASSERT_EQ(row[i], wmax) << kernel::pathName(p) << " " << i;
+    }
+}
+
+TEST(PerceptronKernel, ForcePathSwitchesDispatch)
+{
+    PathGuard guard;
+    kernel::forcePath(kernel::Path::Scalar);
+    EXPECT_EQ(kernel::activePath(), kernel::Path::Scalar);
+    if (kernel::pathAvailable(kernel::Path::Sse2)) {
+        kernel::forcePath(kernel::Path::Sse2);
+        EXPECT_EQ(kernel::activePath(), kernel::Path::Sse2);
+    }
+    kernel::resetPath();
+    EXPECT_TRUE(kernel::pathAvailable(kernel::activePath()));
+}
+
+TEST(PerceptronKernel, PathNamesResolve)
+{
+    EXPECT_STREQ(kernel::pathName(kernel::Path::Scalar), "scalar");
+    EXPECT_STREQ(kernel::pathName(kernel::Path::Sse2), "sse2");
+    EXPECT_STREQ(kernel::pathName(kernel::Path::Avx2), "avx2");
+}

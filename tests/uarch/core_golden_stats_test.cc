@@ -21,6 +21,7 @@
 #include <string>
 
 #include "bpred/factory.hh"
+#include "common/perceptron_kernel.hh"
 #include "confidence/factory.hh"
 #include "trace/benchmarks.hh"
 #include "trace/program_model.hh"
@@ -280,6 +281,18 @@ TEST_P(GoldenStats, MatchesSeedImplementation)
 {
     const GoldenRow &row = GetParam();
     expectMatchesGolden(runConfig(row, /*skip=*/true), row);
+}
+
+TEST_P(GoldenStats, ScalarKernelMatchesSeedImplementation)
+{
+    // The vectorized perceptron kernels claim bit-identity with the
+    // scalar path; force scalar dispatch and require the exact same
+    // pinned counters.
+    const GoldenRow &row = GetParam();
+    kernel::forcePath(kernel::Path::Scalar);
+    CoreStats s = runConfig(row, /*skip=*/true);
+    kernel::resetPath();
+    expectMatchesGolden(s, row);
 }
 
 TEST_P(GoldenStats, SkippingIsBitIdenticalToCycleStepping)
