@@ -3,12 +3,16 @@
 # -Werror and a sanitizer preset, build everything, and run ctest.
 # This is the entry point a CI workflow calls.
 #
-#   scripts/check.sh [asan|tsan|none]
+#   scripts/check.sh [asan|tsan|none|audit]
 #
 # Presets:
 #   asan  (default)  AddressSanitizer + UndefinedBehaviorSanitizer
 #   tsan             ThreadSanitizer (for the sweep driver)
 #   none             -Werror only, no sanitizer
+#   audit            ASan build, then ONLY the verification suite
+#                    (ctest -L verify: differential oracle + invariant
+#                    auditor); skips the bench gate and scalar pass.
+#                    The fast gate to run after touching the core.
 #
 # The build directory is build-check-<preset>; override with
 # BUILD_DIR. Extra ctest arguments can be passed via CTEST_ARGS.
@@ -17,7 +21,7 @@ cd "$(dirname "$0")/.."
 
 PRESET="${1:-asan}"
 case "$PRESET" in
-  asan)
+  asan|audit)
     SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
     ;;
   tsan)
@@ -27,7 +31,7 @@ case "$PRESET" in
     SAN_FLAGS=""
     ;;
   *)
-    echo "usage: scripts/check.sh [asan|tsan|none]" >&2
+    echo "usage: scripts/check.sh [asan|tsan|none|audit]" >&2
     exit 1
     ;;
 esac
@@ -39,6 +43,17 @@ cmake -B "$BUILD" -S . \
     -DCMAKE_CXX_FLAGS="-Werror $SAN_FLAGS" \
     -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
 cmake --build "$BUILD" -j "$(nproc)"
+
+if [ "$PRESET" = "audit" ]; then
+    # Verification suite only: the 200-point differential oracle run
+    # and the invariant-auditor matrix, under ASan.
+    ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+        -L verify ${CTEST_ARGS:-}
+    echo "check.sh: audit preset passed (verify label under asan)"
+    exit 0
+fi
+
 # Death tests fork under sanitizers; keep them enabled but quiet leak
 # checking noise from intentionally-aborted children.
 ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \

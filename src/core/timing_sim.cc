@@ -3,6 +3,7 @@
 #include "bpred/factory.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "verify/invariant_auditor.hh"
 
 namespace percon {
 
@@ -35,10 +36,16 @@ runTiming(const BenchmarkSpec &spec, const PipelineConfig &config,
 
     Core core(config, program, wrong_path, *predictor, estimator.get(),
               spec_ctrl);
+    InvariantAuditor auditor;
+    if (timing.audit)
+        core.setAuditor(&auditor);
     core.warmup(timing.warmupUops);
     core.run(timing.measureUops);
 
-    return TimingResult{spec.program.name, core.stats()};
+    TimingResult result{spec.program.name, core.stats()};
+    if (timing.audit)
+        result.audit = auditor.report().verdict();
+    return result;
 }
 
 GatingMetrics

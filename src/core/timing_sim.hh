@@ -33,6 +33,11 @@ struct TimingConfig
      *  run key, never on thread scheduling. */
     std::optional<std::uint64_t> wrongPathSeed;
 
+    /** Attach an InvariantAuditor to the core for the whole run and
+     *  report its verdict in TimingResult::audit. Auditing never
+     *  changes CoreStats; it costs some simulator throughput. */
+    bool audit = false;
+
     /** Scale both by the PERCON_UOPS env var when present
      *  (value = measure uops; warmup scales proportionally). */
     static TimingConfig fromEnv();
@@ -47,6 +52,9 @@ struct TimingResult
 {
     std::string benchmark;
     CoreStats stats;
+    /** Invariant-audit verdict: "off" when auditing was not
+     *  requested, else AuditReport::verdict(). */
+    std::string audit = "off";
 };
 
 /**

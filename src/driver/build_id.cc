@@ -1,0 +1,15 @@
+#include "build_id.hh"
+
+namespace percon {
+
+const char *
+buildId()
+{
+#ifdef PERCON_BUILD_ID
+    return PERCON_BUILD_ID;
+#else
+    return "unknown";
+#endif
+}
+
+} // namespace percon

@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Build identification for result provenance.
+ *
+ * JSONL rows carry the producing build so archived sweep outputs can
+ * be traced back to the exact source tree. The id is `git describe
+ * --always --dirty` captured at CMake configure time and passed in
+ * via the PERCON_BUILD_ID compile definition; trees built outside
+ * git (or without the definition) report "unknown".
+ */
+
+#ifndef PERCON_DRIVER_BUILD_ID_HH
+#define PERCON_DRIVER_BUILD_ID_HH
+
+namespace percon {
+
+/** The build id string; never null, "unknown" when unavailable. */
+const char *buildId();
+
+} // namespace percon
+
+#endif // PERCON_DRIVER_BUILD_ID_HH

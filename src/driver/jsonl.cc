@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "driver/build_id.hh"
 
 namespace percon {
 
@@ -97,6 +98,10 @@ runRecordJson(const RunRecord &rec)
     }
     json += "},";
     appendU64(json, "seed", rec.seed);
+    json += ',';
+    appendStr(json, "audit", rec.audit);
+    json += ',';
+    appendStr(json, "build", buildId());
     json += ',';
     appendDouble(json, "wall_seconds", rec.wallSeconds);
 

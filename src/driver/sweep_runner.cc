@@ -92,9 +92,10 @@ timingPoint(RunKey key, const PipelineConfig &config,
                 timing](const RunKey &k, std::uint64_t run_seed) {
         TimingConfig t = timing;
         t.wrongPathSeed = run_seed;
-        return runTiming(benchmarkSpec(k.benchmark), config,
-                         k.predictor, make_estimator, spec_ctrl, t)
-            .stats;
+        TimingResult r =
+            runTiming(benchmarkSpec(k.benchmark), config, k.predictor,
+                      make_estimator, spec_ctrl, t);
+        return RunOutput{r.stats, r.audit};
     };
     return SweepPoint{std::move(key), seed, std::move(fn)};
 }
@@ -125,7 +126,9 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
             rec.seed = points[i].seed;
             auto start = std::chrono::steady_clock::now();
             try {
-                rec.stats = points[i].fn(rec.key, rec.seed);
+                RunOutput output = points[i].fn(rec.key, rec.seed);
+                rec.stats = output.stats;
+                rec.audit = std::move(output.audit);
             } catch (...) {
                 errors[i] = std::current_exception();
             }

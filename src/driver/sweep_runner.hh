@@ -59,20 +59,38 @@ struct RunKey
     std::uint64_t seed() const;
 };
 
-/** One finished design point: key, the seed actually used, stats
- *  and wall time. */
+/** One finished design point: key, the seed actually used, stats,
+ *  audit verdict and wall time. */
 struct RunRecord
 {
     RunKey key;
     std::uint64_t seed = 0;
     CoreStats stats;
+    /** Invariant-audit verdict ("off" unless --audit was active). */
+    std::string audit = "off";
     double wallSeconds = 0.0;
 };
 
-/** The work of one design point: produce stats given the derived
- *  seed. Must not touch state shared with other points. */
+/** What one design point produces. Implicitly constructible from a
+ *  bare CoreStats so RunFn lambdas predating the audit field keep
+ *  compiling unchanged. */
+struct RunOutput
+{
+    CoreStats stats;
+    std::string audit = "off";
+
+    RunOutput() = default;
+    RunOutput(const CoreStats &s) : stats(s) {}
+    RunOutput(CoreStats s, std::string a)
+        : stats(s), audit(std::move(a))
+    {}
+};
+
+/** The work of one design point: produce stats (and optionally an
+ *  audit verdict) given the derived seed. Must not touch state
+ *  shared with other points. */
 using RunFn =
-    std::function<CoreStats(const RunKey &key, std::uint64_t seed)>;
+    std::function<RunOutput(const RunKey &key, std::uint64_t seed)>;
 
 /** A schedulable design point. */
 struct SweepPoint

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Observer interface for runtime core auditing.
+ *
+ * The cores (Core, SmtCore) and the ExecModel accept an optional
+ * AuditHook and report lifecycle events through it: every fetched,
+ * retired and squashed uop, an end-of-cycle consistency checkpoint,
+ * statistics resets, and checked-error conditions that would
+ * otherwise panic. The hook is a pure observer — attaching one never
+ * changes simulation results — and the pointer defaults to null, so
+ * release runs pay a single predictable branch per call site.
+ *
+ * The concrete auditor (verify/invariant_auditor.hh) lives a layer
+ * above; this header keeps the uarch layer free of any dependency on
+ * the verification subsystem.
+ */
+
+#ifndef PERCON_UARCH_AUDIT_HOOK_HH
+#define PERCON_UARCH_AUDIT_HOOK_HH
+
+#include "uarch/core_stats.hh"
+#include "uarch/inflight_window.hh"
+
+namespace percon {
+
+/** Machine snapshot handed to AuditHook::onCheck / onStatsReset. */
+struct AuditContext
+{
+    const CoreStats *stats = nullptr;
+    const InflightWindow *window = nullptr;
+    unsigned gateCount = 0;
+    Cycle now = 0;
+    unsigned gateThreshold = 0;
+    bool hasEstimator = false;
+};
+
+class AuditHook
+{
+  public:
+    virtual ~AuditHook() = default;
+
+    /** A uop was fetched (called after its record is complete). */
+    virtual void onFetch(const InflightUop &u) = 0;
+
+    /** A uop is about to retire from the ROB head. */
+    virtual void onRetire(const InflightUop &u) = 0;
+
+    /** A uop is being dropped by a pipeline flush. */
+    virtual void onSquash(const InflightUop &u) = 0;
+
+    /** End-of-cycle consistency checkpoint. */
+    virtual void onCheck(const AuditContext &ctx) = 0;
+
+    /** Statistics were reset (end of warmup). */
+    virtual void onStatsReset(const AuditContext &ctx) = 0;
+
+    /**
+     * A checked internal-error condition fired (e.g. a scheduler
+     * window-occupancy underflow in the ExecModel). With no hook
+     * attached these conditions still panic; with one attached they
+     * are recorded and the model clamps to a safe state so the
+     * violation reaches the report instead of aborting the process.
+     */
+    virtual void onCheckedError(const char *what, Cycle cycle) = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_UARCH_AUDIT_HOOK_HH

@@ -97,6 +97,8 @@ Core::flushAfter(const InflightUop &branch)
             PERCON_ASSERT(gateCount_ > 0, "gate counter underflow");
             --gateCount_;
         }
+        if (auditor_)
+            auditor_->onSquash(u);
     });
 
     history_.recover(branch.ghrSnapshot, branch.actualTaken);
@@ -157,6 +159,8 @@ Core::retire()
           default:
             break;
         }
+        if (auditor_)
+            auditor_->onRetire(u);
         window_.popRetired();
     }
 }
@@ -333,6 +337,8 @@ Core::fetchOne()
 
     if (conf_pending)
         confQueue_.push({u.confAppliesAt, u.seq, h});
+    if (auditor_)
+        auditor_->onFetch(u);
     return !stall_after;
 }
 
@@ -381,6 +387,8 @@ Core::cycleOnce()
     retire();
     dispatch();
     fetch();
+    if (auditor_)
+        auditor_->onCheck(auditContext());
 }
 
 Cycle
@@ -451,21 +459,30 @@ Core::fastForward(Cycle skipped)
 {
     Cycle begin = now_ + 1;  // first skipped cycle
 
+    // Deliberate off-by-one in the bulk stall replay, enabled only by
+    // the differential harness's negative test: one skipped cycle
+    // loses its dispatch-stall attribution, exactly the class of bug
+    // an event-skipping refactor could introduce silently.
+    Cycle replay_skipped = testFfDefect_ && skipped > 0
+                               ? skipped - 1
+                               : skipped;
+
     // Every skipped cycle would have run the no-progress paths of
     // dispatch() and fetch(); replay their per-cycle stall
     // accounting in bulk so CoreStats stay bit-identical to the
     // cycle-stepped run. All machine state is constant over the
     // span by construction, so only the time comparisons vary.
     if (window_.pipeEmpty()) {
-        stats_.dispatchStallEmpty += skipped;
+        stats_.dispatchStallEmpty += replay_skipped;
     } else {
         const InflightUop &front = window_.pipeFront();
         Cycle not_ready =
             front.dispatchReadyAt > begin
-                ? std::min<Cycle>(skipped, front.dispatchReadyAt - begin)
+                ? std::min<Cycle>(replay_skipped,
+                                  front.dispatchReadyAt - begin)
                 : 0;
         stats_.dispatchStallEmpty += not_ready;
-        Cycle blocked = skipped - not_ready;
+        Cycle blocked = replay_skipped - not_ready;
         if (blocked > 0) {
             if (window_.robSize() >= config_.robSize)
                 stats_.dispatchStallRob += blocked;

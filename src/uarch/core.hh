@@ -46,6 +46,7 @@
 #include "memory/hierarchy.hh"
 #include "trace/uop.hh"
 #include "trace/wrongpath.hh"
+#include "uarch/audit_hook.hh"
 #include "uarch/core_stats.hh"
 #include "uarch/exec_model.hh"
 #include "uarch/inflight_window.hh"
@@ -107,9 +108,38 @@ class Core
     void setCycleSkipping(bool enabled) { skipIdleCycles_ = enabled; }
 
     const CoreStats &stats() const { return stats_; }
-    void resetStats() { stats_ = CoreStats{}; }
+
+    void
+    resetStats()
+    {
+        stats_ = CoreStats{};
+        if (auditor_)
+            auditor_->onStatsReset(auditContext());
+    }
 
     MemoryHierarchy &memory() { return mem_; }
+
+    /**
+     * Attach a runtime auditor (see audit_hook.hh); null detaches.
+     * The auditor observes fetch/retire/squash events, receives an
+     * end-of-cycle consistency checkpoint, and becomes the checked-
+     * error sink of the ExecModel. Attaching one never changes
+     * CoreStats.
+     */
+    void
+    setAuditor(AuditHook *auditor)
+    {
+        auditor_ = auditor;
+        exec_.setAuditSink(auditor);
+    }
+
+    /**
+     * Test-only fault injection: deliberately corrupt the bulk stall
+     * replay of fastForward() (the dispatch-stall counters drop one
+     * cycle per skip) to prove the differential harness catches a
+     * broken event-skipping optimization. Never set outside tests.
+     */
+    void setTestFastForwardDefect(bool on) { testFfDefect_ = on; }
 
   private:
     void cycleOnce();
@@ -128,6 +158,17 @@ class Core
     /** Advance @p skipped guaranteed-idle cycles at once, replaying
      *  their per-cycle stall accounting in bulk. */
     void fastForward(Cycle skipped);
+
+    AuditContext
+    auditContext() const
+    {
+        return AuditContext{&stats_,
+                            &window_,
+                            gateCount_,
+                            now_,
+                            spec_.gateThreshold,
+                            estimator_ != nullptr};
+    }
 
     /** Fetch one uop; returns false when fetch must stop for this
      *  cycle (trace-cache miss). */
@@ -168,6 +209,9 @@ class Core
     unsigned gateCount_ = 0;
     bool onWrongPath_ = false;
     bool skipIdleCycles_ = true;
+    bool testFfDefect_ = false;
+
+    AuditHook *auditor_ = nullptr;
 
     unsigned loadsInFlight_ = 0;
     unsigned storesInFlight_ = 0;

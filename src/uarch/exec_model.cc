@@ -1,6 +1,9 @@
 #include "exec_model.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "uarch/audit_hook.hh"
 
 namespace percon {
 
@@ -42,6 +45,26 @@ ExecModel::ExecModel(const PipelineConfig &config, MemoryHierarchy &mem)
     capacity_[0] = config.schedInt;
     capacity_[1] = config.schedMem;
     capacity_[2] = config.schedFp;
+}
+
+void
+ExecModel::releaseUnderflow(std::uint64_t c0, std::uint64_t c1,
+                            std::uint64_t c2)
+{
+    if (!auditSink_)
+        panic("scheduler window underflow at cycle %llu "
+              "(release %llu/%llu/%llu vs occupancy %u/%u/%u)",
+              static_cast<unsigned long long>(ticked_),
+              static_cast<unsigned long long>(c0),
+              static_cast<unsigned long long>(c1),
+              static_cast<unsigned long long>(c2), occupancy_[0],
+              occupancy_[1], occupancy_[2]);
+    auditSink_->onCheckedError("scheduler window underflow", ticked_);
+    // Clamp each class so occupancy can never wrap; the run keeps
+    // going and the violation surfaces in the audit report.
+    occupancy_[0] -= std::min<std::uint64_t>(occupancy_[0], c0);
+    occupancy_[1] -= std::min<std::uint64_t>(occupancy_[1], c1);
+    occupancy_[2] -= std::min<std::uint64_t>(occupancy_[2], c2);
 }
 
 Cycle

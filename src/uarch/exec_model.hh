@@ -31,6 +31,8 @@
 
 namespace percon {
 
+class AuditHook;
+
 /** Scheduler class: which window and unit pool a uop uses. */
 enum class SchedClass : unsigned { Int = 0, Mem = 1, Fp = 2 };
 
@@ -95,13 +97,19 @@ class ExecModel
                 std::uint64_t c0 = v & kLaneMask;
                 std::uint64_t c1 = (v >> 21) & kLaneMask;
                 std::uint64_t c2 = v >> 42;
-                PERCON_ASSERT(occupancy_[0] >= c0 &&
-                                  occupancy_[1] >= c1 &&
-                                  occupancy_[2] >= c2,
-                              "window underflow");
-                occupancy_[0] -= static_cast<unsigned>(c0);
-                occupancy_[1] -= static_cast<unsigned>(c1);
-                occupancy_[2] -= static_cast<unsigned>(c2);
+                // Always-on checked error: underflow means the
+                // release ledger and occupancy disagree, which
+                // invalidates every dispatch-stall statistic after
+                // it. The cold path reports through the audit sink
+                // (and clamps) or panics when none is attached.
+                if (occupancy_[0] < c0 || occupancy_[1] < c1 ||
+                    occupancy_[2] < c2) {
+                    releaseUnderflow(c0, c1, c2);
+                } else {
+                    occupancy_[0] -= static_cast<unsigned>(c0);
+                    occupancy_[1] -= static_cast<unsigned>(c1);
+                    occupancy_[2] -= static_cast<unsigned>(c2);
+                }
                 pendingWheel_ -=
                     static_cast<unsigned>(c0 + c1 + c2);
             }
@@ -110,10 +118,19 @@ class ExecModel
                (farReleases_.top() >> 2) <= now) {
             unsigned cls = farReleases_.top() & 3u;
             farReleases_.pop();
-            PERCON_ASSERT(occupancy_[cls] > 0, "window underflow");
+            if (occupancy_[cls] == 0) {
+                releaseUnderflow(cls == 0, cls == 1, cls == 2);
+                continue;
+            }
             --occupancy_[cls];
         }
     }
+
+    /**
+     * Attach a checked-error sink (see audit_hook.hh). Null detaches;
+     * with no sink, checked errors panic exactly as before.
+     */
+    void setAuditSink(AuditHook *sink) { auditSink_ = sink; }
 
     /** True if the window for @p cls has a free entry. */
     bool
@@ -165,8 +182,15 @@ class ExecModel
     Cycle latencyFor(const InflightUop &uop, Cycle issue_at);
 
   private:
+    /** Cold path for a window-occupancy underflow during release
+     *  processing: report-and-clamp via the audit sink, or panic. */
+    void releaseUnderflow(std::uint64_t c0, std::uint64_t c1,
+                          std::uint64_t c2);
+
     const PipelineConfig &config_;
     MemoryHierarchy &mem_;
+
+    AuditHook *auditSink_ = nullptr;
 
     std::vector<IssueSlots> slots_;  ///< one per SchedClass
 

@@ -159,6 +159,10 @@ class InflightWindow
 
     std::size_t size() const { return ring_.size(); }
 
+    /** Read-only positional access (0 = oldest), for auditors: the
+     *  first robSize() entries are the ROB, the rest the fetch pipe. */
+    const InflightUop &entry(std::size_t i) const { return ring_.at(i); }
+
   private:
     RingBuffer<InflightUop> ring_;
     std::vector<std::uint32_t> gen_;

@@ -85,6 +85,8 @@ SmtCore::flushAfter(unsigned tid, const InflightUop &branch)
             PERCON_ASSERT(t.gateCount > 0, "gate counter underflow");
             --t.gateCount;
         }
+        if (auditors_[tid])
+            auditors_[tid]->onSquash(u);
     });
     t.history.recover(branch.ghrSnapshot, branch.actualTaken);
     t.onWrongPath = false;
@@ -143,6 +145,8 @@ SmtCore::retire(unsigned tid)
           default:
             break;
         }
+        if (auditors_[tid])
+            auditors_[tid]->onRetire(u);
         t.window.popRetired();
     }
 }
@@ -303,6 +307,8 @@ SmtCore::fetchOne(unsigned tid)
         }
     }
 
+    if (auditors_[tid])
+        auditors_[tid]->onFetch(u);
     return !stall_after;
 }
 
@@ -366,6 +372,17 @@ SmtCore::fetch()
     }
 }
 
+AuditContext
+SmtCore::auditContext(unsigned tid) const
+{
+    return AuditContext{&stats_[tid],
+                        &threads_[tid].window,
+                        threads_[tid].gateCount,
+                        now_,
+                        spec_.gateThreshold,
+                        estimator_ != nullptr};
+}
+
 void
 SmtCore::cycleOnce()
 {
@@ -379,6 +396,10 @@ SmtCore::cycleOnce()
     for (unsigned tid = 0; tid < kThreads; ++tid)
         dispatch(tid);
     fetch();
+    for (unsigned tid = 0; tid < kThreads; ++tid) {
+        if (auditors_[tid])
+            auditors_[tid]->onCheck(auditContext(tid));
+    }
 }
 
 void
@@ -413,6 +434,10 @@ SmtCore::warmup(Count per_thread)
     run(per_thread);
     for (auto &s : stats_)
         s = CoreStats{};
+    for (unsigned tid = 0; tid < kThreads; ++tid) {
+        if (auditors_[tid])
+            auditors_[tid]->onStatsReset(auditContext(tid));
+    }
 }
 
 double

@@ -36,6 +36,7 @@
 #include "memory/hierarchy.hh"
 #include "trace/uop.hh"
 #include "trace/wrongpath.hh"
+#include "uarch/audit_hook.hh"
 #include "uarch/core_stats.hh"
 #include "uarch/exec_model.hh"
 #include "uarch/inflight_window.hh"
@@ -119,6 +120,20 @@ class SmtCore
 
     const CoreStats &stats(unsigned tid) const { return stats_[tid]; }
 
+    /**
+     * Attach a per-thread runtime auditor (see audit_hook.hh); null
+     * detaches. Thread 0's auditor doubles as the ExecModel's
+     * checked-error sink (the execution model is shared). Attaching
+     * auditors never changes statistics.
+     */
+    void
+    setAuditor(unsigned tid, AuditHook *auditor)
+    {
+        auditors_[tid] = auditor;
+        if (tid == 0)
+            exec_.setAuditSink(auditor);
+    }
+
     /** Aggregate throughput: total retired uops / cycles. */
     double combinedIpc() const;
 
@@ -147,6 +162,7 @@ class SmtCore
     };
 
     void cycleOnce();
+    AuditContext auditContext(unsigned tid) const;
     void resolveBranches();
     void retire(unsigned tid);
     void dispatch(unsigned tid);
@@ -167,6 +183,7 @@ class SmtCore
 
     std::array<Thread, kThreads> threads_;
     std::array<CoreStats, kThreads> stats_;
+    std::array<AuditHook *, kThreads> auditors_{};
 
     /** Unresolved in-flight branches, keyed by resolution cycle. */
     std::priority_queue<SmtUopEvent, std::vector<SmtUopEvent>,

@@ -1,0 +1,148 @@
+#include "differential.hh"
+
+#include "bpred/factory.hh"
+#include "confidence/factory.hh"
+#include "trace/wrongpath.hh"
+#include "uarch/core.hh"
+#include "verify/oracle_core.hh"
+
+namespace percon {
+
+std::vector<FieldDiff>
+diffStats(const CoreStats &oracle, const CoreStats &core)
+{
+    std::vector<FieldDiff> out;
+    auto cmp = [&](const char *field, std::uint64_t a,
+                   std::uint64_t b) {
+        if (a != b)
+            out.push_back({field, a, b});
+    };
+
+    cmp("cycles", oracle.cycles, core.cycles);
+    cmp("fetchedUops", oracle.fetchedUops, core.fetchedUops);
+    cmp("executedUops", oracle.executedUops, core.executedUops);
+    cmp("retiredUops", oracle.retiredUops, core.retiredUops);
+    cmp("wrongPathFetched", oracle.wrongPathFetched,
+        core.wrongPathFetched);
+    cmp("wrongPathExecuted", oracle.wrongPathExecuted,
+        core.wrongPathExecuted);
+    cmp("retiredBranches", oracle.retiredBranches,
+        core.retiredBranches);
+    cmp("mispredictsOriginal", oracle.mispredictsOriginal,
+        core.mispredictsOriginal);
+    cmp("mispredictsFinal", oracle.mispredictsFinal,
+        core.mispredictsFinal);
+    cmp("reversals", oracle.reversals, core.reversals);
+    cmp("reversalsGood", oracle.reversalsGood, core.reversalsGood);
+    cmp("reversalsBad", oracle.reversalsBad, core.reversalsBad);
+    cmp("gatedCycles", oracle.gatedCycles, core.gatedCycles);
+    cmp("flushes", oracle.flushes, core.flushes);
+    cmp("traceCacheMisses", oracle.traceCacheMisses,
+        core.traceCacheMisses);
+    cmp("traceCacheStallCycles", oracle.traceCacheStallCycles,
+        core.traceCacheStallCycles);
+    cmp("btbMisses", oracle.btbMisses, core.btbMisses);
+    cmp("btbStallCycles", oracle.btbStallCycles, core.btbStallCycles);
+    cmp("fetchStallPipeFull", oracle.fetchStallPipeFull,
+        core.fetchStallPipeFull);
+    cmp("dispatchStallRob", oracle.dispatchStallRob,
+        core.dispatchStallRob);
+    cmp("dispatchStallWindow", oracle.dispatchStallWindow,
+        core.dispatchStallWindow);
+    cmp("dispatchStallBuffers", oracle.dispatchStallBuffers,
+        core.dispatchStallBuffers);
+    cmp("dispatchStallEmpty", oracle.dispatchStallEmpty,
+        core.dispatchStallEmpty);
+    cmp("issueWaitSum", oracle.issueWaitSum, core.issueWaitSum);
+    cmp("loadLatencySum", oracle.loadLatencySum, core.loadLatencySum);
+    cmp("loadCount", oracle.loadCount, core.loadCount);
+
+    cmp("confidence.mispredictedLow",
+        oracle.confidence.mispredictedLow(),
+        core.confidence.mispredictedLow());
+    cmp("confidence.mispredictedHigh",
+        oracle.confidence.mispredictedHigh(),
+        core.confidence.mispredictedHigh());
+    cmp("confidence.correctLow", oracle.confidence.correctLow(),
+        core.confidence.correctLow());
+    cmp("confidence.correctHigh", oracle.confidence.correctHigh(),
+        core.confidence.correctHigh());
+    return out;
+}
+
+std::string
+DiffResult::summary() const
+{
+    if (clean())
+        return "identical; audit " + audit.summary();
+    std::string s;
+    if (!identical()) {
+        s = std::to_string(diffs.size()) + " field(s) diverge:";
+        std::size_t shown = 0;
+        for (const FieldDiff &d : diffs) {
+            if (shown++ == 4) {
+                s += " ...";
+                break;
+            }
+            s += " " + d.field + "(oracle=" +
+                 std::to_string(d.oracle) +
+                 ",core=" + std::to_string(d.core) + ")";
+        }
+    } else {
+        s = "identical";
+    }
+    s += "; audit " + audit.summary();
+    return s;
+}
+
+DiffResult
+runDifferential(const DiffCase &c)
+{
+    DiffResult r;
+
+    auto build_estimator = [&c] {
+        std::unique_ptr<ConfidenceEstimator> estimator;
+        if (c.makeEstimator)
+            estimator = c.makeEstimator();
+        else if (!c.estimator.empty())
+            estimator = makeEstimator(c.estimator);
+        return estimator;
+    };
+
+    {
+        ProgramModel program(c.program);
+        WrongPathSynthesizer wrong_path(c.program, c.wrongPathSeed);
+        auto predictor = makePredictor(c.predictor);
+        std::unique_ptr<ConfidenceEstimator> estimator =
+            build_estimator();
+        OracleCore oracle(c.config, program, wrong_path, *predictor,
+                          estimator.get(), c.spec);
+        if (c.warmupUops > 0)
+            oracle.warmup(c.warmupUops);
+        oracle.run(c.measureUops);
+        r.oracle = oracle.stats();
+    }
+
+    {
+        ProgramModel program(c.program);
+        WrongPathSynthesizer wrong_path(c.program, c.wrongPathSeed);
+        auto predictor = makePredictor(c.predictor);
+        std::unique_ptr<ConfidenceEstimator> estimator =
+            build_estimator();
+        Core core(c.config, program, wrong_path, *predictor,
+                  estimator.get(), c.spec);
+        InvariantAuditor auditor;
+        core.setAuditor(&auditor);
+        core.setTestFastForwardDefect(c.injectDefect);
+        if (c.warmupUops > 0)
+            core.warmup(c.warmupUops);
+        core.run(c.measureUops);
+        r.core = core.stats();
+        r.audit = auditor.report();
+    }
+
+    r.diffs = diffStats(r.oracle, r.core);
+    return r;
+}
+
+} // namespace percon

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Differential harness: run the naive OracleCore and the optimized
+ * production Core on identically seeded inputs and diff every
+ * CoreStats counter.
+ *
+ * Both models get their own freshly constructed stack (program
+ * model, wrong-path synthesizer, predictor, estimator, caches) built
+ * from the same DiffCase, so any divergence is a semantic difference
+ * between the two core implementations — not shared mutable state.
+ * The production run additionally carries an InvariantAuditor, so
+ * one differential run checks both pillars at once: bit-identical
+ * statistics and zero invariant violations.
+ */
+
+#ifndef PERCON_VERIFY_DIFFERENTIAL_HH
+#define PERCON_VERIFY_DIFFERENTIAL_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "confidence/confidence_estimator.hh"
+#include "trace/program_model.hh"
+#include "uarch/core_stats.hh"
+#include "uarch/pipeline_config.hh"
+#include "verify/invariant_auditor.hh"
+
+namespace percon {
+
+/** One fully specified differential experiment. */
+struct DiffCase
+{
+    std::string name = "case";
+
+    ProgramParams program;
+    PipelineConfig config;
+    SpeculationControl spec;
+
+    std::string predictor = "bimodal-gshare";
+    /** Estimator factory key; empty runs without an estimator. */
+    std::string estimator;
+    /** Custom estimator builder (e.g. non-default lambda); called
+     *  once per model build. Overrides `estimator` when set. */
+    std::function<std::unique_ptr<ConfidenceEstimator>()>
+        makeEstimator;
+
+    Count warmupUops = 2'000;
+    Count measureUops = 8'000;
+    std::uint64_t wrongPathSeed = 0xdead;
+
+    /** Arm Core::setTestFastForwardDefect on the production side
+     *  (negative testing: the diff must then be non-empty). */
+    bool injectDefect = false;
+};
+
+/** One diverging CoreStats counter. */
+struct FieldDiff
+{
+    std::string field;
+    std::uint64_t oracle = 0;
+    std::uint64_t core = 0;
+};
+
+struct DiffResult
+{
+    CoreStats oracle;
+    CoreStats core;
+    std::vector<FieldDiff> diffs;
+    /** Report of the InvariantAuditor attached to the production
+     *  core for the whole run (warmup included). */
+    AuditReport audit;
+
+    bool identical() const { return diffs.empty(); }
+    bool clean() const { return identical() && audit.clean(); }
+
+    /** Human-readable verdict listing the first few diverging
+     *  fields, for test failure messages. */
+    std::string summary() const;
+};
+
+/** Diff every integer counter (and the confidence matrix cells) of
+ *  two CoreStats; empty result means bit-identical. */
+std::vector<FieldDiff> diffStats(const CoreStats &oracle,
+                                 const CoreStats &core);
+
+/** Build both stacks from @p c, run warmup + measurement on each,
+ *  and return the full comparison. */
+DiffResult runDifferential(const DiffCase &c);
+
+} // namespace percon
+
+#endif // PERCON_VERIFY_DIFFERENTIAL_HH

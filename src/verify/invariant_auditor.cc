@@ -1,0 +1,211 @@
+#include "invariant_auditor.hh"
+
+#include <cstdio>
+
+namespace percon {
+
+namespace {
+
+std::string
+fmt(const char *format, std::uint64_t a, std::uint64_t b = 0)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), format,
+                  static_cast<unsigned long long>(a),
+                  static_cast<unsigned long long>(b));
+    return buf;
+}
+
+} // namespace
+
+std::string
+AuditReport::verdict() const
+{
+    if (clean())
+        return "clean";
+    return "violated:" + std::to_string(violationCount);
+}
+
+std::string
+AuditReport::summary() const
+{
+    if (clean())
+        return "clean (" + std::to_string(checksRun) + " checks)";
+    std::string s = verdict();
+    if (!violations.empty()) {
+        s += " (first: " + violations.front().invariant + " @" +
+             std::to_string(violations.front().cycle) + ": " +
+             violations.front().detail + ")";
+    }
+    return s;
+}
+
+void
+InvariantAuditor::record(const char *invariant, std::string detail,
+                         Cycle cycle)
+{
+    ++report_.violationCount;
+    if (report_.violations.size() < AuditReport::kMaxRecorded)
+        report_.violations.push_back({invariant, std::move(detail),
+                                      cycle});
+}
+
+void
+InvariantAuditor::onFetch(const InflightUop &u)
+{
+    ++fetched_;
+    if (u.seq <= lastFetchSeq_) {
+        record("seq-monotonic",
+               fmt("fetched seq %llu after %llu", u.seq,
+                   lastFetchSeq_),
+               0);
+    }
+    lastFetchSeq_ = u.seq;
+}
+
+void
+InvariantAuditor::onRetire(const InflightUop &u)
+{
+    ++retired_;
+    if (!u.dispatched)
+        record("retire-dispatched",
+               fmt("retiring undispatched seq %llu", u.seq), 0);
+    if (u.wrongPath)
+        record("retire-correct-path",
+               fmt("retiring wrong-path seq %llu", u.seq), 0);
+}
+
+void
+InvariantAuditor::onSquash(const InflightUop &)
+{
+    ++squashed_;
+}
+
+void
+InvariantAuditor::onCheck(const AuditContext &ctx)
+{
+    ++report_.checksRun;
+    const CoreStats &s = *ctx.stats;
+    Cycle now = ctx.now;
+
+    // ---- cheap counter cross-checks, every checkpoint -------------
+    if (s.executedUops != s.retiredUops + s.wrongPathExecuted) {
+        record("exec-conservation",
+               fmt("executed %llu != retired+wrongpath %llu",
+                   s.executedUops,
+                   s.retiredUops + s.wrongPathExecuted),
+               now);
+    }
+    if (s.fetchedUops != fetched_)
+        record("fetch-count",
+               fmt("stats %llu != observed %llu", s.fetchedUops,
+                   fetched_),
+               now);
+    if (s.retiredUops != retired_)
+        record("retire-count",
+               fmt("stats %llu != observed %llu", s.retiredUops,
+                   retired_),
+               now);
+    if (ctx.window &&
+        fetched_ + carriedInflight_ !=
+            retired_ + squashed_ + ctx.window->size()) {
+        record("uop-conservation",
+               fmt("fetched+carried %llu != "
+                   "retired+squashed+inflight %llu",
+                   fetched_ + carriedInflight_,
+                   retired_ + squashed_ + ctx.window->size()),
+               now);
+    }
+    if (s.reversals != s.reversalsGood + s.reversalsBad)
+        record("reversal-partition",
+               fmt("reversals %llu != good+bad %llu", s.reversals,
+                   s.reversalsGood + s.reversalsBad),
+               now);
+    if (s.mispredictsFinal + s.reversalsGood !=
+        s.mispredictsOriginal + s.reversalsBad) {
+        record("reversal-arithmetic",
+               fmt("final+good %llu != original+bad %llu",
+                   s.mispredictsFinal + s.reversalsGood,
+                   s.mispredictsOriginal + s.reversalsBad),
+               now);
+    }
+    if (ctx.hasEstimator) {
+        if (s.confidence.total() != s.retiredBranches)
+            record("confidence-total",
+                   fmt("matrix %llu != retired branches %llu",
+                       s.confidence.total(), s.retiredBranches),
+                   now);
+        if (s.confidence.mispredicted() != s.mispredictsOriginal)
+            record("confidence-mispredicts",
+                   fmt("matrix %llu != original mispredicts %llu",
+                       s.confidence.mispredicted(),
+                       s.mispredictsOriginal),
+                   now);
+    }
+
+    // Each cycle charges at most one fetch-stall and one
+    // dispatch-stall cause; a bulk replay that double-attributes a
+    // skipped span breaks these sums first.
+    Count fetch_stalls = s.fetchStallPipeFull +
+                         s.traceCacheStallCycles + s.btbStallCycles +
+                         s.gatedCycles;
+    if (fetch_stalls > s.cycles)
+        record("fetch-stall-bound",
+               fmt("stall cycles %llu > cycles %llu", fetch_stalls,
+                   s.cycles),
+               now);
+    Count dispatch_stalls = s.dispatchStallEmpty + s.dispatchStallRob +
+                            s.dispatchStallWindow +
+                            s.dispatchStallBuffers;
+    if (dispatch_stalls > s.cycles)
+        record("dispatch-stall-bound",
+               fmt("stall cycles %llu > cycles %llu", dispatch_stalls,
+                   s.cycles),
+               now);
+
+    // ---- window-scan checks, throttled (O(window) each) -----------
+    if (ctx.window && report_.checksRun % 64 == 1) {
+        const InflightWindow &w = *ctx.window;
+        unsigned low_counted = 0;
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            const InflightUop &u = w.entry(i);
+            if (u.lowConfCounted)
+                ++low_counted;
+            bool in_rob = i < w.robSize();
+            if (u.dispatched != in_rob) {
+                record("rob-prefix",
+                       fmt("entry %llu dispatched=%llu disagrees "
+                           "with ROB boundary",
+                           i, u.dispatched ? 1 : 0),
+                       now);
+                break;
+            }
+        }
+        if (low_counted != ctx.gateCount)
+            record("gate-count",
+                   fmt("window has %llu low-conf marks, gate "
+                       "counter %llu",
+                       low_counted, ctx.gateCount),
+                   now);
+    }
+}
+
+void
+InvariantAuditor::onStatsReset(const AuditContext &ctx)
+{
+    // Conservation restarts against the post-reset counters; uops
+    // already in flight at the reset retire or squash afterwards
+    // without a matching fetch event.
+    fetched_ = 0;
+    retired_ = 0;
+    squashed_ = 0;
+    carriedInflight_ = ctx.window ? ctx.window->size() : 0;
+}
+
+void
+InvariantAuditor::onCheckedError(const char *what, Cycle cycle)
+{
+    record("checked-error", what, cycle);
+}
+
+} // namespace percon

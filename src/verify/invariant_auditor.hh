@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Runtime invariant auditor for the core models.
+ *
+ * Attach an InvariantAuditor to a Core (Core::setAuditor) or one per
+ * SmtCore thread (SmtCore::setAuditor) and it cross-checks the
+ * conservation laws the paper's measurements rest on at every
+ * end-of-cycle checkpoint:
+ *
+ *  - uop conservation: every fetched uop is eventually retired,
+ *    squashed, or still in flight — and the counts the auditor
+ *    derives from the event stream match the CoreStats counters;
+ *  - executed = retired + wrong-path executed;
+ *  - the gating counter equals the number of in-flight branches
+ *    currently marked low-confidence (window scan);
+ *  - sequence numbers are strictly monotonic at fetch, and the ROB
+ *    is always the dispatched prefix of the in-flight window;
+ *  - per-category fetch/dispatch stall cycles never exceed total
+ *    cycles (each cycle has at most one stall cause per stage) —
+ *    the check that catches bulk-replay double-attribution in the
+ *    event-skipping fast path;
+ *  - confidence classifications partition the retired branches:
+ *    matrix total = retired branches, matrix mispredicted = original
+ *    mispredicts, and reversals = good + bad.
+ *
+ * Violations are recorded (never thrown) in a structured
+ * AuditReport; the auditor also serves as the ExecModel's
+ * checked-error sink, so scheduler window underflows surface here
+ * instead of aborting the run.
+ */
+
+#ifndef PERCON_VERIFY_INVARIANT_AUDITOR_HH
+#define PERCON_VERIFY_INVARIANT_AUDITOR_HH
+
+#include <string>
+#include <vector>
+
+#include "uarch/audit_hook.hh"
+
+namespace percon {
+
+/** One recorded invariant violation. */
+struct AuditViolation
+{
+    std::string invariant;  ///< short stable identifier
+    std::string detail;     ///< human-readable specifics
+    Cycle cycle = 0;
+};
+
+/** Structured outcome of one audited run. */
+struct AuditReport
+{
+    Count checksRun = 0;        ///< end-of-cycle checkpoints taken
+    Count violationCount = 0;   ///< total violations (all kinds)
+    /** First kMaxRecorded violations, in detection order. */
+    std::vector<AuditViolation> violations;
+
+    static constexpr std::size_t kMaxRecorded = 32;
+
+    bool clean() const { return violationCount == 0; }
+
+    /** "clean (N checks)" or "violated:N (first: ...)". */
+    std::string summary() const;
+
+    /** Compact verdict for JSONL rows: "clean" or "violated:N". */
+    std::string verdict() const;
+};
+
+class InvariantAuditor : public AuditHook
+{
+  public:
+    const AuditReport &report() const { return report_; }
+
+    // AuditHook interface ------------------------------------------
+    void onFetch(const InflightUop &u) override;
+    void onRetire(const InflightUop &u) override;
+    void onSquash(const InflightUop &u) override;
+    void onCheck(const AuditContext &ctx) override;
+    void onStatsReset(const AuditContext &ctx) override;
+    void onCheckedError(const char *what, Cycle cycle) override;
+
+  private:
+    void record(const char *invariant, std::string detail, Cycle cycle);
+
+    AuditReport report_;
+
+    // Event-stream shadow counters, reset with the stats.
+    Count fetched_ = 0;
+    Count retired_ = 0;
+    Count squashed_ = 0;
+    /** In-flight uops carried across the last stats reset. */
+    Count carriedInflight_ = 0;
+    SeqNum lastFetchSeq_ = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_VERIFY_INVARIANT_AUDITOR_HH

@@ -1,0 +1,464 @@
+#include "oracle_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+OracleCore::OracleCore(const PipelineConfig &config,
+                       WorkloadSource &workload,
+                       WrongPathSynthesizer &wrong_path,
+                       BranchPredictor &predictor,
+                       ConfidenceEstimator *estimator,
+                       const SpeculationControl &spec)
+    : config_(config), spec_(spec), workload_(workload),
+      wrongPath_(wrong_path), predictor_(predictor),
+      estimator_(estimator), mem_(config.mem),
+      traceCache_(config.traceCache),
+      btb_(config.btbEntries, config.btbWays),
+      pipeCap_(static_cast<std::size_t>(config.frontEndDepth) *
+               config.width)
+{
+    if ((spec_.gateThreshold > 0 && !spec_.oracleGating) ||
+        spec_.reversalEnabled) {
+        PERCON_ASSERT(estimator_ != nullptr,
+                      "gating/reversal require a confidence estimator");
+    }
+    slots_.emplace_back(config.unitsInt);
+    slots_.emplace_back(config.unitsMem);
+    slots_.emplace_back(config.unitsFp);
+    capacity_[0] = config.schedInt;
+    capacity_[1] = config.schedMem;
+    capacity_[2] = config.schedFp;
+}
+
+InflightUop *
+OracleCore::findBySeq(SeqNum seq)
+{
+    for (auto &u : rob_)
+        if (u.seq == seq)
+            return &u;
+    for (auto &u : pipe_)
+        if (u.seq == seq)
+            return &u;
+    return nullptr;
+}
+
+void
+OracleCore::releaseWindowEntries()
+{
+    while (!windowReleases_.empty() &&
+           windowReleases_.begin()->first <= now_) {
+        unsigned cls = windowReleases_.begin()->second;
+        windowReleases_.erase(windowReleases_.begin());
+        PERCON_ASSERT(occupancy_[cls] > 0, "oracle window underflow");
+        --occupancy_[cls];
+    }
+}
+
+void
+OracleCore::applyPendingConfidence()
+{
+    while (!confEvents_.empty() && confEvents_.begin()->first <= now_) {
+        SeqNum seq = confEvents_.begin()->second;
+        confEvents_.erase(confEvents_.begin());
+        InflightUop *u = findBySeq(seq);
+        if (!u)
+            continue;  // flushed before the estimate arrived
+        if (!u->lowConfPending || u->resolvedForGate)
+            continue;  // resolved before the estimate arrived
+        u->lowConfPending = false;
+        u->lowConfCounted = true;
+        ++gateCount_;
+    }
+}
+
+void
+OracleCore::resolveBranches()
+{
+    while (!resolveEvents_.empty() &&
+           resolveEvents_.begin()->first <= now_) {
+        SeqNum seq = resolveEvents_.begin()->second;
+        resolveEvents_.erase(resolveEvents_.begin());
+        InflightUop *u = findBySeq(seq);
+        if (!u)
+            continue;  // branch was flushed
+        PERCON_ASSERT(u->isBranch(), "non-branch in resolve set");
+        if (u->resolvedForGate)
+            continue;
+        u->resolvedForGate = true;
+        if (u->lowConfCounted) {
+            PERCON_ASSERT(gateCount_ > 0, "gate counter underflow");
+            --gateCount_;
+            u->lowConfCounted = false;
+        }
+        u->lowConfPending = false;
+
+        if (u->causesRedirect)
+            flushAfter(*u);
+    }
+}
+
+void
+OracleCore::flushAfter(const InflightUop &branch)
+{
+    ++stats_.flushes;
+
+    auto drop = [this](InflightUop &u) {
+        if (u.dispatched) {
+            PERCON_ASSERT(u.wrongPath, "flushing a correct-path uop");
+            if (u.issueAt <= now_) {
+                ++stats_.executedUops;
+                ++stats_.wrongPathExecuted;
+            }
+            if (u.cls == UopClass::Load) {
+                PERCON_ASSERT(loadsInFlight_ > 0,
+                              "load buffer underflow");
+                --loadsInFlight_;
+            } else if (u.cls == UopClass::Store) {
+                PERCON_ASSERT(storesInFlight_ > 0,
+                              "store buffer underflow");
+                --storesInFlight_;
+            }
+        }
+        if (u.lowConfCounted) {
+            PERCON_ASSERT(gateCount_ > 0, "gate counter underflow");
+            --gateCount_;
+        }
+    };
+
+    // Youngest first: the whole fetch pipe (every pipe entry is
+    // younger than every ROB entry), then the ROB suffix behind the
+    // branch — the same order the ring-buffer flush walks.
+    while (!pipe_.empty() && pipe_.back().seq > branch.seq) {
+        drop(pipe_.back());
+        pipe_.pop_back();
+    }
+    while (!rob_.empty() && rob_.back().seq > branch.seq) {
+        drop(rob_.back());
+        rob_.pop_back();
+    }
+
+    history_.recover(branch.ghrSnapshot, branch.actualTaken);
+    onWrongPath_ = false;
+}
+
+void
+OracleCore::retire()
+{
+    for (unsigned n = 0; n < config_.width; ++n) {
+        if (rob_.empty())
+            return;
+        InflightUop &u = rob_.front();
+        if (!u.dispatched ||
+            u.completeAt + config_.backEndDepth > now_)
+            return;
+        PERCON_ASSERT(!u.wrongPath,
+                      "wrong-path uop reached the ROB head");
+
+        ++stats_.retiredUops;
+        ++stats_.executedUops;
+
+        switch (u.cls) {
+          case UopClass::Load:
+            PERCON_ASSERT(loadsInFlight_ > 0, "load buffer underflow");
+            --loadsInFlight_;
+            break;
+          case UopClass::Store:
+            PERCON_ASSERT(storesInFlight_ > 0, "store buffer underflow");
+            --storesInFlight_;
+            mem_.access(u.memAddr, now_, true);
+            break;
+          case UopClass::Branch: {
+            ++stats_.retiredBranches;
+            bool misp_orig = u.predTaken != u.actualTaken;
+            bool misp_final = u.finalPred != u.actualTaken;
+            if (misp_orig)
+                ++stats_.mispredictsOriginal;
+            if (misp_final)
+                ++stats_.mispredictsFinal;
+            if (u.reversed) {
+                ++stats_.reversals;
+                if (misp_orig)
+                    ++stats_.reversalsGood;
+                else
+                    ++stats_.reversalsBad;
+            }
+            predictor_.update(u.pc, u.ghrSnapshot, u.actualTaken,
+                              u.meta);
+            if (estimator_) {
+                stats_.confidence.record(misp_orig, u.conf.low);
+                estimator_->train(u.pc, u.ghrSnapshot, u.predTaken,
+                                  misp_orig, u.conf);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        rob_.pop_front();
+    }
+}
+
+Cycle
+OracleCore::sourceReady(const InflightUop &uop) const
+{
+    const Cycle *ring = uop.wrongPath ? wpReady_ : corrReady_;
+    Cycle ready = 0;
+    for (unsigned s = 0; s < 2; ++s) {
+        std::uint16_t d = uop.srcDist[s];
+        if (d == 0 || d > uop.streamIdx || d >= kDepRing)
+            continue;
+        Cycle r = ring[(uop.streamIdx - d) % kDepRing];
+        if (r > ready)
+            ready = r;
+    }
+    return ready;
+}
+
+Cycle
+OracleCore::latencyFor(const InflightUop &uop, Cycle issue_at)
+{
+    switch (uop.cls) {
+      case UopClass::IntAlu:
+        return config_.intAluLatency;
+      case UopClass::IntMul:
+        return config_.intMulLatency;
+      case UopClass::FpAlu:
+        return config_.fpAluLatency;
+      case UopClass::Branch:
+        return config_.branchLatency;
+      case UopClass::Load:
+        return mem_.access(uop.memAddr, issue_at, false).latency;
+      case UopClass::Store:
+        return 1;
+    }
+    panic("bad uop class");
+}
+
+void
+OracleCore::dispatch()
+{
+    for (unsigned n = 0; n < config_.width; ++n) {
+        if (pipe_.empty() || pipe_.front().dispatchReadyAt > now_) {
+            ++stats_.dispatchStallEmpty;
+            return;
+        }
+        InflightUop &front = pipe_.front();
+        if (rob_.size() >= config_.robSize) {
+            ++stats_.dispatchStallRob;
+            return;
+        }
+        unsigned cls =
+            static_cast<unsigned>(schedClassFor(front.cls));
+        if (occupancy_[cls] >= capacity_[cls]) {
+            ++stats_.dispatchStallWindow;
+            return;
+        }
+        if ((front.cls == UopClass::Load &&
+             loadsInFlight_ >= config_.loadBuffers) ||
+            (front.cls == UopClass::Store &&
+             storesInFlight_ >= config_.storeBuffers)) {
+            ++stats_.dispatchStallBuffers;
+            return;
+        }
+
+        rob_.push_back(front);
+        pipe_.pop_front();
+        InflightUop &u = rob_.back();
+
+        Cycle ready = sourceReady(u);
+        if (ready < now_ + 1)
+            ready = now_ + 1;
+        Cycle issue = slots_[cls].book(ready);
+        u.issueAt = issue;
+        u.completeAt = issue + latencyFor(u, issue);
+        u.dispatched = true;
+        ++occupancy_[cls];
+        windowReleases_.insert({issue, cls});
+
+        stats_.issueWaitSum += u.issueAt - now_;
+        if (u.cls == UopClass::Load) {
+            stats_.loadLatencySum += u.completeAt - u.issueAt;
+            ++stats_.loadCount;
+        }
+
+        Cycle *ring = u.wrongPath ? wpReady_ : corrReady_;
+        ring[u.streamIdx % kDepRing] = u.completeAt;
+
+        if (u.cls == UopClass::Load)
+            ++loadsInFlight_;
+        else if (u.cls == UopClass::Store)
+            ++storesInFlight_;
+
+        if (u.isBranch() && !u.resolvedForGate)
+            resolveEvents_.insert(
+                {u.completeAt + config_.backEndDepth, u.seq});
+    }
+}
+
+bool
+OracleCore::fetchOne()
+{
+    MicroOp mu = onWrongPath_ ? wrongPath_.next() : workload_.next();
+
+    bool stall_after = false;
+    if (config_.traceCacheEnabled && !traceCache_.access(mu.pc)) {
+        ++stats_.traceCacheMisses;
+        tcStallUntil_ = now_ + config_.traceCacheMissPenalty;
+        stall_after = true;
+    }
+
+    pipe_.emplace_back();
+    InflightUop &u = pipe_.back();
+    u.seq = nextSeq_++;
+    u.pc = mu.pc;
+    u.cls = mu.cls;
+    u.srcDist[0] = mu.srcDist[0];
+    u.srcDist[1] = mu.srcDist[1];
+    u.memAddr = mu.memAddr;
+    u.wrongPath = onWrongPath_;
+    u.dispatchReadyAt = now_ + config_.frontEndDepth;
+    u.streamIdx = onWrongPath_ ? wpIdx_++ : corrIdx_++;
+
+    ++stats_.fetchedUops;
+    if (u.wrongPath)
+        ++stats_.wrongPathFetched;
+
+    if (u.isBranch()) {
+        u.ghrSnapshot = history_.bits();
+        u.predTaken = predictor_.predict(u.pc, u.ghrSnapshot, u.meta);
+        if (estimator_)
+            u.conf = estimator_->estimate(u.pc, u.ghrSnapshot,
+                                          u.predTaken);
+
+        u.finalPred = u.predTaken;
+        if (spec_.reversalEnabled &&
+            u.conf.band == ConfidenceBand::StrongLow) {
+            u.finalPred = !u.predTaken;
+            u.reversed = true;
+        }
+
+        history_.push(u.finalPred);
+
+        if (config_.btbEnabled && u.finalPred) {
+            if (!btb_.lookup(u.pc)) {
+                ++stats_.btbMisses;
+                Cycle until = now_ + config_.btbMissPenalty;
+                if (until > btbStallUntil_)
+                    btbStallUntil_ = until;
+                stall_after = true;
+                btb_.update(u.pc, mu.target);
+            }
+        }
+
+        if (!u.wrongPath) {
+            u.actualTaken = mu.taken;
+            u.causesRedirect = u.finalPred != u.actualTaken;
+            if (u.causesRedirect) {
+                onWrongPath_ = true;
+                wpIdx_ = 0;
+                wrongPath_.redirect(u.finalPred ? mu.target
+                                                : mu.pc + 4);
+            }
+        } else {
+            u.actualTaken = u.finalPred;
+            u.causesRedirect = false;
+        }
+
+        bool gate_mark;
+        if (spec_.oracleGating) {
+            gate_mark = spec_.gateThreshold > 0 && u.causesRedirect;
+        } else {
+            gate_mark = estimator_ && spec_.gateThreshold > 0 &&
+                        (spec_.reversalEnabled
+                             ? u.conf.band == ConfidenceBand::WeakLow
+                             : u.conf.low);
+        }
+        if (gate_mark) {
+            if (spec_.confidenceLatency == 0) {
+                u.lowConfCounted = true;
+                ++gateCount_;
+            } else {
+                u.lowConfPending = true;
+                u.confAppliesAt = now_ + spec_.confidenceLatency;
+                confEvents_.insert({u.confAppliesAt, u.seq});
+            }
+        }
+    }
+
+    return !stall_after;
+}
+
+void
+OracleCore::fetch()
+{
+    if (pipe_.size() >= pipeCap_) {
+        ++stats_.fetchStallPipeFull;
+        return;
+    }
+
+    Cycle stall_until = std::max(tcStallUntil_, btbStallUntil_);
+    if (now_ < stall_until) {
+        if (now_ < tcStallUntil_)
+            ++stats_.traceCacheStallCycles;
+        else
+            ++stats_.btbStallCycles;
+        return;
+    }
+
+    unsigned width = config_.width;
+    if (spec_.gateThreshold > 0 && gateCount_ >= spec_.gateThreshold) {
+        ++stats_.gatedCycles;
+        if (spec_.throttleWidth == 0)
+            return;
+        width = std::min(width, spec_.throttleWidth);
+    }
+
+    for (unsigned n = 0; n < width && pipe_.size() < pipeCap_; ++n) {
+        if (!fetchOne())
+            break;
+    }
+}
+
+void
+OracleCore::cycleOnce()
+{
+    ++now_;
+    ++stats_.cycles;
+    releaseWindowEntries();
+    applyPendingConfidence();
+    resolveBranches();
+    retire();
+    dispatch();
+    fetch();
+}
+
+void
+OracleCore::run(Count target_retired)
+{
+    Count goal = stats_.retiredUops + target_retired;
+    Count last_retired = stats_.retiredUops;
+    Count idle_cycles = 0;
+    while (stats_.retiredUops < goal) {
+        cycleOnce();
+        if (stats_.retiredUops != last_retired) {
+            last_retired = stats_.retiredUops;
+            idle_cycles = 0;
+        } else if (++idle_cycles > 5'000'000) {
+            panic("oracle core deadlock: no retirement in 5M cycles "
+                  "(gate=%u rob=%zu pipe=%zu)",
+                  gateCount_, rob_.size(), pipe_.size());
+        }
+    }
+}
+
+void
+OracleCore::warmup(Count uops)
+{
+    run(uops);
+    stats_ = CoreStats{};
+}
+
+} // namespace percon

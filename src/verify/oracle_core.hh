@@ -1,0 +1,142 @@
+/**
+ * @file
+ * OracleCore: a deliberately naive reference model of the
+ * out-of-order core, used only by the verification layer.
+ *
+ * The production Core (uarch/core.hh) earns its throughput from an
+ * event-driven run loop that skips idle cycles and bulk-replays
+ * stall accounting, a fetch-pipe/ROB ring with generation-checked
+ * handles, and a calendar-wheel release ledger in the ExecModel.
+ * Every one of those optimizations carries a bit-identical-output
+ * contract — and this class is the contract's other side: a
+ * straight-line, cycle-stepped transcription of the DESIGN.md
+ * pipeline semantics with none of the tricks.
+ *
+ *  - every cycle is simulated; nothing is skipped or replayed;
+ *  - the fetch pipe and ROB are two plain deques; timed events are
+ *    (cycle, seq) pairs in ordered multisets, resolved by linear
+ *    sequence-number search;
+ *  - scheduler-window releases live in an ordered multiset instead
+ *    of the calendar wheel.
+ *
+ * Deliberately shared with the production core are the *semantic*
+ * leaf components that no perf refactor touched and that have their
+ * own golden tests: IssueSlots (issue-bandwidth booking, including
+ * its horizon clamp), the memory hierarchy, caches, BTB, predictors
+ * and estimators. Re-deriving those would test nothing extra while
+ * making drift in their semantics invisible.
+ *
+ * The DifferentialHarness (differential.hh) runs OracleCore and Core
+ * on identically seeded inputs and diffs every CoreStats field.
+ */
+
+#ifndef PERCON_VERIFY_ORACLE_CORE_HH
+#define PERCON_VERIFY_ORACLE_CORE_HH
+
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "bpred/branch_predictor.hh"
+#include "bpred/btb.hh"
+#include "confidence/confidence_estimator.hh"
+#include "memory/cache.hh"
+#include "memory/hierarchy.hh"
+#include "trace/uop.hh"
+#include "trace/wrongpath.hh"
+#include "uarch/core_stats.hh"
+#include "uarch/exec_model.hh"
+#include "uarch/inflight.hh"
+#include "uarch/pipeline_config.hh"
+
+namespace percon {
+
+class OracleCore
+{
+  public:
+    /** Same construction contract as uarch::Core. */
+    OracleCore(const PipelineConfig &config, WorkloadSource &workload,
+               WrongPathSynthesizer &wrong_path,
+               BranchPredictor &predictor,
+               ConfidenceEstimator *estimator,
+               const SpeculationControl &spec);
+
+    /** Advance until @p target_retired more uops have retired. */
+    void run(Count target_retired);
+
+    /** Run @p uops then clear statistics (machine state kept). */
+    void warmup(Count uops);
+
+    const CoreStats &stats() const { return stats_; }
+
+  private:
+    void cycleOnce();
+    void releaseWindowEntries();
+    void applyPendingConfidence();
+    void resolveBranches();
+    void retire();
+    void dispatch();
+    void fetch();
+    bool fetchOne();
+    void flushAfter(const InflightUop &branch);
+    InflightUop *findBySeq(SeqNum seq);
+    Cycle sourceReady(const InflightUop &uop) const;
+    Cycle latencyFor(const InflightUop &uop, Cycle issue_at);
+
+    // configuration ------------------------------------------------
+    PipelineConfig config_;
+    SpeculationControl spec_;
+    WorkloadSource &workload_;
+    WrongPathSynthesizer &wrongPath_;
+    BranchPredictor &predictor_;
+    ConfidenceEstimator *estimator_;
+
+    // machine state ------------------------------------------------
+    MemoryHierarchy mem_;
+    SpecHistory history_;
+    Cache traceCache_;
+    Btb btb_;
+
+    /** Issue-bandwidth ledgers, one per SchedClass (shared leaf
+     *  component — see the file comment). */
+    std::vector<IssueSlots> slots_;
+
+    /** Scheduler-window occupancy, tracked naively: one (issue
+     *  cycle, class) record per dispatched uop, released in order. */
+    unsigned occupancy_[3] = {0, 0, 0};
+    unsigned capacity_[3] = {0, 0, 0};
+    std::multiset<std::pair<Cycle, unsigned>> windowReleases_;
+
+    /** In-order front end and ROB as plain deques (oldest first). */
+    std::deque<InflightUop> pipe_;
+    std::deque<InflightUop> rob_;
+    std::size_t pipeCap_ = 0;
+
+    /** Timed events as (cycle, seq); sequence numbers are unique for
+     *  the life of the run, so a linear search replaces handles. */
+    std::multiset<std::pair<Cycle, SeqNum>> resolveEvents_;
+    std::multiset<std::pair<Cycle, SeqNum>> confEvents_;
+
+    Cycle tcStallUntil_ = 0;
+    Cycle btbStallUntil_ = 0;
+
+    Cycle now_ = 0;
+    SeqNum nextSeq_ = 1;
+    unsigned gateCount_ = 0;
+    bool onWrongPath_ = false;
+
+    unsigned loadsInFlight_ = 0;
+    unsigned storesInFlight_ = 0;
+
+    static constexpr std::size_t kDepRing = 256;
+    Cycle corrReady_[kDepRing] = {};
+    Cycle wpReady_[kDepRing] = {};
+    std::uint64_t corrIdx_ = 0;
+    std::uint64_t wpIdx_ = 0;
+
+    CoreStats stats_;
+};
+
+} // namespace percon
+
+#endif // PERCON_VERIFY_ORACLE_CORE_HH

@@ -1,0 +1,200 @@
+#include "trace_gen.hh"
+
+#include "bpred/factory.hh"
+#include "common/rng.hh"
+#include "confidence/factory.hh"
+
+namespace percon {
+
+namespace {
+
+PipelineConfig
+randomMachine(Rng &rng)
+{
+    PipelineConfig c;
+    c.width = 1u << rng.nextRange(1, 3);  // 2..8
+    c.frontEndDepth = static_cast<unsigned>(rng.nextRange(4, 30));
+    c.backEndDepth = static_cast<unsigned>(rng.nextRange(2, 30));
+    c.robSize = static_cast<unsigned>(rng.nextRange(32, 256));
+    c.loadBuffers = static_cast<unsigned>(rng.nextRange(8, 64));
+    c.storeBuffers = static_cast<unsigned>(rng.nextRange(8, 48));
+    c.schedInt = static_cast<unsigned>(rng.nextRange(8, 64));
+    c.schedMem = static_cast<unsigned>(rng.nextRange(8, 48));
+    c.schedFp = static_cast<unsigned>(rng.nextRange(8, 64));
+    c.unitsInt = static_cast<unsigned>(rng.nextRange(1, 6));
+    c.unitsMem = static_cast<unsigned>(rng.nextRange(1, 4));
+    c.unitsFp = static_cast<unsigned>(rng.nextRange(1, 2));
+    c.traceCacheEnabled = rng.nextBernoulli(0.7);
+    c.btbEnabled = rng.nextBernoulli(0.7);
+    return c;
+}
+
+SpeculationControl
+randomPolicy(Rng &rng)
+{
+    SpeculationControl sc;
+    sc.gateThreshold = static_cast<unsigned>(rng.nextRange(0, 3));
+    sc.reversalEnabled = rng.nextBernoulli(0.4);
+    sc.confidenceLatency = static_cast<unsigned>(rng.nextRange(0, 12));
+    if (sc.gateThreshold > 0) {
+        sc.oracleGating = rng.nextBernoulli(0.2);
+        if (rng.nextBernoulli(0.25))
+            sc.throttleWidth =
+                static_cast<unsigned>(rng.nextRange(1, 2));
+    }
+    return sc;
+}
+
+ProgramParams
+randomProgram(Rng &rng, std::uint64_t seed)
+{
+    ProgramParams p;
+    p.name = "diff-" + std::to_string(seed);
+    p.seed = mix64(seed ^ 0x70726f67);
+    p.numStaticBranches =
+        static_cast<unsigned>(rng.nextRange(32, 160));
+    p.branchesPerGroup = static_cast<unsigned>(rng.nextRange(8, 24));
+    p.burstPasses = static_cast<unsigned>(rng.nextRange(1, 4));
+    p.uopsPerBranch = static_cast<double>(rng.nextRange(2, 12));
+    p.zipfAlpha = 0.8 + 0.6 * rng.nextDouble();
+
+    // Occasionally skew the behaviour mix toward one category so the
+    // sweep reaches flush-heavy and flush-free regimes alike.
+    switch (rng.nextBelow(4)) {
+      case 0:  // default mix
+        break;
+      case 1:  // loopy
+        p.mix.loop = 0.7;
+        p.mix.easyBiased = 0.2;
+        p.mix.correlated = 0.1;
+        p.mix.parity = p.mix.local = p.mix.noisyCorrelated = 0.0;
+        p.mix.hardBiased = p.mix.phased = 0.0;
+        break;
+      case 2:  // hard to predict -> many flushes and gate trips
+        p.mix.hardBiased = 0.4;
+        p.mix.noisyCorrelated = 0.3;
+        p.mix.easyBiased = 0.2;
+        p.mix.loop = 0.1;
+        p.mix.correlated = p.mix.parity = p.mix.local = 0.0;
+        p.mix.phased = 0.0;
+        break;
+      default:  // near-perfectly predictable
+        p.mix.easyBiased = 0.9;
+        p.mix.loop = 0.1;
+        p.mix.correlated = p.mix.parity = p.mix.local = 0.0;
+        p.mix.noisyCorrelated = p.mix.hardBiased = 0.0;
+        p.mix.phased = 0.0;
+        break;
+    }
+    return p;
+}
+
+} // namespace
+
+DiffCase
+randomCase(std::uint64_t seed)
+{
+    Rng rng(seed, "diffcase");
+    DiffCase c;
+    c.name = "random-" + std::to_string(seed);
+    c.program = randomProgram(rng, seed);
+    c.config = randomMachine(rng);
+    c.spec = randomPolicy(rng);
+
+    const auto &predictors = predictorNames();
+    c.predictor = predictors[rng.nextBelow(predictors.size())];
+
+    bool needs_estimator =
+        (c.spec.gateThreshold > 0 && !c.spec.oracleGating) ||
+        c.spec.reversalEnabled;
+    if (needs_estimator || rng.nextBernoulli(0.5)) {
+        const auto &estimators = estimatorNames();
+        c.estimator = estimators[rng.nextBelow(estimators.size())];
+    }
+
+    c.warmupUops = 2'000;
+    c.measureUops = 8'000;
+    c.wrongPathSeed = mix64(seed ^ 0x77726f6e67);
+    return c;
+}
+
+ProgramParams
+branchSparseProgram(std::uint64_t seed)
+{
+    ProgramParams p;
+    p.name = "branch-sparse";
+    p.seed = seed;
+    p.numStaticBranches = 16;
+    p.branchesPerGroup = 8;
+    p.uopsPerBranch = 40.0;
+    p.mix = BranchMix{};
+    p.mix.easyBiased = 1.0;
+    p.mix.loop = p.mix.correlated = p.mix.parity = 0.0;
+    p.mix.local = p.mix.noisyCorrelated = 0.0;
+    p.mix.hardBiased = p.mix.phased = 0.0;
+    p.easyBiasMin = 0.999;
+    p.easyBiasMax = 0.9999;
+    return p;
+}
+
+ProgramParams
+allTakenLoopProgram(std::uint64_t seed)
+{
+    ProgramParams p;
+    p.name = "all-taken-loops";
+    p.seed = seed;
+    p.numStaticBranches = 16;
+    p.branchesPerGroup = 8;
+    p.uopsPerBranch = 3.0;
+    p.mix = BranchMix{};
+    p.mix.loop = 1.0;
+    p.mix.easyBiased = p.mix.correlated = p.mix.parity = 0.0;
+    p.mix.local = p.mix.noisyCorrelated = 0.0;
+    p.mix.hardBiased = p.mix.phased = 0.0;
+    p.loopTripMin = 200;
+    p.loopTripMax = 400;
+    return p;
+}
+
+ProgramParams
+branchDenseProgram(std::uint64_t seed)
+{
+    ProgramParams p;
+    p.name = "branch-dense";
+    p.seed = seed;
+    p.numStaticBranches = 64;
+    p.branchesPerGroup = 16;
+    p.uopsPerBranch = 1.0;
+    p.mix.hardBiased = 0.2;   // keep some mispredicts in the stream
+    p.mix.easyBiased = 0.3;
+    return p;
+}
+
+std::vector<DiffCase>
+edgeCases()
+{
+    std::vector<DiffCase> cases;
+    auto add = [&](const ProgramParams &prog, unsigned gate,
+                   const char *suffix) {
+        DiffCase c;
+        c.name = prog.name + std::string("-") + suffix;
+        c.program = prog;
+        c.config = PipelineConfig::deep40x4();
+        c.spec.gateThreshold = gate;
+        if (gate > 0) {
+            c.spec.confidenceLatency = 4;
+            c.estimator = "jrs";
+        }
+        cases.push_back(std::move(c));
+    };
+
+    for (unsigned gate : {0u, 2u}) {
+        const char *suffix = gate == 0 ? "ungated" : "gated";
+        add(branchSparseProgram(11), gate, suffix);
+        add(allTakenLoopProgram(12), gate, suffix);
+        add(branchDenseProgram(13), gate, suffix);
+    }
+    return cases;
+}
+
+} // namespace percon

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic generators for verification workloads.
+ *
+ * One seed fully determines a DiffCase: machine geometry, speculation
+ * policy, predictor/estimator choice and synthetic-program shape are
+ * all drawn from a single Rng stream, so the property-based
+ * differential suite is reproducible run to run and every failing
+ * case can be replayed from its seed alone.
+ *
+ * The edge-program helpers produce the boundary workloads the trace
+ * layer's unit tests and the differential suite share: a
+ * branch-starved program (long filler stretches, perfectly biased
+ * branches), an all-taken loop nest, and a branch-dense program with
+ * almost no filler.
+ */
+
+#ifndef PERCON_VERIFY_TRACE_GEN_HH
+#define PERCON_VERIFY_TRACE_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "verify/differential.hh"
+
+namespace percon {
+
+/** Fully random differential case; deterministic in @p seed. */
+DiffCase randomCase(std::uint64_t seed);
+
+/** Branches are rare and near-perfectly biased: exercises long
+ *  filler-only stretches and idle-cycle skipping over empty
+ *  front ends. */
+ProgramParams branchSparseProgram(std::uint64_t seed);
+
+/** Every branch is a long-trip loop back-edge: the outcome stream is
+ *  almost entirely taken. */
+ProgramParams allTakenLoopProgram(std::uint64_t seed);
+
+/** Almost every uop is a branch: maximal pressure on the branch
+ *  payload paths (prediction, confidence, history recovery). */
+ProgramParams branchDenseProgram(std::uint64_t seed);
+
+/** The edge programs above wrapped as deterministic DiffCases on the
+ *  paper's baseline machine, with and without gating. */
+std::vector<DiffCase> edgeCases();
+
+} // namespace percon
+
+#endif // PERCON_VERIFY_TRACE_GEN_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Seed-stability lock for JSONL emission: repeated sweeps (and
+ * sweeps at different job counts) must emit byte-identical JSONL
+ * rows once the wall-clock field — the only sanctioned source of
+ * nondeterminism — is zeroed, and every row must carry the audit
+ * verdict and build id fields.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "confidence/perceptron_conf.hh"
+#include "driver/build_id.hh"
+#include "driver/jsonl.hh"
+#include "driver/sweep_runner.hh"
+
+using namespace percon;
+
+namespace {
+
+std::vector<SweepPoint>
+smallSweep(bool audit)
+{
+    TimingConfig t;
+    t.warmupUops = 5'000;
+    t.measureUops = 15'000;
+    t.audit = audit;
+
+    std::vector<SweepPoint> points;
+    for (const char *bench : {"gcc", "mcf"}) {
+        RunKey base;
+        base.benchmark = bench;
+        base.machine = "base20x4";
+        base.predictor = "bimodal-gshare";
+        points.push_back(timingPoint(base, PipelineConfig::base20x4(),
+                                     nullptr, SpeculationControl{}, t));
+
+        RunKey gated = base;
+        gated.estimator = "perceptron-cic";
+        SpeculationControl sc;
+        sc.gateThreshold = 2;
+        points.push_back(timingPoint(
+            gated, PipelineConfig::base20x4(),
+            [] {
+                return std::make_unique<PerceptronConfidence>(
+                    PerceptronConfParams{});
+            },
+            sc, t));
+    }
+    return points;
+}
+
+/** Render a whole sweep as one JSONL blob with wall time zeroed. */
+std::string
+renderSweep(unsigned jobs, bool audit)
+{
+    std::vector<RunRecord> recs = SweepRunner(jobs).run(smallSweep(audit));
+    std::string blob;
+    for (RunRecord rec : recs) {
+        rec.wallSeconds = 0.0;
+        blob += runRecordJson(rec);
+        blob += '\n';
+    }
+    return blob;
+}
+
+} // namespace
+
+TEST(JsonlStability, RepeatedSweepsEmitIdenticalBytes)
+{
+    std::string first = renderSweep(1, true);
+    std::string second = renderSweep(1, true);
+    EXPECT_EQ(first, second);
+}
+
+TEST(JsonlStability, JobCountDoesNotChangeBytes)
+{
+    EXPECT_EQ(renderSweep(1, true), renderSweep(4, true));
+}
+
+TEST(JsonlStability, RowsCarryAuditVerdictAndBuildId)
+{
+    std::vector<RunRecord> recs = SweepRunner(2).run(smallSweep(true));
+    ASSERT_FALSE(recs.empty());
+    for (const RunRecord &rec : recs) {
+        EXPECT_EQ(rec.audit, "clean") << rec.key.canonical();
+        std::string json = runRecordJson(rec);
+        EXPECT_NE(json.find("\"audit\":\"clean\""), std::string::npos);
+        std::string build =
+            "\"build\":\"" + std::string(buildId()) + "\"";
+        EXPECT_NE(json.find(build), std::string::npos);
+    }
+}
+
+TEST(JsonlStability, AuditOffIsRecordedAsOff)
+{
+    std::vector<RunRecord> recs = SweepRunner(1).run(smallSweep(false));
+    for (const RunRecord &rec : recs) {
+        EXPECT_EQ(rec.audit, "off");
+        EXPECT_NE(runRecordJson(rec).find("\"audit\":\"off\""),
+                  std::string::npos);
+    }
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Boundary-workload tests for the trace layer, built on the same
+ * generators the differential verification suite uses (verify/
+ * trace_gen.hh): branch-starved programs, all-taken loop nests,
+ * branch-dense programs, and branch behaviours whose history taps
+ * reach deeper than the outcome stream produced so far.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/history.hh"
+#include "common/rng.hh"
+#include "trace/branch_model.hh"
+#include "trace/program_model.hh"
+#include "verify/trace_gen.hh"
+
+namespace percon {
+namespace {
+
+struct StreamCounts
+{
+    Count uops = 0;
+    Count branches = 0;
+    Count taken = 0;
+};
+
+StreamCounts
+drain(ProgramModel &model, Count uops)
+{
+    StreamCounts c;
+    for (Count i = 0; i < uops; ++i) {
+        MicroOp u = model.next();
+        ++c.uops;
+        if (u.isBranch()) {
+            ++c.branches;
+            if (u.taken)
+                ++c.taken;
+        }
+    }
+    return c;
+}
+
+TEST(TraceEdgeCases, BranchSparseProgramIsSparseAndBiased)
+{
+    ProgramModel model(branchSparseProgram(0x51ull));
+    StreamCounts c = drain(model, 5000);
+    ASSERT_GT(c.branches, 0u);
+    // ~1 branch per 40 fillers; allow generous slack either way.
+    EXPECT_LT(c.branches * 20, c.uops);
+    // Near-perfect bias: every static branch sticks to its own
+    // majority direction (taken or not-taken per branch), so summed
+    // per-branch deviations stay tiny.
+    Count deviations = 0;
+    for (std::size_t i = 0; i < model.numStaticBranches(); ++i) {
+        const StaticBranch &b = model.staticBranch(i);
+        deviations += std::min(b.dynTaken, b.dynCount - b.dynTaken);
+    }
+    EXPECT_LT(deviations * 50, c.branches);
+}
+
+TEST(TraceEdgeCases, AllTakenLoopProgramIsAlmostAllTaken)
+{
+    ProgramModel model(allTakenLoopProgram(0x52ull));
+    StreamCounts c = drain(model, 20000);
+    ASSERT_GT(c.branches, 100u);
+    // Loop back-edges with trip counts in the hundreds fall through
+    // only once per trip: taken fraction must exceed 95%.
+    EXPECT_GT(static_cast<double>(c.taken),
+              0.95 * static_cast<double>(c.branches));
+}
+
+TEST(TraceEdgeCases, BranchDenseProgramIsMostlyBranches)
+{
+    ProgramModel model(branchDenseProgram(0x53ull));
+    StreamCounts c = drain(model, 10000);
+    // Mean one filler per branch: at least a third of the stream must
+    // be branch uops.
+    EXPECT_GT(c.branches * 3, c.uops);
+}
+
+TEST(TraceEdgeCases, EdgeProgramsAreDeterministic)
+{
+    for (std::uint64_t seed : {0x60ull, 0x61ull}) {
+        ProgramModel a(branchSparseProgram(seed));
+        ProgramModel b(branchSparseProgram(seed));
+        for (int i = 0; i < 2000; ++i) {
+            MicroOp ua = a.next();
+            MicroOp ub = b.next();
+            ASSERT_EQ(ua.pc, ub.pc);
+            ASSERT_EQ(static_cast<int>(ua.cls),
+                      static_cast<int>(ub.cls));
+            ASSERT_EQ(ua.taken, ub.taken);
+        }
+    }
+}
+
+// --------- history taps deeper than the outcome stream ------------
+
+TEST(TraceEdgeCases, DeepCorrelatedTapsOnShortHistoryAreSafe)
+{
+    // A correlated branch whose taps start at position 28 of a 64-bit
+    // history register, evaluated before 28 outcomes exist. The model
+    // must read the (zero) bits deterministically, not fault.
+    HistoryRegister ghr(64);
+    CorrelatedBranch deep(4, 0.0, 0x7a57ull, 28);
+    Rng noise(0x11ull);
+    bool first = deep.nextOutcome(ghr, noise);
+    for (int i = 0; i < 8; ++i) {
+        Rng replay(0x11ull);
+        EXPECT_EQ(deep.nextOutcome(ghr, replay), first)
+            << "noiseless deep branch must be a pure function of "
+               "history";
+    }
+    // Push fewer outcomes than the tap offset: taps still land on
+    // defined (zero-filled) bits.
+    for (int i = 0; i < 10; ++i)
+        ghr.push(i % 2 == 0);
+    Rng after(0x12ull);
+    deep.nextOutcome(ghr, after);  // must not assert
+}
+
+TEST(TraceEdgeCases, ParityTapsBeyondPushedOutcomesAreSafe)
+{
+    HistoryRegister ghr(64);
+    ParityBranch parity(3, 0.0, 0xfeedull);
+    Rng noise(0x21ull);
+    // Zero history => parity of zeros => deterministic outcome.
+    bool first = parity.nextOutcome(ghr, noise);
+    Rng replay(0x21ull);
+    EXPECT_EQ(parity.nextOutcome(ghr, replay), first);
+    ghr.push(true);
+    parity.nextOutcome(ghr, noise);  // one pushed bit: still fine
+}
+
+TEST(TraceEdgeCases, ProgramHistoryLongerThanTracePrefix)
+{
+    // A program read for fewer uops than its history register is
+    // long: the architectural GHR must simply hold the short prefix.
+    ProgramParams pp = branchSparseProgram(0x54ull);
+    ProgramModel model(pp);
+    unsigned seen = 0;
+    while (seen < 4) {
+        if (model.next().isBranch())
+            ++seen;
+    }
+    EXPECT_EQ(model.archHistory().length(), 32u);
+    // Only 4 outcomes shifted in; bits above that must still be 0.
+    EXPECT_EQ(model.archHistory().bits() >> 4, 0u);
+}
+
+} // namespace
+} // namespace percon

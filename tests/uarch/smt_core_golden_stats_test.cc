@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Golden-stats lock for the SMT core, mirroring the single-thread
+ * lock in core_golden_stats_test.cc.
+ *
+ * SmtCore has no event-skipping fast path (every cycle is stepped),
+ * so the equivalent of the Core lock's skip-on == skip-off check is
+ * (a) pinned absolute counters per thread against the values below,
+ * and (b) a repeat-run byte-identity check, which is what protects
+ * future SMT refactors the same way the Core goldens protected the
+ * event-driven rewrite. Each run also carries per-thread invariant
+ * auditors that must come back clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "bpred/factory.hh"
+#include "confidence/factory.hh"
+#include "trace/benchmarks.hh"
+#include "trace/program_model.hh"
+#include "trace/wrongpath.hh"
+#include "uarch/smt_core.hh"
+#include "verify/invariant_auditor.hh"
+
+namespace percon {
+namespace {
+
+struct SmtGoldenRow
+{
+    const char *policy;
+    /** Per-thread: cycles, fetched, executed, retired, wrongPathFetched,
+     *  wrongPathExecuted, retiredBranches, mispredictsOriginal,
+     *  mispredictsFinal, gatedCycles, flushes. */
+    Count v[2][11];
+};
+
+// Captured from this implementation at introduction time; any change
+// to these counters must be intentional and re-captured.
+const SmtGoldenRow kGolden[] = {
+    {"none",
+     {{212634ull, 72555ull, 50577ull, 38288ull, 34291ull, 12289ull,
+       5460ull, 460ull, 460ull, 0ull, 462ull},
+      {212634ull, 86967ull, 48529ull, 30001ull, 56914ull, 18528ull,
+       4308ull, 729ull, 729ull, 0ull, 723ull}}},
+    {"gate2",
+     {{197797ull, 54459ull, 47073ull, 38500ull, 15933ull, 8573ull,
+       5493ull, 455ull, 455ull, 69686ull, 455ull},
+      {197797ull, 57868ull, 43968ull, 30001ull, 27815ull, 13967ull,
+       4308ull, 739ull, 739ull, 101869ull, 733ull}}},
+};
+
+SpeculationControl
+policyFor(const std::string &name)
+{
+    SpeculationControl sc;
+    if (name == "gate2") {
+        sc.gateThreshold = 2;
+    } else {
+        EXPECT_EQ(name, "none");
+    }
+    return sc;
+}
+
+struct SmtRun
+{
+    CoreStats stats[2];
+    AuditReport audits[2];
+};
+
+SmtRun
+runConfig(const std::string &policy)
+{
+    const BenchmarkSpec &spec_a = benchmarkSpec("gcc");
+    const BenchmarkSpec &spec_b = benchmarkSpec("mcf");
+    ProgramModel prog_a(spec_a.program);
+    ProgramModel prog_b(spec_b.program);
+    WrongPathSynthesizer wp_a(spec_a.program,
+                              spec_a.program.seed ^ 0xdead);
+    WrongPathSynthesizer wp_b(spec_b.program,
+                              spec_b.program.seed ^ 0xbeef);
+    auto pred = makePredictor("bimodal-gshare");
+    SpeculationControl sc = policyFor(policy);
+    std::unique_ptr<ConfidenceEstimator> est;
+    if (sc.gateThreshold > 0)
+        est = makeEstimator("perceptron-cic");
+
+    SmtCore core(PipelineConfig::deep40x4(),
+                 {{{&prog_a, &wp_a}, {&prog_b, &wp_b}}}, *pred,
+                 est.get(), sc);
+    InvariantAuditor auditors[2];
+    core.setAuditor(0, &auditors[0]);
+    core.setAuditor(1, &auditors[1]);
+    core.warmup(10'000);
+    core.run(30'000);
+
+    SmtRun r;
+    for (unsigned t = 0; t < 2; ++t) {
+        r.stats[t] = core.stats(t);
+        r.audits[t] = auditors[t].report();
+    }
+    return r;
+}
+
+void
+expectMatchesGolden(const CoreStats &s, const Count *v)
+{
+    EXPECT_EQ(s.cycles, v[0]);
+    EXPECT_EQ(s.fetchedUops, v[1]);
+    EXPECT_EQ(s.executedUops, v[2]);
+    EXPECT_EQ(s.retiredUops, v[3]);
+    EXPECT_EQ(s.wrongPathFetched, v[4]);
+    EXPECT_EQ(s.wrongPathExecuted, v[5]);
+    EXPECT_EQ(s.retiredBranches, v[6]);
+    EXPECT_EQ(s.mispredictsOriginal, v[7]);
+    EXPECT_EQ(s.mispredictsFinal, v[8]);
+    EXPECT_EQ(s.gatedCycles, v[9]);
+    EXPECT_EQ(s.flushes, v[10]);
+}
+
+void
+expectStatsEqual(const CoreStats &a, const CoreStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.fetchedUops, b.fetchedUops);
+    EXPECT_EQ(a.executedUops, b.executedUops);
+    EXPECT_EQ(a.retiredUops, b.retiredUops);
+    EXPECT_EQ(a.wrongPathFetched, b.wrongPathFetched);
+    EXPECT_EQ(a.wrongPathExecuted, b.wrongPathExecuted);
+    EXPECT_EQ(a.retiredBranches, b.retiredBranches);
+    EXPECT_EQ(a.mispredictsOriginal, b.mispredictsOriginal);
+    EXPECT_EQ(a.mispredictsFinal, b.mispredictsFinal);
+    EXPECT_EQ(a.gatedCycles, b.gatedCycles);
+    EXPECT_EQ(a.flushes, b.flushes);
+    EXPECT_EQ(a.dispatchStallEmpty, b.dispatchStallEmpty);
+    EXPECT_EQ(a.dispatchStallRob, b.dispatchStallRob);
+    EXPECT_EQ(a.issueWaitSum, b.issueWaitSum);
+    EXPECT_EQ(a.confidence.mispredictedLow(),
+              b.confidence.mispredictedLow());
+    EXPECT_EQ(a.confidence.correctLow(), b.confidence.correctLow());
+}
+
+class SmtGoldenStats : public ::testing::TestWithParam<SmtGoldenRow>
+{
+};
+
+TEST_P(SmtGoldenStats, MatchesGoldenAndAuditsClean)
+{
+    const SmtGoldenRow &row = GetParam();
+    SmtRun r = runConfig(row.policy);
+    for (unsigned t = 0; t < 2; ++t) {
+        SCOPED_TRACE("thread " + std::to_string(t));
+        expectMatchesGolden(r.stats[t], row.v[t]);
+        EXPECT_TRUE(r.audits[t].clean()) << r.audits[t].summary();
+        EXPECT_GT(r.audits[t].checksRun, 0u);
+    }
+}
+
+TEST_P(SmtGoldenStats, RepeatRunsAreByteIdentical)
+{
+    const SmtGoldenRow &row = GetParam();
+    SmtRun a = runConfig(row.policy);
+    SmtRun b = runConfig(row.policy);
+    for (unsigned t = 0; t < 2; ++t) {
+        SCOPED_TRACE("thread " + std::to_string(t));
+        expectStatsEqual(a.stats[t], b.stats[t]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, SmtGoldenStats, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<SmtGoldenRow> &info) {
+        return std::string(info.param.policy);
+    });
+
+} // namespace
+} // namespace percon

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * InvariantAuditor tests: the auditor must stay clean across the
+ * same 18-configuration matrix the golden-stats lock pins, must not
+ * perturb statistics (pure observer), and must actually fire on
+ * corrupted inputs (unit negative tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "bpred/factory.hh"
+#include "confidence/factory.hh"
+#include "trace/benchmarks.hh"
+#include "trace/program_model.hh"
+#include "trace/wrongpath.hh"
+#include "uarch/core.hh"
+#include "verify/invariant_auditor.hh"
+
+namespace percon {
+namespace {
+
+struct MatrixConfig
+{
+    const char *bench;
+    const char *machine;
+    const char *policy;
+};
+
+// The (bench, machine, policy) grid of the golden-stats lock
+// (tests/uarch/core_golden_stats_test.cc).
+const MatrixConfig kMatrix[] = {
+    {"gcc", "deep40x4", "none"},
+    {"mcf", "deep40x4", "none"},
+    {"gcc", "deep40x4", "gate1"},
+    {"gcc", "deep40x4", "gate2"},
+    {"mcf", "deep40x4", "gate2"},
+    {"gcc", "deep40x4", "gate3"},
+    {"gcc", "deep40x4", "reversal"},
+    {"gcc", "deep40x4", "gate2lat4"},
+    {"gcc", "deep40x4", "gate2revlat4"},
+    {"gcc", "wide20x8", "none"},
+    {"mcf", "wide20x8", "none"},
+    {"gcc", "wide20x8", "gate1"},
+    {"gcc", "wide20x8", "gate2"},
+    {"mcf", "wide20x8", "gate2"},
+    {"gcc", "wide20x8", "gate3"},
+    {"gcc", "wide20x8", "reversal"},
+    {"gcc", "wide20x8", "gate2lat4"},
+    {"gcc", "wide20x8", "gate2revlat4"},
+};
+
+SpeculationControl
+policyFor(const std::string &name)
+{
+    SpeculationControl sc;
+    if (name == "gate1") {
+        sc.gateThreshold = 1;
+    } else if (name == "gate2") {
+        sc.gateThreshold = 2;
+    } else if (name == "gate3") {
+        sc.gateThreshold = 3;
+    } else if (name == "reversal") {
+        sc.reversalEnabled = true;
+    } else if (name == "gate2lat4") {
+        sc.gateThreshold = 2;
+        sc.confidenceLatency = 4;
+    } else if (name == "gate2revlat4") {
+        sc.gateThreshold = 2;
+        sc.reversalEnabled = true;
+        sc.confidenceLatency = 4;
+    } else {
+        EXPECT_EQ(name, "none");
+    }
+    return sc;
+}
+
+CoreStats
+runConfig(const MatrixConfig &row, InvariantAuditor *auditor)
+{
+    const BenchmarkSpec &spec = benchmarkSpec(row.bench);
+    ProgramModel program(spec.program);
+    WrongPathSynthesizer wp(spec.program, spec.program.seed ^ 0xdead);
+    auto pred = makePredictor("bimodal-gshare");
+    SpeculationControl sc = policyFor(row.policy);
+    std::unique_ptr<ConfidenceEstimator> est;
+    if (sc.gateThreshold > 0 || sc.reversalEnabled)
+        est = makeEstimator("perceptron-cic");
+    PipelineConfig cfg = std::string(row.machine) == "deep40x4"
+                             ? PipelineConfig::deep40x4()
+                             : PipelineConfig::wide20x8();
+    Core core(cfg, program, wp, *pred, est.get(), sc);
+    if (auditor)
+        core.setAuditor(auditor);
+    core.warmup(20'000);
+    core.run(60'000);
+    return core.stats();
+}
+
+class AuditorMatrix : public ::testing::TestWithParam<MatrixConfig>
+{
+};
+
+TEST_P(AuditorMatrix, CleanAcrossGoldenMatrix)
+{
+    InvariantAuditor auditor;
+    runConfig(GetParam(), &auditor);
+    const AuditReport &rep = auditor.report();
+    EXPECT_TRUE(rep.clean()) << rep.summary();
+    EXPECT_GT(rep.checksRun, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, AuditorMatrix, ::testing::ValuesIn(kMatrix),
+    [](const ::testing::TestParamInfo<MatrixConfig> &info) {
+        return std::string(info.param.bench) + "_" +
+               info.param.machine + "_" + info.param.policy;
+    });
+
+TEST(AuditorObserver, AttachingNeverChangesStats)
+{
+    const MatrixConfig cases[] = {{"gcc", "deep40x4", "gate2lat4"},
+                                  {"mcf", "wide20x8", "gate2"}};
+    for (const MatrixConfig &row : cases) {
+        CoreStats bare = runConfig(row, nullptr);
+        InvariantAuditor auditor;
+        CoreStats audited = runConfig(row, &auditor);
+        EXPECT_TRUE(auditor.report().clean())
+            << auditor.report().summary();
+        EXPECT_EQ(bare.cycles, audited.cycles);
+        EXPECT_EQ(bare.fetchedUops, audited.fetchedUops);
+        EXPECT_EQ(bare.executedUops, audited.executedUops);
+        EXPECT_EQ(bare.retiredUops, audited.retiredUops);
+        EXPECT_EQ(bare.gatedCycles, audited.gatedCycles);
+        EXPECT_EQ(bare.flushes, audited.flushes);
+        EXPECT_EQ(bare.mispredictsFinal, audited.mispredictsFinal);
+        EXPECT_EQ(bare.dispatchStallEmpty, audited.dispatchStallEmpty);
+    }
+}
+
+// ------------------- unit-level negative tests --------------------
+
+TEST(AuditorUnit, CheckedErrorIsRecorded)
+{
+    InvariantAuditor auditor;
+    auditor.onCheckedError("scheduler window underflow", 42);
+    const AuditReport &rep = auditor.report();
+    EXPECT_FALSE(rep.clean());
+    ASSERT_EQ(rep.violations.size(), 1u);
+    EXPECT_EQ(rep.violations[0].invariant, "checked-error");
+    EXPECT_EQ(rep.violations[0].cycle, 42u);
+    EXPECT_NE(rep.summary().find("violated:1"), std::string::npos);
+}
+
+TEST(AuditorUnit, ExecConservationViolationFires)
+{
+    InvariantAuditor auditor;
+    CoreStats s;
+    s.cycles = 10;
+    s.executedUops = 5;  // retired 0 + wrongPathExecuted 0 != 5
+    AuditContext ctx;
+    ctx.stats = &s;
+    auditor.onCheck(ctx);
+    ASSERT_FALSE(auditor.report().clean());
+    EXPECT_EQ(auditor.report().violations[0].invariant,
+              "exec-conservation");
+}
+
+TEST(AuditorUnit, NonMonotonicSeqFires)
+{
+    InvariantAuditor auditor;
+    InflightUop u;
+    u.seq = 7;
+    auditor.onFetch(u);
+    auditor.onFetch(u);  // same seq again
+    ASSERT_FALSE(auditor.report().clean());
+    EXPECT_EQ(auditor.report().violations[0].invariant,
+              "seq-monotonic");
+}
+
+TEST(AuditorUnit, GateCountMismatchFires)
+{
+    InvariantAuditor auditor;
+    InflightWindow window(8, 8);
+    InflightUop u;
+    u.seq = 1;
+    u.cls = UopClass::Branch;
+    u.lowConfCounted = true;
+    window.pushFetched(u);
+    auditor.onFetch(u);
+
+    CoreStats s;
+    s.cycles = 1;
+    s.fetchedUops = 1;
+    AuditContext ctx;
+    ctx.stats = &s;
+    ctx.window = &window;
+    ctx.gateCount = 0;  // window says 1
+    auditor.onCheck(ctx);  // first check -> window scan runs
+    ASSERT_FALSE(auditor.report().clean());
+    bool found = false;
+    for (const AuditViolation &v : auditor.report().violations)
+        if (v.invariant == "gate-count")
+            found = true;
+    EXPECT_TRUE(found) << auditor.report().summary();
+}
+
+TEST(AuditorUnit, StallBoundViolationFires)
+{
+    InvariantAuditor auditor;
+    CoreStats s;
+    s.cycles = 4;
+    s.gatedCycles = 3;
+    s.traceCacheStallCycles = 2;  // 5 > 4 cycles
+    AuditContext ctx;
+    ctx.stats = &s;
+    auditor.onCheck(ctx);
+    bool found = false;
+    for (const AuditViolation &v : auditor.report().violations)
+        if (v.invariant == "fetch-stall-bound")
+            found = true;
+    EXPECT_TRUE(found) << auditor.report().summary();
+}
+
+TEST(AuditorUnit, ViolationRecordingIsCapped)
+{
+    InvariantAuditor auditor;
+    for (unsigned i = 0; i < 100; ++i)
+        auditor.onCheckedError("repeated", i);
+    EXPECT_EQ(auditor.report().violationCount, 100u);
+    EXPECT_EQ(auditor.report().violations.size(),
+              AuditReport::kMaxRecorded);
+}
+
+} // namespace
+} // namespace percon

@@ -24,6 +24,7 @@
  */
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +43,8 @@
 #include "trace/trace_io.hh"
 #include "uarch/smt_core.hh"
 #include "uarch/energy.hh"
+#include "verify/differential.hh"
+#include "verify/invariant_auditor.hh"
 
 using namespace percon;
 
@@ -63,6 +66,8 @@ struct Options
     bool reverse = false;
     bool oracle = false;
     bool energy = false;
+    bool audit = false;       ///< attach the invariant auditor
+    bool oracleDiff = false;  ///< differential run vs. OracleCore
     std::string smtWith;  ///< co-runner benchmark; empty = single-thread
 
     unsigned jobs = 1;    ///< sweep-mode worker threads
@@ -92,6 +97,13 @@ usage()
         "  --latency N         estimator latency in cycles\n"
         "  --throttle W        throttle fetch to width W when gated\n"
         "  --oracle            oracle gating bound (no estimator)\n"
+        "  --audit             run the invariant auditor alongside\n"
+        "                      (single runs print its verdict; sweep\n"
+        "                      JSONL rows carry an audit field)\n"
+        "  --oracle-diff       differential check: run the naive\n"
+        "                      reference core on the same inputs and\n"
+        "                      diff every statistic (exit 1 on any\n"
+        "                      divergence or audit violation)\n"
         "  --energy            print the energy report too\n"
         "  --smt BENCH         co-run BENCH on a 2nd SMT thread\n"
         "  --sweep K=A,B,...   sweep option K over the listed values\n"
@@ -149,6 +161,10 @@ parse(int argc, char **argv)
             o.throttle = static_cast<unsigned>(std::atoi(value()));
         else if (arg == "--oracle")
             o.oracle = true;
+        else if (arg == "--audit")
+            o.audit = true;
+        else if (arg == "--oracle-diff")
+            o.oracleDiff = true;
         else if (arg == "--smt")
             o.smtWith = value();
         else if (arg == "--energy")
@@ -291,6 +307,7 @@ runSweep(const Options &base)
         TimingConfig t;
         t.measureUops = o.uops;
         t.warmupUops = o.uops / 3;
+        t.audit = o.audit;
         points.push_back(timingPoint(std::move(key),
                                      machineFor(o.machine),
                                      estimatorFactory(o), sc, t));
@@ -376,6 +393,30 @@ main(int argc, char **argv)
     }
 
     const BenchmarkSpec &spec = benchmarkSpec(o.bench);
+
+    if (o.oracleDiff) {
+        if (!o.trace.empty() || !o.smtWith.empty())
+            fatal("--oracle-diff supports calibrated single-thread "
+                  "benchmarks only (not --trace/--smt)");
+        DiffCase dc;
+        dc.name = o.bench;
+        dc.program = spec.program;
+        dc.config = machine;
+        dc.spec = sc;
+        dc.predictor = o.predictor;
+        dc.estimator = o.estimator;
+        dc.makeEstimator = estimatorFactory(o);
+        dc.warmupUops = o.uops / 3;
+        dc.measureUops = o.uops;
+        dc.wrongPathSeed = spec.program.seed ^ 0xdead;
+        DiffResult r = runDifferential(dc);
+        std::printf("oracle-diff %s (%s, %llu uops): %s\n",
+                    o.bench.c_str(), o.machine.c_str(),
+                    static_cast<unsigned long long>(o.uops),
+                    r.summary().c_str());
+        return r.clean() ? 0 : 1;
+    }
+
     auto predictor = makePredictor(o.predictor);
     WrongPathSynthesizer wrong_path(spec.program,
                                     spec.program.seed ^ 0xdead);
@@ -389,6 +430,10 @@ main(int argc, char **argv)
         SmtCore core(machine, {{{&prog_a, &wrong_path},
                                 {&prog_b, &wp_b}}},
                      *predictor, estimator.get(), sc);
+        std::array<InvariantAuditor, SmtCore::kThreads> auditors;
+        if (o.audit)
+            for (unsigned t = 0; t < SmtCore::kThreads; ++t)
+                core.setAuditor(t, &auditors[t]);
         core.warmup(o.uops / 3);
         core.run(o.uops);
         for (unsigned t = 0; t < SmtCore::kThreads; ++t) {
@@ -407,6 +452,14 @@ main(int argc, char **argv)
                         ts.mispredictsPerKuop());
         }
         std::printf("combined IPC        : %.3f\n", core.combinedIpc());
+        if (o.audit) {
+            for (unsigned t = 0; t < SmtCore::kThreads; ++t)
+                std::printf("audit thread %u      : %s\n", t,
+                            auditors[t].report().summary().c_str());
+            for (unsigned t = 0; t < SmtCore::kThreads; ++t)
+                if (!auditors[t].report().clean())
+                    return 1;
+        }
         return 0;
     }
 
@@ -418,6 +471,9 @@ main(int argc, char **argv)
 
     Core core(machine, *source, wrong_path, *predictor,
               estimator.get(), sc);
+    InvariantAuditor auditor;
+    if (o.audit)
+        core.setAuditor(&auditor);
     core.warmup(o.uops / 3);
     core.run(o.uops);
 
@@ -478,6 +534,12 @@ main(int argc, char **argv)
         std::printf("energy (proxy)      : total %.0f  EPI %.3f  "
                     "EDP %.3g\n",
                     e.total, e.epi, e.edp);
+    }
+    if (o.audit) {
+        std::printf("audit               : %s\n",
+                    auditor.report().summary().c_str());
+        if (!auditor.report().clean())
+            return 1;
     }
     return 0;
 }
