@@ -16,6 +16,7 @@
 #include "core/timing_sim.hh"
 #include "memory/hierarchy.hh"
 #include "trace/benchmarks.hh"
+#include "trace/trace_snapshot.hh"
 
 using namespace percon;
 
@@ -75,11 +76,31 @@ BM_CacheAccess(benchmark::State &state)
 }
 
 void
-BM_WorkloadGeneration(benchmark::State &state)
+BM_TraceGen(benchmark::State &state)
 {
+    // Live ProgramModel generation: the per-uop cost every run pays
+    // when trace snapshots are off.
     ProgramModel program(benchmarkSpec("gcc").program);
     for (auto _ : state) {
         MicroOp u = program.next();
+        benchmark::DoNotOptimize(u.pc);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_SnapshotReplay(benchmark::State &state)
+{
+    // The same stream served from a packed snapshot: sequential lane
+    // reads instead of generator work. The BM_TraceGen /
+    // BM_SnapshotReplay ratio is the headroom replay buys a sweep.
+    auto snap =
+        TraceSnapshot::build(benchmarkSpec("gcc").program, 1u << 20);
+    SnapshotCursor cursor(snap);
+    for (auto _ : state) {
+        if (cursor.consumed() >= snap->size()) [[unlikely]]
+            cursor.rewind();
+        MicroOp u = cursor.nextFast();
         benchmark::DoNotOptimize(u.pc);
     }
     state.SetItemsProcessed(state.iterations());
@@ -98,6 +119,31 @@ BM_CoreSimulation(benchmark::State &state)
     core.warmup(50'000);
     for (auto _ : state)
         core.run(1'000);
+    state.SetItemsProcessed(state.iterations() * 1'000);
+}
+
+void
+BM_CoreSimulationReplay(benchmark::State &state)
+{
+    // BM_CoreSimulation with the workload served from a snapshot
+    // cursor: the end-to-end single-run view of the replay win
+    // (deep40x4_nopolicy live vs replay in BENCH_core_speed.json).
+    const auto &spec = benchmarkSpec("gcc");
+    auto snap = TraceSnapshot::build(spec.program, 4u << 20);
+    SnapshotCursor cursor(snap);
+    WrongPathSynthesizer wp(spec.program, spec.program.seed ^ 0xdead);
+    auto pred = makePredictor("bimodal-gshare");
+    SpeculationControl none;
+    Core core(PipelineConfig::deep40x4(), cursor, wp, *pred, nullptr,
+              none);
+    core.warmup(50'000);
+    for (auto _ : state) {
+        // Stay on the pure-replay path: rewind well before the
+        // cursor would fall back to live tail generation.
+        if (cursor.consumed() + 100'000 > snap->size())
+            cursor.rewind();
+        core.run(1'000);
+    }
     state.SetItemsProcessed(state.iterations() * 1'000);
 }
 
@@ -291,7 +337,8 @@ BENCHMARK_CAPTURE(BM_EstimatorEstimateTrain, jrs, "jrs-enhanced");
 BENCHMARK_CAPTURE(BM_EstimatorEstimateTrain, cic, "perceptron-cic");
 BENCHMARK_CAPTURE(BM_EstimatorEstimateTrain, tnt, "perceptron-tnt");
 BENCHMARK(BM_CacheAccess);
-BENCHMARK(BM_WorkloadGeneration);
+BENCHMARK(BM_TraceGen);
+BENCHMARK(BM_SnapshotReplay);
 BENCHMARK_CAPTURE(BM_PerceptronOutput, h32, 32u);
 BENCHMARK_CAPTURE(BM_PerceptronOutput, h63, 63u);
 BENCHMARK_CAPTURE(BM_PerceptronTrain, h32, 32u);
@@ -302,6 +349,7 @@ BENCHMARK_CAPTURE(BM_LegacyPerceptronTrain, h32, 32u);
 BENCHMARK_CAPTURE(BM_LegacyPerceptronTrain, h63, 63u);
 BENCHMARK(BM_FrontEndPerceptron);
 BENCHMARK(BM_CoreSimulation);
+BENCHMARK(BM_CoreSimulationReplay);
 BENCHMARK_CAPTURE(BM_CoreSimulationPolicy, gated_deep40x4,
                   percon::PipelineConfig::deep40x4(),
                   gatedPolicy(2, false, 0));

@@ -34,7 +34,7 @@ trap 'rm -f "$RAW"' EXIT
 
 # Google Benchmark's --benchmark_min_time here takes a plain float
 # (seconds), not a duration suffix.
-"$BIN" --benchmark_filter='^BM_(CoreSimulation|PerceptronOutput/|PerceptronTrain/|FrontEndPerceptron)' \
+"$BIN" --benchmark_filter='^BM_(CoreSimulation|PerceptronOutput/|PerceptronTrain/|FrontEndPerceptron|TraceGen|SnapshotReplay)' \
        --benchmark_min_time="$MIN_TIME" \
        --benchmark_format=json > "$RAW"
 
@@ -46,42 +46,51 @@ raw_path, out_path = sys.argv[1], sys.argv[2]
 with open(raw_path) as f:
     raw = json.load(f)
 
-# Map benchmark names to stable config keys and item units: the bare
+# Map benchmark names to stable config keys, item units, and workload
+# mode ("live" = ProgramModel generation on the fetch path, "replay" =
+# snapshot cursor, "none" = no workload in the loop): the bare
 # BM_CoreSimulation is the canonical deep40x4 no-policy case; the
 # BM_CoreSimulationPolicy captures already carry their config name;
 # the kernel and front-end benches get explicit keys. (The
 # BM_LegacyPerceptron* yardsticks are intentionally not tracked.)
 def config_entry(name):
     if name == "BM_CoreSimulation":
-        return "deep40x4_nopolicy", "uops"
+        return "deep40x4_nopolicy", "uops", "live"
+    if name == "BM_CoreSimulationReplay":
+        return "replay_deep40x4_nopolicy", "uops", "replay"
+    if name == "BM_TraceGen":
+        return "trace_gen", "uops", "live"
+    if name == "BM_SnapshotReplay":
+        return "snapshot_replay", "uops", "replay"
     if name == "BM_FrontEndPerceptron":
-        return "frontend_perceptron_cic", "preds"
+        return "frontend_perceptron_cic", "preds", "live"
     prefix = "BM_CoreSimulationPolicy/"
     if name.startswith(prefix):
-        return name[len(prefix):], "uops"
+        return name[len(prefix):], "uops", "live"
     prefix = "BM_PerceptronOutput/"
     if name.startswith(prefix):
-        return "kernel_output_" + name[len(prefix):], "preds"
+        return "kernel_output_" + name[len(prefix):], "preds", "none"
     prefix = "BM_PerceptronTrain/"
     if name.startswith(prefix):
-        return "kernel_train_" + name[len(prefix):], "preds"
+        return "kernel_train_" + name[len(prefix):], "preds", "none"
     raise SystemExit(f"bench_speed.sh: unexpected benchmark {name!r}")
 
 configs = {}
 for b in raw.get("benchmarks", []):
     if b.get("run_type") == "aggregate":
         continue
-    key, unit = config_entry(b["name"])
+    key, unit, mode = config_entry(b["name"])
     configs[key] = {
         "items_per_sec": round(b["items_per_second"], 1),
         "unit": unit,
+        "mode": mode,
     }
 
 if not configs:
     raise SystemExit("bench_speed.sh: no benchmark results")
 
 doc = {
-    "schema_version": 2,
+    "schema_version": 3,
     "metric": "items_per_sec",
     "configs": dict(sorted(configs.items())),
 }

@@ -46,11 +46,17 @@ cmake --build "$BUILD" -j "$(nproc)"
 
 if [ "$PRESET" = "audit" ]; then
     # Verification suite only: the 200-point differential oracle run
-    # and the invariant-auditor matrix, under ASan.
+    # and the invariant-auditor matrix, under ASan — once with the
+    # default snapshot replay, once forced to live generation.
     ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
         ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
         -L verify ${CTEST_ARGS:-}
-    echo "check.sh: audit preset passed (verify label under asan)"
+    PERCON_TRACE_SNAPSHOT=off \
+        ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+        -L verify ${CTEST_ARGS:-}
+    echo "check.sh: audit preset passed (verify label under asan," \
+         "snapshots on + off)"
     exit 0
 fi
 
@@ -59,6 +65,15 @@ fi
 ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
     ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
     ${CTEST_ARGS:-}
+
+# The verification suite defaults to snapshot replay (DiffCase
+# follows PERCON_TRACE_SNAPSHOT); one more pass pinned to live
+# generation keeps the trace-snapshot=off path differentially
+# verified too.
+PERCON_TRACE_SNAPSHOT=off \
+    ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+    ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+    -L verify ${CTEST_ARGS:-}
 
 # Perf-regression harness: smoke-run the core-speed benchmarks (a
 # few ms per case — this validates that they still run and emit the
@@ -97,6 +112,10 @@ for name, entry in fresh.get("configs", {}).items():
         errors.append(f"{name}: unit changed "
                       f"{seed_entry.get('unit')!r} -> "
                       f"{entry.get('unit')!r}")
+    if seed_entry and entry.get("mode") != seed_entry.get("mode"):
+        errors.append(f"{name}: mode changed "
+                      f"{seed_entry.get('mode')!r} -> "
+                      f"{entry.get('mode')!r}")
 
 if errors:
     print("check.sh: BENCH_core_speed.json schema drift:")

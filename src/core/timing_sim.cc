@@ -1,5 +1,7 @@
 #include "timing_sim.hh"
 
+#include <chrono>
+
 #include "bpred/factory.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
@@ -18,6 +20,21 @@ TimingConfig::fromEnv()
     return cfg;
 }
 
+Count
+snapshotLengthFor(const PipelineConfig &config,
+                  const TimingConfig &timing)
+{
+    // run(goal) can overshoot the retire goal by up to width-1 uops
+    // per call (warmup + measure: two calls), and everything still in
+    // the fetch pipe + ROB at the end was fetched but never retired.
+    Count slack = config.robSize +
+                  static_cast<Count>(config.frontEndDepth + 2) *
+                      config.width;
+    Count need = timing.warmupUops + timing.measureUops + slack;
+    constexpr Count kChunk = 64 * 1024;
+    return (need + kChunk - 1) / kChunk * kChunk;
+}
+
 TimingResult
 runTiming(const BenchmarkSpec &spec, const PipelineConfig &config,
           const std::string &predictor_name,
@@ -25,7 +42,30 @@ runTiming(const BenchmarkSpec &spec, const PipelineConfig &config,
           const SpeculationControl &spec_ctrl,
           const TimingConfig &timing)
 {
-    ProgramModel program(spec.program);
+    // Correct-path source: a snapshot cursor (replay) or a live
+    // generator. Both produce the exact same stream.
+    std::unique_ptr<ProgramModel> program;
+    std::unique_ptr<SnapshotCursor> cursor;
+    WorkloadSource *source = nullptr;
+    double build_seconds = 0.0;
+    if (timing.traceSnapshot) {
+        Count len = snapshotLengthFor(config, timing);
+        auto t0 = std::chrono::steady_clock::now();
+        std::shared_ptr<const TraceSnapshot> snap =
+            timing.snapshotProvider
+                ? timing.snapshotProvider->get(spec.program, len)
+                : TraceSnapshot::build(spec.program, len);
+        build_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        cursor = std::make_unique<SnapshotCursor>(std::move(snap));
+        source = cursor.get();
+    } else {
+        program = std::make_unique<ProgramModel>(spec.program);
+        source = program.get();
+    }
+
     WrongPathSynthesizer wrong_path(
         spec.program,
         timing.wrongPathSeed.value_or(spec.program.seed ^ 0xdead));
@@ -34,7 +74,7 @@ runTiming(const BenchmarkSpec &spec, const PipelineConfig &config,
     if (make_estimator)
         estimator = make_estimator();
 
-    Core core(config, program, wrong_path, *predictor, estimator.get(),
+    Core core(config, *source, wrong_path, *predictor, estimator.get(),
               spec_ctrl);
     InvariantAuditor auditor;
     if (timing.audit)
@@ -45,6 +85,11 @@ runTiming(const BenchmarkSpec &spec, const PipelineConfig &config,
     TimingResult result{spec.program.name, core.stats()};
     if (timing.audit)
         result.audit = auditor.report().verdict();
+    if (cursor) {
+        result.snapshot = "on";
+        result.snapshotBuildSeconds = build_seconds;
+        result.snapshotTailUops = cursor->tailUops();
+    }
     return result;
 }
 

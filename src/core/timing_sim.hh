@@ -17,6 +17,7 @@
 #include <string>
 
 #include "trace/benchmarks.hh"
+#include "trace/trace_snapshot.hh"
 #include "uarch/core.hh"
 
 namespace percon {
@@ -38,10 +39,30 @@ struct TimingConfig
      *  changes CoreStats; it costs some simulator throughput. */
     bool audit = false;
 
+    /** Replay the correct path from an immutable TraceSnapshot
+     *  instead of generating it live. Bit-identical results either
+     *  way (see trace/trace_snapshot.hh); replay is faster and lets
+     *  concurrent runs of the same workload share one trace. */
+    bool traceSnapshot = traceSnapshotDefault();
+
+    /** Where snapshots come from when traceSnapshot is on. Null
+     *  builds a private one (single runs); the sweep driver injects
+     *  its process-wide SnapshotCache here. Not owned. */
+    SnapshotProvider *snapshotProvider = nullptr;
+
     /** Scale both by the PERCON_UOPS env var when present
      *  (value = measure uops; warmup scales proportionally). */
     static TimingConfig fromEnv();
 };
+
+/**
+ * Snapshot length that covers a warmup+measure run on @p config:
+ * retire-goal overshoot plus everything left in flight at the end,
+ * rounded up to a 64 Ki-uop multiple so runs on different machine
+ * geometries still share cache entries.
+ */
+Count snapshotLengthFor(const PipelineConfig &config,
+                        const TimingConfig &timing);
 
 /** Factory for fresh estimators (one per run). */
 using EstimatorFactory =
@@ -55,6 +76,17 @@ struct TimingResult
     /** Invariant-audit verdict: "off" when auditing was not
      *  requested, else AuditReport::verdict(). */
     std::string audit = "off";
+
+    /** "on" when the correct path replayed from a snapshot. */
+    std::string snapshot = "off";
+
+    /** Wall time spent acquiring the snapshot (a cache hit makes
+     *  this ~0; a private build pays one generator pass). */
+    double snapshotBuildSeconds = 0.0;
+
+    /** Uops served by the cursor's live-tail fallback; nonzero means
+     *  snapshotLengthFor() under-covered the run. */
+    Count snapshotTailUops = 0;
 };
 
 /**

@@ -101,6 +101,8 @@ runRecordJson(const RunRecord &rec)
     json += ',';
     appendStr(json, "audit", rec.audit);
     json += ',';
+    appendStr(json, "snapshot", rec.snapshot);
+    json += ',';
     appendStr(json, "build", buildId());
     json += ',';
     appendDouble(json, "wall_seconds", rec.wallSeconds);

@@ -1,0 +1,69 @@
+#include "snapshot_cache.hh"
+
+#include <chrono>
+
+namespace percon {
+
+std::string
+SnapshotCache::key(const ProgramParams &params, Count uops)
+{
+    return programKey(params) + "/" + std::to_string(uops);
+}
+
+std::shared_ptr<const TraceSnapshot>
+SnapshotCache::get(const ProgramParams &params, Count uops)
+{
+    std::string key = SnapshotCache::key(params, uops);
+
+    std::promise<std::shared_ptr<const TraceSnapshot>> promise;
+    std::shared_future<std::shared_ptr<const TraceSnapshot>> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            future = promise.get_future().share();
+            cache_.emplace(key, future);
+            ++counters_.misses;
+            owner = true;
+        } else {
+            future = it->second;
+            ++counters_.hits;
+        }
+    }
+    if (owner) {
+        try {
+            auto t0 = std::chrono::steady_clock::now();
+            auto snap = TraceSnapshot::build(params, uops);
+            double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                counters_.builtUops += snap->size();
+                counters_.builtBytes += snap->memoryBytes();
+                counters_.buildSeconds += secs;
+            }
+            promise.set_value(std::move(snap));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+SnapshotCache::Counters
+SnapshotCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+SnapshotCache &
+SnapshotCache::global()
+{
+    static SnapshotCache cache;
+    return cache;
+}
+
+} // namespace percon

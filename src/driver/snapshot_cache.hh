@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Thread-safe memoized trace-snapshot store.
+ *
+ * A sweep visits the same workload under many (machine, policy,
+ * estimator) points; without sharing, every point would rebuild the
+ * identical correct-path trace. This cache builds each snapshot
+ * exactly once — BaselineCache-style: the first caller for a key owns
+ * the build, concurrent callers block on a shared future — and hands
+ * out shared_ptrs, so any number of sweep jobs and SMT threads replay
+ * one immutable buffer.
+ *
+ * Keys are programKey(params) + requested length: the *full*
+ * parameter serialization, because workload names are not unique
+ * across randomly generated differential cases.
+ */
+
+#ifndef PERCON_DRIVER_SNAPSHOT_CACHE_HH
+#define PERCON_DRIVER_SNAPSHOT_CACHE_HH
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "trace/trace_snapshot.hh"
+
+namespace percon {
+
+class SnapshotCache : public SnapshotProvider
+{
+  public:
+    SnapshotCache() { cache_.reserve(32); }
+
+    /** Accounting totals, readable at any time. */
+    struct Counters
+    {
+        Count hits = 0;         ///< get() served from the map
+        Count misses = 0;       ///< get() had to build
+        Count builtUops = 0;    ///< total uops across built snapshots
+        Count builtBytes = 0;   ///< total arena bytes held
+        double buildSeconds = 0.0; ///< wall time inside builds
+    };
+
+    std::shared_ptr<const TraceSnapshot>
+    get(const ProgramParams &params, Count uops) override;
+
+    /** Cache key for one (workload, length) request. SweepPoint
+     *  records this so SweepRunner can derive deterministic
+     *  "hit"/"miss" labels from the sweep's own input order instead
+     *  of the order get() calls happen to race at run time. */
+    static std::string key(const ProgramParams &params, Count uops);
+
+    Counters counters() const;
+
+    /**
+     * The process-wide cache the sweep driver injects into
+     * TimingConfig when no provider was set explicitly. Lives for
+     * the process: sweeps in the same invocation share workloads.
+     */
+    static SnapshotCache &global();
+
+  private:
+    mutable std::mutex mutex_;
+    Counters counters_;
+    std::unordered_map<
+        std::string,
+        std::shared_future<std::shared_ptr<const TraceSnapshot>>>
+        cache_;
+};
+
+} // namespace percon
+
+#endif // PERCON_DRIVER_SNAPSHOT_CACHE_HH

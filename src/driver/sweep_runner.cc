@@ -4,8 +4,10 @@
 #include <chrono>
 #include <exception>
 #include <thread>
+#include <unordered_set>
 
 #include "common/rng.hh"
+#include "driver/snapshot_cache.hh"
 
 namespace percon {
 
@@ -88,16 +90,40 @@ timingPoint(RunKey key, const PipelineConfig &config,
     std::uint64_t seed =
         environmentSeed(key.benchmark, key.machine, key.predictor,
                         timing.measureUops);
-    RunFn fn = [config, make_estimator, spec_ctrl,
-                timing](const RunKey &k, std::uint64_t run_seed) {
-        TimingConfig t = timing;
+
+    // Resolve the snapshot cache key now, on the construction
+    // thread. SweepRunner::run turns first-in-input-order occurrence
+    // of each key into "miss" and later ones into "hit", so the
+    // JSONL label is a property of the sweep's definition — not of
+    // worker scheduling or of snapshots left in the process-wide
+    // cache by an earlier sweep. The shared_future inside the cache
+    // guarantees one build per key regardless of racing.
+    TimingConfig t0 = timing;
+    std::string snapshot_key;
+    std::string snapshot_label = "off";
+    if (t0.traceSnapshot) {
+        if (!t0.snapshotProvider)
+            t0.snapshotProvider = &SnapshotCache::global();
+        if (dynamic_cast<SnapshotCache *>(t0.snapshotProvider)) {
+            snapshot_key = SnapshotCache::key(
+                benchmarkSpec(key.benchmark).program,
+                snapshotLengthFor(config, t0));
+        }
+        snapshot_label = "on";
+    }
+
+    RunFn fn = [config, make_estimator, spec_ctrl, t0,
+                snapshot_label](const RunKey &k,
+                                std::uint64_t run_seed) {
+        TimingConfig t = t0;
         t.wrongPathSeed = run_seed;
         TimingResult r =
             runTiming(benchmarkSpec(k.benchmark), config, k.predictor,
                       make_estimator, spec_ctrl, t);
-        return RunOutput{r.stats, r.audit};
+        return RunOutput{r.stats, r.audit, snapshot_label};
     };
-    return SweepPoint{std::move(key), seed, std::move(fn)};
+    return SweepPoint{std::move(key), seed, std::move(fn),
+                      std::move(snapshot_key)};
 }
 
 SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs)
@@ -116,6 +142,22 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
     std::vector<std::exception_ptr> errors(points.size());
     std::atomic<std::size_t> next{0};
 
+    // Deterministic snapshot labels: the first point (in input
+    // order) naming each snapshot key is the sweep's "miss", later
+    // ones are "hit" — independent of worker interleaving and of
+    // cache contents carried over from earlier sweeps.
+    std::vector<const char *> snapshot_labels(points.size(), nullptr);
+    {
+        std::unordered_set<std::string> seen;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (points[i].snapshotKey.empty())
+                continue;
+            snapshot_labels[i] =
+                seen.insert(points[i].snapshotKey).second ? "miss"
+                                                          : "hit";
+        }
+    }
+
     auto worker = [&] {
         for (;;) {
             std::size_t i = next.fetch_add(1);
@@ -129,6 +171,9 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
                 RunOutput output = points[i].fn(rec.key, rec.seed);
                 rec.stats = output.stats;
                 rec.audit = std::move(output.audit);
+                rec.snapshot = snapshot_labels[i]
+                                   ? snapshot_labels[i]
+                                   : std::move(output.snapshot);
             } catch (...) {
                 errors[i] = std::current_exception();
             }

@@ -68,6 +68,12 @@ struct RunRecord
     CoreStats stats;
     /** Invariant-audit verdict ("off" unless --audit was active). */
     std::string audit = "off";
+    /** Trace-snapshot disposition: "off" (live generation), "miss"
+     *  (first point of this sweep to use its workload's snapshot) or
+     *  "hit" (an earlier point in input order shares it). Derived
+     *  from the sweep definition, not run-time racing, so rows stay
+     *  byte-identical across job counts and repeats. */
+    std::string snapshot = "off";
     double wallSeconds = 0.0;
 };
 
@@ -78,11 +84,15 @@ struct RunOutput
 {
     CoreStats stats;
     std::string audit = "off";
+    std::string snapshot = "off";
 
     RunOutput() = default;
     RunOutput(const CoreStats &s) : stats(s) {}
     RunOutput(CoreStats s, std::string a)
         : stats(s), audit(std::move(a))
+    {}
+    RunOutput(CoreStats s, std::string a, std::string snap)
+        : stats(s), audit(std::move(a)), snapshot(std::move(snap))
     {}
 };
 
@@ -98,6 +108,13 @@ struct SweepPoint
     RunKey key;
     std::uint64_t seed = 0;
     RunFn fn;
+
+    /** Cache key of the trace snapshot this point replays (empty =
+     *  live generation). SweepRunner::run derives each record's
+     *  "hit"/"miss" label from the first occurrence of this key in
+     *  input order, so rows are byte-identical across job counts
+     *  and repeated sweeps. */
+    std::string snapshotKey;
 };
 
 /** Build a point whose seed is the key's own derived seed. */

@@ -1,0 +1,240 @@
+#include "trace_snapshot.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+std::shared_ptr<const TraceSnapshot>
+TraceSnapshot::build(const ProgramParams &params, Count uops)
+{
+    // Generate into growable staging vectors first; the mem/branch
+    // ordinal counts aren't known until the stream has been walked.
+    std::vector<Addr> pcs;
+    std::vector<std::uint8_t> classes;
+    std::vector<std::uint16_t> src0, src1;
+    std::vector<Addr> mem_addrs;
+    std::vector<Addr> targets;
+    std::vector<std::uint64_t> taken_bits;
+    pcs.reserve(uops);
+    classes.reserve(uops);
+    src0.reserve(uops);
+    src1.reserve(uops);
+
+    ProgramModel generator(params);
+    Count num_branch = 0;
+    for (Count i = 0; i < uops; ++i) {
+        MicroOp u = generator.next();
+        pcs.push_back(u.pc);
+        classes.push_back(static_cast<std::uint8_t>(u.cls));
+        src0.push_back(u.srcDist[0]);
+        src1.push_back(u.srcDist[1]);
+        if (u.cls == UopClass::Branch) {
+            targets.push_back(u.target);
+            if ((num_branch & 63) == 0)
+                taken_bits.push_back(0);
+            if (u.taken)
+                taken_bits.back() |=
+                    std::uint64_t{1} << (num_branch & 63);
+            ++num_branch;
+        } else if (u.isMem()) {
+            mem_addrs.push_back(u.memAddr);
+        }
+    }
+
+    auto snap = std::shared_ptr<TraceSnapshot>(new TraceSnapshot);
+    snap->params_ = params;
+    snap->size_ = uops;
+    snap->numMem_ = mem_addrs.size();
+    snap->numBranch_ = num_branch;
+
+    // Carve the lanes out of one arena, widest first so each lane is
+    // naturally aligned without padding bookkeeping.
+    std::size_t off_pc = 0;
+    std::size_t off_mem = off_pc + pcs.size() * sizeof(Addr);
+    std::size_t off_tgt = off_mem + mem_addrs.size() * sizeof(Addr);
+    std::size_t off_bits = off_tgt + targets.size() * sizeof(Addr);
+    std::size_t off_s0 =
+        off_bits + taken_bits.size() * sizeof(std::uint64_t);
+    std::size_t off_s1 = off_s0 + src0.size() * sizeof(std::uint16_t);
+    std::size_t off_cls = off_s1 + src1.size() * sizeof(std::uint16_t);
+    std::size_t total = off_cls + classes.size();
+
+    snap->arena_ = std::make_unique<std::byte[]>(total);
+    snap->arenaBytes_ = total;
+    std::byte *base = snap->arena_.get();
+
+    auto pack = [base](std::size_t off, const auto &vec) {
+        using T = typename std::decay_t<decltype(vec)>::value_type;
+        if (!vec.empty())
+            std::memcpy(base + off, vec.data(),
+                        vec.size() * sizeof(T));
+        return reinterpret_cast<const T *>(base + off);
+    };
+    snap->pcLane_ = pack(off_pc, pcs);
+    snap->memAddrLane_ = pack(off_mem, mem_addrs);
+    snap->targetLane_ = pack(off_tgt, targets);
+    snap->takenBits_ = pack(off_bits, taken_bits);
+    snap->srcDist0Lane_ = pack(off_s0, src0);
+    snap->srcDist1Lane_ = pack(off_s1, src1);
+    snap->clsLane_ = pack(off_cls, classes);
+    return snap;
+}
+
+MicroOp
+TraceSnapshot::at(Count i, Count mem_ordinal, Count branch_ordinal) const
+{
+    PERCON_ASSERT(i < size_, "snapshot index %llu out of range",
+                  static_cast<unsigned long long>(i));
+    MicroOp u;
+    u.pc = pcLane_[i];
+    u.cls = static_cast<UopClass>(clsLane_[i]);
+    u.srcDist[0] = srcDist0Lane_[i];
+    u.srcDist[1] = srcDist1Lane_[i];
+    if (u.cls == UopClass::Branch) {
+        PERCON_ASSERT(branch_ordinal < numBranch_, "branch ordinal");
+        u.target = targetLane_[branch_ordinal];
+        u.taken = (takenBits_[branch_ordinal >> 6] >>
+                   (branch_ordinal & 63)) & 1;
+    } else if (u.isMem()) {
+        PERCON_ASSERT(mem_ordinal < numMem_, "mem ordinal");
+        u.memAddr = memAddrLane_[mem_ordinal];
+    }
+    return u;
+}
+
+SnapshotCursor::SnapshotCursor(
+    std::shared_ptr<const TraceSnapshot> snap)
+    : snap_(std::move(snap))
+{
+    PERCON_ASSERT(snap_ != nullptr, "SnapshotCursor needs a snapshot");
+}
+
+SnapshotCursor::~SnapshotCursor() = default;
+
+const char *
+SnapshotCursor::name() const
+{
+    return snap_->params_.name.c_str();
+}
+
+void
+SnapshotCursor::rewind()
+{
+    pos_ = 0;
+    memPos_ = 0;
+    brPos_ = 0;
+    tail_.reset();
+    tailConsumed_ = 0;
+}
+
+MicroOp
+SnapshotCursor::tailNext()
+{
+    if (!tail_) {
+        // Rare: the snapshot was sized too small for this run.
+        // ProgramModel is deterministic, so a fresh generator wound
+        // forward past the packed prefix continues the exact stream.
+        warn("trace snapshot '%s' exhausted after %llu uops; "
+             "switching to live generation for the tail",
+             snap_->params_.name.c_str(),
+             static_cast<unsigned long long>(snap_->size_));
+        tail_ = std::make_unique<ProgramModel>(snap_->params_);
+        for (Count i = 0; i < snap_->size_; ++i)
+            tail_->next();
+    }
+    ++tailConsumed_;
+    return tail_->next();
+}
+
+std::string
+programKey(const ProgramParams &p)
+{
+    std::string key;
+    key.reserve(768);
+    key += p.name;
+    char buf[64];
+    auto add_u = [&](unsigned long long v) {
+        std::snprintf(buf, sizeof buf, "/%llu", v);
+        key += buf;
+    };
+    auto add_d = [&](double v) {
+        std::snprintf(buf, sizeof buf, "/%.17g", v);
+        key += buf;
+    };
+    add_u(p.numStaticBranches);
+    add_d(p.zipfAlpha);
+    add_d(p.mix.easyBiased);
+    add_d(p.mix.loop);
+    add_d(p.mix.correlated);
+    add_d(p.mix.parity);
+    add_d(p.mix.local);
+    add_d(p.mix.noisyCorrelated);
+    add_d(p.mix.hardBiased);
+    add_d(p.mix.phased);
+    add_d(p.mix.deepCorrelated);
+    add_d(p.uopMix.load);
+    add_d(p.uopMix.store);
+    add_d(p.uopMix.intAlu);
+    add_d(p.uopMix.intMul);
+    add_d(p.uopMix.fpAlu);
+    add_d(p.uopsPerBranch);
+    add_u(p.branchesPerGroup);
+    add_u(p.burstPasses);
+    add_d(p.easyBiasMin);
+    add_d(p.easyBiasMax);
+    add_d(p.easyBurstMean);
+    add_u(p.loopTripMin);
+    add_u(p.loopTripMax);
+    add_u(p.corrDepthMin);
+    add_u(p.corrDepthMax);
+    add_d(p.corrNoise);
+    add_u(p.parityK);
+    add_d(p.parityNoise);
+    add_u(p.localPeriodMin);
+    add_u(p.localPeriodMax);
+    add_d(p.localNoise);
+    add_d(p.noisyCorrNoise);
+    add_d(p.hardBiasMin);
+    add_d(p.hardBiasMax);
+    add_u(p.deepCorrTapMin);
+    add_u(p.deepCorrTapMax);
+    add_u(p.deepCorrDepthMin);
+    add_u(p.deepCorrDepthMax);
+    add_d(p.deepCorrNoise);
+    add_d(p.depProb);
+    add_d(p.depMeanDist);
+    add_d(p.branchLoadDepProb);
+    add_u(p.addr.workingSetKB);
+    add_d(p.addr.fracStream);
+    add_d(p.addr.fracChase);
+    add_u(p.addr.numStreams);
+    add_u(p.addr.streamStride);
+    add_d(p.addr.hotFraction);
+    add_u(p.addr.hotSetKB);
+    add_u(p.seed);
+    return key;
+}
+
+bool
+traceSnapshotDefault()
+{
+    const char *v = std::getenv("PERCON_TRACE_SNAPSHOT");
+    if (!v || !*v)
+        return true;
+    std::string s(v);
+    if (s == "on" || s == "1" || s == "true")
+        return true;
+    if (s == "off" || s == "0" || s == "false")
+        return false;
+    warn("PERCON_TRACE_SNAPSHOT='%s' not understood "
+         "(want on|off); keeping the default (on)", v);
+    return true;
+}
+
+} // namespace percon

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Immutable correct-path trace snapshots.
+ *
+ * The paper's experiments sweep many (machine, policy, estimator)
+ * points over a *fixed* workload set, yet live simulation re-runs the
+ * whole ProgramModel generator — Zipf walk, behaviour models, filler
+ * synthesis — for every run that touches the same workload. A
+ * TraceSnapshot materializes one workload's correct-path uop stream
+ * exactly once into a packed structure-of-arrays arena; a
+ * SnapshotCursor then replays it as a WorkloadSource with nothing but
+ * sequential lane reads on the hot path.
+ *
+ * Contract: replay is bit-identical to live generation. The snapshot
+ * is built by running the real generator, the cursor reconstructs the
+ * exact MicroOp sequence, and if a consumer runs past the end the
+ * cursor falls back to live generation of the tail (ProgramModel is
+ * deterministic, so regenerating and discarding size() uops lands on
+ * the same stream position). Bit-identity is locked by the golden
+ * matrix and the differential suite.
+ *
+ * Layout (per uop ~17.5 B vs sizeof(MicroOp) == 40):
+ *   pc lane        Addr      per uop
+ *   class lane     uint8     per uop
+ *   srcDist lanes  2x uint16 per uop
+ *   memAddr lane   Addr      per memory ordinal (sidecar)
+ *   target lane    Addr      per branch ordinal (sidecar)
+ *   taken bits     1 bit     per branch ordinal (bitvector)
+ * All lanes are carved from one arena allocation.
+ */
+
+#ifndef PERCON_TRACE_TRACE_SNAPSHOT_HH
+#define PERCON_TRACE_TRACE_SNAPSHOT_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "trace/program_model.hh"
+#include "trace/uop.hh"
+
+namespace percon {
+
+/**
+ * One workload's correct-path uop stream, frozen. Immutable after
+ * build(), so any number of cursors (sweep jobs, SMT threads) can
+ * replay it concurrently without synchronization.
+ */
+class TraceSnapshot
+{
+  public:
+    /**
+     * Generate @p uops correct-path uops from a fresh ProgramModel
+     * and pack them. The generator is constructed and discarded here;
+     * the snapshot keeps only the lanes and the parameters (needed
+     * for the live-tail fallback and for cache keys).
+     */
+    static std::shared_ptr<const TraceSnapshot>
+    build(const ProgramParams &params, Count uops);
+
+    const ProgramParams &params() const { return params_; }
+
+    /** Number of packed uops. */
+    Count size() const { return size_; }
+
+    /** Arena footprint in bytes (all lanes). */
+    std::size_t memoryBytes() const { return arenaBytes_; }
+
+    Count memOps() const { return numMem_; }
+    Count branches() const { return numBranch_; }
+
+    /** Reconstruct uop @p i given its memory/branch ordinals. The
+     *  cursor tracks the ordinals incrementally; random access needs
+     *  a scan and is for tests only. */
+    MicroOp at(Count i, Count mem_ordinal, Count branch_ordinal) const;
+
+  private:
+    friend class SnapshotCursor;
+
+    TraceSnapshot() = default;
+
+    ProgramParams params_;
+    Count size_ = 0;
+    Count numMem_ = 0;
+    Count numBranch_ = 0;
+
+    /** One allocation; the typed lane pointers below alias into it,
+     *  8-byte lanes first so every lane is naturally aligned. */
+    std::unique_ptr<std::byte[]> arena_;
+    std::size_t arenaBytes_ = 0;
+
+    const Addr *pcLane_ = nullptr;            ///< [size_]
+    const Addr *memAddrLane_ = nullptr;       ///< [numMem_]
+    const Addr *targetLane_ = nullptr;        ///< [numBranch_]
+    const std::uint64_t *takenBits_ = nullptr;///< [ceil(numBranch_/64)]
+    const std::uint16_t *srcDist0Lane_ = nullptr; ///< [size_]
+    const std::uint16_t *srcDist1Lane_ = nullptr; ///< [size_]
+    const std::uint8_t *clsLane_ = nullptr;   ///< [size_]
+};
+
+/**
+ * Replay cursor over a TraceSnapshot: a WorkloadSource whose next()
+ * is a handful of sequential lane loads. Core/SmtCore detect the
+ * concrete type and call nextFast() directly, skipping the virtual
+ * dispatch on the fetch path.
+ *
+ * Not thread-safe; give each consumer its own cursor (they share the
+ * underlying snapshot).
+ */
+class SnapshotCursor final : public WorkloadSource
+{
+  public:
+    explicit SnapshotCursor(std::shared_ptr<const TraceSnapshot> snap);
+    ~SnapshotCursor() override;
+
+    MicroOp next() override { return nextFast(); }
+    const char *name() const override;
+
+    /** The devirtualized hot path. */
+    MicroOp
+    nextFast()
+    {
+        const TraceSnapshot &s = *snap_;
+        if (pos_ >= s.size_) [[unlikely]]
+            return tailNext();
+        // Stay ~4 cache lines ahead of the read position on the
+        // widest lane; the narrow lanes ride along within the same
+        // distance.
+        if ((pos_ & 31u) == 0) {
+            Count p = pos_ + 32;
+            if (p < s.size_) {
+                __builtin_prefetch(s.pcLane_ + p);
+                __builtin_prefetch(s.srcDist0Lane_ + p);
+            }
+        }
+        MicroOp u;
+        u.pc = s.pcLane_[pos_];
+        u.cls = static_cast<UopClass>(s.clsLane_[pos_]);
+        u.srcDist[0] = s.srcDist0Lane_[pos_];
+        u.srcDist[1] = s.srcDist1Lane_[pos_];
+        if (u.cls == UopClass::Branch) {
+            u.target = s.targetLane_[brPos_];
+            u.taken = (s.takenBits_[brPos_ >> 6] >>
+                       (brPos_ & 63)) & 1;
+            ++brPos_;
+        } else if (u.cls == UopClass::Load ||
+                   u.cls == UopClass::Store) {
+            u.memAddr = s.memAddrLane_[memPos_++];
+        }
+        ++pos_;
+        return u;
+    }
+
+    /** Restart replay from uop 0 (e.g. to reuse a cursor across
+     *  runs); drops any live-tail generator. */
+    void rewind();
+
+    /** Total uops handed out, snapshot + tail. */
+    Count consumed() const { return pos_ + tailConsumed_; }
+
+    /** Uops served by the live-tail fallback (0 in the normal case
+     *  where the snapshot was sized to cover the run). */
+    Count tailUops() const { return tailConsumed_; }
+
+    const TraceSnapshot &snapshot() const { return *snap_; }
+
+  private:
+    MicroOp tailNext();
+
+    std::shared_ptr<const TraceSnapshot> snap_;
+    Count pos_ = 0;
+    Count memPos_ = 0;
+    Count brPos_ = 0;
+
+    /** Live generator picking up exactly where the snapshot ends;
+     *  created on first exhaustion, which costs one O(size) replay. */
+    std::unique_ptr<ProgramModel> tail_;
+    Count tailConsumed_ = 0;
+};
+
+/**
+ * Source of shared snapshots. Defined here (not in driver/) so core-
+ * layer code can accept a provider without depending on the driver
+ * library; the driver's SnapshotCache implements it.
+ */
+class SnapshotProvider
+{
+  public:
+    virtual ~SnapshotProvider() = default;
+
+    /** A snapshot of @p params covering at least @p uops uops. */
+    virtual std::shared_ptr<const TraceSnapshot>
+    get(const ProgramParams &params, Count uops) = 0;
+};
+
+/**
+ * Canonical cache key for a full ProgramParams value: every field
+ * serialized (doubles at %.17g, so distinct values never alias).
+ * Name alone is NOT sufficient — random differential cases reuse
+ * names with different parameters.
+ */
+std::string programKey(const ProgramParams &params);
+
+/**
+ * Process-wide default for trace-snapshot replay: true unless the
+ * PERCON_TRACE_SNAPSHOT environment variable says off/0/false.
+ * Unrecognized values warn and keep the default.
+ */
+bool traceSnapshotDefault();
+
+} // namespace percon
+
+#endif // PERCON_TRACE_TRACE_SNAPSHOT_HH

@@ -1,5 +1,7 @@
 #include "wrongpath.hh"
 
+#include <algorithm>
+
 namespace percon {
 
 WrongPathSynthesizer::WrongPathSynthesizer(const ProgramParams &params,
@@ -12,54 +14,74 @@ WrongPathSynthesizer::WrongPathSynthesizer(const ProgramParams &params,
 void
 WrongPathSynthesizer::redirect(Addr wrong_target)
 {
+    // Discard the unconsumed remainder of the current block. The
+    // slots ahead of cursor_ consumed RNG draws the per-uop
+    // synthesizer would not have made yet, so rewind the generator
+    // to the state recorded before the first unconsumed slot. (When
+    // the block is fully consumed the live state is already exact.)
+    if (cursor_ != filled_) {
+        rng_ = scratch_[cursor_].rngBefore;
+        sinceBranch_ = scratch_[cursor_].sinceBranchBefore;
+    }
+    cursor_ = filled_ = 0;
     pc_ = wrong_target;
     sinceBranch_ = 0;
 }
 
-MicroOp
-WrongPathSynthesizer::next()
+void
+WrongPathSynthesizer::refill()
 {
-    MicroOp u;
-    u.pc = pc_;
-    pc_ += 4;
+    for (unsigned i = 0; i < kBlock; ++i) {
+        scratch_[i].rngBefore = rng_;
+        scratch_[i].sinceBranchBefore = sinceBranch_;
+        generate(scratch_[i]);
+    }
+    cursor_ = 0;
+    filled_ = kBlock;
+}
+
+void
+WrongPathSynthesizer::generate(Slot &s)
+{
     ++sinceBranch_;
 
     // End a wrong-path basic block with a branch at roughly the same
     // density as the correct path.
     double branch_prob = 1.0 / params_.uopsPerBranch;
     if (sinceBranch_ >= 2 && rng_.nextBernoulli(branch_prob)) {
-        u.cls = UopClass::Branch;
-        u.taken = rng_.nextBernoulli(0.5);
-        u.target = u.pc + 64 + (rng_.nextBelow(16) << 6);
+        s.cls = UopClass::Branch;
+        s.taken = rng_.nextBernoulli(0.5);
+        s.targetSel = static_cast<std::uint8_t>(rng_.nextBelow(16));
+        s.srcDist0 = s.srcDist1 = 0;
         sinceBranch_ = 0;
-        return u;
+        return;
     }
 
+    s.taken = false;
+    s.targetSel = 0;
     double r = rng_.nextDouble();
     const UopMix &m = params_.uopMix;
     if (r < m.load) {
-        u.cls = UopClass::Load;
-        u.memAddr = addrModel_.next(addrRng_);
+        s.cls = UopClass::Load;
     } else if (r < m.load + m.store) {
-        u.cls = UopClass::Store;
-        u.memAddr = addrModel_.next(addrRng_);
+        s.cls = UopClass::Store;
     } else if (r < m.load + m.store + m.intAlu) {
-        u.cls = UopClass::IntAlu;
+        s.cls = UopClass::IntAlu;
     } else if (r < m.load + m.store + m.intAlu + m.intMul) {
-        u.cls = UopClass::IntMul;
+        s.cls = UopClass::IntMul;
     } else {
-        u.cls = UopClass::FpAlu;
+        s.cls = UopClass::FpAlu;
     }
 
-    for (auto &dist : u.srcDist) {
+    s.srcDist0 = s.srcDist1 = 0;
+    for (std::uint16_t *dist : {&s.srcDist0, &s.srcDist1}) {
         if (rng_.nextBernoulli(params_.depProb)) {
             double p = 1.0 / params_.depMeanDist;
             std::uint64_t d = 1 + rng_.nextGeometric(p);
-            dist = static_cast<std::uint16_t>(
+            *dist = static_cast<std::uint16_t>(
                 std::min<std::uint64_t>(d, 64));
         }
     }
-    return u;
 }
 
 } // namespace percon

@@ -13,10 +13,23 @@
  * Wrong-path branches are predicted by the real predictor so they
  * consume history/table state realistically, but they never redirect
  * fetch: the whole path dies when the triggering branch resolves.
+ *
+ * Synthesis runs in blocks: the RNG-derived recipe of the next
+ * kBlock uops is generated in one tight loop into a per-core scratch
+ * arena that lives for the synthesizer's lifetime and is reused
+ * across squashes. next() then only stamps the consumption-time
+ * parts (pc, memory addresses — whose model state must advance in
+ * exact consumption order). Each slot also records the generator
+ * state *before* it was produced, so redirect() rewinds the RNG to
+ * precisely where consumption stopped in O(1): the emitted stream is
+ * bit-identical to per-uop synthesis.
  */
 
 #ifndef PERCON_TRACE_WRONGPATH_HH
 #define PERCON_TRACE_WRONGPATH_HH
+
+#include <array>
+#include <cstdint>
 
 #include "common/rng.hh"
 #include "trace/address_model.hh"
@@ -39,15 +52,58 @@ class WrongPathSynthesizer
     void redirect(Addr wrong_target);
 
     /** Produce the next wrong-path uop. */
-    MicroOp next();
+    MicroOp
+    next()
+    {
+        if (cursor_ == filled_)
+            refill();
+        const Slot &s = scratch_[cursor_++];
+        MicroOp u;
+        u.pc = pc_;
+        pc_ += 4;
+        u.cls = s.cls;
+        if (s.cls == UopClass::Branch) {
+            u.taken = s.taken;
+            u.target = u.pc + 64 +
+                       (static_cast<Addr>(s.targetSel) << 6);
+            return u;
+        }
+        u.srcDist[0] = s.srcDist0;
+        u.srcDist[1] = s.srcDist1;
+        if (s.cls == UopClass::Load || s.cls == UopClass::Store)
+            u.memAddr = addrModel_.next(addrRng_);
+        return u;
+    }
 
   private:
+    /** One pre-generated uop recipe plus the generator state it was
+     *  produced from (for exact rewind on redirect). */
+    struct Slot
+    {
+        Rng rngBefore;
+        unsigned sinceBranchBefore;
+        UopClass cls;
+        bool taken;
+        std::uint8_t targetSel;
+        std::uint16_t srcDist0, srcDist1;
+    };
+
+    void refill();
+    void generate(Slot &s);
+
     ProgramParams params_;
     Rng rng_;
     AddressModel addrModel_;
     Rng addrRng_;
     Addr pc_ = 0;
-    unsigned sinceBranch_ = 0;
+    unsigned sinceBranch_ = 0;  ///< generation-side block position
+
+    /** The scratch arena: sized once, reused for every block and
+     *  every squash; no per-squash allocation. */
+    static constexpr unsigned kBlock = 32;
+    std::array<Slot, kBlock> scratch_;
+    unsigned cursor_ = 0;   ///< next slot to consume
+    unsigned filled_ = 0;   ///< slots generated in the current block
 };
 
 } // namespace percon

@@ -32,6 +32,14 @@ struct AuditContext
     Cycle now = 0;
     unsigned gateThreshold = 0;
     bool hasEstimator = false;
+
+    /** True when the correct path replays from a trace snapshot
+     *  (workload is a SnapshotCursor). */
+    bool workloadReplay = false;
+
+    /** Cursor-consumed uop count (snapshot + live tail) when
+     *  workloadReplay is set; 0 otherwise. */
+    Count workloadConsumed = 0;
 };
 
 class AuditHook

@@ -3,13 +3,31 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "trace/trace_snapshot.hh"
 
 namespace percon {
+
+AuditContext
+Core::auditContext() const
+{
+    AuditContext ctx{&stats_,
+                     &window_,
+                     gateCount_,
+                     now_,
+                     spec_.gateThreshold,
+                     estimator_ != nullptr};
+    if (snapCursor_) {
+        ctx.workloadReplay = true;
+        ctx.workloadConsumed = snapCursor_->consumed();
+    }
+    return ctx;
+}
 
 Core::Core(const PipelineConfig &config, WorkloadSource &workload,
            WrongPathSynthesizer &wrong_path, BranchPredictor &predictor,
            ConfidenceEstimator *estimator, const SpeculationControl &spec)
     : config_(config), spec_(spec), workload_(workload),
+      snapCursor_(dynamic_cast<SnapshotCursor *>(&workload)),
       wrongPath_(wrong_path), predictor_(predictor),
       estimator_(estimator), mem_(config.mem), exec_(config_, mem_),
       traceCache_(config.traceCache),
@@ -237,7 +255,13 @@ Core::dispatch()
 bool
 Core::fetchOne()
 {
-    MicroOp mu = onWrongPath_ ? wrongPath_.next() : workload_.next();
+    MicroOp mu;
+    if (onWrongPath_)
+        mu = wrongPath_.next();
+    else if (snapCursor_)
+        mu = snapCursor_->nextFast();
+    else
+        mu = workload_.next();
 
     bool stall_after = false;
     if (config_.traceCacheEnabled && !traceCache_.access(mu.pc)) {

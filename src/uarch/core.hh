@@ -54,6 +54,8 @@
 
 namespace percon {
 
+class SnapshotCursor;
+
 /** A timed resolve / delayed-confidence event on an in-flight uop.
  *  Ordered by (when, seq) so same-cycle events process in fetch
  *  order, exactly like the original seq-keyed queues. */
@@ -159,16 +161,7 @@ class Core
      *  their per-cycle stall accounting in bulk. */
     void fastForward(Cycle skipped);
 
-    AuditContext
-    auditContext() const
-    {
-        return AuditContext{&stats_,
-                            &window_,
-                            gateCount_,
-                            now_,
-                            spec_.gateThreshold,
-                            estimator_ != nullptr};
-    }
+    AuditContext auditContext() const;
 
     /** Fetch one uop; returns false when fetch must stop for this
      *  cycle (trace-cache miss). */
@@ -180,6 +173,11 @@ class Core
     PipelineConfig config_;
     SpeculationControl spec_;
     WorkloadSource &workload_;
+
+    /** Non-null when workload_ is a SnapshotCursor: fetch then calls
+     *  the devirtualized nextFast() replay path. */
+    SnapshotCursor *snapCursor_ = nullptr;
+
     WrongPathSynthesizer &wrongPath_;
     BranchPredictor &predictor_;
     ConfidenceEstimator *estimator_;

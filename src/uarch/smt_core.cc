@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "trace/trace_snapshot.hh"
 
 namespace percon {
 
@@ -27,6 +28,8 @@ SmtCore::SmtCore(const PipelineConfig &config,
         PERCON_ASSERT(threads[t].workload && threads[t].wrongPath,
                       "thread %u is missing a workload binding", t);
         threads_[t].cfg = threads[t];
+        threads_[t].snapCursor =
+            dynamic_cast<SnapshotCursor *>(threads[t].workload);
     }
     robPerThread_ = std::max(8u, config.robSize / kThreads);
     loadBufsPerThread_ = std::max(4u, config.loadBuffers / kThreads);
@@ -226,8 +229,13 @@ bool
 SmtCore::fetchOne(unsigned tid)
 {
     Thread &t = threads_[tid];
-    MicroOp mu = t.onWrongPath ? t.cfg.wrongPath->next()
-                               : t.cfg.workload->next();
+    MicroOp mu;
+    if (t.onWrongPath)
+        mu = t.cfg.wrongPath->next();
+    else if (t.snapCursor)
+        mu = t.snapCursor->nextFast();
+    else
+        mu = t.cfg.workload->next();
 
     bool stall_after = false;
     if (config_.traceCacheEnabled && !traceCache_.access(mu.pc)) {
@@ -375,12 +383,17 @@ SmtCore::fetch()
 AuditContext
 SmtCore::auditContext(unsigned tid) const
 {
-    return AuditContext{&stats_[tid],
-                        &threads_[tid].window,
-                        threads_[tid].gateCount,
-                        now_,
-                        spec_.gateThreshold,
-                        estimator_ != nullptr};
+    AuditContext ctx{&stats_[tid],
+                     &threads_[tid].window,
+                     threads_[tid].gateCount,
+                     now_,
+                     spec_.gateThreshold,
+                     estimator_ != nullptr};
+    if (threads_[tid].snapCursor) {
+        ctx.workloadReplay = true;
+        ctx.workloadConsumed = threads_[tid].snapCursor->consumed();
+    }
+    return ctx;
 }
 
 void

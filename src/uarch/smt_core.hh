@@ -44,6 +44,8 @@
 
 namespace percon {
 
+class SnapshotCursor;
+
 /** A pending branch resolution, ordered by (when, tid, seq) like the
  *  original (Cycle, tid, seq) tuple queue. */
 struct SmtUopEvent
@@ -143,6 +145,9 @@ class SmtCore
     struct Thread
     {
         SmtThreadConfig cfg;
+        /** Non-null when cfg.workload is a SnapshotCursor: fetch
+         *  uses the devirtualized replay path. */
+        SnapshotCursor *snapCursor = nullptr;
         SpecHistory history;
         /** Fetch pipe + per-thread ROB view (shared-pool and
          *  partition limits are enforced by dispatch()). */

@@ -124,12 +124,26 @@ runDifferential(const DiffCase &c)
     }
 
     {
-        ProgramModel program(c.program);
+        // The oracle above always generates live; feeding the
+        // production core from a cursor makes the diff a direct
+        // replay-vs-generation equivalence check on top of the
+        // core-vs-core one.
+        std::unique_ptr<WorkloadSource> source;
+        if (c.traceSnapshot) {
+            Count len =
+                c.warmupUops + c.measureUops + c.config.robSize +
+                static_cast<Count>(c.config.frontEndDepth + 2) *
+                    c.config.width;
+            source = std::make_unique<SnapshotCursor>(
+                TraceSnapshot::build(c.program, len));
+        } else {
+            source = std::make_unique<ProgramModel>(c.program);
+        }
         WrongPathSynthesizer wrong_path(c.program, c.wrongPathSeed);
         auto predictor = makePredictor(c.predictor);
         std::unique_ptr<ConfidenceEstimator> estimator =
             build_estimator();
-        Core core(c.config, program, wrong_path, *predictor,
+        Core core(c.config, *source, wrong_path, *predictor,
                   estimator.get(), c.spec);
         InvariantAuditor auditor;
         core.setAuditor(&auditor);

@@ -24,6 +24,7 @@
 
 #include "confidence/confidence_estimator.hh"
 #include "trace/program_model.hh"
+#include "trace/trace_snapshot.hh"
 #include "uarch/core_stats.hh"
 #include "uarch/pipeline_config.hh"
 #include "verify/invariant_auditor.hh"
@@ -54,6 +55,13 @@ struct DiffCase
     /** Arm Core::setTestFastForwardDefect on the production side
      *  (negative testing: the diff must then be non-empty). */
     bool injectDefect = false;
+
+    /** Feed the production core from a SnapshotCursor while the
+     *  oracle stays on live generation — the diff then directly
+     *  proves snapshot replay is bit-identical to the generator.
+     *  Defaults to the process-wide snapshot setting so the whole
+     *  differential suite exercises whichever mode is active. */
+    bool traceSnapshot = traceSnapshotDefault();
 };
 
 /** One diverging CoreStats counter. */

@@ -129,6 +129,26 @@ InvariantAuditor::onCheck(const AuditContext &ctx)
                    s.mispredictsOriginal + s.reversalsBad),
                now);
     }
+    if (ctx.workloadReplay) {
+        // Every correct-path fetch consumes exactly one cursor
+        // entry; the cursor count is monotonic across stats resets,
+        // so compare deltas against the baseline from the last reset
+        // (captured lazily when the auditor attached mid-run).
+        Count correct_fetched = s.fetchedUops - s.wrongPathFetched;
+        if (!replayBaselineSet_) {
+            replayBaselineSet_ = true;
+            replayConsumedAtReset_ =
+                ctx.workloadConsumed - correct_fetched;
+        }
+        Count consumed =
+            ctx.workloadConsumed - replayConsumedAtReset_;
+        if (correct_fetched != consumed)
+            record("replay-conservation",
+                   fmt("correct-path fetched %llu != cursor "
+                       "consumed %llu",
+                       correct_fetched, consumed),
+                   now);
+    }
     if (ctx.hasEstimator) {
         if (s.confidence.total() != s.retiredBranches)
             record("confidence-total",
@@ -200,6 +220,10 @@ InvariantAuditor::onStatsReset(const AuditContext &ctx)
     retired_ = 0;
     squashed_ = 0;
     carriedInflight_ = ctx.window ? ctx.window->size() : 0;
+    if (ctx.workloadReplay) {
+        replayBaselineSet_ = true;
+        replayConsumedAtReset_ = ctx.workloadConsumed;
+    }
 }
 
 void

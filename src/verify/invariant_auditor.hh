@@ -19,6 +19,11 @@
  *    cycles (each cycle has at most one stall cause per stage) —
  *    the check that catches bulk-replay double-attribution in the
  *    event-skipping fast path;
+ *  - when the correct path replays from a trace snapshot, every
+ *    cursor-consumed entry corresponds to exactly one correct-path
+ *    fetch (fetched - wrong-path fetched == consumed), across
+ *    warmup resets — the check that catches a cursor that skips,
+ *    repeats or leaks entries;
  *  - confidence classifications partition the retired branches:
  *    matrix total = retired branches, matrix mispredicted = original
  *    mispredicts, and reversals = good + bad.
@@ -91,6 +96,13 @@ class InvariantAuditor : public AuditHook
     /** In-flight uops carried across the last stats reset. */
     Count carriedInflight_ = 0;
     SeqNum lastFetchSeq_ = 0;
+
+    /** Snapshot-replay conservation: cursor consumption is monotonic
+     *  across stats resets, so the check works on deltas from a
+     *  baseline captured at reset (or lazily at the first checkpoint
+     *  for auditors attached mid-run). */
+    bool replayBaselineSet_ = false;
+    Count replayConsumedAtReset_ = 0;
 };
 
 } // namespace percon

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * SnapshotCache tests: one build per key under concurrency, exact
+ * hit/miss accounting, and deterministic sweep-scoped JSONL labels
+ * (first point in input order per workload is "miss", later points
+ * "hit", regardless of job count, repeats, or prior cache state).
+ */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "driver/snapshot_cache.hh"
+#include "driver/sweep_runner.hh"
+#include "trace/benchmarks.hh"
+
+namespace percon {
+namespace {
+
+TEST(SnapshotCache, SecondGetIsAHitOnTheSameObject)
+{
+    SnapshotCache cache;
+    ProgramParams p;
+    p.seed = 31;
+    auto a = cache.get(p, 4'096);
+    auto b = cache.get(p, 4'096);
+    EXPECT_EQ(a.get(), b.get());
+    SnapshotCache::Counters c = cache.counters();
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.builtUops, 4'096u);
+    EXPECT_EQ(c.builtBytes, a->memoryBytes());
+}
+
+TEST(SnapshotCache, DifferentLengthsAreDifferentKeys)
+{
+    SnapshotCache cache;
+    ProgramParams p;
+    p.seed = 32;
+    auto a = cache.get(p, 2'048);
+    auto b = cache.get(p, 4'096);
+    EXPECT_NE(a.get(), b.get());
+    EXPECT_EQ(cache.counters().misses, 2u);
+    EXPECT_NE(SnapshotCache::key(p, 2'048), SnapshotCache::key(p, 4'096));
+}
+
+TEST(SnapshotCache, ConcurrentGetsBuildExactlyOnce)
+{
+    SnapshotCache cache;
+    ProgramParams p;
+    p.seed = 33;
+    const unsigned kThreads = 8;
+    std::vector<std::shared_ptr<const TraceSnapshot>> got(kThreads);
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t)
+        pool.emplace_back(
+            [&, t] { got[t] = cache.get(p, 16'384); });
+    for (auto &th : pool)
+        th.join();
+    for (unsigned t = 1; t < kThreads; ++t)
+        EXPECT_EQ(got[t].get(), got[0].get());
+    SnapshotCache::Counters c = cache.counters();
+    EXPECT_EQ(c.misses, 1u) << "shared future must serialize builds";
+    EXPECT_EQ(c.hits, kThreads - 1);
+    EXPECT_EQ(c.builtUops, 16'384u);
+}
+
+std::vector<SweepPoint>
+twoBenchSweep()
+{
+    TimingConfig t;
+    t.warmupUops = 2'000;
+    t.measureUops = 6'000;
+    t.traceSnapshot = true;  // label semantics under test; pin it on
+    std::vector<SweepPoint> points;
+    for (const char *bench : {"gcc", "gcc", "mcf", "gcc"}) {
+        RunKey key;
+        key.benchmark = bench;
+        key.machine = "base20x4";
+        key.predictor = "bimodal-gshare";
+        key.set("i", std::to_string(points.size()));
+        points.push_back(timingPoint(key, PipelineConfig::base20x4(),
+                                     nullptr, SpeculationControl{}, t));
+    }
+    return points;
+}
+
+TEST(SnapshotCache, SweepLabelsFollowInputOrder)
+{
+    // gcc, gcc, mcf, gcc -> miss, hit, miss, hit: first occurrence
+    // per workload is the sweep's miss regardless of scheduling.
+    for (unsigned jobs : {1u, 4u}) {
+        std::vector<RunRecord> recs =
+            SweepRunner(jobs).run(twoBenchSweep());
+        ASSERT_EQ(recs.size(), 4u);
+        EXPECT_EQ(recs[0].snapshot, "miss") << "jobs=" << jobs;
+        EXPECT_EQ(recs[1].snapshot, "hit") << "jobs=" << jobs;
+        EXPECT_EQ(recs[2].snapshot, "miss") << "jobs=" << jobs;
+        EXPECT_EQ(recs[3].snapshot, "hit") << "jobs=" << jobs;
+    }
+    // A repeat of the same sweep in this (now cache-warm) process
+    // must produce the same labels: they describe the sweep, not the
+    // process history.
+    std::vector<RunRecord> again = SweepRunner(2).run(twoBenchSweep());
+    EXPECT_EQ(again[0].snapshot, "miss");
+    EXPECT_EQ(again[2].snapshot, "miss");
+}
+
+TEST(SnapshotCache, SnapshotOffLabelsRowsOff)
+{
+    TimingConfig t;
+    t.warmupUops = 1'000;
+    t.measureUops = 4'000;
+    t.traceSnapshot = false;
+    RunKey key;
+    key.benchmark = "gcc";
+    key.machine = "base20x4";
+    key.predictor = "bimodal-gshare";
+    SweepPoint p = timingPoint(key, PipelineConfig::base20x4(), nullptr,
+                               SpeculationControl{}, t);
+    EXPECT_TRUE(p.snapshotKey.empty());
+    std::vector<RunRecord> recs = SweepRunner(1).run({p});
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].snapshot, "off");
+}
+
+TEST(SnapshotCache, SweepStatsIdenticalWithAndWithoutSnapshots)
+{
+    TimingConfig on;
+    on.warmupUops = 2'000;
+    on.measureUops = 6'000;
+    on.traceSnapshot = true;
+    TimingConfig off = on;
+    off.traceSnapshot = false;
+
+    RunKey key;
+    key.benchmark = "mcf";
+    key.machine = "base20x4";
+    key.predictor = "bimodal-gshare";
+    auto run = [&](const TimingConfig &t) {
+        return SweepRunner(1)
+            .run({timingPoint(key, PipelineConfig::base20x4(), nullptr,
+                              SpeculationControl{}, t)})[0]
+            .stats;
+    };
+    CoreStats a = run(on), b = run(off);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.fetchedUops, b.fetchedUops);
+    EXPECT_EQ(a.retiredUops, b.retiredUops);
+    EXPECT_EQ(a.mispredictsFinal, b.mispredictsFinal);
+    EXPECT_EQ(a.issueWaitSum, b.issueWaitSum);
+    EXPECT_EQ(a.loadLatencySum, b.loadLatencySum);
+}
+
+} // namespace
+} // namespace percon

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * TraceSnapshot / SnapshotCursor tests: the packed SoA arena must
+ * replay the generator's exact uop stream (every field, every uop),
+ * survive rewind and exhaustion, and stay compact; programKey must
+ * distinguish any two differing parameter sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "trace/program_model.hh"
+#include "trace/trace_snapshot.hh"
+#include "verify/trace_gen.hh"
+
+namespace percon {
+namespace {
+
+void
+expectUopEqual(const MicroOp &a, const MicroOp &b, Count i)
+{
+    ASSERT_EQ(a.pc, b.pc) << "uop " << i;
+    ASSERT_EQ(a.cls, b.cls) << "uop " << i;
+    ASSERT_EQ(a.target, b.target) << "uop " << i;
+    ASSERT_EQ(a.taken, b.taken) << "uop " << i;
+    ASSERT_EQ(a.memAddr, b.memAddr) << "uop " << i;
+    ASSERT_EQ(a.srcDist[0], b.srcDist[0]) << "uop " << i;
+    ASSERT_EQ(a.srcDist[1], b.srcDist[1]) << "uop " << i;
+}
+
+std::vector<ProgramParams>
+coveragePrograms()
+{
+    std::vector<ProgramParams> ps;
+    ps.push_back(ProgramParams{});
+    ps.push_back(branchSparseProgram(11));
+    ps.push_back(allTakenLoopProgram(12));
+    ps.push_back(branchDenseProgram(13));
+    // Deep-history taps: outcomes depend on history positions beyond
+    // typical predictor reach, so any desync between the outcome
+    // bitvector and the branch ordinals would surface here.
+    ProgramParams deep;
+    deep.name = "deep-taps";
+    deep.mix.deepCorrelated = 0.30;
+    deep.mix.easyBiased = 0.20;
+    deep.mix.correlated = 0.05;
+    deep.seed = 14;
+    ps.push_back(deep);
+    return ps;
+}
+
+TEST(TraceSnapshot, ReplayMatchesLiveGenerationExactly)
+{
+    const Count n = 30'000;
+    for (const ProgramParams &p : coveragePrograms()) {
+        auto snap = TraceSnapshot::build(p, n);
+        ASSERT_EQ(snap->size(), n) << p.name;
+        SnapshotCursor cursor(snap);
+        ProgramModel live(p);
+        for (Count i = 0; i < n; ++i) {
+            MicroOp want = live.next();
+            MicroOp got = cursor.next();
+            expectUopEqual(got, want, i);
+        }
+        EXPECT_EQ(cursor.tailUops(), 0u) << p.name;
+        EXPECT_EQ(cursor.consumed(), n) << p.name;
+    }
+}
+
+TEST(TraceSnapshot, AtReconstructsEveryUop)
+{
+    ProgramParams p;
+    p.seed = 21;
+    const Count n = 5'000;
+    auto snap = TraceSnapshot::build(p, n);
+    SnapshotCursor cursor(snap);
+    Count mem = 0, br = 0;
+    for (Count i = 0; i < n; ++i) {
+        MicroOp want = cursor.nextFast();
+        MicroOp got = snap->at(i, mem, br);
+        expectUopEqual(got, want, i);
+        if (want.isBranch())
+            ++br;
+        else if (want.isMem())
+            ++mem;
+    }
+    EXPECT_EQ(mem, snap->memOps());
+    EXPECT_EQ(br, snap->branches());
+    EXPECT_GT(snap->branches(), 0u);
+    EXPECT_GT(snap->memOps(), 0u);
+}
+
+TEST(TraceSnapshot, RewindRestartsFromUopZero)
+{
+    ProgramParams p;
+    p.seed = 22;
+    auto snap = TraceSnapshot::build(p, 8'000);
+    SnapshotCursor cursor(snap);
+    std::vector<MicroOp> first;
+    for (Count i = 0; i < 3'000; ++i)
+        first.push_back(cursor.nextFast());
+    cursor.rewind();
+    EXPECT_EQ(cursor.consumed(), 0u);
+    for (Count i = 0; i < 3'000; ++i)
+        expectUopEqual(cursor.nextFast(), first[i], i);
+}
+
+TEST(TraceSnapshot, ExhaustionFallsBackToLiveTail)
+{
+    ProgramParams p;
+    p.seed = 23;
+    const Count snap_len = 3'000, run_len = 9'000;
+    auto snap = TraceSnapshot::build(p, snap_len);
+    SnapshotCursor cursor(snap);
+    ProgramModel live(p);
+    for (Count i = 0; i < run_len; ++i)
+        expectUopEqual(cursor.next(), live.next(), i);
+    EXPECT_EQ(cursor.tailUops(), run_len - snap_len);
+    EXPECT_EQ(cursor.consumed(), run_len);
+}
+
+TEST(TraceSnapshot, RewindAfterExhaustionDropsTheTail)
+{
+    ProgramParams p;
+    p.seed = 24;
+    const Count snap_len = 2'000;
+    auto snap = TraceSnapshot::build(p, snap_len);
+    SnapshotCursor cursor(snap);
+    for (Count i = 0; i < snap_len + 500; ++i)
+        cursor.next();
+    ASSERT_GT(cursor.tailUops(), 0u);
+
+    cursor.rewind();
+    EXPECT_EQ(cursor.tailUops(), 0u);
+    EXPECT_EQ(cursor.consumed(), 0u);
+    ProgramModel live(p);
+    for (Count i = 0; i < snap_len; ++i)
+        expectUopEqual(cursor.next(), live.next(), i);
+}
+
+TEST(TraceSnapshot, TwoCursorsShareOneSnapshotIndependently)
+{
+    ProgramParams p;
+    p.seed = 25;
+    auto snap = TraceSnapshot::build(p, 4'000);
+    SnapshotCursor a(snap), b(snap);
+    // Advance a far ahead; b must be unaffected.
+    for (Count i = 0; i < 2'500; ++i)
+        a.nextFast();
+    ProgramModel live(p);
+    for (Count i = 0; i < 2'000; ++i)
+        expectUopEqual(b.nextFast(), live.next(), i);
+}
+
+TEST(TraceSnapshot, ArenaIsCompactVersusMicroOpArray)
+{
+    ProgramParams p;
+    p.seed = 26;
+    const Count n = 50'000;
+    auto snap = TraceSnapshot::build(p, n);
+    // SoA target is ~17.5 B/uop against sizeof(MicroOp) == 40; allow
+    // headroom but require at least a 1.8x packing win.
+    EXPECT_LT(snap->memoryBytes(), n * sizeof(MicroOp) / 18 * 10);
+    EXPECT_GT(snap->memoryBytes(), 0u);
+}
+
+TEST(TraceSnapshot, ProgramKeyDistinguishesParameterChanges)
+{
+    ProgramParams base;
+    std::string k = programKey(base);
+    EXPECT_EQ(programKey(base), k) << "key must be deterministic";
+
+    ProgramParams seed = base;
+    seed.seed ^= 1;
+    EXPECT_NE(programKey(seed), k);
+
+    ProgramParams dep = base;
+    dep.depProb += 1e-9;
+    EXPECT_NE(programKey(dep), k) << "tiny double deltas must count";
+
+    ProgramParams branches = base;
+    branches.numStaticBranches += 1;
+    EXPECT_NE(programKey(branches), k);
+
+    // Same parameters under a different display name are a different
+    // key only via the name field — but two *random* cases that share
+    // a name and differ elsewhere must never alias.
+    ProgramParams alias = base;
+    alias.uopsPerBranch *= 1.5;
+    EXPECT_EQ(alias.name, base.name);
+    EXPECT_NE(programKey(alias), k);
+}
+
+TEST(TraceSnapshot, DefaultFollowsEnvironmentVariable)
+{
+    const char *old = std::getenv("PERCON_TRACE_SNAPSHOT");
+    std::string saved = old ? old : "";
+
+    unsetenv("PERCON_TRACE_SNAPSHOT");
+    EXPECT_TRUE(traceSnapshotDefault());
+    setenv("PERCON_TRACE_SNAPSHOT", "off", 1);
+    EXPECT_FALSE(traceSnapshotDefault());
+    setenv("PERCON_TRACE_SNAPSHOT", "0", 1);
+    EXPECT_FALSE(traceSnapshotDefault());
+    setenv("PERCON_TRACE_SNAPSHOT", "on", 1);
+    EXPECT_TRUE(traceSnapshotDefault());
+    setenv("PERCON_TRACE_SNAPSHOT", "garbage", 1);
+    EXPECT_TRUE(traceSnapshotDefault()) << "unknown keeps default";
+
+    if (old)
+        setenv("PERCON_TRACE_SNAPSHOT", saved.c_str(), 1);
+    else
+        unsetenv("PERCON_TRACE_SNAPSHOT");
+}
+
+} // namespace
+} // namespace percon

@@ -1,13 +1,100 @@
 /**
  * @file
- * Tests for the wrong-path uop synthesizer.
+ * Tests for the wrong-path uop synthesizer, including a fuzz lock of
+ * the block-buffered implementation against a straight-line per-uop
+ * reference: redirect() at arbitrary block offsets must rewind the
+ * generator state exactly, so both emit bit-identical streams.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "trace/address_model.hh"
 #include "trace/wrongpath.hh"
 
 using namespace percon;
+
+namespace {
+
+/**
+ * The pre-arena algorithm, reimplemented independently: one uop per
+ * call, every RNG draw made at consumption time. The production
+ * synthesizer pre-generates blocks into scratch and rewinds on
+ * redirect; equality with this reference proves the buffering is
+ * unobservable.
+ */
+class ReferenceWrongPath
+{
+  public:
+    ReferenceWrongPath(const ProgramParams &params, std::uint64_t seed)
+        : params_(params), rng_(seed, "wrongpath"),
+          addrModel_(params.addr, seed ^ 0x77ff),
+          addrRng_(seed, "wp-addr")
+    {
+    }
+
+    void
+    redirect(Addr wrong_target)
+    {
+        pc_ = wrong_target;
+        sinceBranch_ = 0;
+    }
+
+    MicroOp
+    next()
+    {
+        MicroOp u;
+        u.pc = pc_;
+        pc_ += 4;
+        ++sinceBranch_;
+
+        double branch_prob = 1.0 / params_.uopsPerBranch;
+        if (sinceBranch_ >= 2 && rng_.nextBernoulli(branch_prob)) {
+            u.cls = UopClass::Branch;
+            u.taken = rng_.nextBernoulli(0.5);
+            u.target = u.pc + 64 + (rng_.nextBelow(16) << 6);
+            sinceBranch_ = 0;
+            return u;
+        }
+
+        double r = rng_.nextDouble();
+        const UopMix &m = params_.uopMix;
+        if (r < m.load)
+            u.cls = UopClass::Load;
+        else if (r < m.load + m.store)
+            u.cls = UopClass::Store;
+        else if (r < m.load + m.store + m.intAlu)
+            u.cls = UopClass::IntAlu;
+        else if (r < m.load + m.store + m.intAlu + m.intMul)
+            u.cls = UopClass::IntMul;
+        else
+            u.cls = UopClass::FpAlu;
+
+        for (int s = 0; s < 2; ++s) {
+            if (rng_.nextBernoulli(params_.depProb)) {
+                double p = 1.0 / params_.depMeanDist;
+                std::uint64_t d = 1 + rng_.nextGeometric(p);
+                u.srcDist[s] = static_cast<std::uint16_t>(
+                    std::min<std::uint64_t>(d, 64));
+            }
+        }
+        if (u.cls == UopClass::Load || u.cls == UopClass::Store)
+            u.memAddr = addrModel_.next(addrRng_);
+        return u;
+    }
+
+  private:
+    ProgramParams params_;
+    Rng rng_;
+    AddressModel addrModel_;
+    Rng addrRng_;
+    Addr pc_ = 0;
+    unsigned sinceBranch_ = 0;
+};
+
+} // namespace
 
 TEST(WrongPath, Deterministic)
 {
@@ -60,6 +147,47 @@ TEST(WrongPath, MemOpsHaveAddresses)
         }
     }
     EXPECT_GT(mem_ops, 2000);
+}
+
+TEST(WrongPath, BlockSynthesisMatchesPerUopReference)
+{
+    // Fuzz redirects at arbitrary offsets into the 32-uop scratch
+    // block (including 0, mid-block, and exact multiples) and demand
+    // bit-identical streams from the buffered and per-uop paths.
+    ProgramParams variants[3];
+    variants[1].uopsPerBranch = 3.0;
+    variants[1].depProb = 0.8;
+    variants[2].uopsPerBranch = 23.0;
+    variants[2].depProb = 0.05;
+
+    for (int v = 0; v < 3; ++v) {
+        const ProgramParams &p = variants[v];
+        WrongPathSynthesizer block(p, 0xf00d + v);
+        ReferenceWrongPath ref(p, 0xf00d + v);
+        Rng fuzz(0x5eed + v, "wp-fuzz");
+        Addr target = 0x4000;
+        for (int round = 0; round < 500; ++round) {
+            block.redirect(target);
+            ref.redirect(target);
+            unsigned run = static_cast<unsigned>(fuzz.nextBelow(100));
+            for (unsigned i = 0; i < run; ++i) {
+                MicroOp a = block.next(), b = ref.next();
+                ASSERT_EQ(a.pc, b.pc) << "v" << v << " r" << round;
+                ASSERT_EQ(a.cls, b.cls) << "v" << v << " r" << round;
+                ASSERT_EQ(a.taken, b.taken)
+                    << "v" << v << " r" << round;
+                ASSERT_EQ(a.target, b.target)
+                    << "v" << v << " r" << round;
+                ASSERT_EQ(a.memAddr, b.memAddr)
+                    << "v" << v << " r" << round;
+                ASSERT_EQ(a.srcDist[0], b.srcDist[0])
+                    << "v" << v << " r" << round;
+                ASSERT_EQ(a.srcDist[1], b.srcDist[1])
+                    << "v" << v << " r" << round;
+            }
+            target += 0x40 + fuzz.nextBelow(1u << 12) * 4;
+        }
+    }
 }
 
 TEST(WrongPath, SeparateFromProgramAddresses)

@@ -25,6 +25,7 @@
 #include "confidence/factory.hh"
 #include "trace/benchmarks.hh"
 #include "trace/program_model.hh"
+#include "trace/trace_snapshot.hh"
 #include "trace/wrongpath.hh"
 #include "uarch/core.hh"
 
@@ -179,20 +180,30 @@ policyFor(const std::string &name)
 }
 
 CoreStats
-runConfig(const GoldenRow &row, bool skip)
+runConfig(const GoldenRow &row, bool skip, bool replay = false)
 {
     const BenchmarkSpec &spec = benchmarkSpec(row.bench);
-    ProgramModel program(spec.program);
+    PipelineConfig cfg = std::string(row.machine) == "deep40x4"
+                             ? PipelineConfig::deep40x4()
+                             : PipelineConfig::wide20x8();
+    std::unique_ptr<WorkloadSource> source;
+    if (replay) {
+        Count slack = cfg.robSize +
+                      static_cast<Count>(cfg.frontEndDepth + 2) *
+                          cfg.width;
+        source = std::make_unique<SnapshotCursor>(
+            TraceSnapshot::build(spec.program,
+                                 20'000 + 60'000 + slack));
+    } else {
+        source = std::make_unique<ProgramModel>(spec.program);
+    }
     WrongPathSynthesizer wp(spec.program, spec.program.seed ^ 0xdead);
     auto pred = makePredictor("bimodal-gshare");
     SpeculationControl sc = policyFor(row.policy);
     std::unique_ptr<ConfidenceEstimator> est;
     if (sc.gateThreshold > 0 || sc.reversalEnabled)
         est = makeEstimator("perceptron-cic");
-    PipelineConfig cfg = std::string(row.machine) == "deep40x4"
-                             ? PipelineConfig::deep40x4()
-                             : PipelineConfig::wide20x8();
-    Core core(cfg, program, wp, *pred, est.get(), sc);
+    Core core(cfg, *source, wp, *pred, est.get(), sc);
     core.setCycleSkipping(skip);
     core.warmup(20'000);
     core.run(60'000);
@@ -293,6 +304,16 @@ TEST_P(GoldenStats, ScalarKernelMatchesSeedImplementation)
     CoreStats s = runConfig(row, /*skip=*/true);
     kernel::resetPath();
     expectMatchesGolden(s, row);
+}
+
+TEST_P(GoldenStats, SnapshotReplayMatchesSeedImplementation)
+{
+    // Same golden counters with the core fed from a SnapshotCursor
+    // instead of the live generator: replay is bit-identical to
+    // generation across the full 18-config matrix.
+    const GoldenRow &row = GetParam();
+    expectMatchesGolden(runConfig(row, /*skip=*/true, /*replay=*/true),
+                        row);
 }
 
 TEST_P(GoldenStats, SkippingIsBitIdenticalToCycleStepping)

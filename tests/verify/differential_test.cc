@@ -33,6 +33,38 @@ TEST_P(Differential, OracleAndCoreAgreeOnRandomPoints)
 INSTANTIATE_TEST_SUITE_P(RandomPoints, Differential,
                          ::testing::Range(0, 200));
 
+class ReplayIdentity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ReplayIdentity, SnapshotReplayIsByteIdenticalToLiveGeneration)
+{
+    // The same random point run twice through the production stack —
+    // once fed by a live ProgramModel, once by a SnapshotCursor —
+    // must agree on every one of the 26 CoreStats counters and the
+    // confusion matrix; both runs must also stay oracle-identical
+    // and auditor-clean (the replay run exercises the
+    // replay-conservation invariant).
+    DiffCase c =
+        randomCase(0x5a9d0000ull + static_cast<unsigned>(GetParam()));
+    c.traceSnapshot = false;
+    DiffResult live = runDifferential(c);
+    c.traceSnapshot = true;
+    DiffResult replay = runDifferential(c);
+
+    EXPECT_TRUE(live.clean()) << c.name << " live: " << live.summary();
+    EXPECT_TRUE(replay.clean())
+        << c.name << " replay: " << replay.summary();
+    std::vector<FieldDiff> d = diffStats(live.core, replay.core);
+    EXPECT_TRUE(d.empty())
+        << c.name << ": replay diverges from live generation on "
+        << d.size() << " field(s), first: "
+        << (d.empty() ? "" : d.front().field);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPoints, ReplayIdentity,
+                         ::testing::Range(0, 60));
+
 TEST(DifferentialEdge, EdgeProgramsAgree)
 {
     for (const DiffCase &c : edgeCases()) {

@@ -15,6 +15,7 @@
 #include "confidence/factory.hh"
 #include "trace/benchmarks.hh"
 #include "trace/program_model.hh"
+#include "trace/trace_snapshot.hh"
 #include "trace/wrongpath.hh"
 #include "uarch/core.hh"
 #include "verify/invariant_auditor.hh"
@@ -222,6 +223,86 @@ TEST(AuditorUnit, StallBoundViolationFires)
         if (v.invariant == "fetch-stall-bound")
             found = true;
     EXPECT_TRUE(found) << auditor.report().summary();
+}
+
+TEST(AuditorReplay, CleanOnSnapshotReplayAcrossStatsReset)
+{
+    // Feed a core from a SnapshotCursor with the auditor attached:
+    // the replay-conservation invariant (correct-path fetches ==
+    // cursor-consumed entries) must hold through warmup's stats
+    // reset and the measured run.
+    const MatrixConfig row = {"gcc", "deep40x4", "gate2"};
+    const BenchmarkSpec &spec = benchmarkSpec(row.bench);
+    PipelineConfig cfg = PipelineConfig::deep40x4();
+    Count slack =
+        cfg.robSize +
+        static_cast<Count>(cfg.frontEndDepth + 2) * cfg.width;
+    SnapshotCursor cursor(
+        TraceSnapshot::build(spec.program, 20'000 + 60'000 + slack));
+    WrongPathSynthesizer wp(spec.program, spec.program.seed ^ 0xdead);
+    auto pred = makePredictor("bimodal-gshare");
+    SpeculationControl sc = policyFor(row.policy);
+    auto est = makeEstimator("perceptron-cic");
+    Core core(cfg, cursor, wp, *pred, est.get(), sc);
+    InvariantAuditor auditor;
+    core.setAuditor(&auditor);
+    core.warmup(20'000);
+    core.run(60'000);
+    const AuditReport &rep = auditor.report();
+    EXPECT_TRUE(rep.clean()) << rep.summary();
+    EXPECT_GT(rep.checksRun, 0u);
+    EXPECT_EQ(cursor.tailUops(), 0u)
+        << "snapshot was sized to cover the run";
+}
+
+TEST(AuditorUnit, ReplayConservationViolationFires)
+{
+    InvariantAuditor auditor;
+    CoreStats s;
+    s.cycles = 8;
+    AuditContext reset;
+    reset.stats = &s;
+    reset.workloadReplay = true;
+    reset.workloadConsumed = 100;
+    auditor.onStatsReset(reset);
+
+    // 10 correct-path fetches but the cursor allegedly moved 12.
+    s.fetchedUops = 10;
+    AuditContext ctx;
+    ctx.stats = &s;
+    ctx.workloadReplay = true;
+    ctx.workloadConsumed = 112;
+    auditor.onCheck(ctx);
+    bool found = false;
+    for (const AuditViolation &v : auditor.report().violations)
+        if (v.invariant == "replay-conservation")
+            found = true;
+    EXPECT_TRUE(found) << auditor.report().summary();
+}
+
+TEST(AuditorUnit, ReplayConservationBaselinesLazilyMidRun)
+{
+    // An auditor attached mid-run (no onStatsReset seen) must adopt
+    // the first checkpoint as its baseline instead of firing.
+    InvariantAuditor auditor;
+    CoreStats s;
+    s.cycles = 5;
+    s.fetchedUops = 40;
+    s.wrongPathFetched = 15;
+    AuditContext ctx;
+    ctx.stats = &s;
+    ctx.workloadReplay = true;
+    ctx.workloadConsumed = 1'025;  // arbitrary prior history
+    auditor.onCheck(ctx);
+
+    // Advance coherently: +10 correct-path fetches, +10 consumed.
+    s.fetchedUops = 52;
+    s.wrongPathFetched = 17;
+    ctx.workloadConsumed = 1'035;
+    auditor.onCheck(ctx);
+    for (const AuditViolation &v : auditor.report().violations)
+        EXPECT_NE(v.invariant, std::string("replay-conservation"))
+            << auditor.report().summary();
 }
 
 TEST(AuditorUnit, ViolationRecordingIsCapped)

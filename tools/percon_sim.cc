@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,8 +40,10 @@
 #include "confidence/perceptron_conf.hh"
 #include "core/timing_sim.hh"
 #include "driver/jsonl.hh"
+#include "driver/snapshot_cache.hh"
 #include "driver/sweep_runner.hh"
 #include "trace/trace_io.hh"
+#include "trace/trace_snapshot.hh"
 #include "uarch/smt_core.hh"
 #include "uarch/energy.hh"
 #include "verify/differential.hh"
@@ -68,6 +71,9 @@ struct Options
     bool energy = false;
     bool audit = false;       ///< attach the invariant auditor
     bool oracleDiff = false;  ///< differential run vs. OracleCore
+    /** Replay the correct path from an immutable snapshot (see
+     *  trace/trace_snapshot.hh); off = legacy live generation. */
+    bool traceSnapshot = traceSnapshotDefault();
     std::string smtWith;  ///< co-runner benchmark; empty = single-thread
 
     unsigned jobs = 1;    ///< sweep-mode worker threads
@@ -105,6 +111,12 @@ usage()
         "                      diff every statistic (exit 1 on any\n"
         "                      divergence or audit violation)\n"
         "  --energy            print the energy report too\n"
+        "  --trace-snapshot on|off\n"
+        "                      replay the correct path from a shared\n"
+        "                      immutable snapshot (default on; also\n"
+        "                      PERCON_TRACE_SNAPSHOT). Bit-identical\n"
+        "                      stats either way; on is faster and\n"
+        "                      lets sweep points share one trace\n"
         "  --smt BENCH         co-run BENCH on a 2nd SMT thread\n"
         "  --sweep K=A,B,...   sweep option K over the listed values\n"
         "                      (repeatable; cross product; keys:\n"
@@ -165,6 +177,15 @@ parse(int argc, char **argv)
             o.audit = true;
         else if (arg == "--oracle-diff")
             o.oracleDiff = true;
+        else if (arg == "--trace-snapshot") {
+            std::string v = value();
+            if (v == "on")
+                o.traceSnapshot = true;
+            else if (v == "off")
+                o.traceSnapshot = false;
+            else
+                usage();
+        }
         else if (arg == "--smt")
             o.smtWith = value();
         else if (arg == "--energy")
@@ -308,6 +329,7 @@ runSweep(const Options &base)
         t.measureUops = o.uops;
         t.warmupUops = o.uops / 3;
         t.audit = o.audit;
+        t.traceSnapshot = o.traceSnapshot;
         points.push_back(timingPoint(std::move(key),
                                      machineFor(o.machine),
                                      estimatorFactory(o), sc, t));
@@ -328,8 +350,50 @@ done:;
 
     std::printf("sweep: %zu design points, %u jobs\n\n", points.size(),
                 base.jobs);
+    SnapshotCache::Counters snap_before =
+        SnapshotCache::global().counters();
     SweepRunner runner(base.jobs);
     std::vector<RunRecord> recs = runner.run(points);
+
+    if (base.traceSnapshot) {
+        // Every JSONL row carries a deterministic hit/miss label
+        // derived from the sweep's input order; the shared cache
+        // counted the actual run-time lookups. In a fresh process
+        // running one sweep the two views must agree exactly — a
+        // mismatch means the cache built a snapshot twice or a run
+        // bypassed it.
+        SnapshotCache::Counters c = SnapshotCache::global().counters();
+        Count row_hits = 0, row_misses = 0;
+        for (const RunRecord &rec : recs) {
+            if (rec.snapshot == "hit")
+                ++row_hits;
+            else if (rec.snapshot == "miss")
+                ++row_misses;
+        }
+        PERCON_ASSERT(c.hits - snap_before.hits == row_hits &&
+                          c.misses - snap_before.misses == row_misses,
+                      "snapshot cache accounting: rows say "
+                      "%llu hits + %llu misses, cache counted "
+                      "%llu + %llu",
+                      static_cast<unsigned long long>(row_hits),
+                      static_cast<unsigned long long>(row_misses),
+                      static_cast<unsigned long long>(
+                          c.hits - snap_before.hits),
+                      static_cast<unsigned long long>(
+                          c.misses - snap_before.misses));
+        std::printf("trace snapshots: %llu built "
+                    "(%.1f Muops, %.1f MiB, %.2f s), %llu replay "
+                    "hits\n\n",
+                    static_cast<unsigned long long>(row_misses),
+                    static_cast<double>(c.builtUops -
+                                        snap_before.builtUops) /
+                        1e6,
+                    static_cast<double>(c.builtBytes -
+                                        snap_before.builtBytes) /
+                        (1024.0 * 1024.0),
+                    c.buildSeconds - snap_before.buildSeconds,
+                    static_cast<unsigned long long>(row_hits));
+    }
 
     if (!base.jsonl.empty()) {
         JsonlWriter writer(base.jsonl);
@@ -409,6 +473,7 @@ main(int argc, char **argv)
         dc.warmupUops = o.uops / 3;
         dc.measureUops = o.uops;
         dc.wrongPathSeed = spec.program.seed ^ 0xdead;
+        dc.traceSnapshot = o.traceSnapshot;
         DiffResult r = runDifferential(dc);
         std::printf("oracle-diff %s (%s, %llu uops): %s\n",
                     o.bench.c_str(), o.machine.c_str(),
@@ -423,12 +488,31 @@ main(int argc, char **argv)
 
     if (!o.smtWith.empty()) {
         const BenchmarkSpec &spec_b = benchmarkSpec(o.smtWith);
-        ProgramModel prog_a(spec.program);
-        ProgramModel prog_b(spec_b.program);
         WrongPathSynthesizer wp_b(spec_b.program,
                                   spec_b.program.seed ^ 0xbeef);
-        SmtCore core(machine, {{{&prog_a, &wrong_path},
-                                {&prog_b, &wp_b}}},
+        // Snapshot replay: both threads pull from the shared cache,
+        // so co-running a benchmark with itself shares one trace.
+        // SmtCore runs until the *slower* thread reaches its goal, so
+        // the faster thread can overshoot well past the single-core
+        // slack; size for a 2x imbalance and let the cursor's
+        // live-tail fallback absorb anything beyond that.
+        std::unique_ptr<WorkloadSource> src_a, src_b;
+        if (o.traceSnapshot) {
+            TimingConfig snap_t;
+            snap_t.measureUops = o.uops * 2;
+            snap_t.warmupUops = o.uops / 3;
+            Count len = snapshotLengthFor(machine, snap_t);
+            SnapshotCache &cache = SnapshotCache::global();
+            src_a = std::make_unique<SnapshotCursor>(
+                cache.get(spec.program, len));
+            src_b = std::make_unique<SnapshotCursor>(
+                cache.get(spec_b.program, len));
+        } else {
+            src_a = std::make_unique<ProgramModel>(spec.program);
+            src_b = std::make_unique<ProgramModel>(spec_b.program);
+        }
+        SmtCore core(machine, {{{src_a.get(), &wrong_path},
+                                {src_b.get(), &wp_b}}},
                      *predictor, estimator.get(), sc);
         std::array<InvariantAuditor, SmtCore::kThreads> auditors;
         if (o.audit)
@@ -464,18 +548,40 @@ main(int argc, char **argv)
     }
 
     std::unique_ptr<WorkloadSource> source;
-    if (!o.trace.empty())
+    SnapshotCursor *cursor = nullptr;
+    double snap_build_s = 0.0;
+    if (!o.trace.empty()) {
+        // A .pctr file is already a replayed trace; the snapshot
+        // layer only applies to calibrated generator workloads.
         source = std::make_unique<TraceReader>(o.trace);
-    else
+    } else if (o.traceSnapshot) {
+        TimingConfig snap_t;
+        snap_t.measureUops = o.uops;
+        snap_t.warmupUops = o.uops / 3;
+        auto t0 = std::chrono::steady_clock::now();
+        auto snap = TraceSnapshot::build(
+            spec.program, snapshotLengthFor(machine, snap_t));
+        snap_build_s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+        auto c = std::make_unique<SnapshotCursor>(std::move(snap));
+        cursor = c.get();
+        source = std::move(c);
+    } else {
         source = std::make_unique<ProgramModel>(spec.program);
+    }
 
     Core core(machine, *source, wrong_path, *predictor,
               estimator.get(), sc);
     InvariantAuditor auditor;
     if (o.audit)
         core.setAuditor(&auditor);
+    auto sim0 = std::chrono::steady_clock::now();
     core.warmup(o.uops / 3);
     core.run(o.uops);
+    double sim_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - sim0)
+                       .count();
 
     const CoreStats &s = core.stats();
     std::printf("workload            : %s\n",
@@ -487,6 +593,18 @@ main(int argc, char **argv)
     std::printf("estimator           : %s\n",
                 estimator ? estimator->name()
                           : (o.oracle ? "oracle" : "none"));
+    if (cursor) {
+        std::printf("trace snapshot      : on (build %.3f s, replay "
+                    "%.3f s, %.1f MiB packed%s)\n",
+                    snap_build_s, sim_s,
+                    static_cast<double>(
+                        cursor->snapshot().memoryBytes()) /
+                        (1024.0 * 1024.0),
+                    cursor->tailUops() ? ", tail fallback hit" : "");
+    } else if (o.trace.empty()) {
+        std::printf("trace snapshot      : off (live generation, "
+                    "%.3f s)\n", sim_s);
+    }
     std::printf("cycles              : %llu\n",
                 static_cast<unsigned long long>(s.cycles));
     std::printf("IPC                 : %.3f\n", s.ipc());
