@@ -3,7 +3,7 @@
 # -Werror and a sanitizer preset, build everything, and run ctest.
 # This is the entry point a CI workflow calls.
 #
-#   scripts/check.sh [asan|tsan|none|audit]
+#   scripts/check.sh [asan|tsan|none|audit|engine]
 #
 # Presets:
 #   asan  (default)  AddressSanitizer + UndefinedBehaviorSanitizer
@@ -13,6 +13,12 @@
 #                    (ctest -L verify: differential oracle + invariant
 #                    auditor); skips the bench gate and scalar pass.
 #                    The fast gate to run after touching the core.
+#   engine           ASan build, then the pipeline-unification gate:
+#                    both golden-stats matrices (single-thread + SMT)
+#                    and the engine parity tests, plus the
+#                    verification suite with snapshot replay on and
+#                    off. The gate to run after touching
+#                    PipelineEngine or its Core/SmtCore shells.
 #
 # The build directory is build-check-<preset>; override with
 # BUILD_DIR. Extra ctest arguments can be passed via CTEST_ARGS.
@@ -21,7 +27,7 @@ cd "$(dirname "$0")/.."
 
 PRESET="${1:-asan}"
 case "$PRESET" in
-  asan|audit)
+  asan|audit|engine)
     SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
     ;;
   tsan)
@@ -31,7 +37,7 @@ case "$PRESET" in
     SAN_FLAGS=""
     ;;
   *)
-    echo "usage: scripts/check.sh [asan|tsan|none|audit]" >&2
+    echo "usage: scripts/check.sh [asan|tsan|none|audit|engine]" >&2
     exit 1
     ;;
 esac
@@ -57,6 +63,32 @@ if [ "$PRESET" = "audit" ]; then
         -L verify ${CTEST_ARGS:-}
     echo "check.sh: audit preset passed (verify label under asan," \
          "snapshots on + off)"
+    exit 0
+fi
+
+if [ "$PRESET" = "engine" ]; then
+    # Pipeline-unification gate: the bit-identity locks (both
+    # golden-stats matrices) and the Core/engine parity + cursor
+    # detection tests, then the verification suite with snapshot
+    # replay on and off. The golden tests build their workloads
+    # directly, so PERCON_TRACE_SNAPSHOT only matters for the verify
+    # label. Tests are registered per gtest case, so the gate matches
+    # suite names (and --no-tests=error guards against the patterns
+    # rotting).
+    GATE_RE='GoldenStats|EngineCoreParity|EngineSmtCoverage'
+    GATE_RE="$GATE_RE|EngineCursorDetection"
+    ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+        --no-tests=error -R "$GATE_RE" ${CTEST_ARGS:-}
+    ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+        --no-tests=error -L verify ${CTEST_ARGS:-}
+    PERCON_TRACE_SNAPSHOT=off \
+        ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+        --no-tests=error -L verify ${CTEST_ARGS:-}
+    echo "check.sh: engine preset passed (golden matrices + parity" \
+         "tests, verify label with snapshots on + off)"
     exit 0
 fi
 

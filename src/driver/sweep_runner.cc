@@ -77,7 +77,7 @@ SweepPoint
 makePoint(RunKey key, RunFn fn)
 {
     std::uint64_t seed = key.seed();
-    return SweepPoint{std::move(key), seed, std::move(fn)};
+    return SweepPoint{std::move(key), seed, std::move(fn), {}};
 }
 
 SweepPoint

@@ -33,6 +33,11 @@ struct AuditContext
     unsigned gateThreshold = 0;
     bool hasEstimator = false;
 
+    /** This thread's fetch-stall deadlines by cause (trace-cache
+     *  fill, BTB bubble); fetch resumes at the max of the two. */
+    Cycle tcStallUntil = 0;
+    Cycle btbStallUntil = 0;
+
     /** True when the correct path replays from a trace snapshot
      *  (workload is a SnapshotCursor). */
     bool workloadReplay = false;

@@ -1,581 +1,14 @@
 #include "core.hh"
 
-#include <algorithm>
-
-#include "common/logging.hh"
-#include "trace/trace_snapshot.hh"
-
 namespace percon {
-
-AuditContext
-Core::auditContext() const
-{
-    AuditContext ctx{&stats_,
-                     &window_,
-                     gateCount_,
-                     now_,
-                     spec_.gateThreshold,
-                     estimator_ != nullptr};
-    if (snapCursor_) {
-        ctx.workloadReplay = true;
-        ctx.workloadConsumed = snapCursor_->consumed();
-    }
-    return ctx;
-}
 
 Core::Core(const PipelineConfig &config, WorkloadSource &workload,
            WrongPathSynthesizer &wrong_path, BranchPredictor &predictor,
            ConfidenceEstimator *estimator, const SpeculationControl &spec)
-    : config_(config), spec_(spec), workload_(workload),
-      snapCursor_(dynamic_cast<SnapshotCursor *>(&workload)),
-      wrongPath_(wrong_path), predictor_(predictor),
-      estimator_(estimator), mem_(config.mem), exec_(config_, mem_),
-      traceCache_(config.traceCache),
-      btb_(config.btbEntries, config.btbWays),
-      window_(config.robSize,
-              static_cast<std::size_t>(config.frontEndDepth) *
-                  config.width)
+    : PipelineEngine(config, {{&workload, &wrong_path}}, predictor,
+                     estimator, spec, FetchPolicy::RoundRobin,
+                     /*shared_structures=*/false)
 {
-    if ((spec_.gateThreshold > 0 && !spec_.oracleGating) ||
-        spec_.reversalEnabled) {
-        PERCON_ASSERT(estimator_ != nullptr,
-                      "gating/reversal require a confidence estimator");
-    }
-}
-
-void
-Core::applyPendingConfidence()
-{
-    while (!confQueue_.empty() && confQueue_.top().when <= now_) {
-        UopEvent ev = confQueue_.top();
-        confQueue_.pop();
-        InflightUop *u = window_.lookup(ev.h);
-        if (!u)
-            continue;  // flushed before the estimate arrived
-        PERCON_ASSERT(u->seq == ev.seq, "stale confidence handle");
-        if (!u->lowConfPending || u->resolvedForGate)
-            continue;  // resolved before the estimate arrived
-        u->lowConfPending = false;
-        u->lowConfCounted = true;
-        ++gateCount_;
-    }
-}
-
-void
-Core::resolveBranches()
-{
-    while (!resolveQueue_.empty() && resolveQueue_.top().when <= now_) {
-        UopEvent ev = resolveQueue_.top();
-        resolveQueue_.pop();
-        InflightUop *u = window_.lookup(ev.h);
-        if (!u)
-            continue;  // branch was flushed
-        PERCON_ASSERT(u->seq == ev.seq, "stale resolve handle");
-        PERCON_ASSERT(u->isBranch(), "non-branch in resolve queue");
-        if (u->resolvedForGate)
-            continue;
-        u->resolvedForGate = true;
-        if (u->lowConfCounted) {
-            PERCON_ASSERT(gateCount_ > 0, "gate counter underflow");
-            --gateCount_;
-            u->lowConfCounted = false;
-        }
-        u->lowConfPending = false;
-
-        if (u->causesRedirect)
-            flushAfter(*u);
-    }
-}
-
-void
-Core::flushAfter(const InflightUop &branch)
-{
-    ++stats_.flushes;
-
-    // Everything younger than the branch is wrong-path by
-    // construction; account its execution and unwind resources.
-    window_.flushYoungerThan(branch.seq, [this](InflightUop &u) {
-        if (u.dispatched) {
-            PERCON_ASSERT(u.wrongPath, "flushing a correct-path uop");
-            if (u.issueAt <= now_) {
-                ++stats_.executedUops;
-                ++stats_.wrongPathExecuted;
-            }
-            if (u.cls == UopClass::Load) {
-                PERCON_ASSERT(loadsInFlight_ > 0,
-                              "load buffer underflow");
-                --loadsInFlight_;
-            } else if (u.cls == UopClass::Store) {
-                PERCON_ASSERT(storesInFlight_ > 0,
-                              "store buffer underflow");
-                --storesInFlight_;
-            }
-        }
-        if (u.lowConfCounted) {
-            PERCON_ASSERT(gateCount_ > 0, "gate counter underflow");
-            --gateCount_;
-        }
-        if (auditor_)
-            auditor_->onSquash(u);
-    });
-
-    history_.recover(branch.ghrSnapshot, branch.actualTaken);
-    onWrongPath_ = false;
-}
-
-void
-Core::retire()
-{
-    for (unsigned n = 0; n < config_.width; ++n) {
-        if (window_.robEmpty())
-            return;
-        InflightUop &u = window_.robFront();
-        if (!u.dispatched ||
-            u.completeAt + config_.backEndDepth > now_)
-            return;
-        PERCON_ASSERT(!u.wrongPath,
-                      "wrong-path uop reached the ROB head");
-
-        ++stats_.retiredUops;
-        ++stats_.executedUops;
-
-        switch (u.cls) {
-          case UopClass::Load:
-            PERCON_ASSERT(loadsInFlight_ > 0, "load buffer underflow");
-            --loadsInFlight_;
-            break;
-          case UopClass::Store:
-            PERCON_ASSERT(storesInFlight_ > 0, "store buffer underflow");
-            --storesInFlight_;
-            // The write accesses the hierarchy at commit.
-            mem_.access(u.memAddr, now_, true);
-            break;
-          case UopClass::Branch: {
-            ++stats_.retiredBranches;
-            bool misp_orig = u.predTaken != u.actualTaken;
-            bool misp_final = u.finalPred != u.actualTaken;
-            if (misp_orig)
-                ++stats_.mispredictsOriginal;
-            if (misp_final)
-                ++stats_.mispredictsFinal;
-            if (u.reversed) {
-                ++stats_.reversals;
-                if (misp_orig)
-                    ++stats_.reversalsGood;
-                else
-                    ++stats_.reversalsBad;
-            }
-            predictor_.update(u.pc, u.ghrSnapshot, u.actualTaken,
-                              u.meta);
-            if (estimator_) {
-                stats_.confidence.record(misp_orig, u.conf.low);
-                estimator_->train(u.pc, u.ghrSnapshot, u.predTaken,
-                                  misp_orig, u.conf);
-            }
-            break;
-          }
-          default:
-            break;
-        }
-        if (auditor_)
-            auditor_->onRetire(u);
-        window_.popRetired();
-    }
-}
-
-Cycle
-Core::sourceReady(const InflightUop &uop) const
-{
-    const Cycle *ring = uop.wrongPath ? wpReady_ : corrReady_;
-    Cycle ready = 0;
-    for (unsigned s = 0; s < 2; ++s) {
-        std::uint16_t d = uop.srcDist[s];
-        if (d == 0 || d > uop.streamIdx || d >= kDepRing)
-            continue;
-        Cycle r = ring[(uop.streamIdx - d) % kDepRing];
-        if (r > ready)
-            ready = r;
-    }
-    return ready;
-}
-
-void
-Core::dispatch()
-{
-    for (unsigned n = 0; n < config_.width; ++n) {
-        if (window_.pipeEmpty() ||
-            window_.pipeFront().dispatchReadyAt > now_) {
-            ++stats_.dispatchStallEmpty;
-            return;
-        }
-        InflightUop &front = window_.pipeFront();
-        if (window_.robSize() >= config_.robSize) {
-            ++stats_.dispatchStallRob;
-            return;
-        }
-        if (!exec_.windowAvailable(schedClassFor(front.cls))) {
-            ++stats_.dispatchStallWindow;
-            return;
-        }
-        if ((front.cls == UopClass::Load &&
-             loadsInFlight_ >= config_.loadBuffers) ||
-            (front.cls == UopClass::Store &&
-             storesInFlight_ >= config_.storeBuffers)) {
-            ++stats_.dispatchStallBuffers;
-            return;
-        }
-
-        UopHandle h = window_.pipeFrontHandle();
-        InflightUop &u = window_.dispatchPipeFront();
-
-        exec_.dispatch(u, now_, sourceReady(u));
-        stats_.issueWaitSum += u.issueAt - now_;
-        if (u.cls == UopClass::Load) {
-            stats_.loadLatencySum += u.completeAt - u.issueAt;
-            ++stats_.loadCount;
-        }
-
-        Cycle *ring = u.wrongPath ? wpReady_ : corrReady_;
-        ring[u.streamIdx % kDepRing] = u.completeAt;
-
-        if (u.cls == UopClass::Load)
-            ++loadsInFlight_;
-        else if (u.cls == UopClass::Store)
-            ++storesInFlight_;
-
-        // Branch resolution lags execution by the back-end depth:
-        // the redirect has to travel from the execute stage back to
-        // fetch, which is the deep-pipe waste multiplier.
-        if (u.isBranch() && !u.resolvedForGate)
-            resolveQueue_.push({u.completeAt + config_.backEndDepth,
-                                u.seq, h});
-    }
-}
-
-bool
-Core::fetchOne()
-{
-    MicroOp mu;
-    if (onWrongPath_)
-        mu = wrongPath_.next();
-    else if (snapCursor_)
-        mu = snapCursor_->nextFast();
-    else
-        mu = workload_.next();
-
-    bool stall_after = false;
-    if (config_.traceCacheEnabled && !traceCache_.access(mu.pc)) {
-        // Build the missing line: fetch delivers this uop but stalls
-        // while the fill completes. (Fetch only runs once both stall
-        // deadlines have passed, so assignment is equivalent to max.)
-        ++stats_.traceCacheMisses;
-        tcStallUntil_ = now_ + config_.traceCacheMissPenalty;
-        stall_after = true;
-    }
-
-    auto [u, h] = window_.emplaceFetched();
-    u.seq = nextSeq_++;
-    u.pc = mu.pc;
-    u.cls = mu.cls;
-    u.srcDist[0] = mu.srcDist[0];
-    u.srcDist[1] = mu.srcDist[1];
-    u.memAddr = mu.memAddr;
-    u.wrongPath = onWrongPath_;
-    u.dispatchReadyAt = now_ + config_.frontEndDepth;
-    u.streamIdx = onWrongPath_ ? wpIdx_++ : corrIdx_++;
-
-    ++stats_.fetchedUops;
-    if (u.wrongPath)
-        ++stats_.wrongPathFetched;
-
-    bool conf_pending = false;
-    if (u.isBranch()) {
-        u.ghrSnapshot = history_.bits();
-        u.predTaken = predictor_.predict(u.pc, u.ghrSnapshot, u.meta);
-        if (estimator_)
-            u.conf = estimator_->estimate(u.pc, u.ghrSnapshot,
-                                          u.predTaken);
-
-        u.finalPred = u.predTaken;
-        if (spec_.reversalEnabled &&
-            u.conf.band == ConfidenceBand::StrongLow) {
-            u.finalPred = !u.predTaken;
-            u.reversed = true;
-        }
-
-        history_.push(u.finalPred);
-
-        // Redirecting fetch to the taken target needs the target:
-        // a BTB miss costs a decode bubble and fills the entry.
-        if (config_.btbEnabled && u.finalPred) {
-            if (!btb_.lookup(u.pc)) {
-                ++stats_.btbMisses;
-                Cycle until = now_ + config_.btbMissPenalty;
-                if (until > btbStallUntil_)
-                    btbStallUntil_ = until;
-                stall_after = true;
-                btb_.update(u.pc, mu.target);
-            }
-        }
-
-        if (!u.wrongPath) {
-            u.actualTaken = mu.taken;
-            u.causesRedirect = u.finalPred != u.actualTaken;
-            if (u.causesRedirect) {
-                onWrongPath_ = true;
-                wpIdx_ = 0;
-                // The machine follows finalPred; the stream it
-                // wrongly fetches starts at the not-actually-taken
-                // target or fall-through.
-                wrongPath_.redirect(u.finalPred ? mu.target
-                                                : mu.pc + 4);
-            }
-        } else {
-            u.actualTaken = u.finalPred;
-            u.causesRedirect = false;
-        }
-
-        bool gate_mark;
-        if (spec_.oracleGating) {
-            // Perfect confidence: flag exactly the redirect-causing
-            // branches (wrong-path branches are unknowable and never
-            // redirect, so they are never flagged).
-            gate_mark = spec_.gateThreshold > 0 && u.causesRedirect;
-        } else {
-            gate_mark = estimator_ && spec_.gateThreshold > 0 &&
-                        (spec_.reversalEnabled
-                             ? u.conf.band == ConfidenceBand::WeakLow
-                             : u.conf.low);
-        }
-        if (gate_mark) {
-            if (spec_.confidenceLatency == 0) {
-                u.lowConfCounted = true;
-                ++gateCount_;
-            } else {
-                u.lowConfPending = true;
-                u.confAppliesAt = now_ + spec_.confidenceLatency;
-                conf_pending = true;
-            }
-        }
-    }
-
-    if (conf_pending)
-        confQueue_.push({u.confAppliesAt, u.seq, h});
-    if (auditor_)
-        auditor_->onFetch(u);
-    return !stall_after;
-}
-
-void
-Core::fetch()
-{
-    if (window_.pipeFull()) {
-        ++stats_.fetchStallPipeFull;
-        return;
-    }
-
-    Cycle stall_until = std::max(tcStallUntil_, btbStallUntil_);
-    if (now_ < stall_until) {
-        // Attribute the stalled cycle to its cause; when a
-        // trace-cache fill and a BTB bubble overlap, the trace cache
-        // (the longer deadline still pending) takes priority.
-        if (now_ < tcStallUntil_)
-            ++stats_.traceCacheStallCycles;
-        else
-            ++stats_.btbStallCycles;
-        return;
-    }
-
-    unsigned width = config_.width;
-    if (spec_.gateThreshold > 0 && gateCount_ >= spec_.gateThreshold) {
-        ++stats_.gatedCycles;
-        if (spec_.throttleWidth == 0)
-            return;
-        width = std::min(width, spec_.throttleWidth);
-    }
-
-    for (unsigned n = 0; n < width && !window_.pipeFull(); ++n) {
-        if (!fetchOne())
-            break;
-    }
-}
-
-void
-Core::cycleOnce()
-{
-    ++now_;
-    ++stats_.cycles;
-    exec_.tick(now_);
-    applyPendingConfidence();
-    resolveBranches();
-    retire();
-    dispatch();
-    fetch();
-    if (auditor_)
-        auditor_->onCheck(auditContext());
-}
-
-Cycle
-Core::nextEventCycle() const
-{
-    Cycle stall_until = std::max(tcStallUntil_, btbStallUntil_);
-    bool pipe_full = window_.pipeFull();
-    bool gated_stall = spec_.gateThreshold > 0 &&
-                       gateCount_ >= spec_.gateThreshold &&
-                       spec_.throttleWidth == 0;
-
-    // Fast path: fetch can deliver uops next cycle, so there is
-    // nothing to skip. This is the common case in busy phases.
-    if (!pipe_full && now_ + 1 >= stall_until && !gated_stall)
-        return now_ + 1;
-
-    Cycle next = kNoEvent;
-    auto consider = [&](Cycle c) {
-        c = std::max(c, now_ + 1);
-        if (c < next)
-            next = c;
-    };
-
-    // Timed queue events must land exactly: they mutate uop state
-    // (resolution, flushes, delayed gate marks).
-    if (!resolveQueue_.empty())
-        consider(resolveQueue_.top().when);
-    if (!confQueue_.empty())
-        consider(confQueue_.top().when);
-
-    // Retire eligibility of the ROB head.
-    if (!window_.robEmpty()) {
-        const InflightUop &head = window_.robFront();
-        if (head.dispatched)
-            consider(head.completeAt + config_.backEndDepth);
-    }
-
-    // Dispatch progress. ROB and load/store-buffer pressure can only
-    // clear at a retire or flush, which the candidates above already
-    // cover; a full scheduler window clears at the next entry
-    // release, and an idle front end at the head's ready cycle.
-    if (!window_.pipeEmpty()) {
-        const InflightUop &front = window_.pipeFront();
-        bool rob_full = window_.robSize() >= config_.robSize;
-        bool buffers_full =
-            (front.cls == UopClass::Load &&
-             loadsInFlight_ >= config_.loadBuffers) ||
-            (front.cls == UopClass::Store &&
-             storesInFlight_ >= config_.storeBuffers);
-        if (!rob_full) {
-            if (!exec_.windowAvailable(schedClassFor(front.cls)))
-                consider(exec_.nextWindowRelease());
-            else if (!buffers_full)
-                consider(front.dispatchReadyAt);
-        }
-    }
-
-    // Fetch-stall expiry (a full pipe or a gated front end clears
-    // only at the events already considered above).
-    if (!pipe_full && now_ + 1 < stall_until)
-        consider(stall_until);
-
-    return next;
-}
-
-void
-Core::fastForward(Cycle skipped)
-{
-    Cycle begin = now_ + 1;  // first skipped cycle
-
-    // Deliberate off-by-one in the bulk stall replay, enabled only by
-    // the differential harness's negative test: one skipped cycle
-    // loses its dispatch-stall attribution, exactly the class of bug
-    // an event-skipping refactor could introduce silently.
-    Cycle replay_skipped = testFfDefect_ && skipped > 0
-                               ? skipped - 1
-                               : skipped;
-
-    // Every skipped cycle would have run the no-progress paths of
-    // dispatch() and fetch(); replay their per-cycle stall
-    // accounting in bulk so CoreStats stay bit-identical to the
-    // cycle-stepped run. All machine state is constant over the
-    // span by construction, so only the time comparisons vary.
-    if (window_.pipeEmpty()) {
-        stats_.dispatchStallEmpty += replay_skipped;
-    } else {
-        const InflightUop &front = window_.pipeFront();
-        Cycle not_ready =
-            front.dispatchReadyAt > begin
-                ? std::min<Cycle>(replay_skipped,
-                                  front.dispatchReadyAt - begin)
-                : 0;
-        stats_.dispatchStallEmpty += not_ready;
-        Cycle blocked = replay_skipped - not_ready;
-        if (blocked > 0) {
-            if (window_.robSize() >= config_.robSize)
-                stats_.dispatchStallRob += blocked;
-            else if (!exec_.windowAvailable(
-                         schedClassFor(front.cls)))
-                stats_.dispatchStallWindow += blocked;
-            else
-                stats_.dispatchStallBuffers += blocked;
-        }
-    }
-
-    if (window_.pipeFull()) {
-        stats_.fetchStallPipeFull += skipped;
-    } else if (begin < std::max(tcStallUntil_, btbStallUntil_)) {
-        Cycle tc = tcStallUntil_ > begin
-                       ? std::min<Cycle>(skipped, tcStallUntil_ - begin)
-                       : 0;
-        stats_.traceCacheStallCycles += tc;
-        stats_.btbStallCycles += skipped - tc;
-    } else {
-        PERCON_ASSERT(spec_.gateThreshold > 0 &&
-                          gateCount_ >= spec_.gateThreshold &&
-                          spec_.throttleWidth == 0,
-                      "fast-forward with an unblocked front end");
-        stats_.gatedCycles += skipped;
-    }
-
-    now_ += skipped;
-    stats_.cycles += skipped;
-}
-
-void
-Core::run(Count target_retired)
-{
-    Count goal = stats_.retiredUops + target_retired;
-    Count last_retired = stats_.retiredUops;
-    Count idle_iters = 0;
-    while (stats_.retiredUops < goal) {
-        cycleOnce();
-        if (stats_.retiredUops != last_retired) {
-            last_retired = stats_.retiredUops;
-            idle_iters = 0;
-        } else if (++idle_iters > 500000) {
-            // Counts event-loop iterations (= active, non-skipped
-            // cycles), not raw now_ delta: a legitimate fast-forward
-            // through a long memory stall must not trip this.
-            panic("core deadlock: no retirement in 500k active cycles "
-                  "(gate=%u rob=%zu pipe=%zu)",
-                  gateCount_, window_.robSize(), window_.pipeSize());
-        }
-        if (skipIdleCycles_ && stats_.retiredUops < goal) {
-            Cycle next = nextEventCycle();
-            if (next == kNoEvent) {
-                panic("core deadlock: no schedulable event "
-                      "(gate=%u rob=%zu pipe=%zu)",
-                      gateCount_, window_.robSize(),
-                      window_.pipeSize());
-            }
-            if (next > now_ + 1)
-                fastForward(next - now_ - 1);
-        }
-    }
-}
-
-void
-Core::warmup(Count uops)
-{
-    run(uops);
-    resetStats();
 }
 
 } // namespace percon

@@ -1,84 +1,30 @@
 /**
  * @file
- * The out-of-order core model.
+ * The single-thread out-of-order core model.
  *
- * A cycle-stepped loop over fetch, dispatch, branch resolution and
- * retirement, with execution times computed analytically by the
- * ExecModel (see exec_model.hh). The model executes the full wrong
- * path: after a (post-reversal) mispredicted branch is fetched, the
- * front end streams uops from the WrongPathSynthesizer; they occupy
- * real resources, execute, pollute/prefetch the caches, and die when
- * the branch resolves, at which point the speculative history is
- * recovered from the branch's checkpoint and the correct path
- * resumes after the front-end refill delay.
+ * Core is a one-thread configuration shell over the unified
+ * PipelineEngine (pipeline_engine.hh), which owns the machine model:
+ * the fetch/dispatch/resolve/retire loop, full wrong-path execution,
+ * pipeline gating (Figure 1), branch reversal (§5.5), and the
+ * event-driven cycle skipping whose CoreStats are bit-identical to
+ * the cycle-stepped run — see tests/uarch/core_golden_stats_test.cc,
+ * which pins every counter against the pre-optimization
+ * implementation.
  *
- * Pipeline gating (Figure 1): every fetched conditional branch is
- * classified by the confidence estimator; low-confidence branches
- * increment a counter (optionally confidenceLatency cycles after
- * fetch, §5.4.2) and decrement it when they resolve or are flushed.
- * Fetch stalls while the counter is at or above the gate threshold.
- *
- * Branch reversal (§5.5): StrongLow-band branches have their
- * predicted direction inverted at fetch.
- *
- * Simulator throughput: run() is event-driven. After each simulated
- * cycle the core computes the earliest cycle at which any stage
- * could make progress or any timed event (branch resolution, delayed
- * confidence mark, scheduler-window release, retire eligibility,
- * fetch-stall expiry) fires, and fast-forwards over the idle gap in
- * O(1) while replaying the per-cycle stall accounting in bulk. The
- * reported CoreStats are bit-identical to the cycle-stepped run —
- * see tests/uarch/core_golden_stats_test.cc, which pins every
- * counter against the pre-optimization implementation.
+ * This shell keeps the historical single-thread API surface
+ * (stats(), setAuditor(hook)) used throughout the tools and tests;
+ * with one thread the engine's partitioning, fetch arbitration and
+ * dispatch-budget split all degenerate to the classic Core machine.
  */
 
 #ifndef PERCON_UARCH_CORE_HH
 #define PERCON_UARCH_CORE_HH
 
-#include <memory>
-#include <queue>
-#include <vector>
-
-#include "bpred/branch_predictor.hh"
-#include "bpred/btb.hh"
-#include "confidence/confidence_estimator.hh"
-#include "memory/cache.hh"
-#include "memory/hierarchy.hh"
-#include "trace/uop.hh"
-#include "trace/wrongpath.hh"
-#include "uarch/audit_hook.hh"
-#include "uarch/core_stats.hh"
-#include "uarch/exec_model.hh"
-#include "uarch/inflight_window.hh"
-#include "uarch/pipeline_config.hh"
+#include "uarch/pipeline_engine.hh"
 
 namespace percon {
 
-class SnapshotCursor;
-
-/** A timed resolve / delayed-confidence event on an in-flight uop.
- *  Ordered by (when, seq) so same-cycle events process in fetch
- *  order, exactly like the original seq-keyed queues. */
-struct UopEvent
-{
-    Cycle when;
-    SeqNum seq;
-    UopHandle h;
-};
-
-struct UopEventLater
-{
-    bool
-    operator()(const UopEvent &a, const UopEvent &b) const
-    {
-        return a.when != b.when ? a.when > b.when : a.seq > b.seq;
-    }
-};
-
-using UopEventQueue =
-    std::priority_queue<UopEvent, std::vector<UopEvent>, UopEventLater>;
-
-class Core
+class Core : public PipelineEngine
 {
   public:
     /**
@@ -94,32 +40,7 @@ class Core
          WrongPathSynthesizer &wrong_path, BranchPredictor &predictor,
          ConfidenceEstimator *estimator, const SpeculationControl &spec);
 
-    /** Advance until @p target_retired more uops have retired. */
-    void run(Count target_retired);
-
-    /** Run @p uops and then clear the statistics (cache/predictor
-     *  state is kept): the paper's 10M-uop warmup. */
-    void warmup(Count uops);
-
-    /**
-     * Enable/disable event-driven idle-cycle skipping (default on).
-     * Skipping never changes CoreStats — the equivalence tests run
-     * both modes and require byte-identical results — so this exists
-     * only for those tests and for debugging.
-     */
-    void setCycleSkipping(bool enabled) { skipIdleCycles_ = enabled; }
-
-    const CoreStats &stats() const { return stats_; }
-
-    void
-    resetStats()
-    {
-        stats_ = CoreStats{};
-        if (auditor_)
-            auditor_->onStatsReset(auditContext());
-    }
-
-    MemoryHierarchy &memory() { return mem_; }
+    const CoreStats &stats() const { return PipelineEngine::stats(0); }
 
     /**
      * Attach a runtime auditor (see audit_hook.hh); null detaches.
@@ -131,97 +52,8 @@ class Core
     void
     setAuditor(AuditHook *auditor)
     {
-        auditor_ = auditor;
-        exec_.setAuditSink(auditor);
+        PipelineEngine::setAuditor(0, auditor);
     }
-
-    /**
-     * Test-only fault injection: deliberately corrupt the bulk stall
-     * replay of fastForward() (the dispatch-stall counters drop one
-     * cycle per skip) to prove the differential harness catches a
-     * broken event-skipping optimization. Never set outside tests.
-     */
-    void setTestFastForwardDefect(bool on) { testFfDefect_ = on; }
-
-  private:
-    void cycleOnce();
-    void applyPendingConfidence();
-    void resolveBranches();
-    void retire();
-    void dispatch();
-    void fetch();
-    void flushAfter(const InflightUop &branch);
-    Cycle sourceReady(const InflightUop &uop) const;
-
-    /** Earliest cycle > now_ at which any stage can make progress or
-     *  any timed event fires; kNoEvent when the machine is dead. */
-    Cycle nextEventCycle() const;
-
-    /** Advance @p skipped guaranteed-idle cycles at once, replaying
-     *  their per-cycle stall accounting in bulk. */
-    void fastForward(Cycle skipped);
-
-    AuditContext auditContext() const;
-
-    /** Fetch one uop; returns false when fetch must stop for this
-     *  cycle (trace-cache miss). */
-    bool fetchOne();
-
-    static constexpr Cycle kNoEvent = ~Cycle(0);
-
-    // configuration ------------------------------------------------
-    PipelineConfig config_;
-    SpeculationControl spec_;
-    WorkloadSource &workload_;
-
-    /** Non-null when workload_ is a SnapshotCursor: fetch then calls
-     *  the devirtualized nextFast() replay path. */
-    SnapshotCursor *snapCursor_ = nullptr;
-
-    WrongPathSynthesizer &wrongPath_;
-    BranchPredictor &predictor_;
-    ConfidenceEstimator *estimator_;
-
-    // machine state ------------------------------------------------
-    MemoryHierarchy mem_;
-    ExecModel exec_;
-    SpecHistory history_;
-    Cache traceCache_;
-    Btb btb_;
-
-    /** Fetch-stall deadlines by cause; fetch resumes at the max. */
-    Cycle tcStallUntil_ = 0;
-    Cycle btbStallUntil_ = 0;
-
-    /** Fetch pipe + ROB (see inflight_window.hh). */
-    InflightWindow window_;
-
-    /** Unresolved in-flight branches, keyed by resolution cycle. */
-    UopEventQueue resolveQueue_;
-
-    /** Delayed low-confidence marks, keyed by apply cycle. */
-    UopEventQueue confQueue_;
-
-    Cycle now_ = 0;
-    SeqNum nextSeq_ = 1;
-    unsigned gateCount_ = 0;
-    bool onWrongPath_ = false;
-    bool skipIdleCycles_ = true;
-    bool testFfDefect_ = false;
-
-    AuditHook *auditor_ = nullptr;
-
-    unsigned loadsInFlight_ = 0;
-    unsigned storesInFlight_ = 0;
-
-    /** Producer completion times by stream index, per path. */
-    static constexpr std::size_t kDepRing = 256;
-    Cycle corrReady_[kDepRing] = {};
-    Cycle wpReady_[kDepRing] = {};
-    std::uint64_t corrIdx_ = 0;
-    std::uint64_t wpIdx_ = 0;
-
-    CoreStats stats_;
 };
 
 } // namespace percon

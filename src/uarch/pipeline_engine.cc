@@ -1,0 +1,771 @@
+#include "pipeline_engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "trace/trace_snapshot.hh"
+
+namespace percon {
+
+void
+PipelineEngine::ThreadContext::bind(const ThreadBinding &b)
+{
+    PERCON_ASSERT(b.workload != nullptr && b.wrongPath != nullptr,
+                  "thread is missing a workload binding");
+    binding = b;
+    snapCursor = dynamic_cast<SnapshotCursor *>(b.workload);
+}
+
+PipelineEngine::PipelineEngine(const PipelineConfig &config,
+                               std::vector<ThreadBinding> threads,
+                               BranchPredictor &predictor,
+                               ConfidenceEstimator *estimator,
+                               const SpeculationControl &spec,
+                               FetchPolicy fetch_policy,
+                               bool shared_structures)
+    : config_(config), spec_(spec), predictor_(predictor),
+      estimator_(estimator), mem_(config.mem), exec_(config_, mem_),
+      traceCache_(config.traceCache),
+      btb_(config.btbEntries, config.btbWays),
+      fetchPolicy_(fetch_policy), sharedStructures_(shared_structures)
+{
+    if ((spec_.gateThreshold > 0 && !spec_.oracleGating) ||
+        spec_.reversalEnabled) {
+        PERCON_ASSERT(estimator_ != nullptr,
+                      "gating/reversal require a confidence estimator");
+    }
+    PERCON_ASSERT(!threads.empty(), "engine needs at least one thread");
+
+    unsigned nt = static_cast<unsigned>(threads.size());
+    // A single thread owns the full machine (the classic Core);
+    // multiple threads get an even split with the same floors the
+    // SMT model always used.
+    robLimitPerThread_ =
+        nt == 1 ? config.robSize : std::max(8u, config.robSize / nt);
+    loadBufLimitPerThread_ =
+        nt == 1 ? config.loadBuffers
+                : std::max(4u, config.loadBuffers / nt);
+    storeBufLimitPerThread_ =
+        nt == 1 ? config.storeBuffers
+                : std::max(4u, config.storeBuffers / nt);
+    dispatchBudget_ = std::max(1u, config.width / nt);
+
+    // Each thread's window is sized for the worst case (the whole
+    // ROB in shared-pool mode); dispatch() enforces the actual
+    // shared/partitioned occupancy limits.
+    std::size_t rob_cap =
+        std::max<std::size_t>(config.robSize, robLimitPerThread_);
+    std::size_t pipe_cap =
+        static_cast<std::size_t>(config.frontEndDepth) * config.width;
+    threads_.resize(nt);
+    for (unsigned t = 0; t < nt; ++t) {
+        threads_[t].bind(threads[t]);
+        threads_[t].window.reset(rob_cap, pipe_cap);
+    }
+}
+
+void
+PipelineEngine::rebindWorkload(unsigned tid, WorkloadSource &workload,
+                               WrongPathSynthesizer *wrong_path)
+{
+    ThreadContext &t = threads_[tid];
+    ThreadBinding b = t.binding;
+    b.workload = &workload;
+    if (wrong_path)
+        b.wrongPath = wrong_path;
+    t.bind(b);
+}
+
+AuditContext
+PipelineEngine::auditContext(unsigned tid) const
+{
+    const ThreadContext &t = threads_[tid];
+    AuditContext ctx{&t.stats,
+                     &t.window,
+                     t.gateCount,
+                     now_,
+                     spec_.gateThreshold,
+                     estimator_ != nullptr};
+    ctx.tcStallUntil = t.tcStallUntil;
+    ctx.btbStallUntil = t.btbStallUntil;
+    if (t.snapCursor) {
+        ctx.workloadReplay = true;
+        ctx.workloadConsumed = t.snapCursor->consumed();
+    }
+    return ctx;
+}
+
+void
+PipelineEngine::resetStats()
+{
+    for (unsigned tid = 0; tid < numThreads(); ++tid) {
+        threads_[tid].stats = CoreStats{};
+        if (threads_[tid].auditor)
+            threads_[tid].auditor->onStatsReset(auditContext(tid));
+    }
+}
+
+void
+PipelineEngine::applyPendingConfidence()
+{
+    while (!confQueue_.empty() && confQueue_.top().when <= now_) {
+        UopEvent ev = confQueue_.top();
+        confQueue_.pop();
+        ThreadContext &t = threads_[ev.tid];
+        InflightUop *u = t.window.lookup(ev.h);
+        if (!u)
+            continue;  // flushed before the estimate arrived
+        PERCON_ASSERT(u->seq == ev.seq, "stale confidence handle");
+        if (!u->lowConfPending || u->resolvedForGate)
+            continue;  // resolved before the estimate arrived
+        u->lowConfPending = false;
+        u->lowConfCounted = true;
+        ++t.gateCount;
+    }
+}
+
+void
+PipelineEngine::resolveBranches()
+{
+    while (!resolveQueue_.empty() && resolveQueue_.top().when <= now_) {
+        UopEvent ev = resolveQueue_.top();
+        resolveQueue_.pop();
+        ThreadContext &t = threads_[ev.tid];
+        InflightUop *u = t.window.lookup(ev.h);
+        if (!u)
+            continue;  // branch was flushed
+        PERCON_ASSERT(u->seq == ev.seq, "stale resolve handle");
+        PERCON_ASSERT(u->isBranch(), "non-branch in resolve queue");
+        if (u->resolvedForGate)
+            continue;
+        u->resolvedForGate = true;
+        if (u->lowConfCounted) {
+            PERCON_ASSERT(t.gateCount > 0, "gate counter underflow");
+            --t.gateCount;
+            u->lowConfCounted = false;
+        }
+        u->lowConfPending = false;
+
+        if (u->causesRedirect)
+            flushAfter(ev.tid, *u);
+    }
+}
+
+void
+PipelineEngine::flushAfter(unsigned tid, const InflightUop &branch)
+{
+    ThreadContext &t = threads_[tid];
+    ++t.stats.flushes;
+
+    // Everything younger than the branch is wrong-path by
+    // construction; account its execution and unwind resources.
+    t.window.flushYoungerThan(branch.seq, [&](InflightUop &u) {
+        if (u.dispatched) {
+            PERCON_ASSERT(u.wrongPath, "flushing a correct-path uop");
+            if (u.issueAt <= now_) {
+                ++t.stats.executedUops;
+                ++t.stats.wrongPathExecuted;
+            }
+            if (u.cls == UopClass::Load) {
+                PERCON_ASSERT(t.loadsInFlight > 0,
+                              "load buffer underflow");
+                --t.loadsInFlight;
+            } else if (u.cls == UopClass::Store) {
+                PERCON_ASSERT(t.storesInFlight > 0,
+                              "store buffer underflow");
+                --t.storesInFlight;
+            }
+        }
+        if (u.lowConfCounted) {
+            PERCON_ASSERT(t.gateCount > 0, "gate counter underflow");
+            --t.gateCount;
+        }
+        if (t.auditor)
+            t.auditor->onSquash(u);
+    });
+
+    t.history.recover(branch.ghrSnapshot, branch.actualTaken);
+    t.onWrongPath = false;
+}
+
+void
+PipelineEngine::retire(unsigned tid)
+{
+    ThreadContext &t = threads_[tid];
+    CoreStats &s = t.stats;
+    // Retire bandwidth is per thread: each thread may commit up to
+    // the machine width (commit is rarely the bottleneck, and the
+    // single-thread machine retires at full width by definition).
+    for (unsigned n = 0; n < config_.width; ++n) {
+        if (t.window.robEmpty())
+            return;
+        InflightUop &u = t.window.robFront();
+        if (!u.dispatched ||
+            u.completeAt + config_.backEndDepth > now_)
+            return;
+        PERCON_ASSERT(!u.wrongPath,
+                      "wrong-path uop reached the ROB head");
+
+        ++s.retiredUops;
+        ++s.executedUops;
+
+        switch (u.cls) {
+          case UopClass::Load:
+            PERCON_ASSERT(t.loadsInFlight > 0, "load buffer underflow");
+            --t.loadsInFlight;
+            break;
+          case UopClass::Store:
+            PERCON_ASSERT(t.storesInFlight > 0,
+                          "store buffer underflow");
+            --t.storesInFlight;
+            // The write accesses the hierarchy at commit.
+            mem_.access(u.memAddr, now_, true);
+            break;
+          case UopClass::Branch: {
+            ++s.retiredBranches;
+            bool misp_orig = u.predTaken != u.actualTaken;
+            bool misp_final = u.finalPred != u.actualTaken;
+            if (misp_orig)
+                ++s.mispredictsOriginal;
+            if (misp_final)
+                ++s.mispredictsFinal;
+            if (u.reversed) {
+                ++s.reversals;
+                if (misp_orig)
+                    ++s.reversalsGood;
+                else
+                    ++s.reversalsBad;
+            }
+            predictor_.update(u.pc, u.ghrSnapshot, u.actualTaken,
+                              u.meta);
+            if (estimator_) {
+                s.confidence.record(misp_orig, u.conf.low);
+                estimator_->train(u.pc, u.ghrSnapshot, u.predTaken,
+                                  misp_orig, u.conf);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        if (t.auditor)
+            t.auditor->onRetire(u);
+        t.window.popRetired();
+    }
+}
+
+Cycle
+PipelineEngine::sourceReady(const ThreadContext &t,
+                            const InflightUop &uop) const
+{
+    const auto &ring = uop.wrongPath ? t.wpReady : t.corrReady;
+    Cycle ready = 0;
+    for (unsigned s = 0; s < 2; ++s) {
+        std::uint16_t d = uop.srcDist[s];
+        if (d == 0 || d > uop.streamIdx || d >= ThreadContext::kDepRing)
+            continue;
+        Cycle r = ring[(uop.streamIdx - d) % ThreadContext::kDepRing];
+        if (r > ready)
+            ready = r;
+    }
+    return ready;
+}
+
+void
+PipelineEngine::dispatch(unsigned tid)
+{
+    ThreadContext &t = threads_[tid];
+    CoreStats &s = t.stats;
+    for (unsigned n = 0; n < dispatchBudget_; ++n) {
+        if (t.window.pipeEmpty() ||
+            t.window.pipeFront().dispatchReadyAt > now_) {
+            ++s.dispatchStallEmpty;
+            return;
+        }
+        InflightUop &front = t.window.pipeFront();
+        if (sharedStructures_) {
+            std::size_t rob_total = 0;
+            unsigned loads_total = 0;
+            unsigned stores_total = 0;
+            for (const ThreadContext &o : threads_) {
+                rob_total += o.window.robSize();
+                loads_total += o.loadsInFlight;
+                stores_total += o.storesInFlight;
+            }
+            if (rob_total >= config_.robSize) {
+                ++s.dispatchStallRob;
+                return;
+            }
+            if (!exec_.windowAvailable(schedClassFor(front.cls))) {
+                ++s.dispatchStallWindow;
+                return;
+            }
+            if ((front.cls == UopClass::Load &&
+                 loads_total >= config_.loadBuffers) ||
+                (front.cls == UopClass::Store &&
+                 stores_total >= config_.storeBuffers)) {
+                ++s.dispatchStallBuffers;
+                return;
+            }
+        } else {
+            if (t.window.robSize() >= robLimitPerThread_) {
+                ++s.dispatchStallRob;
+                return;
+            }
+            if (!exec_.windowAvailable(schedClassFor(front.cls))) {
+                ++s.dispatchStallWindow;
+                return;
+            }
+            if ((front.cls == UopClass::Load &&
+                 t.loadsInFlight >= loadBufLimitPerThread_) ||
+                (front.cls == UopClass::Store &&
+                 t.storesInFlight >= storeBufLimitPerThread_)) {
+                ++s.dispatchStallBuffers;
+                return;
+            }
+        }
+
+        UopHandle h = t.window.pipeFrontHandle();
+        InflightUop &u = t.window.dispatchPipeFront();
+
+        exec_.dispatch(u, now_, sourceReady(t, u));
+        s.issueWaitSum += u.issueAt - now_;
+        if (u.cls == UopClass::Load) {
+            s.loadLatencySum += u.completeAt - u.issueAt;
+            ++s.loadCount;
+        }
+
+        auto &ring = u.wrongPath ? t.wpReady : t.corrReady;
+        ring[u.streamIdx % ThreadContext::kDepRing] = u.completeAt;
+
+        if (u.cls == UopClass::Load)
+            ++t.loadsInFlight;
+        else if (u.cls == UopClass::Store)
+            ++t.storesInFlight;
+
+        // Branch resolution lags execution by the back-end depth:
+        // the redirect has to travel from the execute stage back to
+        // fetch, which is the deep-pipe waste multiplier.
+        if (u.isBranch() && !u.resolvedForGate)
+            resolveQueue_.push({u.completeAt + config_.backEndDepth,
+                                tid, u.seq, h});
+    }
+}
+
+bool
+PipelineEngine::fetchOne(unsigned tid)
+{
+    ThreadContext &t = threads_[tid];
+    MicroOp mu;
+    if (t.onWrongPath)
+        mu = t.binding.wrongPath->next();
+    else if (t.snapCursor)
+        mu = t.snapCursor->nextFast();
+    else
+        mu = t.binding.workload->next();
+
+    bool stall_after = false;
+    if (config_.traceCacheEnabled && !traceCache_.access(mu.pc)) {
+        // Build the missing line: fetch delivers this uop but stalls
+        // while the fill completes. (Fetch only runs once both stall
+        // deadlines have passed, so assignment is equivalent to max.)
+        ++t.stats.traceCacheMisses;
+        t.tcStallUntil = now_ + config_.traceCacheMissPenalty;
+        stall_after = true;
+    }
+
+    auto [u, h] = t.window.emplaceFetched();
+    u.seq = nextSeq_++;
+    u.pc = mu.pc;
+    u.cls = mu.cls;
+    u.srcDist[0] = mu.srcDist[0];
+    u.srcDist[1] = mu.srcDist[1];
+    u.memAddr = mu.memAddr;
+    u.wrongPath = t.onWrongPath;
+    u.dispatchReadyAt = now_ + config_.frontEndDepth;
+    u.streamIdx = t.onWrongPath ? t.wpIdx++ : t.corrIdx++;
+
+    ++t.stats.fetchedUops;
+    if (u.wrongPath)
+        ++t.stats.wrongPathFetched;
+
+    bool conf_pending = false;
+    if (u.isBranch()) {
+        u.ghrSnapshot = t.history.bits();
+        u.predTaken = predictor_.predict(u.pc, u.ghrSnapshot, u.meta);
+        if (estimator_)
+            u.conf = estimator_->estimate(u.pc, u.ghrSnapshot,
+                                          u.predTaken);
+
+        u.finalPred = u.predTaken;
+        if (spec_.reversalEnabled &&
+            u.conf.band == ConfidenceBand::StrongLow) {
+            u.finalPred = !u.predTaken;
+            u.reversed = true;
+        }
+
+        t.history.push(u.finalPred);
+
+        // Redirecting fetch to the taken target needs the target:
+        // a BTB miss costs a decode bubble and fills the entry.
+        if (config_.btbEnabled && u.finalPred) {
+            if (!btb_.lookup(u.pc)) {
+                ++t.stats.btbMisses;
+                Cycle until = now_ + config_.btbMissPenalty;
+                if (until > t.btbStallUntil)
+                    t.btbStallUntil = until;
+                stall_after = true;
+                btb_.update(u.pc, mu.target);
+            }
+        }
+
+        if (!u.wrongPath) {
+            u.actualTaken = mu.taken;
+            u.causesRedirect = u.finalPred != u.actualTaken;
+            if (u.causesRedirect) {
+                t.onWrongPath = true;
+                t.wpIdx = 0;
+                // The machine follows finalPred; the stream it
+                // wrongly fetches starts at the not-actually-taken
+                // target or fall-through.
+                t.binding.wrongPath->redirect(u.finalPred ? mu.target
+                                                          : mu.pc + 4);
+            }
+        } else {
+            u.actualTaken = u.finalPred;
+            u.causesRedirect = false;
+        }
+
+        bool gate_mark;
+        if (spec_.oracleGating) {
+            // Perfect confidence: flag exactly the redirect-causing
+            // branches (wrong-path branches are unknowable and never
+            // redirect, so they are never flagged).
+            gate_mark = spec_.gateThreshold > 0 && u.causesRedirect;
+        } else {
+            gate_mark = estimator_ && spec_.gateThreshold > 0 &&
+                        (spec_.reversalEnabled
+                             ? u.conf.band == ConfidenceBand::WeakLow
+                             : u.conf.low);
+        }
+        if (gate_mark) {
+            if (spec_.confidenceLatency == 0) {
+                u.lowConfCounted = true;
+                ++t.gateCount;
+            } else {
+                u.lowConfPending = true;
+                u.confAppliesAt = now_ + spec_.confidenceLatency;
+                conf_pending = true;
+            }
+        }
+    }
+
+    if (conf_pending)
+        confQueue_.push({u.confAppliesAt, tid, u.seq, h});
+    if (t.auditor)
+        t.auditor->onFetch(u);
+    return !stall_after;
+}
+
+unsigned
+PipelineEngine::eligibleFetchWidth(unsigned tid)
+{
+    ThreadContext &t = threads_[tid];
+    CoreStats &s = t.stats;
+
+    if (t.window.pipeFull()) {
+        ++s.fetchStallPipeFull;
+        return 0;
+    }
+
+    Cycle stall_until = std::max(t.tcStallUntil, t.btbStallUntil);
+    if (now_ < stall_until) {
+        // Attribute the stalled cycle to its cause; when a
+        // trace-cache fill and a BTB bubble overlap, the trace cache
+        // (the longer deadline still pending) takes priority.
+        if (now_ < t.tcStallUntil)
+            ++s.traceCacheStallCycles;
+        else
+            ++s.btbStallCycles;
+        return 0;
+    }
+
+    unsigned width = config_.width;
+    if (spec_.gateThreshold > 0 && t.gateCount >= spec_.gateThreshold) {
+        ++s.gatedCycles;
+        if (spec_.throttleWidth == 0)
+            return 0;
+        width = std::min(width, spec_.throttleWidth);
+    }
+    return width;
+}
+
+void
+PipelineEngine::fetch()
+{
+    int pick = -1;
+    unsigned width = 0;
+    if (fetchPolicy_ == FetchPolicy::RoundRobin) {
+        // Threads after the first eligible one are not examined, so
+        // their stall causes are not charged this cycle — the slot
+        // was never theirs to lose.
+        unsigned nt = numThreads();
+        for (unsigned k = 0; k < nt; ++k) {
+            unsigned tid = rrNext_ + k;
+            if (tid >= nt)
+                tid -= nt;
+            if (unsigned w = eligibleFetchWidth(tid)) {
+                pick = static_cast<int>(tid);
+                width = w;
+                rrNext_ = tid + 1 == nt ? 0 : tid + 1;
+                break;
+            }
+        }
+    } else {
+        // ICOUNT-lite: give the fetch width to the eligible thread
+        // with the fewest in-flight uops (ties go to the lower tid).
+        std::size_t best_load = ~std::size_t{0};
+        for (unsigned tid = 0; tid < numThreads(); ++tid) {
+            unsigned w = eligibleFetchWidth(tid);
+            if (!w)
+                continue;
+            std::size_t load = threads_[tid].window.size();
+            if (load < best_load) {
+                best_load = load;
+                pick = static_cast<int>(tid);
+                width = w;
+            }
+        }
+    }
+    if (pick < 0)
+        return;
+
+    ThreadContext &t = threads_[static_cast<unsigned>(pick)];
+    for (unsigned n = 0; n < width && !t.window.pipeFull(); ++n) {
+        if (!fetchOne(static_cast<unsigned>(pick)))
+            break;
+    }
+}
+
+void
+PipelineEngine::cycleOnce()
+{
+    ++now_;
+    for (ThreadContext &t : threads_)
+        ++t.stats.cycles;
+    exec_.tick(now_);
+    applyPendingConfidence();
+    resolveBranches();
+    for (unsigned tid = 0; tid < numThreads(); ++tid)
+        retire(tid);
+    for (unsigned tid = 0; tid < numThreads(); ++tid)
+        dispatch(tid);
+    fetch();
+    for (unsigned tid = 0; tid < numThreads(); ++tid) {
+        if (threads_[tid].auditor)
+            threads_[tid].auditor->onCheck(auditContext(tid));
+    }
+}
+
+Cycle
+PipelineEngine::nextEventCycle() const
+{
+    const ThreadContext &t = threads_[0];
+    Cycle stall_until = std::max(t.tcStallUntil, t.btbStallUntil);
+    bool pipe_full = t.window.pipeFull();
+    bool gated_stall = spec_.gateThreshold > 0 &&
+                       t.gateCount >= spec_.gateThreshold &&
+                       spec_.throttleWidth == 0;
+
+    // Fast path: fetch can deliver uops next cycle, so there is
+    // nothing to skip. This is the common case in busy phases.
+    if (!pipe_full && now_ + 1 >= stall_until && !gated_stall)
+        return now_ + 1;
+
+    Cycle next = kNoEvent;
+    auto consider = [&](Cycle c) {
+        c = std::max(c, now_ + 1);
+        if (c < next)
+            next = c;
+    };
+
+    // Timed queue events must land exactly: they mutate uop state
+    // (resolution, flushes, delayed gate marks).
+    if (!resolveQueue_.empty())
+        consider(resolveQueue_.top().when);
+    if (!confQueue_.empty())
+        consider(confQueue_.top().when);
+
+    // Retire eligibility of the ROB head.
+    if (!t.window.robEmpty()) {
+        const InflightUop &head = t.window.robFront();
+        if (head.dispatched)
+            consider(head.completeAt + config_.backEndDepth);
+    }
+
+    // Dispatch progress. ROB and load/store-buffer pressure can only
+    // clear at a retire or flush, which the candidates above already
+    // cover; a full scheduler window clears at the next entry
+    // release, and an idle front end at the head's ready cycle.
+    if (!t.window.pipeEmpty()) {
+        const InflightUop &front = t.window.pipeFront();
+        bool rob_full = t.window.robSize() >= robLimitPerThread_;
+        bool buffers_full =
+            (front.cls == UopClass::Load &&
+             t.loadsInFlight >= loadBufLimitPerThread_) ||
+            (front.cls == UopClass::Store &&
+             t.storesInFlight >= storeBufLimitPerThread_);
+        if (!rob_full) {
+            if (!exec_.windowAvailable(schedClassFor(front.cls)))
+                consider(exec_.nextWindowRelease());
+            else if (!buffers_full)
+                consider(front.dispatchReadyAt);
+        }
+    }
+
+    // Fetch-stall expiry (a full pipe or a gated front end clears
+    // only at the events already considered above).
+    if (!pipe_full && now_ + 1 < stall_until)
+        consider(stall_until);
+
+    return next;
+}
+
+void
+PipelineEngine::fastForward(Cycle skipped)
+{
+    ThreadContext &t = threads_[0];
+    CoreStats &s = t.stats;
+    Cycle begin = now_ + 1;  // first skipped cycle
+
+    // Deliberate off-by-one in the bulk stall replay, enabled only by
+    // the differential harness's negative test: one skipped cycle
+    // loses its dispatch-stall attribution, exactly the class of bug
+    // an event-skipping refactor could introduce silently.
+    Cycle replay_skipped = testFfDefect_ && skipped > 0
+                               ? skipped - 1
+                               : skipped;
+
+    // Every skipped cycle would have run the no-progress paths of
+    // dispatch() and fetch(); replay their per-cycle stall
+    // accounting in bulk so CoreStats stay bit-identical to the
+    // cycle-stepped run. All machine state is constant over the
+    // span by construction, so only the time comparisons vary.
+    if (t.window.pipeEmpty()) {
+        s.dispatchStallEmpty += replay_skipped;
+    } else {
+        const InflightUop &front = t.window.pipeFront();
+        Cycle not_ready =
+            front.dispatchReadyAt > begin
+                ? std::min<Cycle>(replay_skipped,
+                                  front.dispatchReadyAt - begin)
+                : 0;
+        s.dispatchStallEmpty += not_ready;
+        Cycle blocked = replay_skipped - not_ready;
+        if (blocked > 0) {
+            if (t.window.robSize() >= robLimitPerThread_)
+                s.dispatchStallRob += blocked;
+            else if (!exec_.windowAvailable(
+                         schedClassFor(front.cls)))
+                s.dispatchStallWindow += blocked;
+            else
+                s.dispatchStallBuffers += blocked;
+        }
+    }
+
+    if (t.window.pipeFull()) {
+        s.fetchStallPipeFull += skipped;
+    } else if (begin < std::max(t.tcStallUntil, t.btbStallUntil)) {
+        Cycle tc = t.tcStallUntil > begin
+                       ? std::min<Cycle>(skipped,
+                                         t.tcStallUntil - begin)
+                       : 0;
+        s.traceCacheStallCycles += tc;
+        s.btbStallCycles += skipped - tc;
+    } else {
+        PERCON_ASSERT(spec_.gateThreshold > 0 &&
+                          t.gateCount >= spec_.gateThreshold &&
+                          spec_.throttleWidth == 0,
+                      "fast-forward with an unblocked front end");
+        s.gatedCycles += skipped;
+    }
+
+    now_ += skipped;
+    s.cycles += skipped;
+}
+
+void
+PipelineEngine::run(Count per_thread)
+{
+    unsigned nt = numThreads();
+    std::vector<Count> goal(nt);
+    Count total = 0;
+    for (unsigned tid = 0; tid < nt; ++tid) {
+        goal[tid] = threads_[tid].stats.retiredUops + per_thread;
+        total += threads_[tid].stats.retiredUops;
+    }
+
+    // Event skipping is single-thread only: a multi-thread skip
+    // would have to bulk-replay fetch-arbitration side effects,
+    // which is exactly the shortcut the golden locks forbid.
+    bool skip = skipIdleCycles_ && nt == 1;
+
+    Count last_total = total;
+    Count idle_iters = 0;
+    for (;;) {
+        bool done = true;
+        for (unsigned tid = 0; tid < nt; ++tid)
+            done = done && threads_[tid].stats.retiredUops >= goal[tid];
+        if (done)
+            break;
+        cycleOnce();
+        total = 0;
+        for (unsigned tid = 0; tid < nt; ++tid)
+            total += threads_[tid].stats.retiredUops;
+        if (total != last_total) {
+            last_total = total;
+            idle_iters = 0;
+        } else if (++idle_iters > 500000) {
+            // Counts event-loop iterations (= active, non-skipped
+            // cycles), not raw now_ delta: a legitimate fast-forward
+            // through a long memory stall must not trip this.
+            panic("core deadlock: no retirement in 500k active cycles "
+                  "(threads=%u gate=%u rob=%zu pipe=%zu)",
+                  nt, threads_[0].gateCount, threads_[0].window.robSize(),
+                  threads_[0].window.pipeSize());
+        }
+        if (skip && threads_[0].stats.retiredUops < goal[0]) {
+            Cycle next = nextEventCycle();
+            if (next == kNoEvent) {
+                panic("core deadlock: no schedulable event "
+                      "(gate=%u rob=%zu pipe=%zu)",
+                      threads_[0].gateCount,
+                      threads_[0].window.robSize(),
+                      threads_[0].window.pipeSize());
+            }
+            if (next > now_ + 1)
+                fastForward(next - now_ - 1);
+        }
+    }
+}
+
+void
+PipelineEngine::warmup(Count per_thread)
+{
+    run(per_thread);
+    resetStats();
+}
+
+double
+PipelineEngine::combinedIpc() const
+{
+    // stats cycles reset at warmup; now_ does not.
+    if (threads_[0].stats.cycles == 0)
+        return 0.0;
+    double retired = 0;
+    for (const ThreadContext &t : threads_)
+        retired += static_cast<double>(t.stats.retiredUops);
+    return retired / static_cast<double>(threads_[0].stats.cycles);
+}
+
+} // namespace percon

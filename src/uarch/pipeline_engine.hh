@@ -1,0 +1,341 @@
+/**
+ * @file
+ * The unified out-of-order pipeline engine.
+ *
+ * One cycle-stepped machine model parameterized over hardware thread
+ * count and fetch-arbitration policy. The single-thread Core and the
+ * two-thread SmtCore (core.hh, smt_core.hh) are thin configuration
+ * shells over this class; every shared mechanism — the event-driven
+ * cycle skipping, the generation-checked InflightWindow, the
+ * calendar-wheel ExecModel release, audit hooks, and the
+ * devirtualized SnapshotCursor::nextFast() fetch path — is
+ * implemented exactly once here.
+ *
+ * Model summary (see core.hh's original description): a loop over
+ * fetch, dispatch, branch resolution and retirement, with execution
+ * times computed analytically by the ExecModel. The model executes
+ * the full wrong path: after a (post-reversal) mispredicted branch
+ * is fetched, the front end streams uops from that thread's
+ * WrongPathSynthesizer; they occupy real resources, execute,
+ * pollute/prefetch the caches, and die when the branch resolves.
+ *
+ * Pipeline gating (Figure 1): every fetched conditional branch is
+ * classified by the confidence estimator; low-confidence branches
+ * increment a per-thread counter (optionally confidenceLatency
+ * cycles after fetch, §5.4.2) and decrement it when they resolve or
+ * are flushed. A thread's fetch stalls while its counter is at or
+ * above the gate threshold. Branch reversal (§5.5) inverts
+ * StrongLow-band predictions at fetch.
+ *
+ * Threading model:
+ *  - each hardware thread owns its front-end state (speculative
+ *    history, fetch pipe + ROB window, wrong-path synthesizer,
+ *    gating counter, stall deadlines, dependence rings) and its own
+ *    CoreStats — every counter updates identically regardless of
+ *    thread count;
+ *  - the branch predictor, confidence estimator, trace cache, BTB,
+ *    caches and execution bandwidth are shared;
+ *  - with more than one thread the ROB and load/store buffers are
+ *    either static per-thread partitions (Pentium-4 HT style, the
+ *    default) or a shared pool (Tullsen style); dispatch bandwidth
+ *    is split evenly;
+ *  - fetch arbitration is pluggable: strict round-robin, or
+ *    ICOUNT-lite (the eligible thread with the fewest in-flight
+ *    uops wins the cycle).
+ *
+ * Simulator throughput: with a single thread run() is event-driven —
+ * after each simulated cycle the engine computes the earliest cycle
+ * at which any stage could make progress or any timed event fires,
+ * and fast-forwards over the idle gap in O(1) while replaying the
+ * per-cycle stall accounting in bulk. The reported CoreStats are
+ * bit-identical to the cycle-stepped run — see
+ * tests/uarch/core_golden_stats_test.cc. Multi-thread runs are
+ * always cycle-stepped (bulk-replaying fetch arbitration side
+ * effects is exactly the kind of shortcut the golden locks exist to
+ * prevent); tests/uarch/smt_core_golden_stats_test.cc pins that
+ * path.
+ */
+
+#ifndef PERCON_UARCH_PIPELINE_ENGINE_HH
+#define PERCON_UARCH_PIPELINE_ENGINE_HH
+
+#include <array>
+#include <queue>
+#include <vector>
+
+#include "bpred/branch_predictor.hh"
+#include "bpred/btb.hh"
+#include "confidence/confidence_estimator.hh"
+#include "memory/cache.hh"
+#include "memory/hierarchy.hh"
+#include "trace/uop.hh"
+#include "trace/wrongpath.hh"
+#include "uarch/audit_hook.hh"
+#include "uarch/core_stats.hh"
+#include "uarch/exec_model.hh"
+#include "uarch/inflight_window.hh"
+#include "uarch/pipeline_config.hh"
+
+namespace percon {
+
+class SnapshotCursor;
+
+/** One hardware thread's workload binding. */
+struct ThreadBinding
+{
+    WorkloadSource *workload = nullptr;
+    WrongPathSynthesizer *wrongPath = nullptr;
+};
+
+/** Fetch arbitration policy (irrelevant with one thread). */
+enum class FetchPolicy
+{
+    /** Alternate threads cycle by cycle regardless of occupancy. */
+    RoundRobin,
+    /** Give the cycle to the eligible thread with the fewest
+     *  in-flight uops (Tullsen's ICOUNT, simplified). ICOUNT already
+     *  penalizes threads bloated with wrong-path work, which is why
+     *  the SMT bench contrasts it with RoundRobin. */
+    Icount,
+};
+
+/** A timed resolve / delayed-confidence event on an in-flight uop.
+ *  Ordered by (when, tid, seq) so same-cycle events process in
+ *  thread-then-fetch order; with one thread this degenerates to the
+ *  original (when, seq) order. */
+struct UopEvent
+{
+    Cycle when;
+    unsigned tid;
+    SeqNum seq;
+    UopHandle h;
+};
+
+struct UopEventLater
+{
+    bool
+    operator()(const UopEvent &a, const UopEvent &b) const
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        if (a.tid != b.tid)
+            return a.tid > b.tid;
+        return a.seq > b.seq;
+    }
+};
+
+using UopEventQueue =
+    std::priority_queue<UopEvent, std::vector<UopEvent>, UopEventLater>;
+
+class PipelineEngine
+{
+  public:
+    /**
+     * @param config machine geometry (with more than one thread the
+     *               ROB/buffers are partitioned or pooled)
+     * @param threads per-thread workload bindings (not owned); the
+     *                vector length fixes the hardware thread count
+     * @param predictor shared branch predictor (not owned)
+     * @param estimator shared confidence estimator; may be nullptr
+     *                  when neither gating nor reversal is used
+     * @param spec speculation-control policy (applies per thread)
+     * @param fetch_policy fetch arbitration between threads
+     * @param shared_structures ROB/load/store buffers as a shared
+     *                          pool (Tullsen) instead of static
+     *                          partitions (Pentium-4 HT)
+     */
+    PipelineEngine(const PipelineConfig &config,
+                   std::vector<ThreadBinding> threads,
+                   BranchPredictor &predictor,
+                   ConfidenceEstimator *estimator,
+                   const SpeculationControl &spec,
+                   FetchPolicy fetch_policy = FetchPolicy::Icount,
+                   bool shared_structures = false);
+
+    unsigned
+    numThreads() const
+    {
+        return static_cast<unsigned>(threads_.size());
+    }
+
+    /** Advance until every thread retired @p per_thread more uops. */
+    void run(Count per_thread);
+
+    /** Run @p per_thread uops per thread and then clear the
+     *  statistics (cache/predictor state is kept): the paper's
+     *  10M-uop warmup. */
+    void warmup(Count per_thread);
+
+    /**
+     * Enable/disable event-driven idle-cycle skipping (default on;
+     * effective only with a single thread — multi-thread runs are
+     * always cycle-stepped). Skipping never changes CoreStats — the
+     * equivalence tests run both modes and require byte-identical
+     * results — so this exists only for those tests and debugging.
+     */
+    void setCycleSkipping(bool enabled) { skipIdleCycles_ = enabled; }
+
+    const CoreStats &
+    stats(unsigned tid) const
+    {
+        return threads_[tid].stats;
+    }
+
+    void resetStats();
+
+    MemoryHierarchy &memory() { return mem_; }
+
+    /**
+     * Attach a per-thread runtime auditor (see audit_hook.hh); null
+     * detaches. Thread 0's auditor doubles as the ExecModel's
+     * checked-error sink (the execution model is shared). Attaching
+     * auditors never changes simulation results.
+     */
+    void
+    setAuditor(unsigned tid, AuditHook *auditor)
+    {
+        threads_[tid].auditor = auditor;
+        if (tid == 0)
+            exec_.setAuditSink(auditor);
+    }
+
+    /**
+     * Re-attach thread @p tid to a different workload source
+     * mid-run (e.g. a rewound SnapshotCursor), re-running cursor
+     * detection so replay sources keep the devirtualized nextFast()
+     * fetch path instead of silently falling back to the virtual
+     * one. Passing null for @p wrong_path keeps the current
+     * synthesizer.
+     */
+    void rebindWorkload(unsigned tid, WorkloadSource &workload,
+                        WrongPathSynthesizer *wrong_path = nullptr);
+
+    /** True when thread @p tid fetches through the devirtualized
+     *  SnapshotCursor replay path. */
+    bool
+    usesSnapshotReplay(unsigned tid) const
+    {
+        return threads_[tid].snapCursor != nullptr;
+    }
+
+    /** True when ROB/load/store buffers are a shared pool
+     *  (Tullsen-style SMT) rather than static per-thread partitions
+     *  (Pentium-4 HT style). Shared pools let one thread's
+     *  wrong-path work starve the other — which is exactly what
+     *  pipeline gating prevents. */
+    bool sharedStructures() const { return sharedStructures_; }
+
+    /** Aggregate throughput: total retired uops / cycles. */
+    double combinedIpc() const;
+
+    Cycle cycles() const { return now_; }
+
+    /**
+     * Test-only fault injection: deliberately corrupt the bulk stall
+     * replay of fastForward() (the dispatch-stall counters drop one
+     * cycle per skip) to prove the differential harness catches a
+     * broken event-skipping optimization. Never set outside tests.
+     */
+    void setTestFastForwardDefect(bool on) { testFfDefect_ = on; }
+
+  protected:
+    struct ThreadContext
+    {
+        ThreadBinding binding;
+        /** Non-null when binding.workload is a SnapshotCursor: fetch
+         *  uses the devirtualized replay path. Maintained by bind()
+         *  so re-attachment keeps the detection current. */
+        SnapshotCursor *snapCursor = nullptr;
+        SpecHistory history;
+        /** Fetch pipe + per-thread ROB view (shared-pool and
+         *  partition limits are enforced by dispatch()). */
+        InflightWindow window;
+        bool onWrongPath = false;
+        unsigned gateCount = 0;
+        unsigned loadsInFlight = 0;
+        unsigned storesInFlight = 0;
+        /** Fetch-stall deadlines by cause; fetch resumes at the max. */
+        Cycle tcStallUntil = 0;
+        Cycle btbStallUntil = 0;
+        /** Producer completion times by stream index, per path. */
+        std::uint64_t corrIdx = 0;
+        std::uint64_t wpIdx = 0;
+        static constexpr std::size_t kDepRing = 256;
+        std::array<Cycle, kDepRing> corrReady{};
+        std::array<Cycle, kDepRing> wpReady{};
+        CoreStats stats;
+        AuditHook *auditor = nullptr;
+
+        /** Attach a workload binding, (re-)running SnapshotCursor
+         *  detection. */
+        void bind(const ThreadBinding &b);
+    };
+
+  private:
+    void cycleOnce();
+    void applyPendingConfidence();
+    void resolveBranches();
+    void retire(unsigned tid);
+    void dispatch(unsigned tid);
+    void fetch();
+    bool fetchOne(unsigned tid);
+    void flushAfter(unsigned tid, const InflightUop &branch);
+    Cycle sourceReady(const ThreadContext &t,
+                      const InflightUop &uop) const;
+
+    /** Fetch-eligibility check with Core's attribution order
+     *  (pipe-full, then stall deadlines with trace-cache priority,
+     *  then gating): returns the thread's effective fetch width for
+     *  this cycle, 0 when ineligible. */
+    unsigned eligibleFetchWidth(unsigned tid);
+
+    /** Earliest cycle > now_ at which any stage can make progress or
+     *  any timed event fires; kNoEvent when the machine is dead.
+     *  Single-thread only. */
+    Cycle nextEventCycle() const;
+
+    /** Advance @p skipped guaranteed-idle cycles at once, replaying
+     *  their per-cycle stall accounting in bulk. Single-thread
+     *  only. */
+    void fastForward(Cycle skipped);
+
+    AuditContext auditContext(unsigned tid) const;
+
+    static constexpr Cycle kNoEvent = ~Cycle(0);
+
+    // configuration ------------------------------------------------
+    PipelineConfig config_;
+    SpeculationControl spec_;
+    BranchPredictor &predictor_;
+    ConfidenceEstimator *estimator_;
+
+    // machine state ------------------------------------------------
+    MemoryHierarchy mem_;
+    ExecModel exec_;
+    Cache traceCache_;
+    Btb btb_;
+
+    std::vector<ThreadContext> threads_;
+
+    /** Unresolved in-flight branches, keyed by resolution cycle. */
+    UopEventQueue resolveQueue_;
+
+    /** Delayed low-confidence marks, keyed by apply cycle. */
+    UopEventQueue confQueue_;
+
+    Cycle now_ = 0;
+    SeqNum nextSeq_ = 1;
+    FetchPolicy fetchPolicy_;
+    bool sharedStructures_;
+    unsigned rrNext_ = 0;
+    unsigned robLimitPerThread_;
+    unsigned loadBufLimitPerThread_;
+    unsigned storeBufLimitPerThread_;
+    unsigned dispatchBudget_;
+    bool skipIdleCycles_ = true;
+    bool testFfDefect_ = false;
+};
+
+} // namespace percon
+
+#endif // PERCON_UARCH_PIPELINE_ENGINE_HH

@@ -1,10 +1,5 @@
 #include "smt_core.hh"
 
-#include <algorithm>
-
-#include "common/logging.hh"
-#include "trace/trace_snapshot.hh"
-
 namespace percon {
 
 SmtCore::SmtCore(const PipelineConfig &config,
@@ -13,456 +8,12 @@ SmtCore::SmtCore(const PipelineConfig &config,
                  ConfidenceEstimator *estimator,
                  const SpeculationControl &spec,
                  SmtFetchPolicy fetch_policy, bool shared_structures)
-    : config_(config), spec_(spec), predictor_(predictor),
-      estimator_(estimator), mem_(config.mem), exec_(config_, mem_),
-      traceCache_(config.traceCache),
-      btb_(config.btbEntries, config.btbWays),
-      fetchPolicy_(fetch_policy), sharedStructures_(shared_structures)
+    : PipelineEngine(config,
+                     std::vector<ThreadBinding>(threads.begin(),
+                                                threads.end()),
+                     predictor, estimator, spec, fetch_policy,
+                     shared_structures)
 {
-    if ((spec_.gateThreshold > 0 && !spec_.oracleGating) ||
-        spec_.reversalEnabled) {
-        PERCON_ASSERT(estimator_ != nullptr,
-                      "gating/reversal require a confidence estimator");
-    }
-    for (unsigned t = 0; t < kThreads; ++t) {
-        PERCON_ASSERT(threads[t].workload && threads[t].wrongPath,
-                      "thread %u is missing a workload binding", t);
-        threads_[t].cfg = threads[t];
-        threads_[t].snapCursor =
-            dynamic_cast<SnapshotCursor *>(threads[t].workload);
-    }
-    robPerThread_ = std::max(8u, config.robSize / kThreads);
-    loadBufsPerThread_ = std::max(4u, config.loadBuffers / kThreads);
-    storeBufsPerThread_ = std::max(4u, config.storeBuffers / kThreads);
-    // Each thread's window is sized for the worst case (the whole
-    // ROB in shared-pool mode); dispatch() enforces the actual
-    // shared/partitioned occupancy limits.
-    std::size_t rob_cap =
-        std::max<std::size_t>(config.robSize, robPerThread_);
-    std::size_t pipe_cap =
-        static_cast<std::size_t>(config.frontEndDepth) * config.width;
-    for (auto &t : threads_)
-        t.window.reset(rob_cap, pipe_cap);
-}
-
-void
-SmtCore::resolveBranches()
-{
-    while (!resolveQueue_.empty() && resolveQueue_.top().when <= now_) {
-        SmtUopEvent ev = resolveQueue_.top();
-        resolveQueue_.pop();
-        Thread &t = threads_[ev.tid];
-        InflightUop *u = t.window.lookup(ev.h);
-        if (!u || u->resolvedForGate)
-            continue;
-        PERCON_ASSERT(u->seq == ev.seq, "stale resolve handle");
-        u->resolvedForGate = true;
-        if (u->lowConfCounted) {
-            PERCON_ASSERT(t.gateCount > 0, "gate counter underflow");
-            --t.gateCount;
-            u->lowConfCounted = false;
-        }
-        if (u->causesRedirect)
-            flushAfter(ev.tid, *u);
-    }
-}
-
-void
-SmtCore::flushAfter(unsigned tid, const InflightUop &branch)
-{
-    Thread &t = threads_[tid];
-    ++stats_[tid].flushes;
-
-    t.window.flushYoungerThan(branch.seq, [&](InflightUop &u) {
-        if (u.dispatched) {
-            if (u.issueAt <= now_) {
-                ++stats_[tid].executedUops;
-                ++stats_[tid].wrongPathExecuted;
-            }
-            if (u.cls == UopClass::Load)
-                --t.loadsInFlight;
-            else if (u.cls == UopClass::Store)
-                --t.storesInFlight;
-        }
-        if (u.lowConfCounted) {
-            PERCON_ASSERT(t.gateCount > 0, "gate counter underflow");
-            --t.gateCount;
-        }
-        if (auditors_[tid])
-            auditors_[tid]->onSquash(u);
-    });
-    t.history.recover(branch.ghrSnapshot, branch.actualTaken);
-    t.onWrongPath = false;
-}
-
-void
-SmtCore::retire(unsigned tid)
-{
-    Thread &t = threads_[tid];
-    // Retire bandwidth is shared naively: each thread may retire up
-    // to the machine width (commit is rarely the SMT bottleneck).
-    for (unsigned n = 0; n < config_.width; ++n) {
-        if (t.window.robEmpty())
-            return;
-        InflightUop &u = t.window.robFront();
-        if (!u.dispatched || u.completeAt + config_.backEndDepth > now_)
-            return;
-        PERCON_ASSERT(!u.wrongPath,
-                      "wrong-path uop reached the ROB head");
-
-        CoreStats &s = stats_[tid];
-        ++s.retiredUops;
-        ++s.executedUops;
-        switch (u.cls) {
-          case UopClass::Load:
-            --t.loadsInFlight;
-            break;
-          case UopClass::Store:
-            --t.storesInFlight;
-            mem_.access(u.memAddr, now_, true);
-            break;
-          case UopClass::Branch: {
-            ++s.retiredBranches;
-            bool misp_orig = u.predTaken != u.actualTaken;
-            bool misp_final = u.finalPred != u.actualTaken;
-            if (misp_orig)
-                ++s.mispredictsOriginal;
-            if (misp_final)
-                ++s.mispredictsFinal;
-            if (u.reversed) {
-                ++s.reversals;
-                if (misp_orig)
-                    ++s.reversalsGood;
-                else
-                    ++s.reversalsBad;
-            }
-            predictor_.update(u.pc, u.ghrSnapshot, u.actualTaken,
-                              u.meta);
-            if (estimator_) {
-                s.confidence.record(misp_orig, u.conf.low);
-                estimator_->train(u.pc, u.ghrSnapshot, u.predTaken,
-                                  misp_orig, u.conf);
-            }
-            break;
-          }
-          default:
-            break;
-        }
-        if (auditors_[tid])
-            auditors_[tid]->onRetire(u);
-        t.window.popRetired();
-    }
-}
-
-Cycle
-SmtCore::sourceReady(const Thread &t, const InflightUop &uop) const
-{
-    const auto &ring = uop.wrongPath ? t.wpReady : t.corrReady;
-    Cycle ready = 0;
-    for (unsigned s = 0; s < 2; ++s) {
-        std::uint16_t d = uop.srcDist[s];
-        if (d == 0 || d > uop.streamIdx || d >= Thread::kDepRing)
-            continue;
-        Cycle r = ring[(uop.streamIdx - d) % Thread::kDepRing];
-        if (r > ready)
-            ready = r;
-    }
-    return ready;
-}
-
-void
-SmtCore::dispatch(unsigned tid)
-{
-    Thread &t = threads_[tid];
-    // Dispatch bandwidth is split evenly between active threads.
-    unsigned budget = std::max(1u, config_.width / kThreads);
-    for (unsigned n = 0; n < budget; ++n) {
-        if (t.window.pipeEmpty() ||
-            t.window.pipeFront().dispatchReadyAt > now_)
-            return;
-        InflightUop &front = t.window.pipeFront();
-        if (sharedStructures_) {
-            std::size_t rob_total = threads_[0].window.robSize() +
-                                    threads_[1].window.robSize();
-            unsigned loads_total = threads_[0].loadsInFlight +
-                                   threads_[1].loadsInFlight;
-            unsigned stores_total = threads_[0].storesInFlight +
-                                    threads_[1].storesInFlight;
-            if (rob_total >= config_.robSize)
-                return;
-            if ((front.cls == UopClass::Load &&
-                 loads_total >= config_.loadBuffers) ||
-                (front.cls == UopClass::Store &&
-                 stores_total >= config_.storeBuffers))
-                return;
-        } else {
-            if (t.window.robSize() >= robPerThread_)
-                return;
-            if ((front.cls == UopClass::Load &&
-                 t.loadsInFlight >= loadBufsPerThread_) ||
-                (front.cls == UopClass::Store &&
-                 t.storesInFlight >= storeBufsPerThread_))
-                return;
-        }
-        if (!exec_.windowAvailable(schedClassFor(front.cls)))
-            return;
-
-        UopHandle h = t.window.pipeFrontHandle();
-        InflightUop &u = t.window.dispatchPipeFront();
-        exec_.dispatch(u, now_, sourceReady(t, u));
-
-        auto &ring = u.wrongPath ? t.wpReady : t.corrReady;
-        ring[u.streamIdx % Thread::kDepRing] = u.completeAt;
-
-        if (u.cls == UopClass::Load)
-            ++t.loadsInFlight;
-        else if (u.cls == UopClass::Store)
-            ++t.storesInFlight;
-        if (u.isBranch() && !u.resolvedForGate) {
-            resolveQueue_.push(
-                {u.completeAt + config_.backEndDepth, tid, u.seq, h});
-        }
-    }
-}
-
-bool
-SmtCore::fetchOne(unsigned tid)
-{
-    Thread &t = threads_[tid];
-    MicroOp mu;
-    if (t.onWrongPath)
-        mu = t.cfg.wrongPath->next();
-    else if (t.snapCursor)
-        mu = t.snapCursor->nextFast();
-    else
-        mu = t.cfg.workload->next();
-
-    bool stall_after = false;
-    if (config_.traceCacheEnabled && !traceCache_.access(mu.pc)) {
-        ++stats_[tid].traceCacheMisses;
-        t.tcStallUntil = now_ + config_.traceCacheMissPenalty;
-        stall_after = true;
-    }
-
-    InflightUop &u = t.window.emplaceFetched().u;
-    u.seq = nextSeq_++;
-    u.pc = mu.pc;
-    u.cls = mu.cls;
-    u.srcDist[0] = mu.srcDist[0];
-    u.srcDist[1] = mu.srcDist[1];
-    u.memAddr = mu.memAddr;
-    u.wrongPath = t.onWrongPath;
-    u.dispatchReadyAt = now_ + config_.frontEndDepth;
-    u.streamIdx = t.onWrongPath ? t.wpIdx++ : t.corrIdx++;
-
-    ++stats_[tid].fetchedUops;
-    if (u.wrongPath)
-        ++stats_[tid].wrongPathFetched;
-
-    if (u.isBranch()) {
-        u.ghrSnapshot = t.history.bits();
-        u.predTaken = predictor_.predict(u.pc, u.ghrSnapshot, u.meta);
-        if (estimator_)
-            u.conf = estimator_->estimate(u.pc, u.ghrSnapshot,
-                                          u.predTaken);
-        u.finalPred = u.predTaken;
-        if (spec_.reversalEnabled &&
-            u.conf.band == ConfidenceBand::StrongLow) {
-            u.finalPred = !u.predTaken;
-            u.reversed = true;
-        }
-        t.history.push(u.finalPred);
-
-        if (config_.btbEnabled && u.finalPred) {
-            if (!btb_.lookup(u.pc)) {
-                ++stats_[tid].btbMisses;
-                Cycle until = now_ + config_.btbMissPenalty;
-                if (until > t.btbStallUntil)
-                    t.btbStallUntil = until;
-                stall_after = true;
-                btb_.update(u.pc, mu.target);
-            }
-        }
-
-        if (!u.wrongPath) {
-            u.actualTaken = mu.taken;
-            u.causesRedirect = u.finalPred != u.actualTaken;
-            if (u.causesRedirect) {
-                t.onWrongPath = true;
-                t.wpIdx = 0;
-                t.cfg.wrongPath->redirect(u.finalPred ? mu.target
-                                                      : mu.pc + 4);
-            }
-        } else {
-            u.actualTaken = u.finalPred;
-            u.causesRedirect = false;
-        }
-
-        bool gate_mark;
-        if (spec_.oracleGating) {
-            gate_mark = spec_.gateThreshold > 0 && u.causesRedirect;
-        } else {
-            gate_mark = estimator_ && spec_.gateThreshold > 0 &&
-                        (spec_.reversalEnabled
-                             ? u.conf.band == ConfidenceBand::WeakLow
-                             : u.conf.low);
-        }
-        if (gate_mark) {
-            // SMT model keeps the confidence latency simple: marks
-            // apply immediately.
-            u.lowConfCounted = true;
-            ++t.gateCount;
-        }
-    }
-
-    if (auditors_[tid])
-        auditors_[tid]->onFetch(u);
-    return !stall_after;
-}
-
-void
-SmtCore::fetch()
-{
-    auto eligible = [&](unsigned tid) {
-        Thread &t = threads_[tid];
-        if (now_ < std::max(t.tcStallUntil, t.btbStallUntil)) {
-            // Attribute the stalled cycle to its cause; an
-            // overlapping trace-cache fill takes priority.
-            if (now_ < t.tcStallUntil)
-                ++stats_[tid].traceCacheStallCycles;
-            else
-                ++stats_[tid].btbStallCycles;
-            return false;
-        }
-        if (t.window.pipeFull())
-            return false;
-        if (spec_.gateThreshold > 0 &&
-            t.gateCount >= spec_.gateThreshold) {
-            ++stats_[tid].gatedCycles;
-            return false;
-        }
-        return true;
-    };
-
-    int pick = -1;
-    if (fetchPolicy_ == SmtFetchPolicy::RoundRobin) {
-        for (unsigned k = 0; k < kThreads; ++k) {
-            unsigned tid = (rrNext_ + k) % kThreads;
-            if (eligible(tid)) {
-                pick = static_cast<int>(tid);
-                rrNext_ = (tid + 1) % kThreads;
-                break;
-            }
-        }
-    } else {
-        // ICOUNT-lite: give the full fetch width to the eligible
-        // thread with the fewest in-flight uops.
-        std::size_t best_load = ~std::size_t{0};
-        for (unsigned tid = 0; tid < kThreads; ++tid) {
-            if (!eligible(tid))
-                continue;
-            Thread &t = threads_[tid];
-            std::size_t load = t.window.size();
-            if (load < best_load) {
-                best_load = load;
-                pick = static_cast<int>(tid);
-            }
-        }
-    }
-    if (pick < 0)
-        return;
-
-    Thread &t = threads_[static_cast<unsigned>(pick)];
-    for (unsigned n = 0; n < config_.width && !t.window.pipeFull();
-         ++n) {
-        if (!fetchOne(static_cast<unsigned>(pick)))
-            break;
-    }
-}
-
-AuditContext
-SmtCore::auditContext(unsigned tid) const
-{
-    AuditContext ctx{&stats_[tid],
-                     &threads_[tid].window,
-                     threads_[tid].gateCount,
-                     now_,
-                     spec_.gateThreshold,
-                     estimator_ != nullptr};
-    if (threads_[tid].snapCursor) {
-        ctx.workloadReplay = true;
-        ctx.workloadConsumed = threads_[tid].snapCursor->consumed();
-    }
-    return ctx;
-}
-
-void
-SmtCore::cycleOnce()
-{
-    ++now_;
-    for (auto &s : stats_)
-        ++s.cycles;
-    exec_.tick(now_);
-    resolveBranches();
-    for (unsigned tid = 0; tid < kThreads; ++tid)
-        retire(tid);
-    for (unsigned tid = 0; tid < kThreads; ++tid)
-        dispatch(tid);
-    fetch();
-    for (unsigned tid = 0; tid < kThreads; ++tid) {
-        if (auditors_[tid])
-            auditors_[tid]->onCheck(auditContext(tid));
-    }
-}
-
-void
-SmtCore::run(Count per_thread)
-{
-    std::array<Count, kThreads> goal;
-    for (unsigned t = 0; t < kThreads; ++t)
-        goal[t] = stats_[t].retiredUops + per_thread;
-
-    Cycle last_progress = now_;
-    Count last_total = 0;
-    for (;;) {
-        bool done = true;
-        for (unsigned t = 0; t < kThreads; ++t)
-            done = done && stats_[t].retiredUops >= goal[t];
-        if (done)
-            break;
-        cycleOnce();
-        Count total = stats_[0].retiredUops + stats_[1].retiredUops;
-        if (total != last_total) {
-            last_total = total;
-            last_progress = now_;
-        } else if (now_ - last_progress > 500000) {
-            panic("SMT core deadlock: no retirement in 500k cycles");
-        }
-    }
-}
-
-void
-SmtCore::warmup(Count per_thread)
-{
-    run(per_thread);
-    for (auto &s : stats_)
-        s = CoreStats{};
-    for (unsigned tid = 0; tid < kThreads; ++tid) {
-        if (auditors_[tid])
-            auditors_[tid]->onStatsReset(auditContext(tid));
-    }
-}
-
-double
-SmtCore::combinedIpc() const
-{
-    // stats_ cycles reset at warmup; now_ does not.
-    if (stats_[0].cycles == 0)
-        return 0.0;
-    double retired = 0;
-    for (const auto &s : stats_)
-        retired += static_cast<double>(s.retiredUops);
-    return retired / static_cast<double>(stats_[0].cycles);
 }
 
 } // namespace percon

@@ -5,90 +5,45 @@
  * The paper's introduction motivates pipeline gating partly through
  * simultaneous multithreading (its reference [9], Luo et al.):
  * wrong-path work does not just burn energy, it steals fetch slots,
- * issue bandwidth and window entries from the other thread. This
- * model makes that concrete:
+ * issue bandwidth and window entries from the other thread. SmtCore
+ * makes that concrete as a two-thread configuration shell over the
+ * unified PipelineEngine (pipeline_engine.hh):
  *
  *  - each hardware thread has its own front end state (speculative
  *    history, fetch pipe, wrong-path synthesizer, gating counter)
  *    and an equal static partition of the ROB and load/store
- *    buffers, in the Pentium-4 HT style;
+ *    buffers, in the Pentium-4 HT style (or a Tullsen-style shared
+ *    pool with shared_structures);
  *  - the branch predictor, confidence estimator, trace cache, BTB,
  *    caches and execution bandwidth are shared;
  *  - fetch picks the ungated thread with the fewest in-flight uops
  *    each cycle (ICOUNT-lite), so gating one thread's low-confidence
  *    stretch automatically hands the front end to the other.
  *
- * The single-thread Core (core.hh) remains the reference model for
- * the paper's own experiments; this class serves the SMT bench and
- * extension studies.
+ * Because the engine is shared, every CoreStats counter — including
+ * the issue-wait, load-latency and dispatch-stall families — updates
+ * identically here and in the single-thread Core, and confidence
+ * latency (§5.4.2) is honored per thread. The golden lock in
+ * tests/uarch/smt_core_golden_stats_test.cc pins the per-thread
+ * counters across the policy matrix.
  */
 
 #ifndef PERCON_UARCH_SMT_CORE_HH
 #define PERCON_UARCH_SMT_CORE_HH
 
 #include <array>
-#include <queue>
 
-#include "bpred/branch_predictor.hh"
-#include "bpred/btb.hh"
-#include "confidence/confidence_estimator.hh"
-#include "memory/cache.hh"
-#include "memory/hierarchy.hh"
-#include "trace/uop.hh"
-#include "trace/wrongpath.hh"
-#include "uarch/audit_hook.hh"
-#include "uarch/core_stats.hh"
-#include "uarch/exec_model.hh"
-#include "uarch/inflight_window.hh"
-#include "uarch/pipeline_config.hh"
+#include "uarch/pipeline_engine.hh"
 
 namespace percon {
 
-class SnapshotCursor;
+/** One hardware thread's workload binding (engine vocabulary). */
+using SmtThreadConfig = ThreadBinding;
 
-/** A pending branch resolution, ordered by (when, tid, seq) like the
- *  original (Cycle, tid, seq) tuple queue. */
-struct SmtUopEvent
-{
-    Cycle when;
-    unsigned tid;
-    SeqNum seq;
-    UopHandle h;
-};
+/** SMT fetch arbitration policy (engine vocabulary). */
+using SmtFetchPolicy = FetchPolicy;
 
-struct SmtUopEventLater
-{
-    bool
-    operator()(const SmtUopEvent &a, const SmtUopEvent &b) const
-    {
-        if (a.when != b.when)
-            return a.when > b.when;
-        if (a.tid != b.tid)
-            return a.tid > b.tid;
-        return a.seq > b.seq;
-    }
-};
-
-/** One hardware thread's workload binding. */
-struct SmtThreadConfig
-{
-    WorkloadSource *workload = nullptr;
-    WrongPathSynthesizer *wrongPath = nullptr;
-};
-
-/** SMT fetch arbitration policy. */
-enum class SmtFetchPolicy
-{
-    /** Alternate threads cycle by cycle regardless of occupancy. */
-    RoundRobin,
-    /** Give the cycle to the eligible thread with the fewest
-     *  in-flight uops (Tullsen's ICOUNT, simplified). ICOUNT already
-     *  penalizes threads bloated with wrong-path work, which is why
-     *  the SMT bench contrasts it with RoundRobin. */
-    Icount,
-};
-
-class SmtCore
+class SmtCore : public PipelineEngine
 {
   public:
     static constexpr unsigned kThreads = 2;
@@ -106,103 +61,6 @@ class SmtCore
             const SpeculationControl &spec,
             SmtFetchPolicy fetch_policy = SmtFetchPolicy::Icount,
             bool shared_structures = false);
-
-    /** True when ROB/load/store buffers are a shared pool
-     *  (Tullsen-style SMT) rather than static per-thread partitions
-     *  (Pentium-4 HT style). Shared pools let one thread's
-     *  wrong-path work starve the other — which is exactly what
-     *  pipeline gating prevents. */
-    bool sharedStructures() const { return sharedStructures_; }
-
-    /** Advance until every thread retired @p per_thread more uops. */
-    void run(Count per_thread);
-
-    /** Run then reset statistics (caches/predictors keep state). */
-    void warmup(Count per_thread);
-
-    const CoreStats &stats(unsigned tid) const { return stats_[tid]; }
-
-    /**
-     * Attach a per-thread runtime auditor (see audit_hook.hh); null
-     * detaches. Thread 0's auditor doubles as the ExecModel's
-     * checked-error sink (the execution model is shared). Attaching
-     * auditors never changes statistics.
-     */
-    void
-    setAuditor(unsigned tid, AuditHook *auditor)
-    {
-        auditors_[tid] = auditor;
-        if (tid == 0)
-            exec_.setAuditSink(auditor);
-    }
-
-    /** Aggregate throughput: total retired uops / cycles. */
-    double combinedIpc() const;
-
-    Cycle cycles() const { return now_; }
-
-  private:
-    struct Thread
-    {
-        SmtThreadConfig cfg;
-        /** Non-null when cfg.workload is a SnapshotCursor: fetch
-         *  uses the devirtualized replay path. */
-        SnapshotCursor *snapCursor = nullptr;
-        SpecHistory history;
-        /** Fetch pipe + per-thread ROB view (shared-pool and
-         *  partition limits are enforced by dispatch()). */
-        InflightWindow window;
-        bool onWrongPath = false;
-        unsigned gateCount = 0;
-        unsigned loadsInFlight = 0;
-        unsigned storesInFlight = 0;
-        /** Fetch-stall deadlines by cause; fetch resumes at the max. */
-        Cycle tcStallUntil = 0;
-        Cycle btbStallUntil = 0;
-        std::uint64_t corrIdx = 0;
-        std::uint64_t wpIdx = 0;
-        static constexpr std::size_t kDepRing = 256;
-        std::array<Cycle, kDepRing> corrReady{};
-        std::array<Cycle, kDepRing> wpReady{};
-    };
-
-    void cycleOnce();
-    AuditContext auditContext(unsigned tid) const;
-    void resolveBranches();
-    void retire(unsigned tid);
-    void dispatch(unsigned tid);
-    void fetch();
-    bool fetchOne(unsigned tid);
-    void flushAfter(unsigned tid, const InflightUop &branch);
-    Cycle sourceReady(const Thread &t, const InflightUop &uop) const;
-
-    PipelineConfig config_;
-    SpeculationControl spec_;
-    BranchPredictor &predictor_;
-    ConfidenceEstimator *estimator_;
-
-    MemoryHierarchy mem_;
-    ExecModel exec_;
-    Cache traceCache_;
-    Btb btb_;
-
-    std::array<Thread, kThreads> threads_;
-    std::array<CoreStats, kThreads> stats_;
-    std::array<AuditHook *, kThreads> auditors_{};
-
-    /** Unresolved in-flight branches, keyed by resolution cycle. */
-    std::priority_queue<SmtUopEvent, std::vector<SmtUopEvent>,
-                        SmtUopEventLater>
-        resolveQueue_;
-
-    Cycle now_ = 0;
-    SeqNum nextSeq_ = 1;
-    SmtFetchPolicy fetchPolicy_;
-    bool sharedStructures_;
-    unsigned rrNext_ = 0;
-    unsigned robPerThread_;
-    unsigned loadBufsPerThread_;
-    unsigned storeBufsPerThread_;
 };
 
 } // namespace percon

@@ -183,6 +183,41 @@ InvariantAuditor::onCheck(const AuditContext &ctx)
                    s.cycles),
                now);
 
+    // ---- per-checkpoint stall-delta laws --------------------------
+    // Between consecutive checkpoints the fetch-stall family can
+    // grow by at most the elapsed cycles (sum preservation: each
+    // cycle charges at most one fetch-stall cause, stepped or
+    // bulk-replayed), and any new BTB-stall attribution must respect
+    // Core's tie-break: BTB bubbles are only charged once the
+    // trace-cache deadline has expired. A fetch in the same interval
+    // may legitimately have refreshed tcStallUntil after the
+    // attribution, so the tie-break check only fires on fetch-free
+    // intervals.
+    if (!stallBaselineSet_) {
+        stallBaselineSet_ = true;
+    } else {
+        Count d_cycles = s.cycles - lastCycles_;
+        Count d_stall = fetch_stalls - lastFetchStallSum_;
+        if (d_stall > d_cycles)
+            record("fetch-stall-delta",
+                   fmt("fetch-stall delta %llu > cycle delta %llu",
+                       d_stall, d_cycles),
+                   now);
+        if (s.btbStallCycles > lastBtbStall_ &&
+            s.fetchedUops == lastFetchedUops_ &&
+            now < ctx.tcStallUntil) {
+            record("stall-tiebreak",
+                   fmt("btb stall charged at %llu with trace-cache "
+                       "deadline %llu still pending",
+                       now, ctx.tcStallUntil),
+                   now);
+        }
+    }
+    lastCycles_ = s.cycles;
+    lastFetchStallSum_ = fetch_stalls;
+    lastBtbStall_ = s.btbStallCycles;
+    lastFetchedUops_ = s.fetchedUops;
+
     // ---- window-scan checks, throttled (O(window) each) -----------
     if (ctx.window && report_.checksRun % 64 == 1) {
         const InflightWindow &w = *ctx.window;
@@ -223,6 +258,19 @@ InvariantAuditor::onStatsReset(const AuditContext &ctx)
     if (ctx.workloadReplay) {
         replayBaselineSet_ = true;
         replayConsumedAtReset_ = ctx.workloadConsumed;
+    }
+    // Stall-delta baselines restart from the post-reset counters.
+    if (ctx.stats) {
+        stallBaselineSet_ = true;
+        lastCycles_ = ctx.stats->cycles;
+        lastFetchStallSum_ = ctx.stats->fetchStallPipeFull +
+                             ctx.stats->traceCacheStallCycles +
+                             ctx.stats->btbStallCycles +
+                             ctx.stats->gatedCycles;
+        lastBtbStall_ = ctx.stats->btbStallCycles;
+        lastFetchedUops_ = ctx.stats->fetchedUops;
+    } else {
+        stallBaselineSet_ = false;
     }
 }
 

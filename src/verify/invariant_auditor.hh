@@ -19,6 +19,12 @@
  *    cycles (each cycle has at most one stall cause per stage) —
  *    the check that catches bulk-replay double-attribution in the
  *    event-skipping fast path;
+ *  - per-checkpoint stall deltas: between consecutive checkpoints
+ *    the fetch-stall family (pipe-full + trace-cache + BTB + gated)
+ *    grows by at most the elapsed cycles (sum preservation: one
+ *    cause per stalled cycle), and a BTB-stall attribution implies
+ *    the trace-cache deadline had expired — the Core tie-break rule
+ *    that every thread of the unified engine must follow;
  *  - when the correct path replays from a trace snapshot, every
  *    cursor-consumed entry corresponds to exactly one correct-path
  *    fetch (fetched - wrong-path fetched == consumed), across
@@ -103,6 +109,15 @@ class InvariantAuditor : public AuditHook
      *  for auditors attached mid-run). */
     bool replayBaselineSet_ = false;
     Count replayConsumedAtReset_ = 0;
+
+    /** Per-checkpoint stall-delta laws: baselines from the previous
+     *  checkpoint (captured lazily at the first one, reset with the
+     *  stats). */
+    bool stallBaselineSet_ = false;
+    Count lastCycles_ = 0;
+    Count lastFetchStallSum_ = 0;
+    Count lastBtbStall_ = 0;
+    Count lastFetchedUops_ = 0;
 };
 
 } // namespace percon

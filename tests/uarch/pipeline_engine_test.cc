@@ -1,0 +1,257 @@
+/**
+ * @file
+ * PipelineEngine unification tests.
+ *
+ * Three properties the Core/SmtCore merge must hold:
+ *
+ *  1. A one-thread PipelineEngine is the single-thread Core, on
+ *     EVERY CoreStats counter — not just the eleven the SMT golden
+ *     lock pins. This is the regression test for the stats-coverage
+ *     drift this refactor fixes: before unification the SMT path
+ *     never updated issueWaitSum, loadCount/loadLatencySum, the
+ *     dispatchStall* family or fetchStallPipeFull, so "one thread on
+ *     the SMT core" and "the Core" silently disagreed.
+ *
+ *  2. The formerly-dead counters now actually update under SMT.
+ *
+ *  3. SnapshotCursor detection is a property of thread-context
+ *     setup: re-attaching a workload re-runs the detection, so a
+ *     replay source can never silently fall back to the slow virtual
+ *     next() path (and a non-replay source can never be mistaken for
+ *     one).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "bpred/factory.hh"
+#include "confidence/factory.hh"
+#include "trace/benchmarks.hh"
+#include "trace/program_model.hh"
+#include "trace/trace_snapshot.hh"
+#include "trace/wrongpath.hh"
+#include "uarch/core.hh"
+#include "uarch/pipeline_engine.hh"
+#include "uarch/smt_core.hh"
+
+namespace percon {
+namespace {
+
+SpeculationControl
+policyFor(const std::string &name)
+{
+    SpeculationControl sc;
+    if (name == "gate2") {
+        sc.gateThreshold = 2;
+    } else if (name == "reversal") {
+        sc.reversalEnabled = true;
+    } else if (name == "gate2lat4") {
+        sc.gateThreshold = 2;
+        sc.confidenceLatency = 4;
+    } else {
+        EXPECT_EQ(name, "none");
+    }
+    return sc;
+}
+
+/** Every counter in CoreStats plus the full confusion matrix. */
+void
+expectAllStatsEqual(const CoreStats &a, const CoreStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.fetchedUops, b.fetchedUops);
+    EXPECT_EQ(a.executedUops, b.executedUops);
+    EXPECT_EQ(a.retiredUops, b.retiredUops);
+    EXPECT_EQ(a.wrongPathFetched, b.wrongPathFetched);
+    EXPECT_EQ(a.wrongPathExecuted, b.wrongPathExecuted);
+    EXPECT_EQ(a.retiredBranches, b.retiredBranches);
+    EXPECT_EQ(a.mispredictsOriginal, b.mispredictsOriginal);
+    EXPECT_EQ(a.mispredictsFinal, b.mispredictsFinal);
+    EXPECT_EQ(a.reversals, b.reversals);
+    EXPECT_EQ(a.reversalsGood, b.reversalsGood);
+    EXPECT_EQ(a.reversalsBad, b.reversalsBad);
+    EXPECT_EQ(a.gatedCycles, b.gatedCycles);
+    EXPECT_EQ(a.flushes, b.flushes);
+    EXPECT_EQ(a.traceCacheMisses, b.traceCacheMisses);
+    EXPECT_EQ(a.traceCacheStallCycles, b.traceCacheStallCycles);
+    EXPECT_EQ(a.btbMisses, b.btbMisses);
+    EXPECT_EQ(a.btbStallCycles, b.btbStallCycles);
+    EXPECT_EQ(a.fetchStallPipeFull, b.fetchStallPipeFull);
+    EXPECT_EQ(a.dispatchStallRob, b.dispatchStallRob);
+    EXPECT_EQ(a.dispatchStallWindow, b.dispatchStallWindow);
+    EXPECT_EQ(a.dispatchStallBuffers, b.dispatchStallBuffers);
+    EXPECT_EQ(a.dispatchStallEmpty, b.dispatchStallEmpty);
+    EXPECT_EQ(a.issueWaitSum, b.issueWaitSum);
+    EXPECT_EQ(a.loadLatencySum, b.loadLatencySum);
+    EXPECT_EQ(a.loadCount, b.loadCount);
+    EXPECT_EQ(a.confidence.mispredictedLow(),
+              b.confidence.mispredictedLow());
+    EXPECT_EQ(a.confidence.mispredictedHigh(),
+              b.confidence.mispredictedHigh());
+    EXPECT_EQ(a.confidence.correctLow(), b.confidence.correctLow());
+    EXPECT_EQ(a.confidence.correctHigh(), b.confidence.correctHigh());
+}
+
+class EngineCoreParity : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EngineCoreParity, OneThreadEngineMatchesCoreAllCounters)
+{
+    const std::string policy = GetParam();
+    const BenchmarkSpec &spec = benchmarkSpec("gcc");
+    SpeculationControl sc = policyFor(policy);
+    PipelineConfig cfg = PipelineConfig::deep40x4();
+
+    ProgramModel prog_core(spec.program);
+    WrongPathSynthesizer wp_core(spec.program,
+                                 spec.program.seed ^ 0xdead);
+    auto pred_core = makePredictor("bimodal-gshare");
+    std::unique_ptr<ConfidenceEstimator> est_core;
+    if (sc.gateThreshold > 0 || sc.reversalEnabled)
+        est_core = makeEstimator("perceptron-cic");
+    Core core(cfg, prog_core, wp_core, *pred_core, est_core.get(), sc);
+    core.warmup(10'000);
+    core.run(30'000);
+
+    // The engine side uses the other fetch policy: arbitration must
+    // be irrelevant with one thread.
+    ProgramModel prog_eng(spec.program);
+    WrongPathSynthesizer wp_eng(spec.program,
+                                spec.program.seed ^ 0xdead);
+    auto pred_eng = makePredictor("bimodal-gshare");
+    std::unique_ptr<ConfidenceEstimator> est_eng;
+    if (sc.gateThreshold > 0 || sc.reversalEnabled)
+        est_eng = makeEstimator("perceptron-cic");
+    PipelineEngine engine(cfg, {{&prog_eng, &wp_eng}}, *pred_eng,
+                          est_eng.get(), sc, FetchPolicy::Icount);
+    ASSERT_EQ(engine.numThreads(), 1u);
+    engine.warmup(10'000);
+    engine.run(30'000);
+
+    expectAllStatsEqual(core.stats(), engine.stats(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, EngineCoreParity,
+    ::testing::Values("none", "gate2", "reversal", "gate2lat4"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        return std::string(info.param);
+    });
+
+TEST(EngineSmtCoverage, FormerlyDeadCountersUpdatePerThread)
+{
+    const BenchmarkSpec &spec_a = benchmarkSpec("gcc");
+    const BenchmarkSpec &spec_b = benchmarkSpec("mcf");
+    ProgramModel prog_a(spec_a.program);
+    ProgramModel prog_b(spec_b.program);
+    WrongPathSynthesizer wp_a(spec_a.program,
+                              spec_a.program.seed ^ 0xdead);
+    WrongPathSynthesizer wp_b(spec_b.program,
+                              spec_b.program.seed ^ 0xbeef);
+    auto pred = makePredictor("bimodal-gshare");
+    SpeculationControl sc;
+    sc.gateThreshold = 2;
+    auto est = makeEstimator("perceptron-cic");
+    SmtCore core(PipelineConfig::deep40x4(),
+                 {{{&prog_a, &wp_a}, {&prog_b, &wp_b}}}, *pred,
+                 est.get(), sc);
+    core.warmup(10'000);
+    core.run(30'000);
+
+    for (unsigned t = 0; t < SmtCore::kThreads; ++t) {
+        SCOPED_TRACE("thread " + std::to_string(t));
+        const CoreStats &s = core.stats(t);
+        // Before unification none of these ever left zero under SMT.
+        EXPECT_GT(s.issueWaitSum, 0u);
+        EXPECT_GT(s.loadCount, 0u);
+        EXPECT_GT(s.loadLatencySum, 0u);
+        EXPECT_GT(s.dispatchStallEmpty + s.dispatchStallRob +
+                      s.dispatchStallWindow + s.dispatchStallBuffers,
+                  0u);
+    }
+}
+
+TEST(EngineCursorDetection, RebindReRunsDetection)
+{
+    const BenchmarkSpec &spec = benchmarkSpec("gcc");
+    PipelineConfig cfg = PipelineConfig::deep40x4();
+    Count slack =
+        cfg.robSize +
+        static_cast<Count>(cfg.frontEndDepth + 2) * cfg.width;
+    Count need = 10'000 + 30'000 + slack;
+
+    ProgramModel program(spec.program);
+    WrongPathSynthesizer wp(spec.program, spec.program.seed ^ 0xdead);
+    auto pred = makePredictor("bimodal-gshare");
+    SpeculationControl sc;
+    PipelineEngine engine(cfg, {{&program, &wp}}, *pred, nullptr, sc);
+    EXPECT_FALSE(engine.usesSnapshotReplay(0));
+
+    // Attaching a replay cursor must engage the devirtualized path.
+    SnapshotCursor cursor(TraceSnapshot::build(spec.program, need));
+    engine.rebindWorkload(0, cursor);
+    EXPECT_TRUE(engine.usesSnapshotReplay(0));
+
+    // ... and back: a non-replay source must drop it again (a stale
+    // cursor pointer here would read the wrong workload).
+    engine.rebindWorkload(0, program);
+    EXPECT_FALSE(engine.usesSnapshotReplay(0));
+
+    // Re-attaching a fresh cursor after a run keeps the detection
+    // current.
+    engine.warmup(10'000);
+    engine.run(30'000);
+    SnapshotCursor cursor2(TraceSnapshot::build(spec.program, need));
+    engine.rebindWorkload(0, cursor2);
+    EXPECT_TRUE(engine.usesSnapshotReplay(0));
+}
+
+TEST(EngineCursorDetection, ReboundCursorMatchesDirectConstruction)
+{
+    const BenchmarkSpec &spec = benchmarkSpec("gcc");
+    PipelineConfig cfg = PipelineConfig::deep40x4();
+    Count slack =
+        cfg.robSize +
+        static_cast<Count>(cfg.frontEndDepth + 2) * cfg.width;
+    Count need = 10'000 + 30'000 + slack;
+    SpeculationControl sc;
+    sc.gateThreshold = 2;
+
+    // Reference: a Core built directly on a replay cursor.
+    SnapshotCursor cursor_direct(
+        TraceSnapshot::build(spec.program, need));
+    WrongPathSynthesizer wp_direct(spec.program,
+                                   spec.program.seed ^ 0xdead);
+    auto pred_direct = makePredictor("bimodal-gshare");
+    auto est_direct = makeEstimator("perceptron-cic");
+    Core direct(cfg, cursor_direct, wp_direct, *pred_direct,
+                est_direct.get(), sc);
+    direct.warmup(10'000);
+    direct.run(30'000);
+
+    // Same machine, but the cursor is attached by rebinding after
+    // construction on a ProgramModel.
+    ProgramModel program(spec.program);
+    SnapshotCursor cursor_rebound(
+        TraceSnapshot::build(spec.program, need));
+    WrongPathSynthesizer wp_rebound(spec.program,
+                                    spec.program.seed ^ 0xdead);
+    auto pred_rebound = makePredictor("bimodal-gshare");
+    auto est_rebound = makeEstimator("perceptron-cic");
+    PipelineEngine rebound(cfg, {{&program, &wp_rebound}},
+                           *pred_rebound, est_rebound.get(), sc,
+                           FetchPolicy::RoundRobin);
+    rebound.rebindWorkload(0, cursor_rebound);
+    ASSERT_TRUE(rebound.usesSnapshotReplay(0));
+    rebound.warmup(10'000);
+    rebound.run(30'000);
+
+    expectAllStatsEqual(direct.stats(), rebound.stats(0));
+    EXPECT_EQ(cursor_direct.consumed(), cursor_rebound.consumed());
+}
+
+} // namespace
+} // namespace percon

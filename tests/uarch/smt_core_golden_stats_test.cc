@@ -1,15 +1,25 @@
 /**
  * @file
  * Golden-stats lock for the SMT core, mirroring the single-thread
- * lock in core_golden_stats_test.cc.
+ * lock in core_golden_stats_test.cc across the same machine axis
+ * (deep40x4 + wide20x8) and policy breadth (ungated, gating
+ * thresholds, reversal, delayed confidence).
  *
- * SmtCore has no event-skipping fast path (every cycle is stepped),
- * so the equivalent of the Core lock's skip-on == skip-off check is
- * (a) pinned absolute counters per thread against the values below,
- * and (b) a repeat-run byte-identity check, which is what protects
- * future SMT refactors the same way the Core goldens protected the
- * event-driven rewrite. Each run also carries per-thread invariant
- * auditors that must come back clean.
+ * Multi-thread runs have no event-skipping fast path (every cycle is
+ * stepped), so the equivalent of the Core lock's skip-on == skip-off
+ * check is (a) pinned absolute counters per thread against the
+ * values below, and (b) a repeat-run byte-identity check, which is
+ * what protects future engine refactors the same way the Core
+ * goldens protected the event-driven rewrite. Each run also carries
+ * per-thread invariant auditors that must come back clean.
+ *
+ * Provenance: the none/gate1/gate2/reversal rows were captured from
+ * the pre-unification SmtCore and reproduce bit-identically through
+ * the shared PipelineEngine. The gate2lat4 rows are the one
+ * intentional delta of the unification: the old SmtCore silently
+ * ignored SpeculationControl::confidenceLatency (gate marks applied
+ * immediately), so their values are captured from the unified engine,
+ * which honors the latency per thread exactly like Core.
  */
 
 #include <gtest/gtest.h>
@@ -30,6 +40,7 @@ namespace {
 
 struct SmtGoldenRow
 {
+    const char *machine;
     const char *policy;
     /** Per-thread: cycles, fetched, executed, retired, wrongPathFetched,
      *  wrongPathExecuted, retiredBranches, mispredictsOriginal,
@@ -37,27 +48,74 @@ struct SmtGoldenRow
     Count v[2][11];
 };
 
-// Captured from this implementation at introduction time; any change
-// to these counters must be intentional and re-captured.
+// Captured as described in the file comment; any change to these
+// counters must be intentional and re-captured.
 const SmtGoldenRow kGolden[] = {
-    {"none",
+    {"deep40x4", "none",
      {{212634ull, 72555ull, 50577ull, 38288ull, 34291ull, 12289ull,
        5460ull, 460ull, 460ull, 0ull, 462ull},
       {212634ull, 86967ull, 48529ull, 30001ull, 56914ull, 18528ull,
        4308ull, 729ull, 729ull, 0ull, 723ull}}},
-    {"gate2",
+    {"deep40x4", "gate1",
+     {{207124ull, 47476ull, 44666ull, 39786ull, 7663ull, 4880ull,
+       5679ull, 458ull, 458ull, 120583ull, 458ull},
+      {207124ull, 42216ull, 37767ull, 30001ull, 12144ull, 7766ull,
+       4308ull, 738ull, 738ull, 146932ull, 733ull}}},
+    {"deep40x4", "gate2",
      {{197797ull, 54459ull, 47073ull, 38500ull, 15933ull, 8573ull,
        5493ull, 455ull, 455ull, 69686ull, 455ull},
       {197797ull, 57868ull, 43968ull, 30001ull, 27815ull, 13967ull,
        4308ull, 739ull, 739ull, 101869ull, 733ull}}},
+    {"deep40x4", "reversal",
+     {{212634ull, 72555ull, 50577ull, 38288ull, 34291ull, 12289ull,
+       5460ull, 460ull, 460ull, 0ull, 462ull},
+      {212634ull, 86967ull, 48529ull, 30001ull, 56914ull, 18528ull,
+       4308ull, 729ull, 729ull, 0ull, 723ull}}},
+    {"deep40x4", "gate2lat4",
+     {{197856ull, 55776ull, 47353ull, 38051ull, 17735ull, 9302ull,
+       5427ull, 452ull, 452ull, 59266ull, 453ull},
+      {197856ull, 60724ull, 45232ull, 30001ull, 30653ull, 15231ull,
+       4308ull, 733ull, 733ull, 91686ull, 728ull}}},
+    {"wide20x8", "none",
+     {{201494ull, 71778ull, 48123ull, 38442ull, 33336ull, 9681ull,
+       5483ull, 454ull, 454ull, 0ull, 454ull},
+      {201494ull, 92537ull, 46164ull, 30007ull, 62460ull, 16157ull,
+       4309ull, 749ull, 749ull, 0ull, 743ull}}},
+    {"wide20x8", "gate1",
+     {{191792ull, 46707ull, 43890ull, 39512ull, 7167ull, 4378ull,
+       5639ull, 457ull, 457ull, 120070ull, 457ull},
+      {191792ull, 42736ull, 37107ull, 30007ull, 12669ull, 7100ull,
+       4309ull, 736ull, 736ull, 143481ull, 730ull}}},
+    {"wide20x8", "gate2",
+     {{191377ull, 53674ull, 45811ull, 38373ull, 15340ull, 7438ull,
+       5474ull, 454ull, 454ull, 80671ull, 454ull},
+      {191377ull, 57580ull, 42500ull, 30007ull, 27503ull, 12493ull,
+       4309ull, 734ull, 734ull, 112401ull, 728ull}}},
+    {"wide20x8", "reversal",
+     {{201494ull, 71778ull, 48123ull, 38442ull, 33336ull, 9681ull,
+       5483ull, 454ull, 454ull, 0ull, 454ull},
+      {201494ull, 92537ull, 46164ull, 30007ull, 62460ull, 16157ull,
+       4309ull, 749ull, 749ull, 0ull, 743ull}}},
+    {"wide20x8", "gate2lat4",
+     {{194889ull, 56364ull, 47233ull, 39110ull, 17251ull, 8123ull,
+       5583ull, 459ull, 459ull, 75777ull, 459ull},
+      {194889ull, 63284ull, 44272ull, 30007ull, 33207ull, 14265ull,
+       4309ull, 743ull, 743ull, 110329ull, 737ull}}},
 };
 
 SpeculationControl
 policyFor(const std::string &name)
 {
     SpeculationControl sc;
-    if (name == "gate2") {
+    if (name == "gate1") {
+        sc.gateThreshold = 1;
+    } else if (name == "gate2") {
         sc.gateThreshold = 2;
+    } else if (name == "reversal") {
+        sc.reversalEnabled = true;
+    } else if (name == "gate2lat4") {
+        sc.gateThreshold = 2;
+        sc.confidenceLatency = 4;
     } else {
         EXPECT_EQ(name, "none");
     }
@@ -71,7 +129,7 @@ struct SmtRun
 };
 
 SmtRun
-runConfig(const std::string &policy)
+runConfig(const std::string &machine, const std::string &policy)
 {
     const BenchmarkSpec &spec_a = benchmarkSpec("gcc");
     const BenchmarkSpec &spec_b = benchmarkSpec("mcf");
@@ -84,11 +142,13 @@ runConfig(const std::string &policy)
     auto pred = makePredictor("bimodal-gshare");
     SpeculationControl sc = policyFor(policy);
     std::unique_ptr<ConfidenceEstimator> est;
-    if (sc.gateThreshold > 0)
+    if (sc.gateThreshold > 0 || sc.reversalEnabled)
         est = makeEstimator("perceptron-cic");
 
-    SmtCore core(PipelineConfig::deep40x4(),
-                 {{{&prog_a, &wp_a}, {&prog_b, &wp_b}}}, *pred,
+    PipelineConfig cfg = machine == "deep40x4"
+                             ? PipelineConfig::deep40x4()
+                             : PipelineConfig::wide20x8();
+    SmtCore core(cfg, {{{&prog_a, &wp_a}, {&prog_b, &wp_b}}}, *pred,
                  est.get(), sc);
     InvariantAuditor auditors[2];
     core.setAuditor(0, &auditors[0]);
@@ -149,7 +209,7 @@ class SmtGoldenStats : public ::testing::TestWithParam<SmtGoldenRow>
 TEST_P(SmtGoldenStats, MatchesGoldenAndAuditsClean)
 {
     const SmtGoldenRow &row = GetParam();
-    SmtRun r = runConfig(row.policy);
+    SmtRun r = runConfig(row.machine, row.policy);
     for (unsigned t = 0; t < 2; ++t) {
         SCOPED_TRACE("thread " + std::to_string(t));
         expectMatchesGolden(r.stats[t], row.v[t]);
@@ -161,8 +221,8 @@ TEST_P(SmtGoldenStats, MatchesGoldenAndAuditsClean)
 TEST_P(SmtGoldenStats, RepeatRunsAreByteIdentical)
 {
     const SmtGoldenRow &row = GetParam();
-    SmtRun a = runConfig(row.policy);
-    SmtRun b = runConfig(row.policy);
+    SmtRun a = runConfig(row.machine, row.policy);
+    SmtRun b = runConfig(row.machine, row.policy);
     for (unsigned t = 0; t < 2; ++t) {
         SCOPED_TRACE("thread " + std::to_string(t));
         expectStatsEqual(a.stats[t], b.stats[t]);
@@ -172,7 +232,8 @@ TEST_P(SmtGoldenStats, RepeatRunsAreByteIdentical)
 INSTANTIATE_TEST_SUITE_P(
     Policies, SmtGoldenStats, ::testing::ValuesIn(kGolden),
     [](const ::testing::TestParamInfo<SmtGoldenRow> &info) {
-        return std::string(info.param.policy);
+        return std::string(info.param.machine) + "_" +
+               info.param.policy;
     });
 
 } // namespace
