@@ -14,6 +14,7 @@
 #include "confidence/factory.hh"
 #include "core/front_end_sim.hh"
 #include "core/timing_sim.hh"
+#include "driver/snapshot_cache.hh"
 #include "memory/hierarchy.hh"
 #include "trace/benchmarks.hh"
 #include "trace/trace_snapshot.hh"
@@ -317,6 +318,66 @@ BM_FrontEndPerceptron(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 10'000);
 }
 
+/**
+ * Functional-warm fast-forward throughput: cursor replay + predictor
+ * / estimator / BTB training, no inflight window, no exec model, no
+ * timing events. The BM_CoreSimulationReplay / BM_FunctionalWarm
+ * ratio is the fast-forward win sampled mode banks on — the
+ * acceptance floor is 10x.
+ */
+void
+BM_FunctionalWarm(benchmark::State &state)
+{
+    const auto &spec = benchmarkSpec("gcc");
+    auto snap = TraceSnapshot::build(spec.program, 4u << 20);
+    SnapshotCursor cursor(snap);
+    WrongPathSynthesizer wp(spec.program, spec.program.seed ^ 0xdead);
+    auto pred = makePredictor("bimodal-gshare");
+    auto est = makeEstimator("perceptron-cic");
+    SpeculationControl sc;
+    sc.gateThreshold = 2;
+    Core core(PipelineConfig::deep40x4(), cursor, wp, *pred,
+              est.get(), sc);
+    for (auto _ : state) {
+        if (cursor.consumed() + 100'000 > snap->size())
+            cursor.rewind();
+        core.functionalWarm(1'000);
+    }
+    state.SetItemsProcessed(state.iterations() * 1'000);
+}
+
+/**
+ * End-to-end run through runTiming, exact vs sampled, with the
+ * snapshot served from the process-wide cache as in a real sweep
+ * (a private build would bill the sampled case for its longer
+ * snapshot every iteration). The run is warmup-dominated like the
+ * paper's 10M-warm/20M-measure experiments; sampled mode turns that
+ * warmup functional and only touches the measurement windows in
+ * detail, which is where the end-to-end win comes from.
+ */
+void
+BM_SampledTiming(benchmark::State &state, SimMode mode)
+{
+    TimingConfig t;
+    t.warmupUops = 100'000;
+    t.measureUops = 20'000;
+    t.simMode = mode;
+    t.sampleWarmUops = 20'000;
+    t.sampleMeasureUops = 5'000;
+    t.snapshotProvider = &SnapshotCache::global();
+    SpeculationControl sc;
+    sc.gateThreshold = 2;
+    for (auto _ : state) {
+        TimingResult r = runTiming(
+            benchmarkSpec("gcc"), PipelineConfig::deep40x4(),
+            "bimodal-gshare", [] { return makeEstimator("perceptron-cic"); },
+            sc, t);
+        benchmark::DoNotOptimize(r.stats.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            (t.warmupUops + t.measureUops));
+}
+
 SpeculationControl
 gatedPolicy(unsigned threshold, bool reversal, unsigned latency)
 {
@@ -350,6 +411,9 @@ BENCHMARK_CAPTURE(BM_LegacyPerceptronTrain, h63, 63u);
 BENCHMARK(BM_FrontEndPerceptron);
 BENCHMARK(BM_CoreSimulation);
 BENCHMARK(BM_CoreSimulationReplay);
+BENCHMARK(BM_FunctionalWarm);
+BENCHMARK_CAPTURE(BM_SampledTiming, exact, percon::SimMode::Exact);
+BENCHMARK_CAPTURE(BM_SampledTiming, sampled, percon::SimMode::Sampled);
 BENCHMARK_CAPTURE(BM_CoreSimulationPolicy, gated_deep40x4,
                   percon::PipelineConfig::deep40x4(),
                   gatedPolicy(2, false, 0));

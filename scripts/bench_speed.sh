@@ -34,7 +34,7 @@ trap 'rm -f "$RAW"' EXIT
 
 # Google Benchmark's --benchmark_min_time here takes a plain float
 # (seconds), not a duration suffix.
-"$BIN" --benchmark_filter='^BM_(CoreSimulation|PerceptronOutput/|PerceptronTrain/|FrontEndPerceptron|TraceGen|SnapshotReplay)' \
+"$BIN" --benchmark_filter='^BM_(CoreSimulation|PerceptronOutput/|PerceptronTrain/|FrontEndPerceptron|TraceGen|SnapshotReplay|FunctionalWarm|SampledTiming/)' \
        --benchmark_min_time="$MIN_TIME" \
        --benchmark_format=json > "$RAW"
 
@@ -62,6 +62,12 @@ def config_entry(name):
         return "trace_gen", "uops", "live"
     if name == "BM_SnapshotReplay":
         return "snapshot_replay", "uops", "replay"
+    if name == "BM_FunctionalWarm":
+        return "functional_warm_deep40x4_gate2", "uops", "replay"
+    if name == "BM_SampledTiming/exact":
+        return "timing_exact_deep40x4_gate2", "uops", "replay"
+    if name == "BM_SampledTiming/sampled":
+        return "timing_sampled_deep40x4_gate2", "uops", "replay"
     if name == "BM_FrontEndPerceptron":
         return "frontend_perceptron_cic", "preds", "live"
     prefix = "BM_CoreSimulationPolicy/"
@@ -90,7 +96,7 @@ if not configs:
     raise SystemExit("bench_speed.sh: no benchmark results")
 
 doc = {
-    "schema_version": 3,
+    "schema_version": 4,
     "metric": "items_per_sec",
     "configs": dict(sorted(configs.items())),
 }

@@ -3,7 +3,7 @@
 # -Werror and a sanitizer preset, build everything, and run ctest.
 # This is the entry point a CI workflow calls.
 #
-#   scripts/check.sh [asan|tsan|none|audit|engine]
+#   scripts/check.sh [asan|tsan|none|audit|engine|sampling]
 #
 # Presets:
 #   asan  (default)  AddressSanitizer + UndefinedBehaviorSanitizer
@@ -19,6 +19,15 @@
 #                    verification suite with snapshot replay on and
 #                    off. The gate to run after touching
 #                    PipelineEngine or its Core/SmtCore shells.
+#   sampling         ASan build, then the sampled-simulation gate:
+#                    the sampling label (checkpoint round-trip
+#                    bit-identity across the golden matrix,
+#                    exact-vs-sampled calibration, warm-accounting
+#                    negative test) plus the verification suite with
+#                    warm checkpoints forced on and off
+#                    (PERCON_WARM_CHECKPOINT). The gate to run after
+#                    touching functionalWarm, the sampled driver, or
+#                    the checkpoint wire formats.
 #
 # The build directory is build-check-<preset>; override with
 # BUILD_DIR. Extra ctest arguments can be passed via CTEST_ARGS.
@@ -27,7 +36,7 @@ cd "$(dirname "$0")/.."
 
 PRESET="${1:-asan}"
 case "$PRESET" in
-  asan|audit|engine)
+  asan|audit|engine|sampling)
     SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
     ;;
   tsan)
@@ -37,7 +46,8 @@ case "$PRESET" in
     SAN_FLAGS=""
     ;;
   *)
-    echo "usage: scripts/check.sh [asan|tsan|none|audit|engine]" >&2
+    echo "usage: scripts/check.sh" \
+         "[asan|tsan|none|audit|engine|sampling]" >&2
     exit 1
     ;;
 esac
@@ -89,6 +99,29 @@ if [ "$PRESET" = "engine" ]; then
         --no-tests=error -L verify ${CTEST_ARGS:-}
     echo "check.sh: engine preset passed (golden matrices + parity" \
          "tests, verify label with snapshots on + off)"
+    exit 0
+fi
+
+if [ "$PRESET" = "sampling" ]; then
+    # Sampled-simulation gate: the sampling label pins checkpoint
+    # round-trip bit-identity across the 18-config golden matrix, the
+    # exact-vs-sampled calibration tolerances, and the
+    # warm-accounting negative test. The verification suite then runs
+    # with warm checkpoints forced on and off: the differential
+    # oracle and auditor must not care how warm state was produced.
+    ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+        --no-tests=error -L sampling ${CTEST_ARGS:-}
+    PERCON_WARM_CHECKPOINT=on \
+        ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+        --no-tests=error -L verify ${CTEST_ARGS:-}
+    PERCON_WARM_CHECKPOINT=off \
+        ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+        --no-tests=error -L verify ${CTEST_ARGS:-}
+    echo "check.sh: sampling preset passed (sampling label, verify" \
+         "label with warm checkpoints on + off)"
     exit 0
 fi
 

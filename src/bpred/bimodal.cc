@@ -1,8 +1,13 @@
 #include "bimodal.hh"
 
 #include "common/logging.hh"
+#include "common/state_io.hh"
 
 namespace percon {
+
+namespace {
+constexpr char kStateMagic[8] = {'P', 'B', 'M', 'T', '0', '1', 0, 0};
+} // namespace
 
 BimodalPredictor::BimodalPredictor(std::size_t entries,
                                    unsigned counter_bits)
@@ -51,6 +56,42 @@ std::size_t
 BimodalPredictor::storageBits() const
 {
     return table_.size() * counterBits_;
+}
+
+bool
+BimodalPredictor::saveState(std::ostream &os) const
+{
+    stateio::writeMagic(os, kStateMagic);
+    stateio::writeU64(os, table_.size());
+    stateio::writeU64(os, counterBits_);
+    for (const SatCounter &ctr : table_) {
+        char v = static_cast<char>(ctr.value());
+        os.write(&v, 1);
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+BimodalPredictor::loadState(std::istream &is)
+{
+    std::uint64_t entries = 0, bits = 0;
+    if (!stateio::readMagic(is, kStateMagic) ||
+        !stateio::readU64(is, entries) || !stateio::readU64(is, bits))
+        return false;
+    if (entries != table_.size() || bits != counterBits_)
+        return false;
+    std::vector<unsigned char> raw(table_.size());
+    is.read(reinterpret_cast<char *>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+    if (!is)
+        return false;
+    unsigned max = (1u << counterBits_) - 1;
+    for (unsigned char v : raw)
+        if (v > max)
+            return false;
+    for (std::size_t i = 0; i < table_.size(); ++i)
+        table_[i].setValue(raw[i]);
+    return true;
 }
 
 } // namespace percon

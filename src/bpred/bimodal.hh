@@ -27,6 +27,10 @@ class BimodalPredictor : public BranchPredictor
     const char *name() const override { return "bimodal"; }
     std::size_t storageBits() const override;
 
+    /** 'PBMT01' wire format: counter values as one byte each. */
+    bool saveState(std::ostream &os) const override;
+    bool loadState(std::istream &is) override;
+
     /** Direct counter access for the Smith confidence estimator. */
     const SatCounter &counterFor(Addr pc) const;
 

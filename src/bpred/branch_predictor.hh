@@ -13,6 +13,7 @@
 #define PERCON_BPRED_BRANCH_PREDICTOR_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -67,6 +68,35 @@ class BranchPredictor
 
     /** Total table storage in bits (for cost accounting). */
     virtual std::size_t storageBits() const = 0;
+
+    /**
+     * Serialize the trained table state into the predictor's
+     * magic-header wire format (see common/state_io.hh), so warmed
+     * state can be checkpointed and restored across runs.
+     * @return false when this predictor does not support state
+     *         serialization (the default) or the stream failed
+     */
+    virtual bool
+    saveState(std::ostream &os) const
+    {
+        (void)os;
+        return false;
+    }
+
+    /**
+     * Restore state written by saveState() on an identically
+     * configured predictor.
+     * @return false on magic/geometry/stream mismatch or when
+     *         serialization is unsupported; simple predictors leave
+     *         their state unchanged on failure (composites document
+     *         partial-restore caveats)
+     */
+    virtual bool
+    loadState(std::istream &is)
+    {
+        (void)is;
+        return false;
+    }
 };
 
 /**
@@ -97,6 +127,9 @@ class SpecHistory
     }
 
     void clear() { bits_ = 0; }
+
+    /** Restore checkpointed history bits (warmed-state restore). */
+    void setBits(std::uint64_t bits) { bits_ = bits; }
 
   private:
     std::uint64_t bits_ = 0;

@@ -3,8 +3,13 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "common/state_io.hh"
 
 namespace percon {
+
+namespace {
+constexpr char kStateMagic[8] = {'P', 'B', 'T', 'B', '0', '1', 0, 0};
+} // namespace
 
 Btb::Btb(std::size_t entries, unsigned ways) : ways_(ways)
 {
@@ -47,6 +52,57 @@ Btb::storageBits() const
 {
     // tag + target (approx. 32b each) + valid per entry.
     return entries_.size() * (32 + 32 + 1);
+}
+
+bool
+Btb::saveState(std::ostream &os) const
+{
+    stateio::writeMagic(os, kStateMagic);
+    stateio::writeU64(os, entries_.size());
+    stateio::writeU64(os, ways_);
+    for (const Entry &e : entries_) {
+        stateio::writeU64(os, e.tag);
+        stateio::writeU64(os, e.target);
+        stateio::writeU64(os, e.lastUse);
+        char valid = e.valid ? 1 : 0;
+        os.write(&valid, 1);
+    }
+    stateio::writeU64(os, useClock_);
+    stateio::writeU64(os, hits_);
+    stateio::writeU64(os, misses_);
+    return static_cast<bool>(os);
+}
+
+bool
+Btb::loadState(std::istream &is)
+{
+    std::uint64_t entries = 0, ways = 0;
+    if (!stateio::readMagic(is, kStateMagic) ||
+        !stateio::readU64(is, entries) || !stateio::readU64(is, ways))
+        return false;
+    if (entries != entries_.size() || ways != ways_)
+        return false;
+    std::vector<Entry> incoming(entries_.size());
+    for (Entry &e : incoming) {
+        char valid = 0;
+        if (!stateio::readU64(is, e.tag) ||
+            !stateio::readU64(is, e.target) ||
+            !stateio::readU64(is, e.lastUse))
+            return false;
+        is.read(&valid, 1);
+        if (!is || (valid != 0 && valid != 1))
+            return false;
+        e.valid = valid != 0;
+    }
+    std::uint64_t use_clock = 0, hits = 0, misses = 0;
+    if (!stateio::readU64(is, use_clock) ||
+        !stateio::readU64(is, hits) || !stateio::readU64(is, misses))
+        return false;
+    entries_ = std::move(incoming);
+    useClock_ = use_clock;
+    hits_ = hits;
+    misses_ = misses;
+    return true;
 }
 
 } // namespace percon

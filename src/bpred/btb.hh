@@ -12,6 +12,7 @@
 #ifndef PERCON_BPRED_BTB_HH
 #define PERCON_BPRED_BTB_HH
 
+#include <iosfwd>
 #include <optional>
 #include <vector>
 
@@ -52,6 +53,17 @@ class Btb
     Count hits() const { return hits_; }
     Count misses() const { return misses_; }
     std::size_t storageBits() const;
+
+    /**
+     * 'PBTB01' wire format: geometry, every entry (tag, target,
+     * lastUse, valid), the LRU use clock and the hit/miss counters —
+     * everything that influences or reports future behaviour, so a
+     * restored BTB is indistinguishable from the one serialized.
+     * @return false on magic/geometry/stream mismatch (load leaves
+     *         the live table unchanged)
+     */
+    bool saveState(std::ostream &os) const;
+    bool loadState(std::istream &is);
 
   private:
     struct Entry

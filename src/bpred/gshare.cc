@@ -1,8 +1,13 @@
 #include "gshare.hh"
 
 #include "common/logging.hh"
+#include "common/state_io.hh"
 
 namespace percon {
+
+namespace {
+constexpr char kStateMagic[8] = {'P', 'G', 'S', 'T', '0', '1', 0, 0};
+} // namespace
 
 GsharePredictor::GsharePredictor(std::size_t entries,
                                  unsigned history_bits)
@@ -48,6 +53,41 @@ std::size_t
 GsharePredictor::storageBits() const
 {
     return table_.size() * 2;
+}
+
+bool
+GsharePredictor::saveState(std::ostream &os) const
+{
+    stateio::writeMagic(os, kStateMagic);
+    stateio::writeU64(os, table_.size());
+    stateio::writeU64(os, historyBits_);
+    for (const SatCounter &ctr : table_) {
+        char v = static_cast<char>(ctr.value());
+        os.write(&v, 1);
+    }
+    return static_cast<bool>(os);
+}
+
+bool
+GsharePredictor::loadState(std::istream &is)
+{
+    std::uint64_t entries = 0, hist = 0;
+    if (!stateio::readMagic(is, kStateMagic) ||
+        !stateio::readU64(is, entries) || !stateio::readU64(is, hist))
+        return false;
+    if (entries != table_.size() || hist != historyBits_)
+        return false;
+    std::vector<unsigned char> raw(table_.size());
+    is.read(reinterpret_cast<char *>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+    if (!is)
+        return false;
+    for (unsigned char v : raw)
+        if (v > 3)
+            return false;
+    for (std::size_t i = 0; i < table_.size(); ++i)
+        table_[i].setValue(raw[i]);
+    return true;
 }
 
 } // namespace percon

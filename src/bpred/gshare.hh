@@ -31,6 +31,10 @@ class GsharePredictor : public BranchPredictor
     const char *name() const override { return "gshare"; }
     std::size_t storageBits() const override;
 
+    /** 'PGST01' wire format: counter values as one byte each. */
+    bool saveState(std::ostream &os) const override;
+    bool loadState(std::istream &is) override;
+
     unsigned historyBits() const { return historyBits_; }
 
   private:

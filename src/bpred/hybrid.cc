@@ -4,8 +4,13 @@
 #include "bpred/gshare.hh"
 #include "bpred/perceptron_pred.hh"
 #include "common/logging.hh"
+#include "common/state_io.hh"
 
 namespace percon {
+
+namespace {
+constexpr char kStateMagic[8] = {'P', 'H', 'Y', 'T', '0', '1', 0, 0};
+} // namespace
 
 HybridPredictor::HybridPredictor(std::unique_ptr<BranchPredictor> first,
                                  std::unique_ptr<BranchPredictor> second,
@@ -75,6 +80,46 @@ HybridPredictor::storageBits() const
 {
     return first_->storageBits() + second_->storageBits() +
            meta_.size() * 2;
+}
+
+bool
+HybridPredictor::saveState(std::ostream &os) const
+{
+    stateio::writeMagic(os, kStateMagic);
+    stateio::writeU64(os, meta_.size());
+    for (const SatCounter &ctr : meta_) {
+        char v = static_cast<char>(ctr.value());
+        os.write(&v, 1);
+    }
+    return first_->saveState(os) && second_->saveState(os) &&
+           static_cast<bool>(os);
+}
+
+bool
+HybridPredictor::loadState(std::istream &is)
+{
+    std::uint64_t entries = 0;
+    if (!stateio::readMagic(is, kStateMagic) ||
+        !stateio::readU64(is, entries))
+        return false;
+    if (entries != meta_.size())
+        return false;
+    std::vector<unsigned char> raw(meta_.size());
+    is.read(reinterpret_cast<char *>(raw.data()),
+            static_cast<std::streamsize>(raw.size()));
+    if (!is)
+        return false;
+    for (unsigned char v : raw)
+        if (v > 3)
+            return false;
+    // Components validate their own sections; on a component failure
+    // the chooser (and possibly the first component) have already
+    // been restored — callers must re-warm on any false return.
+    if (!first_->loadState(is) || !second_->loadState(is))
+        return false;
+    for (std::size_t i = 0; i < meta_.size(); ++i)
+        meta_[i].setValue(raw[i]);
+    return true;
 }
 
 std::unique_ptr<BranchPredictor>

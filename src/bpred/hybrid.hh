@@ -39,6 +39,16 @@ class HybridPredictor : public BranchPredictor
     const char *name() const override { return name_.c_str(); }
     std::size_t storageBits() const override;
 
+    /**
+     * 'PHYT01' wire format: chooser bytes followed by both component
+     * sections. Save fails when either component does not serialize.
+     * A failed load after the chooser section validated may leave
+     * the components partially restored — callers treat any false
+     * return as "re-warm from scratch".
+     */
+    bool saveState(std::ostream &os) const override;
+    bool loadState(std::istream &is) override;
+
     BranchPredictor &first() { return *first_; }
     BranchPredictor &second() { return *second_; }
 

@@ -128,4 +128,17 @@ PerceptronPredictor::storageBits() const
     return entries_ * (historyBits_ + 1) * weightBits_;
 }
 
+bool
+PerceptronPredictor::saveState(std::ostream &os) const
+{
+    saveWeights(os);
+    return static_cast<bool>(os);
+}
+
+bool
+PerceptronPredictor::loadState(std::istream &is)
+{
+    return loadWeights(is);
+}
+
 } // namespace percon

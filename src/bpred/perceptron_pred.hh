@@ -70,6 +70,10 @@ class PerceptronPredictor : public BranchPredictor
     void saveWeights(std::ostream &os) const;
     bool loadWeights(std::istream &is);
 
+    /** Checkpoint interface: delegates to the 'PPWT01' format. */
+    bool saveState(std::ostream &os) const override;
+    bool loadState(std::istream &is) override;
+
   private:
     std::vector<std::int16_t> weights_;  ///< entries x stride_ (padded)
     std::size_t entries_;

@@ -52,6 +52,14 @@ class SatCounter
     /** Reset to zero (JRS-style miss-distance behaviour). */
     void reset() { value_ = 0; }
 
+    /** Restore a raw counter value (checkpoint deserialization). */
+    void
+    setValue(unsigned v)
+    {
+        PERCON_ASSERT(v <= max_, "value %u exceeds max %u", v, max_);
+        value_ = v;
+    }
+
     /** Set to the saturated maximum. */
     void saturate() { value_ = max_; }
 

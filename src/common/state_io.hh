@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tiny helpers for the magic-header wire formats used to serialize
+ * trained hardware state (predictor tables, estimator weights, BTB
+ * contents, warmed-state checkpoints).
+ *
+ * Every format follows the PerceptronConfidence::saveWeights pattern:
+ * an 8-byte magic (6 printable characters incl. a 2-digit version,
+ * padded with two NULs), a fixed array of uint64 geometry words that
+ * the loader validates against the live object, then raw payload.
+ * Loaders return false on any magic/geometry/stream mismatch and are
+ * expected to leave the live object unchanged in that case (composite
+ * loaders document their partial-restore caveats).
+ */
+
+#ifndef PERCON_COMMON_STATE_IO_HH
+#define PERCON_COMMON_STATE_IO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace percon {
+namespace stateio {
+
+inline void
+writeMagic(std::ostream &os, const char (&magic)[8])
+{
+    os.write(magic, 8);
+}
+
+/** Read and compare an 8-byte magic; false on mismatch or EOF. */
+inline bool
+readMagic(std::istream &is, const char (&magic)[8])
+{
+    char got[8] = {};
+    is.read(got, 8);
+    return static_cast<bool>(is) && std::memcmp(got, magic, 8) == 0;
+}
+
+inline void
+writeU64(std::ostream &os, std::uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+inline bool
+readU64(std::istream &is, std::uint64_t &v)
+{
+    is.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(is);
+}
+
+} // namespace stateio
+} // namespace percon
+
+#endif // PERCON_COMMON_STATE_IO_HH

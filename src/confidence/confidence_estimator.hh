@@ -19,6 +19,7 @@
 #define PERCON_CONFIDENCE_CONFIDENCE_ESTIMATOR_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -92,6 +93,42 @@ class ConfidenceEstimator
 
     /** Table storage in bits (the paper equalizes at 4KB = 32768). */
     virtual std::size_t storageBits() const = 0;
+
+    /**
+     * Canonical identity of every configuration parameter that
+     * affects training, used to key warmed-state checkpoints: two
+     * estimators with equal stateKey() train identically on the same
+     * branch stream. Estimators that support saveState()/loadState()
+     * must fold all training-relevant parameters in here; the
+     * default (the bare name) is sufficient for estimators that do
+     * not support serialization.
+     */
+    virtual std::string stateKey() const { return name(); }
+
+    /**
+     * Serialize trained state (weight tables, counters) into the
+     * estimator's magic-header wire format (common/state_io.hh).
+     * @return false when unsupported (the default) or on stream error
+     */
+    virtual bool
+    saveState(std::ostream &os) const
+    {
+        (void)os;
+        return false;
+    }
+
+    /**
+     * Restore state written by saveState() on an identically
+     * configured estimator.
+     * @return false on magic/geometry/stream mismatch or when
+     *         unsupported; state is left unchanged on failure
+     */
+    virtual bool
+    loadState(std::istream &is)
+    {
+        (void)is;
+        return false;
+    }
 };
 
 } // namespace percon

@@ -159,4 +159,38 @@ PerceptronConfidence::storageBits() const
            params_.weightBits;
 }
 
+bool
+PerceptronConfidence::saveState(std::ostream &os) const
+{
+    saveWeights(os);
+    return static_cast<bool>(os);
+}
+
+bool
+PerceptronConfidence::loadState(std::istream &is)
+{
+    return loadWeights(is);
+}
+
+std::string
+PerceptronConfidence::stateKey() const
+{
+    // Every parameter that influences training: the geometry and the
+    // thresholds (lambda feeds conf.low, which feeds the c term of
+    // the update rule; reverseLambda only changes the band, which
+    // train() does not read, but it is cheap to include and keeps
+    // the key aligned with the constructor arguments).
+    std::string key = std::string(name()) + "/e" +
+                      std::to_string(params_.entries) + "/h" +
+                      std::to_string(params_.historyBits) + "/w" +
+                      std::to_string(params_.weightBits) + "/l" +
+                      std::to_string(params_.lambda) + "/t" +
+                      std::to_string(params_.trainThreshold) + "/r" +
+                      (params_.reverseLambda
+                           ? std::to_string(*params_.reverseLambda)
+                           : std::string("none")) +
+                      "/p" + std::to_string(params_.pathHashBits);
+    return key;
+}
+
 } // namespace percon

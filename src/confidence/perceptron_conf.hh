@@ -98,6 +98,13 @@ class PerceptronConfidence : public ConfidenceEstimator
     void saveWeights(std::ostream &os) const;
     bool loadWeights(std::istream &is);
 
+    /** Checkpoint interface: delegates to the 'PCWT01' format. */
+    bool saveState(std::ostream &os) const override;
+    bool loadState(std::istream &is) override;
+
+    /** Every training-relevant parameter (checkpoint cache key). */
+    std::string stateKey() const override;
+
   private:
     std::size_t indexFor(Addr pc, std::uint64_t ghr) const;
     std::int32_t outputAt(std::size_t row, std::uint64_t ghr) const;

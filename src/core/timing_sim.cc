@@ -1,10 +1,13 @@
 #include "timing_sim.hh"
 
 #include <chrono>
+#include <cmath>
+#include <sstream>
 
 #include "bpred/factory.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/stats.hh"
 #include "verify/invariant_auditor.hh"
 
 namespace percon {
@@ -31,6 +34,18 @@ snapshotLengthFor(const PipelineConfig &config,
                   static_cast<Count>(config.frontEndDepth + 2) *
                       config.width;
     Count need = timing.warmupUops + timing.measureUops + slack;
+    if (timing.simMode == SimMode::Sampled) {
+        // Each measurement window additionally consumes a functional
+        // warm of sampleWarmUops, and drain() at the window boundary
+        // turns the in-flight slack into retirements that count
+        // toward the measure goal, so the per-window overshoot is
+        // bounded by the same slack term.
+        Count m = timing.sampleMeasureUops ? timing.sampleMeasureUops
+                                           : timing.measureUops;
+        Count windows = (timing.measureUops + m - 1) / m + 1;
+        need = timing.warmupUops + timing.measureUops +
+               windows * timing.sampleWarmUops + 2 * slack;
+    }
     constexpr Count kChunk = 64 * 1024;
     return (need + kChunk - 1) / kChunk * kChunk;
 }
@@ -79,10 +94,143 @@ runTiming(const BenchmarkSpec &spec, const PipelineConfig &config,
     InvariantAuditor auditor;
     if (timing.audit)
         core.setAuditor(&auditor);
-    core.warmup(timing.warmupUops);
-    core.run(timing.measureUops);
 
-    TimingResult result{spec.program.name, core.stats()};
+    TimingResult result;
+    result.benchmark = spec.program.name;
+
+    using Clock = std::chrono::steady_clock;
+    auto seconds_since = [](Clock::time_point t0) {
+        return std::chrono::duration<double>(Clock::now() - t0)
+            .count();
+    };
+
+    if (timing.simMode == SimMode::Exact) {
+        // The historical path, untouched: detailed warmup + detailed
+        // measurement, bit-identical to every golden lock.
+        auto t0 = Clock::now();
+        core.warmup(timing.warmupUops);
+        core.run(timing.measureUops);
+        result.detailSeconds = seconds_since(t0);
+    } else {
+        // ---- functional warm, checkpoint-aware ---------------------
+        auto warm0 = Clock::now();
+        std::string checkpoint_label = "off";
+        bool warmed = false;
+        if (timing.checkpointWarm && timing.checkpointStore && cursor) {
+            std::string ckpt_key = warmCheckpointKey(
+                spec.program, timing.warmupUops, config, predictor_name,
+                estimator ? estimator->stateKey() : std::string());
+            bool built_inline = false;
+            auto blob = timing.checkpointStore->get(
+                ckpt_key, [&]() -> std::string {
+                    // Owner: warm this run's own core inline and
+                    // publish the serialized result. An empty blob is
+                    // the memoized "cannot serialize" answer.
+                    core.functionalWarm(timing.warmupUops);
+                    built_inline = true;
+                    WarmState st;
+                    st.predictor = predictor.get();
+                    st.estimator = estimator.get();
+                    st.btb = config.btbEnabled ? &core.btbState()
+                                               : nullptr;
+                    st.ghr = core.historyBits(0);
+                    st.warmedUops = core.functionallyWarmed(0);
+                    st.cursorPos = cursor->pos();
+                    st.cursorMemPos = cursor->memOrdinal();
+                    st.cursorBrPos = cursor->branchOrdinal();
+                    std::ostringstream os;
+                    if (!saveWarmCheckpoint(os, st))
+                        return std::string();
+                    return std::move(os).str();
+                });
+            if (built_inline) {
+                warmed = true;
+                checkpoint_label = "miss";
+            } else {
+                checkpoint_label = "miss";
+                if (blob && !blob->empty()) {
+                    std::istringstream is(*blob);
+                    WarmState st;
+                    st.predictor = predictor.get();
+                    st.estimator = estimator.get();
+                    st.btb = config.btbEnabled ? &core.btbState()
+                                               : nullptr;
+                    if (loadWarmCheckpoint(is, st)) {
+                        cursor->seek(st.cursorPos, st.cursorMemPos,
+                                     st.cursorBrPos);
+                        core.restoreFunctionalWarm(0, st.ghr,
+                                                   st.warmedUops);
+                        warmed = true;
+                        checkpoint_label = "hit";
+                    }
+                }
+            }
+        }
+        if (!warmed)
+            core.functionalWarm(timing.warmupUops);
+        core.resetStats();
+        result.warmSeconds += seconds_since(warm0);
+        result.checkpoint = checkpoint_label;
+
+        // ---- alternating detailed windows and functional warms -----
+        RunningStat ipc_w, pvn_w, spec_w;
+        CoreStats prev = core.stats();
+        Count measured = 0;
+        auto detail0 = Clock::now();
+        double warm_extra = 0.0;
+        while (measured < timing.measureUops) {
+            Count m = timing.sampleMeasureUops
+                          ? std::min(timing.sampleMeasureUops,
+                                     timing.measureUops - measured)
+                          : timing.measureUops - measured;
+            core.run(m);
+            core.drain();
+            const CoreStats &cur = core.stats();
+            Count d_ret = cur.retiredUops - prev.retiredUops;
+            Cycle d_cyc = cur.cycles - prev.cycles;
+            ipc_w.add(d_cyc ? static_cast<double>(d_ret) /
+                                  static_cast<double>(d_cyc)
+                            : 0.0);
+            if (estimator) {
+                Count d_mb_low = cur.confidence.mispredictedLow() -
+                                 prev.confidence.mispredictedLow();
+                Count d_cb_low = cur.confidence.correctLow() -
+                                 prev.confidence.correctLow();
+                Count d_mb_high = cur.confidence.mispredictedHigh() -
+                                  prev.confidence.mispredictedHigh();
+                Count d_low = d_mb_low + d_cb_low;
+                Count d_misp = d_mb_low + d_mb_high;
+                pvn_w.add(d_low ? static_cast<double>(d_mb_low) /
+                                      static_cast<double>(d_low)
+                                : 0.0);
+                spec_w.add(d_misp ? static_cast<double>(d_mb_low) /
+                                        static_cast<double>(d_misp)
+                                  : 0.0);
+            }
+            prev = cur;
+            measured += d_ret;
+            if (measured >= timing.measureUops)
+                break;
+            auto w0 = Clock::now();
+            core.functionalWarm(timing.sampleWarmUops);
+            warm_extra += seconds_since(w0);
+        }
+        result.detailSeconds = seconds_since(detail0) - warm_extra;
+        result.warmSeconds += warm_extra;
+        result.simMode = "sampled";
+        result.sampledWindows = ipc_w.count();
+        auto stderr_of = [](const RunningStat &s) {
+            return s.count() >= 2
+                       ? s.stddev() /
+                             std::sqrt(static_cast<double>(s.count()))
+                       : 0.0;
+        };
+        result.ipcErr = stderr_of(ipc_w);
+        result.pvnErr = stderr_of(pvn_w);
+        result.specErr = stderr_of(spec_w);
+    }
+
+    result.stats = core.stats();
     if (timing.audit)
         result.audit = auditor.report().verdict();
     if (cursor) {

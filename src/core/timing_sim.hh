@@ -16,17 +16,51 @@
 #include <optional>
 #include <string>
 
+#include "core/warm_checkpoint.hh"
 #include "trace/benchmarks.hh"
 #include "trace/trace_snapshot.hh"
 #include "uarch/core.hh"
 
 namespace percon {
 
+/** How a timing run executes (see TimingConfig::simMode). */
+enum class SimMode
+{
+    /** Detailed simulation end to end: detailed warmup + detailed
+     *  measurement. Bit-identical to the historical behaviour. */
+    Exact,
+    /** SMARTS-style sampling: functional-warm fast-forward
+     *  (PipelineEngine::functionalWarm) replaces the detailed
+     *  warmup, then detailed measurement windows of
+     *  sampleMeasureUops alternate with functional warms of
+     *  sampleWarmUops until measureUops have been measured.
+     *  Aggregate statistics come with per-window error bars. */
+    Sampled,
+};
+
 /** Run lengths for timing experiments (paper: 10M warmup + 20M). */
 struct TimingConfig
 {
     Count warmupUops = 300'000;
     Count measureUops = 1'000'000;
+
+    SimMode simMode = SimMode::Exact;
+
+    /** Sampled mode: functionally-warmed uops between measurement
+     *  windows, and detailed uops per measurement window. */
+    Count sampleWarmUops = 80'000;
+    Count sampleMeasureUops = 20'000;
+
+    /** Sampled mode: serialize the functionally-warmed state through
+     *  checkpointStore so sweep points sharing a (workload, front
+     *  end) skip the warmup. Ignored in exact mode (the detailed
+     *  warmup stays untouched) and without a store. */
+    bool checkpointWarm = false;
+
+    /** Where warm checkpoints live when checkpointWarm is on. Not
+     *  owned; the sweep driver injects the process-wide
+     *  CheckpointCache. Null disables checkpointing. */
+    CheckpointStore *checkpointStore = nullptr;
 
     /** Seed for the wrong-path synthesizer. Unset means the legacy
      *  derivation (program seed ^ 0xdead); the sweep driver sets an
@@ -87,6 +121,32 @@ struct TimingResult
     /** Uops served by the cursor's live-tail fallback; nonzero means
      *  snapshotLengthFor() under-covered the run. */
     Count snapshotTailUops = 0;
+
+    /** "exact" or "sampled" (TimingConfig::simMode). */
+    std::string simMode = "exact";
+
+    /** Sampled mode: number of detailed measurement windows. */
+    Count sampledWindows = 0;
+
+    /** Sampled mode: standard errors (sample stddev / sqrt(k)) of
+     *  the per-window IPC / PVN / SPEC samples; 0 in exact mode or
+     *  with fewer than two windows. */
+    double ipcErr = 0.0;
+    double pvnErr = 0.0;
+    double specErr = 0.0;
+
+    /** Warm-checkpoint disposition: "off" (not requested /
+     *  unavailable), "miss" (this run built the blob, or restore
+     *  failed and it re-warmed) or "hit" (restored a shared blob).
+     *  Sweep rows override this with a deterministic input-order
+     *  label, like the snapshot field. */
+    std::string checkpoint = "off";
+
+    /** Wall-time split of the run: functional warming (including
+     *  checkpoint save/restore) vs detailed simulation. Exact mode
+     *  reports everything under detailSeconds. */
+    double warmSeconds = 0.0;
+    double detailSeconds = 0.0;
 };
 
 /**

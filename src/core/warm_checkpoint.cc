@@ -1,0 +1,119 @@
+#include "warm_checkpoint.hh"
+
+#include <cstdlib>
+#include <ostream>
+
+#include "bpred/branch_predictor.hh"
+#include "bpred/btb.hh"
+#include "common/logging.hh"
+#include "common/state_io.hh"
+#include "confidence/confidence_estimator.hh"
+#include "trace/trace_snapshot.hh"
+
+namespace percon {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'W', 'C', 'K', '0', '1', 0, 0};
+
+} // namespace
+
+bool
+saveWarmCheckpoint(std::ostream &os, const WarmState &st)
+{
+    PERCON_ASSERT(st.predictor != nullptr,
+                  "warm checkpoint needs a predictor");
+    stateio::writeMagic(os, kMagic);
+    stateio::writeU64(os, st.warmedUops);
+    stateio::writeU64(os, st.cursorPos);
+    stateio::writeU64(os, st.cursorMemPos);
+    stateio::writeU64(os, st.cursorBrPos);
+    stateio::writeU64(os, st.ghr);
+    stateio::writeU64(os, st.estimator ? 1 : 0);
+    stateio::writeU64(os, st.btb ? 1 : 0);
+    if (!st.predictor->saveState(os))
+        return false;
+    if (st.estimator && !st.estimator->saveState(os))
+        return false;
+    if (st.btb && !st.btb->saveState(os))
+        return false;
+    return static_cast<bool>(os);
+}
+
+bool
+loadWarmCheckpoint(std::istream &is, WarmState &st)
+{
+    if (!st.predictor)
+        return false;
+    if (!stateio::readMagic(is, kMagic))
+        return false;
+    std::uint64_t warmed = 0, pos = 0, mem_pos = 0, br_pos = 0;
+    std::uint64_t ghr = 0, has_est = 0, has_btb = 0;
+    if (!stateio::readU64(is, warmed) || !stateio::readU64(is, pos) ||
+        !stateio::readU64(is, mem_pos) ||
+        !stateio::readU64(is, br_pos) || !stateio::readU64(is, ghr) ||
+        !stateio::readU64(is, has_est) ||
+        !stateio::readU64(is, has_btb))
+        return false;
+    // The blob's component layout must match the live run's: a blob
+    // warmed with an estimator cannot restore into a run without one
+    // (and vice versa), same for the BTB.
+    if ((has_est != 0) != (st.estimator != nullptr))
+        return false;
+    if ((has_btb != 0) != (st.btb != nullptr))
+        return false;
+    if (!st.predictor->loadState(is))
+        return false;
+    if (st.estimator && !st.estimator->loadState(is))
+        return false;
+    if (st.btb && !st.btb->loadState(is))
+        return false;
+    st.warmedUops = warmed;
+    st.cursorPos = pos;
+    st.cursorMemPos = mem_pos;
+    st.cursorBrPos = br_pos;
+    st.ghr = ghr;
+    return true;
+}
+
+std::string
+warmCheckpointKey(const ProgramParams &params, Count warm_uops,
+                  const PipelineConfig &config,
+                  const std::string &predictor_name,
+                  const std::string &estimator_state_key)
+{
+    std::string key = programKey(params);
+    key += "/warm=";
+    key += std::to_string(warm_uops);
+    key += "/pred=";
+    key += predictor_name;
+    key += "/est=";
+    key += estimator_state_key.empty() ? "none" : estimator_state_key;
+    key += "/btb=";
+    if (config.btbEnabled) {
+        key += std::to_string(config.btbEntries);
+        key += "x";
+        key += std::to_string(config.btbWays);
+    } else {
+        key += "off";
+    }
+    return key;
+}
+
+bool
+warmCheckpointDefault()
+{
+    const char *v = std::getenv("PERCON_WARM_CHECKPOINT");
+    if (!v || !*v)
+        return false;
+    std::string s(v);
+    if (s == "on" || s == "1" || s == "true")
+        return true;
+    if (s == "off" || s == "0" || s == "false")
+        return false;
+    warn("PERCON_WARM_CHECKPOINT='%s' not understood "
+         "(want on|off); keeping the default (off)", v);
+    return false;
+}
+
+} // namespace percon

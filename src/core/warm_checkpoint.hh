@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Warmed-state checkpoints for sampled simulation.
+ *
+ * A sweep visits the same (workload, front end) under many backend /
+ * policy points, and every one of them pays the same functional
+ * warmup before measuring. A warm checkpoint serializes the
+ * architectural predictor state that functional warming produces —
+ * branch-predictor tables, confidence-estimator weights, the global
+ * history register and the BTB — together with the trace-cursor
+ * position, so sweep points that differ only in backend or policy
+ * parameters restore the blob and skip the warmup entirely.
+ *
+ * The blob follows the repo's magic-header wire-format convention
+ * (common/state_io.hh): magic "PWCK01", u64 header words, then the
+ * components' own saveState() sections in a fixed order. Loaders
+ * return false on any mismatch; a caller whose load fails must
+ * re-warm from scratch (component sections restore independently, so
+ * a mid-blob failure can leave earlier components restored — which
+ * the fresh functional warm then overwrites with training on top;
+ * only byte-level sharing is lost, never correctness of the
+ * fallback... see loadWarmCheckpoint()).
+ *
+ * CheckpointStore is the core-layer interface (this header must not
+ * depend on driver/); the concrete thread-safe memoizing cache lives
+ * in driver/checkpoint_cache.hh, mirroring the SnapshotProvider /
+ * SnapshotCache split.
+ */
+
+#ifndef PERCON_CORE_WARM_CHECKPOINT_HH
+#define PERCON_CORE_WARM_CHECKPOINT_HH
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+#include "trace/program_model.hh"
+#include "uarch/pipeline_config.hh"
+
+namespace percon {
+
+class BranchPredictor;
+class ConfidenceEstimator;
+class Btb;
+
+/**
+ * Get-or-build store for warm-checkpoint blobs. The first caller for
+ * a key owns the build (its @p build callback runs, typically warming
+ * that caller's own core inline and serializing the result);
+ * concurrent callers for the same key block and share the blob.
+ * An empty blob is a valid negative entry: it means the builder could
+ * not serialize (some component lacks saveState()), and every
+ * consumer should warm directly.
+ */
+class CheckpointStore
+{
+  public:
+    virtual ~CheckpointStore() = default;
+
+    virtual std::shared_ptr<const std::string>
+    get(const std::string &key,
+        const std::function<std::string()> &build) = 0;
+};
+
+/**
+ * The warmed architectural state of one single-thread run. For
+ * saving, the pointers reference the live components to serialize
+ * and the scalar fields carry the cursor/history bookkeeping; for
+ * loading, the pointers reference the components to restore into and
+ * the scalars come back from the blob.
+ */
+struct WarmState
+{
+    BranchPredictor *predictor = nullptr;   ///< required
+    ConfidenceEstimator *estimator = nullptr; ///< null = no estimator
+    Btb *btb = nullptr;                     ///< null = BTB disabled
+
+    std::uint64_t ghr = 0;      ///< SpecHistory bits after warming
+    Count warmedUops = 0;       ///< uops consumed by the warm
+    Count cursorPos = 0;        ///< SnapshotCursor::pos()
+    Count cursorMemPos = 0;     ///< SnapshotCursor::memOrdinal()
+    Count cursorBrPos = 0;      ///< SnapshotCursor::branchOrdinal()
+};
+
+/**
+ * Serialize @p st. Returns false (leaving the stream short) when any
+ * component cannot save itself — callers should then publish an
+ * empty blob so consumers fall back to direct warming.
+ */
+bool saveWarmCheckpoint(std::ostream &os, const WarmState &st);
+
+/**
+ * Restore a blob into the components referenced by @p st and fill in
+ * its scalar fields. The component layout flags in the blob must
+ * match the pointers provided (estimator/BTB present or not), and
+ * every component section must validate against the live object's
+ * geometry. False on any mismatch; the caller must then warm from
+ * scratch (earlier sections may already be restored — harmless, as
+ * the fresh warm trains over them, but the run is then a "miss").
+ */
+bool loadWarmCheckpoint(std::istream &is, WarmState &st);
+
+/**
+ * Canonical cache key for a warm checkpoint: the full workload
+ * identity (programKey), the warm length, and every configuration
+ * axis that functional warming reads — predictor kind, estimator
+ * training identity (ConfidenceEstimator::stateKey()), and the BTB
+ * geometry. Backend and policy parameters are deliberately absent:
+ * that is what makes the checkpoint shareable across those sweeps.
+ */
+std::string warmCheckpointKey(const ProgramParams &params,
+                              Count warm_uops,
+                              const PipelineConfig &config,
+                              const std::string &predictor_name,
+                              const std::string &estimator_state_key);
+
+/**
+ * Process-wide default for checkpointed warming in sampled runs:
+ * false unless the PERCON_WARM_CHECKPOINT environment variable says
+ * on/1/true. Unrecognized values warn and keep the default.
+ */
+bool warmCheckpointDefault();
+
+} // namespace percon
+
+#endif // PERCON_CORE_WARM_CHECKPOINT_HH

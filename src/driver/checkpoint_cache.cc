@@ -1,0 +1,61 @@
+#include "checkpoint_cache.hh"
+
+#include <chrono>
+
+namespace percon {
+
+std::shared_ptr<const std::string>
+CheckpointCache::get(const std::string &key,
+                     const std::function<std::string()> &build)
+{
+    std::promise<std::shared_ptr<const std::string>> promise;
+    std::shared_future<std::shared_ptr<const std::string>> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            future = promise.get_future().share();
+            cache_.emplace(key, future);
+            ++counters_.misses;
+            owner = true;
+        } else {
+            future = it->second;
+            ++counters_.hits;
+        }
+    }
+    if (owner) {
+        try {
+            auto t0 = std::chrono::steady_clock::now();
+            auto blob = std::make_shared<const std::string>(build());
+            double secs = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                counters_.builtBytes += blob->size();
+                counters_.buildSeconds += secs;
+            }
+            promise.set_value(std::move(blob));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+CheckpointCache::Counters
+CheckpointCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+CheckpointCache &
+CheckpointCache::global()
+{
+    static CheckpointCache cache;
+    return cache;
+}
+
+} // namespace percon

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Thread-safe memoized warm-checkpoint store.
+ *
+ * SnapshotCache-style: the first caller for a key owns the build
+ * (the caller's callback warms its own core inline and serializes
+ * the result), concurrent callers for the same key block on a shared
+ * future and restore the blob instead of re-warming. An empty blob is
+ * a memoized negative result — the builder could not serialize —
+ * telling every consumer to warm directly.
+ *
+ * Keys come from warmCheckpointKey(): the full workload identity plus
+ * every configuration axis functional warming reads. Backend and
+ * policy parameters are absent by construction, which is the whole
+ * point — a sweep over gate thresholds or machine back ends warms
+ * each (workload, front end) exactly once.
+ */
+
+#ifndef PERCON_DRIVER_CHECKPOINT_CACHE_HH
+#define PERCON_DRIVER_CHECKPOINT_CACHE_HH
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/warm_checkpoint.hh"
+
+namespace percon {
+
+class CheckpointCache : public CheckpointStore
+{
+  public:
+    CheckpointCache() { cache_.reserve(32); }
+
+    /** Accounting totals, readable at any time. */
+    struct Counters
+    {
+        Count hits = 0;       ///< get() served from the map
+        Count misses = 0;     ///< get() ran the build callback
+        Count builtBytes = 0; ///< total blob bytes held
+        double buildSeconds = 0.0; ///< wall time inside builds
+    };
+
+    std::shared_ptr<const std::string>
+    get(const std::string &key,
+        const std::function<std::string()> &build) override;
+
+    Counters counters() const;
+
+    /**
+     * The process-wide cache the sweep driver injects into
+     * TimingConfig when checkpointed warming is requested without an
+     * explicit store. Lives for the process, like
+     * SnapshotCache::global().
+     */
+    static CheckpointCache &global();
+
+  private:
+    mutable std::mutex mutex_;
+    Counters counters_;
+    std::unordered_map<
+        std::string,
+        std::shared_future<std::shared_ptr<const std::string>>>
+        cache_;
+};
+
+} // namespace percon
+
+#endif // PERCON_DRIVER_CHECKPOINT_CACHE_HH

@@ -103,6 +103,12 @@ runRecordJson(const RunRecord &rec)
     json += ',';
     appendStr(json, "snapshot", rec.snapshot);
     json += ',';
+    appendStr(json, "sim_mode", rec.simMode);
+    json += ',';
+    appendU64(json, "sampled_windows", rec.sampledWindows);
+    json += ',';
+    appendStr(json, "checkpoint", rec.checkpoint);
+    json += ',';
     appendStr(json, "build", buildId());
     json += ',';
     appendDouble(json, "wall_seconds", rec.wallSeconds);
@@ -112,6 +118,8 @@ runRecordJson(const RunRecord &rec)
     appendU64(json, "cycles", s.cycles);
     json += ',';
     appendDouble(json, "ipc", s.ipc());
+    json += ',';
+    appendDouble(json, "ipc_err", rec.ipcErr);
     json += ',';
     appendU64(json, "retired_uops", s.retiredUops);
     json += ',';
@@ -131,7 +139,11 @@ runRecordJson(const RunRecord &rec)
     json += ',';
     appendDouble(json, "pvn", s.confidence.pvn());
     json += ',';
+    appendDouble(json, "pvn_err", rec.pvnErr);
+    json += ',';
     appendDouble(json, "spec", s.confidence.spec());
+    json += ',';
+    appendDouble(json, "spec_err", rec.specErr);
     json += "}}";
     return json;
 }

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/rng.hh"
+#include "driver/checkpoint_cache.hh"
 #include "driver/snapshot_cache.hh"
 
 namespace percon {
@@ -77,7 +78,7 @@ SweepPoint
 makePoint(RunKey key, RunFn fn)
 {
     std::uint64_t seed = key.seed();
-    return SweepPoint{std::move(key), seed, std::move(fn), {}};
+    return SweepPoint{std::move(key), seed, std::move(fn), {}, {}};
 }
 
 SweepPoint
@@ -112,6 +113,24 @@ timingPoint(RunKey key, const PipelineConfig &config,
         snapshot_label = "on";
     }
 
+    // Resolve the warm-checkpoint key the same way, on the
+    // construction thread: the label is a property of the sweep
+    // definition, derived by SweepRunner::run from first occurrence
+    // in input order. Checkpointing only applies to sampled runs that
+    // replay from a snapshot (runTiming needs the cursor seek).
+    std::string checkpoint_key;
+    if (t0.simMode == SimMode::Sampled && t0.checkpointWarm &&
+        t0.traceSnapshot) {
+        if (!t0.checkpointStore)
+            t0.checkpointStore = &CheckpointCache::global();
+        std::string est_key;
+        if (make_estimator)
+            est_key = make_estimator()->stateKey();
+        checkpoint_key = warmCheckpointKey(
+            benchmarkSpec(key.benchmark).program, t0.warmupUops,
+            config, key.predictor, est_key);
+    }
+
     RunFn fn = [config, make_estimator, spec_ctrl, t0,
                 snapshot_label](const RunKey &k,
                                 std::uint64_t run_seed) {
@@ -120,10 +139,18 @@ timingPoint(RunKey key, const PipelineConfig &config,
         TimingResult r =
             runTiming(benchmarkSpec(k.benchmark), config, k.predictor,
                       make_estimator, spec_ctrl, t);
-        return RunOutput{r.stats, r.audit, snapshot_label};
+        RunOutput out{r.stats, r.audit, snapshot_label};
+        out.simMode = r.simMode;
+        out.sampledWindows = r.sampledWindows;
+        out.ipcErr = r.ipcErr;
+        out.pvnErr = r.pvnErr;
+        out.specErr = r.specErr;
+        out.checkpoint = r.checkpoint;
+        return out;
     };
     return SweepPoint{std::move(key), seed, std::move(fn),
-                      std::move(snapshot_key)};
+                      std::move(snapshot_key),
+                      std::move(checkpoint_key)};
 }
 
 SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs)
@@ -158,6 +185,20 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
         }
     }
 
+    // Same deterministic scheme for warm-checkpoint labels.
+    std::vector<const char *> checkpoint_labels(points.size(),
+                                                nullptr);
+    {
+        std::unordered_set<std::string> seen;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (points[i].checkpointKey.empty())
+                continue;
+            checkpoint_labels[i] =
+                seen.insert(points[i].checkpointKey).second ? "miss"
+                                                            : "hit";
+        }
+    }
+
     auto worker = [&] {
         for (;;) {
             std::size_t i = next.fetch_add(1);
@@ -174,6 +215,14 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
                 rec.snapshot = snapshot_labels[i]
                                    ? snapshot_labels[i]
                                    : std::move(output.snapshot);
+                rec.simMode = std::move(output.simMode);
+                rec.sampledWindows = output.sampledWindows;
+                rec.ipcErr = output.ipcErr;
+                rec.pvnErr = output.pvnErr;
+                rec.specErr = output.specErr;
+                rec.checkpoint = checkpoint_labels[i]
+                                     ? checkpoint_labels[i]
+                                     : std::move(output.checkpoint);
             } catch (...) {
                 errors[i] = std::current_exception();
             }

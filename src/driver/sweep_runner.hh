@@ -74,6 +74,21 @@ struct RunRecord
      *  from the sweep definition, not run-time racing, so rows stay
      *  byte-identical across job counts and repeats. */
     std::string snapshot = "off";
+
+    /** "exact" or "sampled" (TimingResult::simMode). */
+    std::string simMode = "exact";
+    /** Detailed measurement windows taken (sampled mode only). */
+    Count sampledWindows = 0;
+    /** Per-window standard errors (0 in exact mode). */
+    double ipcErr = 0.0;
+    double pvnErr = 0.0;
+    double specErr = 0.0;
+
+    /** Warm-checkpoint disposition: "off", "miss" (first point in
+     *  input order to use its warm key) or "hit". Deterministic like
+     *  the snapshot label. */
+    std::string checkpoint = "off";
+
     double wallSeconds = 0.0;
 };
 
@@ -85,6 +100,14 @@ struct RunOutput
     CoreStats stats;
     std::string audit = "off";
     std::string snapshot = "off";
+
+    /** Sampled-simulation outcome (defaults describe an exact run). */
+    std::string simMode = "exact";
+    Count sampledWindows = 0;
+    double ipcErr = 0.0;
+    double pvnErr = 0.0;
+    double specErr = 0.0;
+    std::string checkpoint = "off";
 
     RunOutput() = default;
     RunOutput(const CoreStats &s) : stats(s) {}
@@ -115,6 +138,11 @@ struct SweepPoint
      *  input order, so rows are byte-identical across job counts
      *  and repeated sweeps. */
     std::string snapshotKey;
+
+    /** Warm-checkpoint key of this point (empty = checkpointing
+     *  off). Same deterministic first-in-input-order labeling as
+     *  snapshotKey. */
+    std::string checkpointKey;
 };
 
 /** Build a point whose seed is the key's own derived seed. */

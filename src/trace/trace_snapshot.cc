@@ -133,6 +133,23 @@ SnapshotCursor::rewind()
     tailConsumed_ = 0;
 }
 
+void
+SnapshotCursor::seek(Count pos, Count mem_pos, Count br_pos)
+{
+    PERCON_ASSERT(pos <= snap_->size_,
+                  "seek position %llu beyond snapshot size %llu",
+                  static_cast<unsigned long long>(pos),
+                  static_cast<unsigned long long>(snap_->size_));
+    PERCON_ASSERT(mem_pos <= snap_->numMem_, "mem ordinal out of range");
+    PERCON_ASSERT(br_pos <= snap_->numBranch_,
+                  "branch ordinal out of range");
+    pos_ = pos;
+    memPos_ = mem_pos;
+    brPos_ = br_pos;
+    tail_.reset();
+    tailConsumed_ = 0;
+}
+
 MicroOp
 SnapshotCursor::tailNext()
 {

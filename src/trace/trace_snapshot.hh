@@ -156,8 +156,24 @@ class SnapshotCursor final : public WorkloadSource
      *  runs); drops any live-tail generator. */
     void rewind();
 
+    /**
+     * Jump to an absolute replay position in O(1): uop index @p pos
+     * with @p mem_pos memory ordinals and @p br_pos branch ordinals
+     * already consumed (the counts a warmed-state checkpoint
+     * records). The caller is responsible for the ordinals matching
+     * the uop index; drops any live-tail generator. @p pos must be
+     * within the snapshot.
+     */
+    void seek(Count pos, Count mem_pos, Count br_pos);
+
     /** Total uops handed out, snapshot + tail. */
     Count consumed() const { return pos_ + tailConsumed_; }
+
+    /** Current replay position (uop index / mem / branch ordinals),
+     *  the triple a warmed-state checkpoint records for seek(). */
+    Count pos() const { return pos_; }
+    Count memOrdinal() const { return memPos_; }
+    Count branchOrdinal() const { return brPos_; }
 
     /** Uops served by the live-tail fallback (0 in the normal case
      *  where the snapshot was sized to cover the run). */

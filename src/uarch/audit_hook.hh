@@ -45,6 +45,13 @@ struct AuditContext
     /** Cursor-consumed uop count (snapshot + live tail) when
      *  workloadReplay is set; 0 otherwise. */
     Count workloadConsumed = 0;
+
+    /** Workload uops consumed by functional warming rather than by
+     *  fetch (cumulative, monotonic like workloadConsumed). The
+     *  replay-conservation law excludes these from the fetched
+     *  balance: consumed - functionallyWarmed == correct-path
+     *  fetched. */
+    Count functionallyWarmed = 0;
 };
 
 class AuditHook

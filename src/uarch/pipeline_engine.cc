@@ -88,6 +88,7 @@ PipelineEngine::auditContext(unsigned tid) const
                      estimator_ != nullptr};
     ctx.tcStallUntil = t.tcStallUntil;
     ctx.btbStallUntil = t.btbStallUntil;
+    ctx.functionallyWarmed = t.functionallyWarmed;
     if (t.snapCursor) {
         ctx.workloadReplay = true;
         ctx.workloadConsumed = t.snapCursor->consumed();
@@ -560,7 +561,8 @@ PipelineEngine::cycleOnce()
         retire(tid);
     for (unsigned tid = 0; tid < numThreads(); ++tid)
         dispatch(tid);
-    fetch();
+    if (fetchEnabled_)
+        fetch();
     for (unsigned tid = 0; tid < numThreads(); ++tid) {
         if (threads_[tid].auditor)
             threads_[tid].auditor->onCheck(auditContext(tid));
@@ -754,6 +756,80 @@ PipelineEngine::warmup(Count per_thread)
 {
     run(per_thread);
     resetStats();
+}
+
+void
+PipelineEngine::functionalWarm(Count uops)
+{
+    PERCON_ASSERT(numThreads() == 1,
+                  "functional warm is single-thread only");
+    ThreadContext &t = threads_[0];
+    PERCON_ASSERT(t.window.size() == 0 && !t.onWrongPath,
+                  "functional warm needs an empty pipeline "
+                  "(drain() first)");
+
+    for (Count n = 0; n < uops; ++n) {
+        MicroOp mu = t.snapCursor ? t.snapCursor->nextFast()
+                                  : t.binding.workload->next();
+        if (mu.cls != UopClass::Branch)
+            continue;
+
+        // The architectural prediction/training cycle, compressed:
+        // predict with the prediction-time history, probe/fill the
+        // BTB for the predicted direction, train predictor and
+        // estimator immediately with the actual outcome, shift the
+        // outcome into the history. No reversal and no gating —
+        // policy must not leak into state shared across policy
+        // points (see the header comment).
+        std::uint64_t ghr = t.history.bits();
+        PredMeta meta;
+        bool pred = predictor_.predict(mu.pc, ghr, meta);
+        ConfidenceInfo conf;
+        if (estimator_)
+            conf = estimator_->estimate(mu.pc, ghr, pred);
+
+        if (config_.btbEnabled && pred) {
+            if (!btb_.lookup(mu.pc))
+                btb_.update(mu.pc, mu.target);
+        }
+
+        bool misp = pred != mu.taken;
+        predictor_.update(mu.pc, ghr, mu.taken, meta);
+        if (estimator_) {
+            estimator_->train(mu.pc, ghr, pred, misp, conf);
+        }
+        t.history.push(mu.taken);
+    }
+
+    Count credited = uops;
+    if (testWarmDefect_ && uops > 0)
+        --credited;  // see setTestWarmAccountingDefect()
+    t.functionallyWarmed += credited;
+}
+
+void
+PipelineEngine::drain()
+{
+    fetchEnabled_ = false;
+    Count idle_iters = 0;
+    std::size_t last_size = ~std::size_t{0};
+    for (;;) {
+        std::size_t inflight = 0;
+        for (const ThreadContext &t : threads_)
+            inflight += t.window.size();
+        if (inflight == 0)
+            break;
+        if (inflight != last_size) {
+            last_size = inflight;
+            idle_iters = 0;
+        } else if (++idle_iters > 500000) {
+            panic("core deadlock: drain made no progress in 500k "
+                  "cycles (inflight=%zu)",
+                  inflight);
+        }
+        cycleOnce();
+    }
+    fetchEnabled_ = true;
 }
 
 double

@@ -167,6 +167,74 @@ class PipelineEngine
     void warmup(Count per_thread);
 
     /**
+     * Functional-warm fast-forward: consume @p uops workload uops at
+     * near-replay speed, updating only architectural predictor state
+     * — branch predictor tables, global history, confidence
+     * estimator weights and the BTB — with no inflight window, no
+     * execution model and no timing events. CoreStats, the caches
+     * and the cycle counter are untouched.
+     *
+     * Semantics: branches are predicted with the current tables
+     * (filling PredMeta exactly as fetch would), the estimator is
+     * consulted, the BTB is probed/filled for predicted-taken
+     * branches, and predictor + estimator train immediately with the
+     * architectural outcome — the retire-order training stream of a
+     * detailed run, minus the fetch/retire overlap. The history
+     * shifts in actual outcomes, which is exactly the history every
+     * correct-path branch of a detailed run observes at predict
+     * time. Speculation-control policy (gating, reversal, latency)
+     * is deliberately NOT applied, so warmed state is shareable
+     * across policy sweep points.
+     *
+     * Single-thread only; requires an empty pipeline (construction,
+     * or after drain()).
+     */
+    void functionalWarm(Count uops);
+
+    /**
+     * Stop fetching and run the machine until the inflight window is
+     * empty: every correct-path uop retires (training normally) and
+     * wrong-path work dies with its branch. Cycles and retirements
+     * accrue to CoreStats as usual. This is the boundary between a
+     * detailed measurement window and the next functional warm.
+     */
+    void drain();
+
+    /** Uops consumed by functionalWarm() on thread @p tid (incl.
+     *  counts carried in by restoreFunctionalWarm). */
+    Count
+    functionallyWarmed(unsigned tid) const
+    {
+        return threads_[tid].functionallyWarmed;
+    }
+
+    /**
+     * Adopt warmed front-end state restored from a checkpoint: set
+     * the global history register and credit @p warmed_uops consumed
+     * workload uops to thread @p tid (the workload cursor must have
+     * been seek()ed to the matching position by the caller). The
+     * predictor/estimator/BTB tables are restored through their own
+     * loadState() interfaces.
+     */
+    void
+    restoreFunctionalWarm(unsigned tid, std::uint64_t ghr,
+                          Count warmed_uops)
+    {
+        threads_[tid].history.setBits(ghr);
+        threads_[tid].functionallyWarmed += warmed_uops;
+    }
+
+    /** Global history bits of thread @p tid (checkpoint capture). */
+    std::uint64_t
+    historyBits(unsigned tid) const
+    {
+        return threads_[tid].history.bits();
+    }
+
+    /** The shared BTB (checkpoint capture/restore). */
+    Btb &btbState() { return btb_; }
+
+    /**
      * Enable/disable event-driven idle-cycle skipping (default on;
      * effective only with a single thread — multi-thread runs are
      * always cycle-stepped). Skipping never changes CoreStats — the
@@ -238,6 +306,15 @@ class PipelineEngine
      */
     void setTestFastForwardDefect(bool on) { testFfDefect_ = on; }
 
+    /**
+     * Test-only fault injection: functionalWarm() under-credits the
+     * per-thread warmed-uop count by one, so the auditor's
+     * replay-conservation law (which excludes functionally-warmed
+     * uops from the fetched/consumed balance) must fire. Never set
+     * outside tests.
+     */
+    void setTestWarmAccountingDefect(bool on) { testWarmDefect_ = on; }
+
   protected:
     struct ThreadContext
     {
@@ -265,6 +342,11 @@ class PipelineEngine
         std::array<Cycle, kDepRing> wpReady{};
         CoreStats stats;
         AuditHook *auditor = nullptr;
+
+        /** Workload uops consumed by functionalWarm() (cumulative,
+         *  like the cursor's consumed count — the auditor subtracts
+         *  it from consumed when balancing against fetches). */
+        Count functionallyWarmed = 0;
 
         /** Attach a workload binding, (re-)running SnapshotCursor
          *  detection. */
@@ -333,7 +415,10 @@ class PipelineEngine
     unsigned storeBufLimitPerThread_;
     unsigned dispatchBudget_;
     bool skipIdleCycles_ = true;
+    /** False only inside drain(): cycleOnce() skips fetch. */
+    bool fetchEnabled_ = true;
     bool testFfDefect_ = false;
+    bool testWarmDefect_ = false;
 };
 
 } // namespace percon

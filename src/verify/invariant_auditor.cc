@@ -131,21 +131,23 @@ InvariantAuditor::onCheck(const AuditContext &ctx)
     }
     if (ctx.workloadReplay) {
         // Every correct-path fetch consumes exactly one cursor
-        // entry; the cursor count is monotonic across stats resets,
-        // so compare deltas against the baseline from the last reset
+        // entry, except the uops consumed by functional warming,
+        // which bypass fetch entirely and are excluded from the
+        // balance. Both counts are monotonic across stats resets, so
+        // compare deltas against the baseline from the last reset
         // (captured lazily when the auditor attached mid-run).
         Count correct_fetched = s.fetchedUops - s.wrongPathFetched;
+        Count fetch_consumed =
+            ctx.workloadConsumed - ctx.functionallyWarmed;
         if (!replayBaselineSet_) {
             replayBaselineSet_ = true;
-            replayConsumedAtReset_ =
-                ctx.workloadConsumed - correct_fetched;
+            replayConsumedAtReset_ = fetch_consumed - correct_fetched;
         }
-        Count consumed =
-            ctx.workloadConsumed - replayConsumedAtReset_;
+        Count consumed = fetch_consumed - replayConsumedAtReset_;
         if (correct_fetched != consumed)
             record("replay-conservation",
                    fmt("correct-path fetched %llu != cursor "
-                       "consumed %llu",
+                       "consumed %llu (warmed uops excluded)",
                        correct_fetched, consumed),
                    now);
     }
@@ -257,7 +259,8 @@ InvariantAuditor::onStatsReset(const AuditContext &ctx)
     carriedInflight_ = ctx.window ? ctx.window->size() : 0;
     if (ctx.workloadReplay) {
         replayBaselineSet_ = true;
-        replayConsumedAtReset_ = ctx.workloadConsumed;
+        replayConsumedAtReset_ =
+            ctx.workloadConsumed - ctx.functionallyWarmed;
     }
     // Stall-delta baselines restart from the post-reset counters.
     if (ctx.stats) {

@@ -29,7 +29,10 @@
  *    cursor-consumed entry corresponds to exactly one correct-path
  *    fetch (fetched - wrong-path fetched == consumed), across
  *    warmup resets — the check that catches a cursor that skips,
- *    repeats or leaks entries;
+ *    repeats or leaks entries. Uops consumed by functional warming
+ *    (PipelineEngine::functionalWarm) bypass fetch entirely and are
+ *    excluded from the balance, so the law holds across the
+ *    functional-warm <-> detailed boundary of sampled simulation;
  *  - confidence classifications partition the retired branches:
  *    matrix total = retired branches, matrix mispredicted = original
  *    mispredicts, and reversals = good + bad.

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Sampled simulation and warmed-state checkpoints.
+ *
+ * Locks the three contracts the sampled-simulation subsystem rests
+ * on:
+ *
+ *  - checkpoint round-trip: a sampled run that restores its warm
+ *    state from a checkpoint is bit-identical — all CoreStats
+ *    counters plus the confidence matrix on the measured region — to
+ *    a sampled run that warms from scratch, across the same
+ *    18-config (bench x machine x policy) matrix the golden stats
+ *    test pins;
+ *  - rejection: corrupted, truncated or version-mismatched blobs are
+ *    refused by the loader, and exact mode ignores the checkpoint
+ *    flag entirely;
+ *  - calibration: sampled aggregates land near the exact run, the
+ *    invariant auditor stays clean across every functional-warm <->
+ *    detailed boundary, and the deliberate warm-accounting defect is
+ *    caught by the replay-conservation law.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "bpred/factory.hh"
+#include "confidence/factory.hh"
+#include "core/timing_sim.hh"
+#include "core/warm_checkpoint.hh"
+#include "driver/checkpoint_cache.hh"
+#include "trace/benchmarks.hh"
+#include "trace/wrongpath.hh"
+#include "uarch/core.hh"
+#include "verify/invariant_auditor.hh"
+
+namespace percon {
+namespace {
+
+struct MatrixConfig
+{
+    const char *bench;
+    const char *machine;
+    const char *policy;
+};
+
+/** The golden matrix of core_golden_stats_test.cc. */
+const MatrixConfig kMatrix[] = {
+    {"gcc", "deep40x4", "none"},      {"mcf", "deep40x4", "none"},
+    {"gcc", "deep40x4", "gate1"},     {"gcc", "deep40x4", "gate2"},
+    {"mcf", "deep40x4", "gate2"},     {"gcc", "deep40x4", "gate3"},
+    {"gcc", "deep40x4", "reversal"},  {"gcc", "deep40x4", "gate2lat4"},
+    {"gcc", "deep40x4", "gate2revlat4"},
+    {"gcc", "wide20x8", "none"},      {"mcf", "wide20x8", "none"},
+    {"gcc", "wide20x8", "gate1"},     {"gcc", "wide20x8", "gate2"},
+    {"mcf", "wide20x8", "gate2"},     {"gcc", "wide20x8", "gate3"},
+    {"gcc", "wide20x8", "reversal"},  {"gcc", "wide20x8", "gate2lat4"},
+    {"gcc", "wide20x8", "gate2revlat4"},
+};
+
+PipelineConfig
+machineFor(const std::string &name)
+{
+    return name == "deep40x4" ? PipelineConfig::deep40x4()
+                              : PipelineConfig::wide20x8();
+}
+
+SpeculationControl
+policyFor(const std::string &name)
+{
+    SpeculationControl sc;
+    if (name == "gate1") {
+        sc.gateThreshold = 1;
+    } else if (name == "gate2") {
+        sc.gateThreshold = 2;
+    } else if (name == "gate3") {
+        sc.gateThreshold = 3;
+    } else if (name == "reversal") {
+        sc.reversalEnabled = true;
+    } else if (name == "gate2lat4") {
+        sc.gateThreshold = 2;
+        sc.confidenceLatency = 4;
+    } else if (name == "gate2revlat4") {
+        sc.gateThreshold = 2;
+        sc.reversalEnabled = true;
+        sc.confidenceLatency = 4;
+    } else {
+        EXPECT_EQ(name, "none");
+    }
+    return sc;
+}
+
+EstimatorFactory
+estimatorFor(const SpeculationControl &sc)
+{
+    if (sc.gateThreshold == 0 && !sc.reversalEnabled)
+        return nullptr;
+    return [] { return makeEstimator("perceptron-cic"); };
+}
+
+TimingConfig
+sampledConfig()
+{
+    TimingConfig t;
+    t.warmupUops = 20'000;
+    t.measureUops = 60'000;
+    t.simMode = SimMode::Sampled;
+    t.sampleWarmUops = 10'000;
+    t.sampleMeasureUops = 5'000;
+    t.audit = true;
+    return t;
+}
+
+TimingResult
+runMatrixPoint(const MatrixConfig &mc, const TimingConfig &t)
+{
+    SpeculationControl sc = policyFor(mc.policy);
+    return runTiming(benchmarkSpec(mc.bench), machineFor(mc.machine),
+                     "bimodal-gshare", estimatorFor(sc), sc, t);
+}
+
+void
+expectStatsEqual(const CoreStats &a, const CoreStats &b,
+                 const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.fetchedUops, b.fetchedUops);
+    EXPECT_EQ(a.executedUops, b.executedUops);
+    EXPECT_EQ(a.retiredUops, b.retiredUops);
+    EXPECT_EQ(a.wrongPathFetched, b.wrongPathFetched);
+    EXPECT_EQ(a.wrongPathExecuted, b.wrongPathExecuted);
+    EXPECT_EQ(a.retiredBranches, b.retiredBranches);
+    EXPECT_EQ(a.mispredictsOriginal, b.mispredictsOriginal);
+    EXPECT_EQ(a.mispredictsFinal, b.mispredictsFinal);
+    EXPECT_EQ(a.reversals, b.reversals);
+    EXPECT_EQ(a.reversalsGood, b.reversalsGood);
+    EXPECT_EQ(a.reversalsBad, b.reversalsBad);
+    EXPECT_EQ(a.gatedCycles, b.gatedCycles);
+    EXPECT_EQ(a.flushes, b.flushes);
+    EXPECT_EQ(a.traceCacheMisses, b.traceCacheMisses);
+    EXPECT_EQ(a.traceCacheStallCycles, b.traceCacheStallCycles);
+    EXPECT_EQ(a.btbMisses, b.btbMisses);
+    EXPECT_EQ(a.btbStallCycles, b.btbStallCycles);
+    EXPECT_EQ(a.fetchStallPipeFull, b.fetchStallPipeFull);
+    EXPECT_EQ(a.dispatchStallRob, b.dispatchStallRob);
+    EXPECT_EQ(a.dispatchStallWindow, b.dispatchStallWindow);
+    EXPECT_EQ(a.dispatchStallBuffers, b.dispatchStallBuffers);
+    EXPECT_EQ(a.dispatchStallEmpty, b.dispatchStallEmpty);
+    EXPECT_EQ(a.issueWaitSum, b.issueWaitSum);
+    EXPECT_EQ(a.loadLatencySum, b.loadLatencySum);
+    EXPECT_EQ(a.loadCount, b.loadCount);
+    EXPECT_EQ(a.confidence.mispredictedLow(),
+              b.confidence.mispredictedLow());
+    EXPECT_EQ(a.confidence.mispredictedHigh(),
+              b.confidence.mispredictedHigh());
+    EXPECT_EQ(a.confidence.correctLow(), b.confidence.correctLow());
+    EXPECT_EQ(a.confidence.correctHigh(), b.confidence.correctHigh());
+}
+
+} // namespace
+
+// A sampled run that restores its warmed state from a checkpoint
+// must match a sampled run that warms from scratch bit-identically,
+// on every counter, across the whole golden-matrix config space.
+TEST(WarmCheckpoint, RoundTripMatchesStraightRunAcrossGoldenMatrix)
+{
+    for (const MatrixConfig &mc : kMatrix) {
+        std::string what = std::string(mc.bench) + "/" + mc.machine +
+                           "/" + mc.policy;
+        TimingResult straight = runMatrixPoint(mc, sampledConfig());
+        EXPECT_EQ(straight.checkpoint, "off") << what;
+        EXPECT_EQ(straight.audit, "clean") << what;
+
+        CheckpointCache cache;
+        TimingConfig t = sampledConfig();
+        t.checkpointWarm = true;
+        t.checkpointStore = &cache;
+        TimingResult built = runMatrixPoint(mc, t);
+        EXPECT_EQ(built.checkpoint, "miss") << what;
+        TimingResult restored = runMatrixPoint(mc, t);
+        EXPECT_EQ(restored.checkpoint, "hit") << what;
+        EXPECT_EQ(restored.audit, "clean") << what;
+
+        expectStatsEqual(straight.stats, built.stats,
+                         what + " (built)");
+        expectStatsEqual(straight.stats, restored.stats,
+                         what + " (restored)");
+        EXPECT_EQ(cache.counters().misses, 1u) << what;
+        EXPECT_EQ(cache.counters().hits, 1u) << what;
+    }
+}
+
+// Exact mode must ignore the checkpoint machinery entirely: the
+// detailed warmup path stays byte-identical to the historical
+// behaviour, which the golden matrices pin.
+TEST(WarmCheckpoint, ExactModeIgnoresCheckpointFlag)
+{
+    const MatrixConfig mc{"gcc", "deep40x4", "gate2"};
+    TimingConfig exact;
+    exact.warmupUops = 20'000;
+    exact.measureUops = 60'000;
+    TimingResult plain = runMatrixPoint(mc, exact);
+
+    CheckpointCache cache;
+    TimingConfig flagged = exact;
+    flagged.checkpointWarm = true;
+    flagged.checkpointStore = &cache;
+    TimingResult result = runMatrixPoint(mc, flagged);
+
+    EXPECT_EQ(result.checkpoint, "off");
+    EXPECT_EQ(result.simMode, "exact");
+    EXPECT_EQ(cache.counters().misses, 0u);
+    expectStatsEqual(plain.stats, result.stats, "exact+flag");
+}
+
+TEST(WarmCheckpoint, GarbageBlobIsRejected)
+{
+    auto pred = makePredictor("bimodal-gshare");
+    WarmState st;
+    st.predictor = pred.get();
+
+    std::istringstream garbage(
+        std::string(256, '\x5a'));
+    EXPECT_FALSE(loadWarmCheckpoint(garbage, st));
+
+    std::istringstream empty{std::string()};
+    EXPECT_FALSE(loadWarmCheckpoint(empty, st));
+}
+
+TEST(WarmCheckpoint, VersionAndGeometryMismatchRejected)
+{
+    auto pred = makePredictor("bimodal-gshare");
+    auto est = makeEstimator("perceptron-cic");
+    Btb btb(64, 4);
+
+    WarmState save;
+    save.predictor = pred.get();
+    save.estimator = est.get();
+    save.btb = &btb;
+    save.ghr = 0x1234;
+    save.warmedUops = 42;
+    std::ostringstream os;
+    ASSERT_TRUE(saveWarmCheckpoint(os, save));
+    std::string blob = std::move(os).str();
+
+    // Intact blob round-trips.
+    {
+        std::istringstream is(blob);
+        WarmState load = save;
+        EXPECT_TRUE(loadWarmCheckpoint(is, load));
+        EXPECT_EQ(load.ghr, 0x1234u);
+        EXPECT_EQ(load.warmedUops, 42u);
+    }
+    // Version bump in the magic is refused.
+    {
+        std::string bad = blob;
+        bad[5] = '9';  // "PWCK01" -> "PWCK09"
+        std::istringstream is(bad);
+        WarmState load = save;
+        EXPECT_FALSE(loadWarmCheckpoint(is, load));
+    }
+    // Truncated payload is refused.
+    {
+        std::istringstream is(blob.substr(0, blob.size() / 2));
+        WarmState load = save;
+        EXPECT_FALSE(loadWarmCheckpoint(is, load));
+    }
+    // Component-layout mismatch: blob has an estimator section, the
+    // restoring run does not (and vice versa for the BTB).
+    {
+        std::istringstream is(blob);
+        WarmState load = save;
+        load.estimator = nullptr;
+        EXPECT_FALSE(loadWarmCheckpoint(is, load));
+    }
+    // Geometry mismatch inside a component section: restore into a
+    // differently-shaped BTB.
+    {
+        std::istringstream is(blob);
+        Btb other(128, 4);
+        WarmState load = save;
+        load.btb = &other;
+        EXPECT_FALSE(loadWarmCheckpoint(is, load));
+    }
+}
+
+// Backend/policy parameters must NOT contribute to the checkpoint
+// key (that is what makes warmed state shareable across those
+// sweeps), while every axis functional warming reads must.
+TEST(WarmCheckpoint, KeyCoversWarmingAxesOnly)
+{
+    const ProgramParams &prog = benchmarkSpec("gcc").program;
+    PipelineConfig a = PipelineConfig::deep40x4();
+    std::string base =
+        warmCheckpointKey(prog, 20'000, a, "bimodal-gshare", "e");
+
+    PipelineConfig backend = a;
+    backend.robSize = 256;
+    backend.width = 8;
+    backend.backEndDepth = 10;
+    EXPECT_EQ(base, warmCheckpointKey(prog, 20'000, backend,
+                                      "bimodal-gshare", "e"));
+
+    PipelineConfig btb = a;
+    btb.btbEntries = 1024;
+    EXPECT_NE(base,
+              warmCheckpointKey(prog, 20'000, btb, "bimodal-gshare",
+                                "e"));
+    EXPECT_NE(base, warmCheckpointKey(prog, 40'000, a,
+                                      "bimodal-gshare", "e"));
+    EXPECT_NE(base,
+              warmCheckpointKey(prog, 20'000, a, "gshare", "e"));
+    EXPECT_NE(base, warmCheckpointKey(prog, 20'000, a,
+                                      "bimodal-gshare", "e2"));
+    EXPECT_NE(base, warmCheckpointKey(
+                        benchmarkSpec("mcf").program, 20'000, a,
+                        "bimodal-gshare", "e"));
+}
+
+// Sampled aggregates must land near the exact run: the sampling
+// approximation (drain bubbles, at-fetch training during warm) is a
+// bounded perturbation, not a different machine. The simulator is
+// deterministic, so these tolerances are stable locks, not flaky
+// statistical bounds.
+TEST(SampledSim, CalibratesAgainstExact)
+{
+    TimingConfig exact;
+    exact.warmupUops = 20'000;
+    exact.measureUops = 60'000;
+    const MatrixConfig mc{"gcc", "deep40x4", "gate2"};
+    TimingResult e = runMatrixPoint(mc, exact);
+    TimingResult s = runMatrixPoint(mc, sampledConfig());
+
+    ASSERT_GT(e.stats.ipc(), 0.0);
+    EXPECT_LT(std::abs(s.stats.ipc() - e.stats.ipc()) /
+                  e.stats.ipc(),
+              0.15);
+    EXPECT_LT(std::abs(s.stats.mispredictRate() -
+                       e.stats.mispredictRate()),
+              0.05);
+    EXPECT_LT(std::abs(s.stats.confidence.pvn() -
+                       e.stats.confidence.pvn()),
+              0.15);
+    EXPECT_GE(s.stats.retiredUops, exact.measureUops);
+}
+
+TEST(SampledSim, ReportsWindowsAndErrorBars)
+{
+    const MatrixConfig mc{"gcc", "deep40x4", "gate2"};
+    TimingResult s = runMatrixPoint(mc, sampledConfig());
+    EXPECT_EQ(s.simMode, "sampled");
+    // 60k measured in 5k windows: 12 windows, fewer if drain
+    // retirements overshoot. At least half must be there.
+    EXPECT_GE(s.sampledWindows, 6u);
+    EXPECT_LE(s.sampledWindows, 12u);
+    EXPECT_GT(s.ipcErr, 0.0);
+    EXPECT_GT(s.pvnErr, 0.0);
+    EXPECT_EQ(s.audit, "clean");
+    // Exact runs report none of this.
+    TimingConfig exact;
+    exact.warmupUops = 20'000;
+    exact.measureUops = 60'000;
+    TimingResult e = runMatrixPoint(mc, exact);
+    EXPECT_EQ(e.simMode, "exact");
+    EXPECT_EQ(e.sampledWindows, 0u);
+    EXPECT_EQ(e.ipcErr, 0.0);
+}
+
+// Repeating a sampled run must be bit-identical: sampling is
+// deterministic resampling of a deterministic machine.
+TEST(SampledSim, SampledRunsAreDeterministic)
+{
+    const MatrixConfig mc{"mcf", "wide20x8", "gate2"};
+    TimingResult a = runMatrixPoint(mc, sampledConfig());
+    TimingResult b = runMatrixPoint(mc, sampledConfig());
+    expectStatsEqual(a.stats, b.stats, "repeat");
+    EXPECT_EQ(a.sampledWindows, b.sampledWindows);
+    EXPECT_EQ(a.ipcErr, b.ipcErr);
+}
+
+// The auditor's replay-conservation law must catch functional-warm
+// accounting bugs: under-crediting the warmed-uop count by one makes
+// cursor consumption and correct-path fetches disagree.
+TEST(SampledSim, WarmAccountingDefectIsCaught)
+{
+    const BenchmarkSpec &spec = benchmarkSpec("gcc");
+    PipelineConfig cfg = PipelineConfig::deep40x4();
+    auto snap = TraceSnapshot::build(spec.program, 128 * 1024);
+    SnapshotCursor cursor(snap);
+    WrongPathSynthesizer wp(spec.program, spec.program.seed ^ 0xdead);
+    auto pred = makePredictor("bimodal-gshare");
+
+    Core core(cfg, cursor, wp, *pred, nullptr, SpeculationControl{});
+    InvariantAuditor auditor;
+    core.setAuditor(&auditor);
+    core.setTestWarmAccountingDefect(true);
+    // The warm must fall between the stats baseline and the detailed
+    // run — the sampled-mode inter-window position — for the
+    // conservation law to have anything to check: a warm before the
+    // baseline is absorbed into it.
+    core.resetStats();
+    core.functionalWarm(20'000);
+    core.run(5'000);
+    core.drain();
+
+    const AuditReport &report = auditor.report();
+    ASSERT_FALSE(report.clean());
+    bool found = false;
+    for (const AuditViolation &v : report.violations)
+        if (v.invariant == std::string("replay-conservation"))
+            found = true;
+    EXPECT_TRUE(found) << report.summary();
+
+    // Control: the same sequence without the defect is clean.
+    SnapshotCursor cursor2(snap);
+    auto pred2 = makePredictor("bimodal-gshare");
+    Core core2(cfg, cursor2, wp, *pred2, nullptr,
+               SpeculationControl{});
+    InvariantAuditor auditor2;
+    core2.setAuditor(&auditor2);
+    core2.resetStats();
+    core2.functionalWarm(20'000);
+    core2.run(5'000);
+    core2.drain();
+    EXPECT_TRUE(auditor2.report().clean())
+        << auditor2.report().summary();
+}
+
+} // namespace percon

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * CheckpointCache: get-or-build memoization, negative entries,
+ * accounting counters, and build-once under concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/checkpoint_cache.hh"
+
+namespace percon {
+namespace {
+
+TEST(CheckpointCache, BuildsOnceAndSharesTheBlob)
+{
+    CheckpointCache cache;
+    int builds = 0;
+    auto build = [&] {
+        ++builds;
+        return std::string("blob-bytes");
+    };
+
+    auto a = cache.get("k", build);
+    auto b = cache.get("k", build);
+
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(*a, "blob-bytes");
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(builds, 1);
+
+    auto c = cache.counters();
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.builtBytes, std::string("blob-bytes").size());
+}
+
+TEST(CheckpointCache, EmptyBlobIsAMemoizedNegative)
+{
+    CheckpointCache cache;
+    int builds = 0;
+    auto build = [&] {
+        ++builds;
+        return std::string();
+    };
+
+    auto a = cache.get("cannot-serialize", build);
+    auto b = cache.get("cannot-serialize", build);
+    ASSERT_TRUE(a && b);
+    EXPECT_TRUE(a->empty());
+    EXPECT_EQ(builds, 1) << "negative result must be memoized too";
+    EXPECT_EQ(cache.counters().builtBytes, 0u);
+}
+
+TEST(CheckpointCache, DistinctKeysBuildSeparately)
+{
+    CheckpointCache cache;
+    auto a = cache.get("k1", [] { return std::string("one"); });
+    auto b = cache.get("k2", [] { return std::string("two"); });
+    EXPECT_EQ(*a, "one");
+    EXPECT_EQ(*b, "two");
+    auto c = cache.counters();
+    EXPECT_EQ(c.misses, 2u);
+    EXPECT_EQ(c.hits, 0u);
+    EXPECT_EQ(c.builtBytes, 6u);
+}
+
+// Many threads racing on one key: exactly one build runs, everyone
+// gets the same blob. This is the sweep-driver scenario — N jobs
+// reach the same (workload, front end) warm point at once.
+TEST(CheckpointCache, ConcurrentGetsShareOneBuild)
+{
+    CheckpointCache cache;
+    std::atomic<int> builds{0};
+    constexpr int kThreads = 8;
+
+    std::vector<std::shared_ptr<const std::string>> got(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            got[i] = cache.get("hot", [&] {
+                ++builds;
+                return std::string("shared");
+            });
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(builds.load(), 1);
+    for (int i = 0; i < kThreads; ++i) {
+        ASSERT_TRUE(got[i]);
+        EXPECT_EQ(*got[i], "shared");
+        EXPECT_EQ(got[i].get(), got[0].get());
+    }
+    auto c = cache.counters();
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.hits, static_cast<Count>(kThreads - 1));
+}
+
+TEST(CheckpointCache, GlobalIsAStableSingleton)
+{
+    EXPECT_EQ(&CheckpointCache::global(), &CheckpointCache::global());
+}
+
+} // namespace
+} // namespace percon

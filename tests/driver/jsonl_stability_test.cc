@@ -14,6 +14,7 @@
 
 #include "confidence/perceptron_conf.hh"
 #include "driver/build_id.hh"
+#include "driver/checkpoint_cache.hh"
 #include "driver/jsonl.hh"
 #include "driver/sweep_runner.hh"
 
@@ -53,11 +54,45 @@ smallSweep(bool audit)
     return points;
 }
 
-/** Render a whole sweep as one JSONL blob with wall time zeroed. */
-std::string
-renderSweep(unsigned jobs, bool audit)
+/** smallSweep, but in sampled mode with checkpointed warming. */
+std::vector<SweepPoint>
+sampledSweep(CheckpointStore &store)
 {
-    std::vector<RunRecord> recs = SweepRunner(jobs).run(smallSweep(audit));
+    TimingConfig t;
+    t.warmupUops = 5'000;
+    t.measureUops = 15'000;
+    t.audit = true;
+    t.simMode = SimMode::Sampled;
+    t.sampleWarmUops = 4'000;
+    t.sampleMeasureUops = 3'000;
+    t.checkpointWarm = true;
+    t.checkpointStore = &store;
+
+    std::vector<SweepPoint> points;
+    RunKey base;
+    base.benchmark = "gcc";
+    base.machine = "base20x4";
+    base.predictor = "bimodal-gshare";
+    base.estimator = "perceptron-cic";
+    for (unsigned gate : {1u, 2u, 3u}) {
+        RunKey key = base;
+        key.params.emplace_back("gate", std::to_string(gate));
+        SpeculationControl sc;
+        sc.gateThreshold = static_cast<int>(gate);
+        points.push_back(timingPoint(
+            key, PipelineConfig::base20x4(),
+            [] {
+                return std::make_unique<PerceptronConfidence>(
+                    PerceptronConfParams{});
+            },
+            sc, t));
+    }
+    return points;
+}
+
+std::string
+renderRecords(std::vector<RunRecord> recs)
+{
     std::string blob;
     for (RunRecord rec : recs) {
         rec.wallSeconds = 0.0;
@@ -65,6 +100,20 @@ renderSweep(unsigned jobs, bool audit)
         blob += '\n';
     }
     return blob;
+}
+
+/** Render a whole sweep as one JSONL blob with wall time zeroed. */
+std::string
+renderSweep(unsigned jobs, bool audit)
+{
+    return renderRecords(SweepRunner(jobs).run(smallSweep(audit)));
+}
+
+std::string
+renderSampledSweep(unsigned jobs)
+{
+    CheckpointCache cache;
+    return renderRecords(SweepRunner(jobs).run(sampledSweep(cache)));
 }
 
 } // namespace
@@ -103,4 +152,58 @@ TEST(JsonlStability, AuditOffIsRecordedAsOff)
         EXPECT_NE(runRecordJson(rec).find("\"audit\":\"off\""),
                   std::string::npos);
     }
+}
+
+TEST(JsonlStability, ExactRowsCarryExactSamplingFields)
+{
+    std::vector<RunRecord> recs = SweepRunner(1).run(smallSweep(true));
+    for (const RunRecord &rec : recs) {
+        std::string json = runRecordJson(rec);
+        EXPECT_NE(json.find("\"sim_mode\":\"exact\""),
+                  std::string::npos);
+        EXPECT_NE(json.find("\"sampled_windows\":0"),
+                  std::string::npos);
+        EXPECT_NE(json.find("\"checkpoint\":\"off\""),
+                  std::string::npos);
+        EXPECT_NE(json.find("\"ipc_err\":0"), std::string::npos);
+    }
+}
+
+// Sampled rows must be just as byte-stable as exact rows — across
+// repeats AND job counts, which also pins the deterministic
+// first-in-input-order checkpoint miss/hit labels (thread scheduling
+// decides who actually builds; the rows must not show it).
+TEST(JsonlStability, SampledSweepsEmitIdenticalBytes)
+{
+    std::string first = renderSampledSweep(1);
+    EXPECT_EQ(first, renderSampledSweep(1));
+    EXPECT_EQ(first, renderSampledSweep(3));
+}
+
+TEST(JsonlStability, SampledRowsCarrySamplingFields)
+{
+    CheckpointCache cache;
+    std::vector<RunRecord> recs =
+        SweepRunner(2).run(sampledSweep(cache));
+    ASSERT_EQ(recs.size(), 3u);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        const RunRecord &rec = recs[i];
+        EXPECT_EQ(rec.simMode, "sampled") << rec.key.canonical();
+        EXPECT_GT(rec.sampledWindows, 0u) << rec.key.canonical();
+        EXPECT_EQ(rec.audit, "clean") << rec.key.canonical();
+        // All three points share one warm checkpoint; the first in
+        // input order is labelled the builder.
+        EXPECT_EQ(rec.checkpoint, i == 0 ? "miss" : "hit")
+            << rec.key.canonical();
+        std::string json = runRecordJson(rec);
+        EXPECT_NE(json.find("\"sim_mode\":\"sampled\""),
+                  std::string::npos);
+        EXPECT_NE(json.find("\"sampled_windows\":"),
+                  std::string::npos);
+        EXPECT_NE(json.find("\"ipc_err\":"), std::string::npos);
+        EXPECT_NE(json.find("\"pvn_err\":"), std::string::npos);
+        EXPECT_NE(json.find("\"spec_err\":"), std::string::npos);
+    }
+    EXPECT_EQ(cache.counters().misses, 1u);
+    EXPECT_EQ(cache.counters().hits, 2u);
 }

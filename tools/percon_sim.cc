@@ -39,6 +39,8 @@
 #include "confidence/factory.hh"
 #include "confidence/perceptron_conf.hh"
 #include "core/timing_sim.hh"
+#include "core/warm_checkpoint.hh"
+#include "driver/checkpoint_cache.hh"
 #include "driver/jsonl.hh"
 #include "driver/snapshot_cache.hh"
 #include "driver/sweep_runner.hh"
@@ -74,6 +76,16 @@ struct Options
     /** Replay the correct path from an immutable snapshot (see
      *  trace/trace_snapshot.hh); off = legacy live generation. */
     bool traceSnapshot = traceSnapshotDefault();
+
+    /** Sampled simulation (core/timing_sim.hh): functional warm +
+     *  alternating detailed windows instead of end-to-end detailed
+     *  simulation. */
+    bool sampled = false;
+    Count sampleWarm = 80'000;
+    Count sampleMeasure = 20'000;
+    /** Share warmed state through the process-wide checkpoint cache
+     *  (sampled sweeps only). */
+    bool checkpoint = warmCheckpointDefault();
     std::string smtWith;  ///< co-runner benchmark; empty = single-thread
 
     unsigned jobs = 1;    ///< sweep-mode worker threads
@@ -117,6 +129,19 @@ usage()
         "                      PERCON_TRACE_SNAPSHOT). Bit-identical\n"
         "                      stats either way; on is faster and\n"
         "                      lets sweep points share one trace\n"
+        "  --sim-mode exact|sampled\n"
+        "                      exact = detailed simulation end to end\n"
+        "                      (default); sampled = functional-warm\n"
+        "                      fast-forward + detailed measurement\n"
+        "                      windows with per-window error bars\n"
+        "  --sample-warm N     sampled: functionally-warmed uops\n"
+        "                      between windows (default 80000)\n"
+        "  --sample-measure N  sampled: detailed uops per window\n"
+        "                      (default 20000)\n"
+        "  --checkpoint on|off sampled: share warmed state between\n"
+        "                      sweep points through the checkpoint\n"
+        "                      cache (default off; also\n"
+        "                      PERCON_WARM_CHECKPOINT)\n"
         "  --smt BENCH         co-run BENCH on a 2nd SMT thread\n"
         "  --sweep K=A,B,...   sweep option K over the listed values\n"
         "                      (repeatable; cross product; keys:\n"
@@ -183,6 +208,27 @@ parse(int argc, char **argv)
                 o.traceSnapshot = true;
             else if (v == "off")
                 o.traceSnapshot = false;
+            else
+                usage();
+        }
+        else if (arg == "--sim-mode") {
+            std::string v = value();
+            if (v == "exact")
+                o.sampled = false;
+            else if (v == "sampled")
+                o.sampled = true;
+            else
+                usage();
+        } else if (arg == "--sample-warm")
+            o.sampleWarm = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--sample-measure")
+            o.sampleMeasure = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--checkpoint") {
+            std::string v = value();
+            if (v == "on")
+                o.checkpoint = true;
+            else if (v == "off")
+                o.checkpoint = false;
             else
                 usage();
         }
@@ -330,6 +376,12 @@ runSweep(const Options &base)
         t.warmupUops = o.uops / 3;
         t.audit = o.audit;
         t.traceSnapshot = o.traceSnapshot;
+        if (o.sampled) {
+            t.simMode = SimMode::Sampled;
+            t.sampleWarmUops = o.sampleWarm;
+            t.sampleMeasureUops = o.sampleMeasure;
+            t.checkpointWarm = o.checkpoint;
+        }
         points.push_back(timingPoint(std::move(key),
                                      machineFor(o.machine),
                                      estimatorFactory(o), sc, t));
@@ -348,10 +400,13 @@ runSweep(const Options &base)
     }
 done:;
 
-    std::printf("sweep: %zu design points, %u jobs\n\n", points.size(),
-                base.jobs);
+    std::printf("sweep: %zu design points, %u jobs%s\n\n",
+                points.size(), base.jobs,
+                base.sampled ? " (sampled)" : "");
     SnapshotCache::Counters snap_before =
         SnapshotCache::global().counters();
+    CheckpointCache::Counters ckpt_before =
+        CheckpointCache::global().counters();
     SweepRunner runner(base.jobs);
     std::vector<RunRecord> recs = runner.run(points);
 
@@ -392,6 +447,27 @@ done:;
                                         snap_before.builtBytes) /
                         (1024.0 * 1024.0),
                     c.buildSeconds - snap_before.buildSeconds,
+                    static_cast<unsigned long long>(row_hits));
+    }
+
+    if (base.sampled && base.checkpoint) {
+        CheckpointCache::Counters c =
+            CheckpointCache::global().counters();
+        Count row_hits = 0, row_misses = 0;
+        for (const RunRecord &rec : recs) {
+            if (rec.checkpoint == "hit")
+                ++row_hits;
+            else if (rec.checkpoint == "miss")
+                ++row_misses;
+        }
+        std::printf("warm checkpoints: %llu built "
+                    "(%.1f KiB, %.2f s warm), %llu restore hits\n\n",
+                    static_cast<unsigned long long>(
+                        c.misses - ckpt_before.misses),
+                    static_cast<double>(c.builtBytes -
+                                        ckpt_before.builtBytes) /
+                        1024.0,
+                    c.buildSeconds - ckpt_before.buildSeconds,
                     static_cast<unsigned long long>(row_hits));
     }
 
@@ -480,6 +556,80 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(o.uops),
                     r.summary().c_str());
         return r.clean() ? 0 : 1;
+    }
+
+    if (o.sampled) {
+        if (!o.trace.empty() || !o.smtWith.empty())
+            fatal("--sim-mode sampled supports calibrated "
+                  "single-thread benchmarks only (not --trace/--smt)");
+        TimingConfig t;
+        t.measureUops = o.uops;
+        t.warmupUops = o.uops / 3;
+        t.audit = o.audit;
+        t.traceSnapshot = o.traceSnapshot;
+        t.simMode = SimMode::Sampled;
+        t.sampleWarmUops = o.sampleWarm;
+        t.sampleMeasureUops = o.sampleMeasure;
+        t.checkpointWarm = o.checkpoint;
+        if (t.checkpointWarm)
+            t.checkpointStore = &CheckpointCache::global();
+        TimingResult r = runTiming(spec, machine, o.predictor,
+                                   estimatorFactory(o), sc, t);
+        const CoreStats &s = r.stats;
+        std::printf("workload            : %s\n", o.bench.c_str());
+        std::printf("machine             : %s (width %u, %u+%u "
+                    "stages)\n",
+                    o.machine.c_str(), machine.width,
+                    machine.frontEndDepth, machine.backEndDepth);
+        std::printf("predictor           : %s\n", o.predictor.c_str());
+        std::printf("estimator           : %s\n",
+                    estimator ? estimator->name()
+                              : (o.oracle ? "oracle" : "none"));
+        std::printf("sim mode            : sampled (%llu windows of "
+                    "%llu uops, %llu warm between)\n",
+                    static_cast<unsigned long long>(r.sampledWindows),
+                    static_cast<unsigned long long>(o.sampleMeasure),
+                    static_cast<unsigned long long>(o.sampleWarm));
+        if (r.snapshot == "on")
+            std::printf("trace snapshot      : on (build %.3f s%s)\n",
+                        r.snapshotBuildSeconds,
+                        r.snapshotTailUops ? ", tail fallback hit"
+                                           : "");
+        std::printf("time split          : warm %.3f s, detailed "
+                    "%.3f s\n",
+                    r.warmSeconds, r.detailSeconds);
+        std::printf("checkpoint          : %s\n",
+                    r.checkpoint.c_str());
+        std::printf("cycles              : %llu (measured windows)\n",
+                    static_cast<unsigned long long>(s.cycles));
+        std::printf("IPC                 : %.3f +/- %.4f\n", s.ipc(),
+                    r.ipcErr);
+        std::printf("retired uops        : %llu\n",
+                    static_cast<unsigned long long>(s.retiredUops));
+        std::printf("executed uops       : %llu (+%.1f%% over "
+                    "retired)\n",
+                    static_cast<unsigned long long>(s.executedUops),
+                    s.executionIncreasePct());
+        std::printf("branches            : %llu retired, %.2f%% "
+                    "mispredicted (%.1f/Kuop)\n",
+                    static_cast<unsigned long long>(
+                        s.retiredBranches),
+                    100.0 * s.mispredictRate(),
+                    s.mispredictsPerKuop());
+        if (estimator || !o.estimator.empty()) {
+            std::printf("confidence          : PVN %.1f%% +/- %.2f  "
+                        "Spec %.1f%% +/- %.2f\n",
+                        100.0 * s.confidence.pvn(), 100.0 * r.pvnErr,
+                        100.0 * s.confidence.spec(),
+                        100.0 * r.specErr);
+        }
+        if (o.audit) {
+            std::printf("audit               : %s\n",
+                        r.audit.c_str());
+            if (r.audit != "clean" && r.audit != "off")
+                return 1;
+        }
+        return 0;
     }
 
     auto predictor = makePredictor(o.predictor);
