@@ -8,13 +8,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "bpred/factory.hh"
 #include "common/perceptron_kernel.hh"
 #include "common/rng.hh"
 #include "confidence/factory.hh"
 #include "core/front_end_sim.hh"
 #include "core/timing_sim.hh"
+#include "driver/checkpoint_cache.hh"
 #include "driver/snapshot_cache.hh"
+#include "driver/snapshot_store.hh"
+#include "driver/sweep_runner.hh"
 #include "memory/hierarchy.hh"
 #include "trace/benchmarks.hh"
 #include "trace/trace_snapshot.hh"
@@ -378,6 +384,121 @@ BM_SampledTiming(benchmark::State &state, SimMode mode)
                             (t.warmupUops + t.measureUops));
 }
 
+/**
+ * The canonical persistent-store workload: a warmup-heavy sampled
+ * 16-point sweep (4 benchmarks x 4 gate thresholds) with warm
+ * checkpointing on, so the functional warm runs once per workload
+ * and snapshot acquisition is a visible share of the total. Cold
+ * means every snapshot is generated and persisted; warm means all
+ * four are mmap'd from the store. The cold/warm items_per_sec ratio
+ * in BENCH_core_speed.json is the store's speedup on this shape.
+ */
+const char *const kSweep16Benches[] = {"gzip", "gcc", "mcf", "crafty"};
+
+TimingConfig
+sweep16Timing(SnapshotCache &snapshots, CheckpointCache &checkpoints)
+{
+    TimingConfig t;
+    t.warmupUops = 450'000;
+    t.measureUops = 10'000;
+    t.simMode = SimMode::Sampled;
+    t.sampleWarmUops = 20'000;
+    t.sampleMeasureUops = 2'500;
+    t.checkpointWarm = true;
+    t.checkpointStore = &checkpoints;
+    t.traceSnapshot = true;
+    t.snapshotProvider = &snapshots;
+    return t;
+}
+
+std::vector<SweepPoint>
+sweep16Points(SnapshotCache &snapshots, CheckpointCache &checkpoints)
+{
+    TimingConfig t = sweep16Timing(snapshots, checkpoints);
+    std::vector<SweepPoint> points;
+    for (const char *bench : kSweep16Benches)
+        for (unsigned gate : {1u, 2u, 3u, 4u}) {
+            RunKey key;
+            key.benchmark = bench;
+            key.machine = "deep40x4";
+            key.predictor = "bimodal-gshare";
+            key.estimator = "perceptron-cic";
+            key.set("gate", std::to_string(gate));
+            SpeculationControl sc;
+            sc.gateThreshold = static_cast<int>(gate);
+            points.push_back(timingPoint(
+                key, PipelineConfig::deep40x4(),
+                [] { return makeEstimator("perceptron-cic"); }, sc,
+                t));
+        }
+    return points;
+}
+
+SnapshotStore &
+sweep16Store()
+{
+    static SnapshotStore *store = [] {
+        char tmpl[] = "/tmp/percon-bench-store-XXXXXX";
+        const char *dir = ::mkdtemp(tmpl);
+        return new SnapshotStore(dir ? dir : "/tmp");
+    }();
+    return *store;
+}
+
+void
+BM_Sweep16ColdStore(benchmark::State &state)
+{
+    SnapshotStore &store = sweep16Store();
+    for (auto _ : state) {
+        state.PauseTiming();
+        // Evict the store files so every iteration pays the
+        // first-run cost: generate each workload's snapshot, then
+        // persist it.
+        SnapshotCache snapshots;
+        snapshots.setStore(&store);
+        CheckpointCache checkpoints;
+        TimingConfig t = sweep16Timing(snapshots, checkpoints);
+        Count len = snapshotLengthFor(PipelineConfig::deep40x4(), t);
+        for (const char *bench : kSweep16Benches)
+            std::remove(store
+                            .pathFor(benchmarkSpec(bench).program,
+                                     len)
+                            .c_str());
+        state.ResumeTiming();
+        auto recs =
+            SweepRunner(1).run(sweep16Points(snapshots, checkpoints));
+        benchmark::DoNotOptimize(recs.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 16 * 460'000);
+}
+
+void
+BM_Sweep16WarmStore(benchmark::State &state)
+{
+    SnapshotStore &store = sweep16Store();
+    // Populate once; timed iterations then mmap every snapshot.
+    {
+        SnapshotCache snapshots;
+        snapshots.setStore(&store);
+        CheckpointCache checkpoints;
+        TimingConfig t = sweep16Timing(snapshots, checkpoints);
+        Count len = snapshotLengthFor(PipelineConfig::deep40x4(), t);
+        for (const char *bench : kSweep16Benches)
+            snapshots.get(benchmarkSpec(bench).program, len);
+    }
+    for (auto _ : state) {
+        state.PauseTiming();
+        SnapshotCache snapshots;
+        snapshots.setStore(&store);
+        CheckpointCache checkpoints;
+        state.ResumeTiming();
+        auto recs =
+            SweepRunner(1).run(sweep16Points(snapshots, checkpoints));
+        benchmark::DoNotOptimize(recs.size());
+    }
+    state.SetItemsProcessed(state.iterations() * 16 * 460'000);
+}
+
 SpeculationControl
 gatedPolicy(unsigned threshold, bool reversal, unsigned latency)
 {
@@ -414,6 +535,8 @@ BENCHMARK(BM_CoreSimulationReplay);
 BENCHMARK(BM_FunctionalWarm);
 BENCHMARK_CAPTURE(BM_SampledTiming, exact, percon::SimMode::Exact);
 BENCHMARK_CAPTURE(BM_SampledTiming, sampled, percon::SimMode::Sampled);
+BENCHMARK(BM_Sweep16ColdStore);
+BENCHMARK(BM_Sweep16WarmStore);
 BENCHMARK_CAPTURE(BM_CoreSimulationPolicy, gated_deep40x4,
                   percon::PipelineConfig::deep40x4(),
                   gatedPolicy(2, false, 0));

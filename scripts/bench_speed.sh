@@ -34,7 +34,7 @@ trap 'rm -f "$RAW"' EXIT
 
 # Google Benchmark's --benchmark_min_time here takes a plain float
 # (seconds), not a duration suffix.
-"$BIN" --benchmark_filter='^BM_(CoreSimulation|PerceptronOutput/|PerceptronTrain/|FrontEndPerceptron|TraceGen|SnapshotReplay|FunctionalWarm|SampledTiming/)' \
+"$BIN" --benchmark_filter='^BM_(CoreSimulation|PerceptronOutput/|PerceptronTrain/|FrontEndPerceptron|TraceGen|SnapshotReplay|FunctionalWarm|SampledTiming/|Sweep16)' \
        --benchmark_min_time="$MIN_TIME" \
        --benchmark_format=json > "$RAW"
 
@@ -68,6 +68,10 @@ def config_entry(name):
         return "timing_exact_deep40x4_gate2", "uops", "replay"
     if name == "BM_SampledTiming/sampled":
         return "timing_sampled_deep40x4_gate2", "uops", "replay"
+    if name == "BM_Sweep16ColdStore":
+        return "sweep16_cold_store", "uops", "replay"
+    if name == "BM_Sweep16WarmStore":
+        return "sweep16_warm_store", "uops", "replay"
     if name == "BM_FrontEndPerceptron":
         return "frontend_perceptron_cic", "preds", "live"
     prefix = "BM_CoreSimulationPolicy/"
@@ -96,7 +100,7 @@ if not configs:
     raise SystemExit("bench_speed.sh: no benchmark results")
 
 doc = {
-    "schema_version": 4,
+    "schema_version": 5,
     "metric": "items_per_sec",
     "configs": dict(sorted(configs.items())),
 }

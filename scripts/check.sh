@@ -3,7 +3,7 @@
 # -Werror and a sanitizer preset, build everything, and run ctest.
 # This is the entry point a CI workflow calls.
 #
-#   scripts/check.sh [asan|tsan|none|audit|engine|sampling]
+#   scripts/check.sh [asan|tsan|none|audit|engine|sampling|store]
 #
 # Presets:
 #   asan  (default)  AddressSanitizer + UndefinedBehaviorSanitizer
@@ -28,6 +28,19 @@
 #                    (PERCON_WARM_CHECKPOINT). The gate to run after
 #                    touching functionalWarm, the sampled driver, or
 #                    the checkpoint wire formats.
+#   store            ASan build, then the persistent-store gate: the
+#                    on-disk format rejection matrix, the store and
+#                    worker-pool suites, and the JSONL byte-stability
+#                    locks, followed by an end-to-end percon_sim
+#                    sweep with forked workers against one store
+#                    directory — cold (generate + persist), then warm
+#                    (every snapshot replayed from an mmap'd file:
+#                    the mapping-lifetime pass ASan watches), with
+#                    the two JSONL outputs asserted byte-identical
+#                    modulo the snapshot_store and wall fields — and
+#                    the verification suite. The gate to run after
+#                    touching snapshot_file, snapshot_store, the
+#                    snapshot cache tiers, or the worker pool.
 #
 # The build directory is build-check-<preset>; override with
 # BUILD_DIR. Extra ctest arguments can be passed via CTEST_ARGS.
@@ -36,7 +49,7 @@ cd "$(dirname "$0")/.."
 
 PRESET="${1:-asan}"
 case "$PRESET" in
-  asan|audit|engine|sampling)
+  asan|audit|engine|sampling|store)
     SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
     ;;
   tsan)
@@ -47,7 +60,7 @@ case "$PRESET" in
     ;;
   *)
     echo "usage: scripts/check.sh" \
-         "[asan|tsan|none|audit|engine|sampling]" >&2
+         "[asan|tsan|none|audit|engine|sampling|store]" >&2
     exit 1
     ;;
 esac
@@ -122,6 +135,55 @@ if [ "$PRESET" = "sampling" ]; then
         --no-tests=error -L verify ${CTEST_ARGS:-}
     echo "check.sh: sampling preset passed (sampling label, verify" \
          "label with warm checkpoints on + off)"
+    exit 0
+fi
+
+if [ "$PRESET" = "store" ]; then
+    # Persistent-store gate: the format/store/worker suites by name,
+    # then an end-to-end sweep against one store directory — the
+    # cold pass generates and persists every snapshot, the warm pass
+    # serves them all from mmap'd files (borrowed lanes under ASan:
+    # any mapping-lifetime bug dies here) and must reproduce the
+    # cold rows byte-for-byte modulo the snapshot_store label.
+    GATE_RE='SnapshotFile|SnapshotStore|WorkerPool|ShardPartition'
+    GATE_RE="$GATE_RE|JsonlStability|SnapshotCache|CheckpointCache"
+    ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+        --no-tests=error -R "$GATE_RE" ${CTEST_ARGS:-}
+    STORE_DIR="$(mktemp -d)"
+    trap 'rm -rf "$STORE_DIR"' EXIT
+    for pass in cold warm; do
+        echo "check.sh: store sweep ($pass)"
+        ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+            "$BUILD/tools/percon_sim" \
+            --sweep bench=gzip,mcf --sweep gate=1,2 \
+            --estimator perceptron-cic --machine deep40x4 \
+            --uops 20000 --sim-mode sampled --checkpoint on \
+            --workers 2 --snapshot-store "$STORE_DIR" \
+            --jsonl "$STORE_DIR/rows-$pass.jsonl" > /dev/null
+    done
+    python3 - "$STORE_DIR/rows-cold.jsonl" \
+        "$STORE_DIR/rows-warm.jsonl" <<'EOF'
+import re
+import sys
+
+def rows(path):
+    with open(path) as f:
+        return [re.sub(r'"(snapshot_store|wall_seconds)":[^,}]*',
+                       '', line)
+                for line in f]
+
+cold, warm = rows(sys.argv[1]), rows(sys.argv[2])
+if not cold or cold != warm:
+    raise SystemExit("check.sh: warm-store rows differ from cold")
+print(f"check.sh: store rows identical cold vs warm "
+      f"({len(cold)} rows)")
+EOF
+    ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+        --no-tests=error -L verify ${CTEST_ARGS:-}
+    echo "check.sh: store preset passed (format/store/worker gate," \
+         "cold + warm store sweeps, verify label)"
     exit 0
 fi
 

@@ -1,0 +1,215 @@
+#include "file_util.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace percon {
+
+std::uint64_t
+fnv1a64(const void *data, std::size_t bytes)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    return fnv1a64(s.data(), s.size());
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+namespace {
+
+std::string
+errnoString()
+{
+    return std::strerror(errno);
+}
+
+void
+setWhy(std::string *why, const std::string &msg)
+{
+    if (why)
+        *why = msg;
+}
+
+} // namespace
+
+MappedFile::~MappedFile()
+{
+    close();
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : base_(other.base_), bytes_(other.bytes_),
+      path_(std::move(other.path_))
+{
+    other.base_ = nullptr;
+    other.bytes_ = 0;
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        base_ = other.base_;
+        bytes_ = other.bytes_;
+        path_ = std::move(other.path_);
+        other.base_ = nullptr;
+        other.bytes_ = 0;
+    }
+    return *this;
+}
+
+bool
+MappedFile::open(const std::string &path, std::string *why)
+{
+    close();
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        setWhy(why, "open: " + errnoString());
+        return false;
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        setWhy(why, "fstat: " + errnoString());
+        ::close(fd);
+        return false;
+    }
+    if (!S_ISREG(st.st_mode) || st.st_size <= 0) {
+        setWhy(why, "not a regular non-empty file");
+        ::close(fd);
+        return false;
+    }
+    std::size_t bytes = static_cast<std::size_t>(st.st_size);
+    void *base = ::mmap(nullptr, bytes, PROT_READ, MAP_SHARED, fd, 0);
+    // The mapping holds its own reference to the file; the fd is no
+    // longer needed (and a later rename over the path does not
+    // disturb an established mapping).
+    ::close(fd);
+    if (base == MAP_FAILED) {
+        setWhy(why, "mmap: " + errnoString());
+        return false;
+    }
+    base_ = static_cast<const std::byte *>(base);
+    bytes_ = bytes;
+    path_ = path;
+    return true;
+}
+
+void
+MappedFile::close()
+{
+    if (base_) {
+        ::munmap(const_cast<std::byte *>(base_), bytes_);
+        base_ = nullptr;
+        bytes_ = 0;
+        path_.clear();
+    }
+}
+
+bool
+ensureDir(const std::string &dir)
+{
+    if (dir.empty())
+        return false;
+    std::string path;
+    std::size_t pos = 0;
+    while (pos <= dir.size()) {
+        std::size_t slash = dir.find('/', pos);
+        if (slash == std::string::npos)
+            slash = dir.size();
+        path = dir.substr(0, slash);
+        pos = slash + 1;
+        if (path.empty())  // leading '/'
+            continue;
+        if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST)
+            return false;
+    }
+    struct stat st;
+    return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool
+atomicWriteFile(const std::string &path, const void *data,
+                std::size_t bytes, std::string *why)
+{
+    // Unique sibling temp name: pid + per-process counter keeps
+    // concurrent writers (threads in one process, or forked workers
+    // racing on the same key) from clobbering each other's temp
+    // files.
+    static std::atomic<std::uint64_t> nonce{0};
+    std::string tmp = path + ".tmp." +
+                      std::to_string(static_cast<long>(::getpid())) +
+                      "." + std::to_string(nonce.fetch_add(1));
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC,
+                    0644);
+    if (fd < 0) {
+        setWhy(why, "open " + tmp + ": " + errnoString());
+        return false;
+    }
+    const char *p = static_cast<const char *>(data);
+    std::size_t left = bytes;
+    while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            setWhy(why, "write: " + errnoString());
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+        setWhy(why, "fsync: " + errnoString());
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        setWhy(why, "close: " + errnoString());
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        setWhy(why, "rename: " + errnoString());
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+} // namespace percon

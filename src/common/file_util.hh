@@ -1,0 +1,95 @@
+/**
+ * @file
+ * POSIX file helpers for the persistent snapshot store: read-only
+ * memory mapping, atomic whole-file publication, and the FNV-1a
+ * content hashing the store keys on.
+ *
+ * The store's correctness hinges on two properties these helpers
+ * provide:
+ *
+ *  - MappedFile maps files PROT_READ/MAP_SHARED, so every process on
+ *    the machine shares one page-cache copy of each snapshot and
+ *    none of them can scribble on it.
+ *  - atomicWriteFile publishes via write-to-temp + rename(2), so a
+ *    reader can never observe a half-written file and two processes
+ *    racing to persist the same content both succeed (last rename
+ *    wins; both results are complete, valid files).
+ */
+
+#ifndef PERCON_COMMON_FILE_UTIL_HH
+#define PERCON_COMMON_FILE_UTIL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace percon {
+
+/** FNV-1a 64-bit over a byte range. */
+std::uint64_t fnv1a64(const void *data, std::size_t bytes);
+
+/** FNV-1a 64-bit over a string's characters. */
+std::uint64_t fnv1a64(const std::string &s);
+
+/** @return @p v as 16 lowercase hex digits (for stable filenames). */
+std::string hex16(std::uint64_t v);
+
+/**
+ * A read-only memory-mapped file. Move-only; unmaps on destruction.
+ * All loads through data() are backed by the shared page cache, so
+ * any number of MappedFiles (in any number of processes) of the same
+ * file cost one physical copy.
+ */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile();
+
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /**
+     * Map @p path read-only. @return false (with *why set when
+     * non-null) on open/stat/mmap failure or an empty file; the
+     * object is left unmapped.
+     */
+    bool open(const std::string &path, std::string *why = nullptr);
+
+    /** Unmap now (also done by the destructor). */
+    void close();
+
+    bool mapped() const { return base_ != nullptr; }
+    const std::byte *data() const { return base_; }
+    std::size_t size() const { return bytes_; }
+    const std::string &path() const { return path_; }
+
+  private:
+    const std::byte *base_ = nullptr;
+    std::size_t bytes_ = 0;
+    std::string path_;
+};
+
+/** mkdir -p. @return false when a component exists as a non-dir or
+ *  creation fails. */
+bool ensureDir(const std::string &dir);
+
+/**
+ * Atomically publish @p bytes as @p path: write to a unique sibling
+ * temp file (same directory, so rename stays within one filesystem),
+ * then rename(2) over the destination. Concurrent writers of the
+ * same path each write their own temp file; the last rename wins and
+ * every reader sees some complete file. @return false on any I/O
+ * failure (the temp file is cleaned up best-effort).
+ */
+bool atomicWriteFile(const std::string &path, const void *data,
+                     std::size_t bytes, std::string *why = nullptr);
+
+/** @return true when @p path exists and is a regular file. */
+bool fileExists(const std::string &path);
+
+} // namespace percon
+
+#endif // PERCON_COMMON_FILE_UTIL_HH

@@ -20,6 +20,11 @@ TimingConfig::fromEnv()
         cfg.measureUops = static_cast<Count>(*v);
         cfg.warmupUops = static_cast<Count>(*v) * 3 / 10;
     }
+    // Decouple the warmup length from the proportional default:
+    // warmup-heavy shapes (the paper's 10M-warm runs, the
+    // persistent-store experiments) need warmup >> measure.
+    if (auto v = envInt64AtLeast("PERCON_WARMUP_UOPS", 0))
+        cfg.warmupUops = static_cast<Count>(*v);
     return cfg;
 }
 

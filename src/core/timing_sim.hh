@@ -85,7 +85,9 @@ struct TimingConfig
     SnapshotProvider *snapshotProvider = nullptr;
 
     /** Scale both by the PERCON_UOPS env var when present
-     *  (value = measure uops; warmup scales proportionally). */
+     *  (value = measure uops; warmup scales proportionally), then
+     *  let PERCON_WARMUP_UOPS pin the warmup length outright for
+     *  warmup-heavy shapes. */
     static TimingConfig fromEnv();
 };
 

@@ -2,14 +2,26 @@
 
 namespace percon {
 
+namespace {
+const char *override_id = nullptr;
+} // namespace
+
 const char *
 buildId()
 {
+    if (override_id)
+        return override_id;
 #ifdef PERCON_BUILD_ID
     return PERCON_BUILD_ID;
 #else
     return "unknown";
 #endif
+}
+
+void
+setBuildIdForTest(const char *id)
+{
+    override_id = id;
 }
 
 } // namespace percon

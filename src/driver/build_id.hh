@@ -17,6 +17,12 @@ namespace percon {
 /** The build id string; never null, "unknown" when unavailable. */
 const char *buildId();
 
+/** TEST ONLY: override buildId() (null restores the compiled-in id).
+ *  Lets the snapshot-store build-id-independence regression vary the
+ *  id at runtime instead of needing two differently-built binaries.
+ *  @p id must outlive the override. */
+void setBuildIdForTest(const char *id);
+
 } // namespace percon
 
 #endif // PERCON_DRIVER_BUILD_ID_HH

@@ -38,6 +38,14 @@ CheckpointCache::get(const std::string &key,
             }
             promise.set_value(std::move(blob));
         } catch (...) {
+            // Remove the pending entry BEFORE publishing the
+            // exception: waiters already holding the future see the
+            // failure, but the key is not poisoned — the next get()
+            // retries the build.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                cache_.erase(key);
+            }
             promise.set_exception(std::current_exception());
         }
     }

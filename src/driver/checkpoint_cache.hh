@@ -14,6 +14,10 @@
  * policy parameters are absent by construction, which is the whole
  * point — a sweep over gate thresholds or machine back ends warms
  * each (workload, front end) exactly once.
+ *
+ * A failed build does NOT poison the key: the owner erases the
+ * pending entry before publishing the exception, so concurrent
+ * waiters see the failure but the next get() retries.
  */
 
 #ifndef PERCON_DRIVER_CHECKPOINT_CACHE_HH

@@ -99,9 +99,13 @@ runRecordJson(const RunRecord &rec)
     json += "},";
     appendU64(json, "seed", rec.seed);
     json += ',';
+    appendU64(json, "shard", rec.shard);
+    json += ',';
     appendStr(json, "audit", rec.audit);
     json += ',';
     appendStr(json, "snapshot", rec.snapshot);
+    json += ',';
+    appendStr(json, "snapshot_store", rec.snapshotStore);
     json += ',';
     appendStr(json, "sim_mode", rec.simMode);
     json += ',';

@@ -6,7 +6,8 @@
  *
  *   {"bench":"gcc","machine":"deep40x4","predictor":"bimodal-gshare",
  *    "estimator":"perceptron-cic","params":{"lambda":"0","uops":"600000"},
- *    "seed":1234,"audit":"off","build":"e47d42c","wall_seconds":0.41,
+ *    "seed":1234,"shard":0,"audit":"off","snapshot":"miss",
+ *    "snapshot_store":"off","build":"e47d42c","wall_seconds":0.41,
  *    "stats":{"cycles":...,"ipc":...,"retired_uops":...,
  *             "executed_uops":...,"wrong_path_executed":...,
  *             "retired_branches":...,"mispredicts":...,

@@ -1,6 +1,7 @@
 #include "snapshot_cache.hh"
 
 #include <chrono>
+#include <stdexcept>
 
 namespace percon {
 
@@ -18,6 +19,7 @@ SnapshotCache::get(const ProgramParams &params, Count uops)
     std::promise<std::shared_ptr<const TraceSnapshot>> promise;
     std::shared_future<std::shared_ptr<const TraceSnapshot>> future;
     bool owner = false;
+    SnapshotStore *store = nullptr;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = cache_.find(key);
@@ -26,6 +28,7 @@ SnapshotCache::get(const ProgramParams &params, Count uops)
             cache_.emplace(key, future);
             ++counters_.misses;
             owner = true;
+            store = store_;
         } else {
             future = it->second;
             ++counters_.hits;
@@ -33,23 +36,72 @@ SnapshotCache::get(const ProgramParams &params, Count uops)
     }
     if (owner) {
         try {
-            auto t0 = std::chrono::steady_clock::now();
-            auto snap = TraceSnapshot::build(params, uops);
-            double secs = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count();
-            {
+            // Tier 2: a prior process may have persisted this
+            // snapshot; map it read-only instead of regenerating.
+            std::shared_ptr<const TraceSnapshot> snap;
+            if (store) {
+                snap = store->tryOpen(params, uops);
                 std::lock_guard<std::mutex> lock(mutex_);
-                counters_.builtUops += snap->size();
-                counters_.builtBytes += snap->memoryBytes();
-                counters_.buildSeconds += secs;
+                if (snap) {
+                    ++counters_.storeHits;
+                    counters_.mappedBytes += snap->memoryBytes();
+                } else {
+                    ++counters_.storeMisses;
+                }
+            }
+            if (!snap) {
+                // Tier 3: generate, then publish for later
+                // processes (best effort).
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (testFailBuilds_ > 0) {
+                        --testFailBuilds_;
+                        throw std::runtime_error(
+                            "injected snapshot build failure");
+                    }
+                }
+                auto t0 = std::chrono::steady_clock::now();
+                snap = TraceSnapshot::build(params, uops);
+                double secs = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count();
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    counters_.builtUops += snap->size();
+                    counters_.builtBytes += snap->memoryBytes();
+                    counters_.buildSeconds += secs;
+                }
+                if (store)
+                    store->persist(snap);
             }
             promise.set_value(std::move(snap));
         } catch (...) {
+            // Remove the pending entry BEFORE publishing the
+            // exception: waiters already holding the future see the
+            // failure, but the key is not poisoned — the next get()
+            // retries the build from scratch.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                cache_.erase(key);
+            }
             promise.set_exception(std::current_exception());
         }
     }
     return future.get();
+}
+
+void
+SnapshotCache::setStore(SnapshotStore *store)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    store_ = store;
+}
+
+SnapshotStore *
+SnapshotCache::store() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return store_;
 }
 
 SnapshotCache::Counters
@@ -63,6 +115,15 @@ SnapshotCache &
 SnapshotCache::global()
 {
     static SnapshotCache cache;
+    static SnapshotStore *env_store = [] {
+        std::string dir = snapshotStoreDirFromEnv();
+        if (dir.empty())
+            return static_cast<SnapshotStore *>(nullptr);
+        static SnapshotStore store(dir);
+        cache.setStore(&store);
+        return &store;
+    }();
+    (void)env_store;
     return cache;
 }
 

@@ -1,18 +1,29 @@
 /**
  * @file
- * Thread-safe memoized trace-snapshot store.
+ * Thread-safe memoized trace-snapshot cache with a persistent
+ * store tier.
  *
  * A sweep visits the same workload under many (machine, policy,
  * estimator) points; without sharing, every point would rebuild the
- * identical correct-path trace. This cache builds each snapshot
- * exactly once — BaselineCache-style: the first caller for a key owns
- * the build, concurrent callers block on a shared future — and hands
- * out shared_ptrs, so any number of sweep jobs and SMT threads replay
- * one immutable buffer.
+ * identical correct-path trace. Lookup is three-tier:
+ *
+ *   1. in-memory memo — BaselineCache-style: the first caller for a
+ *      key owns the resolution, concurrent callers block on a shared
+ *      future, and everyone shares one immutable snapshot;
+ *   2. mmap'd store file (when a SnapshotStore is attached) — a
+ *      previous process on this machine already built the snapshot;
+ *      it is mapped read-only and replayed zero-copy, no generation,
+ *      no arena;
+ *   3. generate — run the real ProgramModel once, then persist the
+ *      result to the store (best effort) for every later process.
  *
  * Keys are programKey(params) + requested length: the *full*
  * parameter serialization, because workload names are not unique
  * across randomly generated differential cases.
+ *
+ * A failed resolution does NOT poison the key: the owner erases the
+ * pending entry before publishing the exception, so contemporaneous
+ * waiters see the failure but the next get() retries from scratch.
  */
 
 #ifndef PERCON_DRIVER_SNAPSHOT_CACHE_HH
@@ -24,6 +35,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "driver/snapshot_store.hh"
 #include "trace/trace_snapshot.hh"
 
 namespace percon {
@@ -36,10 +48,13 @@ class SnapshotCache : public SnapshotProvider
     /** Accounting totals, readable at any time. */
     struct Counters
     {
-        Count hits = 0;         ///< get() served from the map
-        Count misses = 0;       ///< get() had to build
+        Count hits = 0;         ///< get() served from the memo map
+        Count misses = 0;       ///< get() had to resolve (tier 2/3)
+        Count storeHits = 0;    ///< resolved by mapping a store file
+        Count storeMisses = 0;  ///< store attached but had no file
         Count builtUops = 0;    ///< total uops across built snapshots
         Count builtBytes = 0;   ///< total arena bytes held
+        Count mappedBytes = 0;  ///< total borrowed lane bytes held
         double buildSeconds = 0.0; ///< wall time inside builds
     };
 
@@ -52,18 +67,36 @@ class SnapshotCache : public SnapshotProvider
      *  of the order get() calls happen to race at run time. */
     static std::string key(const ProgramParams &params, Count uops);
 
+    /**
+     * Attach (or detach, with null) the persistent store tier. Not
+     * owned. Affects future get() misses only; memoized entries
+     * stay valid. Typically set once before a sweep starts.
+     */
+    void setStore(SnapshotStore *store);
+
+    /** The attached store tier; null when disabled. */
+    SnapshotStore *store() const;
+
     Counters counters() const;
 
     /**
      * The process-wide cache the sweep driver injects into
      * TimingConfig when no provider was set explicitly. Lives for
      * the process: sweeps in the same invocation share workloads.
+     * On first use it attaches a store for PERCON_SNAPSHOT_STORE
+     * when that variable names a directory.
      */
     static SnapshotCache &global();
+
+    /** TEST ONLY: make the next @p n tier-3 builds throw, to
+     *  exercise the failed-resolution retry path. */
+    void setTestFailNextBuilds(unsigned n) { testFailBuilds_ = n; }
 
   private:
     mutable std::mutex mutex_;
     Counters counters_;
+    SnapshotStore *store_ = nullptr;
+    unsigned testFailBuilds_ = 0;
     std::unordered_map<
         std::string,
         std::shared_future<std::shared_ptr<const TraceSnapshot>>>

@@ -1,0 +1,90 @@
+#include "snapshot_store.hh"
+
+#include <cstdlib>
+
+#include "common/file_util.hh"
+#include "common/logging.hh"
+#include "trace/snapshot_file.hh"
+
+namespace percon {
+
+SnapshotStore::SnapshotStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string
+SnapshotStore::pathFor(const ProgramParams &params, Count uops) const
+{
+    // Key = content hash of the full parameter serialization + the
+    // requested length. Nothing build- or host-dependent may ever go
+    // in here (see snapshot_store_test.cc BuildIdIndependence).
+    return dir_ + "/psnap-" + hex16(fnv1a64(programKey(params))) + "-" +
+           std::to_string(uops) + ".snap";
+}
+
+std::shared_ptr<const TraceSnapshot>
+SnapshotStore::tryOpen(const ProgramParams &params, Count uops)
+{
+    std::string path = pathFor(params, uops);
+    bool existed = fileExists(path);
+    std::string why;
+    std::shared_ptr<const TraceSnapshot> snap =
+        existed ? openSnapshotFile(path, params, uops, &why) : nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (snap) {
+        ++counters_.mapHits;
+        counters_.mappedBytes += snap->memoryBytes();
+    } else {
+        ++counters_.mapMisses;
+        if (existed) {
+            ++counters_.rejected;
+            warn("snapshot store: rejecting '%s' (%s); regenerating",
+                 path.c_str(), why.c_str());
+        }
+    }
+    return snap;
+}
+
+bool
+SnapshotStore::persist(const std::shared_ptr<const TraceSnapshot> &snap)
+{
+    if (!snap)
+        return false;
+    if (!ensureDir(dir_)) {
+        warn("snapshot store: cannot create directory '%s'; "
+             "not persisting", dir_.c_str());
+        return false;
+    }
+    std::string path = pathFor(snap->params(), snap->size());
+    std::string image = serializeSnapshot(*snap);
+    std::string why;
+    if (!atomicWriteFile(path, image.data(), image.size(), &why)) {
+        warn("snapshot store: failed to persist '%s' (%s)",
+             path.c_str(), why.c_str());
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.persisted;
+    counters_.persistedBytes += image.size();
+    return true;
+}
+
+bool
+SnapshotStore::probe(const ProgramParams &params, Count uops) const
+{
+    return probeSnapshotFile(pathFor(params, uops), params, uops);
+}
+
+SnapshotStore::Counters
+SnapshotStore::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+std::string
+snapshotStoreDirFromEnv()
+{
+    const char *v = std::getenv("PERCON_SNAPSHOT_STORE");
+    return (v && *v) ? std::string(v) : std::string();
+}
+
+} // namespace percon

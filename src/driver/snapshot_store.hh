@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Persistent machine-wide snapshot store.
+ *
+ * A store is a directory of snapshot files (trace/snapshot_file.hh),
+ * one per (workload content, length): snapshots are built once per
+ * MACHINE, not once per process. Every later process — more sweep
+ * jobs, forked workers, tomorrow's re-run — mmaps the file read-only
+ * and replays it zero-copy out of the shared page cache.
+ *
+ * File names are derived purely from the generating TraceParams
+ * content (the FNV-1a hash of programKey(params)) and the uop count;
+ * deliberately NOT from the build id, so stores survive rebuilds and
+ * are shared between differently-built binaries (locked by a
+ * regression test). Publication is atomic (tmp + rename), so
+ * concurrent processes racing to persist the same key each write a
+ * complete file and the last rename wins — readers never observe a
+ * torn file.
+ *
+ * The store is the middle tier of SnapshotCache's lookup:
+ * in-memory memo -> mmap'd store file -> generate (and persist).
+ */
+
+#ifndef PERCON_DRIVER_SNAPSHOT_STORE_HH
+#define PERCON_DRIVER_SNAPSHOT_STORE_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "trace/trace_snapshot.hh"
+
+namespace percon {
+
+class SnapshotStore
+{
+  public:
+    /** @param dir store directory; created on first persist. */
+    explicit SnapshotStore(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Store file path for one (workload, length). Content-derived:
+     *  independent of build id, host, and time. */
+    std::string pathFor(const ProgramParams &params, Count uops) const;
+
+    /**
+     * Map and validate the stored snapshot. @return a borrowed-lane
+     * snapshot, or null when the file is absent or fails any
+     * validation check (the caller regenerates; a malformed file is
+     * also warn()ed once per lookup so operators see corrupt
+     * stores).
+     */
+    std::shared_ptr<const TraceSnapshot>
+    tryOpen(const ProgramParams &params, Count uops);
+
+    /**
+     * Serialize and atomically publish @p snap. Best effort: failures
+     * warn() and return false but never abort the run — the store is
+     * an accelerator, not a dependency.
+     */
+    bool persist(const std::shared_ptr<const TraceSnapshot> &snap);
+
+    /** Header-only existence/plausibility probe (no payload scan),
+     *  for deterministic pre-sweep "snapshot_store" row labels. */
+    bool probe(const ProgramParams &params, Count uops) const;
+
+    /** Accounting totals, readable at any time. */
+    struct Counters
+    {
+        Count mapHits = 0;      ///< tryOpen served a valid file
+        Count mapMisses = 0;    ///< tryOpen found nothing usable
+        Count rejected = 0;     ///< file present but failed validation
+        Count persisted = 0;    ///< files published
+        Count persistedBytes = 0;
+        Count mappedBytes = 0;  ///< lane bytes served via mmap
+    };
+
+    Counters counters() const;
+
+  private:
+    std::string dir_;
+    mutable std::mutex mutex_;
+    Counters counters_;
+};
+
+/**
+ * Store directory from the PERCON_SNAPSHOT_STORE environment
+ * variable; empty when unset/empty (store disabled). The
+ * --snapshot-store flag overrides this in percon_sim.
+ */
+std::string snapshotStoreDirFromEnv();
+
+} // namespace percon
+
+#endif // PERCON_DRIVER_SNAPSHOT_STORE_HH

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <exception>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/rng.hh"
@@ -74,11 +75,21 @@ environmentSeed(const std::string &benchmark, const std::string &machine,
                     std::to_string(measure_uops));
 }
 
+unsigned
+shardOf(const RunKey &key, unsigned nshards)
+{
+    if (nshards <= 1)
+        return 0;
+    return static_cast<unsigned>(key.seed() % nshards);
+}
+
 SweepPoint
 makePoint(RunKey key, RunFn fn)
 {
     std::uint64_t seed = key.seed();
-    return SweepPoint{std::move(key), seed, std::move(fn), {}, {}};
+    return SweepPoint{std::move(key), seed,    std::move(fn),
+                      {},             {},      {},
+                      nullptr,        nullptr, nullptr};
 }
 
 SweepPoint
@@ -102,13 +113,22 @@ timingPoint(RunKey key, const PipelineConfig &config,
     TimingConfig t0 = timing;
     std::string snapshot_key;
     std::string snapshot_label = "off";
+    std::function<bool()> store_probe;
     if (t0.traceSnapshot) {
         if (!t0.snapshotProvider)
             t0.snapshotProvider = &SnapshotCache::global();
-        if (dynamic_cast<SnapshotCache *>(t0.snapshotProvider)) {
-            snapshot_key = SnapshotCache::key(
-                benchmarkSpec(key.benchmark).program,
-                snapshotLengthFor(config, t0));
+        if (auto *sc =
+                dynamic_cast<SnapshotCache *>(t0.snapshotProvider)) {
+            ProgramParams prog = benchmarkSpec(key.benchmark).program;
+            Count len = snapshotLengthFor(config, t0);
+            snapshot_key = SnapshotCache::key(prog, len);
+            // With a persistent store attached, give the runner a
+            // header-only probe so it can derive the deterministic
+            // "snapshot_store" label before any point executes.
+            if (SnapshotStore *store = sc->store())
+                store_probe = [store, prog, len] {
+                    return store->probe(prog, len);
+                };
         }
         snapshot_label = "on";
     }
@@ -148,9 +168,15 @@ timingPoint(RunKey key, const PipelineConfig &config,
         out.checkpoint = r.checkpoint;
         return out;
     };
-    return SweepPoint{std::move(key), seed, std::move(fn),
+    return SweepPoint{std::move(key),
+                      seed,
+                      std::move(fn),
                       std::move(snapshot_key),
-                      std::move(checkpoint_key)};
+                      std::move(checkpoint_key),
+                      std::move(store_probe),
+                      nullptr,
+                      nullptr,
+                      nullptr};
 }
 
 SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs)
@@ -162,6 +188,75 @@ SweepRunner::SweepRunner(unsigned jobs) : jobs_(jobs)
     }
 }
 
+SweepLabels
+deriveSweepLabels(const std::vector<SweepPoint> &points)
+{
+    SweepLabels labels;
+
+    // Deterministic snapshot labels: the first point (in input
+    // order) naming each snapshot key is the sweep's "miss", later
+    // ones are "hit" — independent of worker interleaving and of
+    // cache contents carried over from earlier sweeps.
+    labels.snapshot.assign(points.size(), nullptr);
+    {
+        std::unordered_set<std::string> seen;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (points[i].snapshotLabel) {
+                labels.snapshot[i] = points[i].snapshotLabel;
+                continue;
+            }
+            if (points[i].snapshotKey.empty())
+                continue;
+            labels.snapshot[i] =
+                seen.insert(points[i].snapshotKey).second ? "miss"
+                                                          : "hit";
+        }
+    }
+
+    // Same deterministic scheme for warm-checkpoint labels.
+    labels.checkpoint.assign(points.size(), nullptr);
+    {
+        std::unordered_set<std::string> seen;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (points[i].checkpointLabel) {
+                labels.checkpoint[i] = points[i].checkpointLabel;
+                continue;
+            }
+            if (points[i].checkpointKey.empty())
+                continue;
+            labels.checkpoint[i] =
+                seen.insert(points[i].checkpointKey).second ? "miss"
+                                                            : "hit";
+        }
+    }
+
+    // Persistent-store labels: header-probe each distinct workload
+    // ONCE, before any point runs (and can therefore persist new
+    // files). "hit"/"miss" records whether the store already held a
+    // valid file at sweep start — machine state, not input order —
+    // so every point sharing a workload gets the same label and the
+    // result is identical for every job and worker count.
+    labels.store.assign(points.size(), nullptr);
+    {
+        std::unordered_map<std::string, bool> probed;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (points[i].storeLabel) {
+                labels.store[i] = points[i].storeLabel;
+                continue;
+            }
+            if (!points[i].storeProbe ||
+                points[i].snapshotKey.empty())
+                continue;
+            auto ins =
+                probed.try_emplace(points[i].snapshotKey, false);
+            if (ins.second)
+                ins.first->second = points[i].storeProbe();
+            labels.store[i] = ins.first->second ? "hit" : "miss";
+        }
+    }
+    return labels;
+}
+
 std::vector<RunRecord>
 SweepRunner::run(const std::vector<SweepPoint> &points) const
 {
@@ -169,35 +264,10 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
     std::vector<std::exception_ptr> errors(points.size());
     std::atomic<std::size_t> next{0};
 
-    // Deterministic snapshot labels: the first point (in input
-    // order) naming each snapshot key is the sweep's "miss", later
-    // ones are "hit" — independent of worker interleaving and of
-    // cache contents carried over from earlier sweeps.
-    std::vector<const char *> snapshot_labels(points.size(), nullptr);
-    {
-        std::unordered_set<std::string> seen;
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            if (points[i].snapshotKey.empty())
-                continue;
-            snapshot_labels[i] =
-                seen.insert(points[i].snapshotKey).second ? "miss"
-                                                          : "hit";
-        }
-    }
-
-    // Same deterministic scheme for warm-checkpoint labels.
-    std::vector<const char *> checkpoint_labels(points.size(),
-                                                nullptr);
-    {
-        std::unordered_set<std::string> seen;
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            if (points[i].checkpointKey.empty())
-                continue;
-            checkpoint_labels[i] =
-                seen.insert(points[i].checkpointKey).second ? "miss"
-                                                            : "hit";
-        }
-    }
+    SweepLabels labels = deriveSweepLabels(points);
+    const auto &snapshot_labels = labels.snapshot;
+    const auto &checkpoint_labels = labels.checkpoint;
+    const auto &store_labels = labels.store;
 
     auto worker = [&] {
         for (;;) {
@@ -215,6 +285,8 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
                 rec.snapshot = snapshot_labels[i]
                                    ? snapshot_labels[i]
                                    : std::move(output.snapshot);
+                if (store_labels[i])
+                    rec.snapshotStore = store_labels[i];
                 rec.simMode = std::move(output.simMode);
                 rec.sampledWindows = output.sampledWindows;
                 rec.ipcErr = output.ipcErr;

@@ -74,6 +74,16 @@ struct RunRecord
      *  from the sweep definition, not run-time racing, so rows stay
      *  byte-identical across job counts and repeats. */
     std::string snapshot = "off";
+    /** Persistent-store disposition: "off" (no store attached),
+     *  "hit" (a valid store file existed when the sweep started) or
+     *  "miss" (it did not — this sweep generates and persists).
+     *  Probed header-only per distinct workload BEFORE any point
+     *  runs, so every point sharing a workload gets the same label
+     *  and rows stay byte-identical across job/worker counts. */
+    std::string snapshotStore = "off";
+    /** Shard index this row was produced under (--shard i/N); 0 for
+     *  unsharded sweeps. */
+    unsigned shard = 0;
 
     /** "exact" or "sampled" (TimingResult::simMode). */
     std::string simMode = "exact";
@@ -143,6 +153,23 @@ struct SweepPoint
      *  off). Same deterministic first-in-input-order labeling as
      *  snapshotKey. */
     std::string checkpointKey;
+
+    /** Header-only persistent-store probe for this point's workload
+     *  (null = no store attached). SweepRunner::run calls it once
+     *  per distinct snapshotKey before any point executes — i.e.
+     *  before this sweep can persist anything — so the resulting
+     *  "hit"/"miss" snapshot_store labels reflect the store's state
+     *  at sweep start and are identical for every job count. */
+    std::function<bool()> storeProbe;
+
+    /** Pre-derived label overrides (null = derive at run time from
+     *  this point list). A sharded sweep derives labels over the
+     *  FULL sweep before filtering and bakes them in here, so shard
+     *  rows stay byte-identical to the unsharded run's — a shard
+     *  would otherwise call its locally-first points "miss". */
+    const char *snapshotLabel = nullptr;
+    const char *checkpointLabel = nullptr;
+    const char *storeLabel = nullptr;
 };
 
 /** Build a point whose seed is the key's own derived seed. */
@@ -168,6 +195,34 @@ std::uint64_t environmentSeed(const std::string &benchmark,
                               const std::string &machine,
                               const std::string &predictor,
                               Count measure_uops);
+
+/**
+ * Deterministic shard assignment of one design point: derived from
+ * the key's canonical hash, never from position or scheduling, so
+ * every process given the same point list partitions it identically
+ * and the N shards of a sweep are disjoint and exhaustive.
+ */
+unsigned shardOf(const RunKey &key, unsigned nshards);
+
+/**
+ * Deterministic per-point row labels derived from the sweep
+ * definition (first occurrence in input order) and from a header
+ * probe of the persistent store taken BEFORE any point runs. A null
+ * entry means "keep the point's own RunOutput value". Shared by the
+ * in-process SweepRunner and the multi-process worker pool so both
+ * produce byte-identical rows: a worker only sees its own subrange
+ * and would derive wrong first-occurrence labels locally.
+ */
+struct SweepLabels
+{
+    std::vector<const char *> snapshot;
+    std::vector<const char *> checkpoint;
+    std::vector<const char *> store;
+};
+
+/** Compute SweepLabels for @p points; runs each distinct store
+ *  probe once, so call before executing (or forking) anything. */
+SweepLabels deriveSweepLabels(const std::vector<SweepPoint> &points);
 
 /** Fixed-size pool executing sweep points concurrently. */
 class SweepRunner

@@ -1,0 +1,550 @@
+#include "worker_pool.hh"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+namespace {
+
+static_assert(std::is_trivially_copyable_v<CoreStats>,
+              "CoreStats crosses the worker pipe as raw bytes");
+static_assert(std::is_trivially_copyable_v<SnapshotCache::Counters> &&
+                  std::is_trivially_copyable_v<
+                      CheckpointCache::Counters> &&
+                  std::is_trivially_copyable_v<SnapshotStore::Counters>,
+              "counter structs cross the worker pipe as raw bytes");
+
+/** Range-command sentinel: no more work, send sums and exit. */
+constexpr std::uint64_t kEofRange = ~std::uint64_t(0);
+
+// Result-pipe frames: u32 payload length, then payload whose first
+// byte is the tag. 'R' = one finished row, 'E' = one failed row,
+// 'D' = range complete (worker idle), 'S' = final counter sums.
+
+bool
+writeFull(int fd, const void *data, std::size_t bytes)
+{
+    const char *p = static_cast<const char *>(data);
+    while (bytes > 0) {
+        ssize_t n = ::write(fd, p, bytes);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        bytes -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+sendFrame(int fd, std::mutex &mx, const std::string &payload)
+{
+    std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    std::lock_guard<std::mutex> lock(mx);
+    return writeFull(fd, &len, sizeof len) &&
+           writeFull(fd, payload.data(), payload.size());
+}
+
+void
+putRaw(std::string &buf, const void *data, std::size_t bytes)
+{
+    buf.append(static_cast<const char *>(data), bytes);
+}
+
+void
+putU64(std::string &buf, std::uint64_t v)
+{
+    putRaw(buf, &v, sizeof v);
+}
+
+void
+putDouble(std::string &buf, double v)
+{
+    putRaw(buf, &v, sizeof v);
+}
+
+void
+putStr(std::string &buf, const std::string &s)
+{
+    putU64(buf, s.size());
+    putRaw(buf, s.data(), s.size());
+}
+
+/** Bounds-checked reader over one received frame payload. */
+struct FrameReader
+{
+    const char *p;
+    std::size_t left;
+
+    explicit FrameReader(const std::string &payload)
+        : p(payload.data()), left(payload.size())
+    {}
+
+    void raw(void *out, std::size_t bytes)
+    {
+        if (bytes > left)
+            throw std::runtime_error("worker frame truncated");
+        std::memcpy(out, p, bytes);
+        p += bytes;
+        left -= bytes;
+    }
+
+    std::uint64_t u64()
+    {
+        std::uint64_t v;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    double f64()
+    {
+        double v;
+        raw(&v, sizeof v);
+        return v;
+    }
+
+    std::string str()
+    {
+        std::uint64_t n = u64();
+        if (n > left)
+            throw std::runtime_error("worker frame truncated");
+        std::string s(p, n);
+        p += n;
+        left -= n;
+        return s;
+    }
+};
+
+/** Execute [lo, hi) with @p jobs threads, streaming a frame per
+ *  point. Row frames carry only what the parent cannot know itself
+ *  (stats and run outcome); key/seed/labels are parent-side. */
+void
+runRange(const std::vector<SweepPoint> &points, std::size_t lo,
+         std::size_t hi, unsigned jobs, int res_fd, std::mutex &wmx)
+{
+    std::atomic<std::size_t> next{lo};
+    auto work = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= hi)
+                return;
+            std::string payload;
+            auto start = std::chrono::steady_clock::now();
+            try {
+                RunOutput out =
+                    points[i].fn(points[i].key, points[i].seed);
+                double wall = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  start)
+                                  .count();
+                payload += 'R';
+                putU64(payload, i);
+                putRaw(payload, &out.stats, sizeof out.stats);
+                putU64(payload, out.sampledWindows);
+                putDouble(payload, out.ipcErr);
+                putDouble(payload, out.pvnErr);
+                putDouble(payload, out.specErr);
+                putDouble(payload, wall);
+                putStr(payload, out.audit);
+                putStr(payload, out.snapshot);
+                putStr(payload, out.simMode);
+                putStr(payload, out.checkpoint);
+            } catch (const std::exception &e) {
+                payload += 'E';
+                putU64(payload, i);
+                putStr(payload, e.what());
+            } catch (...) {
+                payload += 'E';
+                putU64(payload, i);
+                putStr(payload, "unknown error");
+            }
+            if (!sendFrame(res_fd, wmx, payload))
+                _exit(1);  // parent is gone; nothing to report to
+        }
+    };
+    unsigned nthreads = std::max(1u, jobs);
+    nthreads = static_cast<unsigned>(
+        std::min<std::size_t>(nthreads, hi - lo));
+    if (nthreads <= 1) {
+        work();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(nthreads);
+    for (unsigned t = 0; t < nthreads; ++t)
+        pool.emplace_back(work);
+    for (auto &th : pool)
+        th.join();
+}
+
+/** Worker main: serve range commands until the sentinel, then report
+ *  this process's cache/store counters and exit. Never returns. */
+[[noreturn]] void
+childLoop(const std::vector<SweepPoint> &points, int cmd_fd,
+          int res_fd, unsigned jobs)
+{
+    // Report DELTAS: the forked image inherits the parent's cache
+    // contents and counter values, which must not be double-counted
+    // when the parent sums over workers.
+    auto snap0 = SnapshotCache::global().counters();
+    auto chk0 = CheckpointCache::global().counters();
+    SnapshotStore::Counters store0{};
+    if (SnapshotStore *s = SnapshotCache::global().store())
+        store0 = s->counters();
+
+    std::mutex wmx;
+    for (;;) {
+        std::uint64_t range[2];
+        std::size_t got = 0;
+        bool eof = false;
+        while (got < sizeof range) {
+            ssize_t n = ::read(
+                cmd_fd, reinterpret_cast<char *>(range) + got,
+                sizeof range - got);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0) {
+                eof = true;
+                break;
+            }
+            got += static_cast<std::size_t>(n);
+        }
+        if (eof || range[0] == kEofRange)
+            break;
+        runRange(points, range[0], range[1], jobs, res_fd, wmx);
+        std::string done(1, 'D');
+        if (!sendFrame(res_fd, wmx, done))
+            _exit(1);
+    }
+
+    std::string sums(1, 'S');
+    auto snap = SnapshotCache::global().counters();
+    auto chk = CheckpointCache::global().counters();
+    SnapshotStore::Counters store{};
+    if (SnapshotStore *s = SnapshotCache::global().store())
+        store = s->counters();
+    snap.hits -= snap0.hits;
+    snap.misses -= snap0.misses;
+    snap.storeHits -= snap0.storeHits;
+    snap.storeMisses -= snap0.storeMisses;
+    snap.builtUops -= snap0.builtUops;
+    snap.builtBytes -= snap0.builtBytes;
+    snap.mappedBytes -= snap0.mappedBytes;
+    snap.buildSeconds -= snap0.buildSeconds;
+    chk.hits -= chk0.hits;
+    chk.misses -= chk0.misses;
+    chk.builtBytes -= chk0.builtBytes;
+    chk.buildSeconds -= chk0.buildSeconds;
+    store.mapHits -= store0.mapHits;
+    store.mapMisses -= store0.mapMisses;
+    store.rejected -= store0.rejected;
+    store.persisted -= store0.persisted;
+    store.persistedBytes -= store0.persistedBytes;
+    store.mappedBytes -= store0.mappedBytes;
+    putRaw(sums, &snap, sizeof snap);
+    putRaw(sums, &chk, sizeof chk);
+    putRaw(sums, &store, sizeof store);
+    sendFrame(res_fd, wmx, sums);
+    ::close(res_fd);
+    ::close(cmd_fd);
+    // _exit, not exit: do not flush stdio buffers inherited from the
+    // parent or run the parent's atexit handlers.
+    _exit(0);
+}
+
+void
+addSums(WorkerSums &into, const WorkerSums &from)
+{
+    auto &s = into.snapshot;
+    const auto &fs = from.snapshot;
+    s.hits += fs.hits;
+    s.misses += fs.misses;
+    s.storeHits += fs.storeHits;
+    s.storeMisses += fs.storeMisses;
+    s.builtUops += fs.builtUops;
+    s.builtBytes += fs.builtBytes;
+    s.mappedBytes += fs.mappedBytes;
+    s.buildSeconds += fs.buildSeconds;
+    auto &c = into.checkpoint;
+    const auto &fc = from.checkpoint;
+    c.hits += fc.hits;
+    c.misses += fc.misses;
+    c.builtBytes += fc.builtBytes;
+    c.buildSeconds += fc.buildSeconds;
+    auto &t = into.store;
+    const auto &ft = from.store;
+    t.mapHits += ft.mapHits;
+    t.mapMisses += ft.mapMisses;
+    t.rejected += ft.rejected;
+    t.persisted += ft.persisted;
+    t.persistedBytes += ft.persistedBytes;
+    t.mappedBytes += ft.mappedBytes;
+}
+
+struct Child
+{
+    pid_t pid = -1;
+    int cmdFd = -1;  ///< parent write end
+    int resFd = -1;  ///< parent read end
+    std::string buf; ///< partial-frame reassembly
+    bool eof = false;
+};
+
+} // namespace
+
+WorkerPoolResult
+runSweepWorkers(const std::vector<SweepPoint> &points, unsigned workers,
+                unsigned jobs)
+{
+    WorkerPoolResult result;
+    result.records.resize(points.size());
+    std::size_t nworkers = std::max<std::size_t>(1, workers);
+    nworkers = std::min(nworkers, std::max<std::size_t>(
+                                      1, points.size()));
+    result.workersUsed = static_cast<unsigned>(nworkers);
+
+    // Labels (and the store probes behind them) MUST be derived
+    // before forking: a worker that probed mid-run would see files
+    // persisted by its siblings and label nondeterministically.
+    SweepLabels labels = deriveSweepLabels(points);
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        result.records[i].key = points[i].key;
+        result.records[i].seed = points[i].seed;
+    }
+    if (points.empty())
+        return result;
+
+    // A worker that dies mid-write must surface as an error, not a
+    // SIGPIPE kill of the parent.
+    struct sigaction ignore_pipe
+    {
+    };
+    ignore_pipe.sa_handler = SIG_IGN;
+    struct sigaction old_pipe
+    {
+    };
+    ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+
+    std::vector<Child> children(nworkers);
+    for (std::size_t c = 0; c < nworkers; ++c) {
+        int cmd[2], res[2];
+        if (::pipe(cmd) != 0 || ::pipe(res) != 0)
+            fatal("worker pool: pipe() failed: %s",
+                  std::strerror(errno));
+        pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("worker pool: fork() failed: %s",
+                  std::strerror(errno));
+        if (pid == 0) {
+            // Worker: drop every parent-side and earlier-sibling fd
+            // so pipe EOFs propagate promptly.
+            for (std::size_t e = 0; e < c; ++e) {
+                ::close(children[e].cmdFd);
+                ::close(children[e].resFd);
+            }
+            ::close(cmd[1]);
+            ::close(res[0]);
+            childLoop(points, cmd[0], res[1], jobs);
+        }
+        ::close(cmd[0]);
+        ::close(res[1]);
+        children[c].pid = pid;
+        children[c].cmdFd = cmd[1];
+        children[c].resFd = res[0];
+    }
+
+    std::vector<char> delivered(points.size(), 0);
+    std::vector<std::string> errors(points.size());
+    std::size_t next_index = 0;
+
+    auto assignRange = [&](Child &child) {
+        std::uint64_t range[2];
+        if (next_index >= points.size()) {
+            range[0] = range[1] = kEofRange;
+        } else {
+            // Guided self-scheduling: big chunks early, small late,
+            // so stragglers hold at most a short tail range.
+            std::size_t remaining = points.size() - next_index;
+            std::size_t chunk = std::max<std::size_t>(
+                1, remaining / (2 * nworkers));
+            range[0] = next_index;
+            range[1] = next_index + chunk;
+            next_index += chunk;
+        }
+        if (!writeFull(child.cmdFd, range, sizeof range))
+            child.eof = true;  // dead child; waitpid sorts it out
+    };
+
+    auto handleFrame = [&](Child &child, const std::string &payload) {
+        if (payload.empty())
+            throw std::runtime_error("empty worker frame");
+        FrameReader r(payload);
+        char tag;
+        r.raw(&tag, 1);
+        switch (tag) {
+          case 'R': {
+            std::uint64_t i = r.u64();
+            if (i >= points.size())
+                throw std::runtime_error("worker row out of range");
+            RunRecord &rec = result.records[i];
+            r.raw(&rec.stats, sizeof rec.stats);
+            rec.sampledWindows = r.u64();
+            rec.ipcErr = r.f64();
+            rec.pvnErr = r.f64();
+            rec.specErr = r.f64();
+            rec.wallSeconds = r.f64();
+            rec.audit = r.str();
+            std::string snapshot = r.str();
+            rec.simMode = r.str();
+            std::string checkpoint = r.str();
+            rec.snapshot = labels.snapshot[i] ? labels.snapshot[i]
+                                              : std::move(snapshot);
+            rec.checkpoint = labels.checkpoint[i]
+                                 ? labels.checkpoint[i]
+                                 : std::move(checkpoint);
+            if (labels.store[i])
+                rec.snapshotStore = labels.store[i];
+            delivered[i] = 1;
+            break;
+          }
+          case 'E': {
+            std::uint64_t i = r.u64();
+            if (i >= points.size())
+                throw std::runtime_error("worker row out of range");
+            errors[i] = r.str();
+            if (errors[i].empty())
+                errors[i] = "unknown error";
+            delivered[i] = 1;
+            break;
+          }
+          case 'D':
+            assignRange(child);
+            break;
+          case 'S': {
+            WorkerSums sums;
+            r.raw(&sums.snapshot, sizeof sums.snapshot);
+            r.raw(&sums.checkpoint, sizeof sums.checkpoint);
+            r.raw(&sums.store, sizeof sums.store);
+            addSums(result.sums, sums);
+            break;
+          }
+          default:
+            throw std::runtime_error("unknown worker frame tag");
+        }
+    };
+
+    // Hand the initial range to every worker, then serve frames
+    // until every result pipe reaches EOF.
+    for (auto &child : children)
+        assignRange(child);
+
+    std::string pool_error;
+    try {
+        std::vector<pollfd> fds;
+        for (;;) {
+            fds.clear();
+            for (auto &child : children)
+                if (!child.eof)
+                    fds.push_back(
+                        pollfd{child.resFd, POLLIN, 0});
+            if (fds.empty())
+                break;
+            int rc = ::poll(fds.data(),
+                            static_cast<nfds_t>(fds.size()), -1);
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                throw std::runtime_error(
+                    std::string("worker pool: poll() failed: ") +
+                    std::strerror(errno));
+            }
+            for (const auto &pfd : fds) {
+                if (!(pfd.revents & (POLLIN | POLLHUP | POLLERR)))
+                    continue;
+                Child *child = nullptr;
+                for (auto &c : children)
+                    if (c.resFd == pfd.fd)
+                        child = &c;
+                char chunk[4096];
+                ssize_t n = ::read(pfd.fd, chunk, sizeof chunk);
+                if (n < 0) {
+                    if (errno == EINTR)
+                        continue;
+                    child->eof = true;
+                    continue;
+                }
+                if (n == 0) {
+                    child->eof = true;
+                    continue;
+                }
+                child->buf.append(chunk,
+                                  static_cast<std::size_t>(n));
+                while (child->buf.size() >= sizeof(std::uint32_t)) {
+                    std::uint32_t len;
+                    std::memcpy(&len, child->buf.data(), sizeof len);
+                    if (child->buf.size() < sizeof len + len)
+                        break;
+                    std::string payload =
+                        child->buf.substr(sizeof len, len);
+                    child->buf.erase(0, sizeof len + len);
+                    handleFrame(*child, payload);
+                }
+            }
+        }
+    } catch (const std::exception &e) {
+        pool_error = e.what();
+    }
+
+    for (auto &child : children) {
+        ::close(child.cmdFd);
+        ::close(child.resFd);
+        int status = 0;
+        while (::waitpid(child.pid, &status, 0) < 0 &&
+               errno == EINTR) {
+        }
+        if (pool_error.empty()) {
+            if (WIFSIGNALED(status))
+                pool_error = "worker killed by signal " +
+                             std::to_string(WTERMSIG(status));
+            else if (WIFEXITED(status) && WEXITSTATUS(status) != 0)
+                pool_error = "worker exited with status " +
+                             std::to_string(WEXITSTATUS(status));
+        }
+    }
+    ::sigaction(SIGPIPE, &old_pipe, nullptr);
+
+    // First failure in INPUT order wins, mirroring SweepRunner::run.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (!errors[i].empty())
+            throw std::runtime_error("sweep point '" +
+                                     points[i].key.canonical() +
+                                     "' failed in worker: " +
+                                     errors[i]);
+        if (!delivered[i] && pool_error.empty())
+            pool_error = "worker never delivered point " +
+                         std::to_string(i);
+    }
+    if (!pool_error.empty())
+        throw std::runtime_error("worker pool: " + pool_error);
+    return result;
+}
+
+} // namespace percon

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Multi-process sweep execution: fork()ed workers over pipes.
+ *
+ * SweepRunner scales a sweep across the threads of one process; the
+ * worker pool scales it across PROCESSES, which matters once the
+ * persistent snapshot store exists — workers share built snapshots
+ * through the machine-wide store and page cache instead of through a
+ * process-local heap, and a crash in one design point cannot take
+ * down the whole sweep.
+ *
+ * Shape: the parent forks K workers (fork only, no exec — workers
+ * inherit the already-parsed point list) and hands out contiguous
+ * index ranges over a per-worker command pipe. Chunks follow guided
+ * self-scheduling — max(1, remaining / (2K)) — so early chunks are
+ * large (low handout overhead) and final chunks are small: a
+ * straggler can hold at most a small tail range while idle workers
+ * drain the rest, which is work-stealing without shared memory.
+ * Workers stream binary result frames back over a per-worker result
+ * pipe; the parent polls, reassembles, and merges rows by input
+ * index.
+ *
+ * Determinism contract (same as SweepRunner): rows are merged in
+ * input order and every label that depends on "first occurrence" or
+ * on store state is derived by the PARENT over the full point list
+ * before forking — a worker only sees its own ranges and would get
+ * them wrong. Merged output is therefore byte-identical across
+ * --workers 1/2/4 and across repeats, except wall_seconds.
+ *
+ * A point that throws inside a worker is reported as an error frame
+ * and rethrown by the parent (first failing index in input order)
+ * after all workers finish, mirroring SweepRunner::run. A worker
+ * that dies outright (signal, _exit) turns into an error on every
+ * row it never delivered.
+ */
+
+#ifndef PERCON_DRIVER_WORKER_POOL_HH
+#define PERCON_DRIVER_WORKER_POOL_HH
+
+#include <vector>
+
+#include "driver/checkpoint_cache.hh"
+#include "driver/snapshot_cache.hh"
+#include "driver/snapshot_store.hh"
+#include "driver/sweep_runner.hh"
+
+namespace percon {
+
+/** Cache/store accounting aggregated over all workers, for the
+ *  sweep-end summary (each worker's process-global caches only see
+ *  that worker's share of the work). */
+struct WorkerSums
+{
+    SnapshotCache::Counters snapshot;
+    CheckpointCache::Counters checkpoint;
+    SnapshotStore::Counters store;
+};
+
+struct WorkerPoolResult
+{
+    std::vector<RunRecord> records;  ///< input order, like SweepRunner
+    WorkerSums sums;
+    unsigned workersUsed = 0;
+};
+
+/**
+ * Execute @p points across @p workers forked processes, @p jobs
+ * SweepRunner-style threads each. Blocks until every worker exits.
+ * The caller's process must be single-threaded at the call (fork
+ * safety); percon_sim calls it before creating any thread pool.
+ *
+ * Workers execute points with the process-global SnapshotCache /
+ * CheckpointCache (inheriting any store attached before the call)
+ * and report those caches' counters back for @ref WorkerSums.
+ *
+ * @throws std::runtime_error carrying the first failing point's
+ *         message when any point fails or a worker dies.
+ */
+WorkerPoolResult runSweepWorkers(const std::vector<SweepPoint> &points,
+                                 unsigned workers, unsigned jobs = 1);
+
+} // namespace percon
+
+#endif // PERCON_DRIVER_WORKER_POOL_HH

@@ -1,0 +1,288 @@
+#include "snapshot_file.hh"
+
+#include <array>
+#include <cstring>
+
+#include "common/file_util.hh"
+#include "common/logging.hh"
+
+namespace percon {
+
+/** Private-access shim: the file layer is the one component allowed
+ *  to read the lane pointers directly and to construct borrowed-lane
+ *  snapshots. */
+struct SnapshotFileAccess
+{
+    static const TraceSnapshot &ro(const TraceSnapshot &s) { return s; }
+
+    struct Lane
+    {
+        const void *data;
+        std::size_t bytes;
+    };
+
+    /** The seven lanes in directory order. */
+    static std::array<Lane, 7>
+    lanes(const TraceSnapshot &s)
+    {
+        std::size_t words = (s.numBranch_ + 63) / 64;
+        return {{
+            {s.pcLane_, s.size_ * sizeof(Addr)},
+            {s.memAddrLane_, s.numMem_ * sizeof(Addr)},
+            {s.targetLane_, s.numBranch_ * sizeof(Addr)},
+            {s.takenBits_, words * sizeof(std::uint64_t)},
+            {s.srcDist0Lane_, s.size_ * sizeof(std::uint16_t)},
+            {s.srcDist1Lane_, s.size_ * sizeof(std::uint16_t)},
+            {s.clsLane_, s.size_ * sizeof(std::uint8_t)},
+        }};
+    }
+
+    static Count size(const TraceSnapshot &s) { return s.size_; }
+    static Count numMem(const TraceSnapshot &s) { return s.numMem_; }
+    static Count numBranch(const TraceSnapshot &s) { return s.numBranch_; }
+
+    /** Build a snapshot whose lanes alias @p base (an mmap'd file);
+     *  @p keep keeps the mapping alive for the snapshot's lifetime. */
+    static std::shared_ptr<const TraceSnapshot>
+    makeBorrowed(const ProgramParams &params, Count size, Count num_mem,
+                 Count num_branch, const std::byte *base,
+                 const std::uint64_t (*dir)[2], std::size_t lane_bytes,
+                 std::shared_ptr<const void> keep)
+    {
+        auto snap = std::shared_ptr<TraceSnapshot>(new TraceSnapshot);
+        snap->params_ = params;
+        snap->size_ = size;
+        snap->numMem_ = num_mem;
+        snap->numBranch_ = num_branch;
+        snap->arenaBytes_ = lane_bytes;
+        snap->backing_ = std::move(keep);
+        auto at = [base, dir](std::size_t lane) {
+            return base + dir[lane][0];
+        };
+        snap->pcLane_ = reinterpret_cast<const Addr *>(at(0));
+        snap->memAddrLane_ = reinterpret_cast<const Addr *>(at(1));
+        snap->targetLane_ = reinterpret_cast<const Addr *>(at(2));
+        snap->takenBits_ =
+            reinterpret_cast<const std::uint64_t *>(at(3));
+        snap->srcDist0Lane_ =
+            reinterpret_cast<const std::uint16_t *>(at(4));
+        snap->srcDist1Lane_ =
+            reinterpret_cast<const std::uint16_t *>(at(5));
+        snap->clsLane_ = reinterpret_cast<const std::uint8_t *>(at(6));
+        return snap;
+    }
+};
+
+namespace {
+
+constexpr std::size_t kAlign = 64;
+constexpr std::size_t kLaneCount = 7;
+constexpr std::size_t kDirOff = 96;
+constexpr std::size_t kKeyOff =
+    kDirOff + kLaneCount * 2 * sizeof(std::uint64_t);  // 208
+
+// Fixed header word offsets (bytes).
+constexpr std::size_t kOffEndian = 8;
+constexpr std::size_t kOffFileBytes = 16;
+constexpr std::size_t kOffKeyHash = 24;
+constexpr std::size_t kOffSize = 32;
+constexpr std::size_t kOffNumMem = 40;
+constexpr std::size_t kOffNumBranch = 48;
+constexpr std::size_t kOffPayloadOff = 56;
+constexpr std::size_t kOffPayloadBytes = 64;
+constexpr std::size_t kOffPayloadHash = 72;
+constexpr std::size_t kOffKeyLen = 80;
+constexpr std::size_t kOffLaneCount = 88;
+
+std::size_t
+alignUp(std::size_t v)
+{
+    return (v + kAlign - 1) / kAlign * kAlign;
+}
+
+void
+putU64(std::string &buf, std::size_t off, std::uint64_t v)
+{
+    std::memcpy(&buf[off], &v, sizeof v);
+}
+
+std::uint64_t
+getU64(const std::byte *base, std::size_t off)
+{
+    std::uint64_t v;
+    std::memcpy(&v, base + off, sizeof v);
+    return v;
+}
+
+} // namespace
+
+std::string
+serializeSnapshot(const TraceSnapshot &snap)
+{
+    auto lanes = SnapshotFileAccess::lanes(snap);
+    std::string key = programKey(snap.params());
+
+    // Lay the lanes out 64-byte aligned after the header + key.
+    std::uint64_t dir[kLaneCount][2];
+    std::size_t payload_off = alignUp(kKeyOff + key.size());
+    std::size_t cursor = payload_off;
+    for (std::size_t i = 0; i < kLaneCount; ++i) {
+        cursor = alignUp(cursor);
+        dir[i][0] = cursor;
+        dir[i][1] = lanes[i].bytes;
+        cursor += lanes[i].bytes;
+    }
+    std::size_t total = cursor;
+
+    std::string buf(total, '\0');
+    std::memcpy(&buf[0], kSnapshotFileMagic, sizeof kSnapshotFileMagic);
+    putU64(buf, kOffEndian, kSnapshotEndianTag);
+    putU64(buf, kOffFileBytes, total);
+    putU64(buf, kOffKeyHash, fnv1a64(key));
+    putU64(buf, kOffSize, SnapshotFileAccess::size(snap));
+    putU64(buf, kOffNumMem, SnapshotFileAccess::numMem(snap));
+    putU64(buf, kOffNumBranch, SnapshotFileAccess::numBranch(snap));
+    putU64(buf, kOffPayloadOff, payload_off);
+    putU64(buf, kOffPayloadBytes, total - payload_off);
+    putU64(buf, kOffKeyLen, key.size());
+    putU64(buf, kOffLaneCount, kLaneCount);
+    for (std::size_t i = 0; i < kLaneCount; ++i) {
+        putU64(buf, kDirOff + i * 16, dir[i][0]);
+        putU64(buf, kDirOff + i * 16 + 8, dir[i][1]);
+    }
+    std::memcpy(&buf[kKeyOff], key.data(), key.size());
+    for (std::size_t i = 0; i < kLaneCount; ++i)
+        if (lanes[i].bytes)
+            std::memcpy(&buf[dir[i][0]], lanes[i].data,
+                        lanes[i].bytes);
+    putU64(buf, kOffPayloadHash,
+           fnv1a64(buf.data() + payload_off, total - payload_off));
+    return buf;
+}
+
+namespace {
+
+/**
+ * Shared validation walk over a mapped file. Fills @p dir and the
+ * geometry outputs; returns false with *why set on the first failed
+ * check. @p check_payload controls whether the (full-scan) payload
+ * hash is verified.
+ */
+bool
+validateImage(const std::byte *base, std::size_t file_bytes,
+              const ProgramParams &params, Count uops,
+              bool check_payload, std::uint64_t (*dir)[2],
+              Count *size, Count *num_mem, Count *num_branch,
+              std::size_t *lane_bytes, std::string *why)
+{
+    auto fail = [why](const char *msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (file_bytes < kKeyOff)
+        return fail("file shorter than the fixed header");
+    if (std::memcmp(base, kSnapshotFileMagic,
+                    sizeof kSnapshotFileMagic) != 0)
+        return fail("bad magic / format version");
+    if (getU64(base, kOffEndian) != kSnapshotEndianTag)
+        return fail("foreign byte order");
+    if (getU64(base, kOffFileBytes) != file_bytes)
+        return fail("declared size != file size (truncated?)");
+    if (getU64(base, kOffLaneCount) != kLaneCount)
+        return fail("unexpected lane count");
+
+    std::string key = programKey(params);
+    if (getU64(base, kOffKeyHash) != fnv1a64(key))
+        return fail("params key hash mismatch");
+    std::uint64_t key_len = getU64(base, kOffKeyLen);
+    if (key_len != key.size() || kKeyOff + key_len > file_bytes ||
+        std::memcmp(base + kKeyOff, key.data(), key.size()) != 0)
+        return fail("params key mismatch");
+
+    *size = getU64(base, kOffSize);
+    *num_mem = getU64(base, kOffNumMem);
+    *num_branch = getU64(base, kOffNumBranch);
+    if (*size != uops)
+        return fail("uop count mismatch");
+    if (*num_mem > *size || *num_branch > *size)
+        return fail("implausible ordinal counts");
+
+    std::uint64_t payload_off = getU64(base, kOffPayloadOff);
+    std::uint64_t payload_bytes = getU64(base, kOffPayloadBytes);
+    if (payload_off % kAlign != 0 || payload_off < kKeyOff + key_len ||
+        payload_off > file_bytes ||
+        payload_bytes != file_bytes - payload_off)
+        return fail("bad payload extent");
+
+    std::size_t expect[kLaneCount] = {
+        static_cast<std::size_t>(*size) * sizeof(Addr),
+        static_cast<std::size_t>(*num_mem) * sizeof(Addr),
+        static_cast<std::size_t>(*num_branch) * sizeof(Addr),
+        static_cast<std::size_t>((*num_branch + 63) / 64) *
+            sizeof(std::uint64_t),
+        static_cast<std::size_t>(*size) * sizeof(std::uint16_t),
+        static_cast<std::size_t>(*size) * sizeof(std::uint16_t),
+        static_cast<std::size_t>(*size) * sizeof(std::uint8_t),
+    };
+    std::size_t total_lanes = 0;
+    for (std::size_t i = 0; i < kLaneCount; ++i) {
+        dir[i][0] = getU64(base, kDirOff + i * 16);
+        dir[i][1] = getU64(base, kDirOff + i * 16 + 8);
+        if (dir[i][1] != expect[i])
+            return fail("lane size does not match geometry");
+        if (dir[i][0] % kAlign != 0 || dir[i][0] < payload_off ||
+            dir[i][0] > file_bytes || dir[i][1] > file_bytes - dir[i][0])
+            return fail("lane extent outside the file");
+        total_lanes += expect[i];
+    }
+
+    if (check_payload &&
+        getU64(base, kOffPayloadHash) !=
+            fnv1a64(base + payload_off, payload_bytes))
+        return fail("payload hash mismatch (corrupt file)");
+
+    *lane_bytes = total_lanes;
+    return true;
+}
+
+} // namespace
+
+std::shared_ptr<const TraceSnapshot>
+openSnapshotFile(const std::string &path, const ProgramParams &params,
+                 Count uops, std::string *why)
+{
+    auto map = std::make_shared<MappedFile>();
+    if (!map->open(path, why))
+        return nullptr;
+
+    std::uint64_t dir[kLaneCount][2];
+    Count size = 0, num_mem = 0, num_branch = 0;
+    std::size_t lane_bytes = 0;
+    if (!validateImage(map->data(), map->size(), params, uops,
+                       /*check_payload=*/true, dir, &size, &num_mem,
+                       &num_branch, &lane_bytes, why))
+        return nullptr;
+
+    const std::byte *base = map->data();
+    return SnapshotFileAccess::makeBorrowed(
+        params, size, num_mem, num_branch, base, dir, lane_bytes,
+        std::shared_ptr<const void>(map, map->data()));
+}
+
+bool
+probeSnapshotFile(const std::string &path, const ProgramParams &params,
+                  Count uops)
+{
+    MappedFile map;
+    if (!map.open(path))
+        return false;
+    std::uint64_t dir[kLaneCount][2];
+    Count size = 0, num_mem = 0, num_branch = 0;
+    std::size_t lane_bytes = 0;
+    return validateImage(map.data(), map.size(), params, uops,
+                         /*check_payload=*/false, dir, &size, &num_mem,
+                         &num_branch, &lane_bytes, nullptr);
+}
+
+} // namespace percon

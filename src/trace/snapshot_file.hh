@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Persistent, versioned on-disk format for TraceSnapshot.
+ *
+ * A snapshot file is a flat image of the packed SoA lanes plus a
+ * self-describing header, designed to be mmap'd read-only and
+ * replayed in place:
+ *
+ *   offset  field
+ *   ------  ---------------------------------------------------------
+ *        0  magic "PCSNAP01" (8 bytes; the two digits are the format
+ *           version — any change to the layout bumps them)
+ *        8  endian tag 0x0102030405060708 (a foreign-endian producer
+ *           shows the byte-reversed value and is rejected)
+ *       16  total file bytes (truncation check)
+ *       24  FNV-1a hash of programKey(params) (fast mismatch check;
+ *           the full key string below is authoritative)
+ *       32  uop count / 40 mem-op count / 48 branch count
+ *       56  payload offset (64-byte aligned) / 64 payload bytes
+ *       72  FNV-1a hash of the payload bytes (corruption check)
+ *       80  programKey length / 88 lane count (= 7)
+ *       96  7 x { u64 file offset, u64 bytes } lane directory
+ *      208  programKey(params) string (not NUL-terminated)
+ *           ... zero padding to the payload offset ...
+ *  payload  lanes in directory order — pc, memAddr, target,
+ *           takenBits, srcDist0, srcDist1, cls — each starting on a
+ *           64-byte-aligned file offset (mmap bases are page-aligned,
+ *           so every lane is naturally aligned and cache-line clean
+ *           in memory too)
+ *
+ * Everything in the header derives from the generating ProgramParams
+ * content and the uop count — never from the producing build, git
+ * state, host, or time — so a file written by one build is
+ * byte-identical to and readable by any other.
+ *
+ * openSnapshotFile validates the whole chain (magic, version,
+ * endianness, sizes, key, lane directory, payload hash) and returns
+ * null — never crashes — on any mismatch; callers fall back to
+ * regeneration. On success the returned TraceSnapshot borrows its
+ * lanes from the mapping (TraceSnapshot::borrowed()): zero-copy, no
+ * arena allocation, file kept alive by the snapshot.
+ */
+
+#ifndef PERCON_TRACE_SNAPSHOT_FILE_HH
+#define PERCON_TRACE_SNAPSHOT_FILE_HH
+
+#include <memory>
+#include <string>
+
+#include "trace/trace_snapshot.hh"
+
+namespace percon {
+
+/** Format magic, version included. */
+inline constexpr char kSnapshotFileMagic[8] = {'P', 'C', 'S', 'N',
+                                               'A', 'P', '0', '1'};
+
+/** Native byte-order tag (reads back reversed on a foreign-endian
+ *  host). */
+inline constexpr std::uint64_t kSnapshotEndianTag =
+    0x0102030405060708ULL;
+
+/** Serialize @p snap into the on-disk image described above. */
+std::string serializeSnapshot(const TraceSnapshot &snap);
+
+/**
+ * Map @p path read-only and validate it against the expected
+ * workload identity. @return a borrowed-lane snapshot on success;
+ * null (with *why describing the first failed check when non-null)
+ * on any validation failure. @p params must be the exact generating
+ * parameters (the stored programKey is compared against
+ * programKey(params)) and @p uops the exact requested length.
+ */
+std::shared_ptr<const TraceSnapshot>
+openSnapshotFile(const std::string &path, const ProgramParams &params,
+                 Count uops, std::string *why = nullptr);
+
+/**
+ * Header-only plausibility probe: magic, endianness, declared file
+ * size, and key hash — no payload scan, no mapping kept. Used to
+ * derive deterministic "snapshot_store" hit/miss row labels before a
+ * sweep starts; the authoritative check remains openSnapshotFile.
+ */
+bool probeSnapshotFile(const std::string &path,
+                       const ProgramParams &params, Count uops);
+
+} // namespace percon
+
+#endif // PERCON_TRACE_SNAPSHOT_FILE_HH

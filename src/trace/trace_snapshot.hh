@@ -64,11 +64,20 @@ class TraceSnapshot
     /** Number of packed uops. */
     Count size() const { return size_; }
 
-    /** Arena footprint in bytes (all lanes). */
+    /** Lane footprint in bytes (arena or borrowed mapping). */
     std::size_t memoryBytes() const { return arenaBytes_; }
 
     Count memOps() const { return numMem_; }
     Count branches() const { return numBranch_; }
+
+    /**
+     * True when the lanes are borrowed from an external read-only
+     * buffer (an mmap'd store file) instead of an owned arena. A
+     * borrowed snapshot replays zero-copy: no allocation, no
+     * deserialization — the lane pointers alias the shared page
+     * cache, kept alive by backing_.
+     */
+    bool borrowed() const { return backing_ != nullptr; }
 
     /** Reconstruct uop @p i given its memory/branch ordinals. The
      *  cursor tracks the ordinals incrementally; random access needs
@@ -77,6 +86,7 @@ class TraceSnapshot
 
   private:
     friend class SnapshotCursor;
+    friend struct SnapshotFileAccess;
 
     TraceSnapshot() = default;
 
@@ -86,9 +96,13 @@ class TraceSnapshot
     Count numBranch_ = 0;
 
     /** One allocation; the typed lane pointers below alias into it,
-     *  8-byte lanes first so every lane is naturally aligned. */
+     *  8-byte lanes first so every lane is naturally aligned. Null
+     *  in borrowed mode (the lanes alias backing_ instead). */
     std::unique_ptr<std::byte[]> arena_;
     std::size_t arenaBytes_ = 0;
+
+    /** Keep-alive for borrowed lanes (the mmap'd store file). */
+    std::shared_ptr<const void> backing_;
 
     const Addr *pcLane_ = nullptr;            ///< [size_]
     const Addr *memAddrLane_ = nullptr;       ///< [numMem_]

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -106,6 +107,30 @@ TEST(CheckpointCache, ConcurrentGetsShareOneBuild)
 TEST(CheckpointCache, GlobalIsAStableSingleton)
 {
     EXPECT_EQ(&CheckpointCache::global(), &CheckpointCache::global());
+}
+
+// A build that throws must not poison the key: the failure reaches
+// the caller (and any contemporaneous waiters), then the next get
+// retries from scratch.
+TEST(CheckpointCache, FailedBuildIsRetriedNotPoisoned)
+{
+    CheckpointCache cache;
+    int calls = 0;
+    auto build = [&]() -> std::string {
+        if (++calls == 1)
+            throw std::runtime_error("transient build failure");
+        return std::string("recovered");
+    };
+
+    EXPECT_THROW(cache.get("flaky", build), std::runtime_error);
+    auto blob = cache.get("flaky", build);
+    ASSERT_TRUE(blob);
+    EXPECT_EQ(*blob, "recovered");
+    EXPECT_EQ(calls, 2);
+    auto c = cache.counters();
+    EXPECT_EQ(c.misses, 2u)
+        << "the retry is a fresh resolution, not a hit";
+    EXPECT_EQ(c.builtBytes, std::string("recovered").size());
 }
 
 } // namespace

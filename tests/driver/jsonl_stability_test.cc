@@ -17,6 +17,7 @@
 #include "driver/checkpoint_cache.hh"
 #include "driver/jsonl.hh"
 #include "driver/sweep_runner.hh"
+#include "driver/worker_pool.hh"
 
 using namespace percon;
 
@@ -166,6 +167,37 @@ TEST(JsonlStability, ExactRowsCarryExactSamplingFields)
         EXPECT_NE(json.find("\"checkpoint\":\"off\""),
                   std::string::npos);
         EXPECT_NE(json.find("\"ipc_err\":0"), std::string::npos);
+    }
+}
+
+// With no snapshot store attached and no sharding, the new fields
+// are pinned to their neutral values on every row.
+TEST(JsonlStability, RowsCarryShardAndStoreFields)
+{
+    std::vector<RunRecord> recs = SweepRunner(1).run(smallSweep(true));
+    ASSERT_FALSE(recs.empty());
+    for (const RunRecord &rec : recs) {
+        EXPECT_EQ(rec.shard, 0u);
+        EXPECT_EQ(rec.snapshotStore, "off");
+        std::string json = runRecordJson(rec);
+        EXPECT_NE(json.find("\"shard\":0"), std::string::npos);
+        EXPECT_NE(json.find("\"snapshot_store\":\"off\""),
+                  std::string::npos);
+    }
+}
+
+// Forked multi-process sweeps must merge to the exact bytes the
+// in-process thread pool emits — at any worker count. This locks the
+// whole transport: chunk handout, frame encoding, merge order and
+// the parent-derived hit/miss/store labels.
+TEST(JsonlStability, WorkerCountDoesNotChangeBytes)
+{
+    std::string reference = renderSweep(1, true);
+    for (unsigned workers : {1u, 2u, 4u}) {
+        WorkerPoolResult wr =
+            runSweepWorkers(smallSweep(true), workers);
+        EXPECT_EQ(renderRecords(std::move(wr.records)), reference)
+            << "workers=" << workers;
     }
 }
 

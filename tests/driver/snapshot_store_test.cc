@@ -1,0 +1,253 @@
+/**
+ * @file
+ * SnapshotStore tests: the three-level cache lookup (memo -> mmap'd
+ * store file -> generate+persist), rejection fallback, store keys
+ * that are independent of the build id, and the concurrent-create
+ * race — two processes persisting the same key must end with one
+ * complete, valid file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/file_util.hh"
+#include "driver/build_id.hh"
+#include "driver/snapshot_cache.hh"
+#include "driver/snapshot_store.hh"
+#include "trace/benchmarks.hh"
+#include "trace/snapshot_file.hh"
+
+namespace percon {
+namespace {
+
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/percon-store-XXXXXX";
+    const char *dir = ::mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    return dir;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+TEST(SnapshotStore, GeneratePersistThenMapOnTheNextCache)
+{
+    std::string dir = makeTempDir();
+    SnapshotStore store(dir);
+    const ProgramParams &prog = benchmarkSpec("gzip").program;
+
+    // Cold: tier 3 generates and persists.
+    SnapshotCache first;
+    first.setStore(&store);
+    auto built = first.get(prog, 4'096);
+    ASSERT_TRUE(built);
+    EXPECT_FALSE(built->borrowed());
+    EXPECT_EQ(first.counters().storeMisses, 1u);
+    EXPECT_EQ(first.counters().storeHits, 0u);
+    EXPECT_EQ(store.counters().persisted, 1u);
+    EXPECT_TRUE(fileExists(store.pathFor(prog, 4'096)));
+    EXPECT_TRUE(store.probe(prog, 4'096));
+
+    // Warm: a fresh cache (a "new process") maps instead of
+    // regenerating, zero-copy, and the result is field-exact.
+    SnapshotCache second;
+    second.setStore(&store);
+    auto mapped = second.get(prog, 4'096);
+    ASSERT_TRUE(mapped);
+    EXPECT_TRUE(mapped->borrowed());
+    EXPECT_EQ(second.counters().storeHits, 1u);
+    EXPECT_EQ(second.counters().builtUops, 0u)
+        << "a store hit must not regenerate";
+    EXPECT_EQ(serializeSnapshot(*built), serializeSnapshot(*mapped));
+
+    // Memo tier still fronts the store: a second get in the same
+    // cache touches neither the store nor the generator.
+    auto again = second.get(prog, 4'096);
+    EXPECT_EQ(again.get(), mapped.get());
+    EXPECT_EQ(second.counters().storeHits, 1u);
+}
+
+TEST(SnapshotStore, NoStoreMeansPureGenerate)
+{
+    SnapshotCache cache;
+    ASSERT_EQ(cache.store(), nullptr);
+    const ProgramParams &prog = benchmarkSpec("vpr").program;
+    auto snap = cache.get(prog, 2'048);
+    ASSERT_TRUE(snap);
+    EXPECT_FALSE(snap->borrowed());
+    EXPECT_EQ(cache.counters().storeHits, 0u);
+    EXPECT_EQ(cache.counters().storeMisses, 0u);
+}
+
+TEST(SnapshotStore, RejectedFileFallsBackToRegeneration)
+{
+    std::string dir = makeTempDir();
+    SnapshotStore store(dir);
+    const ProgramParams &prog = benchmarkSpec("mcf").program;
+
+    // Plant garbage where the store file would live.
+    {
+        std::ofstream out(store.pathFor(prog, 4'096),
+                          std::ios::binary);
+        out << "this is not a snapshot";
+    }
+
+    SnapshotCache cache;
+    cache.setStore(&store);
+    auto snap = cache.get(prog, 4'096);
+    ASSERT_TRUE(snap);
+    EXPECT_FALSE(snap->borrowed()) << "garbage must not be mapped";
+    EXPECT_EQ(snap->size(), 4'096u);
+    EXPECT_EQ(store.counters().rejected, 1u);
+    // The regenerated snapshot was persisted over the garbage.
+    EXPECT_EQ(store.counters().persisted, 1u);
+    std::string why;
+    EXPECT_NE(openSnapshotFile(store.pathFor(prog, 4'096), prog,
+                               4'096, &why),
+              nullptr)
+        << why;
+}
+
+TEST(SnapshotStore, KeysAndImagesAreBuildIdIndependent)
+{
+    // A store written under one build id must be found and read
+    // bit-identically under another: snapshots are keyed by workload
+    // CONTENT so they survive rebuilds and are shared between
+    // differently-built binaries.
+    std::string dir = makeTempDir();
+    const ProgramParams &prog = benchmarkSpec("crafty").program;
+
+    SnapshotStore writer(dir);
+    {
+        SnapshotCache cache;
+        cache.setStore(&writer);
+        ASSERT_TRUE(cache.get(prog, 4'096));
+    }
+    std::string path = writer.pathFor(prog, 4'096);
+    std::string image = slurp(path);
+    ASSERT_FALSE(image.empty());
+    EXPECT_EQ(image.find(buildId()), std::string::npos)
+        << "the image must not embed the build id";
+
+    setBuildIdForTest("some-other-build-deadbeef");
+    SnapshotStore reader(dir);
+    EXPECT_EQ(reader.pathFor(prog, 4'096), path)
+        << "store keys must not depend on the build id";
+    SnapshotCache cache;
+    cache.setStore(&reader);
+    auto mapped = cache.get(prog, 4'096);
+    setBuildIdForTest(nullptr);
+    ASSERT_TRUE(mapped);
+    EXPECT_TRUE(mapped->borrowed());
+    EXPECT_EQ(serializeSnapshot(*mapped), image);
+}
+
+TEST(SnapshotStore, ConcurrentCreateRaceLeavesOneValidFile)
+{
+    std::string dir = makeTempDir();
+    const ProgramParams &prog = benchmarkSpec("twolf").program;
+
+    // Two child processes race to generate and persist the same
+    // key. Publication is tmp + rename, so whichever rename lands
+    // last wins and the file is complete either way.
+    pid_t kids[2];
+    for (int k = 0; k < 2; ++k) {
+        kids[k] = ::fork();
+        ASSERT_GE(kids[k], 0);
+        if (kids[k] == 0) {
+            SnapshotStore store(dir);
+            SnapshotCache cache;
+            cache.setStore(&store);
+            auto snap = cache.get(prog, 8'192);
+            _exit(snap && snap->size() == 8'192 ? 0 : 1);
+        }
+    }
+    for (pid_t kid : kids) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(kid, &status, 0), kid);
+        ASSERT_TRUE(WIFEXITED(status));
+        EXPECT_EQ(WEXITSTATUS(status), 0);
+    }
+
+    SnapshotStore store(dir);
+    std::string why;
+    auto mapped = openSnapshotFile(store.pathFor(prog, 8'192), prog,
+                                   8'192, &why);
+    ASSERT_TRUE(mapped) << why;
+    auto rebuilt = TraceSnapshot::build(prog, 8'192);
+    EXPECT_EQ(serializeSnapshot(*mapped), serializeSnapshot(*rebuilt));
+
+    // No stray temp files left behind.
+    std::string tmp_check =
+        "ls " + dir + "/*.tmp.* >/dev/null 2>&1";
+    EXPECT_NE(std::system(tmp_check.c_str()), 0)
+        << "temp files must be renamed or unlinked";
+}
+
+TEST(SnapshotStore, FailedBuildIsRetriedNotPoisoned)
+{
+    SnapshotCache cache;
+    ProgramParams p;
+    p.seed = 77;
+    cache.setTestFailNextBuilds(1);
+    EXPECT_THROW(cache.get(p, 2'048), std::runtime_error);
+    // The key must not stay poisoned: the next get retries the
+    // build from scratch and succeeds.
+    auto snap = cache.get(p, 2'048);
+    ASSERT_TRUE(snap);
+    EXPECT_EQ(snap->size(), 2'048u);
+    EXPECT_EQ(cache.counters().misses, 2u)
+        << "the retry is a fresh resolution, not a hit";
+}
+
+TEST(SnapshotStore, ConcurrentWaitersSeeTheFailureOnceThenRecover)
+{
+    SnapshotCache cache;
+    ProgramParams p;
+    p.seed = 78;
+    cache.setTestFailNextBuilds(1);
+
+    const unsigned kThreads = 6;
+    std::vector<int> outcome(kThreads, -1);  // 0 = ok, 1 = threw
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < kThreads; ++t)
+        pool.emplace_back([&, t] {
+            try {
+                outcome[t] = cache.get(p, 1'024) ? 0 : 1;
+            } catch (const std::runtime_error &) {
+                outcome[t] = 1;
+            }
+        });
+    for (auto &th : pool)
+        th.join();
+
+    unsigned failures = 0;
+    for (int o : outcome) {
+        ASSERT_NE(o, -1);
+        failures += o == 1;
+    }
+    EXPECT_GE(failures, 1u) << "the injected failure must surface";
+
+    // Whatever the interleaving, the cache has recovered.
+    auto snap = cache.get(p, 1'024);
+    ASSERT_TRUE(snap);
+    EXPECT_EQ(snap->size(), 1'024u);
+}
+
+} // namespace
+} // namespace percon

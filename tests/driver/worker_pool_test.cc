@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Worker-pool tests: forked multi-process sweeps must merge to the
+ * exact rows the in-process SweepRunner produces (any worker count,
+ * any chunking), the deterministic shard partition must be disjoint
+ * and exhaustive, and a failing point must surface as the same
+ * input-order-first error the thread pool reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "driver/jsonl.hh"
+#include "driver/sweep_runner.hh"
+#include "driver/worker_pool.hh"
+#include "trace/benchmarks.hh"
+
+namespace percon {
+namespace {
+
+/** Cheap deterministic points: stats are a pure function of the
+ *  seed, so merge order and cross-process transport are what's
+ *  under test, not the simulator. */
+std::vector<SweepPoint>
+syntheticPoints(std::size_t n)
+{
+    std::vector<SweepPoint> points;
+    for (std::size_t i = 0; i < n; ++i) {
+        RunKey key;
+        key.benchmark = "synthetic";
+        key.machine = "none";
+        key.predictor = "none";
+        key.set("i", std::to_string(i));
+        points.push_back(
+            makePoint(key, [](const RunKey &k, std::uint64_t seed) {
+                CoreStats s;
+                s.cycles = seed % 100'000;
+                s.retiredUops = seed % 7'919;
+                s.retiredBranches = seed % 211;
+                RunOutput out{s};
+                out.audit = k.param("i");
+                out.simMode = "exact";
+                return out;
+            }));
+    }
+    return points;
+}
+
+std::string
+render(std::vector<RunRecord> recs)
+{
+    std::string blob;
+    for (RunRecord rec : recs) {
+        rec.wallSeconds = 0.0;
+        blob += runRecordJson(rec);
+        blob += '\n';
+    }
+    return blob;
+}
+
+TEST(WorkerPool, MergedRowsMatchInProcessRunner)
+{
+    std::string reference =
+        render(SweepRunner(1).run(syntheticPoints(23)));
+    for (unsigned workers : {1u, 2u, 4u}) {
+        WorkerPoolResult wr =
+            runSweepWorkers(syntheticPoints(23), workers);
+        EXPECT_EQ(render(std::move(wr.records)), reference)
+            << "workers=" << workers;
+        EXPECT_EQ(wr.workersUsed, workers);
+    }
+}
+
+TEST(WorkerPool, WorkerThreadsDoNotChangeRows)
+{
+    std::string reference =
+        render(SweepRunner(1).run(syntheticPoints(17)));
+    WorkerPoolResult wr =
+        runSweepWorkers(syntheticPoints(17), 2, /*jobs=*/3);
+    EXPECT_EQ(render(std::move(wr.records)), reference);
+}
+
+TEST(WorkerPool, MoreWorkersThanPointsIsClamped)
+{
+    WorkerPoolResult wr = runSweepWorkers(syntheticPoints(3), 16);
+    EXPECT_EQ(wr.records.size(), 3u);
+    EXPECT_LE(wr.workersUsed, 3u);
+    EXPECT_EQ(render(std::move(wr.records)),
+              render(SweepRunner(1).run(syntheticPoints(3))));
+}
+
+TEST(WorkerPool, EmptySweepIsANoop)
+{
+    WorkerPoolResult wr = runSweepWorkers({}, 4);
+    EXPECT_TRUE(wr.records.empty());
+}
+
+TEST(WorkerPool, FailingPointSurfacesFirstInInputOrder)
+{
+    std::vector<SweepPoint> points = syntheticPoints(8);
+    points[5].fn = [](const RunKey &, std::uint64_t) -> RunOutput {
+        throw std::runtime_error("deliberate failure five");
+    };
+    points[2].fn = [](const RunKey &, std::uint64_t) -> RunOutput {
+        throw std::runtime_error("deliberate failure two");
+    };
+    try {
+        runSweepWorkers(points, 2);
+        FAIL() << "expected the sweep to throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("failure two"),
+                  std::string::npos)
+            << "first failing index in input order must win, got: "
+            << e.what();
+    }
+}
+
+TEST(WorkerPool, RealTimingPointsMatchInProcessRunner)
+{
+    // End to end through the real simulator: forked workers replay
+    // the same snapshots and must reproduce the thread pool's rows
+    // exactly (including the parent-derived hit/miss labels).
+    auto sweep = [] {
+        TimingConfig t;
+        t.warmupUops = 2'000;
+        t.measureUops = 6'000;
+        t.traceSnapshot = true;
+        std::vector<SweepPoint> points;
+        for (const char *bench : {"gcc", "gcc", "mcf"}) {
+            RunKey key;
+            key.benchmark = bench;
+            key.machine = "base20x4";
+            key.predictor = "bimodal-gshare";
+            key.set("i", std::to_string(points.size()));
+            points.push_back(
+                timingPoint(key, PipelineConfig::base20x4(), nullptr,
+                            SpeculationControl{}, t));
+        }
+        return points;
+    };
+    // Workers first, while the global cache is still cold in this
+    // process, so their (delta) counters are predictable.
+    WorkerPoolResult wr = runSweepWorkers(sweep(), 2);
+    std::string reference = render(SweepRunner(1).run(sweep()));
+    EXPECT_EQ(render(std::move(wr.records)), reference);
+    // Workers resolved every workload in some split; the aggregated
+    // deltas must account for all three points' lookups.
+    const auto &c = wr.sums.snapshot;
+    EXPECT_EQ(c.hits + c.misses, 3u);
+    EXPECT_GE(c.misses, 2u) << "two distinct workloads exist";
+}
+
+TEST(ShardPartition, DisjointAndExhaustiveForAnyN)
+{
+    std::vector<SweepPoint> points = syntheticPoints(40);
+    for (unsigned n : {1u, 2u, 3u, 7u}) {
+        std::set<std::string> seen;
+        for (unsigned shard = 0; shard < n; ++shard)
+            for (const SweepPoint &p : points)
+                if (shardOf(p.key, n) == shard) {
+                    EXPECT_TRUE(
+                        seen.insert(p.key.canonical()).second)
+                        << "point in two shards, N=" << n;
+                }
+        EXPECT_EQ(seen.size(), points.size())
+            << "every point must land in exactly one shard, N=" << n;
+    }
+}
+
+TEST(ShardPartition, AssignmentIsDeterministic)
+{
+    std::vector<SweepPoint> points = syntheticPoints(12);
+    for (const SweepPoint &p : points) {
+        EXPECT_EQ(shardOf(p.key, 4), shardOf(p.key, 4));
+        EXPECT_EQ(shardOf(p.key, 1), 0u);
+    }
+}
+
+} // namespace
+} // namespace percon

@@ -43,7 +43,9 @@
 #include "driver/checkpoint_cache.hh"
 #include "driver/jsonl.hh"
 #include "driver/snapshot_cache.hh"
+#include "driver/snapshot_store.hh"
 #include "driver/sweep_runner.hh"
+#include "driver/worker_pool.hh"
 #include "trace/trace_io.hh"
 #include "trace/trace_snapshot.hh"
 #include "uarch/smt_core.hh"
@@ -63,6 +65,7 @@ struct Options
     std::string estimator;
     std::string machine = "deep40x4";
     Count uops = 1'000'000;
+    Count warmup = 0;  // 0 = proportional default (uops / 3)
     unsigned gate = 0;
     unsigned latency = 0;
     unsigned throttle = 0;
@@ -92,6 +95,15 @@ struct Options
     std::string jsonl;    ///< sweep-mode JSONL output path
     /** Cross-product sweep axes: (key, values). */
     std::vector<std::pair<std::string, std::vector<std::string>>> sweeps;
+
+    /** Persistent snapshot store directory (--snapshot-store;
+     *  overrides PERCON_SNAPSHOT_STORE). Empty = env var only. */
+    std::string snapshotStore;
+    /** Sweep worker PROCESSES (--workers; 0 = in-process). */
+    unsigned workers = 0;
+    /** Deterministic sweep partition --shard I/N. */
+    unsigned shardIndex = 0;
+    unsigned shardCount = 1;
 };
 
 [[noreturn]] void
@@ -109,6 +121,9 @@ usage()
         "                      --reverse\n"
         "  --machine M         deep40x4 | base20x4 | wide20x8\n"
         "  --uops N            measured uops (default 1M)\n"
+        "  --warmup N          warmup uops (default uops/3);\n"
+        "                      warmup-heavy shapes are where the\n"
+        "                      snapshot store pays off\n"
         "  --gate N            gate threshold PLn (default off)\n"
         "  --lambda L          perceptron gating threshold\n"
         "  --reverse L         enable reversal above output L\n"
@@ -148,6 +163,19 @@ usage()
         "                      bench predictor estimator machine\n"
         "                      lambda gate latency throttle uops)\n"
         "  --jobs N            sweep worker threads (default 1)\n"
+        "  --workers K         sweep: fork K worker processes, each\n"
+        "                      running --jobs threads; merged rows\n"
+        "                      are byte-identical to the in-process\n"
+        "                      runner (default 0 = in-process)\n"
+        "  --shard I/N         sweep: run only shard I of the\n"
+        "                      deterministic N-way partition of the\n"
+        "                      design points (I in 0..N-1); rows\n"
+        "                      carry a shard field\n"
+        "  --snapshot-store DIR\n"
+        "                      persist built trace snapshots to DIR\n"
+        "                      and mmap them back read-only in later\n"
+        "                      runs/processes (also\n"
+        "                      PERCON_SNAPSHOT_STORE)\n"
         "  --jsonl FILE        append per-run JSON lines to FILE\n");
     std::fprintf(stderr, "\npredictors:");
     for (const auto &n : predictorNames())
@@ -185,6 +213,8 @@ parse(int argc, char **argv)
             o.machine = value();
         else if (arg == "--uops")
             o.uops = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--warmup")
+            o.warmup = std::strtoull(value(), nullptr, 10);
         else if (arg == "--gate")
             o.gate = static_cast<unsigned>(std::atoi(value()));
         else if (arg == "--lambda")
@@ -239,6 +269,23 @@ parse(int argc, char **argv)
         else if (arg == "--jobs")
             o.jobs = static_cast<unsigned>(
                 std::max(1, std::atoi(value())));
+        else if (arg == "--workers")
+            o.workers = static_cast<unsigned>(
+                std::max(0, std::atoi(value())));
+        else if (arg == "--shard") {
+            std::string v = value();
+            std::size_t slash = v.find('/');
+            if (slash == std::string::npos || slash == 0 ||
+                slash + 1 >= v.size())
+                usage();
+            o.shardIndex = static_cast<unsigned>(
+                std::atoi(v.substr(0, slash).c_str()));
+            o.shardCount = static_cast<unsigned>(
+                std::atoi(v.substr(slash + 1).c_str()));
+            if (o.shardCount == 0 || o.shardIndex >= o.shardCount)
+                usage();
+        } else if (arg == "--snapshot-store")
+            o.snapshotStore = value();
         else if (arg == "--jsonl")
             o.jsonl = value();
         else if (arg == "--sweep") {
@@ -373,7 +420,7 @@ runSweep(const Options &base)
 
         TimingConfig t;
         t.measureUops = o.uops;
-        t.warmupUops = o.uops / 3;
+        t.warmupUops = o.warmup ? o.warmup : o.uops / 3;
         t.audit = o.audit;
         t.traceSnapshot = o.traceSnapshot;
         if (o.sampled) {
@@ -400,17 +447,91 @@ runSweep(const Options &base)
     }
 done:;
 
-    std::printf("sweep: %zu design points, %u jobs%s\n\n",
+    // Deterministic N-way partition: keep only this process's shard.
+    // shardOf hashes the run key, so every invocation given the same
+    // sweep spec agrees on the split without coordination. Labels are
+    // derived over the FULL sweep first and baked into the points:
+    // within a shard, a workload's locally-first point may well be
+    // "hit" in the full input order, and rows must match the
+    // unsharded run's byte for byte.
+    if (base.shardCount > 1) {
+        SweepLabels full = deriveSweepLabels(points);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            points[i].snapshotLabel = full.snapshot[i];
+            points[i].checkpointLabel = full.checkpoint[i];
+            points[i].storeLabel = full.store[i];
+        }
+        std::vector<SweepPoint> kept;
+        std::vector<std::vector<std::string>> kept_values;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (shardOf(points[i].key, base.shardCount) !=
+                base.shardIndex)
+                continue;
+            kept.push_back(std::move(points[i]));
+            kept_values.push_back(std::move(combo_values[i]));
+        }
+        points = std::move(kept);
+        combo_values = std::move(kept_values);
+    }
+
+    std::printf("sweep: %zu design points, %u jobs%s%s\n\n",
                 points.size(), base.jobs,
-                base.sampled ? " (sampled)" : "");
+                base.sampled ? " (sampled)" : "",
+                base.workers > 0 ? ", forked workers" : "");
+    if (base.shardCount > 1)
+        std::printf("shard: %u/%u\n\n", base.shardIndex,
+                    base.shardCount);
     SnapshotCache::Counters snap_before =
         SnapshotCache::global().counters();
     CheckpointCache::Counters ckpt_before =
         CheckpointCache::global().counters();
-    SweepRunner runner(base.jobs);
-    std::vector<RunRecord> recs = runner.run(points);
 
-    if (base.traceSnapshot) {
+    std::vector<RunRecord> recs;
+    WorkerSums worker_sums;
+    if (base.workers > 0) {
+        WorkerPoolResult wr =
+            runSweepWorkers(points, base.workers, base.jobs);
+        recs = std::move(wr.records);
+        worker_sums = wr.sums;
+        std::printf("workers: %u processes\n\n", wr.workersUsed);
+    } else {
+        SweepRunner runner(base.jobs);
+        recs = runner.run(points);
+    }
+    for (RunRecord &rec : recs)
+        rec.shard = base.shardCount > 1 ? base.shardIndex : 0;
+
+    if (base.traceSnapshot && base.workers > 0) {
+        // The parent ran nothing itself; report the workers'
+        // aggregated cache/store activity instead. (The per-row
+        // hit/miss labels were derived by the parent over the full
+        // input order, so they do not sum to these counters — each
+        // worker resolves its own share of the workloads.)
+        const auto &c = worker_sums.snapshot;
+        std::printf("trace snapshots (workers): %llu built "
+                    "(%.1f Muops, %.1f MiB, %.2f s), %llu memo "
+                    "hits, %llu store maps\n\n",
+                    static_cast<unsigned long long>(
+                        c.misses - c.storeHits),
+                    static_cast<double>(c.builtUops) / 1e6,
+                    static_cast<double>(c.builtBytes) /
+                        (1024.0 * 1024.0),
+                    c.buildSeconds,
+                    static_cast<unsigned long long>(c.hits),
+                    static_cast<unsigned long long>(c.storeHits));
+        const auto &st = worker_sums.store;
+        if (st.mapHits + st.mapMisses + st.persisted > 0)
+            std::printf("snapshot store (workers): %llu mapped "
+                        "(%.1f MiB), %llu persisted (%.1f MiB), "
+                        "%llu rejected\n\n",
+                        static_cast<unsigned long long>(st.mapHits),
+                        static_cast<double>(st.mappedBytes) /
+                            (1024.0 * 1024.0),
+                        static_cast<unsigned long long>(st.persisted),
+                        static_cast<double>(st.persistedBytes) /
+                            (1024.0 * 1024.0),
+                        static_cast<unsigned long long>(st.rejected));
+    } else if (base.traceSnapshot) {
         // Every JSONL row carries a deterministic hit/miss label
         // derived from the sweep's input order; the shared cache
         // counted the actual run-time lookups. In a fresh process
@@ -425,21 +546,28 @@ done:;
             else if (rec.snapshot == "miss")
                 ++row_misses;
         }
-        PERCON_ASSERT(c.hits - snap_before.hits == row_hits &&
-                          c.misses - snap_before.misses == row_misses,
-                      "snapshot cache accounting: rows say "
-                      "%llu hits + %llu misses, cache counted "
-                      "%llu + %llu",
-                      static_cast<unsigned long long>(row_hits),
-                      static_cast<unsigned long long>(row_misses),
-                      static_cast<unsigned long long>(
-                          c.hits - snap_before.hits),
-                      static_cast<unsigned long long>(
-                          c.misses - snap_before.misses));
+        // Sharded runs carry full-sweep labels, so their rows do not
+        // sum to this process's cache activity by design.
+        if (base.shardCount == 1) {
+            PERCON_ASSERT(
+                c.hits - snap_before.hits == row_hits &&
+                    c.misses - snap_before.misses == row_misses,
+                "snapshot cache accounting: rows say "
+                "%llu hits + %llu misses, cache counted "
+                "%llu + %llu",
+                static_cast<unsigned long long>(row_hits),
+                static_cast<unsigned long long>(row_misses),
+                static_cast<unsigned long long>(
+                    c.hits - snap_before.hits),
+                static_cast<unsigned long long>(
+                    c.misses - snap_before.misses));
+        }
+        Count store_maps = c.storeHits - snap_before.storeHits;
         std::printf("trace snapshots: %llu built "
                     "(%.1f Muops, %.1f MiB, %.2f s), %llu replay "
-                    "hits\n\n",
-                    static_cast<unsigned long long>(row_misses),
+                    "hits, %llu store maps\n\n",
+                    static_cast<unsigned long long>(
+                        c.misses - snap_before.misses - store_maps),
                     static_cast<double>(c.builtUops -
                                         snap_before.builtUops) /
                         1e6,
@@ -447,10 +575,32 @@ done:;
                                         snap_before.builtBytes) /
                         (1024.0 * 1024.0),
                     c.buildSeconds - snap_before.buildSeconds,
-                    static_cast<unsigned long long>(row_hits));
+                    static_cast<unsigned long long>(row_hits),
+                    static_cast<unsigned long long>(store_maps));
+        if (SnapshotStore *st = SnapshotCache::global().store()) {
+            SnapshotStore::Counters sc = st->counters();
+            std::printf("snapshot store: %llu mapped (%.1f MiB), "
+                        "%llu persisted (%.1f MiB), %llu "
+                        "rejected\n\n",
+                        static_cast<unsigned long long>(sc.mapHits),
+                        static_cast<double>(sc.mappedBytes) /
+                            (1024.0 * 1024.0),
+                        static_cast<unsigned long long>(sc.persisted),
+                        static_cast<double>(sc.persistedBytes) /
+                            (1024.0 * 1024.0),
+                        static_cast<unsigned long long>(sc.rejected));
+        }
     }
 
-    if (base.sampled && base.checkpoint) {
+    if (base.sampled && base.checkpoint && base.workers > 0) {
+        const auto &c = worker_sums.checkpoint;
+        std::printf("warm checkpoints (workers): %llu built "
+                    "(%.1f KiB, %.2f s warm), %llu restore hits\n\n",
+                    static_cast<unsigned long long>(c.misses),
+                    static_cast<double>(c.builtBytes) / 1024.0,
+                    c.buildSeconds,
+                    static_cast<unsigned long long>(c.hits));
+    } else if (base.sampled && base.checkpoint) {
         CheckpointCache::Counters c =
             CheckpointCache::global().counters();
         Count row_hits = 0, row_misses = 0;
@@ -508,8 +658,17 @@ int
 main(int argc, char **argv)
 {
     Options o = parse(argc, argv);
+    if (!o.snapshotStore.empty()) {
+        // Flag overrides PERCON_SNAPSHOT_STORE (which global()
+        // attaches on first use). Static: the cache holds a bare
+        // pointer for the life of the process.
+        static SnapshotStore store(o.snapshotStore);
+        SnapshotCache::global().setStore(&store);
+    }
     if (!o.sweeps.empty())
         return runSweep(o);
+    if (o.workers > 0 || o.shardCount > 1)
+        fatal("--workers/--shard apply to sweep mode only");
     PipelineConfig machine = machineFor(o.machine);
 
     SpeculationControl sc;
@@ -546,7 +705,7 @@ main(int argc, char **argv)
         dc.predictor = o.predictor;
         dc.estimator = o.estimator;
         dc.makeEstimator = estimatorFactory(o);
-        dc.warmupUops = o.uops / 3;
+        dc.warmupUops = o.warmup ? o.warmup : o.uops / 3;
         dc.measureUops = o.uops;
         dc.wrongPathSeed = spec.program.seed ^ 0xdead;
         dc.traceSnapshot = o.traceSnapshot;
@@ -564,7 +723,7 @@ main(int argc, char **argv)
                   "single-thread benchmarks only (not --trace/--smt)");
         TimingConfig t;
         t.measureUops = o.uops;
-        t.warmupUops = o.uops / 3;
+        t.warmupUops = o.warmup ? o.warmup : o.uops / 3;
         t.audit = o.audit;
         t.traceSnapshot = o.traceSnapshot;
         t.simMode = SimMode::Sampled;
@@ -650,7 +809,7 @@ main(int argc, char **argv)
         if (o.traceSnapshot) {
             TimingConfig snap_t;
             snap_t.measureUops = o.uops * 2;
-            snap_t.warmupUops = o.uops / 3;
+            snap_t.warmupUops = o.warmup ? o.warmup : o.uops / 3;
             Count len = snapshotLengthFor(machine, snap_t);
             SnapshotCache &cache = SnapshotCache::global();
             src_a = std::make_unique<SnapshotCursor>(
@@ -668,7 +827,7 @@ main(int argc, char **argv)
         if (o.audit)
             for (unsigned t = 0; t < SmtCore::kThreads; ++t)
                 core.setAuditor(t, &auditors[t]);
-        core.warmup(o.uops / 3);
+        core.warmup(o.warmup ? o.warmup : o.uops / 3);
         core.run(o.uops);
         for (unsigned t = 0; t < SmtCore::kThreads; ++t) {
             const CoreStats &ts = core.stats(t);
@@ -707,7 +866,7 @@ main(int argc, char **argv)
     } else if (o.traceSnapshot) {
         TimingConfig snap_t;
         snap_t.measureUops = o.uops;
-        snap_t.warmupUops = o.uops / 3;
+        snap_t.warmupUops = o.warmup ? o.warmup : o.uops / 3;
         auto t0 = std::chrono::steady_clock::now();
         auto snap = TraceSnapshot::build(
             spec.program, snapshotLengthFor(machine, snap_t));
@@ -727,7 +886,7 @@ main(int argc, char **argv)
     if (o.audit)
         core.setAuditor(&auditor);
     auto sim0 = std::chrono::steady_clock::now();
-    core.warmup(o.uops / 3);
+    core.warmup(o.warmup ? o.warmup : o.uops / 3);
     core.run(o.uops);
     double sim_s = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - sim0)
