@@ -34,7 +34,7 @@ trap 'rm -f "$RAW"' EXIT
 
 # Google Benchmark's --benchmark_min_time here takes a plain float
 # (seconds), not a duration suffix.
-"$BIN" --benchmark_filter='^BM_(CoreSimulation|PerceptronOutput/|PerceptronTrain/|FrontEndPerceptron|TraceGen|SnapshotReplay|FunctionalWarm|SampledTiming/|Sweep16)' \
+"$BIN" --benchmark_filter='^BM_(CoreSimulation|PerceptronOutput/|PerceptronTrain/|FrontEndPerceptron|TraceGen|SnapshotReplay|FunctionalWarm|SampledTiming/|Sweep16|Prediction)' \
        --benchmark_min_time="$MIN_TIME" \
        --benchmark_format=json > "$RAW"
 
@@ -72,6 +72,18 @@ def config_entry(name):
         return "sweep16_cold_store", "uops", "replay"
     if name == "BM_Sweep16WarmStore":
         return "sweep16_warm_store", "uops", "replay"
+    if name == "BM_CoreSimulationPredReplay":
+        return "pred_replay_deep40x4_nopolicy", "uops", "replay"
+    if name == "BM_PredictionLive":
+        return "pred_sampled_live_perceptron", "uops", "replay"
+    if name == "BM_PredictionRecord":
+        return "pred_sampled_record_perceptron", "uops", "replay"
+    if name == "BM_PredictionReplay":
+        return "pred_sampled_replay_perceptron", "uops", "replay"
+    if name == "BM_Sweep16PredLive":
+        return "sweep16_pred_live", "uops", "replay"
+    if name == "BM_Sweep16PredReplay":
+        return "sweep16_pred_replay", "uops", "replay"
     if name == "BM_FrontEndPerceptron":
         return "frontend_perceptron_cic", "preds", "live"
     prefix = "BM_CoreSimulationPolicy/"
@@ -100,7 +112,7 @@ if not configs:
     raise SystemExit("bench_speed.sh: no benchmark results")
 
 doc = {
-    "schema_version": 5,
+    "schema_version": 6,
     "metric": "items_per_sec",
     "configs": dict(sorted(configs.items())),
 }

@@ -3,7 +3,7 @@
 # -Werror and a sanitizer preset, build everything, and run ctest.
 # This is the entry point a CI workflow calls.
 #
-#   scripts/check.sh [asan|tsan|none|audit|engine|sampling|store]
+#   scripts/check.sh [asan|tsan|none|audit|engine|sampling|store|predsnap]
 #
 # Presets:
 #   asan  (default)  AddressSanitizer + UndefinedBehaviorSanitizer
@@ -41,6 +41,19 @@
 #                    the verification suite. The gate to run after
 #                    touching snapshot_file, snapshot_store, the
 #                    snapshot cache tiers, or the worker pool.
+#   predsnap         ASan build, then the prediction-stream gate: the
+#                    PCPRED01 rejection matrix, the prediction cache
+#                    suite, both golden matrices' record/replay
+#                    bit-identity tests and the JSONL stability locks,
+#                    the verification suite with the prediction tier
+#                    forced on and off (PERCON_PRED_SNAPSHOT), and a
+#                    cold-then-warm percon_sim sweep against one
+#                    prediction store directory with the two JSONL
+#                    outputs asserted byte-identical modulo store and
+#                    wall fields. The gate to run after touching the
+#                    engine's architectural prediction helpers, the
+#                    prediction trace/file/cache/store, or the replay
+#                    plumbing in runTiming.
 #
 # The build directory is build-check-<preset>; override with
 # BUILD_DIR. Extra ctest arguments can be passed via CTEST_ARGS.
@@ -49,7 +62,7 @@ cd "$(dirname "$0")/.."
 
 PRESET="${1:-asan}"
 case "$PRESET" in
-  asan|audit|engine|sampling|store)
+  asan|audit|engine|sampling|store|predsnap)
     SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
     ;;
   tsan)
@@ -60,7 +73,7 @@ case "$PRESET" in
     ;;
   *)
     echo "usage: scripts/check.sh" \
-         "[asan|tsan|none|audit|engine|sampling|store]" >&2
+         "[asan|tsan|none|audit|engine|sampling|store|predsnap]" >&2
     exit 1
     ;;
 esac
@@ -184,6 +197,68 @@ EOF
         --no-tests=error -L verify ${CTEST_ARGS:-}
     echo "check.sh: store preset passed (format/store/worker gate," \
          "cold + warm store sweeps, verify label)"
+    exit 0
+fi
+
+if [ "$PRESET" = "predsnap" ]; then
+    # Prediction-stream gate: the on-disk rejection matrix, the cache
+    # lease protocol, the engine-level record/replay bit-identity
+    # locks on both golden matrices, and the JSONL stability locks
+    # (pred_snapshot labels included), all by name.
+    GATE_RE='PredictionFile|PredictionCache|PredReplay|JsonlStability'
+    GATE_RE="$GATE_RE|WorkerPool|WarmCheckpoint"
+    ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+        --no-tests=error -R "$GATE_RE" ${CTEST_ARGS:-}
+    # The 200-point differential oracle with the prediction tier
+    # forced on (record + replay inside every case) and off.
+    PERCON_PRED_SNAPSHOT=on \
+        ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+        --no-tests=error -L verify ${CTEST_ARGS:-}
+    PERCON_PRED_SNAPSHOT=off \
+        ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+        ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)" \
+        --no-tests=error -L verify ${CTEST_ARGS:-}
+    # End-to-end: a predictor-fixed sweep against one prediction
+    # store directory — the cold pass records and persists every
+    # stream, the warm pass replays them all from mmap'd files
+    # (borrowed lanes under ASan) and must reproduce the cold rows
+    # byte-for-byte; pred_snapshot labels are input-order-derived, so
+    # only wall time may differ.
+    STORE_DIR="$(mktemp -d)"
+    trap 'rm -rf "$STORE_DIR"' EXIT
+    for pass in cold warm; do
+        echo "check.sh: prediction-store sweep ($pass)"
+        ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=0}" \
+            "$BUILD/tools/percon_sim" \
+            --sweep bench=gzip,mcf \
+            --sweep estimator=jrs,perceptron-cic \
+            --machine deep40x4 --predictor perceptron \
+            --uops 20000 \
+            --pred-snapshot on --pred-snapshot-store "$STORE_DIR" \
+            --jsonl "$STORE_DIR/rows-$pass.jsonl" > /dev/null
+    done
+    python3 - "$STORE_DIR/rows-cold.jsonl" \
+        "$STORE_DIR/rows-warm.jsonl" <<'EOF'
+import re
+import sys
+
+def rows(path):
+    with open(path) as f:
+        return [re.sub(r'"wall_seconds":[^,}]*', '', line)
+                for line in f]
+
+cold, warm = rows(sys.argv[1]), rows(sys.argv[2])
+if not cold or cold != warm:
+    raise SystemExit(
+        "check.sh: warm prediction-store rows differ from cold")
+print(f"check.sh: prediction rows identical cold vs warm "
+      f"({len(cold)} rows)")
+EOF
+    echo "check.sh: predsnap preset passed (format/cache/replay gate," \
+         "verify label with prediction tier on + off, cold + warm" \
+         "prediction-store sweeps)"
     exit 0
 fi
 

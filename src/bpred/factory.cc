@@ -1,5 +1,7 @@
 #include "factory.hh"
 
+#include <cstdlib>
+
 #include "bpred/agree.hh"
 #include "bpred/bimodal.hh"
 #include "bpred/gselect.hh"
@@ -40,6 +42,16 @@ makePredictor(const std::string &name)
         return std::make_unique<PAsPredictor>();
     if (name == "perceptron")
         return std::make_unique<PerceptronPredictor>();
+    if (name.rfind("perceptron-h", 0) == 0) {
+        // "perceptron-hN": explicit history length (1..63) for
+        // history-length studies and warm-cost-sensitive sweeps;
+        // plain "perceptron" is the paper's h=32.
+        char *end = nullptr;
+        long h = std::strtol(name.c_str() + 12, &end, 10);
+        if (end != nullptr && *end == '\0' && h >= 1 && h <= 63)
+            return std::make_unique<PerceptronPredictor>(
+                1024, static_cast<unsigned>(h));
+    }
     if (name == "tage")
         return std::make_unique<TagePredictor>();
     if (name == "bimodal-gshare")

@@ -1,0 +1,136 @@
+#include "prediction_file.hh"
+
+#include "common/file_util.hh"
+#include "common/lane_file.hh"
+
+namespace percon {
+
+/** Private-access shim: the file layer is the one component allowed
+ *  to construct borrowed-lane prediction traces. */
+struct PredictionFileAccess
+{
+    /** The two bitvector lanes, in directory order. */
+    static const std::uint64_t *
+    predWords(const PredictionTrace &t)
+    {
+        return t.predBits_;
+    }
+
+    static const std::uint64_t *
+    btbWords(const PredictionTrace &t)
+    {
+        return t.btbBits_;
+    }
+
+    static std::shared_ptr<const PredictionTrace>
+    makeBorrowed(std::string key, Count num_pred, Count num_btb,
+                 const std::byte *base, const std::uint64_t (*dir)[2],
+                 std::size_t lane_bytes,
+                 std::shared_ptr<const void> keep)
+    {
+        auto trace =
+            std::shared_ptr<PredictionTrace>(new PredictionTrace);
+        trace->key_ = std::move(key);
+        trace->numPred_ = num_pred;
+        trace->numBtb_ = num_btb;
+        trace->laneBytes_ = lane_bytes;
+        trace->backing_ = std::move(keep);
+        trace->predBits_ =
+            reinterpret_cast<const std::uint64_t *>(base + dir[0][0]);
+        trace->btbBits_ =
+            reinterpret_cast<const std::uint64_t *>(base + dir[1][0]);
+        return trace;
+    }
+};
+
+namespace {
+
+constexpr std::size_t kLaneCount = 2;
+
+const LaneFileLayout &
+predictionLayout()
+{
+    static const LaneFileLayout layout = {kPredictionFileMagic,
+                                          kLaneCount, 2};
+    return layout;
+}
+
+std::size_t
+bitLaneBytes(std::uint64_t n)
+{
+    return static_cast<std::size_t>((n + 63) / 64) *
+           sizeof(std::uint64_t);
+}
+
+/** Geometry semantics for PCPRED01: every BTB probe follows one
+ *  predict call, so the probe count can never exceed the call
+ *  count; the lanes are bitvectors of the two counts. */
+const char *
+predictionGeometryCheck(const std::uint64_t *geometry,
+                        std::size_t *expect)
+{
+    if (geometry[1] > geometry[0])
+        return "implausible ordinal counts";
+    expect[0] = bitLaneBytes(geometry[0]);
+    expect[1] = bitLaneBytes(geometry[1]);
+    return nullptr;
+}
+
+} // namespace
+
+std::string
+serializePredictionTrace(const PredictionTrace &trace)
+{
+    std::uint64_t geometry[2] = {trace.numPredCalls(),
+                                 trace.numBtbProbes()};
+    LaneView views[kLaneCount] = {
+        {PredictionFileAccess::predWords(trace),
+         bitLaneBytes(trace.numPredCalls())},
+        {PredictionFileAccess::btbWords(trace),
+         bitLaneBytes(trace.numBtbProbes())},
+    };
+    return serializeLaneFile(predictionLayout(), trace.key(), geometry,
+                             views);
+}
+
+std::shared_ptr<const PredictionTrace>
+openPredictionFile(const std::string &path, const std::string &key,
+                   std::string *why)
+{
+    auto map = std::make_shared<MappedFile>();
+    if (!map->open(path, why))
+        return nullptr;
+
+    std::uint64_t dir[kLaneCount][2];
+    std::uint64_t geometry[2] = {};
+    std::size_t lane_bytes = 0;
+    if (!validateLaneImage(map->data(), map->size(),
+                           predictionLayout(), key,
+                           predictionGeometryCheck,
+                           /*check_payload=*/true, dir, geometry,
+                           &lane_bytes, why))
+        return nullptr;
+
+    const std::byte *base = map->data();
+    return PredictionFileAccess::makeBorrowed(
+        key, geometry[0], geometry[1], base, dir, lane_bytes,
+        std::shared_ptr<const void>(map, map->data()));
+}
+
+bool
+probePredictionFile(const std::string &path, const std::string &key)
+{
+    MappedFile map;
+    if (!map.open(path))
+        return false;
+    std::uint64_t dir[kLaneCount][2];
+    std::uint64_t geometry[2] = {};
+    std::size_t lane_bytes = 0;
+    return validateLaneImage(map.data(), map.size(),
+                             predictionLayout(), key,
+                             predictionGeometryCheck,
+                             /*check_payload=*/false, dir, geometry,
+                             &lane_bytes, nullptr);
+}
+
+} // namespace percon

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Persistent, versioned on-disk format for PredictionTrace.
+ *
+ * "PCPRED01" is an instance of the generic lane-directory container
+ * (common/lane_file.hh) with two geometry words {predict-call count,
+ * BTB-probe count} and two bitvector lanes (predicted directions,
+ * BTB hits), each ceil(n/64) u64 words:
+ *
+ *   offset  field
+ *   ------  ---------------------------------------------------------
+ *        0  magic "PCPRED01" (the two digits are the format version)
+ *        8  endian tag 0x0102030405060708
+ *       16  total file bytes / 24 FNV-1a hash of the prediction key
+ *       32  predict-call count / 40 BTB-probe count
+ *       48  payload offset / 56 payload bytes / 64 payload hash
+ *       72  key length / 80 lane count (= 2)
+ *       88  2 x { u64 offset, u64 bytes } lane directory
+ *      120  prediction key string (not NUL-terminated)
+ *           ... zero padding ...
+ *  payload  pred lane, then BTB lane, each 64-byte aligned
+ *
+ * The stored key is the *full* canonical prediction key
+ * (core/prediction_key.hh) — workload, machine, predictor, run
+ * shape, policy segment — and is authoritative: a file recorded
+ * under different predictor or BTB parameters fails the key check
+ * and the caller regenerates ("refuse and regenerate", same contract
+ * as PCSNAP01). Nothing in the header derives from the producing
+ * build, host, or time.
+ */
+
+#ifndef PERCON_BPRED_PREDICTION_FILE_HH
+#define PERCON_BPRED_PREDICTION_FILE_HH
+
+#include <memory>
+#include <string>
+
+#include "bpred/prediction_trace.hh"
+
+namespace percon {
+
+/** Format magic, version included. */
+inline constexpr char kPredictionFileMagic[8] = {'P', 'C', 'P', 'R',
+                                                 'E', 'D', '0', '1'};
+
+/** Serialize @p trace into the on-disk image described above. */
+std::string serializePredictionTrace(const PredictionTrace &trace);
+
+/**
+ * Map @p path read-only and validate it against @p key (the exact
+ * canonical prediction key of the wanted stream). @return a
+ * borrowed-lane trace on success; null (with *why describing the
+ * first failed check when non-null) on any validation failure —
+ * never crashes; callers fall back to re-recording.
+ */
+std::shared_ptr<const PredictionTrace>
+openPredictionFile(const std::string &path, const std::string &key,
+                   std::string *why = nullptr);
+
+/**
+ * Header-only plausibility probe: magic, endianness, declared file
+ * size, and key — no payload scan, no mapping kept. Used to derive
+ * deterministic "pred_snapshot" hit/miss row labels before a sweep
+ * starts; the authoritative check remains openPredictionFile.
+ */
+bool probePredictionFile(const std::string &path,
+                         const std::string &key);
+
+} // namespace percon
+
+#endif // PERCON_BPRED_PREDICTION_FILE_HH

@@ -1,0 +1,47 @@
+#include "prediction_trace.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+bool
+predSnapshotDefault()
+{
+    const char *v = std::getenv("PERCON_PRED_SNAPSHOT");
+    if (!v || !*v)
+        return false;
+    std::string s(v);
+    if (s == "on" || s == "1" || s == "true")
+        return true;
+    if (s == "off" || s == "0" || s == "false")
+        return false;
+    warn("PERCON_PRED_SNAPSHOT='%s' not understood "
+         "(want on|off); keeping the default (off)", v);
+    return false;
+}
+
+std::shared_ptr<const PredictionTrace>
+PredictionTraceBuilder::finish(std::string key)
+{
+    auto trace = std::shared_ptr<PredictionTrace>(new PredictionTrace);
+    trace->key_ = std::move(key);
+    trace->numPred_ = numPred_;
+    trace->numBtb_ = numBtb_;
+    trace->predWords_ = std::move(predWords_);
+    trace->btbWords_ = std::move(btbWords_);
+    trace->laneBytes_ = (trace->predWords_.size() +
+                         trace->btbWords_.size()) *
+                        sizeof(std::uint64_t);
+    trace->predBits_ = trace->predWords_.data();
+    trace->btbBits_ = trace->btbWords_.data();
+
+    predWords_.clear();
+    btbWords_.clear();
+    numPred_ = 0;
+    numBtb_ = 0;
+    return trace;
+}
+
+} // namespace percon

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Immutable recorded prediction streams.
+ *
+ * The paper's sweeps hold the baseline branch predictor fixed while
+ * varying confidence estimators and gating policies, so the
+ * predictor's per-branch work — perceptron dot products over 32–63
+ * history bits, table training, BTB probe/fill — is recomputed
+ * identically at every sweep point. A PredictionTrace freezes one
+ * run's architectural prediction stream into two bitvector lanes:
+ *
+ *   pred lane  1 bit per predictor_.predict() call — the predicted
+ *              direction, in engine call order (correct path and
+ *              wrong path interleaved exactly as the run made them;
+ *              an SMT engine's shared predictor serializes both
+ *              threads into the same stream);
+ *   BTB lane   1 bit per BTB probe — hit or miss, in probe order
+ *              (probes are a subset of predict calls: at most one
+ *              per predicted-taken branch).
+ *
+ * Contract: replay is bit-identical to live prediction. Recording
+ * observes a fully live run (the recording run IS a live run), and a
+ * replay run substitutes the recorded bits for predict()/update()
+ * and BTB probe/fill while keeping speculative history and the
+ * confidence estimator — the swept component — fully live.
+ * Bit-identity is locked by the golden matrices and the 200-point
+ * oracle differential with replay on.
+ *
+ * The stream is only valid for the exact run shape it was recorded
+ * under; see core/prediction_key.hh for the keying rule and the
+ * purity argument that lets ungated sweep points share one
+ * recording.
+ */
+
+#ifndef PERCON_BPRED_PREDICTION_TRACE_HH
+#define PERCON_BPRED_PREDICTION_TRACE_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace percon {
+
+/**
+ * One run's frozen prediction stream. Immutable after finish(), so
+ * any number of replay runs (sweep jobs on different threads) can
+ * read it concurrently without synchronization.
+ */
+class PredictionTrace
+{
+  public:
+    /** The full canonical prediction key this stream was recorded
+     *  under (see predictionKey()). */
+    const std::string &key() const { return key_; }
+
+    /** Number of recorded predictor_.predict() calls. */
+    Count numPredCalls() const { return numPred_; }
+
+    /** Number of recorded BTB probes. */
+    Count numBtbProbes() const { return numBtb_; }
+
+    /** Predicted direction of predict call @p i. */
+    bool
+    predTaken(Count i) const
+    {
+        return (predBits_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** Hit/miss outcome of BTB probe @p i. */
+    bool
+    btbHit(Count i) const
+    {
+        return (btbBits_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    /** Lane footprint in bytes (owned vectors or borrowed mapping). */
+    std::size_t memoryBytes() const { return laneBytes_; }
+
+    /** True when the lanes alias an mmap'd store file instead of
+     *  owned vectors (zero-copy replay; file kept alive by the
+     *  trace). */
+    bool borrowed() const { return backing_ != nullptr; }
+
+  private:
+    friend class PredictionTraceBuilder;
+    friend struct PredictionFileAccess;
+
+    PredictionTrace() = default;
+
+    std::string key_;
+    Count numPred_ = 0;
+    Count numBtb_ = 0;
+    std::size_t laneBytes_ = 0;
+
+    /** Owned lane storage; empty in borrowed mode. */
+    std::vector<std::uint64_t> predWords_;
+    std::vector<std::uint64_t> btbWords_;
+
+    /** Keep-alive for borrowed lanes (the mmap'd store file). */
+    std::shared_ptr<const void> backing_;
+
+    const std::uint64_t *predBits_ = nullptr;
+    const std::uint64_t *btbBits_ = nullptr;
+};
+
+/**
+ * Accumulates a prediction stream while a live run executes. The
+ * engine calls record{Pred,Btb}() from the shared architectural
+ * helper — one call site for the timed fetch path and
+ * functionalWarm() — and the owner freezes the stream with finish()
+ * after the run completes.
+ */
+class PredictionTraceBuilder
+{
+  public:
+    void
+    recordPred(bool taken)
+    {
+        if ((numPred_ & 63) == 0)
+            predWords_.push_back(0);
+        predWords_.back() |= std::uint64_t(taken) << (numPred_ & 63);
+        ++numPred_;
+    }
+
+    void
+    recordBtb(bool hit)
+    {
+        if ((numBtb_ & 63) == 0)
+            btbWords_.push_back(0);
+        btbWords_.back() |= std::uint64_t(hit) << (numBtb_ & 63);
+        ++numBtb_;
+    }
+
+    Count numPredCalls() const { return numPred_; }
+    Count numBtbProbes() const { return numBtb_; }
+
+    /** Freeze the recorded stream under @p key. The builder is left
+     *  empty and reusable. */
+    std::shared_ptr<const PredictionTrace> finish(std::string key);
+
+  private:
+    std::vector<std::uint64_t> predWords_;
+    std::vector<std::uint64_t> btbWords_;
+    Count numPred_ = 0;
+    Count numBtb_ = 0;
+};
+
+/**
+ * Process-wide default for prediction-stream replay: false unless
+ * the PERCON_PRED_SNAPSHOT environment variable says on/1/true.
+ * Unrecognized values warn and keep the default.
+ */
+bool predSnapshotDefault();
+
+} // namespace percon
+
+#endif // PERCON_BPRED_PREDICTION_TRACE_HH

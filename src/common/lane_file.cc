@@ -1,0 +1,145 @@
+#include "lane_file.hh"
+
+#include <cstring>
+
+#include "common/file_util.hh"
+
+namespace percon {
+
+namespace {
+
+std::size_t
+alignUp(std::size_t v)
+{
+    return (v + kLaneFileAlign - 1) / kLaneFileAlign * kLaneFileAlign;
+}
+
+void
+putU64(std::string &buf, std::size_t off, std::uint64_t v)
+{
+    std::memcpy(&buf[off], &v, sizeof v);
+}
+
+std::uint64_t
+getU64(const std::byte *base, std::size_t off)
+{
+    std::uint64_t v;
+    std::memcpy(&v, base + off, sizeof v);
+    return v;
+}
+
+} // namespace
+
+std::string
+serializeLaneFile(const LaneFileLayout &layout, const std::string &key,
+                  const std::uint64_t *geometry, const LaneView *lanes)
+{
+    const std::size_t key_off = layout.keyOff();
+
+    // Lay the lanes out 64-byte aligned after the header + key.
+    std::size_t payload_off = alignUp(key_off + key.size());
+    std::size_t cursor = payload_off;
+    std::string dir_words;
+    for (std::size_t i = 0; i < layout.laneCount; ++i) {
+        cursor = alignUp(cursor);
+        dir_words.resize((i + 1) * 16);
+        std::memcpy(&dir_words[i * 16], &cursor, 8);
+        std::memcpy(&dir_words[i * 16 + 8], &lanes[i].bytes, 8);
+        cursor += lanes[i].bytes;
+    }
+    std::size_t total = cursor;
+
+    std::string buf(total, '\0');
+    std::memcpy(&buf[0], layout.magic, 8);
+    putU64(buf, 8, kLaneFileEndianTag);
+    putU64(buf, 16, total);
+    putU64(buf, 24, fnv1a64(key));
+    for (std::size_t g = 0; g < layout.geometryWords; ++g)
+        putU64(buf, 32 + g * 8, geometry[g]);
+    putU64(buf, layout.payloadOffOff(), payload_off);
+    putU64(buf, layout.payloadBytesOff(), total - payload_off);
+    putU64(buf, layout.keyLenOff(), key.size());
+    putU64(buf, layout.laneCountOff(), layout.laneCount);
+    std::memcpy(&buf[layout.dirOff()], dir_words.data(),
+                dir_words.size());
+    std::memcpy(&buf[key_off], key.data(), key.size());
+    for (std::size_t i = 0; i < layout.laneCount; ++i) {
+        std::uint64_t off;
+        std::memcpy(&off, &dir_words[i * 16], 8);
+        if (lanes[i].bytes)
+            std::memcpy(&buf[off], lanes[i].data, lanes[i].bytes);
+    }
+    putU64(buf, layout.payloadHashOff(),
+           fnv1a64(buf.data() + payload_off, total - payload_off));
+    return buf;
+}
+
+bool
+validateLaneImage(const std::byte *base, std::size_t file_bytes,
+                  const LaneFileLayout &layout, const std::string &key,
+                  const LaneGeometryCheck &check, bool check_payload,
+                  std::uint64_t (*dir)[2], std::uint64_t *geometry,
+                  std::size_t *lane_bytes_total, std::string *why)
+{
+    auto fail = [why](const char *msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    const std::size_t key_off = layout.keyOff();
+    if (file_bytes < key_off)
+        return fail("file shorter than the fixed header");
+    if (std::memcmp(base, layout.magic, 8) != 0)
+        return fail("bad magic / format version");
+    if (getU64(base, 8) != kLaneFileEndianTag)
+        return fail("foreign byte order");
+    if (getU64(base, 16) != file_bytes)
+        return fail("declared size != file size (truncated?)");
+    if (getU64(base, layout.laneCountOff()) != layout.laneCount)
+        return fail("unexpected lane count");
+
+    if (getU64(base, 24) != fnv1a64(key))
+        return fail("params key hash mismatch");
+    std::uint64_t key_len = getU64(base, layout.keyLenOff());
+    if (key_len != key.size() || key_off + key_len > file_bytes ||
+        std::memcmp(base + key_off, key.data(), key.size()) != 0)
+        return fail("params key mismatch");
+
+    for (std::size_t g = 0; g < layout.geometryWords; ++g)
+        geometry[g] = getU64(base, 32 + g * 8);
+    // Expected lane sizes live with the format, not the container.
+    std::size_t expect[16] = {};
+    if (const char *msg = check(geometry, expect))
+        return fail(msg);
+
+    std::uint64_t payload_off = getU64(base, layout.payloadOffOff());
+    std::uint64_t payload_bytes =
+        getU64(base, layout.payloadBytesOff());
+    if (payload_off % kLaneFileAlign != 0 ||
+        payload_off < key_off + key_len || payload_off > file_bytes ||
+        payload_bytes != file_bytes - payload_off)
+        return fail("bad payload extent");
+
+    std::size_t total_lanes = 0;
+    for (std::size_t i = 0; i < layout.laneCount; ++i) {
+        dir[i][0] = getU64(base, layout.dirOff() + i * 16);
+        dir[i][1] = getU64(base, layout.dirOff() + i * 16 + 8);
+        if (dir[i][1] != expect[i])
+            return fail("lane size does not match geometry");
+        if (dir[i][0] % kLaneFileAlign != 0 ||
+            dir[i][0] < payload_off || dir[i][0] > file_bytes ||
+            dir[i][1] > file_bytes - dir[i][0])
+            return fail("lane extent outside the file");
+        total_lanes += expect[i];
+    }
+
+    if (check_payload &&
+        getU64(base, layout.payloadHashOff()) !=
+            fnv1a64(base + payload_off, payload_bytes))
+        return fail("payload hash mismatch (corrupt file)");
+
+    *lane_bytes_total = total_lanes;
+    return true;
+}
+
+} // namespace percon

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Generic versioned lane-directory file container.
+ *
+ * Two snapshot tiers persist packed bit/byte lanes to mmap-able
+ * files with the same skeleton: a magic + endian-tagged header, a
+ * format-specific geometry block, a key string identifying the
+ * generating parameters, a lane directory, and 64-byte-aligned lane
+ * payloads covered by a content hash. "PCSNAP01" (trace snapshots,
+ * trace/snapshot_file.cc) and "PCPRED01" (prediction streams,
+ * bpred/prediction_file.cc) are both instances of this layout:
+ *
+ *   offset          field
+ *   --------------  -----------------------------------------------
+ *              0    magic (8 bytes; last two chars are the format
+ *                   version — any layout change bumps them)
+ *              8    endian tag 0x0102030405060708 (foreign-endian
+ *                   producers read back reversed and are rejected)
+ *             16    total file bytes (truncation check)
+ *             24    FNV-1a hash of the key string (fast mismatch
+ *                   check; the full key below is authoritative)
+ *             32    G format-specific geometry words
+ *        32+G*8     payload offset (64-byte aligned)
+ *        40+G*8     payload bytes
+ *        48+G*8     FNV-1a hash of the payload bytes
+ *        56+G*8     key length / 64+G*8 lane count
+ *        72+G*8     laneCount x { u64 offset, u64 bytes } directory
+ *         keyOff    key string (not NUL-terminated)
+ *                   ... zero padding to the payload offset ...
+ *        payload    lanes in directory order, each starting on a
+ *                   64-byte-aligned file offset
+ *
+ * With G=3 and 7 lanes this reproduces the original PCSNAP01 layout
+ * byte for byte (payload fields at 56..88, directory at 96, key at
+ * 208); the snapshot-store on-disk format is unchanged by the
+ * generalization.
+ *
+ * Everything in the header derives from the generating parameters
+ * and the lane contents — never from the producing build, git state,
+ * host, or time — so a file written by one build is byte-identical
+ * to and readable by any other.
+ */
+
+#ifndef PERCON_COMMON_LANE_FILE_HH
+#define PERCON_COMMON_LANE_FILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace percon {
+
+/** Native byte-order tag (reads back reversed on a foreign-endian
+ *  host). */
+inline constexpr std::uint64_t kLaneFileEndianTag =
+    0x0102030405060708ULL;
+
+/** Lane payloads start on this alignment within the file; mmap
+ *  bases are page-aligned, so every lane is cache-line clean in
+ *  memory too. */
+inline constexpr std::size_t kLaneFileAlign = 64;
+
+/** Static shape of one concrete lane-file format. */
+struct LaneFileLayout
+{
+    const char *magic;         ///< exactly 8 bytes, version included
+    std::size_t laneCount;     ///< fixed number of lanes
+    std::size_t geometryWords; ///< format-specific u64s after the hash
+
+    std::size_t payloadOffOff() const { return 32 + geometryWords * 8; }
+    std::size_t payloadBytesOff() const { return payloadOffOff() + 8; }
+    std::size_t payloadHashOff() const { return payloadOffOff() + 16; }
+    std::size_t keyLenOff() const { return payloadOffOff() + 24; }
+    std::size_t laneCountOff() const { return payloadOffOff() + 32; }
+    std::size_t dirOff() const { return payloadOffOff() + 40; }
+    std::size_t keyOff() const { return dirOff() + laneCount * 16; }
+};
+
+/** One lane to serialize: raw bytes, laid out in directory order. */
+struct LaneView
+{
+    const void *data;
+    std::size_t bytes;
+};
+
+/**
+ * Serialize a lane file image: header, @p geometry words, @p key,
+ * then the lanes 64-byte aligned, with the payload hash computed
+ * last over the final bytes. @p geometry has layout.geometryWords
+ * entries and @p lanes layout.laneCount entries.
+ */
+std::string serializeLaneFile(const LaneFileLayout &layout,
+                              const std::string &key,
+                              const std::uint64_t *geometry,
+                              const LaneView *lanes);
+
+/**
+ * Format-specific geometry check used during validation: given the
+ * geometry words read from the header, either return a static error
+ * message (e.g. "uop count mismatch") or fill
+ * @p expected_lane_bytes[layout.laneCount] and return null.
+ */
+using LaneGeometryCheck = std::function<const char *(
+    const std::uint64_t *geometry, std::size_t *expected_lane_bytes)>;
+
+/**
+ * Shared validation walk over a mapped image. Checks, in order:
+ * header size, magic/version, endianness, declared file size, lane
+ * count, key hash, key bytes, geometry (via @p check), payload
+ * extent, lane directory, and — when @p check_payload — the payload
+ * hash (the only full-scan step). Fills @p dir (laneCount x 2),
+ * @p geometry (geometryWords) and @p lane_bytes_total; returns false
+ * with *why set to the first failed check.
+ */
+bool validateLaneImage(const std::byte *base, std::size_t file_bytes,
+                       const LaneFileLayout &layout,
+                       const std::string &key,
+                       const LaneGeometryCheck &check,
+                       bool check_payload, std::uint64_t (*dir)[2],
+                       std::uint64_t *geometry,
+                       std::size_t *lane_bytes_total, std::string *why);
+
+} // namespace percon
+
+#endif // PERCON_COMMON_LANE_FILE_HH

@@ -1,0 +1,151 @@
+#include "prediction_key.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "trace/trace_snapshot.hh"
+
+namespace percon {
+
+namespace {
+
+void
+appendCache(std::string &key, const char *tag, const CacheParams &c)
+{
+    key += tag;
+    key += "=";
+    key += std::to_string(c.sizeBytes);
+    key += "x";
+    key += std::to_string(c.ways);
+    key += "x";
+    key += std::to_string(c.lineBytes);
+}
+
+/**
+ * Every PipelineConfig field, serialized. The stream depends on the
+ * complete machine — timing decides the fetch/retire interleaving
+ * the predictor trains under — so nothing here is optional.
+ */
+std::string
+machineKey(const PipelineConfig &c)
+{
+    std::string key = "w";
+    key += std::to_string(c.width);
+    key += "f" + std::to_string(c.frontEndDepth);
+    key += "b" + std::to_string(c.backEndDepth);
+    key += "rob" + std::to_string(c.robSize);
+    key += "lb" + std::to_string(c.loadBuffers);
+    key += "sb" + std::to_string(c.storeBuffers);
+    key += "si" + std::to_string(c.schedInt);
+    key += "sm" + std::to_string(c.schedMem);
+    key += "sf" + std::to_string(c.schedFp);
+    key += "ui" + std::to_string(c.unitsInt);
+    key += "um" + std::to_string(c.unitsMem);
+    key += "uf" + std::to_string(c.unitsFp);
+    key += "/btb=";
+    if (c.btbEnabled) {
+        key += std::to_string(c.btbEntries);
+        key += "x";
+        key += std::to_string(c.btbWays);
+        key += "p" + std::to_string(c.btbMissPenalty);
+    } else {
+        key += "off";
+    }
+    key += "/tc=";
+    if (c.traceCacheEnabled) {
+        key += std::to_string(c.traceCache.sizeBytes);
+        key += "x";
+        key += std::to_string(c.traceCache.ways);
+        key += "x";
+        key += std::to_string(c.traceCache.lineBytes);
+        key += "p" + std::to_string(c.traceCacheMissPenalty);
+    } else {
+        key += "off";
+    }
+    key += "/lat=";
+    key += std::to_string(c.intAluLatency);
+    key += ",";
+    key += std::to_string(c.intMulLatency);
+    key += ",";
+    key += std::to_string(c.fpAluLatency);
+    key += ",";
+    key += std::to_string(c.branchLatency);
+    key += "/mem=";
+    appendCache(key, "l1", c.mem.l1);
+    appendCache(key, ",l2", c.mem.l2);
+    key += ",lat" + std::to_string(c.mem.l1Latency);
+    key += "," + std::to_string(c.mem.l2Latency);
+    key += "," + std::to_string(c.mem.memLatency);
+    key += ",bus" + std::to_string(c.mem.busCyclesPerLine);
+    key += ",pf";
+    if (c.mem.prefetchEnabled) {
+        key += std::to_string(c.mem.prefetchStreams);
+        key += "x";
+        key += std::to_string(c.mem.prefetchDegree);
+    } else {
+        key += "off";
+    }
+    return key;
+}
+
+/** True when the policy cannot influence the prediction stream (see
+ *  the header's purity argument). */
+bool
+policyPure(const SpeculationControl &spec)
+{
+    return spec.gateThreshold == 0 && !spec.reversalEnabled;
+}
+
+} // namespace
+
+std::string
+predictionKey(const ProgramParams &params,
+              const PipelineConfig &config,
+              const std::string &predictor_name,
+              const PredictionRunShape &shape,
+              const SpeculationControl &spec,
+              const std::string &estimator_state_key)
+{
+    std::string key = programKey(params);
+    key += "/machine=";
+    key += machineKey(config);
+    key += "/pred=";
+    key += predictor_name;
+    key += "/wpseed=";
+    key += std::to_string(shape.wrongPathSeed);
+    key += "/run=";
+    key += std::to_string(shape.warmupUops);
+    key += "+";
+    key += std::to_string(shape.measureUops);
+    if (shape.sampled) {
+        key += "/sampled=";
+        key += std::to_string(shape.sampleWarmUops);
+        key += "+";
+        key += std::to_string(shape.sampleMeasureUops);
+    } else {
+        key += "/exact";
+    }
+    if (policyPure(spec)) {
+        // All ungated, non-reversing points of this
+        // workload/machine/predictor share one recording, whatever
+        // their estimator — the sweep-sharing win.
+        key += "/policy=pure";
+    } else {
+        key += "/policy=gate";
+        key += std::to_string(spec.gateThreshold);
+        key += ",rev";
+        key += spec.reversalEnabled ? "1" : "0";
+        key += ",lat";
+        key += std::to_string(spec.confidenceLatency);
+        key += ",oracle";
+        key += spec.oracleGating ? "1" : "0";
+        key += ",throttle";
+        key += std::to_string(spec.throttleWidth);
+        key += "/est=";
+        key += estimator_state_key.empty() ? "none"
+                                           : estimator_state_key;
+    }
+    return key;
+}
+
+} // namespace percon

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Keying rule and provider interface for the prediction-stream
+ * snapshot tier.
+ *
+ * A recorded prediction stream (bpred/prediction_trace.hh) is the
+ * exact sequence of predictor outcomes and BTB probe results one
+ * live run produced, so it is only replayable by a run that would
+ * have made the identical call sequence. The canonical key
+ * serializes everything that shapes that sequence:
+ *
+ *  - the full workload identity (programKey) and the wrong-path
+ *    synthesizer seed — the uop streams the run fetches;
+ *  - the complete machine geometry, caches included — pipeline
+ *    timing decides the fetch/retire interleaving, and the predictor
+ *    trains at retire while predicting at fetch, so ANY timing
+ *    change reorders training relative to prediction and changes
+ *    the stream (the pinned goldens prove it: mispredictsOriginal
+ *    differs across gating policies on the same workload);
+ *  - the predictor name and the timing-run shape (warmup/measure
+ *    lengths, exact vs sampled, the sampling window sizes);
+ *  - the speculation policy — with one deliberate collapse:
+ *
+ * Purity argument: when gateThreshold == 0 and reversal is off, the
+ * confidence estimator cannot influence the machine. estimate() is
+ * const, its result feeds only gating decisions (dead at threshold
+ * 0), reversal (off) and confidence statistics; oracleGating,
+ * confidenceLatency and throttleWidth are all dead at threshold 0.
+ * Every such run of the same workload/machine/predictor therefore
+ * produces bit-identical prediction streams regardless of estimator
+ * or policy details, and the key collapses them to "policy=pure" —
+ * this is the sharing that makes a predictor-fixed estimator sweep
+ * fast, every ungated point replaying one recording. Gated or
+ * reversing points get fully-keyed streams (policy serialization +
+ * estimator training identity).
+ *
+ * Trace-snapshot replay is deliberately NOT in the key: snapshot
+ * replay is bit-identical to live generation by contract, so the
+ * stream is the same either way.
+ */
+
+#ifndef PERCON_CORE_PREDICTION_KEY_HH
+#define PERCON_CORE_PREDICTION_KEY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bpred/prediction_trace.hh"
+#include "trace/program_model.hh"
+#include "uarch/pipeline_config.hh"
+
+namespace percon {
+
+/** The timing-run shape fields the prediction key covers (a
+ *  run-shape slice of TimingConfig, kept separate to avoid a header
+ *  cycle: timing_sim.hh includes this file). */
+struct PredictionRunShape
+{
+    std::uint64_t wrongPathSeed = 0; ///< effective synthesizer seed
+    Count warmupUops = 0;
+    Count measureUops = 0;
+    bool sampled = false;
+    /** Only serialized when sampled (dead axes must not split
+     *  keys). */
+    Count sampleWarmUops = 0;
+    Count sampleMeasureUops = 0;
+};
+
+/**
+ * Canonical cache key for one run's prediction stream. Pass the
+ * estimator's stateKey() in @p estimator_state_key (empty for no
+ * estimator); it is only serialized when the policy is impure.
+ */
+std::string predictionKey(const ProgramParams &params,
+                          const PipelineConfig &config,
+                          const std::string &predictor_name,
+                          const PredictionRunShape &shape,
+                          const SpeculationControl &spec,
+                          const std::string &estimator_state_key);
+
+/**
+ * Source of shared prediction streams. Defined here (not in
+ * driver/) so runTiming can use a provider without depending on the
+ * driver library; the driver's PredictionCache implements it —
+ * mirroring the SnapshotProvider / CheckpointStore split.
+ *
+ * Protocol: acquire() either returns a stream to replay, or makes
+ * the caller the recorder for that key (first caller wins;
+ * concurrent callers block until the recording run publishes). A
+ * recorder MUST end with exactly one publish() or abandon() —
+ * anything else leaves waiters blocked forever.
+ */
+class PredictionProvider
+{
+  public:
+    virtual ~PredictionProvider() = default;
+
+    struct Lease
+    {
+        /** Non-null: replay this stream. */
+        std::shared_ptr<const PredictionTrace> trace;
+        /** True: this run records; run live with a recorder attached
+         *  and publish (or abandon) the result. */
+        bool recording = false;
+    };
+
+    virtual Lease acquire(const std::string &key) = 0;
+
+    /** Publish a finished recording for @p key, unblocking waiters
+     *  and (best effort) persisting to the store tier. */
+    virtual void publish(const std::string &key,
+                         std::shared_ptr<const PredictionTrace> trace) = 0;
+
+    /** Give up a recording without a result: waiters see a failure,
+     *  the key is not poisoned (the next acquire() records again). */
+    virtual void abandon(const std::string &key) noexcept = 0;
+};
+
+} // namespace percon
+
+#endif // PERCON_CORE_PREDICTION_KEY_HH

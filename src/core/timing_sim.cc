@@ -100,8 +100,47 @@ runTiming(const BenchmarkSpec &spec, const PipelineConfig &config,
     if (timing.audit)
         core.setAuditor(&auditor);
 
+    // ---- prediction-stream tier --------------------------------------
+    // Acquire before the run: either replay a recorded stream (the
+    // engine skips all live predictor/BTB work) or become the
+    // recorder for this key (the run stays fully live, observed).
+    PredictionProvider *pred_cache =
+        timing.predSnapshot ? timing.predictionProvider : nullptr;
+    PredictionTraceBuilder pred_builder;
+    bool pred_recording = false;
+    std::string pred_key;
+    std::string pred_label = "off";
+    if (pred_cache) {
+        PredictionRunShape shape;
+        shape.wrongPathSeed =
+            timing.wrongPathSeed.value_or(spec.program.seed ^ 0xdead);
+        shape.warmupUops = timing.warmupUops;
+        shape.measureUops = timing.measureUops;
+        shape.sampled = timing.simMode == SimMode::Sampled;
+        shape.sampleWarmUops = timing.sampleWarmUops;
+        shape.sampleMeasureUops = timing.sampleMeasureUops;
+        pred_key = predictionKey(
+            spec.program, config, predictor_name, shape, spec_ctrl,
+            estimator ? estimator->stateKey() : std::string());
+        PredictionProvider::Lease lease = pred_cache->acquire(pred_key);
+        if (lease.trace) {
+            core.setPredictionReplay(std::move(lease.trace));
+            pred_label = "hit";
+        } else if (lease.recording) {
+            core.setPredictionRecorder(&pred_builder);
+            pred_recording = true;
+            pred_label = "miss";
+        }
+    }
+    // Record and replay runs must warm identically, so the
+    // warm-checkpoint tier is bypassed while the prediction tier is
+    // active: a checkpoint hit skips functionalWarm() and would
+    // desynchronize the replay cursor from the recorded stream.
+    bool pred_active = pred_label != "off";
+
     TimingResult result;
     result.benchmark = spec.program.name;
+    result.predSnapshot = pred_label;
 
     using Clock = std::chrono::steady_clock;
     auto seconds_since = [](Clock::time_point t0) {
@@ -109,6 +148,7 @@ runTiming(const BenchmarkSpec &spec, const PipelineConfig &config,
             .count();
     };
 
+    try {
     if (timing.simMode == SimMode::Exact) {
         // The historical path, untouched: detailed warmup + detailed
         // measurement, bit-identical to every golden lock.
@@ -121,7 +161,8 @@ runTiming(const BenchmarkSpec &spec, const PipelineConfig &config,
         auto warm0 = Clock::now();
         std::string checkpoint_label = "off";
         bool warmed = false;
-        if (timing.checkpointWarm && timing.checkpointStore && cursor) {
+        if (timing.checkpointWarm && timing.checkpointStore && cursor &&
+            !pred_active) {
             std::string ckpt_key = warmCheckpointKey(
                 spec.program, timing.warmupUops, config, predictor_name,
                 estimator ? estimator->stateKey() : std::string());
@@ -234,6 +275,17 @@ runTiming(const BenchmarkSpec &spec, const PipelineConfig &config,
         result.pvnErr = stderr_of(pvn_w);
         result.specErr = stderr_of(spec_w);
     }
+    } catch (...) {
+        // A recorder that dies without publishing would block every
+        // waiter on this key forever; hand the key back so the next
+        // acquire() records from scratch.
+        if (pred_recording)
+            pred_cache->abandon(pred_key);
+        throw;
+    }
+
+    if (pred_recording)
+        pred_cache->publish(pred_key, pred_builder.finish(pred_key));
 
     result.stats = core.stats();
     if (timing.audit)

@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 
+#include "core/prediction_key.hh"
 #include "core/warm_checkpoint.hh"
 #include "trace/benchmarks.hh"
 #include "trace/trace_snapshot.hh"
@@ -84,6 +85,20 @@ struct TimingConfig
      *  its process-wide SnapshotCache here. Not owned. */
     SnapshotProvider *snapshotProvider = nullptr;
 
+    /** Prediction-stream snapshot tier: record the predictor/BTB
+     *  outcome stream once per prediction key and replay it on every
+     *  later run of the same key, skipping the live predictor work
+     *  entirely. Bit-identical results either way (see
+     *  core/prediction_key.hh). Requires predictionProvider; without
+     *  one the flag is inert (a single run with nothing to share
+     *  cannot profit from recording itself). */
+    bool predSnapshot = predSnapshotDefault();
+
+    /** Where recorded prediction streams live when predSnapshot is
+     *  on. Not owned; the drivers inject the process-wide
+     *  PredictionCache. Null disables the tier. */
+    PredictionProvider *predictionProvider = nullptr;
+
     /** Scale both by the PERCON_UOPS env var when present
      *  (value = measure uops; warmup scales proportionally), then
      *  let PERCON_WARMUP_UOPS pin the warmup length outright for
@@ -143,6 +158,16 @@ struct TimingResult
      *  Sweep rows override this with a deterministic input-order
      *  label, like the snapshot field. */
     std::string checkpoint = "off";
+
+    /** Prediction-stream disposition: "off" (tier disabled), "miss"
+     *  (this run recorded the stream, running fully live) or "hit"
+     *  (replayed a recorded stream, skipping live predictor work).
+     *  Sweep rows override this with a deterministic input-order
+     *  label, like the snapshot field. While the tier is active the
+     *  warm-checkpoint tier is bypassed (checkpoint stays "off"): a
+     *  checkpoint hit skips functional warming and would desync the
+     *  replay cursor from the recorded stream. */
+    std::string predSnapshot = "off";
 
     /** Wall-time split of the run: functional warming (including
      *  checkpoint save/restore) vs detailed simulation. Exact mode

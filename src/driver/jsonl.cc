@@ -113,6 +113,8 @@ runRecordJson(const RunRecord &rec)
     json += ',';
     appendStr(json, "checkpoint", rec.checkpoint);
     json += ',';
+    appendStr(json, "pred_snapshot", rec.predSnapshot);
+    json += ',';
     appendStr(json, "build", buildId());
     json += ',';
     appendDouble(json, "wall_seconds", rec.wallSeconds);

@@ -1,0 +1,166 @@
+#include "prediction_cache.hh"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace percon {
+
+PredictionProvider::Lease
+PredictionCache::acquire(const std::string &key)
+{
+    Future future;
+    bool owner = false;
+    PredictionStore *store = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            std::promise<std::shared_ptr<const PredictionTrace>> p;
+            future = p.get_future().share();
+            cache_.emplace(key, future);
+            pending_.emplace(key, std::move(p));
+            ++counters_.misses;
+            owner = true;
+            store = store_;
+        } else {
+            future = it->second;
+            ++counters_.hits;
+        }
+    }
+    if (owner) {
+        // Tier 2: a prior process may have persisted this stream;
+        // map it read-only instead of re-recording.
+        std::shared_ptr<const PredictionTrace> trace;
+        if (store) {
+            trace = store->tryOpen(key);
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (trace) {
+                ++counters_.storeHits;
+                counters_.mappedBytes += trace->memoryBytes();
+            } else {
+                ++counters_.storeMisses;
+            }
+        }
+        if (trace) {
+            // Resolve the pending promise immediately (counts as a
+            // replay for this caller, not a recording).
+            std::promise<std::shared_ptr<const PredictionTrace>> p;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                auto it = pending_.find(key);
+                PERCON_ASSERT(it != pending_.end(),
+                              "prediction cache: lost pending entry "
+                              "for '%s'", key.c_str());
+                p = std::move(it->second);
+                pending_.erase(it);
+            }
+            p.set_value(trace);
+            return Lease{std::move(trace), false};
+        }
+        // Tier 3: the caller records. It must end the lease with
+        // exactly one publish() or abandon().
+        return Lease{nullptr, true};
+    }
+    // Waiter: block until the recorder finishes. A failed recording
+    // is not fatal — fall back to running fully live.
+    try {
+        return Lease{future.get(), false};
+    } catch (...) {
+        return Lease{nullptr, false};
+    }
+}
+
+void
+PredictionCache::publish(const std::string &key,
+                         std::shared_ptr<const PredictionTrace> trace)
+{
+    PERCON_ASSERT(trace != nullptr,
+                  "prediction cache: publish(null) for '%s' — use "
+                  "abandon()", key.c_str());
+    std::promise<std::shared_ptr<const PredictionTrace>> p;
+    PredictionStore *store = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = pending_.find(key);
+        PERCON_ASSERT(it != pending_.end(),
+                      "prediction cache: publish without a recording "
+                      "lease for '%s'", key.c_str());
+        p = std::move(it->second);
+        pending_.erase(it);
+        ++counters_.recorded;
+        counters_.recordedBytes +=
+            static_cast<Count>(trace->memoryBytes());
+        store = store_;
+    }
+    if (store)
+        store->persist(trace);
+    p.set_value(std::move(trace));
+}
+
+void
+PredictionCache::abandon(const std::string &key) noexcept
+{
+    std::promise<std::shared_ptr<const PredictionTrace>> p;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = pending_.find(key);
+        if (it == pending_.end())
+            return; // already published/abandoned; nothing to do
+        p = std::move(it->second);
+        pending_.erase(it);
+        // Remove the memo entry BEFORE publishing the exception:
+        // waiters already holding the future see the failure (and
+        // run live), but the key is not poisoned — the next
+        // acquire() records again from scratch.
+        cache_.erase(key);
+        ++counters_.abandoned;
+    }
+    try {
+        p.set_exception(std::make_exception_ptr(std::runtime_error(
+            "prediction recording abandoned")));
+    } catch (...) {
+        // set_exception cannot meaningfully fail here; swallow to
+        // honour noexcept.
+    }
+}
+
+void
+PredictionCache::setStore(PredictionStore *store)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    store_ = store;
+}
+
+PredictionStore *
+PredictionCache::store() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return store_;
+}
+
+PredictionCache::Counters
+PredictionCache::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+PredictionCache &
+PredictionCache::global()
+{
+    static PredictionCache cache;
+    static PredictionStore *env_store = [] {
+        std::string dir = predictionStoreDirFromEnv();
+        if (dir.empty())
+            return static_cast<PredictionStore *>(nullptr);
+        static PredictionStore store(dir);
+        cache.setStore(&store);
+        return &store;
+    }();
+    (void)env_store;
+    return cache;
+}
+
+} // namespace percon

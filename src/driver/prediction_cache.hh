@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Thread-safe memoized prediction-stream cache with a persistent
+ * store tier.
+ *
+ * A predictor-fixed sweep visits the same (workload, machine,
+ * predictor, run shape) under many estimator/policy points; every
+ * ungated point would otherwise re-run the identical predictor
+ * predict/train work. Lookup is three-tier, like SnapshotCache:
+ *
+ *   1. in-memory memo — the first caller for a key becomes the
+ *      RECORDER, concurrent callers block on a shared future, and
+ *      everyone shares one immutable stream;
+ *   2. mmap'd store file (when a PredictionStore is attached) — a
+ *      previous process on this machine already recorded the stream;
+ *      it is mapped read-only and replayed zero-copy;
+ *   3. record — the owning run executes fully live with a
+ *      PredictionTraceBuilder attached, then publish()es the result
+ *      (persisted to the store, best effort) for every later run.
+ *
+ * Unlike SnapshotCache, tier 3 cannot happen inside acquire(): the
+ * recording IS the caller's own timing run. acquire() therefore
+ * hands back a recording lease and parks the promise until the
+ * caller ends it with exactly one publish() or abandon().
+ *
+ * A failed recording does NOT poison the key: abandon() erases the
+ * pending entry before publishing the exception, so contemporaneous
+ * waiters fall back to running live but the next acquire() records
+ * again from scratch.
+ */
+
+#ifndef PERCON_DRIVER_PREDICTION_CACHE_HH
+#define PERCON_DRIVER_PREDICTION_CACHE_HH
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/prediction_key.hh"
+#include "driver/prediction_store.hh"
+
+namespace percon {
+
+class PredictionCache : public PredictionProvider
+{
+  public:
+    PredictionCache() { cache_.reserve(32); }
+
+    /** Accounting totals, readable at any time. Plain counters only
+     *  (trivially copyable): forked sweep workers ship this struct
+     *  raw over the result pipe. */
+    struct Counters
+    {
+        Count hits = 0;         ///< acquire() served a replay stream
+        Count misses = 0;       ///< acquire() handed out a recording
+        Count storeHits = 0;    ///< resolved by mapping a store file
+        Count storeMisses = 0;  ///< store attached but had no file
+        Count abandoned = 0;    ///< recordings given up without data
+        Count recorded = 0;     ///< streams published by recorders
+        Count recordedBytes = 0; ///< lane bytes across recordings
+        Count mappedBytes = 0;  ///< borrowed lane bytes held
+    };
+
+    Lease acquire(const std::string &key) override;
+    void publish(const std::string &key,
+                 std::shared_ptr<const PredictionTrace> trace) override;
+    void abandon(const std::string &key) noexcept override;
+
+    /**
+     * Attach (or detach, with null) the persistent store tier. Not
+     * owned. Affects future acquire() misses only; memoized entries
+     * stay valid. Typically set once before a sweep starts.
+     */
+    void setStore(PredictionStore *store);
+
+    /** The attached store tier; null when disabled. */
+    PredictionStore *store() const;
+
+    Counters counters() const;
+
+    /**
+     * The process-wide cache the drivers inject into TimingConfig
+     * when no provider was set explicitly. Lives for the process. On
+     * first use it attaches a store for PERCON_PRED_SNAPSHOT_STORE
+     * when that variable names a directory.
+     */
+    static PredictionCache &global();
+
+  private:
+    using Future =
+        std::shared_future<std::shared_ptr<const PredictionTrace>>;
+
+    mutable std::mutex mutex_;
+    Counters counters_;
+    PredictionStore *store_ = nullptr;
+    std::unordered_map<std::string, Future> cache_;
+    /** Promises for in-flight recordings, parked between acquire()
+     *  handing out the lease and the recorder's publish()/abandon().
+     */
+    std::unordered_map<
+        std::string,
+        std::promise<std::shared_ptr<const PredictionTrace>>>
+        pending_;
+};
+
+} // namespace percon
+
+#endif // PERCON_DRIVER_PREDICTION_CACHE_HH

@@ -1,0 +1,92 @@
+#include "prediction_store.hh"
+
+#include <cstdlib>
+
+#include "common/file_util.hh"
+#include "common/logging.hh"
+
+namespace percon {
+
+PredictionStore::PredictionStore(std::string dir)
+    : dir_(std::move(dir))
+{
+}
+
+std::string
+PredictionStore::pathFor(const std::string &key) const
+{
+    // Key = content hash of the full canonical prediction key.
+    // Nothing build- or host-dependent may ever go in here; the full
+    // key stored inside the file is authoritative on collision.
+    return dir_ + "/ppred-" + hex16(fnv1a64(key)) + ".pred";
+}
+
+std::shared_ptr<const PredictionTrace>
+PredictionStore::tryOpen(const std::string &key)
+{
+    std::string path = pathFor(key);
+    bool existed = fileExists(path);
+    std::string why;
+    std::shared_ptr<const PredictionTrace> trace =
+        existed ? openPredictionFile(path, key, &why) : nullptr;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (trace) {
+        ++counters_.mapHits;
+        counters_.mappedBytes += trace->memoryBytes();
+    } else {
+        ++counters_.mapMisses;
+        if (existed) {
+            ++counters_.rejected;
+            warn("prediction store: rejecting '%s' (%s); re-recording",
+                 path.c_str(), why.c_str());
+        }
+    }
+    return trace;
+}
+
+bool
+PredictionStore::persist(
+    const std::shared_ptr<const PredictionTrace> &trace)
+{
+    if (!trace)
+        return false;
+    if (!ensureDir(dir_)) {
+        warn("prediction store: cannot create directory '%s'; "
+             "not persisting", dir_.c_str());
+        return false;
+    }
+    std::string path = pathFor(trace->key());
+    std::string image = serializePredictionTrace(*trace);
+    std::string why;
+    if (!atomicWriteFile(path, image.data(), image.size(), &why)) {
+        warn("prediction store: failed to persist '%s' (%s)",
+             path.c_str(), why.c_str());
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.persisted;
+    counters_.persistedBytes += image.size();
+    return true;
+}
+
+bool
+PredictionStore::probe(const std::string &key) const
+{
+    return probePredictionFile(pathFor(key), key);
+}
+
+PredictionStore::Counters
+PredictionStore::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+std::string
+predictionStoreDirFromEnv()
+{
+    const char *v = std::getenv("PERCON_PRED_SNAPSHOT_STORE");
+    return (v && *v) ? std::string(v) : std::string();
+}
+
+} // namespace percon

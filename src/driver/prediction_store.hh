@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Persistent machine-wide prediction-stream store.
+ *
+ * A store is a directory of "PCPRED01" files
+ * (bpred/prediction_file.hh), one per prediction key: streams are
+ * recorded once per MACHINE, not once per process. Every later
+ * process — more sweep jobs, forked workers, tomorrow's re-run —
+ * mmaps the file read-only and replays it zero-copy out of the
+ * shared page cache.
+ *
+ * File names derive purely from the FNV-1a hash of the canonical
+ * prediction key (core/prediction_key.hh); deliberately NOT from the
+ * build id, so stores survive rebuilds and are shared between
+ * differently-built binaries. Publication is atomic (tmp + rename);
+ * a file that fails any validation check — wrong key (different
+ * predictor/BTB parameters hash-colliding onto the same name),
+ * truncation, corruption, foreign endianness, version bump — is
+ * refused with a warn() and the caller re-records.
+ *
+ * The store is the middle tier of PredictionCache's lookup:
+ * in-memory memo -> mmap'd store file -> record (and persist).
+ */
+
+#ifndef PERCON_DRIVER_PREDICTION_STORE_HH
+#define PERCON_DRIVER_PREDICTION_STORE_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "bpred/prediction_file.hh"
+#include "bpred/prediction_trace.hh"
+
+namespace percon {
+
+class PredictionStore
+{
+  public:
+    /** @param dir store directory; created on first persist. */
+    explicit PredictionStore(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Store file path for one prediction key. Content-derived:
+     *  independent of build id, host, and time. */
+    std::string pathFor(const std::string &key) const;
+
+    /**
+     * Map and validate the stored stream. @return a borrowed-lane
+     * trace, or null when the file is absent or fails any validation
+     * check (the caller re-records; a malformed file is also
+     * warn()ed once per lookup so operators see corrupt stores).
+     */
+    std::shared_ptr<const PredictionTrace>
+    tryOpen(const std::string &key);
+
+    /**
+     * Serialize and atomically publish @p trace. Best effort:
+     * failures warn() and return false but never abort the run — the
+     * store is an accelerator, not a dependency.
+     */
+    bool persist(const std::shared_ptr<const PredictionTrace> &trace);
+
+    /** Header-only existence/plausibility probe (no payload scan),
+     *  for deterministic pre-sweep "pred_snapshot" row labels. */
+    bool probe(const std::string &key) const;
+
+    /** Accounting totals, readable at any time. */
+    struct Counters
+    {
+        Count mapHits = 0;      ///< tryOpen served a valid file
+        Count mapMisses = 0;    ///< tryOpen found nothing usable
+        Count rejected = 0;     ///< file present but failed validation
+        Count persisted = 0;    ///< files published
+        Count persistedBytes = 0;
+        Count mappedBytes = 0;  ///< lane bytes served via mmap
+    };
+
+    Counters counters() const;
+
+  private:
+    std::string dir_;
+    mutable std::mutex mutex_;
+    Counters counters_;
+};
+
+/**
+ * Store directory from the PERCON_PRED_SNAPSHOT_STORE environment
+ * variable; empty when unset/empty (store disabled). The
+ * --pred-snapshot-store flag overrides this in percon_sim.
+ */
+std::string predictionStoreDirFromEnv();
+
+} // namespace percon
+
+#endif // PERCON_DRIVER_PREDICTION_STORE_HH

@@ -9,6 +9,7 @@
 
 #include "common/rng.hh"
 #include "driver/checkpoint_cache.hh"
+#include "driver/prediction_cache.hh"
 #include "driver/snapshot_cache.hh"
 
 namespace percon {
@@ -89,7 +90,8 @@ makePoint(RunKey key, RunFn fn)
     std::uint64_t seed = key.seed();
     return SweepPoint{std::move(key), seed,    std::move(fn),
                       {},             {},      {},
-                      nullptr,        nullptr, nullptr};
+                      {},             nullptr, nullptr,
+                      nullptr,        nullptr};
 }
 
 SweepPoint
@@ -151,6 +153,30 @@ timingPoint(RunKey key, const PipelineConfig &config,
             config, key.predictor, est_key);
     }
 
+    // Resolve the prediction-stream key on the construction thread
+    // too. The run seed below IS the wrong-path seed runTiming will
+    // use, so the key computed here matches the one runTiming derives
+    // at run time; the first point in input order naming it becomes
+    // the sweep's recorder ("miss"), later ones replay ("hit").
+    std::string pred_key;
+    if (t0.predSnapshot) {
+        if (!t0.predictionProvider)
+            t0.predictionProvider = &PredictionCache::global();
+        PredictionRunShape shape;
+        shape.wrongPathSeed = seed;
+        shape.warmupUops = t0.warmupUops;
+        shape.measureUops = t0.measureUops;
+        shape.sampled = t0.simMode == SimMode::Sampled;
+        shape.sampleWarmUops = t0.sampleWarmUops;
+        shape.sampleMeasureUops = t0.sampleMeasureUops;
+        std::string est_key;
+        if (make_estimator)
+            est_key = make_estimator()->stateKey();
+        pred_key = predictionKey(benchmarkSpec(key.benchmark).program,
+                                 config, key.predictor, shape,
+                                 spec_ctrl, est_key);
+    }
+
     RunFn fn = [config, make_estimator, spec_ctrl, t0,
                 snapshot_label](const RunKey &k,
                                 std::uint64_t run_seed) {
@@ -166,6 +192,7 @@ timingPoint(RunKey key, const PipelineConfig &config,
         out.pvnErr = r.pvnErr;
         out.specErr = r.specErr;
         out.checkpoint = r.checkpoint;
+        out.predSnapshot = r.predSnapshot;
         return out;
     };
     return SweepPoint{std::move(key),
@@ -173,7 +200,9 @@ timingPoint(RunKey key, const PipelineConfig &config,
                       std::move(fn),
                       std::move(snapshot_key),
                       std::move(checkpoint_key),
+                      std::move(pred_key),
                       std::move(store_probe),
+                      nullptr,
                       nullptr,
                       nullptr,
                       nullptr};
@@ -254,6 +283,26 @@ deriveSweepLabels(const std::vector<SweepPoint> &points)
             labels.store[i] = ins.first->second ? "hit" : "miss";
         }
     }
+
+    // Prediction-stream labels: first occurrence of each prediction
+    // key records ("miss"), later ones replay ("hit"). Input order
+    // only — deliberately NOT store state — so a sweep's rows are
+    // byte-identical whether the persistent store was cold or warm.
+    labels.pred.assign(points.size(), nullptr);
+    {
+        std::unordered_set<std::string> seen;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            if (points[i].predLabel) {
+                labels.pred[i] = points[i].predLabel;
+                continue;
+            }
+            if (points[i].predKey.empty())
+                continue;
+            labels.pred[i] =
+                seen.insert(points[i].predKey).second ? "miss"
+                                                      : "hit";
+        }
+    }
     return labels;
 }
 
@@ -268,6 +317,7 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
     const auto &snapshot_labels = labels.snapshot;
     const auto &checkpoint_labels = labels.checkpoint;
     const auto &store_labels = labels.store;
+    const auto &pred_labels = labels.pred;
 
     auto worker = [&] {
         for (;;) {
@@ -295,6 +345,9 @@ SweepRunner::run(const std::vector<SweepPoint> &points) const
                 rec.checkpoint = checkpoint_labels[i]
                                      ? checkpoint_labels[i]
                                      : std::move(output.checkpoint);
+                rec.predSnapshot = pred_labels[i]
+                                       ? pred_labels[i]
+                                       : std::move(output.predSnapshot);
             } catch (...) {
                 errors[i] = std::current_exception();
             }

@@ -99,6 +99,14 @@ struct RunRecord
      *  the snapshot label. */
     std::string checkpoint = "off";
 
+    /** Prediction-stream disposition: "off", "miss" (first point in
+     *  input order to use its prediction key — the sweep's recorder)
+     *  or "hit" (replays the shared stream). Deterministic input-
+     *  order labeling, NOT run-time racing and NOT store state, so
+     *  rows are byte-identical across job/worker counts, repeats,
+     *  and cold-vs-warm persistent stores. */
+    std::string predSnapshot = "off";
+
     double wallSeconds = 0.0;
 };
 
@@ -118,6 +126,7 @@ struct RunOutput
     double pvnErr = 0.0;
     double specErr = 0.0;
     std::string checkpoint = "off";
+    std::string predSnapshot = "off";
 
     RunOutput() = default;
     RunOutput(const CoreStats &s) : stats(s) {}
@@ -154,6 +163,13 @@ struct SweepPoint
      *  snapshotKey. */
     std::string checkpointKey;
 
+    /** Prediction-stream key of this point (empty = tier off). Same
+     *  deterministic first-in-input-order labeling as snapshotKey;
+     *  thanks to the "policy=pure" key collapse, every ungated point
+     *  of a predictor-fixed sweep shares one key (one "miss", the
+     *  rest "hit"). */
+    std::string predKey;
+
     /** Header-only persistent-store probe for this point's workload
      *  (null = no store attached). SweepRunner::run calls it once
      *  per distinct snapshotKey before any point executes — i.e.
@@ -170,6 +186,7 @@ struct SweepPoint
     const char *snapshotLabel = nullptr;
     const char *checkpointLabel = nullptr;
     const char *storeLabel = nullptr;
+    const char *predLabel = nullptr;
 };
 
 /** Build a point whose seed is the key's own derived seed. */
@@ -218,6 +235,7 @@ struct SweepLabels
     std::vector<const char *> snapshot;
     std::vector<const char *> checkpoint;
     std::vector<const char *> store;
+    std::vector<const char *> pred;
 };
 
 /** Compute SweepLabels for @p points; runs each distinct store

@@ -26,7 +26,11 @@ static_assert(std::is_trivially_copyable_v<CoreStats>,
 static_assert(std::is_trivially_copyable_v<SnapshotCache::Counters> &&
                   std::is_trivially_copyable_v<
                       CheckpointCache::Counters> &&
-                  std::is_trivially_copyable_v<SnapshotStore::Counters>,
+                  std::is_trivially_copyable_v<SnapshotStore::Counters> &&
+                  std::is_trivially_copyable_v<
+                      PredictionCache::Counters> &&
+                  std::is_trivially_copyable_v<
+                      PredictionStore::Counters>,
               "counter structs cross the worker pipe as raw bytes");
 
 /** Range-command sentinel: no more work, send sums and exit. */
@@ -166,6 +170,7 @@ runRange(const std::vector<SweepPoint> &points, std::size_t lo,
                 putStr(payload, out.snapshot);
                 putStr(payload, out.simMode);
                 putStr(payload, out.checkpoint);
+                putStr(payload, out.predSnapshot);
             } catch (const std::exception &e) {
                 payload += 'E';
                 putU64(payload, i);
@@ -208,6 +213,10 @@ childLoop(const std::vector<SweepPoint> &points, int cmd_fd,
     SnapshotStore::Counters store0{};
     if (SnapshotStore *s = SnapshotCache::global().store())
         store0 = s->counters();
+    auto pred0 = PredictionCache::global().counters();
+    PredictionStore::Counters pstore0{};
+    if (PredictionStore *s = PredictionCache::global().store())
+        pstore0 = s->counters();
 
     std::mutex wmx;
     for (;;) {
@@ -258,9 +267,29 @@ childLoop(const std::vector<SweepPoint> &points, int cmd_fd,
     store.persisted -= store0.persisted;
     store.persistedBytes -= store0.persistedBytes;
     store.mappedBytes -= store0.mappedBytes;
+    auto pred = PredictionCache::global().counters();
+    PredictionStore::Counters pstore{};
+    if (PredictionStore *s = PredictionCache::global().store())
+        pstore = s->counters();
+    pred.hits -= pred0.hits;
+    pred.misses -= pred0.misses;
+    pred.storeHits -= pred0.storeHits;
+    pred.storeMisses -= pred0.storeMisses;
+    pred.abandoned -= pred0.abandoned;
+    pred.recorded -= pred0.recorded;
+    pred.recordedBytes -= pred0.recordedBytes;
+    pred.mappedBytes -= pred0.mappedBytes;
+    pstore.mapHits -= pstore0.mapHits;
+    pstore.mapMisses -= pstore0.mapMisses;
+    pstore.rejected -= pstore0.rejected;
+    pstore.persisted -= pstore0.persisted;
+    pstore.persistedBytes -= pstore0.persistedBytes;
+    pstore.mappedBytes -= pstore0.mappedBytes;
     putRaw(sums, &snap, sizeof snap);
     putRaw(sums, &chk, sizeof chk);
     putRaw(sums, &store, sizeof store);
+    putRaw(sums, &pred, sizeof pred);
+    putRaw(sums, &pstore, sizeof pstore);
     sendFrame(res_fd, wmx, sums);
     ::close(res_fd);
     ::close(cmd_fd);
@@ -296,6 +325,24 @@ addSums(WorkerSums &into, const WorkerSums &from)
     t.persisted += ft.persisted;
     t.persistedBytes += ft.persistedBytes;
     t.mappedBytes += ft.mappedBytes;
+    auto &p = into.pred;
+    const auto &fp = from.pred;
+    p.hits += fp.hits;
+    p.misses += fp.misses;
+    p.storeHits += fp.storeHits;
+    p.storeMisses += fp.storeMisses;
+    p.abandoned += fp.abandoned;
+    p.recorded += fp.recorded;
+    p.recordedBytes += fp.recordedBytes;
+    p.mappedBytes += fp.mappedBytes;
+    auto &q = into.predStore;
+    const auto &fq = from.predStore;
+    q.mapHits += fq.mapHits;
+    q.mapMisses += fq.mapMisses;
+    q.rejected += fq.rejected;
+    q.persisted += fq.persisted;
+    q.persistedBytes += fq.persistedBytes;
+    q.mappedBytes += fq.mappedBytes;
 }
 
 struct Child
@@ -415,6 +462,7 @@ runSweepWorkers(const std::vector<SweepPoint> &points, unsigned workers,
             std::string snapshot = r.str();
             rec.simMode = r.str();
             std::string checkpoint = r.str();
+            std::string pred_snapshot = r.str();
             rec.snapshot = labels.snapshot[i] ? labels.snapshot[i]
                                               : std::move(snapshot);
             rec.checkpoint = labels.checkpoint[i]
@@ -422,6 +470,9 @@ runSweepWorkers(const std::vector<SweepPoint> &points, unsigned workers,
                                  : std::move(checkpoint);
             if (labels.store[i])
                 rec.snapshotStore = labels.store[i];
+            rec.predSnapshot = labels.pred[i]
+                                   ? labels.pred[i]
+                                   : std::move(pred_snapshot);
             delivered[i] = 1;
             break;
           }
@@ -443,6 +494,8 @@ runSweepWorkers(const std::vector<SweepPoint> &points, unsigned workers,
             r.raw(&sums.snapshot, sizeof sums.snapshot);
             r.raw(&sums.checkpoint, sizeof sums.checkpoint);
             r.raw(&sums.store, sizeof sums.store);
+            r.raw(&sums.pred, sizeof sums.pred);
+            r.raw(&sums.predStore, sizeof sums.predStore);
             addSums(result.sums, sums);
             break;
           }

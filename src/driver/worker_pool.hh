@@ -40,6 +40,8 @@
 #include <vector>
 
 #include "driver/checkpoint_cache.hh"
+#include "driver/prediction_cache.hh"
+#include "driver/prediction_store.hh"
 #include "driver/snapshot_cache.hh"
 #include "driver/snapshot_store.hh"
 #include "driver/sweep_runner.hh"
@@ -54,6 +56,8 @@ struct WorkerSums
     SnapshotCache::Counters snapshot;
     CheckpointCache::Counters checkpoint;
     SnapshotStore::Counters store;
+    PredictionCache::Counters pred;
+    PredictionStore::Counters predStore;
 };
 
 struct WorkerPoolResult

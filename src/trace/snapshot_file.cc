@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/file_util.hh"
+#include "common/lane_file.hh"
 #include "common/logging.hh"
 
 namespace percon {
@@ -75,43 +76,46 @@ struct SnapshotFileAccess
 
 namespace {
 
-constexpr std::size_t kAlign = 64;
 constexpr std::size_t kLaneCount = 7;
-constexpr std::size_t kDirOff = 96;
-constexpr std::size_t kKeyOff =
-    kDirOff + kLaneCount * 2 * sizeof(std::uint64_t);  // 208
 
-// Fixed header word offsets (bytes).
-constexpr std::size_t kOffEndian = 8;
-constexpr std::size_t kOffFileBytes = 16;
-constexpr std::size_t kOffKeyHash = 24;
-constexpr std::size_t kOffSize = 32;
-constexpr std::size_t kOffNumMem = 40;
-constexpr std::size_t kOffNumBranch = 48;
-constexpr std::size_t kOffPayloadOff = 56;
-constexpr std::size_t kOffPayloadBytes = 64;
-constexpr std::size_t kOffPayloadHash = 72;
-constexpr std::size_t kOffKeyLen = 80;
-constexpr std::size_t kOffLaneCount = 88;
-
-std::size_t
-alignUp(std::size_t v)
+/** PCSNAP01 as an instance of the generic container: 7 lanes, 3
+ *  geometry words {uop count, mem-op count, branch count}. With
+ *  these parameters the generic offsets land exactly on the original
+ *  hand-written layout (payload fields at 56..88, directory at 96,
+ *  key at 208), so files written before the generalization stay
+ *  readable and new files stay byte-identical. */
+const LaneFileLayout &
+snapshotLayout()
 {
-    return (v + kAlign - 1) / kAlign * kAlign;
+    static const LaneFileLayout layout = {kSnapshotFileMagic,
+                                          kLaneCount, 3};
+    return layout;
 }
 
-void
-putU64(std::string &buf, std::size_t off, std::uint64_t v)
+/** Geometry semantics for PCSNAP01: validate the counts against the
+ *  requested workload length and derive the expected lane sizes. */
+LaneGeometryCheck
+snapshotGeometryCheck(Count uops)
 {
-    std::memcpy(&buf[off], &v, sizeof v);
-}
-
-std::uint64_t
-getU64(const std::byte *base, std::size_t off)
-{
-    std::uint64_t v;
-    std::memcpy(&v, base + off, sizeof v);
-    return v;
+    return [uops](const std::uint64_t *geometry,
+                  std::size_t *expect) -> const char * {
+        std::uint64_t size = geometry[0];
+        std::uint64_t num_mem = geometry[1];
+        std::uint64_t num_branch = geometry[2];
+        if (size != uops)
+            return "uop count mismatch";
+        if (num_mem > size || num_branch > size)
+            return "implausible ordinal counts";
+        expect[0] = static_cast<std::size_t>(size) * sizeof(Addr);
+        expect[1] = static_cast<std::size_t>(num_mem) * sizeof(Addr);
+        expect[2] = static_cast<std::size_t>(num_branch) * sizeof(Addr);
+        expect[3] = static_cast<std::size_t>((num_branch + 63) / 64) *
+                    sizeof(std::uint64_t);
+        expect[4] = static_cast<std::size_t>(size) * sizeof(std::uint16_t);
+        expect[5] = static_cast<std::size_t>(size) * sizeof(std::uint16_t);
+        expect[6] = static_cast<std::size_t>(size) * sizeof(std::uint8_t);
+        return nullptr;
+    };
 }
 
 } // namespace
@@ -122,131 +126,16 @@ serializeSnapshot(const TraceSnapshot &snap)
     auto lanes = SnapshotFileAccess::lanes(snap);
     std::string key = programKey(snap.params());
 
-    // Lay the lanes out 64-byte aligned after the header + key.
-    std::uint64_t dir[kLaneCount][2];
-    std::size_t payload_off = alignUp(kKeyOff + key.size());
-    std::size_t cursor = payload_off;
-    for (std::size_t i = 0; i < kLaneCount; ++i) {
-        cursor = alignUp(cursor);
-        dir[i][0] = cursor;
-        dir[i][1] = lanes[i].bytes;
-        cursor += lanes[i].bytes;
-    }
-    std::size_t total = cursor;
-
-    std::string buf(total, '\0');
-    std::memcpy(&buf[0], kSnapshotFileMagic, sizeof kSnapshotFileMagic);
-    putU64(buf, kOffEndian, kSnapshotEndianTag);
-    putU64(buf, kOffFileBytes, total);
-    putU64(buf, kOffKeyHash, fnv1a64(key));
-    putU64(buf, kOffSize, SnapshotFileAccess::size(snap));
-    putU64(buf, kOffNumMem, SnapshotFileAccess::numMem(snap));
-    putU64(buf, kOffNumBranch, SnapshotFileAccess::numBranch(snap));
-    putU64(buf, kOffPayloadOff, payload_off);
-    putU64(buf, kOffPayloadBytes, total - payload_off);
-    putU64(buf, kOffKeyLen, key.size());
-    putU64(buf, kOffLaneCount, kLaneCount);
-    for (std::size_t i = 0; i < kLaneCount; ++i) {
-        putU64(buf, kDirOff + i * 16, dir[i][0]);
-        putU64(buf, kDirOff + i * 16 + 8, dir[i][1]);
-    }
-    std::memcpy(&buf[kKeyOff], key.data(), key.size());
+    std::uint64_t geometry[3] = {
+        SnapshotFileAccess::size(snap),
+        SnapshotFileAccess::numMem(snap),
+        SnapshotFileAccess::numBranch(snap),
+    };
+    LaneView views[kLaneCount];
     for (std::size_t i = 0; i < kLaneCount; ++i)
-        if (lanes[i].bytes)
-            std::memcpy(&buf[dir[i][0]], lanes[i].data,
-                        lanes[i].bytes);
-    putU64(buf, kOffPayloadHash,
-           fnv1a64(buf.data() + payload_off, total - payload_off));
-    return buf;
+        views[i] = {lanes[i].data, lanes[i].bytes};
+    return serializeLaneFile(snapshotLayout(), key, geometry, views);
 }
-
-namespace {
-
-/**
- * Shared validation walk over a mapped file. Fills @p dir and the
- * geometry outputs; returns false with *why set on the first failed
- * check. @p check_payload controls whether the (full-scan) payload
- * hash is verified.
- */
-bool
-validateImage(const std::byte *base, std::size_t file_bytes,
-              const ProgramParams &params, Count uops,
-              bool check_payload, std::uint64_t (*dir)[2],
-              Count *size, Count *num_mem, Count *num_branch,
-              std::size_t *lane_bytes, std::string *why)
-{
-    auto fail = [why](const char *msg) {
-        if (why)
-            *why = msg;
-        return false;
-    };
-    if (file_bytes < kKeyOff)
-        return fail("file shorter than the fixed header");
-    if (std::memcmp(base, kSnapshotFileMagic,
-                    sizeof kSnapshotFileMagic) != 0)
-        return fail("bad magic / format version");
-    if (getU64(base, kOffEndian) != kSnapshotEndianTag)
-        return fail("foreign byte order");
-    if (getU64(base, kOffFileBytes) != file_bytes)
-        return fail("declared size != file size (truncated?)");
-    if (getU64(base, kOffLaneCount) != kLaneCount)
-        return fail("unexpected lane count");
-
-    std::string key = programKey(params);
-    if (getU64(base, kOffKeyHash) != fnv1a64(key))
-        return fail("params key hash mismatch");
-    std::uint64_t key_len = getU64(base, kOffKeyLen);
-    if (key_len != key.size() || kKeyOff + key_len > file_bytes ||
-        std::memcmp(base + kKeyOff, key.data(), key.size()) != 0)
-        return fail("params key mismatch");
-
-    *size = getU64(base, kOffSize);
-    *num_mem = getU64(base, kOffNumMem);
-    *num_branch = getU64(base, kOffNumBranch);
-    if (*size != uops)
-        return fail("uop count mismatch");
-    if (*num_mem > *size || *num_branch > *size)
-        return fail("implausible ordinal counts");
-
-    std::uint64_t payload_off = getU64(base, kOffPayloadOff);
-    std::uint64_t payload_bytes = getU64(base, kOffPayloadBytes);
-    if (payload_off % kAlign != 0 || payload_off < kKeyOff + key_len ||
-        payload_off > file_bytes ||
-        payload_bytes != file_bytes - payload_off)
-        return fail("bad payload extent");
-
-    std::size_t expect[kLaneCount] = {
-        static_cast<std::size_t>(*size) * sizeof(Addr),
-        static_cast<std::size_t>(*num_mem) * sizeof(Addr),
-        static_cast<std::size_t>(*num_branch) * sizeof(Addr),
-        static_cast<std::size_t>((*num_branch + 63) / 64) *
-            sizeof(std::uint64_t),
-        static_cast<std::size_t>(*size) * sizeof(std::uint16_t),
-        static_cast<std::size_t>(*size) * sizeof(std::uint16_t),
-        static_cast<std::size_t>(*size) * sizeof(std::uint8_t),
-    };
-    std::size_t total_lanes = 0;
-    for (std::size_t i = 0; i < kLaneCount; ++i) {
-        dir[i][0] = getU64(base, kDirOff + i * 16);
-        dir[i][1] = getU64(base, kDirOff + i * 16 + 8);
-        if (dir[i][1] != expect[i])
-            return fail("lane size does not match geometry");
-        if (dir[i][0] % kAlign != 0 || dir[i][0] < payload_off ||
-            dir[i][0] > file_bytes || dir[i][1] > file_bytes - dir[i][0])
-            return fail("lane extent outside the file");
-        total_lanes += expect[i];
-    }
-
-    if (check_payload &&
-        getU64(base, kOffPayloadHash) !=
-            fnv1a64(base + payload_off, payload_bytes))
-        return fail("payload hash mismatch (corrupt file)");
-
-    *lane_bytes = total_lanes;
-    return true;
-}
-
-} // namespace
 
 std::shared_ptr<const TraceSnapshot>
 openSnapshotFile(const std::string &path, const ProgramParams &params,
@@ -257,17 +146,19 @@ openSnapshotFile(const std::string &path, const ProgramParams &params,
         return nullptr;
 
     std::uint64_t dir[kLaneCount][2];
-    Count size = 0, num_mem = 0, num_branch = 0;
+    std::uint64_t geometry[3] = {};
     std::size_t lane_bytes = 0;
-    if (!validateImage(map->data(), map->size(), params, uops,
-                       /*check_payload=*/true, dir, &size, &num_mem,
-                       &num_branch, &lane_bytes, why))
+    if (!validateLaneImage(map->data(), map->size(), snapshotLayout(),
+                           programKey(params),
+                           snapshotGeometryCheck(uops),
+                           /*check_payload=*/true, dir, geometry,
+                           &lane_bytes, why))
         return nullptr;
 
     const std::byte *base = map->data();
     return SnapshotFileAccess::makeBorrowed(
-        params, size, num_mem, num_branch, base, dir, lane_bytes,
-        std::shared_ptr<const void>(map, map->data()));
+        params, geometry[0], geometry[1], geometry[2], base, dir,
+        lane_bytes, std::shared_ptr<const void>(map, map->data()));
 }
 
 bool
@@ -278,11 +169,13 @@ probeSnapshotFile(const std::string &path, const ProgramParams &params,
     if (!map.open(path))
         return false;
     std::uint64_t dir[kLaneCount][2];
-    Count size = 0, num_mem = 0, num_branch = 0;
+    std::uint64_t geometry[3] = {};
     std::size_t lane_bytes = 0;
-    return validateImage(map.data(), map.size(), params, uops,
-                         /*check_payload=*/false, dir, &size, &num_mem,
-                         &num_branch, &lane_bytes, nullptr);
+    return validateLaneImage(map.data(), map.size(), snapshotLayout(),
+                             programKey(params),
+                             snapshotGeometryCheck(uops),
+                             /*check_payload=*/false, dir, geometry,
+                             &lane_bytes, nullptr);
 }
 
 } // namespace percon

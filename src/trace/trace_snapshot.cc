@@ -86,6 +86,38 @@ TraceSnapshot::build(const ProgramParams &params, Count uops)
     return snap;
 }
 
+const TraceSnapshot::BranchWarmIndex &
+TraceSnapshot::branchWarmIndex() const
+{
+    std::call_once(warmIndexOnce_, [this] {
+        auto uop_pos = std::make_unique<Count[]>(
+            numBranch_ ? numBranch_ : 1);
+        auto mem_ord = std::make_unique<Count[]>(
+            numBranch_ ? numBranch_ : 1);
+        Count mem = 0;
+        Count b = 0;
+        for (Count i = 0; i < size_; ++i) {
+            const auto cls = static_cast<UopClass>(clsLane_[i]);
+            if (cls == UopClass::Branch) {
+                uop_pos[b] = i;
+                mem_ord[b] = mem;
+                ++b;
+            } else if (cls == UopClass::Load ||
+                       cls == UopClass::Store) {
+                ++mem;
+            }
+        }
+        PERCON_ASSERT(b == numBranch_,
+                      "class lane disagrees with the branch count "
+                      "(%llu vs %llu)",
+                      static_cast<unsigned long long>(b),
+                      static_cast<unsigned long long>(numBranch_));
+        warmIndex_.uopPos = std::move(uop_pos);
+        warmIndex_.memOrd = std::move(mem_ord);
+    });
+    return warmIndex_;
+}
+
 MicroOp
 TraceSnapshot::at(Count i, Count mem_ordinal, Count branch_ordinal) const
 {

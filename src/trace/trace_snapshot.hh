@@ -34,8 +34,10 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "trace/program_model.hh"
 #include "trace/uop.hh"
@@ -84,6 +86,24 @@ class TraceSnapshot
      *  a scan and is for tests only. */
     MicroOp at(Count i, Count mem_ordinal, Count branch_ordinal) const;
 
+    /**
+     * Derived per-branch index backing the branch-directed
+     * functional-warm fast path (SnapshotCursor::warmBranches): for
+     * branch ordinal b, the uop index it sits at and the memory
+     * ordinal in force there. Built lazily with one class-lane scan
+     * on first use and shared by every cursor thereafter; borrowed
+     * (mmap'd) snapshots build it per process — the on-disk format
+     * is untouched.
+     */
+    struct BranchWarmIndex
+    {
+        std::unique_ptr<Count[]> uopPos; ///< [numBranch]
+        /** Memory ordinal at uop index uopPos[b] (branches consume
+         *  no memory ordinal, so this also holds just after it). */
+        std::unique_ptr<Count[]> memOrd; ///< [numBranch]
+    };
+    const BranchWarmIndex &branchWarmIndex() const;
+
   private:
     friend class SnapshotCursor;
     friend struct SnapshotFileAccess;
@@ -103,6 +123,9 @@ class TraceSnapshot
 
     /** Keep-alive for borrowed lanes (the mmap'd store file). */
     std::shared_ptr<const void> backing_;
+
+    mutable std::once_flag warmIndexOnce_;
+    mutable BranchWarmIndex warmIndex_;
 
     const Addr *pcLane_ = nullptr;            ///< [size_]
     const Addr *memAddrLane_ = nullptr;       ///< [numMem_]
@@ -164,6 +187,61 @@ class SnapshotCursor final : public WorkloadSource
         }
         ++pos_;
         return u;
+    }
+
+    /** Uops left before the packed snapshot is exhausted and next()
+     *  would fall back to the live tail. */
+    Count
+    snapshotRemaining() const
+    {
+        return pos_ < snap_->size_ ? snap_->size_ - pos_ : 0;
+    }
+
+    /**
+     * Branch-directed bulk advance for functional warming: invoke
+     * @p fn(pc, taken, target) for every branch among the next
+     * @p uops uops, then land the cursor exactly where @p uops
+     * nextFast() calls would have left it (same uop index, same
+     * memory and branch ordinals). Functional warm only ever reads
+     * branch uops, so this costs O(branches) index walks plus one
+     * bounded class-lane scan for the trailing branch-free gap,
+     * instead of O(uops) full uop reconstructions. @p uops must not
+     * run past the packed snapshot (see snapshotRemaining()).
+     */
+    template <typename Fn>
+    void
+    warmBranches(Count uops, Fn &&fn)
+    {
+        const TraceSnapshot &s = *snap_;
+        PERCON_ASSERT(uops <= snapshotRemaining(),
+                      "warmBranches(%llu) runs past the snapshot "
+                      "(remaining %llu)",
+                      static_cast<unsigned long long>(uops),
+                      static_cast<unsigned long long>(
+                          snapshotRemaining()));
+        const TraceSnapshot::BranchWarmIndex &ix = s.branchWarmIndex();
+        const Count end = pos_ + uops;
+        Count covered = pos_;    // class-lane scan resumes here
+        Count mem = memPos_;
+        while (brPos_ < s.numBranch_ && ix.uopPos[brPos_] < end) {
+            const Count p = ix.uopPos[brPos_];
+            const bool taken =
+                (s.takenBits_[brPos_ >> 6] >> (brPos_ & 63)) & 1;
+            fn(s.pcLane_[p], taken, s.targetLane_[brPos_]);
+            mem = ix.memOrd[brPos_];
+            covered = p + 1;
+            ++brPos_;
+        }
+        // Memory ordinal at `end`: pinned by the index at the last
+        // branch, counted off the class lane for the short
+        // branch-free tail.
+        for (Count i = covered; i < end; ++i) {
+            const auto cls = static_cast<UopClass>(s.clsLane_[i]);
+            if (cls == UopClass::Load || cls == UopClass::Store)
+                ++mem;
+        }
+        memPos_ = mem;
+        pos_ = end;
     }
 
     /** Restart replay from uop 0 (e.g. to reuse a cursor across

@@ -237,8 +237,7 @@ PipelineEngine::retire(unsigned tid)
                 else
                     ++s.reversalsBad;
             }
-            predictor_.update(u.pc, u.ghrSnapshot, u.actualTaken,
-                              u.meta);
+            archTrain(u.pc, u.ghrSnapshot, u.actualTaken, u.meta);
             if (estimator_) {
                 s.confidence.record(misp_orig, u.conf.low);
                 estimator_->train(u.pc, u.ghrSnapshot, u.predTaken,
@@ -393,7 +392,7 @@ PipelineEngine::fetchOne(unsigned tid)
     bool conf_pending = false;
     if (u.isBranch()) {
         u.ghrSnapshot = t.history.bits();
-        u.predTaken = predictor_.predict(u.pc, u.ghrSnapshot, u.meta);
+        u.predTaken = archPredict(u.pc, u.ghrSnapshot, u.meta);
         if (estimator_)
             u.conf = estimator_->estimate(u.pc, u.ghrSnapshot,
                                           u.predTaken);
@@ -410,13 +409,12 @@ PipelineEngine::fetchOne(unsigned tid)
         // Redirecting fetch to the taken target needs the target:
         // a BTB miss costs a decode bubble and fills the entry.
         if (config_.btbEnabled && u.finalPred) {
-            if (!btb_.lookup(u.pc)) {
+            if (!archBtbProbeFill(u.pc, mu.target)) {
                 ++t.stats.btbMisses;
                 Cycle until = now_ + config_.btbMissPenalty;
                 if (until > t.btbStallUntil)
                     t.btbStallUntil = until;
                 stall_after = true;
-                btb_.update(u.pc, mu.target);
             }
         }
 
@@ -768,37 +766,51 @@ PipelineEngine::functionalWarm(Count uops)
                   "functional warm needs an empty pipeline "
                   "(drain() first)");
 
-    for (Count n = 0; n < uops; ++n) {
+    // The architectural prediction/training cycle, compressed:
+    // predict with the prediction-time history, probe/fill the BTB
+    // for the predicted direction, train predictor and estimator
+    // immediately with the actual outcome, shift the outcome into
+    // the history. No reversal and no gating — policy must not leak
+    // into state shared across policy points (see the header
+    // comment).
+    auto warm_branch = [&](Addr pc, bool taken, Addr target) {
+        std::uint64_t ghr = t.history.bits();
+        PredMeta meta;
+        bool pred = archPredict(pc, ghr, meta);
+        ConfidenceInfo conf;
+        if (estimator_)
+            conf = estimator_->estimate(pc, ghr, pred);
+
+        if (config_.btbEnabled && pred)
+            archBtbProbeFill(pc, target);
+
+        bool misp = pred != taken;
+        archTrain(pc, ghr, taken, meta);
+        if (estimator_) {
+            estimator_->train(pc, ghr, pred, misp, conf);
+        }
+        t.history.push(taken);
+    };
+
+    // Only branch uops carry architectural warm state, so a snapshot
+    // cursor serves the covered extent branch-directed — O(branches)
+    // instead of O(uops) — and only the rare live-generated tail
+    // walks uop by uop.
+    Count remaining = uops;
+    if (t.snapCursor) {
+        Count bulk = std::min(remaining,
+                              t.snapCursor->snapshotRemaining());
+        if (bulk > 0) {
+            t.snapCursor->warmBranches(bulk, warm_branch);
+            remaining -= bulk;
+        }
+    }
+    for (Count n = 0; n < remaining; ++n) {
         MicroOp mu = t.snapCursor ? t.snapCursor->nextFast()
                                   : t.binding.workload->next();
         if (mu.cls != UopClass::Branch)
             continue;
-
-        // The architectural prediction/training cycle, compressed:
-        // predict with the prediction-time history, probe/fill the
-        // BTB for the predicted direction, train predictor and
-        // estimator immediately with the actual outcome, shift the
-        // outcome into the history. No reversal and no gating —
-        // policy must not leak into state shared across policy
-        // points (see the header comment).
-        std::uint64_t ghr = t.history.bits();
-        PredMeta meta;
-        bool pred = predictor_.predict(mu.pc, ghr, meta);
-        ConfidenceInfo conf;
-        if (estimator_)
-            conf = estimator_->estimate(mu.pc, ghr, pred);
-
-        if (config_.btbEnabled && pred) {
-            if (!btb_.lookup(mu.pc))
-                btb_.update(mu.pc, mu.target);
-        }
-
-        bool misp = pred != mu.taken;
-        predictor_.update(mu.pc, ghr, mu.taken, meta);
-        if (estimator_) {
-            estimator_->train(mu.pc, ghr, pred, misp, conf);
-        }
-        t.history.push(mu.taken);
+        warm_branch(mu.pc, mu.taken, mu.target);
     }
 
     Count credited = uops;

@@ -65,6 +65,8 @@
 
 #include "bpred/branch_predictor.hh"
 #include "bpred/btb.hh"
+#include "bpred/prediction_trace.hh"
+#include "common/logging.hh"
 #include "confidence/confidence_estimator.hh"
 #include "memory/cache.hh"
 #include "memory/hierarchy.hh"
@@ -286,6 +288,50 @@ class PipelineEngine
         return threads_[tid].snapCursor != nullptr;
     }
 
+    /**
+     * Attach a prediction-stream recorder (null detaches). The run
+     * stays fully live — the recorder only observes: every
+     * predictor_.predict() outcome and BTB probe result is appended
+     * to @p recorder in engine call order (correct path and wrong
+     * path interleaved; an SMT engine's shared predictor serializes
+     * all threads into one stream). Attaching a recorder never
+     * changes simulation results. Mutually exclusive with replay.
+     */
+    void
+    setPredictionRecorder(PredictionTraceBuilder *recorder)
+    {
+        PERCON_ASSERT(!recorder || !predReplay_,
+                      "cannot record and replay predictions at once");
+        predRecord_ = recorder;
+    }
+
+    /**
+     * Attach a recorded prediction stream for replay (null
+     * detaches); resets the replay cursors to the stream start. A
+     * replaying engine substitutes the recorded direction bit for
+     * predictor_.predict() at fetch, the recorded hit bit for the
+     * BTB probe/fill, and skips predictor_.update() at retire — the
+     * speculative history and the confidence estimator (the swept
+     * component) stay fully live, which is what makes replay
+     * bit-identical to the recording run. The stream must have been
+     * recorded under the exact same run shape (see
+     * core/prediction_key.hh); running past its end is a checked
+     * panic, not silent misprediction.
+     */
+    void
+    setPredictionReplay(std::shared_ptr<const PredictionTrace> trace)
+    {
+        PERCON_ASSERT(!trace || !predRecord_,
+                      "cannot record and replay predictions at once");
+        predReplay_ = std::move(trace);
+        predPos_ = 0;
+        btbPos_ = 0;
+    }
+
+    /** True when the engine substitutes recorded prediction bits for
+     *  live predictor work. */
+    bool usesPredictionReplay() const { return predReplay_ != nullptr; }
+
     /** True when ROB/load/store buffers are a shared pool
      *  (Tullsen-style SMT) rather than static per-thread partitions
      *  (Pentium-4 HT style). Shared pools let one thread's
@@ -365,6 +411,63 @@ class PipelineEngine
     Cycle sourceReady(const ThreadContext &t,
                       const InflightUop &uop) const;
 
+    // The architectural predict / probe-BTB / train cycle, written
+    // exactly once. The timed fetch path (fetchOne) and the
+    // functional-warm fast-forward both go through these helpers, so
+    // the two paths can no longer drift and the prediction-stream
+    // record/replay tier has a single interposition point.
+
+    /** Predict a branch: recorded replay bit, or live
+     *  predictor_.predict() (observed by the recorder when one is
+     *  attached). */
+    bool
+    archPredict(Addr pc, std::uint64_t ghr, PredMeta &meta)
+    {
+        if (predReplay_) {
+            PERCON_ASSERT(predPos_ < predReplay_->numPredCalls(),
+                          "prediction replay overrun at call %llu "
+                          "(stream recorded under a different run "
+                          "shape?)",
+                          static_cast<unsigned long long>(predPos_));
+            return predReplay_->predTaken(predPos_++);
+        }
+        bool taken = predictor_.predict(pc, ghr, meta);
+        if (predRecord_)
+            predRecord_->recordPred(taken);
+        return taken;
+    }
+
+    /** Probe the BTB for a predicted-taken branch, filling the entry
+     *  on a miss; @return the hit/miss outcome (replayed from the
+     *  recorded stream when one is attached). */
+    bool
+    archBtbProbeFill(Addr pc, Addr target)
+    {
+        if (predReplay_) {
+            PERCON_ASSERT(btbPos_ < predReplay_->numBtbProbes(),
+                          "BTB replay overrun at probe %llu",
+                          static_cast<unsigned long long>(btbPos_));
+            return predReplay_->btbHit(btbPos_++);
+        }
+        bool hit = btb_.lookup(pc).has_value();
+        if (!hit)
+            btb_.update(pc, target);
+        if (predRecord_)
+            predRecord_->recordBtb(hit);
+        return hit;
+    }
+
+    /** Train the predictor with the architectural outcome; a no-op
+     *  under replay (the recorded stream already reflects every
+     *  training update the live run made). */
+    void
+    archTrain(Addr pc, std::uint64_t ghr, bool taken,
+              const PredMeta &meta)
+    {
+        if (!predReplay_)
+            predictor_.update(pc, ghr, taken, meta);
+    }
+
     /** Fetch-eligibility check with Core's attribution order
      *  (pipe-full, then stall deadlines with trace-cache priority,
      *  then gating): returns the thread's effective fetch width for
@@ -414,6 +517,18 @@ class PipelineEngine
     unsigned loadBufLimitPerThread_;
     unsigned storeBufLimitPerThread_;
     unsigned dispatchBudget_;
+    // prediction-stream snapshot tier --------------------------------
+    /** Observer appending the live prediction stream; never alters
+     *  the run. Null when not recording. */
+    PredictionTraceBuilder *predRecord_ = nullptr;
+    /** Recorded stream substituted for live predictor/BTB work; null
+     *  when running live. */
+    std::shared_ptr<const PredictionTrace> predReplay_;
+    /** Replay cursors (predict calls and BTB probes advance on
+     *  separate ordinals). */
+    Count predPos_ = 0;
+    Count btbPos_ = 0;
+
     bool skipIdleCycles_ = true;
     /** False only inside drain(): cycleOnce() skips fetch. */
     bool fetchEnabled_ = true;

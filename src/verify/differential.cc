@@ -123,11 +123,15 @@ runDifferential(const DiffCase &c)
         r.oracle = oracle.stats();
     }
 
-    {
-        // The oracle above always generates live; feeding the
-        // production core from a cursor makes the diff a direct
-        // replay-vs-generation equivalence check on top of the
-        // core-vs-core one.
+    // The oracle above always generates live; feeding the
+    // production core from a cursor makes the diff a direct
+    // replay-vs-generation equivalence check on top of the
+    // core-vs-core one. With predSnapshot the production stack is
+    // built twice — a live run records the prediction stream, then a
+    // fresh stack replays it and is the one reported/diffed.
+    auto run_production = [&](PredictionTraceBuilder *pred_rec,
+                              std::shared_ptr<const PredictionTrace>
+                                  pred_replay) {
         std::unique_ptr<WorkloadSource> source;
         if (c.traceSnapshot) {
             Count len =
@@ -145,6 +149,10 @@ runDifferential(const DiffCase &c)
             build_estimator();
         Core core(c.config, *source, wrong_path, *predictor,
                   estimator.get(), c.spec);
+        if (pred_rec)
+            core.setPredictionRecorder(pred_rec);
+        if (pred_replay)
+            core.setPredictionReplay(std::move(pred_replay));
         InvariantAuditor auditor;
         core.setAuditor(&auditor);
         core.setTestFastForwardDefect(c.injectDefect);
@@ -153,6 +161,14 @@ runDifferential(const DiffCase &c)
         core.run(c.measureUops);
         r.core = core.stats();
         r.audit = auditor.report();
+    };
+
+    if (c.predSnapshot) {
+        PredictionTraceBuilder rec;
+        run_production(&rec, nullptr);
+        run_production(nullptr, rec.finish("differential:" + c.name));
+    } else {
+        run_production(nullptr, nullptr);
     }
 
     r.diffs = diffStats(r.oracle, r.core);

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bpred/prediction_trace.hh"
 #include "confidence/confidence_estimator.hh"
 #include "trace/program_model.hh"
 #include "trace/trace_snapshot.hh"
@@ -62,6 +63,16 @@ struct DiffCase
      *  Defaults to the process-wide snapshot setting so the whole
      *  differential suite exercises whichever mode is active. */
     bool traceSnapshot = traceSnapshotDefault();
+
+    /** Run the production side with the prediction-stream tier: a
+     *  first live production run records the predictor/BTB outcome
+     *  stream, then a completely fresh production stack replays it.
+     *  The REPLAY run's stats are reported as DiffResult::core, so
+     *  the diff directly proves replayed prediction streams are
+     *  bit-identical to the oracle. Defaults to the process-wide
+     *  prediction-snapshot setting (PERCON_PRED_SNAPSHOT), matching
+     *  how traceSnapshot picks up its env default. */
+    bool predSnapshot = predSnapshotDefault();
 };
 
 /** One diverging CoreStats counter. */

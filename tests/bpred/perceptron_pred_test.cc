@@ -7,6 +7,7 @@
 
 #include <sstream>
 
+#include "bpred/factory.hh"
 #include "bpred/perceptron_pred.hh"
 #include "common/rng.hh"
 
@@ -105,6 +106,21 @@ TEST(PerceptronPred, MetaCarriesOutput)
     PredMeta m;
     p.predict(0x6000, 0x12, m);
     EXPECT_EQ(m.perceptronOut, p.output(0x6000, 0x12));
+}
+
+TEST(PerceptronPred, FactoryParsesExplicitHistoryLength)
+{
+    // "perceptron-hN" selects the history length; bare "perceptron"
+    // stays the paper's h=32 default.
+    auto h32 = makePredictor("perceptron");
+    auto h48 = makePredictor("perceptron-h48");
+    auto h63 = makePredictor("perceptron-h63");
+    EXPECT_EQ(dynamic_cast<PerceptronPredictor &>(*h32).historyBits(),
+              32u);
+    EXPECT_EQ(dynamic_cast<PerceptronPredictor &>(*h48).historyBits(),
+              48u);
+    EXPECT_EQ(dynamic_cast<PerceptronPredictor &>(*h63).historyBits(),
+              63u);
 }
 
 TEST(PerceptronPred, StorageReportsConfiguredWeightBits)

@@ -32,6 +32,7 @@
 #include "core/timing_sim.hh"
 #include "core/warm_checkpoint.hh"
 #include "driver/checkpoint_cache.hh"
+#include "driver/prediction_cache.hh"
 #include "trace/benchmarks.hh"
 #include "trace/wrongpath.hh"
 #include "uarch/core.hh"
@@ -191,6 +192,47 @@ TEST(WarmCheckpoint, RoundTripMatchesStraightRunAcrossGoldenMatrix)
                          what + " (restored)");
         EXPECT_EQ(cache.counters().misses, 1u) << what;
         EXPECT_EQ(cache.counters().hits, 1u) << what;
+    }
+}
+
+// The prediction tier and the warm-checkpoint tier interact: a
+// checkpoint hit would skip the functional warm and desynchronize
+// the replay cursor, so runTiming bypasses checkpoints whenever the
+// prediction tier is active (recording or replaying). Both pred-tier
+// runs must stay bit-identical to the straight sampled run and must
+// report checkpoint "off" even with checkpointing requested.
+TEST(WarmCheckpoint, PredictionTierBypassesCheckpointsBitIdentically)
+{
+    for (const MatrixConfig &mc : kMatrix) {
+        std::string what = std::string(mc.bench) + "/" + mc.machine +
+                           "/" + mc.policy + " (pred)";
+        TimingResult straight = runMatrixPoint(mc, sampledConfig());
+
+        CheckpointCache ckpt;
+        PredictionCache pred;
+        TimingConfig t = sampledConfig();
+        t.checkpointWarm = true;
+        t.checkpointStore = &ckpt;
+        t.predSnapshot = true;
+        t.predictionProvider = &pred;
+
+        TimingResult recorded = runMatrixPoint(mc, t);
+        EXPECT_EQ(recorded.predSnapshot, "miss") << what;
+        EXPECT_EQ(recorded.checkpoint, "off") << what;
+        TimingResult replayed = runMatrixPoint(mc, t);
+        EXPECT_EQ(replayed.predSnapshot, "hit") << what;
+        EXPECT_EQ(replayed.checkpoint, "off") << what;
+        EXPECT_EQ(replayed.audit, "clean") << what;
+
+        expectStatsEqual(straight.stats, recorded.stats,
+                         what + " (recorded)");
+        expectStatsEqual(straight.stats, replayed.stats,
+                         what + " (replayed)");
+        // The checkpoint tier must not have been consulted at all.
+        EXPECT_EQ(ckpt.counters().misses, 0u) << what;
+        EXPECT_EQ(ckpt.counters().hits, 0u) << what;
+        EXPECT_EQ(pred.counters().misses, 1u) << what;
+        EXPECT_EQ(pred.counters().hits, 1u) << what;
     }
 }
 

@@ -12,10 +12,12 @@
 #include <string>
 #include <vector>
 
+#include "confidence/factory.hh"
 #include "confidence/perceptron_conf.hh"
 #include "driver/build_id.hh"
 #include "driver/checkpoint_cache.hh"
 #include "driver/jsonl.hh"
+#include "driver/prediction_cache.hh"
 #include "driver/sweep_runner.hh"
 #include "driver/worker_pool.hh"
 
@@ -87,6 +89,44 @@ sampledSweep(CheckpointStore &store)
                     PerceptronConfParams{});
             },
             sc, t));
+    }
+    return points;
+}
+
+/** smallSweep's shape, but predictor-fixed with the prediction-stream
+ *  tier on: three ungated estimator points share one prediction key
+ *  (the policy=pure canonicalization), so one point records and the
+ *  others replay. */
+std::vector<SweepPoint>
+predSweep(PredictionCache &cache, bool pred_on = true)
+{
+    TimingConfig t;
+    t.warmupUops = 5'000;
+    t.measureUops = 15'000;
+    t.audit = true;
+    t.predSnapshot = pred_on;
+    t.predictionProvider = &cache;
+
+    std::vector<SweepPoint> points;
+    RunKey base;
+    base.benchmark = "gcc";
+    base.machine = "base20x4";
+    base.predictor = "bimodal-gshare";
+    for (const char *est : {"none", "perceptron-cic", "jrs"}) {
+        RunKey key = base;
+        if (std::string(est) != "none")
+            key.estimator = est;
+        key.params.emplace_back("est", est);
+        EstimatorFactory make = nullptr;
+        if (std::string(est) == "perceptron-cic")
+            make = [] {
+                return std::make_unique<PerceptronConfidence>(
+                    PerceptronConfParams{});
+            };
+        else if (std::string(est) != "none")
+            make = [est] { return makeEstimator(est); };
+        points.push_back(timingPoint(key, PipelineConfig::base20x4(),
+                                     make, SpeculationControl{}, t));
     }
     return points;
 }
@@ -238,4 +278,89 @@ TEST(JsonlStability, SampledRowsCarrySamplingFields)
     }
     EXPECT_EQ(cache.counters().misses, 1u);
     EXPECT_EQ(cache.counters().hits, 2u);
+}
+
+// With the prediction tier off (the default), every row pins the
+// field to its neutral value.
+TEST(JsonlStability, RowsCarryPredSnapshotOffByDefault)
+{
+    std::vector<RunRecord> recs = SweepRunner(1).run(smallSweep(true));
+    ASSERT_FALSE(recs.empty());
+    for (const RunRecord &rec : recs) {
+        EXPECT_EQ(rec.predSnapshot, "off");
+        EXPECT_NE(runRecordJson(rec).find("\"pred_snapshot\":\"off\""),
+                  std::string::npos);
+    }
+}
+
+// Prediction-tier sweeps must be byte-stable across repeats AND job
+// counts, which also pins the deterministic first-in-input-order
+// pred_snapshot miss/hit labels (thread scheduling decides who
+// actually records; the rows must not show it).
+TEST(JsonlStability, PredSnapshotSweepsEmitIdenticalBytes)
+{
+    auto render = [] {
+        PredictionCache cache;
+        return renderRecords(SweepRunner(1).run(predSweep(cache)));
+    };
+    auto render3 = [] {
+        PredictionCache cache;
+        return renderRecords(SweepRunner(3).run(predSweep(cache)));
+    };
+    std::string first = render();
+    EXPECT_EQ(first, render());
+    EXPECT_EQ(first, render3());
+}
+
+TEST(JsonlStability, PredSnapshotRowsCarryMissHitLabels)
+{
+    PredictionCache cache;
+    std::vector<RunRecord> recs = SweepRunner(2).run(predSweep(cache));
+    ASSERT_EQ(recs.size(), 3u);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        const RunRecord &rec = recs[i];
+        EXPECT_EQ(rec.audit, "clean") << rec.key.canonical();
+        // All three ungated points share one prediction key (the
+        // policy=pure canonicalization); the first in input order is
+        // labelled the recorder.
+        EXPECT_EQ(rec.predSnapshot, i == 0 ? "miss" : "hit")
+            << rec.key.canonical();
+        std::string json = runRecordJson(rec);
+        EXPECT_NE(json.find(i == 0 ? "\"pred_snapshot\":\"miss\""
+                                   : "\"pred_snapshot\":\"hit\""),
+                  std::string::npos);
+    }
+    // Exactly one recording; everyone else replayed it.
+    EXPECT_EQ(cache.counters().misses, 1u);
+    EXPECT_EQ(cache.counters().hits, 2u);
+    EXPECT_EQ(cache.counters().recorded, 1u);
+}
+
+// Prediction replay must not change a single stat byte relative to
+// the same sweep run fully live: after erasing the pred_snapshot
+// label (the only field allowed to differ besides wall time), the
+// on/off blobs must be identical.
+TEST(JsonlStability, PredSnapshotDoesNotChangeStatBytes)
+{
+    auto stripLabel = [](std::string blob) {
+        for (const char *label :
+             {"\"pred_snapshot\":\"off\"", "\"pred_snapshot\":\"miss\"",
+              "\"pred_snapshot\":\"hit\""}) {
+            for (std::size_t pos;
+                 (pos = blob.find(label)) != std::string::npos;)
+                blob.replace(pos, std::string(label).size(),
+                             "\"pred_snapshot\":\"X\"");
+        }
+        return blob;
+    };
+    PredictionCache on_cache;
+    std::string on =
+        renderRecords(SweepRunner(1).run(predSweep(on_cache)));
+    PredictionCache off_cache;
+    std::vector<SweepPoint> off_points = predSweep(off_cache, false);
+    std::string off = renderRecords(SweepRunner(1).run(off_points));
+    EXPECT_EQ(on_cache.counters().misses, 1u);
+    EXPECT_EQ(off_cache.counters().misses, 0u)
+        << "pred-off points must not touch the cache";
+    EXPECT_EQ(stripLabel(std::move(on)), stripLabel(std::move(off)));
 }

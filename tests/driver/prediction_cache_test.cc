@@ -1,0 +1,213 @@
+/**
+ * @file
+ * PredictionCache tests: the acquire/publish/abandon lease protocol,
+ * memoized sharing across callers and threads, the persistent store
+ * tier (record once per machine, mmap thereafter), and the
+ * no-poisoning guarantee after an abandoned recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "driver/prediction_cache.hh"
+#include "driver/prediction_store.hh"
+
+namespace percon {
+namespace {
+
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/percon-predcache-XXXXXX";
+    const char *dir = ::mkdtemp(tmpl);
+    EXPECT_NE(dir, nullptr);
+    return dir;
+}
+
+std::shared_ptr<const PredictionTrace>
+buildTrace(const std::string &key, Count preds = 321, Count btbs = 77)
+{
+    PredictionTraceBuilder b;
+    Rng rng(0xfeedULL);
+    for (Count i = 0; i < preds; ++i)
+        b.recordPred(rng.nextBernoulli(0.5));
+    for (Count i = 0; i < btbs; ++i)
+        b.recordBtb(rng.nextBernoulli(0.9));
+    return b.finish(key);
+}
+
+TEST(PredictionCache, FirstAcquireRecordsLaterOnesReplay)
+{
+    PredictionCache cache;
+    auto first = cache.acquire("k1");
+    EXPECT_TRUE(first.recording);
+    EXPECT_EQ(first.trace, nullptr);
+
+    auto trace = buildTrace("k1");
+    cache.publish("k1", trace);
+
+    auto second = cache.acquire("k1");
+    EXPECT_FALSE(second.recording);
+    EXPECT_EQ(second.trace, trace) << "memo must share one stream";
+
+    auto c = cache.counters();
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.hits, 1u);
+    EXPECT_EQ(c.recorded, 1u);
+    EXPECT_GT(c.recordedBytes, 0u);
+}
+
+TEST(PredictionCache, DistinctKeysRecordSeparately)
+{
+    PredictionCache cache;
+    EXPECT_TRUE(cache.acquire("a").recording);
+    EXPECT_TRUE(cache.acquire("b").recording);
+    cache.publish("a", buildTrace("a"));
+    cache.publish("b", buildTrace("b"));
+    EXPECT_EQ(cache.acquire("a").trace->key(), "a");
+    EXPECT_EQ(cache.acquire("b").trace->key(), "b");
+    EXPECT_EQ(cache.counters().misses, 2u);
+}
+
+TEST(PredictionCache, WaitersBlockUntilThePublisherFinishes)
+{
+    PredictionCache cache;
+    auto lease = cache.acquire("shared");
+    ASSERT_TRUE(lease.recording);
+
+    // Concurrent acquires for the same key must block on the shared
+    // future and then all see the published stream.
+    std::vector<std::thread> waiters;
+    std::vector<std::shared_ptr<const PredictionTrace>> got(4);
+    for (int i = 0; i < 4; ++i)
+        waiters.emplace_back([&cache, &got, i] {
+            auto l = cache.acquire("shared");
+            got[static_cast<std::size_t>(i)] = l.trace;
+        });
+
+    auto trace = buildTrace("shared");
+    cache.publish("shared", trace);
+    for (auto &t : waiters)
+        t.join();
+    for (const auto &g : got)
+        EXPECT_EQ(g, trace);
+    EXPECT_EQ(cache.counters().hits, 4u);
+}
+
+TEST(PredictionCache, AbandonDoesNotPoisonTheKey)
+{
+    PredictionCache cache;
+    ASSERT_TRUE(cache.acquire("k").recording);
+    cache.abandon("k");
+    EXPECT_EQ(cache.counters().abandoned, 1u);
+
+    // The next acquire must become a fresh recorder, and a publish
+    // then works normally.
+    auto retry = cache.acquire("k");
+    EXPECT_TRUE(retry.recording);
+    cache.publish("k", buildTrace("k"));
+    EXPECT_NE(cache.acquire("k").trace, nullptr);
+}
+
+TEST(PredictionCache, WaiterOfAnAbandonedRecordingFallsBackToLive)
+{
+    PredictionCache cache;
+    ASSERT_TRUE(cache.acquire("k").recording);
+
+    std::thread waiter([&cache] {
+        auto l = cache.acquire("k");
+        // Never a stream. Depending on whether this acquire lands
+        // before or after the abandon, the waiter either sees the
+        // failed future (runs fully live, not recording) or finds
+        // the erased key and becomes the fresh recorder — both are
+        // the no-poisoning contract. A surprise recorder must end
+        // its lease.
+        EXPECT_EQ(l.trace, nullptr);
+        if (l.recording)
+            cache.abandon("k");
+    });
+    cache.abandon("k");
+    waiter.join();
+
+    // Either way the key is not poisoned: the next acquire records.
+    auto retry = cache.acquire("k");
+    EXPECT_TRUE(retry.recording);
+    EXPECT_EQ(retry.trace, nullptr);
+    cache.abandon("k");
+}
+
+TEST(PredictionCache, StoreTierServesAcrossCacheInstances)
+{
+    std::string dir = makeTempDir();
+    PredictionStore store(dir);
+
+    std::string key = "prog=gcc/pred=perceptron-h32/shape=w1,m2";
+    {
+        PredictionCache writer;
+        writer.setStore(&store);
+        auto lease = writer.acquire(key);
+        ASSERT_TRUE(lease.recording);
+        writer.publish(key, buildTrace(key));
+        EXPECT_EQ(writer.counters().storeMisses, 1u);
+    }
+    EXPECT_EQ(store.counters().persisted, 1u);
+    EXPECT_TRUE(store.probe(key));
+
+    // A new cache (a new process, in real life) resolves the key from
+    // the store file without recording: the lease replays a
+    // borrowed-lane mapping.
+    PredictionStore store2(dir);
+    PredictionCache reader;
+    reader.setStore(&store2);
+    auto lease = reader.acquire(key);
+    EXPECT_FALSE(lease.recording);
+    ASSERT_NE(lease.trace, nullptr);
+    EXPECT_TRUE(lease.trace->borrowed());
+    EXPECT_EQ(lease.trace->key(), key);
+    EXPECT_EQ(reader.counters().storeHits, 1u);
+    EXPECT_GT(reader.counters().mappedBytes, 0u);
+    EXPECT_EQ(store2.counters().mapHits, 1u);
+}
+
+TEST(PredictionCache, StoreRejectionFallsBackToRecording)
+{
+    std::string dir = makeTempDir();
+    PredictionStore store(dir);
+    std::string key = "prog=x/pred=y";
+    {
+        PredictionCache writer;
+        writer.setStore(&store);
+        ASSERT_TRUE(writer.acquire(key).recording);
+        writer.publish(key, buildTrace(key));
+    }
+
+    // Corrupt the stored file: the next process must refuse it and
+    // hand out a recording lease instead of replaying garbage.
+    std::string path = store.pathFor(key);
+    FILE *f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, -5, SEEK_END), 0);
+    std::fputc(0x7f, f);
+    std::fclose(f);
+
+    PredictionStore store2(dir);
+    PredictionCache reader;
+    reader.setStore(&store2);
+    auto lease = reader.acquire(key);
+    EXPECT_TRUE(lease.recording);
+    EXPECT_EQ(lease.trace, nullptr);
+    EXPECT_EQ(store2.counters().rejected, 1u);
+}
+
+TEST(PredictionCache, GlobalIsAProcessSingleton)
+{
+    EXPECT_EQ(&PredictionCache::global(), &PredictionCache::global());
+}
+
+} // namespace
+} // namespace percon

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "confidence/factory.hh"
 #include "driver/jsonl.hh"
 #include "driver/sweep_runner.hh"
 #include "driver/worker_pool.hh"
@@ -152,6 +153,46 @@ TEST(WorkerPool, RealTimingPointsMatchInProcessRunner)
     const auto &c = wr.sums.snapshot;
     EXPECT_EQ(c.hits + c.misses, 3u);
     EXPECT_GE(c.misses, 2u) << "two distinct workloads exist";
+}
+
+TEST(WorkerPool, PredSnapshotPointsMatchInProcessRunner)
+{
+    // The prediction tier through the fork transport: workers record
+    // their own streams (the parent's memo does not cross fork for
+    // points resolved after forking), yet the merged rows — including
+    // the parent-derived pred_snapshot miss/hit labels — must be
+    // byte-identical to the in-process run, at any worker count.
+    auto sweep = [] {
+        TimingConfig t;
+        t.warmupUops = 2'000;
+        t.measureUops = 6'000;
+        t.predSnapshot = true;
+        std::vector<SweepPoint> points;
+        for (const char *est : {"none", "jrs", "perceptron-cic"}) {
+            RunKey key;
+            key.benchmark = "gcc";
+            key.machine = "base20x4";
+            key.predictor = "bimodal-gshare";
+            key.set("est", est);
+            EstimatorFactory make = nullptr;
+            if (std::string(est) != "none")
+                make = [est] { return makeEstimator(est); };
+            points.push_back(timingPoint(key,
+                                         PipelineConfig::base20x4(),
+                                         make, SpeculationControl{},
+                                         t));
+        }
+        return points;
+    };
+    WorkerPoolResult wr = runSweepWorkers(sweep(), 2);
+    std::string reference = render(SweepRunner(1).run(sweep()));
+    EXPECT_EQ(render(std::move(wr.records)), reference);
+    // Every worker process resolves the shared ungated key at most
+    // once; across the split all three points are accounted for.
+    const auto &p = wr.sums.pred;
+    EXPECT_EQ(p.hits + p.misses, 3u);
+    EXPECT_GE(p.misses, 1u);
+    EXPECT_EQ(p.misses, p.recorded);
 }
 
 TEST(ShardPartition, DisjointAndExhaustiveForAnyN)

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "bpred/factory.hh"
+#include "bpred/prediction_trace.hh"
 #include "common/perceptron_kernel.hh"
 #include "confidence/factory.hh"
 #include "trace/benchmarks.hh"
@@ -180,7 +181,9 @@ policyFor(const std::string &name)
 }
 
 CoreStats
-runConfig(const GoldenRow &row, bool skip, bool replay = false)
+runConfig(const GoldenRow &row, bool skip, bool replay = false,
+          PredictionTraceBuilder *pred_rec = nullptr,
+          std::shared_ptr<const PredictionTrace> pred_replay = nullptr)
 {
     const BenchmarkSpec &spec = benchmarkSpec(row.bench);
     PipelineConfig cfg = std::string(row.machine) == "deep40x4"
@@ -204,6 +207,10 @@ runConfig(const GoldenRow &row, bool skip, bool replay = false)
     if (sc.gateThreshold > 0 || sc.reversalEnabled)
         est = makeEstimator("perceptron-cic");
     Core core(cfg, *source, wp, *pred, est.get(), sc);
+    if (pred_rec)
+        core.setPredictionRecorder(pred_rec);
+    if (pred_replay)
+        core.setPredictionReplay(std::move(pred_replay));
     core.setCycleSkipping(skip);
     core.warmup(20'000);
     core.run(60'000);
@@ -314,6 +321,25 @@ TEST_P(GoldenStats, SnapshotReplayMatchesSeedImplementation)
     const GoldenRow &row = GetParam();
     expectMatchesGolden(runConfig(row, /*skip=*/true, /*replay=*/true),
                         row);
+}
+
+TEST_P(GoldenStats, PredReplayMatchesSeedImplementation)
+{
+    // Record the predictor/BTB outcome stream from a live run (which
+    // itself must still match golden — recording is pure
+    // observation), then rebuild the whole stack and replay the
+    // stream with the live predictor bypassed. Both runs must pin
+    // the exact golden counters across the full 18-config matrix.
+    const GoldenRow &row = GetParam();
+    PredictionTraceBuilder rec;
+    CoreStats live = runConfig(row, /*skip=*/true, /*replay=*/false,
+                               &rec);
+    expectMatchesGolden(live, row);
+    auto trace = rec.finish("golden-matrix");
+    CoreStats replayed = runConfig(row, /*skip=*/true,
+                                   /*replay=*/false, nullptr, trace);
+    expectMatchesGolden(replayed, row);
+    expectStatsEqual(live, replayed);
 }
 
 TEST_P(GoldenStats, SkippingIsBitIdenticalToCycleStepping)

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "bpred/factory.hh"
+#include "bpred/prediction_trace.hh"
 #include "confidence/factory.hh"
 #include "trace/benchmarks.hh"
 #include "trace/program_model.hh"
@@ -129,7 +130,9 @@ struct SmtRun
 };
 
 SmtRun
-runConfig(const std::string &machine, const std::string &policy)
+runConfig(const std::string &machine, const std::string &policy,
+          PredictionTraceBuilder *pred_rec = nullptr,
+          std::shared_ptr<const PredictionTrace> pred_replay = nullptr)
 {
     const BenchmarkSpec &spec_a = benchmarkSpec("gcc");
     const BenchmarkSpec &spec_b = benchmarkSpec("mcf");
@@ -150,6 +153,10 @@ runConfig(const std::string &machine, const std::string &policy)
                              : PipelineConfig::wide20x8();
     SmtCore core(cfg, {{{&prog_a, &wp_a}, {&prog_b, &wp_b}}}, *pred,
                  est.get(), sc);
+    if (pred_rec)
+        core.setPredictionRecorder(pred_rec);
+    if (pred_replay)
+        core.setPredictionReplay(std::move(pred_replay));
     InvariantAuditor auditors[2];
     core.setAuditor(0, &auditors[0]);
     core.setAuditor(1, &auditors[1]);
@@ -226,6 +233,26 @@ TEST_P(SmtGoldenStats, RepeatRunsAreByteIdentical)
     for (unsigned t = 0; t < 2; ++t) {
         SCOPED_TRACE("thread " + std::to_string(t));
         expectStatsEqual(a.stats[t], b.stats[t]);
+    }
+}
+
+TEST_P(SmtGoldenStats, PredReplayMatchesGolden)
+{
+    // SMT sharing serializes both threads' predictor calls into one
+    // engine-global stream; replaying it must pin the same per-thread
+    // golden counters (and clean audits) as the live run.
+    const SmtGoldenRow &row = GetParam();
+    PredictionTraceBuilder rec;
+    SmtRun live = runConfig(row.machine, row.policy, &rec);
+    auto trace = rec.finish("smt-golden");
+    SmtRun replayed =
+        runConfig(row.machine, row.policy, nullptr, trace);
+    for (unsigned t = 0; t < 2; ++t) {
+        SCOPED_TRACE("thread " + std::to_string(t));
+        expectMatchesGolden(replayed.stats[t], row.v[t]);
+        expectStatsEqual(live.stats[t], replayed.stats[t]);
+        EXPECT_TRUE(replayed.audits[t].clean())
+            << replayed.audits[t].summary();
     }
 }
 

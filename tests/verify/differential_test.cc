@@ -65,6 +65,38 @@ TEST_P(ReplayIdentity, SnapshotReplayIsByteIdenticalToLiveGeneration)
 INSTANTIATE_TEST_SUITE_P(RandomPoints, ReplayIdentity,
                          ::testing::Range(0, 60));
 
+class PredReplayIdentity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PredReplayIdentity, PredictionReplayIsByteIdenticalToLive)
+{
+    // The same random point run twice through the production stack —
+    // once fully live, once with the prediction-stream tier (record
+    // from a live run, then replay into a fresh stack) — must agree
+    // on every CoreStats counter and the confusion matrix, and both
+    // must stay oracle-identical and auditor-clean. This is the
+    // pred-tier analogue of ReplayIdentity above.
+    DiffCase c =
+        randomCase(0x92ed0000ull + static_cast<unsigned>(GetParam()));
+    c.predSnapshot = false;
+    DiffResult live = runDifferential(c);
+    c.predSnapshot = true;
+    DiffResult replay = runDifferential(c);
+
+    EXPECT_TRUE(live.clean()) << c.name << " live: " << live.summary();
+    EXPECT_TRUE(replay.clean())
+        << c.name << " pred replay: " << replay.summary();
+    std::vector<FieldDiff> d = diffStats(live.core, replay.core);
+    EXPECT_TRUE(d.empty())
+        << c.name << ": prediction replay diverges from live on "
+        << d.size() << " field(s), first: "
+        << (d.empty() ? "" : d.front().field);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPoints, PredReplayIdentity,
+                         ::testing::Range(0, 60));
+
 TEST(DifferentialEdge, EdgeProgramsAgree)
 {
     for (const DiffCase &c : edgeCases()) {

@@ -42,6 +42,8 @@
 #include "core/warm_checkpoint.hh"
 #include "driver/checkpoint_cache.hh"
 #include "driver/jsonl.hh"
+#include "driver/prediction_cache.hh"
+#include "driver/prediction_store.hh"
 #include "driver/snapshot_cache.hh"
 #include "driver/snapshot_store.hh"
 #include "driver/sweep_runner.hh"
@@ -79,6 +81,14 @@ struct Options
     /** Replay the correct path from an immutable snapshot (see
      *  trace/trace_snapshot.hh); off = legacy live generation. */
     bool traceSnapshot = traceSnapshotDefault();
+
+    /** Prediction-stream snapshot tier (core/prediction_key.hh):
+     *  record predictor/BTB outcomes once per key, replay them on
+     *  every later run of the same key. */
+    bool predSnapshot = predSnapshotDefault();
+    /** Persistent prediction-stream store (--pred-snapshot-store;
+     *  overrides PERCON_PRED_SNAPSHOT_STORE). Empty = env var only. */
+    std::string predSnapshotStore;
 
     /** Sampled simulation (core/timing_sim.hh): functional warm +
      *  alternating detailed windows instead of end-to-end detailed
@@ -176,10 +186,24 @@ usage()
         "                      and mmap them back read-only in later\n"
         "                      runs/processes (also\n"
         "                      PERCON_SNAPSHOT_STORE)\n"
+        "  --pred-snapshot on|off\n"
+        "                      record the branch-predictor/BTB\n"
+        "                      outcome stream once per prediction key\n"
+        "                      and replay it on every later run of\n"
+        "                      the same key, skipping live predictor\n"
+        "                      work (default off; also\n"
+        "                      PERCON_PRED_SNAPSHOT). Bit-identical\n"
+        "                      stats either way\n"
+        "  --pred-snapshot-store DIR\n"
+        "                      persist recorded prediction streams to\n"
+        "                      DIR and mmap them back in later\n"
+        "                      runs/processes (also\n"
+        "                      PERCON_PRED_SNAPSHOT_STORE)\n"
         "  --jsonl FILE        append per-run JSON lines to FILE\n");
     std::fprintf(stderr, "\npredictors:");
     for (const auto &n : predictorNames())
         std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, " perceptron-hN");
     std::fprintf(stderr, "\nestimators:");
     for (const auto &n : estimatorNames())
         std::fprintf(stderr, " %s", n.c_str());
@@ -286,6 +310,16 @@ parse(int argc, char **argv)
                 usage();
         } else if (arg == "--snapshot-store")
             o.snapshotStore = value();
+        else if (arg == "--pred-snapshot") {
+            std::string v = value();
+            if (v == "on")
+                o.predSnapshot = true;
+            else if (v == "off")
+                o.predSnapshot = false;
+            else
+                usage();
+        } else if (arg == "--pred-snapshot-store")
+            o.predSnapshotStore = value();
         else if (arg == "--jsonl")
             o.jsonl = value();
         else if (arg == "--sweep") {
@@ -423,6 +457,7 @@ runSweep(const Options &base)
         t.warmupUops = o.warmup ? o.warmup : o.uops / 3;
         t.audit = o.audit;
         t.traceSnapshot = o.traceSnapshot;
+        t.predSnapshot = o.predSnapshot;
         if (o.sampled) {
             t.simMode = SimMode::Sampled;
             t.sampleWarmUops = o.sampleWarm;
@@ -460,6 +495,7 @@ done:;
             points[i].snapshotLabel = full.snapshot[i];
             points[i].checkpointLabel = full.checkpoint[i];
             points[i].storeLabel = full.store[i];
+            points[i].predLabel = full.pred[i];
         }
         std::vector<SweepPoint> kept;
         std::vector<std::vector<std::string>> kept_values;
@@ -485,6 +521,8 @@ done:;
         SnapshotCache::global().counters();
     CheckpointCache::Counters ckpt_before =
         CheckpointCache::global().counters();
+    PredictionCache::Counters pred_before =
+        PredictionCache::global().counters();
 
     std::vector<RunRecord> recs;
     WorkerSums worker_sums;
@@ -621,6 +659,84 @@ done:;
                     static_cast<unsigned long long>(row_hits));
     }
 
+    if (base.predSnapshot && base.workers > 0) {
+        const auto &c = worker_sums.pred;
+        std::printf("prediction streams (workers): %llu recorded "
+                    "(%.1f MiB), %llu replay hits, %llu store maps, "
+                    "%llu abandoned\n\n",
+                    static_cast<unsigned long long>(c.recorded),
+                    static_cast<double>(c.recordedBytes) /
+                        (1024.0 * 1024.0),
+                    static_cast<unsigned long long>(c.hits),
+                    static_cast<unsigned long long>(c.storeHits),
+                    static_cast<unsigned long long>(c.abandoned));
+        const auto &ps = worker_sums.predStore;
+        if (ps.mapHits + ps.mapMisses + ps.persisted > 0)
+            std::printf("prediction store (workers): %llu mapped "
+                        "(%.1f MiB), %llu persisted (%.1f MiB), "
+                        "%llu rejected\n\n",
+                        static_cast<unsigned long long>(ps.mapHits),
+                        static_cast<double>(ps.mappedBytes) /
+                            (1024.0 * 1024.0),
+                        static_cast<unsigned long long>(ps.persisted),
+                        static_cast<double>(ps.persistedBytes) /
+                            (1024.0 * 1024.0),
+                        static_cast<unsigned long long>(ps.rejected));
+    } else if (base.predSnapshot) {
+        // Rows carry deterministic input-order labels; the cache
+        // counted actual acquires. The per-row hit/miss SPLIT can
+        // differ from run-time racing (whichever point acquires
+        // first records), but the TOTALS must agree exactly in a
+        // fresh unsharded process: one miss per distinct key, a hit
+        // for every other point.
+        PredictionCache::Counters c =
+            PredictionCache::global().counters();
+        Count row_hits = 0, row_misses = 0;
+        for (const RunRecord &rec : recs) {
+            if (rec.predSnapshot == "hit")
+                ++row_hits;
+            else if (rec.predSnapshot == "miss")
+                ++row_misses;
+        }
+        if (base.shardCount == 1) {
+            PERCON_ASSERT(
+                c.hits - pred_before.hits == row_hits &&
+                    c.misses - pred_before.misses == row_misses,
+                "prediction cache accounting: rows say "
+                "%llu hits + %llu misses, cache counted "
+                "%llu + %llu",
+                static_cast<unsigned long long>(row_hits),
+                static_cast<unsigned long long>(row_misses),
+                static_cast<unsigned long long>(
+                    c.hits - pred_before.hits),
+                static_cast<unsigned long long>(
+                    c.misses - pred_before.misses));
+        }
+        std::printf("prediction streams: %llu recorded (%.1f MiB), "
+                    "%llu replay hits, %llu store maps\n\n",
+                    static_cast<unsigned long long>(
+                        c.recorded - pred_before.recorded),
+                    static_cast<double>(c.recordedBytes -
+                                        pred_before.recordedBytes) /
+                        (1024.0 * 1024.0),
+                    static_cast<unsigned long long>(row_hits),
+                    static_cast<unsigned long long>(
+                        c.storeHits - pred_before.storeHits));
+        if (PredictionStore *st = PredictionCache::global().store()) {
+            PredictionStore::Counters ps = st->counters();
+            std::printf("prediction store: %llu mapped (%.1f MiB), "
+                        "%llu persisted (%.1f MiB), %llu "
+                        "rejected\n\n",
+                        static_cast<unsigned long long>(ps.mapHits),
+                        static_cast<double>(ps.mappedBytes) /
+                            (1024.0 * 1024.0),
+                        static_cast<unsigned long long>(ps.persisted),
+                        static_cast<double>(ps.persistedBytes) /
+                            (1024.0 * 1024.0),
+                        static_cast<unsigned long long>(ps.rejected));
+        }
+    }
+
     if (!base.jsonl.empty()) {
         JsonlWriter writer(base.jsonl);
         writer.writeAll(recs);
@@ -664,6 +780,11 @@ main(int argc, char **argv)
         // pointer for the life of the process.
         static SnapshotStore store(o.snapshotStore);
         SnapshotCache::global().setStore(&store);
+    }
+    if (!o.predSnapshotStore.empty()) {
+        // Same idiom for the prediction-stream tier.
+        static PredictionStore pred_store(o.predSnapshotStore);
+        PredictionCache::global().setStore(&pred_store);
     }
     if (!o.sweeps.empty())
         return runSweep(o);
@@ -709,6 +830,7 @@ main(int argc, char **argv)
         dc.measureUops = o.uops;
         dc.wrongPathSeed = spec.program.seed ^ 0xdead;
         dc.traceSnapshot = o.traceSnapshot;
+        dc.predSnapshot = o.predSnapshot;
         DiffResult r = runDifferential(dc);
         std::printf("oracle-diff %s (%s, %llu uops): %s\n",
                     o.bench.c_str(), o.machine.c_str(),
@@ -732,6 +854,9 @@ main(int argc, char **argv)
         t.checkpointWarm = o.checkpoint;
         if (t.checkpointWarm)
             t.checkpointStore = &CheckpointCache::global();
+        t.predSnapshot = o.predSnapshot;
+        if (t.predSnapshot)
+            t.predictionProvider = &PredictionCache::global();
         TimingResult r = runTiming(spec, machine, o.predictor,
                                    estimatorFactory(o), sc, t);
         const CoreStats &s = r.stats;
@@ -759,6 +884,8 @@ main(int argc, char **argv)
                     r.warmSeconds, r.detailSeconds);
         std::printf("checkpoint          : %s\n",
                     r.checkpoint.c_str());
+        std::printf("pred snapshot       : %s\n",
+                    r.predSnapshot.c_str());
         std::printf("cycles              : %llu (measured windows)\n",
                     static_cast<unsigned long long>(s.cycles));
         std::printf("IPC                 : %.3f +/- %.4f\n", s.ipc(),
@@ -885,12 +1012,44 @@ main(int argc, char **argv)
     InvariantAuditor auditor;
     if (o.audit)
         core.setAuditor(&auditor);
+
+    // Prediction-stream tier for the exact single-run path. Within
+    // one process the first run records; with a persistent store
+    // attached, a later invocation of the same design point replays
+    // the stored stream and skips all live predictor work.
+    PredictionTraceBuilder pred_builder;
+    bool pred_recording = false;
+    std::string pred_key;
+    std::string pred_label = "off";
+    if (o.predSnapshot && o.trace.empty()) {
+        PredictionRunShape shape;
+        shape.wrongPathSeed = spec.program.seed ^ 0xdead;
+        shape.warmupUops = o.warmup ? o.warmup : o.uops / 3;
+        shape.measureUops = o.uops;
+        pred_key = predictionKey(
+            spec.program, machine, o.predictor, shape, sc,
+            estimator ? estimator->stateKey() : std::string());
+        PredictionProvider::Lease lease =
+            PredictionCache::global().acquire(pred_key);
+        if (lease.trace) {
+            core.setPredictionReplay(std::move(lease.trace));
+            pred_label = "hit";
+        } else if (lease.recording) {
+            core.setPredictionRecorder(&pred_builder);
+            pred_recording = true;
+            pred_label = "miss";
+        }
+    }
+
     auto sim0 = std::chrono::steady_clock::now();
     core.warmup(o.warmup ? o.warmup : o.uops / 3);
     core.run(o.uops);
     double sim_s = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - sim0)
                        .count();
+    if (pred_recording)
+        PredictionCache::global().publish(pred_key,
+                                          pred_builder.finish(pred_key));
 
     const CoreStats &s = core.stats();
     std::printf("workload            : %s\n",
@@ -914,6 +1073,9 @@ main(int argc, char **argv)
         std::printf("trace snapshot      : off (live generation, "
                     "%.3f s)\n", sim_s);
     }
+    if (pred_label != "off")
+        std::printf("pred snapshot       : %s (%.3f s run)\n",
+                    pred_label.c_str(), sim_s);
     std::printf("cycles              : %llu\n",
                 static_cast<unsigned long long>(s.cycles));
     std::printf("IPC                 : %.3f\n", s.ipc());
